@@ -1,0 +1,79 @@
+// Ablation — Fig. 3's design decision, measured: star-centric vs
+// pixel-centric decomposition on identical (ablation-scale) workloads.
+// The pixel-centric kernel is the paper's rejected alternative: every
+// thread scans all stars, producing heavy warp divergence and O(pixels x
+// stars) redundant loads. Work is quadratic, so this bench uses a reduced
+// image; the comparison is per-workload, not against the paper's absolute
+// numbers.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gpusim/device.h"
+#include "starsim/parallel_simulator.h"
+#include "starsim/pixel_centric_simulator.h"
+#include "starsim/workload.h"
+#include "support/table.h"
+#include "support/units.h"
+
+int main(int argc, char** argv) {
+  using namespace starsim;
+  using namespace starsim::bench;
+  namespace sup = starsim::support;
+
+  SweepOptions options;
+  std::string csv_path;
+  if (!parse_bench_cli(argc, argv, "bench_ablation_pixel_centric",
+                       "ablation: star-centric vs pixel-centric kernels",
+                       options, csv_path)) {
+    return 0;
+  }
+
+  constexpr int kEdge = 128;
+  SceneConfig scene;
+  scene.image_width = kEdge;
+  scene.image_height = kEdge;
+  scene.roi_side = 10;
+
+  std::puts(
+      "Ablation — star-centric (chosen) vs pixel-centric (rejected), "
+      "128x128 image, ROI 10\n");
+  sup::ConsoleTable table({"stars", "star-centric kernel",
+                           "pixel-centric kernel", "slowdown",
+                           "sc divergence", "pc divergence"});
+  sup::CsvWriter csv({"stars", "star_centric_s", "pixel_centric_s",
+                      "star_divergence", "pixel_divergence"});
+
+  gpusim::Device device(gpusim::DeviceSpec::gtx480());
+  ParallelSimulator star_centric(device);
+  PixelCentricSimulator pixel_centric(device);
+
+  for (std::size_t stars : {16u, 64u, 256u, 1024u}) {
+    if (options.quick && stars > 256u) break;
+    WorkloadConfig workload;
+    workload.star_count = stars;
+    workload.image_width = kEdge;
+    workload.image_height = kEdge;
+    workload.seed = options.seed;
+    const StarField field = generate_stars(workload);
+
+    const auto sc = star_centric.simulate(scene, field).timing;
+    const auto pc = pixel_centric.simulate(scene, field).timing;
+    table.add_row(
+        {std::to_string(stars), sup::format_time(sc.kernel_s),
+         sup::format_time(pc.kernel_s),
+         sup::fixed(pc.kernel_s / sc.kernel_s, 1) + "x",
+         sup::fixed(sc.counters.divergence_rate(), 3),
+         sup::fixed(pc.counters.divergence_rate(), 3)});
+    csv.add_row({std::to_string(stars), sup::compact(sc.kernel_s),
+                 sup::compact(pc.kernel_s),
+                 sup::fixed(sc.counters.divergence_rate(), 4),
+                 sup::fixed(pc.counters.divergence_rate(), 4)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\npaper's argument (Section III-B): pixel-centric threads 'identify"
+      "\nall stars', causing divergent warps — measured above as the"
+      "\ndivergence rate — and its kernel cost grows with stars per pixel.");
+  maybe_write_csv(csv, csv_path);
+  return 0;
+}

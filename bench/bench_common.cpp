@@ -1,0 +1,115 @@
+#include "bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "gpusim/device.h"
+#include "starsim/adaptive_simulator.h"
+#include "starsim/parallel_simulator.h"
+#include "starsim/sequential_simulator.h"
+#include "starsim/workload.h"
+#include "support/log.h"
+
+namespace starsim::bench {
+
+SceneConfig paper_scene(int roi_side) {
+  SceneConfig scene;
+  scene.image_width = kBenchImageEdge;
+  scene.image_height = kBenchImageEdge;
+  scene.roi_side = roi_side;
+  return scene;
+}
+
+namespace {
+
+SweepPoint run_point(gpusim::Device& device, const SceneConfig& scene,
+                     std::size_t star_count, const SweepOptions& options) {
+  WorkloadConfig workload;
+  workload.star_count = star_count;
+  workload.image_width = scene.image_width;
+  workload.image_height = scene.image_height;
+  workload.seed = options.seed;
+  const StarField stars = generate_stars(workload);
+
+  SweepPoint point;
+  point.stars = star_count;
+  point.roi_side = scene.roi_side;
+
+  SequentialSimulator sequential;
+  if (!options.skip_measured_sequential) {
+    point.sequential = sequential.simulate(scene, stars).timing;
+  } else {
+    // Still need the modeled time: meter a single-star run and scale by the
+    // exact per-star flop linearity (verified by the unit tests).
+    const StarField probe(stars.begin(), stars.begin() + 1);
+    TimingBreakdown one = sequential.simulate(scene, probe).timing;
+    point.sequential.host_compute_s =
+        one.host_compute_s * static_cast<double>(star_count);
+    point.sequential.counters.flops =
+        one.counters.flops * static_cast<std::uint64_t>(star_count);
+  }
+
+  ParallelSimulator parallel(device);
+  point.parallel = parallel.simulate(scene, stars).timing;
+
+  AdaptiveSimulator adaptive(device);
+  point.adaptive = adaptive.simulate(scene, stars).timing;
+  return point;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> run_test1(const SweepOptions& options) {
+  gpusim::Device device(gpusim::DeviceSpec::gtx480());
+  const SceneConfig scene = paper_scene(kTest1RoiSide);
+  std::vector<SweepPoint> points;
+  for (std::size_t stars : test1_star_counts()) {
+    if (options.quick && stars > (1u << 12)) break;
+    STARSIM_DEBUG << "test1 point: " << stars << " stars";
+    points.push_back(run_point(device, scene, stars, options));
+  }
+  return points;
+}
+
+std::vector<SweepPoint> run_test2(const SweepOptions& options) {
+  gpusim::Device device(gpusim::DeviceSpec::gtx480());
+  std::vector<SweepPoint> points;
+  for (int side : test2_roi_sides()) {
+    if (options.quick && side > 16) break;
+    STARSIM_DEBUG << "test2 point: ROI side " << side;
+    points.push_back(
+        run_point(device, paper_scene(side), kTest2StarCount, options));
+  }
+  return points;
+}
+
+bool parse_bench_cli(int argc, const char* const* argv,
+                     const std::string& name, const std::string& summary,
+                     SweepOptions& options, std::string& csv_path) {
+  support::Cli cli(name, summary);
+  cli.add_flag("quick", "run a shortened sweep (smoke test)");
+  cli.add_flag("no-measure", "skip measured sequential runs (model only)");
+  cli.add_option("csv", "also write results to this CSV file", "");
+  cli.add_option("seed", "workload seed", "42");
+  if (!cli.parse(argc, argv)) return false;
+  options.quick = cli.flag("quick");
+  options.skip_measured_sequential = cli.flag("no-measure");
+  options.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  csv_path = cli.str("csv");
+  return true;
+}
+
+void maybe_write_csv(const support::CsvWriter& csv,
+                     const std::string& csv_path) {
+  if (csv_path.empty()) return;
+  csv.write_file(csv_path);
+  std::printf("\ncsv written to %s\n", csv_path.c_str());
+}
+
+std::string star_label(std::size_t stars) {
+  const int power = static_cast<int>(std::lround(
+      std::log2(static_cast<double>(stars))));
+  return "2^" + std::to_string(power);
+}
+
+}  // namespace starsim::bench

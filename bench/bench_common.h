@@ -1,0 +1,66 @@
+// Shared sweep driver for the paper-reproduction benches.
+//
+// Every bench binary regenerates its table/figure from one of the paper's
+// two sweeps (Section IV):
+//   test1 — stars 2^5..2^17, ROI 10x10, image 1024^2;
+//   test2 — ROI side 2..32, 8192 stars, image 1024^2.
+// The driver runs the sequential simulator (measured wall + modeled i7-860
+// time), and the parallel and adaptive simulators on a modeled GTX480, and
+// returns per-point timing breakdowns. GPU times are the performance
+// model's output; see DESIGN.md for provenance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "starsim/breakdown.h"
+#include "starsim/scene.h"
+#include "support/cli.h"
+#include "support/csv.h"
+
+namespace starsim::bench {
+
+struct SweepPoint {
+  std::size_t stars = 0;
+  int roi_side = 0;
+  TimingBreakdown sequential;  ///< host_compute_s modeled, wall_s measured
+  TimingBreakdown parallel;
+  TimingBreakdown adaptive;
+};
+
+struct SweepOptions {
+  /// Cut both sweeps short (quick smoke run): test1 stops at 2^12, test2
+  /// at ROI 16.
+  bool quick = false;
+  /// Skip the measured sequential run for very large points (the modeled
+  /// number is reported either way). Default off: measure everything.
+  bool skip_measured_sequential = false;
+  std::uint64_t seed = 42;
+};
+
+/// The paper's scene: 1024x1024 image, magnitudes 0..15.
+[[nodiscard]] SceneConfig paper_scene(int roi_side);
+
+/// Run the test1 sweep (fixed ROI 10, star count doubling 2^5..2^17).
+[[nodiscard]] std::vector<SweepPoint> run_test1(const SweepOptions& options);
+
+/// Run the test2 sweep (fixed 8192 stars, ROI side 2..32).
+[[nodiscard]] std::vector<SweepPoint> run_test2(const SweepOptions& options);
+
+/// Standard bench CLI (--quick, --csv FILE, --seed N); returns false when
+/// --help was printed.
+[[nodiscard]] bool parse_bench_cli(int argc, const char* const* argv,
+                                   const std::string& name,
+                                   const std::string& summary,
+                                   SweepOptions& options,
+                                   std::string& csv_path);
+
+/// Write the CSV mirror when --csv was given.
+void maybe_write_csv(const support::CsvWriter& csv,
+                     const std::string& csv_path);
+
+/// "2^13 (8192)" style star-count label used in the test1 tables.
+[[nodiscard]] std::string star_label(std::size_t stars);
+
+}  // namespace starsim::bench

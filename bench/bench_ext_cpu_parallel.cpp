@@ -1,0 +1,69 @@
+// Extension — the multicore CPU rung of the ladder. The paper's host "has
+// eight cores" but its baseline uses one; this bench places the OpenMP
+// simulator between that baseline and the GPU on the test1 speedup axis
+// (modeled i7-860 times; wall times on this container additionally shown).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "starsim/openmp_simulator.h"
+#include "starsim/selector.h"
+#include "starsim/sequential_simulator.h"
+#include "starsim/workload.h"
+#include "support/table.h"
+#include "support/units.h"
+
+int main(int argc, char** argv) {
+  using namespace starsim;
+  using namespace starsim::bench;
+  namespace sup = starsim::support;
+
+  SweepOptions options;
+  std::string csv_path;
+  if (!parse_bench_cli(argc, argv, "bench_ext_cpu_parallel",
+                       "extension: multicore CPU simulator vs GPU", options,
+                       csv_path)) {
+    return 0;
+  }
+
+  std::puts(
+      "Extension — sequential vs 8-core CPU vs GPU (test1 points, modeled)\n");
+  sup::ConsoleTable table({"stars", "sequential", "cpu x8", "parallel GPU",
+                           "cpu x8 speedup", "GPU vs cpu x8"});
+  sup::CsvWriter csv(
+      {"stars", "sequential_s", "cpu8_s", "gpu_s", "cpu8_speedup"});
+
+  const SceneConfig scene = paper_scene(kTest1RoiSide);
+  SequentialSimulator sequential;
+  OpenMpSimulator cpu8(8);
+  const SimulatorSelector selector;
+
+  for (std::size_t stars : {std::size_t{1} << 8, std::size_t{1} << 11,
+                            std::size_t{1} << 14, std::size_t{1} << 17}) {
+    if (options.quick && stars > (1u << 11)) break;
+    WorkloadConfig workload;
+    workload.star_count = stars;
+    workload.seed = options.seed;
+    const StarField field = generate_stars(workload);
+
+    const double seq_s =
+        sequential.simulate(scene, field).timing.application_s();
+    const double cpu8_s = cpu8.simulate(scene, field).timing.application_s();
+    const double gpu_s =
+        selector.predict(scene, stars).parallel.application_s();
+
+    table.add_row({star_label(stars), sup::format_time(seq_s),
+                   sup::format_time(cpu8_s), sup::format_time(gpu_s),
+                   sup::fixed(seq_s / cpu8_s, 1) + "x",
+                   sup::fixed(cpu8_s / gpu_s, 1) + "x"});
+    csv.add_row({std::to_string(stars), sup::compact(seq_s),
+                 sup::compact(cpu8_s), sup::compact(gpu_s),
+                 sup::fixed(seq_s / cpu8_s, 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nreading: eight cores buy the expected ~6.8x (85% efficiency), but"
+      "\nthe GPU stays 1-2 orders ahead at scale — using all CPU cores does"
+      "\nnot change the paper's conclusion.");
+  maybe_write_csv(csv, csv_path);
+  return 0;
+}

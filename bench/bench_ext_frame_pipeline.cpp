@@ -1,0 +1,97 @@
+// Extension — frame-sequence pipelining with CUDA streams. The paper's
+// per-frame non-kernel overhead (~2.4 ms of PCIe traffic) gates the frame
+// rate of a continuously running star simulator; stream overlap hides it.
+// Includes the Fermi false-dependency pitfall as a measured row: the same
+// two streams with naive depth-first issue gain nothing.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "gpusim/stream.h"
+#include "starsim/pipeline.h"
+#include "starsim/workload.h"
+#include "support/table.h"
+#include "support/units.h"
+
+int main(int argc, char** argv) {
+  using namespace starsim;
+  using namespace starsim::bench;
+  namespace sup = starsim::support;
+
+  SweepOptions options;
+  std::string csv_path;
+  if (!parse_bench_cli(argc, argv, "bench_ext_frame_pipeline",
+                       "extension: stream-pipelined frame sequences",
+                       options, csv_path)) {
+    return 0;
+  }
+
+  const int frame_count = options.quick ? 4 : 12;
+  const SceneConfig scene = paper_scene(kTest1RoiSide);
+
+  std::printf(
+      "Extension — pipelined frame sequences (%d frames, 1024^2, ROI 10)\n\n",
+      frame_count);
+  sup::ConsoleTable table({"stars/frame", "serial", "pipelined", "speedup",
+                           "fps", "copy util", "compute util"});
+  sup::CsvWriter csv({"stars", "serial_s", "pipelined_s", "speedup", "fps"});
+
+  for (std::size_t stars : {std::size_t{512}, std::size_t{8192},
+                            std::size_t{65536}}) {
+    if (options.quick && stars > 8192) break;
+    std::vector<StarField> frames;
+    for (int f = 0; f < frame_count; ++f) {
+      WorkloadConfig workload;
+      workload.star_count = stars;
+      workload.seed = options.seed + static_cast<std::uint64_t>(f);
+      frames.push_back(generate_stars(workload));
+    }
+    gpusim::Device device(gpusim::DeviceSpec::gtx480());
+    const PipelineResult result =
+        simulate_frame_sequence(device, scene, frames);
+    table.add_row({std::to_string(stars),
+                   sup::format_time(result.serial_s),
+                   sup::format_time(result.pipelined_s),
+                   sup::fixed(result.speedup(), 2) + "x",
+                   sup::fixed(result.frames_per_second(), 0),
+                   sup::fixed(result.copy_utilization * 100, 0) + "%",
+                   sup::fixed(result.compute_utilization * 100, 0) + "%"});
+    csv.add_row({std::to_string(stars), sup::compact(result.serial_s),
+                 sup::compact(result.pipelined_s),
+                 sup::fixed(result.speedup(), 3),
+                 sup::fixed(result.frames_per_second(), 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // The pitfall row: same streams, naive (depth-first) issue order.
+  {
+    gpusim::StreamScheduler naive(1);
+    const auto s0 = naive.create_stream();
+    const auto s1 = naive.create_stream();
+    gpusim::StreamScheduler piped(1);
+    const auto p0 = piped.create_stream();
+    const auto p1 = piped.create_stream();
+    const double h2d = 1.3e-3;
+    const double kernel = 1.0e-3;
+    const double d2h = 1.2e-3;
+    (void)piped.enqueue_h2d(p0, h2d);
+    for (int f = 0; f < 12; ++f) {
+      const auto sn = (f % 2 == 0) ? s0 : s1;
+      (void)naive.enqueue_h2d(sn, h2d);
+      (void)naive.enqueue_kernel(sn, kernel);
+      (void)naive.enqueue_d2h(sn, d2h);
+      const auto sp = (f % 2 == 0) ? p0 : p1;
+      if (f + 1 < 12) (void)piped.enqueue_h2d((f % 2 == 0) ? p1 : p0, h2d);
+      (void)piped.enqueue_kernel(sp, kernel);
+      (void)piped.enqueue_d2h(sp, d2h);
+    }
+    std::printf(
+        "\nissue-order pitfall (12 synthetic frames, one copy engine):\n"
+        "  depth-first issue: %s (false dependency, fully serial)\n"
+        "  prefetched issue:  %s\n",
+        sup::format_time(naive.makespan()).c_str(),
+        sup::format_time(piped.makespan()).c_str());
+  }
+  maybe_write_csv(csv, csv_path);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Extension — beyond the ROI limit. The paper's empirical ROI radius range
+// is 2..20 pixels (sides up to 40), yet its parallel simulator caps the
+// side at 32 (1024 threads per block, Section IV-D). The tiled kernel
+// lifts the cap; this bench extends the test2 sweep past the limit and
+// reports the modeled speedup over the sequential baseline out to side 64.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gpusim/device.h"
+#include "starsim/parallel_simulator.h"
+#include "starsim/sequential_simulator.h"
+#include "starsim/workload.h"
+#include "support/table.h"
+#include "support/units.h"
+
+int main(int argc, char** argv) {
+  using namespace starsim;
+  using namespace starsim::bench;
+  namespace sup = starsim::support;
+
+  SweepOptions options;
+  std::string csv_path;
+  if (!parse_bench_cli(argc, argv, "bench_ext_large_roi",
+                       "extension: tiled kernel beyond the ROI block limit",
+                       options, csv_path)) {
+    return 0;
+  }
+
+  const std::size_t stars = options.quick ? 1024 : 4096;
+  std::printf(
+      "Extension — tiled star-centric kernel, ROI sides past the block "
+      "limit (%zu stars, 1024^2)\n\n",
+      stars);
+  sup::ConsoleTable table({"roi side", "blocks/star", "kernel",
+                           "application", "speedup vs sequential"});
+  sup::CsvWriter csv({"roi_side", "kernel_s", "application_s", "speedup"});
+
+  gpusim::Device device(gpusim::DeviceSpec::gtx480());
+  ParallelOptions tiling;
+  tiling.allow_tiling = true;
+  tiling.tile_side = 16;
+  ParallelSimulator tiled(device, tiling);
+  SequentialSimulator sequential;
+
+  for (int side : {24, 32, 40, 48, 64}) {
+    if (options.quick && side > 40) break;
+    SceneConfig scene = paper_scene(side);
+    scene.psf_sigma = side / 6.0;  // wide defocus to motivate the wide ROI
+
+    WorkloadConfig workload;
+    workload.star_count = stars;
+    workload.seed = options.seed;
+    const StarField field = generate_stars(workload);
+
+    const auto gpu = tiled.simulate(scene, field).timing;
+    const auto seq = sequential.simulate(scene, field).timing;
+    const int tiles = (side + tiling.tile_side - 1) / tiling.tile_side;
+    table.add_row({std::to_string(side),
+                   std::to_string(tiles * tiles),
+                   sup::format_time(gpu.kernel_s),
+                   sup::format_time(gpu.application_s()),
+                   sup::fixed(seq.application_s() / gpu.application_s(), 1) +
+                       "x"});
+    csv.add_row({std::to_string(side), sup::compact(gpu.kernel_s),
+                 sup::compact(gpu.application_s()),
+                 sup::fixed(seq.application_s() / gpu.application_s(), 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nreading: past side 32 the untiled kernel cannot launch at all; the"
+      "\ntiled decomposition keeps scaling, so the full empirical ROI range"
+      "\n(radius 2..20 => sides up to 40+) is simulatable on the GPU.");
+  maybe_write_csv(csv, csv_path);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 10 — "Speedup of parallel simulator, adaptive simulator to sequential
+// simulator: test1". The paper reports 1-2 orders of magnitude, average ~97x,
+// with the adaptive simulator overtaking the parallel one at 2^13 stars.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "support/units.h"
+
+int main(int argc, char** argv) {
+  using namespace starsim::bench;
+  namespace sup = starsim::support;
+
+  SweepOptions options;
+  std::string csv_path;
+  if (!parse_bench_cli(argc, argv, "bench_fig10_test1_speedup",
+                       "Fig. 10: test1 speedup of the GPU simulators",
+                       options, csv_path)) {
+    return 0;
+  }
+
+  std::puts("Fig. 10 — test1 speedup vs sequential (modeled/modeled)\n");
+
+  const auto points = run_test1(options);
+  sup::ConsoleTable table(
+      {"stars", "parallel speedup", "adaptive speedup", "leader"});
+  sup::CsvWriter csv({"stars", "parallel_speedup", "adaptive_speedup"});
+  std::vector<double> parallel_speedups;
+  std::size_t inflection = 0;
+  for (const SweepPoint& p : points) {
+    const double seq = p.sequential.application_s();
+    const double sp = seq / p.parallel.application_s();
+    const double sa = seq / p.adaptive.application_s();
+    parallel_speedups.push_back(sp);
+    if (inflection == 0 && sa > sp) inflection = p.stars;
+    table.add_row({star_label(p.stars), sup::fixed(sp, 1) + "x",
+                   sup::fixed(sa, 1) + "x",
+                   sa > sp ? "adaptive" : "parallel"});
+    csv.add_row({std::to_string(p.stars), sup::fixed(sp, 2),
+                 sup::fixed(sa, 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const auto summary = sup::summarize(parallel_speedups);
+  std::printf(
+      "\nparallel speedup: max %.0fx, mean %.0fx (paper: max 270x, avg ~97x)\n",
+      summary.max, summary.mean);
+  if (inflection != 0) {
+    std::printf("adaptive overtakes parallel at %s stars (paper: 2^13)\n",
+                star_label(inflection).c_str());
+  } else {
+    std::puts("adaptive never overtakes parallel in this sweep");
+  }
+  maybe_write_csv(csv, csv_path);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 14 — "Speedup of GPU simulators to sequential simulator: test2".
+// The paper reports parallel up to 163x and adaptive ~200x at ROI 14, with
+// the adaptive simulator taking the lead once the ROI side reaches 10.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "support/table.h"
+#include "support/units.h"
+
+int main(int argc, char** argv) {
+  using namespace starsim::bench;
+  namespace sup = starsim::support;
+
+  SweepOptions options;
+  std::string csv_path;
+  if (!parse_bench_cli(argc, argv, "bench_fig14_test2_speedup",
+                       "Fig. 14: test2 speedup of the GPU simulators",
+                       options, csv_path)) {
+    return 0;
+  }
+
+  std::puts("Fig. 14 — test2 speedup vs sequential (modeled/modeled)\n");
+
+  const auto points = run_test2(options);
+  sup::ConsoleTable table(
+      {"roi side", "parallel speedup", "adaptive speedup", "leader"});
+  sup::CsvWriter csv({"roi_side", "parallel_speedup", "adaptive_speedup"});
+  int inflection = 0;
+  for (const SweepPoint& p : points) {
+    const double seq = p.sequential.application_s();
+    const double sp = seq / p.parallel.application_s();
+    const double sa = seq / p.adaptive.application_s();
+    if (inflection == 0 && sa > sp) inflection = p.roi_side;
+    table.add_row({std::to_string(p.roi_side), sup::fixed(sp, 1) + "x",
+                   sup::fixed(sa, 1) + "x",
+                   sa > sp ? "adaptive" : "parallel"});
+    csv.add_row({std::to_string(p.roi_side), sup::fixed(sp, 2),
+                 sup::fixed(sa, 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  if (inflection != 0) {
+    std::printf(
+        "\nadaptive overtakes parallel at ROI side %d (paper: 10)\n",
+        inflection);
+  } else {
+    std::puts("\nadaptive never overtakes parallel in this sweep");
+  }
+  std::puts("paper at ROI 14: parallel 163x, adaptive ~200x.");
+  maybe_write_csv(csv, csv_path);
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark) for the simulator's building blocks:
+// the functional engine's per-thread cost, cache/texture machinery, the
+// PSF/brightness arithmetic, and workload generation. These measure *this
+// repository's* host-side execution speed (how fast the simulation of the
+// GPU runs), not the modeled GTX480 times the paper benches report.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gpusim/cache.h"
+#include "gpusim/device.h"
+#include "gpusim/morton.h"
+#include "starsim/cost_model.h"
+#include "starsim/lookup_table.h"
+#include "starsim/magnitude.h"
+#include "starsim/psf.h"
+#include "starsim/sequential_simulator.h"
+#include "starsim/workload.h"
+#include "support/rng.h"
+
+namespace {
+
+namespace gs = starsim::gpusim;
+
+void BM_Pcg32Uniform(benchmark::State& state) {
+  starsim::support::Pcg32 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_Pcg32Uniform);
+
+void BM_MortonEncode(benchmark::State& state) {
+  std::uint32_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::morton_encode(x & 0xffff, (x >> 16)));
+    ++x;
+  }
+}
+BENCHMARK(BM_MortonEncode);
+
+void BM_CacheAccess(benchmark::State& state) {
+  gs::SetAssociativeCache cache(12 << 10, 32, 4);
+  std::uint64_t address = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(address));
+    address = (address + 96) % (64 << 10);
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_PsfIntensityRate(benchmark::State& state) {
+  const starsim::GaussianPsf psf(1.7);
+  double d = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psf.intensity_rate(d, -d));
+    d += 1e-6;
+  }
+}
+BENCHMARK(BM_PsfIntensityRate);
+
+void BM_PsfIntegratedRate(benchmark::State& state) {
+  const starsim::GaussianPsf psf(1.7);
+  double d = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psf.integrated_rate(d, -d));
+    d += 1e-6;
+  }
+}
+BENCHMARK(BM_PsfIntegratedRate);
+
+void BM_Brightness(benchmark::State& state) {
+  const starsim::BrightnessModel model;
+  double m = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.brightness(m));
+    m = m < 15.0 ? m + 1e-6 : 0.0;
+  }
+}
+BENCHMARK(BM_Brightness);
+
+void BM_LookupTableBuild(benchmark::State& state) {
+  starsim::SceneConfig scene;
+  scene.roi_side = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(starsim::LookupTable::build(scene));
+  }
+  state.SetItemsProcessed(state.iterations() * 15 * state.range(0) *
+                          state.range(0));
+}
+BENCHMARK(BM_LookupTableBuild)->Arg(10)->Arg(20)->Arg(32);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  starsim::WorkloadConfig config;
+  config.star_count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(starsim::generate_stars(config));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(1024)->Arg(8192);
+
+// Host-side cost of simulating one GPU thread (coroutine create/resume,
+// counter updates, one atomic) — the figure that determines how long the
+// paper-scale sweeps take on this machine.
+void BM_FunctionalEngineThreadCost(benchmark::State& state) {
+  gs::Device device(gs::DeviceSpec::gtx480());
+  auto image = device.malloc<float>(1 << 16);
+  device.memset_zero(image);
+  auto kernel = [&image](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    auto shared = ctx.shared_array<float>(1);
+    if (ctx.thread_linear() == 0) shared.set(0, 1.0f);
+    co_await ctx.syncthreads();
+    ctx.count_flops(10);
+    ctx.atomic_add(image,
+                   (ctx.block_linear() * 97 + ctx.thread_linear()) & 0xffff,
+                   shared.get(0));
+    co_return;
+  };
+  const gs::LaunchConfig config{gs::Dim3(64), gs::Dim3(10, 10)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.launch(config, kernel));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.total_threads()));
+  device.free(image);
+}
+BENCHMARK(BM_FunctionalEngineThreadCost);
+
+void BM_SequentialSimulatorPixelRate(benchmark::State& state) {
+  starsim::SceneConfig scene;
+  scene.image_width = 256;
+  scene.image_height = 256;
+  scene.roi_side = 10;
+  starsim::WorkloadConfig workload;
+  workload.star_count = 512;
+  workload.image_width = 256;
+  workload.image_height = 256;
+  const starsim::StarField stars = generate_stars(workload);
+  starsim::SequentialSimulator sim;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate(scene, stars));
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 100);
+}
+BENCHMARK(BM_SequentialSimulatorPixelRate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Table II — "The execution GFLOPS: test1" at 2^17 stars. The paper reports
+// parallel 95.07, adaptive 93.8 GFLOPS against the GTX480's 168 GFLOPS fp64
+// peak, and an application-level throughput of 9.507 billion pixel float
+// computations per second for the parallel simulator.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gpusim/device_spec.h"
+#include "starsim/workload.h"
+#include "support/table.h"
+#include "support/units.h"
+
+int main(int argc, char** argv) {
+  using namespace starsim::bench;
+  namespace sup = starsim::support;
+
+  SweepOptions options;
+  std::string csv_path;
+  if (!parse_bench_cli(argc, argv, "bench_table2_gflops",
+                       "Table II: kernel GFLOPS at 2^17 stars", options,
+                       csv_path)) {
+    return 0;
+  }
+  options.skip_measured_sequential = true;  // only the top point matters
+
+  std::puts("Table II — execution GFLOPS, test1 at 2^17 stars\n");
+
+  const auto points = run_test1(options);
+  const SweepPoint& top = points.back();
+  std::printf("(sweep topped out at %s stars%s)\n\n",
+              star_label(top.stars).c_str(),
+              options.quick ? " — quick mode" : "");
+
+  sup::ConsoleTable table(
+      {"simulator", "GFLOPS", "kernel time", "flops executed"});
+  sup::CsvWriter csv({"simulator", "gflops", "kernel_s", "flops"});
+  auto row = [&](const char* name, const starsim::TimingBreakdown& t) {
+    table.add_row({name, sup::fixed(t.achieved_gflops, 2),
+                   sup::format_time(t.kernel_s),
+                   sup::compact(static_cast<double>(t.counters.flops))});
+    csv.add_row({name, sup::fixed(t.achieved_gflops, 3),
+                 sup::compact(t.kernel_s),
+                 std::to_string(t.counters.flops)});
+  };
+  row("parallel", top.parallel);
+  row("adaptive", top.adaptive);
+  std::fputs(table.render().c_str(), stdout);
+
+  const auto spec = starsim::gpusim::DeviceSpec::gtx480();
+  std::printf("\nfp64 theoretical peak: %.0f GFLOPS (paper: 168)\n",
+              spec.peak_fp64_flops() / 1e9);
+  const double pixel_ops =
+      static_cast<double>(top.parallel.counters.atomic_ops);
+  std::printf(
+      "parallel pixel throughput: %.3f billion pixel updates/s over kernel "
+      "time,\n  %.1f billion flop-equivalents/s at application level\n",
+      pixel_ops / top.parallel.kernel_s / 1e9,
+      static_cast<double>(top.parallel.counters.flops) /
+          top.parallel.application_s() / 1e9);
+  std::puts(
+      "paper: parallel 95.07, adaptive 93.8 GFLOPS (and '9.507 billion\n"
+      "float computations on pixel per second', a metric whose implied\n"
+      "~10-flop pixel cost does not match its own GFLOPS/kernel times; we\n"
+      "report counted rates). Our adaptive kernel executes fewer\n"
+      "flop-equivalents per pixel than the paper's, so its GFLOPS figure\n"
+      "is lower; the ranking (parallel > adaptive) reproduces.");
+  maybe_write_csv(csv, csv_path);
+  return 0;
+}

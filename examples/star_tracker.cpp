@@ -1,0 +1,90 @@
+// Star-tracker scenario: the paper's motivating application. A synthetic
+// celestial catalogue is viewed by a pinhole camera whose attitude slews
+// over time; each frame retrieves the FOV stars (the paper's Star
+// generation stage), simulates the intensity model on the GPU, applies
+// sensor noise, and writes the frame sequence.
+//
+//   ./star_tracker [--frames 5] [--catalog 200000] [--rate 0.2]
+//                  [--out tracker_frame]
+#include <cstdio>
+#include <numbers>
+
+#include "gpusim/device.h"
+#include "starsim/catalog.h"
+#include "starsim/parallel_simulator.h"
+#include "starsim/projection.h"
+#include "starsim/render.h"
+#include "support/cli.h"
+#include "support/table.h"
+#include "support/units.h"
+
+int main(int argc, char** argv) {
+  using namespace starsim;
+  namespace sup = starsim::support;
+
+  sup::Cli cli("star_tracker",
+               "attitude-driven star sensor frame sequence");
+  cli.add_option("frames", "number of frames to simulate", "5");
+  cli.add_option("catalog", "synthetic catalogue size", "200000");
+  cli.add_option("rate", "slew rate in degrees per frame", "0.2");
+  cli.add_option("maglimit", "detection magnitude limit", "6.0");
+  cli.add_option("out", "output frame prefix", "tracker_frame");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto frames = static_cast<int>(cli.integer("frames"));
+  const Catalog catalog = Catalog::synthesize(
+      static_cast<std::size_t>(cli.integer("catalog")), /*seed=*/1977);
+  std::printf("catalogue: %zu stars, %zu brighter than the mag-%.1f limit\n",
+              catalog.size(),
+              catalog.count_brighter_than(cli.real("maglimit")),
+              cli.real("maglimit"));
+
+  CameraModel camera;
+  camera.width = 1024;
+  camera.height = 1024;
+  camera.focal_length_px = 2500.0;
+  camera.magnitude_limit = cli.real("maglimit");
+  camera.frame_margin_px = 8;  // keep off-frame stars whose ROI leaks in
+  std::printf("camera: %.1f deg diagonal half-FOV, f = %.0f px\n\n",
+              camera.half_diagonal_fov() * 180.0 / std::numbers::pi,
+              camera.focal_length_px);
+
+  SceneConfig scene;
+  scene.roi_side = 10;
+  scene.magnitude_max = camera.magnitude_limit;
+
+  gpusim::Device device(gpusim::DeviceSpec::gtx480());
+  ParallelSimulator simulator(device);
+
+  RenderOptions render;
+  render.apply_noise = true;
+  render.noise.gain_electrons_per_flux = 20.0;
+  render.noise.read_noise_electrons = 2.0;
+  render.tonemap.gamma = 2.2f;
+
+  sup::ConsoleTable table({"frame", "attitude yaw", "stars in FOV",
+                           "GPU time (modeled)", "wall here", "file"});
+  const double rate_rad = cli.real("rate") * std::numbers::pi / 180.0;
+  for (int frame = 0; frame < frames; ++frame) {
+    const Quaternion attitude =
+        Quaternion::from_euler(rate_rad * frame, 0.35, 0.0);
+    const StarField stars =
+        project_to_image(catalog.stars(), attitude, camera);
+    const SimulationResult result = simulator.simulate(scene, stars);
+
+    render.noise.seed = 9000u + static_cast<std::uint64_t>(frame);
+    const std::string path =
+        cli.str("out") + "_" + std::to_string(frame);
+    save_star_image(result.image, path, render);
+
+    table.add_row({std::to_string(frame),
+                   sup::fixed(cli.real("rate") * frame, 2) + " deg",
+                   std::to_string(stars.size()),
+                   sup::format_time(result.timing.application_s()),
+                   sup::format_time(result.timing.wall_s), path + ".bmp"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\n(each frame: catalogue FOV retrieval -> star-centric GPU"
+            "\nkernel -> sensor noise -> 8-bit BMP/PGM output)");
+  return 0;
+}

@@ -1,0 +1,199 @@
+// starsim_cli — the library as a command-line workflow, mirroring the
+// paper's four-stage pipeline as composable steps that exchange star files:
+//
+//   starsim_cli catalog  --count 200000 --out sky.cat
+//   starsim_cli project  --catalog sky.cat --yaw 12 --pitch 3 --out fov.stars
+//   starsim_cli generate --stars 8192 --out random.stars
+//   starsim_cli simulate --in fov.stars --sim auto --out frame
+//
+// `simulate --sim auto` asks the SimulatorSelector (Table III) to pick the
+// best simulator for the workload.
+#include <cstdio>
+#include <memory>
+#include <numbers>
+#include <string>
+
+#include "gpusim/device.h"
+#include "starsim/adaptive_simulator.h"
+#include "starsim/openmp_simulator.h"
+#include "starsim/parallel_simulator.h"
+#include "starsim/projection.h"
+#include "starsim/render.h"
+#include "starsim/selector.h"
+#include "starsim/sequential_simulator.h"
+#include "starsim/star_io.h"
+#include "starsim/workload.h"
+#include "support/cli.h"
+#include "support/units.h"
+
+namespace {
+
+using namespace starsim;
+namespace sup = starsim::support;
+
+int cmd_catalog(int argc, char** argv) {
+  sup::Cli cli("starsim_cli catalog", "synthesize a celestial catalogue");
+  cli.add_option("count", "catalogue size", "200000");
+  cli.add_option("seed", "generator seed", "2012");
+  cli.add_option("magmax", "faintest magnitude", "7.0");
+  cli.add_option("out", "output catalogue file", "sky.cat");
+  if (!cli.parse(argc, argv)) return 0;
+  const Catalog catalog = Catalog::synthesize(
+      static_cast<std::size_t>(cli.integer("count")),
+      static_cast<std::uint64_t>(cli.integer("seed")), 0.0,
+      cli.real("magmax"));
+  write_catalog_file(catalog, cli.str("out"));
+  std::printf("wrote %zu catalogue stars to %s\n", catalog.size(),
+              cli.str("out").c_str());
+  return 0;
+}
+
+int cmd_project(int argc, char** argv) {
+  sup::Cli cli("starsim_cli project",
+               "retrieve the FOV stars for an attitude");
+  cli.add_option("catalog", "input catalogue file", "sky.cat");
+  cli.add_option("yaw", "attitude yaw, degrees", "0");
+  cli.add_option("pitch", "attitude pitch, degrees", "0");
+  cli.add_option("roll", "attitude roll, degrees", "0");
+  cli.add_option("size", "image edge, pixels", "1024");
+  cli.add_option("focal", "focal length, pixels", "2500");
+  cli.add_option("maglimit", "detection limit", "6.5");
+  cli.add_option("out", "output star file", "fov.stars");
+  if (!cli.parse(argc, argv)) return 0;
+  const Catalog catalog = read_catalog_file(cli.str("catalog"));
+  CameraModel camera;
+  camera.width = static_cast<int>(cli.integer("size"));
+  camera.height = camera.width;
+  camera.focal_length_px = cli.real("focal");
+  camera.magnitude_limit = cli.real("maglimit");
+  constexpr double kDeg = std::numbers::pi / 180.0;
+  const Quaternion attitude = Quaternion::from_euler(
+      cli.real("yaw") * kDeg, cli.real("pitch") * kDeg,
+      cli.real("roll") * kDeg);
+  const StarField stars = project_to_image(catalog.stars(), attitude, camera);
+  write_star_file(stars, cli.str("out"));
+  std::printf("projected %zu of %zu stars into the FOV -> %s\n",
+              stars.size(), catalog.size(), cli.str("out").c_str());
+  return 0;
+}
+
+int cmd_generate(int argc, char** argv) {
+  sup::Cli cli("starsim_cli generate",
+               "generate a random benchmark star field");
+  cli.add_option("stars", "number of stars", "8192");
+  cli.add_option("size", "image edge, pixels", "1024");
+  cli.add_option("seed", "generator seed", "42");
+  cli.add_flag("subpixel", "continuous (non-integer) positions");
+  cli.add_option("out", "output star file", "random.stars");
+  if (!cli.parse(argc, argv)) return 0;
+  WorkloadConfig workload;
+  workload.star_count = static_cast<std::size_t>(cli.integer("stars"));
+  workload.image_width = static_cast<int>(cli.integer("size"));
+  workload.image_height = workload.image_width;
+  workload.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  workload.integer_positions = !cli.flag("subpixel");
+  const StarField stars = generate_stars(workload);
+  write_star_file(stars, cli.str("out"));
+  std::printf("wrote %zu stars to %s\n", stars.size(),
+              cli.str("out").c_str());
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  sup::Cli cli("starsim_cli simulate", "render a star file to an image");
+  cli.add_option("in", "input star file", "random.stars");
+  cli.add_option(
+      "sim", "auto | sequential | cpu | parallel | adaptive", "auto");
+  cli.add_option("size", "image edge, pixels", "1024");
+  cli.add_option("roi", "ROI side, pixels", "10");
+  cli.add_option("sigma", "PSF sigma, pixels", "1.7");
+  cli.add_flag("integrated", "pixel-integrated PSF response");
+  cli.add_flag("noise", "apply sensor noise");
+  cli.add_option("out", "output image prefix", "frame");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const StarField stars = read_star_file(cli.str("in"));
+  SceneConfig scene;
+  scene.image_width = static_cast<int>(cli.integer("size"));
+  scene.image_height = scene.image_width;
+  scene.roi_side = static_cast<int>(cli.integer("roi"));
+  scene.psf_sigma = cli.real("sigma");
+  scene.pixel_integration = cli.flag("integrated");
+
+  std::string which = cli.str("sim");
+  if (which == "auto") {
+    const SimulatorSelector selector;
+    which = std::string(to_string(selector.choose(scene, stars.size())));
+    std::printf("selector picked: %s\n", which.c_str());
+  }
+
+  gpusim::Device device(gpusim::DeviceSpec::gtx480());
+  std::unique_ptr<Simulator> simulator;
+  if (which == "sequential") {
+    simulator = std::make_unique<SequentialSimulator>();
+  } else if (which == "cpu" || which == "cpu-parallel") {
+    simulator = std::make_unique<OpenMpSimulator>();
+  } else if (which == "parallel") {
+    simulator = std::make_unique<ParallelSimulator>(device);
+  } else if (which == "adaptive") {
+    simulator = std::make_unique<AdaptiveSimulator>(device);
+  } else {
+    std::fprintf(stderr, "unknown simulator: %s\n", which.c_str());
+    return 1;
+  }
+
+  const SimulationResult result = simulator->simulate(scene, stars);
+  std::printf(
+      "%zu stars -> %dx%d frame with the %s simulator\n"
+      "modeled: %s application (%s kernel, %s non-kernel); wall here: %s\n",
+      stars.size(), scene.image_width, scene.image_height,
+      simulator->name().data(),
+      sup::format_time(result.timing.application_s()).c_str(),
+      sup::format_time(result.timing.kernel_s).c_str(),
+      sup::format_time(result.timing.non_kernel_s()).c_str(),
+      sup::format_time(result.timing.wall_s).c_str());
+
+  RenderOptions render;
+  render.tonemap.gamma = 2.2f;
+  render.apply_noise = cli.flag("noise");
+  save_star_image(result.image, cli.str("out"), render);
+  std::printf("wrote %s.bmp and %s.pgm\n", cli.str("out").c_str(),
+              cli.str("out").c_str());
+  return 0;
+}
+
+void print_usage() {
+  std::puts(
+      "starsim_cli — star image simulation workflow\n"
+      "\n"
+      "subcommands:\n"
+      "  catalog   synthesize a celestial catalogue file\n"
+      "  project   attitude -> FOV star retrieval\n"
+      "  generate  random benchmark star field\n"
+      "  simulate  star file -> image (--sim auto uses the selector)\n"
+      "\n"
+      "run `starsim_cli <subcommand> --help` for options.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each subcommand parses its own options.
+  argv[1] = argv[0];
+  if (command == "catalog") return cmd_catalog(argc - 1, argv + 1);
+  if (command == "project") return cmd_project(argc - 1, argv + 1);
+  if (command == "generate") return cmd_generate(argc - 1, argv + 1);
+  if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+  if (command == "--help" || command == "help") {
+    print_usage();
+    return 0;
+  }
+  std::fprintf(stderr, "unknown subcommand: %s\n\n", command.c_str());
+  print_usage();
+  return 1;
+}

@@ -1,0 +1,106 @@
+// Executes one thread block to completion.
+//
+// All threads of a block run as coroutines on a single OS thread, resumed in
+// warp order. Execution proceeds in passes: each pass resumes every live
+// thread until it either finishes or suspends at a __syncthreads barrier.
+// CUDA's barrier contract is enforced — if, within one pass, some threads
+// reach a barrier while others run to completion, the launch fails with a
+// DeviceError instead of deadlocking (the real hardware's behaviour is
+// undefined; failing loudly is the useful simulation of "undefined").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/launch_state.h"
+#include "gpusim/thread_ctx.h"
+#include "gpusim/thread_program.h"
+
+namespace starsim::gpusim {
+
+namespace detail {
+
+/// RAII guard over the raw coroutine handles of a block so an exception
+/// mid-run (kernel error or barrier-contract violation) cannot leak frames.
+class HandleSet {
+ public:
+  explicit HandleSet(std::size_t count) : handles_(count) {}
+  HandleSet(const HandleSet&) = delete;
+  HandleSet& operator=(const HandleSet&) = delete;
+  ~HandleSet() {
+    for (ThreadProgram::Handle& handle : handles_) {
+      if (handle) handle.destroy();
+    }
+  }
+
+  ThreadProgram::Handle& operator[](std::size_t i) { return handles_[i]; }
+
+  /// Destroy and null the handle at `i`.
+  void retire(std::size_t i) {
+    handles_[i].destroy();
+    handles_[i] = {};
+  }
+
+ private:
+  std::vector<ThreadProgram::Handle> handles_;
+};
+
+}  // namespace detail
+
+/// Run the block `block_idx` of the launch described by `launch`, invoking
+/// `kernel(ctx)` once per thread. The block's counters are merged into the
+/// launch totals when the block retires.
+template <typename KernelFn>
+void run_block(LaunchState& launch, const Dim3& block_idx,
+               const KernelFn& kernel) {
+  BlockState block(launch, block_idx);
+  const std::size_t thread_count =
+      static_cast<std::size_t>(launch.config.block.count());
+
+  std::vector<ThreadCtx> ctxs;
+  ctxs.reserve(thread_count);
+  detail::HandleSet handles(thread_count);
+  for (std::size_t t = 0; t < thread_count; ++t) {
+    ctxs.emplace_back(&block, launch.config.block.delinearize(t));
+    handles[t] = kernel(ctxs[t]).release();
+  }
+
+  std::vector<bool> done(thread_count, false);
+  std::size_t done_count = 0;
+  while (done_count < thread_count) {
+    std::size_t suspended = 0;
+    std::size_t finished_this_pass = 0;
+    for (std::size_t t = 0; t < thread_count; ++t) {
+      if (done[t]) continue;
+      handles[t].resume();
+      if (handles[t].done()) {
+        std::exception_ptr exception = handles[t].promise().exception;
+        handles.retire(t);
+        done[t] = true;
+        ++done_count;
+        ++finished_this_pass;
+        if (exception) std::rethrow_exception(exception);
+      } else {
+        STARSIM_REQUIRE(ctxs[t].at_barrier(),
+                        "thread suspended outside a barrier");
+        ctxs[t].clear_barrier();
+        ++suspended;
+      }
+    }
+    if (suspended > 0) {
+      if (finished_this_pass > 0) {
+        throw support::DeviceError(
+            "__syncthreads divergence in block " + to_string(block_idx) +
+            ": " + std::to_string(suspended) + " thread(s) at the barrier, " +
+            std::to_string(finished_this_pass) + " exited without it");
+      }
+      // Every warp of the block crosses this barrier once.
+      block.counters.barriers += static_cast<std::uint64_t>(block.warps);
+    }
+  }
+
+  block.finalize_branch_stats();
+  launch.merge_block(block.counters);
+}
+
+}  // namespace starsim::gpusim

@@ -1,0 +1,60 @@
+#include "gpusim/cache.h"
+
+#include <bit>
+
+#include "support/error.h"
+
+namespace starsim::gpusim {
+
+SetAssociativeCache::SetAssociativeCache(std::size_t total_bytes,
+                                         int line_bytes, int associativity)
+    : ways_(associativity), line_bytes_(line_bytes) {
+  STARSIM_REQUIRE(line_bytes > 0 && std::has_single_bit(
+                      static_cast<unsigned>(line_bytes)),
+                  "cache line size must be a positive power of two");
+  STARSIM_REQUIRE(associativity > 0, "associativity must be positive");
+  const std::size_t line_capacity =
+      total_bytes / (static_cast<std::size_t>(line_bytes) *
+                     static_cast<std::size_t>(associativity));
+  STARSIM_REQUIRE(line_capacity > 0,
+                  "cache must hold at least one set of lines");
+  sets_ = line_capacity;
+  line_shift_ = std::countr_zero(static_cast<unsigned>(line_bytes));
+  lines_.assign(sets_ * static_cast<std::size_t>(ways_), Line{});
+}
+
+bool SetAssociativeCache::access(std::uint64_t address) {
+  const std::uint64_t line_addr = address >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line_addr % sets_);
+  const std::uint64_t tag = line_addr / sets_;
+  Line* base = &lines_[set * static_cast<std::size_t>(ways_)];
+  ++clock_;
+
+  Line* victim = base;
+  for (int w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.last_use != 0 && line.tag == tag) {
+      line.last_use = clock_;
+      ++hits_;
+      return true;
+    }
+    if (line.last_use < victim->last_use) victim = &line;
+  }
+  victim->tag = tag;
+  victim->last_use = clock_;
+  ++misses_;
+  return false;
+}
+
+void SetAssociativeCache::reset() {
+  invalidate();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void SetAssociativeCache::invalidate() {
+  for (Line& line : lines_) line = Line{};
+  clock_ = 0;
+}
+
+}  // namespace starsim::gpusim

@@ -1,0 +1,61 @@
+// Set-associative cache simulator.
+//
+// Used to model the per-SM texture (L1/L2) cache: the adaptive simulator's
+// lookup-table fetches are pushed through one of these per simulated SM, and
+// the hit/miss counts feed the performance model. The simulator is a plain
+// LRU set-associative tag array — no data is stored, only reachability of
+// lines — because gpusim keeps functional data in host memory and only needs
+// the timing-relevant hit/miss classification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace starsim::gpusim {
+
+class SetAssociativeCache {
+ public:
+  /// `total_bytes` must be a multiple of `line_bytes * associativity`;
+  /// line size must be a power of two.
+  SetAssociativeCache(std::size_t total_bytes, int line_bytes,
+                      int associativity);
+
+  /// Probe `address`; inserts on miss. Returns true on hit.
+  bool access(std::uint64_t address);
+
+  /// Drop all lines and reset statistics.
+  void reset();
+
+  /// Drop all lines, keep statistics.
+  void invalidate();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t accesses() const { return hits_ + misses_; }
+  [[nodiscard]] double hit_rate() const {
+    return accesses() == 0
+               ? 0.0
+               : static_cast<double>(hits_) / static_cast<double>(accesses());
+  }
+
+  [[nodiscard]] std::size_t set_count() const { return sets_; }
+  [[nodiscard]] int associativity() const { return ways_; }
+  [[nodiscard]] int line_bytes() const { return line_bytes_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;  // LRU timestamp; 0 == invalid
+  };
+
+  std::size_t sets_;
+  int ways_;
+  int line_bytes_;
+  int line_shift_;
+  std::vector<Line> lines_;  // sets_ * ways_, row-major by set
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace starsim::gpusim

@@ -1,0 +1,46 @@
+#include "gpusim/counters.h"
+
+#include <sstream>
+
+namespace starsim::gpusim {
+
+void KernelCounters::merge(const KernelCounters& other) {
+  blocks_launched += other.blocks_launched;
+  threads_launched += other.threads_launched;
+  warps_launched += other.warps_launched;
+  flops += other.flops;
+  global_reads += other.global_reads;
+  global_writes += other.global_writes;
+  global_bytes_read += other.global_bytes_read;
+  global_bytes_written += other.global_bytes_written;
+  global_transactions += other.global_transactions;
+  shared_reads += other.shared_reads;
+  shared_writes += other.shared_writes;
+  shared_bank_conflicts += other.shared_bank_conflicts;
+  atomic_ops += other.atomic_ops;
+  atomic_conflicts += other.atomic_conflicts;
+  texture_fetches += other.texture_fetches;
+  texture_hits += other.texture_hits;
+  texture_misses += other.texture_misses;
+  barriers += other.barriers;
+  branch_sites_evaluated += other.branch_sites_evaluated;
+  divergent_warp_branches += other.divergent_warp_branches;
+}
+
+std::string KernelCounters::to_string() const {
+  std::ostringstream out;
+  out << "blocks=" << blocks_launched << " threads=" << threads_launched
+      << " warps=" << warps_launched << " flops=" << flops
+      << " gld=" << global_reads << " gst=" << global_writes
+      << " txn=" << global_transactions
+      << " shared=" << (shared_reads + shared_writes)
+      << " bank_conf=" << shared_bank_conflicts
+      << " atomics=" << atomic_ops << " conflicts=" << atomic_conflicts
+      << " tex=" << texture_fetches << " tex_hit=" << texture_hits
+      << " barriers=" << barriers
+      << " div=" << divergent_warp_branches << "/"
+      << branch_sites_evaluated;
+  return out.str();
+}
+
+}  // namespace starsim::gpusim

@@ -1,0 +1,84 @@
+#include "gpusim/device.h"
+
+#include <string>
+
+namespace starsim::gpusim {
+
+Device::Device(DeviceSpec spec)
+    : spec_(std::move(spec)), memory_(spec_.global_memory_bytes) {
+  STARSIM_REQUIRE(spec_.sm_count > 0, "device needs at least one SM");
+  sm_caches_.reserve(static_cast<std::size_t>(spec_.sm_count));
+  for (int sm = 0; sm < spec_.sm_count; ++sm) {
+    sm_caches_.emplace_back(spec_.texture_cache_bytes_per_sm,
+                            spec_.texture_cache_line_bytes,
+                            spec_.texture_cache_associativity);
+  }
+  sm_cache_mutexes_ =
+      std::make_unique<std::mutex[]>(static_cast<std::size_t>(spec_.sm_count));
+#ifdef _OPENMP
+  parallel_blocks_ = true;
+#endif
+}
+
+TextureHandle Device::bind_texture_2d(const DevicePtr<float>& data, int width,
+                                      int height, AddressMode mode,
+                                      float border_value) {
+  Texture2D texture(data, width, height, mode, border_value);
+  transfers_.texture_binds += 1;
+  transfers_.texture_bind_s += spec_.texture_bind_s;
+  // Reuse a free slot if any (textures are bound/unbound per frame in the
+  // adaptive simulator).
+  for (std::size_t i = 0; i < textures_.size(); ++i) {
+    if (!textures_[i].has_value()) {
+      textures_[i].emplace(texture);
+      return TextureHandle{static_cast<std::uint32_t>(i)};
+    }
+  }
+  textures_.emplace_back(texture);
+  return TextureHandle{static_cast<std::uint32_t>(textures_.size() - 1)};
+}
+
+void Device::unbind_texture(TextureHandle handle) {
+  STARSIM_REQUIRE(handle.valid() && handle.index < textures_.size() &&
+                      textures_[handle.index].has_value(),
+                  "unbinding an invalid or unbound texture");
+  textures_[handle.index].reset();
+}
+
+std::size_t Device::bound_texture_count() const {
+  std::size_t count = 0;
+  for (const auto& texture : textures_) {
+    if (texture.has_value()) ++count;
+  }
+  return count;
+}
+
+const LaunchResult& Device::last_launch() const {
+  STARSIM_REQUIRE(last_launch_.has_value(), "no kernel launched yet");
+  return *last_launch_;
+}
+
+void Device::validate_launch(const LaunchConfig& config) const {
+  STARSIM_REQUIRE(config.total_blocks() > 0, "empty grid");
+  STARSIM_REQUIRE(config.threads_per_block() > 0, "empty block");
+  if (config.threads_per_block() > spec_.max_threads_per_block) {
+    throw support::DeviceError(
+        "block of " + std::to_string(config.threads_per_block()) +
+        " threads exceeds the device limit of " +
+        std::to_string(spec_.max_threads_per_block) +
+        " (the paper's ROI-size limitation, Section IV-D)");
+  }
+  if (config.block.x > spec_.max_block_dim_x ||
+      config.block.y > spec_.max_block_dim_y ||
+      config.block.z > spec_.max_block_dim_z) {
+    throw support::DeviceError("block dimension " + to_string(config.block) +
+                               " exceeds device limits");
+  }
+  if (config.total_blocks() > spec_.max_grid_blocks) {
+    throw support::DeviceError("grid of " +
+                               std::to_string(config.total_blocks()) +
+                               " blocks exceeds device limits");
+  }
+}
+
+}  // namespace starsim::gpusim

@@ -1,0 +1,219 @@
+// The simulated GPU device — gpusim's equivalent of the CUDA runtime.
+//
+// Host code uses a Device the way the paper's host code uses CUDA:
+//
+//   Device dev(DeviceSpec::gtx480());
+//   auto stars = dev.malloc<Star>(n);
+//   dev.memcpy_h2d(stars, host_stars);                  // modeled PCIe cost
+//   auto result = dev.launch(config, kernel);           // functional + timed
+//   dev.memcpy_d2h(host_image, image);                  // modeled PCIe cost
+//
+// Kernels execute functionally (real data, bounds-checked, barrier-correct);
+// every launch returns the counters gathered during execution and the
+// modeled KernelTiming derived from them. Host<->device transfers move real
+// bytes and accrue modeled PCIe time into TransferStats — the "non-kernel
+// overhead" that the paper's evaluation revolves around.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gpusim/block_runner.h"
+#include "gpusim/device_memory.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/launch_state.h"
+#include "gpusim/perf_model.h"
+#include "gpusim/texture.h"
+
+namespace starsim::gpusim {
+
+/// Accumulated host<->device traffic and its modeled cost.
+struct TransferStats {
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint32_t h2d_calls = 0;
+  std::uint32_t d2h_calls = 0;
+  double h2d_s = 0.0;
+  double d2h_s = 0.0;
+  std::uint32_t texture_binds = 0;
+  double texture_bind_s = 0.0;
+
+  [[nodiscard]] double transfer_s() const { return h2d_s + d2h_s; }
+  [[nodiscard]] double total_s() const { return transfer_s() + texture_bind_s; }
+};
+
+/// Everything known about one completed kernel launch.
+struct LaunchResult {
+  LaunchConfig config;
+  KernelCounters counters;
+  KernelTiming timing;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = DeviceSpec::gtx480());
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] const DeviceMemoryManager& memory() const { return memory_; }
+
+  // --- Memory ------------------------------------------------------------------
+  template <typename T>
+  [[nodiscard]] DevicePtr<T> malloc(std::size_t count) {
+    return memory_.allocate<T>(count);
+  }
+
+  template <typename T>
+  void free(DevicePtr<T>& ptr) {
+    memory_.release(ptr);
+  }
+
+  /// Copy host -> device; accrues modeled PCIe time.
+  template <typename T>
+  void memcpy_h2d(const DevicePtr<T>& dst, std::span<const T> src) {
+    STARSIM_REQUIRE(src.size() <= dst.size(),
+                    "h2d copy larger than destination");
+    std::memcpy(dst.raw(), src.data(), src.size_bytes());
+    transfers_.h2d_bytes += src.size_bytes();
+    transfers_.h2d_calls += 1;
+    transfers_.h2d_s +=
+        estimate_transfer_time(spec_, src.size_bytes(), pinned_transfers_);
+  }
+
+  /// Copy device -> host; accrues modeled PCIe time.
+  template <typename T>
+  void memcpy_d2h(std::span<T> dst, const DevicePtr<T>& src) {
+    STARSIM_REQUIRE(dst.size() >= src.size(),
+                    "d2h destination smaller than source");
+    std::memcpy(dst.data(), src.raw(), src.bytes());
+    transfers_.d2h_bytes += src.bytes();
+    transfers_.d2h_calls += 1;
+    transfers_.d2h_s +=
+        estimate_transfer_time(spec_, src.bytes(), pinned_transfers_);
+  }
+
+  /// Stage transfers through page-locked host memory (the transmission
+  /// optimization of the paper's reference [10]); raises the modeled PCIe
+  /// bandwidth for subsequent copies.
+  void set_pinned_transfers(bool enabled) { pinned_transfers_ = enabled; }
+  [[nodiscard]] bool pinned_transfers() const { return pinned_transfers_; }
+
+  /// Device-side fill with zero bytes (cudaMemset); no PCIe traffic.
+  template <typename T>
+  void memset_zero(const DevicePtr<T>& ptr) {
+    std::memset(ptr.raw(), 0, ptr.bytes());
+  }
+
+  // --- Textures -------------------------------------------------------------------
+  /// Bind a row-major float region as a 2-D texture; accrues the modeled
+  /// binding cost (Table I's "Texture Memory Binding" row).
+  TextureHandle bind_texture_2d(const DevicePtr<float>& data, int width,
+                                int height, AddressMode mode,
+                                float border_value = 0.0f);
+  void unbind_texture(TextureHandle handle);
+  [[nodiscard]] std::size_t bound_texture_count() const;
+
+  // --- Execution -------------------------------------------------------------------
+  /// Launch `kernel` over `config`. The kernel is any callable
+  /// `ThreadProgram(ThreadCtx&)`. Blocks run concurrently across host
+  /// threads when parallel_blocks() is enabled (OpenMP builds only).
+  template <typename KernelFn>
+  LaunchResult launch(const LaunchConfig& config, const KernelFn& kernel) {
+    validate_launch(config);
+    for (SetAssociativeCache& cache : sm_caches_) cache.reset();
+
+    LaunchState state;
+    state.spec = &spec_;
+    state.config = config;
+    state.parallel_blocks = parallel_blocks_;
+    state.track_warp_access = track_warp_access_;
+    state.textures = &textures_;
+    state.sm_caches = &sm_caches_;
+    state.sm_cache_mutexes = sm_cache_mutexes_.get();
+
+    const std::uint64_t block_count = config.total_blocks();
+#ifdef _OPENMP
+    if (parallel_blocks_) {
+      std::exception_ptr first_error;
+      std::mutex error_mutex;
+#pragma omp parallel for schedule(dynamic, 8)
+      for (long long b = 0; b < static_cast<long long>(block_count); ++b) {
+        try {
+          run_block(state,
+                    config.grid.delinearize(static_cast<std::uint64_t>(b)),
+                    kernel);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (first_error) std::rethrow_exception(first_error);
+    } else
+#endif
+    {
+      for (std::uint64_t b = 0; b < block_count; ++b) {
+        run_block(state, config.grid.delinearize(b), kernel);
+      }
+    }
+
+    state.totals.atomic_conflicts = state.total_atomic_conflicts();
+    LaunchResult result{config, state.totals,
+                        estimate_kernel_time(spec_, config, state.totals)};
+    last_launch_ = result;
+    ++launch_count_;
+    return result;
+  }
+
+  // --- Statistics --------------------------------------------------------------------
+  [[nodiscard]] const TransferStats& transfer_stats() const {
+    return transfers_;
+  }
+  void reset_transfer_stats() { transfers_ = TransferStats{}; }
+
+  [[nodiscard]] const LaunchResult& last_launch() const;
+  [[nodiscard]] std::size_t launch_count() const { return launch_count_; }
+
+  /// Per-SM texture cache state after the most recent launch.
+  [[nodiscard]] const std::vector<SetAssociativeCache>& texture_caches()
+      const {
+    return sm_caches_;
+  }
+
+  /// Enable/disable concurrent block execution (effective in OpenMP builds;
+  /// serial execution is fully deterministic, including cache statistics).
+  void set_parallel_blocks(bool enabled) { parallel_blocks_ = enabled; }
+  [[nodiscard]] bool parallel_blocks() const { return parallel_blocks_; }
+
+  /// Enable/disable warp-level access grouping (bank-conflict and
+  /// coalescing counters). On by default; disabling speeds up functional
+  /// execution slightly and zeroes those two counters.
+  void set_warp_access_tracking(bool enabled) {
+    track_warp_access_ = enabled;
+  }
+  [[nodiscard]] bool warp_access_tracking() const {
+    return track_warp_access_;
+  }
+
+ private:
+  void validate_launch(const LaunchConfig& config) const;
+
+  DeviceSpec spec_;
+  DeviceMemoryManager memory_;
+  std::vector<std::optional<Texture2D>> textures_;
+  std::vector<SetAssociativeCache> sm_caches_;
+  std::unique_ptr<std::mutex[]> sm_cache_mutexes_;
+  TransferStats transfers_;
+  std::optional<LaunchResult> last_launch_;
+  std::size_t launch_count_ = 0;
+  bool parallel_blocks_ = false;
+  bool track_warp_access_ = true;
+  bool pinned_transfers_ = false;
+};
+
+}  // namespace starsim::gpusim

@@ -1,0 +1,48 @@
+#include "gpusim/device_memory.h"
+
+#include <string>
+
+namespace starsim::gpusim {
+
+DeviceMemoryManager::DeviceMemoryManager(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {
+  STARSIM_REQUIRE(capacity_bytes > 0, "device memory capacity must be > 0");
+}
+
+DeviceMemoryManager::Slot& DeviceMemoryManager::allocate_bytes(
+    std::size_t bytes) {
+  if (bytes > free_bytes()) {
+    throw support::DeviceError(
+        "device out of memory: requested " + std::to_string(bytes) +
+        " bytes with " + std::to_string(free_bytes()) + " of " +
+        std::to_string(capacity_) + " free");
+  }
+  Slot slot;
+  slot.data = std::make_unique<std::byte[]>(bytes);
+  slot.bytes = bytes;
+  slot.id = static_cast<std::uint32_t>(slots_.size());
+  slot.live = true;
+  slots_.push_back(std::move(slot));
+  used_ += bytes;
+  ++live_count_;
+  return slots_.back();
+}
+
+void DeviceMemoryManager::release_id(std::uint32_t id) {
+  STARSIM_REQUIRE(id < slots_.size(), "unknown device allocation");
+  Slot& slot = slots_[id];
+  if (!slot.live) {
+    throw support::DeviceError("double free of device allocation " +
+                               std::to_string(id));
+  }
+  slot.live = false;
+  slot.data.reset();
+  used_ -= slot.bytes;
+  --live_count_;
+}
+
+bool DeviceMemoryManager::is_live(std::uint32_t id) const {
+  return id < slots_.size() && slots_[id].live;
+}
+
+}  // namespace starsim::gpusim

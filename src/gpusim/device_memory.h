@@ -1,0 +1,110 @@
+// Simulated device (global) memory.
+//
+// Device memory lives in host RAM but is owned and metered by the
+// DeviceMemoryManager so the simulator reproduces the paper's resource
+// limits: allocating past the GTX480's 1.5 GB throws DeviceError — this is
+// the constraint that caps test1 at 2^17 stars ("the number of simulated
+// stars is constrained by the available memory of the simulator").
+//
+// `DevicePtr<T>` is the typed handle kernels and the host API exchange. It
+// carries the raw storage pointer (for speed), the element count (every
+// access is bounds-checked) and a liveness flag pointer so use-after-free is
+// detected rather than silently reading freed storage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "support/error.h"
+
+namespace starsim::gpusim {
+
+class DeviceMemoryManager;
+
+template <typename T>
+class DevicePtr {
+ public:
+  DevicePtr() = default;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t bytes() const { return count_ * sizeof(T); }
+  [[nodiscard]] bool is_null() const { return raw_ == nullptr; }
+  [[nodiscard]] bool is_live() const {
+    return raw_ != nullptr && live_flag_ != nullptr && *live_flag_;
+  }
+
+  /// Raw storage access for the host-side API (memcpy, texture binding).
+  /// Kernels must go through ThreadCtx so accesses are counted.
+  [[nodiscard]] T* raw() const {
+    STARSIM_REQUIRE(is_live(), "device pointer is null or freed");
+    return raw_;
+  }
+
+  [[nodiscard]] std::uint32_t allocation_id() const { return id_; }
+
+ private:
+  friend class Device;
+  friend class DeviceMemoryManager;
+
+  DevicePtr(T* raw, std::size_t count, std::uint32_t id, const bool* live)
+      : raw_(raw), count_(count), id_(id), live_flag_(live) {}
+
+  T* raw_ = nullptr;
+  std::size_t count_ = 0;
+  std::uint32_t id_ = 0xffffffffu;
+  const bool* live_flag_ = nullptr;
+};
+
+/// Owns all simulated global memory of one device.
+class DeviceMemoryManager {
+ public:
+  explicit DeviceMemoryManager(std::size_t capacity_bytes);
+
+  DeviceMemoryManager(const DeviceMemoryManager&) = delete;
+  DeviceMemoryManager& operator=(const DeviceMemoryManager&) = delete;
+
+  /// Allocate `count` elements of T; throws DeviceError when the device
+  /// memory budget would be exceeded.
+  template <typename T>
+  DevicePtr<T> allocate(std::size_t count) {
+    STARSIM_REQUIRE(count > 0, "device allocation must be non-empty");
+    const std::size_t bytes = count * sizeof(T);
+    Slot& slot = allocate_bytes(bytes);
+    return DevicePtr<T>(reinterpret_cast<T*>(slot.data.get()), count, slot.id,
+                        &slot.live);
+  }
+
+  /// Release an allocation; double free throws.
+  template <typename T>
+  void release(DevicePtr<T>& ptr) {
+    release_id(ptr.id_);
+    ptr = DevicePtr<T>();
+  }
+
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+  [[nodiscard]] std::size_t used_bytes() const { return used_; }
+  [[nodiscard]] std::size_t free_bytes() const { return capacity_ - used_; }
+  [[nodiscard]] std::size_t live_allocations() const { return live_count_; }
+  [[nodiscard]] bool is_live(std::uint32_t id) const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t bytes = 0;
+    std::uint32_t id = 0;
+    bool live = false;
+  };
+
+  Slot& allocate_bytes(std::size_t bytes);
+  void release_id(std::uint32_t id);
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t live_count_ = 0;
+  // deque: slot addresses (hence &slot.live) stay stable across growth.
+  std::deque<Slot> slots_;
+};
+
+}  // namespace starsim::gpusim

@@ -1,0 +1,57 @@
+#include "gpusim/device_spec.h"
+
+namespace starsim::gpusim {
+
+DeviceSpec DeviceSpec::gtx480() {
+  DeviceSpec spec;  // defaults are the GTX480 values
+  spec.name = "GTX480 (modeled)";
+  return spec;
+}
+
+DeviceSpec DeviceSpec::gtx580() {
+  DeviceSpec spec = gtx480();
+  spec.name = "GTX580 (modeled)";
+  spec.sm_count = 16;
+  spec.core_clock_ghz = 1.544;
+  spec.global_bandwidth_gbps = 192.4;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::k20() {
+  DeviceSpec spec;
+  spec.name = "Tesla K20 (modeled)";
+  spec.sm_count = 13;
+  spec.cores_per_sm = 192;
+  spec.core_clock_ghz = 0.706;
+  spec.global_memory_bytes = 5ull << 30;
+  spec.global_bandwidth_gbps = 208.0;
+  // 1.17 TFLOPS fp64 peak: 1170e9 / 13 SMX / 0.706 GHz.
+  spec.fp64_flops_per_cycle_per_sm = 127.5;
+  spec.max_resident_warps_per_sm = 64;
+  spec.max_resident_blocks_per_sm = 16;
+  spec.warps_to_saturate_per_sm = 32;
+  spec.texture_cache_bytes_per_sm = 48 << 10;  // read-only data cache
+  spec.texture_fetches_per_cycle_per_sm = 4.0;
+  spec.atomic_ops_per_cycle_per_sm = 2.0;  // Kepler's rewritten atomics
+  spec.kernel_launch_overhead_s = 5e-6;
+  spec.pcie_bandwidth_gbps = 5.0;  // PCIe gen2 x16 host of the era
+  spec.pcie_pinned_bandwidth_gbps = 6.2;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::test_small() {
+  DeviceSpec spec;
+  spec.name = "test-small";
+  spec.sm_count = 2;
+  spec.global_memory_bytes = 1 << 20;  // 1 MiB: easy to exhaust in tests
+  spec.shared_memory_per_block = 1 << 10;
+  spec.texture_cache_bytes_per_sm = 256;
+  spec.max_threads_per_block = 64;
+  spec.max_block_dim_x = 64;
+  spec.max_block_dim_y = 64;
+  spec.max_block_dim_z = 8;
+  spec.max_grid_blocks = 4096;
+  return spec;
+}
+
+}  // namespace starsim::gpusim

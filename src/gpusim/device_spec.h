@@ -1,0 +1,125 @@
+// Hardware description of the simulated GPU.
+//
+// All timing behaviour of gpusim flows from this one struct; the functional
+// engine is spec-independent. `gtx480()` is calibrated to NVIDIA's Fermi
+// GF100 as used in the paper (15 SMs x 32 SPs @ 1.401 GHz, fp64 peak
+// 168 GFLOPS — the "theoretic peak GFlops of 168" the paper quotes in its
+// Table II discussion is the Fermi double-precision peak). Effective
+// (issue-limited) arithmetic throughput and the PCIe constants were fitted
+// once against the paper's Table I/II as documented in DESIGN.md; everything
+// else is public Fermi data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace starsim::gpusim {
+
+struct DeviceSpec {
+  std::string name = "generic";
+
+  // --- Execution resources -------------------------------------------------
+  int sm_count = 15;                  ///< streaming multiprocessors
+  int cores_per_sm = 32;              ///< scalar processors per SM
+  double core_clock_ghz = 1.401;      ///< shader clock
+  int warp_size = 32;
+  std::uint32_t max_threads_per_block = 1024;
+  std::uint32_t max_block_dim_x = 1024;
+  std::uint32_t max_block_dim_y = 1024;
+  std::uint32_t max_block_dim_z = 64;
+  std::uint64_t max_grid_blocks = 65535ull * 65535ull;
+  int max_resident_warps_per_sm = 48;
+  int max_resident_blocks_per_sm = 8;
+
+  // --- Memory resources -----------------------------------------------------
+  std::size_t global_memory_bytes = 1536ull << 20;  ///< 1.5 GB on GTX480
+  std::size_t shared_memory_per_block = 48 << 10;
+  std::size_t texture_cache_bytes_per_sm = 12 << 10;
+  int texture_cache_line_bytes = 32;
+  int texture_cache_associativity = 4;
+
+  // --- Arithmetic timing ----------------------------------------------------
+  /// fp64 flop-equivalents retired per cycle per SM at full issue (Fermi
+  /// GF100: 168 GFLOPS / 15 SMs / 1.401 GHz = 8).
+  double fp64_flops_per_cycle_per_sm = 8.0;
+  /// Fraction of peak issue a real (mixed arithmetic + control) kernel
+  /// sustains; folds dual-issue stalls and instruction mix.
+  double issue_efficiency = 0.60;
+  /// Cost of one fp64 exp() in flop-equivalents (software on Fermi).
+  double exp_flop_equiv = 160.0;
+  /// Cost of one fp64 pow() in flop-equivalents.
+  double pow_flop_equiv = 200.0;
+  /// Cost of one fp64 sqrt() in flop-equivalents.
+  double sqrt_flop_equiv = 40.0;
+  /// Cost of one fp64 erf() in flop-equivalents (pixel-integrated PSF).
+  double erf_flop_equiv = 120.0;
+
+  // --- Memory geometry ---------------------------------------------------------
+  int shared_memory_banks = 32;        ///< Fermi: 32 banks ...
+  int shared_bank_width_bytes = 4;     ///< ... of 4 bytes each
+  int global_transaction_bytes = 128;  ///< coalescing segment size
+
+  // --- Memory timing ---------------------------------------------------------
+  double global_latency_cycles = 500.0;
+  double global_bandwidth_gbps = 177.4;       ///< device memory bandwidth
+  double shared_accesses_per_cycle_per_sm = 16.0;
+  /// Cycles one bank-conflict pass adds on its SM.
+  double shared_conflict_cycles = 1.0;
+  double texture_fetches_per_cycle_per_sm = 1.0;  ///< on cache hit
+  double texture_miss_latency_cycles = 400.0;
+  double atomic_ops_per_cycle_per_sm = 0.5;
+  double atomic_conflict_retry_cycles = 200.0;
+  double barrier_cycles = 30.0;
+  /// Extra cycles a divergent warp-branch costs (both paths issued).
+  double divergence_penalty_cycles = 20.0;
+
+  // --- Latency hiding --------------------------------------------------------
+  /// Resident warps per SM needed before latency-bound issue saturates.
+  int warps_to_saturate_per_sm = 24;
+
+  // --- Host link and launch --------------------------------------------------
+  double kernel_launch_overhead_s = 8e-6;
+  double pcie_latency_s = 25e-6;              ///< fixed cost per transfer call
+  double pcie_bandwidth_gbps = 3.6;           ///< pageable host memory
+  /// Page-locked (cudaHostAlloc) staging removes the driver's bounce
+  /// buffer — the transmission optimization the paper's reference [10]
+  /// recommends.
+  double pcie_pinned_bandwidth_gbps = 5.9;
+  double texture_bind_s = 0.21e-3;            ///< cudaBindTexture cost
+
+  // --- Derived ----------------------------------------------------------------
+  [[nodiscard]] double clock_hz() const { return core_clock_ghz * 1e9; }
+  [[nodiscard]] double seconds_per_cycle() const { return 1.0 / clock_hz(); }
+  /// Device-wide fp64 peak in flop-equivalents per second.
+  [[nodiscard]] double peak_fp64_flops() const {
+    return sm_count * fp64_flops_per_cycle_per_sm * clock_hz();
+  }
+  /// Issue-limited sustained arithmetic throughput.
+  [[nodiscard]] double effective_fp64_flops() const {
+    return peak_fp64_flops() * issue_efficiency;
+  }
+  /// Warp count at which the whole device saturates.
+  [[nodiscard]] double saturation_warps() const {
+    return static_cast<double>(sm_count) * warps_to_saturate_per_sm;
+  }
+
+  /// The paper's evaluation platform.
+  static DeviceSpec gtx480();
+
+  /// Fermi refresh (GF110): 16 SMs @ 1.544 GHz, 198 GFLOPS fp64. Used by
+  /// the device-generation study to show the selection rule shifting with
+  /// hardware.
+  static DeviceSpec gtx580();
+
+  /// Kepler GK110 (Tesla K20-class): 13 SMX, 1.17 TFLOPS fp64, large
+  /// read-only/texture cache — the generation the paper's future-work
+  /// section anticipates.
+  static DeviceSpec k20();
+
+  /// A deliberately small device for unit tests (2 SMs, tiny memory) so
+  /// resource-exhaustion paths are exercisable without gigabyte buffers.
+  static DeviceSpec test_small();
+};
+
+}  // namespace starsim::gpusim

@@ -1,0 +1,69 @@
+// CUDA-style launch geometry types.
+//
+// gpusim mirrors the CUDA execution hierarchy: a kernel launch is a grid of
+// thread blocks, each block a 1-3 dimensional arrangement of threads that
+// execute in warps of `DeviceSpec::warp_size`. Dim3 follows CUDA's dim3
+// semantics (unspecified components default to 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace starsim::gpusim {
+
+struct Dim3 {
+  std::uint32_t x = 1;
+  std::uint32_t y = 1;
+  std::uint32_t z = 1;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(std::uint32_t x_, std::uint32_t y_ = 1, std::uint32_t z_ = 1)
+      : x(x_), y(y_), z(z_) {}
+
+  /// Total element count (threads in a block / blocks in a grid).
+  [[nodiscard]] constexpr std::uint64_t count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+
+  /// Row-major linearization of an index within this extent.
+  [[nodiscard]] constexpr std::uint64_t linear(const Dim3& idx) const {
+    return (static_cast<std::uint64_t>(idx.z) * y + idx.y) * x + idx.x;
+  }
+
+  /// Inverse of linear(): reconstruct the 3-D index of `flat`.
+  [[nodiscard]] constexpr Dim3 delinearize(std::uint64_t flat) const {
+    Dim3 idx;
+    idx.x = static_cast<std::uint32_t>(flat % x);
+    idx.y = static_cast<std::uint32_t>((flat / x) % y);
+    idx.z = static_cast<std::uint32_t>(flat / (static_cast<std::uint64_t>(x) * y));
+    return idx;
+  }
+
+  constexpr bool operator==(const Dim3&) const = default;
+};
+
+[[nodiscard]] inline std::string to_string(const Dim3& d) {
+  return "(" + std::to_string(d.x) + ", " + std::to_string(d.y) + ", " +
+         std::to_string(d.z) + ")";
+}
+
+/// A kernel launch configuration: grid extent in blocks, block extent in
+/// threads (CUDA's <<<grid, block>>>).
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+
+  [[nodiscard]] constexpr std::uint64_t total_blocks() const {
+    return grid.count();
+  }
+  [[nodiscard]] constexpr std::uint64_t threads_per_block() const {
+    return block.count();
+  }
+  [[nodiscard]] constexpr std::uint64_t total_threads() const {
+    return grid.count() * block.count();
+  }
+
+  constexpr bool operator==(const LaunchConfig&) const = default;
+};
+
+}  // namespace starsim::gpusim

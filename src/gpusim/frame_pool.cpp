@@ -1,0 +1,72 @@
+#include "gpusim/frame_pool.h"
+
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace starsim::gpusim::detail {
+
+namespace {
+
+// One bucket per frame size class; kernels in one process use only a handful
+// of distinct frame sizes, so linear search over buckets is effectively O(1).
+struct Bucket {
+  std::size_t bytes = 0;
+  std::vector<void*> frames;
+};
+
+struct Pool {
+  std::vector<Bucket> buckets;
+
+  ~Pool() {
+    for (Bucket& bucket : buckets) {
+      for (void* frame : bucket.frames) std::free(frame);
+    }
+  }
+
+  Bucket& bucket_for(std::size_t bytes) {
+    for (Bucket& bucket : buckets) {
+      if (bucket.bytes == bytes) return bucket;
+    }
+    buckets.push_back(Bucket{bytes, {}});
+    return buckets.back();
+  }
+};
+
+thread_local Pool t_pool;
+
+// Round to cache-line multiples so near-identical kernels share a bucket.
+std::size_t size_class(std::size_t bytes) { return (bytes + 63u) & ~63u; }
+
+}  // namespace
+
+void* frame_alloc(std::size_t bytes) {
+  Bucket& bucket = t_pool.bucket_for(size_class(bytes));
+  if (!bucket.frames.empty()) {
+    void* frame = bucket.frames.back();
+    bucket.frames.pop_back();
+    return frame;
+  }
+  void* frame = std::malloc(size_class(bytes));
+  if (frame == nullptr) throw std::bad_alloc();
+  return frame;
+}
+
+void frame_free(void* ptr, std::size_t bytes) {
+  t_pool.bucket_for(size_class(bytes)).frames.push_back(ptr);
+}
+
+void frame_pool_drain() {
+  for (Bucket& bucket : t_pool.buckets) {
+    for (void* frame : bucket.frames) std::free(frame);
+    bucket.frames.clear();
+  }
+}
+
+std::size_t frame_pool_size() {
+  std::size_t total = 0;
+  for (const Bucket& bucket : t_pool.buckets) total += bucket.frames.size();
+  return total;
+}
+
+}  // namespace starsim::gpusim::detail

@@ -1,0 +1,28 @@
+// Pooled allocation for simulated-thread coroutine frames.
+//
+// A large kernel launch creates millions of short-lived coroutines (one per
+// simulated CUDA thread). Routing their frames through a thread-local
+// free-list keyed by size removes the general-purpose allocator from the
+// launch hot path; a block's threads are created and destroyed on one OS
+// thread, so the pool needs no synchronization.
+#pragma once
+
+#include <cstddef>
+
+namespace starsim::gpusim::detail {
+
+/// Allocate a coroutine frame of `bytes`; reuses a previously freed frame of
+/// the same size class when available.
+void* frame_alloc(std::size_t bytes);
+
+/// Return a frame to the pool.
+void frame_free(void* ptr, std::size_t bytes);
+
+/// Release all pooled frames of the calling thread (test hook; frames are
+/// otherwise retained for reuse until thread exit).
+void frame_pool_drain();
+
+/// Number of frames currently parked in the calling thread's pool.
+std::size_t frame_pool_size();
+
+}  // namespace starsim::gpusim::detail

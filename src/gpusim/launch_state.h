@@ -1,0 +1,275 @@
+// Mutable state of one in-flight kernel launch, plus the per-block slice.
+//
+// LaunchState is created by Device::launch and shared (read-mostly) by all
+// block executions; the only cross-block mutable pieces are guarded: counter
+// merging, atomic shadow counters, and the per-SM texture caches.
+// BlockState is private to the single OS thread executing that block, so
+// its counters and shared-memory arena need no synchronization.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/cache.h"
+#include "gpusim/counters.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/dim.h"
+#include "gpusim/texture.h"
+#include "support/error.h"
+
+namespace starsim::gpusim {
+
+struct LaunchState {
+  const DeviceSpec* spec = nullptr;
+  LaunchConfig config;
+  /// True when blocks may execute on multiple OS threads; shared structures
+  /// then take their locks (skipped in serial mode for speed/determinism).
+  bool parallel_blocks = false;
+  /// Warp-level access grouping (bank conflicts, coalescing). Costs a few
+  /// percent of functional-execution speed; Device exposes a switch.
+  bool track_warp_access = true;
+
+  // Texture machinery, borrowed from the owning Device for the duration of
+  // the launch. Caches are indexed by simulated SM id.
+  const std::vector<std::optional<Texture2D>>* textures = nullptr;
+  std::vector<SetAssociativeCache>* sm_caches = nullptr;
+  std::mutex* sm_cache_mutexes = nullptr;  // array of spec->sm_count mutexes
+
+  // --- Atomic conflict shadow counters --------------------------------------
+  // For every allocation that receives atomics this launch, a per-element
+  // op count; after the launch, each element with count c > 1 contributes
+  // c-1 conflicts (ops that had to queue behind another op on the address).
+  struct Shadow {
+    std::unique_ptr<std::atomic<std::uint32_t>[]> counts;
+    std::size_t size = 0;
+  };
+  std::mutex shadow_mutex;
+  std::unordered_map<std::uint32_t, Shadow> shadows;
+
+  /// Shadow array for `alloc_id`, created (zeroed) on first use.
+  std::atomic<std::uint32_t>* shadow_for(std::uint32_t alloc_id,
+                                         std::size_t element_count) {
+    const std::lock_guard<std::mutex> lock(shadow_mutex);
+    Shadow& shadow = shadows[alloc_id];
+    if (!shadow.counts) {
+      shadow.counts =
+          std::make_unique<std::atomic<std::uint32_t>[]>(element_count);
+      shadow.size = element_count;
+      for (std::size_t i = 0; i < element_count; ++i) {
+        shadow.counts[i].store(0, std::memory_order_relaxed);
+      }
+    }
+    return shadow.counts.get();
+  }
+
+  /// Sum of (ops-1) over all addresses hit by more than one atomic.
+  [[nodiscard]] std::uint64_t total_atomic_conflicts() const {
+    std::uint64_t conflicts = 0;
+    for (const auto& [id, shadow] : shadows) {
+      for (std::size_t i = 0; i < shadow.size; ++i) {
+        const std::uint32_t c =
+            shadow.counts[i].load(std::memory_order_relaxed);
+        if (c > 1) conflicts += c - 1;
+      }
+    }
+    return conflicts;
+  }
+
+  // --- Result accumulation ----------------------------------------------------
+  std::mutex merge_mutex;
+  KernelCounters totals;
+
+  void merge_block(const KernelCounters& block_counters) {
+    if (parallel_blocks) {
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      totals.merge(block_counters);
+    } else {
+      totals.merge(block_counters);
+    }
+  }
+
+  [[nodiscard]] const Texture2D& texture(TextureHandle handle) const {
+    STARSIM_REQUIRE(textures != nullptr && handle.index < textures->size() &&
+                        (*textures)[handle.index].has_value(),
+                    "fetch through invalid or unbound texture handle");
+    return *(*textures)[handle.index];
+  }
+};
+
+/// Groups the memory accesses a warp's threads issue at the same program
+/// point ("same point" = equal per-thread access sequence number for the
+/// access class, the standard SIMT lockstep assumption). From those groups
+/// the block derives bank conflicts (shared memory) and coalesced
+/// transaction counts (global memory) when it retires.
+class WarpAccessTracker {
+ public:
+  void record(std::size_t warp, std::uint32_t seq, std::uint64_t address) {
+    if (warp >= warps_.size()) warps_.resize(warp + 1);
+    auto& slots = warps_[warp];
+    if (seq >= slots.size()) slots.resize(seq + 1);
+    Slot& slot = slots[seq];
+    if (slot.count < kWarpCapacity) {
+      slot.addresses[slot.count++] = address;
+    }
+  }
+
+  /// Extra serialized passes from distinct-address same-bank collisions
+  /// (bank index = (address / bank_width) % banks; same-address accesses
+  /// broadcast for free).
+  [[nodiscard]] std::uint64_t bank_conflicts(int banks,
+                                             int bank_width_bytes) const;
+
+  /// Memory transactions after coalescing into `segment_bytes` segments.
+  [[nodiscard]] std::uint64_t transactions(int segment_bytes) const;
+
+ private:
+  static constexpr std::uint8_t kWarpCapacity = 32;
+  struct Slot {
+    std::array<std::uint64_t, kWarpCapacity> addresses;
+    std::uint8_t count = 0;
+  };
+  std::vector<std::vector<Slot>> warps_;
+};
+
+inline std::uint64_t WarpAccessTracker::bank_conflicts(
+    int banks, int bank_width_bytes) const {
+  std::uint64_t conflicts = 0;
+  std::vector<std::uint8_t> per_bank(static_cast<std::size_t>(banks));
+  std::vector<std::uint64_t> seen;
+  seen.reserve(kWarpCapacity);
+  for (const auto& slots : warps_) {
+    for (const Slot& slot : slots) {
+      if (slot.count < 2) continue;
+      std::fill(per_bank.begin(), per_bank.end(), std::uint8_t{0});
+      seen.clear();
+      std::uint8_t worst = 1;
+      for (std::uint8_t i = 0; i < slot.count; ++i) {
+        const std::uint64_t address = slot.addresses[i];
+        bool duplicate = false;
+        for (std::uint64_t other : seen) {
+          if (other == address) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;  // broadcast: same address is free
+        seen.push_back(address);
+        const auto bank = static_cast<std::size_t>(
+            (address / static_cast<std::uint64_t>(bank_width_bytes)) %
+            static_cast<std::uint64_t>(banks));
+        worst = std::max(worst, static_cast<std::uint8_t>(++per_bank[bank]));
+      }
+      conflicts += static_cast<std::uint64_t>(worst) - 1;
+    }
+  }
+  return conflicts;
+}
+
+inline std::uint64_t WarpAccessTracker::transactions(
+    int segment_bytes) const {
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> segments;
+  segments.reserve(kWarpCapacity);
+  for (const auto& slots : warps_) {
+    for (const Slot& slot : slots) {
+      if (slot.count == 0) continue;
+      segments.clear();
+      for (std::uint8_t i = 0; i < slot.count; ++i) {
+        const std::uint64_t segment =
+            slot.addresses[i] / static_cast<std::uint64_t>(segment_bytes);
+        bool duplicate = false;
+        for (std::uint64_t other : segments) {
+          if (other == segment) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) segments.push_back(segment);
+      }
+      total += segments.size();
+    }
+  }
+  return total;
+}
+
+/// Per-block execution state; lives on the stack of the OS thread running
+/// the block.
+struct BlockState {
+  static constexpr int kMaxBranchSites = 16;
+
+  LaunchState* launch = nullptr;
+  Dim3 block_idx;
+  std::uint64_t block_linear = 0;
+  int sm_id = 0;
+  int warps = 0;
+  KernelCounters counters;
+
+  // Shared memory: allocations are made in program order by the first
+  // thread to execute each ctx.shared_array() call; later threads attach by
+  // call sequence, mirroring CUDA's static __shared__ declarations.
+  struct SharedAlloc {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t bytes = 0;
+    std::size_t base_offset = 0;  ///< position in the block's arena
+  };
+  std::vector<SharedAlloc> shared_allocs;
+  std::size_t shared_used = 0;
+
+  // Branch outcome tallies: [warp][site][taken]. A site evaluated with both
+  // outcomes inside one warp is a divergent warp-branch.
+  using SiteCounts = std::array<std::array<std::uint32_t, 2>, kMaxBranchSites>;
+  std::vector<SiteCounts> branch_counts;
+
+  // Block-level cache of the launch's shadow array for the most recent
+  // atomic destination (kernels direct nearly all atomics at one buffer).
+  std::uint32_t shadow_alloc_id = 0xffffffffu;
+  std::atomic<std::uint32_t>* shadow = nullptr;
+
+  // Warp-level access grouping (see WarpAccessTracker).
+  WarpAccessTracker shared_access;
+  WarpAccessTracker global_access;
+
+  BlockState(LaunchState& launch_state, const Dim3& idx)
+      : launch(&launch_state), block_idx(idx) {
+    block_linear = launch_state.config.grid.linear(idx);
+    sm_id = static_cast<int>(
+        block_linear % static_cast<std::uint64_t>(launch_state.spec->sm_count));
+    const std::uint64_t threads = launch_state.config.block.count();
+    warps = static_cast<int>(
+        (threads + static_cast<std::uint64_t>(launch_state.spec->warp_size) - 1) /
+        static_cast<std::uint64_t>(launch_state.spec->warp_size));
+    branch_counts.assign(static_cast<std::size_t>(warps), SiteCounts{});
+    counters.blocks_launched = 1;
+    counters.threads_launched = threads;
+    counters.warps_launched = static_cast<std::uint64_t>(warps);
+  }
+
+  /// Fold branch tallies into the divergence counters (runner calls this
+  /// once when the block retires).
+  void finalize_branch_stats() {
+    for (const SiteCounts& per_warp : branch_counts) {
+      for (const auto& site : per_warp) {
+        const bool any = site[0] > 0 || site[1] > 0;
+        if (!any) continue;
+        ++counters.branch_sites_evaluated;
+        if (site[0] > 0 && site[1] > 0) ++counters.divergent_warp_branches;
+      }
+    }
+    if (launch->track_warp_access) {
+      counters.shared_bank_conflicts = shared_access.bank_conflicts(
+          launch->spec->shared_memory_banks,
+          launch->spec->shared_bank_width_bytes);
+      counters.global_transactions = global_access.transactions(
+          launch->spec->global_transaction_bytes);
+    }
+  }
+};
+
+}  // namespace starsim::gpusim

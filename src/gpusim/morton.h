@@ -1,0 +1,51 @@
+// Morton (Z-order) index interleaving.
+//
+// GPU texture units store 2-D textures in a tiled/block-linear layout so that
+// spatially adjacent texels land in the same cache line. We model that layout
+// with Morton order: the texture-cache address of texel (x, y) interleaves
+// the bits of x and y, which is what gives the texture path its 2-D locality
+// advantage over a row-major global-memory walk (the paper's first stated
+// reason for using texture memory).
+#pragma once
+
+#include <cstdint>
+
+namespace starsim::gpusim {
+
+/// Spread the low 16 bits of `v` so bit i lands at position 2*i.
+[[nodiscard]] constexpr std::uint32_t morton_part1by1(std::uint32_t v) {
+  v &= 0x0000ffffu;
+  v = (v | (v << 8)) & 0x00ff00ffu;
+  v = (v | (v << 4)) & 0x0f0f0f0fu;
+  v = (v | (v << 2)) & 0x33333333u;
+  v = (v | (v << 1)) & 0x55555555u;
+  return v;
+}
+
+/// Z-order index of (x, y); both coordinates must fit in 16 bits.
+[[nodiscard]] constexpr std::uint32_t morton_encode(std::uint32_t x,
+                                                    std::uint32_t y) {
+  return morton_part1by1(x) | (morton_part1by1(y) << 1);
+}
+
+/// Compact every second bit (inverse of morton_part1by1).
+[[nodiscard]] constexpr std::uint32_t morton_compact1by1(std::uint32_t v) {
+  v &= 0x55555555u;
+  v = (v | (v >> 1)) & 0x33333333u;
+  v = (v | (v >> 2)) & 0x0f0f0f0fu;
+  v = (v | (v >> 4)) & 0x00ff00ffu;
+  v = (v | (v >> 8)) & 0x0000ffffu;
+  return v;
+}
+
+/// X coordinate encoded in a Morton index.
+[[nodiscard]] constexpr std::uint32_t morton_decode_x(std::uint32_t code) {
+  return morton_compact1by1(code);
+}
+
+/// Y coordinate encoded in a Morton index.
+[[nodiscard]] constexpr std::uint32_t morton_decode_y(std::uint32_t code) {
+  return morton_compact1by1(code >> 1);
+}
+
+}  // namespace starsim::gpusim

@@ -1,0 +1,37 @@
+#include "gpusim/occupancy.h"
+
+#include <algorithm>
+
+namespace starsim::gpusim {
+
+Occupancy compute_occupancy(const DeviceSpec& spec,
+                            const LaunchConfig& config) {
+  Occupancy occ;
+  const std::uint64_t threads_per_block = config.threads_per_block();
+  occ.warps_per_block =
+      (threads_per_block + static_cast<std::uint64_t>(spec.warp_size) - 1) /
+      static_cast<std::uint64_t>(spec.warp_size);
+
+  // Residency per SM is limited by the block slot count and the warp budget.
+  const auto warp_limited = static_cast<int>(
+      static_cast<std::uint64_t>(spec.max_resident_warps_per_sm) /
+      occ.warps_per_block);
+  occ.resident_blocks_per_sm =
+      std::max(1, std::min(spec.max_resident_blocks_per_sm, warp_limited));
+  occ.resident_warps_per_sm = static_cast<int>(std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(occ.resident_blocks_per_sm) *
+          occ.warps_per_block,
+      static_cast<std::uint64_t>(spec.max_resident_warps_per_sm)));
+
+  const double grid_warps = static_cast<double>(config.total_blocks()) *
+                            static_cast<double>(occ.warps_per_block);
+  const double device_capacity =
+      static_cast<double>(spec.sm_count) *
+      static_cast<double>(occ.resident_warps_per_sm);
+  occ.concurrent_warps = std::min(grid_warps, device_capacity);
+  occ.utilization =
+      std::min(1.0, occ.concurrent_warps / spec.saturation_warps());
+  return occ;
+}
+
+}  // namespace starsim::gpusim

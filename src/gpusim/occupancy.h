@@ -1,0 +1,36 @@
+// Occupancy: how much of the device a launch configuration can keep busy.
+//
+// The paper's Figs 9/10 hinge on this — "when the number of threads is low
+// ... we cannot fully take advantage of the massive computing resources
+// available on the GPU". Occupancy feeds the performance model's
+// utilization ramp: a launch saturates the device only once it can keep
+// `DeviceSpec::warps_to_saturate_per_sm` warps resident on every SM.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device_spec.h"
+#include "gpusim/dim.h"
+
+namespace starsim::gpusim {
+
+struct Occupancy {
+  std::uint64_t warps_per_block = 0;
+  /// Blocks one SM can host concurrently for this configuration.
+  int resident_blocks_per_sm = 0;
+  /// Warps one SM hosts concurrently (resident blocks x warps per block,
+  /// capped by the SM warp limit).
+  int resident_warps_per_sm = 0;
+  /// Warps the whole device can execute concurrently for this launch
+  /// (bounded by the grid itself for small launches).
+  double concurrent_warps = 0.0;
+  /// 0..1: concurrent warps relative to the device's saturation point.
+  double utilization = 0.0;
+};
+
+/// Compute occupancy of `config` on `spec`. The configuration must already
+/// be valid (Device::launch validates before calling).
+[[nodiscard]] Occupancy compute_occupancy(const DeviceSpec& spec,
+                                          const LaunchConfig& config);
+
+}  // namespace starsim::gpusim

@@ -1,0 +1,81 @@
+#include "gpusim/perf_model.h"
+
+#include <algorithm>
+
+namespace starsim::gpusim {
+
+KernelTiming estimate_kernel_time(const DeviceSpec& spec,
+                                  const LaunchConfig& config,
+                                  const KernelCounters& counters) {
+  KernelTiming t;
+  const Occupancy occ = compute_occupancy(spec, config);
+  t.utilization = occ.utilization;
+  t.launch_s = spec.kernel_launch_overhead_s;
+
+  const double spc = spec.seconds_per_cycle();
+  const double concurrent = std::max(1.0, occ.concurrent_warps);
+  const double active_sms = std::min<double>(
+      spec.sm_count, static_cast<double>(config.total_blocks()));
+
+  // Arithmetic: effective issue throughput scaled by the occupancy ramp.
+  const double flops = static_cast<double>(counters.flops);
+  t.compute_s =
+      flops / (spec.effective_fp64_flops() * std::max(1e-6, t.utilization));
+
+  // Global memory: whichever binds, bandwidth or (latency / hiding). When
+  // warp-access tracking ran, coalescing has already folded each warp's
+  // same-segment accesses into transactions; otherwise fall back to the raw
+  // access count (conservative).
+  const double accesses =
+      counters.global_transactions > 0
+          ? static_cast<double>(counters.global_transactions)
+          : static_cast<double>(counters.global_reads +
+                                counters.global_writes);
+  const double bandwidth_s = static_cast<double>(counters.global_bytes()) /
+                             (spec.global_bandwidth_gbps * 1e9);
+  const double latency_s =
+      accesses * spec.global_latency_cycles * spc / concurrent;
+  t.global_s = std::max(bandwidth_s, latency_s);
+
+  // Shared memory: banked, serviced per SM; each bank conflict adds a
+  // serialized pass on its SM.
+  t.shared_s =
+      static_cast<double>(counters.shared_reads + counters.shared_writes) *
+          spc / (spec.shared_accesses_per_cycle_per_sm * active_sms) +
+      static_cast<double>(counters.shared_bank_conflicts) *
+          spec.shared_conflict_cycles * spc / active_sms;
+
+  // Texture: cached hits stream at the filter rate; misses pay latency.
+  t.texture_s =
+      static_cast<double>(counters.texture_hits) * spc /
+          (spec.texture_fetches_per_cycle_per_sm * active_sms) +
+      static_cast<double>(counters.texture_misses) *
+          spec.texture_miss_latency_cycles * spc / concurrent;
+
+  // Atomics: issue-rate bound plus serialization of conflicting addresses.
+  t.atomic_s = static_cast<double>(counters.atomic_ops) * spc /
+                   (spec.atomic_ops_per_cycle_per_sm * active_sms) +
+               static_cast<double>(counters.atomic_conflicts) *
+                   spec.atomic_conflict_retry_cycles * spc / concurrent;
+
+  // Control overheads.
+  t.barrier_s = static_cast<double>(counters.barriers) * spec.barrier_cycles *
+                spc / concurrent;
+  t.divergence_s = static_cast<double>(counters.divergent_warp_branches) *
+                   spec.divergence_penalty_cycles * spc / concurrent;
+
+  t.kernel_s = t.launch_s + t.compute_s + t.global_s + t.shared_s +
+               t.texture_s + t.atomic_s + t.barrier_s + t.divergence_s;
+  t.achieved_gflops = t.kernel_s > 0.0 ? flops / t.kernel_s / 1e9 : 0.0;
+  return t;
+}
+
+double estimate_transfer_time(const DeviceSpec& spec, std::uint64_t bytes,
+                              bool pinned) {
+  const double bandwidth =
+      (pinned ? spec.pcie_pinned_bandwidth_gbps : spec.pcie_bandwidth_gbps) *
+      1e9;
+  return spec.pcie_latency_s + static_cast<double>(bytes) / bandwidth;
+}
+
+}  // namespace starsim::gpusim

@@ -1,0 +1,59 @@
+// The performance model: execution counters -> modeled kernel time.
+//
+// gpusim executes kernels functionally on host memory and *counts* the work;
+// this module prices the counts with DeviceSpec parameters. The model is
+// deliberately additive (compute + each memory class, no overlap credit):
+// it is documented, monotone in every counter, and — as DESIGN.md derives —
+// sufficient to reproduce every shape in the paper's evaluation, including
+// the test1/test2 inflection points, with one fitted constant
+// (DeviceSpec::issue_efficiency).
+//
+// Component formulas (spc = seconds per core clock cycle):
+//   compute    = flops / (effective_fp64_flops * utilization)
+//   global     = max(bytes / bandwidth,
+//                    accesses * latency * spc / concurrent_warps)
+//   shared     = accesses * spc / (shared_rate * active_sms)
+//   texture    = hits * spc / (tex_rate * active_sms)
+//                + misses * miss_latency * spc / concurrent_warps
+//   atomic     = ops * spc / (atomic_rate * active_sms)
+//                + conflicts * retry * spc / concurrent_warps
+//   barrier    = crossings * barrier_cycles * spc / concurrent_warps
+//   divergence = divergent_branches * penalty * spc / concurrent_warps
+//   kernel     = launch_overhead + sum of the above
+#pragma once
+
+#include "gpusim/counters.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/dim.h"
+#include "gpusim/occupancy.h"
+
+namespace starsim::gpusim {
+
+/// Modeled time breakdown of one kernel launch, all in seconds.
+struct KernelTiming {
+  double launch_s = 0.0;
+  double compute_s = 0.0;
+  double global_s = 0.0;
+  double shared_s = 0.0;
+  double texture_s = 0.0;
+  double atomic_s = 0.0;
+  double barrier_s = 0.0;
+  double divergence_s = 0.0;
+  double kernel_s = 0.0;  ///< total (launch overhead + all components)
+
+  double utilization = 0.0;       ///< occupancy ramp factor applied
+  double achieved_gflops = 0.0;   ///< counted flops / kernel_s / 1e9
+};
+
+/// Price `counters` for a launch of `config` on `spec`.
+[[nodiscard]] KernelTiming estimate_kernel_time(const DeviceSpec& spec,
+                                                const LaunchConfig& config,
+                                                const KernelCounters& counters);
+
+/// Modeled one-direction PCIe transfer time for a single call. `pinned`
+/// selects the page-locked-host bandwidth.
+[[nodiscard]] double estimate_transfer_time(const DeviceSpec& spec,
+                                            std::uint64_t bytes,
+                                            bool pinned = false);
+
+}  // namespace starsim::gpusim

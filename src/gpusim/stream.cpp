@@ -1,0 +1,73 @@
+#include "gpusim/stream.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace starsim::gpusim {
+
+StreamScheduler::StreamScheduler(int copy_engines)
+    : copy_engines_(copy_engines) {
+  STARSIM_REQUIRE(copy_engines == 1 || copy_engines == 2,
+                  "devices expose one or two copy engines");
+}
+
+StreamId StreamScheduler::create_stream() {
+  streams_.push_back(0.0);
+  return StreamId{static_cast<std::uint32_t>(streams_.size() - 1)};
+}
+
+StreamScheduler::EngineState& StreamScheduler::engine_state(Engine engine) {
+  switch (engine) {
+    case Engine::kCompute: return compute_;
+    case Engine::kCopyH2D: return h2d_;
+    case Engine::kCopyD2H: return copy_engines_ == 1 ? h2d_ : d2h_;
+  }
+  return compute_;
+}
+
+const StreamScheduler::EngineState& StreamScheduler::engine_state(
+    Engine engine) const {
+  return const_cast<StreamScheduler*>(this)->engine_state(engine);
+}
+
+double StreamScheduler::enqueue(StreamId stream, Engine engine,
+                                double duration_s) {
+  STARSIM_REQUIRE(stream.valid() && stream.index < streams_.size(),
+                  "unknown stream");
+  STARSIM_REQUIRE(duration_s >= 0.0, "operation duration must be >= 0");
+  EngineState& eng = engine_state(engine);
+  double& stream_tail = streams_[stream.index];
+  const double start = std::max(eng.available_at, stream_tail);
+  const double end = start + duration_s;
+  eng.available_at = end;
+  eng.busy += duration_s;
+  stream_tail = end;
+  return end;
+}
+
+double StreamScheduler::stream_end(StreamId stream) const {
+  STARSIM_REQUIRE(stream.valid() && stream.index < streams_.size(),
+                  "unknown stream");
+  return streams_[stream.index];
+}
+
+double StreamScheduler::makespan() const {
+  double end = std::max({h2d_.available_at, d2h_.available_at,
+                         compute_.available_at});
+  for (double tail : streams_) end = std::max(end, tail);
+  return end;
+}
+
+double StreamScheduler::engine_busy(Engine engine) const {
+  return engine_state(engine).busy;
+}
+
+void StreamScheduler::reset() {
+  h2d_ = EngineState{};
+  d2h_ = EngineState{};
+  compute_ = EngineState{};
+  std::fill(streams_.begin(), streams_.end(), 0.0);
+}
+
+}  // namespace starsim::gpusim

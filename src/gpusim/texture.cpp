@@ -1,0 +1,36 @@
+#include "gpusim/texture.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace starsim::gpusim {
+
+Texture2D::Texture2D(DevicePtr<float> data, int width, int height,
+                     AddressMode mode, float border_value)
+    : data_(data),
+      width_(width),
+      height_(height),
+      mode_(mode),
+      border_value_(border_value) {
+  STARSIM_REQUIRE(width > 0 && height > 0,
+                  "texture dimensions must be positive");
+  STARSIM_REQUIRE(width <= 0xffff && height <= 0xffff,
+                  "texture extent exceeds 65536 (Morton addressing range)");
+  STARSIM_REQUIRE(data.is_live(), "texture source must be a live allocation");
+  STARSIM_REQUIRE(
+      data.size() >= static_cast<std::size_t>(width) *
+                         static_cast<std::size_t>(height),
+      "texture source allocation smaller than width*height");
+}
+
+bool Texture2D::resolve(int& x, int& y) const {
+  const bool inside = x >= 0 && y >= 0 && x < width_ && y < height_;
+  if (inside) return true;
+  if (mode_ == AddressMode::kBorder) return false;
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return true;
+}
+
+}  // namespace starsim::gpusim

@@ -1,0 +1,77 @@
+// Simulated 2-D texture objects.
+//
+// The adaptive simulator binds its lookup table to texture memory; the two
+// properties the paper exploits are modeled explicitly:
+//   1. 2-D spatial locality — texel (x, y) maps to a Morton (block-linear)
+//      cache address, so neighboring texels share cache lines in both axes;
+//   2. the texture cache — fetches are classified hit/miss by the per-SM
+//      SetAssociativeCache instances owned by the Device.
+// Textures are float-valued with nearest (point) sampling and integer
+// coordinates, which is exactly how the lookup table is addressed.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device_memory.h"
+#include "gpusim/morton.h"
+
+namespace starsim::gpusim {
+
+/// Out-of-range coordinate handling, mirroring cudaAddressMode.
+enum class AddressMode {
+  kClamp,   ///< coordinates clamp to the valid range
+  kBorder,  ///< out-of-range fetches return the border value
+};
+
+/// Opaque handle returned by Device::bind_texture_2d.
+struct TextureHandle {
+  std::uint32_t index = 0xffffffffu;
+  [[nodiscard]] bool valid() const { return index != 0xffffffffu; }
+  bool operator==(const TextureHandle&) const = default;
+};
+
+class Texture2D {
+ public:
+  /// `data` must hold at least width*height floats laid out row-major.
+  Texture2D(DevicePtr<float> data, int width, int height, AddressMode mode,
+            float border_value = 0.0f);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] AddressMode mode() const { return mode_; }
+  [[nodiscard]] float border_value() const { return border_value_; }
+  [[nodiscard]] std::size_t bytes() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_) *
+           sizeof(float);
+  }
+
+  /// Apply the address mode. Returns false when the fetch resolves to the
+  /// border value (x, y untouched); true with clamped coordinates otherwise.
+  [[nodiscard]] bool resolve(int& x, int& y) const;
+
+  /// Texel value at in-range coordinates.
+  [[nodiscard]] float value(int x, int y) const {
+    return data_.raw()[static_cast<std::size_t>(y) *
+                           static_cast<std::size_t>(width_) +
+                       static_cast<std::size_t>(x)];
+  }
+
+  /// Cache-model address of texel (x, y): Morton-interleaved within the
+  /// texture, offset by the allocation id so distinct textures never alias.
+  [[nodiscard]] std::uint64_t cache_address(int x, int y) const {
+    return (static_cast<std::uint64_t>(data_.allocation_id()) << 40) +
+           static_cast<std::uint64_t>(
+               morton_encode(static_cast<std::uint32_t>(x),
+                             static_cast<std::uint32_t>(y))) *
+               sizeof(float);
+  }
+
+ private:
+  DevicePtr<float> data_;
+  int width_;
+  int height_;
+  AddressMode mode_;
+  float border_value_;
+};
+
+}  // namespace starsim::gpusim

@@ -1,0 +1,299 @@
+// The per-thread kernel execution context — gpusim's equivalent of CUDA's
+// implicit thread environment (threadIdx/blockIdx/blockDim/gridDim, global
+// and shared memory access, atomics, textures, __syncthreads).
+//
+// Every operation with a timing consequence goes through a ThreadCtx method
+// so it is tallied in the block's KernelCounters; the performance model
+// prices those tallies afterwards. Plain arithmetic is declared by the
+// kernel via count_flops()/exp()/pow(), the same convention the sequential
+// simulator uses through FlopMeter, so CPU and GPU work is measured in the
+// same unit (fp64 flop-equivalents).
+#pragma once
+
+#include <cmath>
+#include <coroutine>
+#include <cstdint>
+#include <span>
+
+#include "gpusim/launch_state.h"
+#include "gpusim/device_memory.h"
+
+namespace starsim::gpusim {
+
+class ThreadCtx;
+
+/// Counted shared-memory array handle (see ThreadCtx::shared_array).
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Counted read of element `i`.
+  [[nodiscard]] T get(std::size_t i) const;
+
+  /// Counted write of element `i`.
+  void set(std::size_t i, T value) const;
+
+ private:
+  friend class ThreadCtx;
+  SharedArray(T* data, std::size_t count, std::size_t base_offset,
+              ThreadCtx* ctx)
+      : data_(data), count_(count), base_offset_(base_offset), ctx_(ctx) {}
+
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+  /// Byte offset of element 0 within the block's shared-memory arena —
+  /// the address space bank indices are derived from.
+  std::size_t base_offset_ = 0;
+  ThreadCtx* ctx_ = nullptr;
+};
+
+class ThreadCtx {
+ public:
+  ThreadCtx(BlockState* block, const Dim3& thread_idx)
+      : block_(block), thread_idx_(thread_idx) {
+    linear_thread_ = static_cast<std::uint32_t>(
+        block->launch->config.block.linear(thread_idx));
+    warp_id_ = linear_thread_ /
+               static_cast<std::uint32_t>(block->launch->spec->warp_size);
+  }
+
+  ThreadCtx(const ThreadCtx&) = delete;
+  ThreadCtx& operator=(const ThreadCtx&) = delete;
+  ThreadCtx(ThreadCtx&&) = default;
+  ThreadCtx& operator=(ThreadCtx&&) = delete;
+
+  // --- Identity -------------------------------------------------------------
+  [[nodiscard]] const Dim3& thread_idx() const { return thread_idx_; }
+  [[nodiscard]] const Dim3& block_idx() const { return block_->block_idx; }
+  [[nodiscard]] const Dim3& block_dim() const {
+    return block_->launch->config.block;
+  }
+  [[nodiscard]] const Dim3& grid_dim() const {
+    return block_->launch->config.grid;
+  }
+  /// Linearized block index within the grid (the paper's blockId).
+  [[nodiscard]] std::uint64_t block_linear() const {
+    return block_->block_linear;
+  }
+  [[nodiscard]] std::uint32_t thread_linear() const { return linear_thread_; }
+  [[nodiscard]] std::uint32_t warp_id() const { return warp_id_; }
+
+  // --- Arithmetic accounting --------------------------------------------------
+  /// Declare `n` fp64 flop-equivalents of plain arithmetic.
+  void count_flops(std::uint64_t n) { block_->counters.flops += n; }
+
+  /// Counted transcendentals (software fp64 on the modeled device).
+  double exp(double x) {
+    block_->counters.flops +=
+        static_cast<std::uint64_t>(block_->launch->spec->exp_flop_equiv);
+    return std::exp(x);
+  }
+  double pow(double base, double exponent) {
+    block_->counters.flops +=
+        static_cast<std::uint64_t>(block_->launch->spec->pow_flop_equiv);
+    return std::pow(base, exponent);
+  }
+  double sqrt(double x) {
+    block_->counters.flops +=
+        static_cast<std::uint64_t>(block_->launch->spec->sqrt_flop_equiv);
+    return std::sqrt(x);
+  }
+  double erf(double x) {
+    block_->counters.flops +=
+        static_cast<std::uint64_t>(block_->launch->spec->erf_flop_equiv);
+    return std::erf(x);
+  }
+
+  // --- Global memory ----------------------------------------------------------
+  template <typename T>
+  [[nodiscard]] T load(const DevicePtr<T>& ptr, std::size_t i) {
+    STARSIM_REQUIRE(i < ptr.size(), "global read out of bounds");
+    ++block_->counters.global_reads;
+    block_->counters.global_bytes_read += sizeof(T);
+    record_global_access(ptr.allocation_id(), i * sizeof(T));
+    return ptr.raw()[i];
+  }
+
+  template <typename T>
+  void store(const DevicePtr<T>& ptr, std::size_t i, T value) {
+    STARSIM_REQUIRE(i < ptr.size(), "global write out of bounds");
+    ++block_->counters.global_writes;
+    block_->counters.global_bytes_written += sizeof(T);
+    record_global_access(ptr.allocation_id(), i * sizeof(T));
+    ptr.raw()[i] = value;
+  }
+
+  /// atomicAdd on a float in global memory: thread-safe across concurrently
+  /// executing blocks, with exact per-address conflict accounting.
+  float atomic_add(const DevicePtr<float>& ptr, std::size_t i, float value) {
+    STARSIM_REQUIRE(i < ptr.size(), "atomic add out of bounds");
+    ++block_->counters.atomic_ops;
+    block_->counters.global_bytes_read += sizeof(float);
+    block_->counters.global_bytes_written += sizeof(float);
+    std::atomic<std::uint32_t>* shadow = shadow_counts(ptr);
+    shadow[i].fetch_add(1, std::memory_order_relaxed);
+    float* target = ptr.raw() + i;
+    if (block_->launch->parallel_blocks) {
+      std::atomic_ref<float> cell(*target);
+      float expected = cell.load(std::memory_order_relaxed);
+      while (!cell.compare_exchange_weak(expected, expected + value,
+                                         std::memory_order_relaxed)) {
+      }
+      return expected;
+    }
+    const float previous = *target;
+    *target = previous + value;
+    return previous;
+  }
+
+  // --- Shared memory ----------------------------------------------------------
+  /// Attach to (or, for the first thread to get here, create) the block's
+  /// next shared-memory array. All threads of a block must make the same
+  /// shared_array calls in the same order, as with static __shared__
+  /// declarations in CUDA.
+  template <typename T>
+  [[nodiscard]] SharedArray<T> shared_array(std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    auto& allocs = block_->shared_allocs;
+    const std::size_t slot = shared_cursor_++;
+    if (slot < allocs.size()) {
+      STARSIM_REQUIRE(allocs[slot].bytes == bytes,
+                      "shared_array sequence mismatch across threads");
+      return SharedArray<T>(reinterpret_cast<T*>(allocs[slot].data.get()),
+                            count, allocs[slot].base_offset, this);
+    }
+    STARSIM_REQUIRE(slot == allocs.size(),
+                    "shared_array sequence mismatch across threads");
+    BlockState::SharedAlloc alloc;
+    alloc.base_offset = block_->shared_used;
+    block_->shared_used += bytes;
+    STARSIM_REQUIRE(
+        block_->shared_used <= block_->launch->spec->shared_memory_per_block,
+        "shared memory per block exceeded");
+    alloc.data = std::make_unique<std::byte[]>(bytes);
+    std::fill_n(alloc.data.get(), bytes, std::byte{0});
+    alloc.bytes = bytes;
+    allocs.push_back(std::move(alloc));
+    return SharedArray<T>(reinterpret_cast<T*>(allocs.back().data.get()),
+                          count, allocs.back().base_offset, this);
+  }
+
+  // --- Texture ----------------------------------------------------------------
+  /// Nearest-sample fetch through the block's SM texture cache.
+  float tex2d(TextureHandle handle, int x, int y) {
+    const Texture2D& tex = block_->launch->texture(handle);
+    ++block_->counters.texture_fetches;
+    if (!tex.resolve(x, y)) {
+      // Border fetches are satisfied without a cache transaction.
+      ++block_->counters.texture_hits;
+      return tex.border_value();
+    }
+    const std::uint64_t address = tex.cache_address(x, y);
+    bool hit = false;
+    SetAssociativeCache& cache = (*block_->launch->sm_caches)[
+        static_cast<std::size_t>(block_->sm_id)];
+    if (block_->launch->parallel_blocks) {
+      const std::lock_guard<std::mutex> lock(
+          block_->launch->sm_cache_mutexes[block_->sm_id]);
+      hit = cache.access(address);
+    } else {
+      hit = cache.access(address);
+    }
+    if (hit) {
+      ++block_->counters.texture_hits;
+    } else {
+      ++block_->counters.texture_misses;
+    }
+    return tex.value(x, y);
+  }
+
+  // --- Control ----------------------------------------------------------------
+  /// Record the outcome of a potentially warp-divergent branch. `site`
+  /// identifies the branch location (0..BlockState::kMaxBranchSites-1).
+  void branch(int site, bool taken) {
+    STARSIM_REQUIRE(site >= 0 && site < BlockState::kMaxBranchSites,
+                    "branch site id out of range");
+    ++block_->branch_counts[warp_id_][static_cast<std::size_t>(site)]
+                           [taken ? 1 : 0];
+  }
+
+  /// Block-wide barrier; usable only as `co_await ctx.syncthreads()`.
+  struct BarrierAwaiter {
+    ThreadCtx* ctx;
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {
+      ctx->at_barrier_ = true;
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] BarrierAwaiter syncthreads() { return BarrierAwaiter{this}; }
+
+  // --- Runner interface ---------------------------------------------------------
+  [[nodiscard]] bool at_barrier() const { return at_barrier_; }
+  void clear_barrier() { at_barrier_ = false; }
+  [[nodiscard]] BlockState& block_state() { return *block_; }
+
+  // --- Access-class bookkeeping (SharedArray + load/store) -----------------------
+  void record_shared_access(std::size_t byte_offset, bool is_write) {
+    if (is_write) {
+      ++block_->counters.shared_writes;
+    } else {
+      ++block_->counters.shared_reads;
+    }
+    if (block_->launch->track_warp_access) {
+      block_->shared_access.record(warp_id_, shared_seq_++, byte_offset);
+    }
+  }
+
+ private:
+  void record_global_access(std::uint32_t alloc_id, std::size_t byte_offset) {
+    if (block_->launch->track_warp_access) {
+      // Distinct allocations cannot coalesce: offset them far apart in the
+      // tracker's address space.
+      block_->global_access.record(
+          warp_id_, global_seq_++,
+          (static_cast<std::uint64_t>(alloc_id) << 40) + byte_offset);
+    }
+  }
+
+  std::atomic<std::uint32_t>* shadow_counts(const DevicePtr<float>& ptr) {
+    // Consult the block-level cache first: kernels almost always direct all
+    // their atomics at one destination (the image), so the launch-wide
+    // lookup (which takes a lock) happens once per block, not per op.
+    if (ptr.allocation_id() != block_->shadow_alloc_id) {
+      block_->shadow = block_->launch->shadow_for(ptr.allocation_id(),
+                                                  ptr.size());
+      block_->shadow_alloc_id = ptr.allocation_id();
+    }
+    return block_->shadow;
+  }
+
+  BlockState* block_;
+  Dim3 thread_idx_;
+  std::uint32_t linear_thread_ = 0;
+  std::uint32_t warp_id_ = 0;
+  std::size_t shared_cursor_ = 0;
+  bool at_barrier_ = false;
+  std::uint32_t shared_seq_ = 0;
+  std::uint32_t global_seq_ = 0;
+};
+
+template <typename T>
+T SharedArray<T>::get(std::size_t i) const {
+  STARSIM_REQUIRE(i < count_, "shared memory read out of bounds");
+  ctx_->record_shared_access(base_offset_ + i * sizeof(T),
+                             /*is_write=*/false);
+  return data_[i];
+}
+
+template <typename T>
+void SharedArray<T>::set(std::size_t i, T value) const {
+  STARSIM_REQUIRE(i < count_, "shared memory write out of bounds");
+  ctx_->record_shared_access(base_offset_ + i * sizeof(T), /*is_write=*/true);
+  data_[i] = value;
+}
+
+}  // namespace starsim::gpusim

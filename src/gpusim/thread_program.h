@@ -1,0 +1,79 @@
+// The coroutine type a gpusim kernel returns.
+//
+// A kernel is any callable `ThreadProgram kernel(ThreadCtx& ctx)` — the body
+// is the per-thread program, exactly like a CUDA `__global__` function body.
+// `co_await ctx.syncthreads()` suspends the thread at a block barrier; the
+// block runner resumes all threads of the block in warp order once every
+// live thread has reached the barrier, faithfully reproducing CUDA's
+// all-or-nothing __syncthreads semantics (divergent barriers are detected
+// and reported as DeviceError rather than deadlocking).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+
+#include "gpusim/frame_pool.h"
+
+namespace starsim::gpusim {
+
+class ThreadProgram {
+ public:
+  struct promise_type {
+    std::exception_ptr exception;
+
+    ThreadProgram get_return_object() {
+      return ThreadProgram(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+    static void* operator new(std::size_t bytes) {
+      return detail::frame_alloc(bytes);
+    }
+    static void operator delete(void* ptr, std::size_t bytes) noexcept {
+      detail::frame_free(ptr, bytes);
+    }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  ThreadProgram() = default;
+  explicit ThreadProgram(Handle handle) : handle_(handle) {}
+  ThreadProgram(ThreadProgram&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = {};
+  }
+  ThreadProgram& operator=(ThreadProgram&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = other.handle_;
+      other.handle_ = {};
+    }
+    return *this;
+  }
+  ThreadProgram(const ThreadProgram&) = delete;
+  ThreadProgram& operator=(const ThreadProgram&) = delete;
+  ~ThreadProgram() { destroy(); }
+
+  /// Transfer ownership of the raw handle to the block runner.
+  [[nodiscard]] Handle release() {
+    Handle h = handle_;
+    handle_ = {};
+    return h;
+  }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_{};
+};
+
+}  // namespace starsim::gpusim

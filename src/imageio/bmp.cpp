@@ -1,0 +1,180 @@
+#include "imageio/bmp.h"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "support/error.h"
+
+namespace starsim::imageio {
+
+namespace {
+
+using support::IoError;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+std::uint16_t get_u16(const std::vector<std::uint8_t>& in, std::size_t off) {
+  STARSIM_REQUIRE(off + 2 <= in.size(), "BMP truncated");
+  return static_cast<std::uint16_t>(in[off] | (in[off + 1] << 8));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t off) {
+  STARSIM_REQUIRE(off + 4 <= in.size(), "BMP truncated");
+  return static_cast<std::uint32_t>(in[off]) |
+         (static_cast<std::uint32_t>(in[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[off + 3]) << 24);
+}
+
+std::size_t padded_row_bytes(std::size_t raw) { return (raw + 3u) & ~3u; }
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw IoError("cannot open BMP output file: " + path);
+  file.write(reinterpret_cast<const char*>(b.data()),
+             static_cast<std::streamsize>(b.size()));
+  if (!file.good()) throw IoError("failed writing BMP file: " + path);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw IoError("cannot open BMP input file: " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                                  std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+// Emit the 14-byte file header plus the 40-byte BITMAPINFOHEADER.
+void put_headers(std::vector<std::uint8_t>& out, int width, int height,
+                 std::uint16_t bpp, std::uint32_t palette_entries,
+                 std::uint32_t image_bytes) {
+  const std::uint32_t data_offset = 14 + 40 + palette_entries * 4;
+  put_u16(out, 0x4d42);  // 'BM'
+  put_u32(out, data_offset + image_bytes);
+  put_u32(out, 0);  // reserved
+  put_u32(out, data_offset);
+  put_u32(out, 40);  // BITMAPINFOHEADER size
+  put_u32(out, static_cast<std::uint32_t>(width));
+  put_u32(out, static_cast<std::uint32_t>(height));
+  put_u16(out, 1);  // planes
+  put_u16(out, bpp);
+  put_u32(out, 0);  // BI_RGB (uncompressed)
+  put_u32(out, image_bytes);
+  put_u32(out, 2835);  // ~72 DPI
+  put_u32(out, 2835);
+  put_u32(out, palette_entries);
+  put_u32(out, palette_entries);
+}
+
+}  // namespace
+
+void write_bmp_gray8(const ImageU8& image, const std::string& path) {
+  STARSIM_REQUIRE(!image.empty(), "cannot write empty image");
+  const auto raw_row = static_cast<std::size_t>(image.width());
+  const std::size_t row_bytes = padded_row_bytes(raw_row);
+  const auto image_bytes =
+      static_cast<std::uint32_t>(row_bytes * static_cast<std::size_t>(image.height()));
+
+  std::vector<std::uint8_t> out;
+  out.reserve(14 + 40 + 256 * 4 + image_bytes);
+  put_headers(out, image.width(), image.height(), /*bpp=*/8,
+              /*palette_entries=*/256, image_bytes);
+  for (int i = 0; i < 256; ++i) {  // BGRA gray ramp palette
+    out.push_back(static_cast<std::uint8_t>(i));
+    out.push_back(static_cast<std::uint8_t>(i));
+    out.push_back(static_cast<std::uint8_t>(i));
+    out.push_back(0);
+  }
+  for (int y = image.height() - 1; y >= 0; --y) {  // bottom-up rows
+    for (int x = 0; x < image.width(); ++x) out.push_back(image(x, y));
+    for (std::size_t p = raw_row; p < row_bytes; ++p) out.push_back(0);
+  }
+  write_file(path, out);
+}
+
+void write_bmp_rgb24(const ImageU8& image, const std::string& path) {
+  STARSIM_REQUIRE(!image.empty(), "cannot write empty image");
+  const auto raw_row = static_cast<std::size_t>(image.width()) * 3u;
+  const std::size_t row_bytes = padded_row_bytes(raw_row);
+  const auto image_bytes =
+      static_cast<std::uint32_t>(row_bytes * static_cast<std::size_t>(image.height()));
+
+  std::vector<std::uint8_t> out;
+  out.reserve(14 + 40 + image_bytes);
+  put_headers(out, image.width(), image.height(), /*bpp=*/24,
+              /*palette_entries=*/0, image_bytes);
+  for (int y = image.height() - 1; y >= 0; --y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const std::uint8_t g = image(x, y);
+      out.push_back(g);  // B
+      out.push_back(g);  // G
+      out.push_back(g);  // R
+    }
+    for (std::size_t p = raw_row; p < row_bytes; ++p) out.push_back(0);
+  }
+  write_file(path, out);
+}
+
+ImageU8 read_bmp_gray(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  STARSIM_REQUIRE(bytes.size() >= 54, "BMP too small");
+  STARSIM_REQUIRE(get_u16(bytes, 0) == 0x4d42, "not a BMP file");
+  const std::uint32_t data_offset = get_u32(bytes, 10);
+  const std::uint32_t header_size = get_u32(bytes, 14);
+  STARSIM_REQUIRE(header_size >= 40, "unsupported BMP header");
+  const auto width = static_cast<std::int32_t>(get_u32(bytes, 18));
+  const auto height = static_cast<std::int32_t>(get_u32(bytes, 22));
+  const std::uint16_t bpp = get_u16(bytes, 28);
+  const std::uint32_t compression = get_u32(bytes, 30);
+  STARSIM_REQUIRE(compression == 0, "compressed BMP unsupported");
+  STARSIM_REQUIRE(width > 0 && height > 0, "top-down BMP unsupported");
+  STARSIM_REQUIRE(bpp == 8 || bpp == 24, "only 8/24 bpp BMP supported");
+
+  // 8-bpp: map pixel indices through the palette's green component.
+  std::array<std::uint8_t, 256> palette_green{};
+  if (bpp == 8) {
+    const std::size_t palette_off = 14 + header_size;
+    for (int i = 0; i < 256; ++i) {
+      const std::size_t entry = palette_off + static_cast<std::size_t>(i) * 4;
+      if (entry + 4 <= data_offset) {
+        palette_green[static_cast<std::size_t>(i)] = bytes[entry + 1];
+      } else {
+        palette_green[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(i);
+      }
+    }
+  }
+
+  ImageU8 image(width, height);
+  const std::size_t raw_row =
+      static_cast<std::size_t>(width) * (bpp == 24 ? 3u : 1u);
+  const std::size_t row_bytes = padded_row_bytes(raw_row);
+  for (int y = 0; y < height; ++y) {
+    const std::size_t row_off =
+        data_offset +
+        static_cast<std::size_t>(height - 1 - y) * row_bytes;
+    STARSIM_REQUIRE(row_off + raw_row <= bytes.size(), "BMP truncated");
+    for (int x = 0; x < width; ++x) {
+      if (bpp == 24) {
+        image(x, y) = bytes[row_off + static_cast<std::size_t>(x) * 3 + 1];
+      } else {
+        image(x, y) =
+            palette_green[bytes[row_off + static_cast<std::size_t>(x)]];
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace starsim::imageio

@@ -1,0 +1,27 @@
+// Windows BMP writer/reader (BITMAPINFOHEADER, uncompressed).
+//
+// The paper's Output stage writes "a kind of common picture type like JPG,
+// BMP"; we implement BMP from scratch (24-bit BGR and 8-bit paletted
+// grayscale) so rendered star fields can be inspected with any viewer.
+// Rows are stored bottom-up and padded to 4 bytes per the format.
+#pragma once
+
+#include <string>
+
+#include "imageio/image.h"
+
+namespace starsim::imageio {
+
+/// Write an 8-bit grayscale image as an 8-bpp BMP with a 256-entry gray
+/// palette. Throws IoError on failure.
+void write_bmp_gray8(const ImageU8& image, const std::string& path);
+
+/// Write an 8-bit grayscale image as a 24-bpp BMP (R=G=B). Throws IoError.
+void write_bmp_rgb24(const ImageU8& image, const std::string& path);
+
+/// Read a BMP produced by either writer back into a grayscale image
+/// (24-bpp inputs are read as the green channel; 8-bpp inputs through the
+/// palette's green component). Throws IoError on malformed input.
+ImageU8 read_bmp_gray(const std::string& path);
+
+}  // namespace starsim::imageio

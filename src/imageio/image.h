@@ -1,0 +1,111 @@
+// Row-major image container.
+//
+// `Image<float>` is the accumulation surface of every simulator (pixel gray
+// values before tonemapping); `Image<std::uint8_t>` / `Image<std::uint16_t>`
+// are the quantized outputs written to disk. Pixels are stored row-major with
+// y growing downward, matching both the intensity model's image-plane
+// convention and the BMP/PGM writers.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/error.h"
+
+namespace starsim::imageio {
+
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+
+  /// Create a width x height image, zero-initialized (or `fill`-initialized).
+  Image(int width, int height, T fill = T{})
+      : width_(width), height_(height) {
+    STARSIM_REQUIRE(width > 0 && height > 0,
+                    "image dimensions must be positive");
+    pixels_.assign(static_cast<std::size_t>(width) *
+                       static_cast<std::size_t>(height),
+                   fill);
+  }
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::size_t pixel_count() const { return pixels_.size(); }
+  [[nodiscard]] bool empty() const { return pixels_.empty(); }
+
+  /// True when (x, y) lies inside the image bounds.
+  [[nodiscard]] bool contains(int x, int y) const {
+    return x >= 0 && y >= 0 && x < width_ && y < height_;
+  }
+
+  /// Checked pixel access.
+  [[nodiscard]] T& at(int x, int y) {
+    STARSIM_REQUIRE(contains(x, y), "pixel access out of bounds");
+    return pixels_[index(x, y)];
+  }
+  [[nodiscard]] const T& at(int x, int y) const {
+    STARSIM_REQUIRE(contains(x, y), "pixel access out of bounds");
+    return pixels_[index(x, y)];
+  }
+
+  /// Unchecked pixel access for hot loops whose bounds are pre-validated.
+  [[nodiscard]] T& operator()(int x, int y) { return pixels_[index(x, y)]; }
+  [[nodiscard]] const T& operator()(int x, int y) const {
+    return pixels_[index(x, y)];
+  }
+
+  /// Linear index of (x, y) in data().
+  [[nodiscard]] std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+
+  [[nodiscard]] std::span<T> pixels() { return pixels_; }
+  [[nodiscard]] std::span<const T> pixels() const { return pixels_; }
+  [[nodiscard]] T* data() { return pixels_.data(); }
+  [[nodiscard]] const T* data() const { return pixels_.data(); }
+
+  /// Set every pixel to `value`.
+  void fill(T value) { pixels_.assign(pixels_.size(), value); }
+
+  bool operator==(const Image& other) const = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> pixels_;
+};
+
+using ImageF = Image<float>;
+using ImageU8 = Image<std::uint8_t>;
+using ImageU16 = Image<std::uint16_t>;
+
+/// Largest absolute pixel difference between two equally sized images.
+template <typename T>
+double max_abs_difference(const Image<T>& a, const Image<T>& b) {
+  STARSIM_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+                  "image size mismatch");
+  double worst = 0.0;
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double diff =
+        std::abs(static_cast<double>(pa[i]) - static_cast<double>(pb[i]));
+    if (diff > worst) worst = diff;
+  }
+  return worst;
+}
+
+/// Sum of all pixel values (in double precision) — used by energy tests.
+template <typename T>
+double total_flux(const Image<T>& image) {
+  double total = 0.0;
+  for (const T& v : image.pixels()) total += static_cast<double>(v);
+  return total;
+}
+
+}  // namespace starsim::imageio

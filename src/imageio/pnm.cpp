@@ -1,0 +1,154 @@
+#include "imageio/pnm.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "support/error.h"
+
+namespace starsim::imageio {
+
+namespace {
+
+using support::IoError;
+
+void open_out(std::ofstream& file, const std::string& path) {
+  file.open(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw IoError("cannot open PNM output file: " + path);
+}
+
+struct PnmHeader {
+  std::string magic;
+  int width = 0;
+  int height = 0;
+  int maxval = 0;
+  std::size_t data_offset = 0;
+};
+
+// Parse a PNM header, honoring '#' comments; returns the offset of the first
+// raster byte (one whitespace char after maxval).
+PnmHeader parse_header(const std::vector<char>& bytes) {
+  PnmHeader h;
+  std::size_t pos = 0;
+  auto skip_space = [&] {
+    while (pos < bytes.size()) {
+      if (bytes[pos] == '#') {
+        while (pos < bytes.size() && bytes[pos] != '\n') ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(bytes[pos]))) {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  };
+  auto next_token = [&]() -> std::string {
+    skip_space();
+    std::string token;
+    while (pos < bytes.size() &&
+           !std::isspace(static_cast<unsigned char>(bytes[pos]))) {
+      token += bytes[pos++];
+    }
+    STARSIM_REQUIRE(!token.empty(), "PNM header truncated");
+    return token;
+  };
+  h.magic = next_token();
+  h.width = std::stoi(next_token());
+  h.height = std::stoi(next_token());
+  h.maxval = std::stoi(next_token());
+  STARSIM_REQUIRE(pos < bytes.size(), "PNM raster missing");
+  h.data_offset = pos + 1;  // exactly one whitespace byte after maxval
+  STARSIM_REQUIRE(h.width > 0 && h.height > 0, "invalid PNM dimensions");
+  return h;
+}
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw IoError("cannot open PNM input file: " + path);
+  return {std::istreambuf_iterator<char>(file),
+          std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+void write_pgm8(const ImageU8& image, const std::string& path) {
+  STARSIM_REQUIRE(!image.empty(), "cannot write empty image");
+  std::ofstream file;
+  open_out(file, path);
+  file << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+  file.write(reinterpret_cast<const char*>(image.data()),
+             static_cast<std::streamsize>(image.pixel_count()));
+  if (!file.good()) throw IoError("failed writing PGM file: " + path);
+}
+
+void write_pgm16(const ImageU16& image, const std::string& path) {
+  STARSIM_REQUIRE(!image.empty(), "cannot write empty image");
+  std::ofstream file;
+  open_out(file, path);
+  file << "P5\n" << image.width() << ' ' << image.height() << "\n65535\n";
+  std::vector<char> row(static_cast<std::size_t>(image.width()) * 2);
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const std::uint16_t v = image(x, y);
+      row[static_cast<std::size_t>(x) * 2] = static_cast<char>(v >> 8);
+      row[static_cast<std::size_t>(x) * 2 + 1] = static_cast<char>(v & 0xff);
+    }
+    file.write(row.data(), static_cast<std::streamsize>(row.size()));
+  }
+  if (!file.good()) throw IoError("failed writing PGM file: " + path);
+}
+
+ImageU8 read_pgm8(const std::string& path) {
+  const auto bytes = read_file(path);
+  const PnmHeader h = parse_header(bytes);
+  STARSIM_REQUIRE(h.magic == "P5", "not a binary PGM");
+  STARSIM_REQUIRE(h.maxval == 255, "expected 8-bit PGM");
+  ImageU8 image(h.width, h.height);
+  const std::size_t need = image.pixel_count();
+  STARSIM_REQUIRE(h.data_offset + need <= bytes.size(), "PGM truncated");
+  for (std::size_t i = 0; i < need; ++i) {
+    image.pixels()[i] = static_cast<std::uint8_t>(bytes[h.data_offset + i]);
+  }
+  return image;
+}
+
+ImageU16 read_pgm16(const std::string& path) {
+  const auto bytes = read_file(path);
+  const PnmHeader h = parse_header(bytes);
+  STARSIM_REQUIRE(h.magic == "P5", "not a binary PGM");
+  STARSIM_REQUIRE(h.maxval == 65535, "expected 16-bit PGM");
+  ImageU16 image(h.width, h.height);
+  const std::size_t need = image.pixel_count() * 2;
+  STARSIM_REQUIRE(h.data_offset + need <= bytes.size(), "PGM truncated");
+  for (std::size_t i = 0; i < image.pixel_count(); ++i) {
+    const auto hi =
+        static_cast<std::uint8_t>(bytes[h.data_offset + i * 2]);
+    const auto lo =
+        static_cast<std::uint8_t>(bytes[h.data_offset + i * 2 + 1]);
+    image.pixels()[i] = static_cast<std::uint16_t>((hi << 8) | lo);
+  }
+  return image;
+}
+
+void write_ppm(const ImageU8& r, const ImageU8& g, const ImageU8& b,
+               const std::string& path) {
+  STARSIM_REQUIRE(!r.empty(), "cannot write empty image");
+  STARSIM_REQUIRE(r.width() == g.width() && r.width() == b.width() &&
+                      r.height() == g.height() && r.height() == b.height(),
+                  "PPM planes must be equally sized");
+  std::ofstream file;
+  open_out(file, path);
+  file << "P6\n" << r.width() << ' ' << r.height() << "\n255\n";
+  std::vector<char> row(static_cast<std::size_t>(r.width()) * 3);
+  for (int y = 0; y < r.height(); ++y) {
+    for (int x = 0; x < r.width(); ++x) {
+      row[static_cast<std::size_t>(x) * 3] = static_cast<char>(r(x, y));
+      row[static_cast<std::size_t>(x) * 3 + 1] = static_cast<char>(g(x, y));
+      row[static_cast<std::size_t>(x) * 3 + 2] = static_cast<char>(b(x, y));
+    }
+    file.write(row.data(), static_cast<std::streamsize>(row.size()));
+  }
+  if (!file.good()) throw IoError("failed writing PPM file: " + path);
+}
+
+}  // namespace starsim::imageio

@@ -1,0 +1,31 @@
+// Portable anymap (PGM/PPM) writers and readers.
+//
+// PGM is the working format for test goldens and quick inspection: binary
+// (P5) grayscale at 8 or 16 bits. P6 PPM is provided for false-color debug
+// renders. 16-bit samples are big-endian per the netpbm specification.
+#pragma once
+
+#include <string>
+
+#include "imageio/image.h"
+
+namespace starsim::imageio {
+
+/// Write an 8-bit binary PGM (P5, maxval 255).
+void write_pgm8(const ImageU8& image, const std::string& path);
+
+/// Write a 16-bit binary PGM (P5, maxval 65535, big-endian samples).
+void write_pgm16(const ImageU16& image, const std::string& path);
+
+/// Read an 8-bit binary PGM. Throws IoError on malformed input.
+ImageU8 read_pgm8(const std::string& path);
+
+/// Read a 16-bit binary PGM. Throws IoError on malformed input.
+ImageU16 read_pgm16(const std::string& path);
+
+/// Write an RGB triple-plane image as binary PPM (P6); the three planes must
+/// be equally sized.
+void write_ppm(const ImageU8& r, const ImageU8& g, const ImageU8& b,
+               const std::string& path);
+
+}  // namespace starsim::imageio

@@ -1,0 +1,71 @@
+#include "imageio/tonemap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/error.h"
+
+namespace starsim::imageio {
+
+namespace {
+
+float resolve_full_scale(const ImageF& flux, const TonemapOptions& options) {
+  float full_scale = options.full_scale;
+  if (options.auto_expose) {
+    full_scale = auto_full_scale(flux, options.percentile);
+  }
+  STARSIM_REQUIRE(full_scale > 0.0f, "tonemap full scale must be positive");
+  return full_scale;
+}
+
+template <typename T>
+Image<T> tonemap_impl(const ImageF& flux, const TonemapOptions& options,
+                      double maxval) {
+  STARSIM_REQUIRE(!flux.empty(), "cannot tonemap empty image");
+  STARSIM_REQUIRE(options.gamma > 0.0f, "gamma must be positive");
+  const double full_scale = resolve_full_scale(flux, options);
+  const double inv_gamma = 1.0 / static_cast<double>(options.gamma);
+
+  Image<T> out(flux.width(), flux.height());
+  const auto src = flux.pixels();
+  auto dst = out.pixels();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    double v = static_cast<double>(src[i]) / full_scale;
+    v = std::clamp(v, 0.0, 1.0);
+    if (inv_gamma != 1.0) v = std::pow(v, inv_gamma);
+    dst[i] = static_cast<T>(std::lround(v * maxval));
+  }
+  return out;
+}
+
+}  // namespace
+
+float auto_full_scale(const ImageF& flux, float percentile) {
+  STARSIM_REQUIRE(percentile > 0.0f && percentile <= 100.0f,
+                  "percentile must be in (0, 100]");
+  std::vector<float> nonzero;
+  nonzero.reserve(flux.pixel_count() / 16);
+  for (float v : flux.pixels()) {
+    if (v > 0.0f) nonzero.push_back(v);
+  }
+  if (nonzero.empty()) return 1.0f;
+  const auto rank = static_cast<std::size_t>(
+      static_cast<double>(percentile) / 100.0 *
+      static_cast<double>(nonzero.size() - 1));
+  std::nth_element(nonzero.begin(),
+                   nonzero.begin() + static_cast<std::ptrdiff_t>(rank),
+                   nonzero.end());
+  const float scale = nonzero[rank];
+  return scale > 0.0f ? scale : 1.0f;
+}
+
+ImageU8 tonemap_u8(const ImageF& flux, const TonemapOptions& options) {
+  return tonemap_impl<std::uint8_t>(flux, options, 255.0);
+}
+
+ImageU16 tonemap_u16(const ImageF& flux, const TonemapOptions& options) {
+  return tonemap_impl<std::uint16_t>(flux, options, 65535.0);
+}
+
+}  // namespace starsim::imageio

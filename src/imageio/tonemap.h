@@ -1,0 +1,37 @@
+// Float accumulation surface -> displayable gray image.
+//
+// The intensity model accumulates unbounded float flux per pixel; sensors
+// clip at full well and quantize. Tonemap options model that output stage:
+// linear scale with saturation (the paper's implicit mapping), optional gamma
+// for display, and an auto-exposure mode that maps a chosen percentile of the
+// nonzero flux to full scale so sparse star fields remain visible.
+#pragma once
+
+#include <cstdint>
+
+#include "imageio/image.h"
+
+namespace starsim::imageio {
+
+struct TonemapOptions {
+  /// Flux value mapped to full scale; values above clip. Ignored when
+  /// auto_expose is true.
+  float full_scale = 1.0f;
+  /// Display gamma applied after normalization (1 = linear).
+  float gamma = 1.0f;
+  /// When true, full_scale is derived from the `percentile` of nonzero flux.
+  bool auto_expose = false;
+  /// Percentile in (0, 100] used by auto exposure.
+  float percentile = 99.5f;
+};
+
+/// Quantize to 8 bits.
+ImageU8 tonemap_u8(const ImageF& flux, const TonemapOptions& options = {});
+
+/// Quantize to 16 bits.
+ImageU16 tonemap_u16(const ImageF& flux, const TonemapOptions& options = {});
+
+/// The full-scale value auto exposure would pick for this image.
+float auto_full_scale(const ImageF& flux, float percentile);
+
+}  // namespace starsim::imageio

@@ -1,0 +1,205 @@
+#include "starsim/adaptive_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/host_spec.h"
+#include "starsim/device_frame.h"
+#include "starsim/kernel_cost.h"
+#include "starsim/roi.h"
+#include "support/timer.h"
+
+namespace starsim {
+
+namespace {
+
+using gpusim::DevicePtr;
+using gpusim::TextureHandle;
+using gpusim::ThreadCtx;
+using gpusim::ThreadProgram;
+
+struct KernelParams {
+  DevicePtr<Star> stars;
+  DevicePtr<float> image;
+  TextureHandle lut;
+  std::uint32_t star_count = 0;
+  int image_width = 0;
+  int image_height = 0;
+  int margin = 0;
+  int roi_side = 0;
+  // Lookup-table addressing constants.
+  double magnitude_min = 0.0;
+  double inv_bin_width = 1.0;
+  int magnitude_bins = 0;
+  int phases = 1;
+};
+
+/// Fig. 6 with the Section III-C substitution: "the computation of star
+/// brightness and distribution of star on its ROI will be replaced by
+/// accessing the search table in texture memory. Then, the content of
+/// shared memory ... is also changed by storing star magnitude instead."
+ThreadProgram adaptive_kernel(ThreadCtx& ctx, KernelParams p) {
+  const std::uint64_t block_id = ctx.block_linear();
+  if (block_id >= p.star_count) co_return;
+
+  auto shared = ctx.shared_array<float>(4);
+  if (ctx.thread_idx().x == 0 && ctx.thread_idx().y == 0) {
+    const Star star = ctx.load(p.stars, block_id);
+    shared.set(0, star.magnitude);
+    shared.set(1, star.x);
+    shared.set(2, star.y);
+    shared.set(3, star.weight);
+  }
+  co_await ctx.syncthreads();
+
+  const float magnitude = shared.get(0);
+  const float star_x = shared.get(1);
+  const float star_y = shared.get(2);
+  const float weight = shared.get(3);
+
+  const int pixel_x = static_cast<int>(std::lround(star_x)) - p.margin +
+                      static_cast<int>(ctx.thread_idx().x);
+  const int pixel_y = static_cast<int>(std::lround(star_y)) - p.margin +
+                      static_cast<int>(ctx.thread_idx().y);
+  ctx.count_flops(kernel_cost::kCoordFlops + kernel_cost::kBoundsFlops);
+
+  const bool inside = pixel_x >= 0 && pixel_y >= 0 &&
+                      pixel_x < p.image_width && pixel_y < p.image_height;
+  ctx.branch(0, inside);
+  if (!inside) co_return;
+
+  // Table indexing: magnitude bin, subpixel phases, then the texture row of
+  // this thread's ROI offset.
+  ctx.count_flops(kernel_cost::kLutIndexFlops);
+  int bin = static_cast<int>(std::floor(
+      (static_cast<double>(magnitude) - p.magnitude_min) * p.inv_bin_width));
+  bin = std::clamp(bin, 0, p.magnitude_bins - 1);
+  int phase_x = 0;
+  int phase_y = 0;
+  if (p.phases > 1) {
+    const auto phase_of = [&](float coord) {
+      const double frac = static_cast<double>(coord) -
+                          static_cast<double>(std::lround(coord));
+      return std::clamp(
+          static_cast<int>(std::floor((frac + 0.5) * p.phases)), 0,
+          p.phases - 1);
+    };
+    phase_x = phase_of(star_x);
+    phase_y = phase_of(star_y);
+  }
+  const int row = ((bin * p.phases + phase_y) * p.phases + phase_x) *
+                      p.roi_side +
+                  static_cast<int>(ctx.thread_idx().y);
+  const float value =
+      ctx.tex2d(p.lut, static_cast<int>(ctx.thread_idx().x), row);
+
+  ctx.count_flops(kernel_cost::kAccumFlops);
+  const std::size_t index =
+      static_cast<std::size_t>(pixel_y) *
+          static_cast<std::size_t>(p.image_width) +
+      static_cast<std::size_t>(pixel_x);
+  ctx.atomic_add(p.image, index, value * weight);
+}
+
+}  // namespace
+
+AdaptiveSimulator::AdaptiveSimulator(gpusim::Device& device,
+                                     LookupTableOptions options)
+    : device_(device), options_(options) {}
+
+int AdaptiveSimulator::max_magnitude_bins(const gpusim::Device& device,
+                                          int roi_side, int subpixel_phases) {
+  STARSIM_REQUIRE(roi_side > 0 && subpixel_phases > 0,
+                  "invalid table geometry");
+  // Texture rows are capped at 65536 by the addressing model; each
+  // (bin, phase_x, phase_y) consumes roi_side rows. Device memory is the
+  // second cap.
+  const std::uint64_t rows_per_bin = static_cast<std::uint64_t>(roi_side) *
+                                     static_cast<std::uint64_t>(
+                                         subpixel_phases) *
+                                     static_cast<std::uint64_t>(subpixel_phases);
+  const std::uint64_t by_extent = 65536ull / rows_per_bin;
+  const std::uint64_t bytes_per_bin =
+      rows_per_bin * static_cast<std::uint64_t>(roi_side) * sizeof(float);
+  const std::uint64_t by_memory =
+      device.memory().free_bytes() / std::max<std::uint64_t>(1, bytes_per_bin);
+  return static_cast<int>(std::min(by_extent, by_memory));
+}
+
+SimulationResult AdaptiveSimulator::simulate(const SceneConfig& scene,
+                                             std::span<const Star> stars) {
+  scene.validate();
+  const long threads_per_block =
+      static_cast<long>(scene.roi_side) * scene.roi_side;
+  if (threads_per_block >
+      static_cast<long>(device_.spec().max_threads_per_block)) {
+    throw support::DeviceError(
+        "ROI side " + std::to_string(scene.roi_side) +
+        " exceeds the device block limit");
+  }
+
+  const support::WallTimer wall;
+  SimulationResult result;
+  result.image = imageio::ImageF(scene.image_width, scene.image_height);
+  if (stars.empty()) {
+    result.timing.wall_s = wall.seconds();
+    return result;
+  }
+
+  device_.reset_transfer_stats();
+
+  // Build the lookup table on the CPU (Section IV-D) and ship it.
+  const LookupTable table = LookupTable::build(scene, options_);
+  if (AdaptiveSimulator::max_magnitude_bins(device_, scene.roi_side,
+                                            options_.subpixel_phases) <
+      table.magnitude_bins()) {
+    throw support::DeviceError(
+        "lookup table does not fit the device's texture limits: " +
+        std::to_string(table.magnitude_bins()) + " bins requested");
+  }
+
+  DeviceFrame frame(device_, scene, stars);
+  auto lut_device = device_.malloc<float>(table.entries());
+  device_.memcpy_h2d(lut_device, table.values());
+  const TextureHandle lut_texture = device_.bind_texture_2d(
+      lut_device, table.width(), table.height(), gpusim::AddressMode::kClamp);
+
+  KernelParams params;
+  params.stars = frame.stars();
+  params.image = frame.image();
+  params.lut = lut_texture;
+  params.star_count = static_cast<std::uint32_t>(stars.size());
+  params.image_width = scene.image_width;
+  params.image_height = scene.image_height;
+  params.margin = Roi(scene.roi_side).margin();
+  params.roi_side = scene.roi_side;
+  params.magnitude_min = scene.magnitude_min;
+  params.inv_bin_width = options_.bins_per_magnitude;
+  params.magnitude_bins = table.magnitude_bins();
+  params.phases = table.phases();
+
+  const gpusim::LaunchConfig config =
+      star_centric_config(stars.size(), scene.roi_side);
+  const gpusim::LaunchResult launch = device_.launch(
+      config,
+      [&params](ThreadCtx& ctx) { return adaptive_kernel(ctx, params); });
+
+  frame.readback(result.image);
+  device_.unbind_texture(lut_texture);
+  device_.free(lut_device);
+
+  const gpusim::TransferStats& transfers = device_.transfer_stats();
+  result.timing.kernel_s = launch.timing.kernel_s;
+  result.timing.h2d_s = transfers.h2d_s;
+  result.timing.d2h_s = transfers.d2h_s;
+  result.timing.lut_build_s = gpusim::HostSpec::i7_860().lut_build_time_s(
+      static_cast<double>(table.entries()));
+  result.timing.texture_bind_s = transfers.texture_bind_s;
+  result.timing.counters = launch.counters;
+  result.timing.utilization = launch.timing.utilization;
+  result.timing.achieved_gflops = launch.timing.achieved_gflops;
+  result.timing.wall_s = wall.seconds();
+  return result;
+}
+
+}  // namespace starsim

@@ -1,0 +1,45 @@
+// The paper's adaptive simulator (Section III-C).
+//
+// Same star-centric decomposition as the parallel simulator, but the kernel
+// replaces the brightness and PSF arithmetic with a fetch from a precomputed
+// lookup table bound to texture memory. The trade is explicit in the
+// breakdown: kernel time drops (no per-pixel exp), non-kernel overhead rises
+// by the table build and texture binding — the balance whose inflection
+// point Section IV locates at 2^13 stars / ROI side 10.
+#pragma once
+
+#include "gpusim/device.h"
+#include "starsim/lookup_table.h"
+#include "starsim/simulator.h"
+
+namespace starsim {
+
+class AdaptiveSimulator final : public Simulator {
+ public:
+  explicit AdaptiveSimulator(gpusim::Device& device,
+                             LookupTableOptions options = {});
+
+  [[nodiscard]] SimulatorKind kind() const override {
+    return SimulatorKind::kAdaptive;
+  }
+  [[nodiscard]] std::string_view name() const override { return "adaptive"; }
+
+  [[nodiscard]] SimulationResult simulate(
+      const SceneConfig& scene, std::span<const Star> stars) override;
+
+  [[nodiscard]] const LookupTableOptions& options() const { return options_; }
+
+  /// Largest magnitude-bin count whose lookup table still binds as a 2-D
+  /// texture on `device` for the given ROI side and phase count — the
+  /// Section IV-D sizing rule ("we can calculate the maximum star magnitude
+  /// range that the simulator can simulate").
+  [[nodiscard]] static int max_magnitude_bins(const gpusim::Device& device,
+                                              int roi_side,
+                                              int subpixel_phases);
+
+ private:
+  gpusim::Device& device_;
+  LookupTableOptions options_;
+};
+
+}  // namespace starsim

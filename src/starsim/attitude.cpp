@@ -1,0 +1,48 @@
+#include "starsim/attitude.h"
+
+#include "support/error.h"
+
+namespace starsim {
+
+Vec3 Vec3::normalized() const {
+  const double n = norm();
+  STARSIM_REQUIRE(n > 0.0, "cannot normalize the zero vector");
+  return {x / n, y / n, z / n};
+}
+
+Quaternion Quaternion::from_axis_angle(const Vec3& axis, double angle) {
+  const Vec3 unit = axis.normalized();
+  const double half = 0.5 * angle;
+  const double s = std::sin(half);
+  return Quaternion(std::cos(half), unit.x * s, unit.y * s, unit.z * s);
+}
+
+Quaternion Quaternion::from_euler(double yaw, double pitch, double roll) {
+  const Quaternion qz = from_axis_angle({0.0, 0.0, 1.0}, yaw);
+  const Quaternion qy = from_axis_angle({0.0, 1.0, 0.0}, pitch);
+  const Quaternion qx = from_axis_angle({1.0, 0.0, 0.0}, roll);
+  return qz * qy * qx;
+}
+
+Quaternion Quaternion::normalized() const {
+  const double n = norm();
+  STARSIM_REQUIRE(n > 0.0, "cannot normalize the zero quaternion");
+  return Quaternion(w_ / n, x_ / n, y_ / n, z_ / n);
+}
+
+Quaternion Quaternion::operator*(const Quaternion& o) const {
+  return Quaternion(
+      w_ * o.w_ - x_ * o.x_ - y_ * o.y_ - z_ * o.z_,
+      w_ * o.x_ + x_ * o.w_ + y_ * o.z_ - z_ * o.y_,
+      w_ * o.y_ - x_ * o.z_ + y_ * o.w_ + z_ * o.x_,
+      w_ * o.z_ + x_ * o.y_ - y_ * o.x_ + z_ * o.w_);
+}
+
+Vec3 Quaternion::rotate(const Vec3& v) const {
+  // v' = v + 2 q_vec x (q_vec x v + w v)  — the standard expansion.
+  const Vec3 q_vec{x_, y_, z_};
+  const Vec3 t = q_vec.cross(v) * 2.0;
+  return v + t * w_ + q_vec.cross(t);
+}
+
+}  // namespace starsim

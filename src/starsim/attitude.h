@@ -1,0 +1,78 @@
+// Spacecraft attitude math: 3-vectors and unit quaternions.
+//
+// The star-generation front end the paper defers to its reference [4]
+// needs an attitude to point the simulated camera: a unit quaternion maps
+// inertial (catalogue) directions into the camera frame, whose boresight
+// is +Z. Minimal, allocation-free value types.
+#pragma once
+
+#include <cmath>
+
+namespace starsim {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  [[nodiscard]] constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] double norm() const { return std::sqrt(dot(*this)); }
+  [[nodiscard]] Vec3 normalized() const;
+};
+
+class Quaternion {
+ public:
+  constexpr Quaternion() = default;  // identity
+  constexpr Quaternion(double w, double x, double y, double z)
+      : w_(w), x_(x), y_(y), z_(z) {}
+
+  [[nodiscard]] static Quaternion identity() { return {}; }
+
+  /// Rotation of `angle` radians about `axis` (need not be unit length).
+  [[nodiscard]] static Quaternion from_axis_angle(const Vec3& axis,
+                                                  double angle);
+
+  /// Intrinsic Z-Y-X (yaw, pitch, roll) composition.
+  [[nodiscard]] static Quaternion from_euler(double yaw, double pitch,
+                                             double roll);
+
+  [[nodiscard]] double w() const { return w_; }
+  [[nodiscard]] double x() const { return x_; }
+  [[nodiscard]] double y() const { return y_; }
+  [[nodiscard]] double z() const { return z_; }
+
+  [[nodiscard]] double norm() const {
+    return std::sqrt(w_ * w_ + x_ * x_ + y_ * y_ + z_ * z_);
+  }
+  [[nodiscard]] Quaternion normalized() const;
+  [[nodiscard]] constexpr Quaternion conjugate() const {
+    return {w_, -x_, -y_, -z_};
+  }
+
+  /// Hamilton product: (*this) then... composition such that
+  /// (a * b).rotate(v) == a.rotate(b.rotate(v)).
+  [[nodiscard]] Quaternion operator*(const Quaternion& o) const;
+
+  /// Rotate a vector by this (unit) quaternion.
+  [[nodiscard]] Vec3 rotate(const Vec3& v) const;
+
+ private:
+  double w_ = 1.0;
+  double x_ = 0.0;
+  double y_ = 0.0;
+  double z_ = 0.0;
+};
+
+}  // namespace starsim

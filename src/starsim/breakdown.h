@@ -1,0 +1,57 @@
+// Timing breakdown of one simulation run.
+//
+// The paper's evaluation is entirely about how application time divides into
+// kernel execution vs non-kernel overhead (transfers, lookup-table build,
+// texture binding), so every simulator returns this structure. All modeled
+// components are commensurable: GPU pieces come from the perf/transfer
+// models, CPU pieces from HostSpec — `wall_s` is the only field measured on
+// the machine running the reproduction.
+#pragma once
+
+#include "gpusim/counters.h"
+#include "imageio/image.h"
+
+namespace starsim {
+
+struct TimingBreakdown {
+  // --- Modeled, seconds -------------------------------------------------------
+  double kernel_s = 0.0;        ///< GPU kernel execution (perf model)
+  double h2d_s = 0.0;           ///< host->device transfers
+  double d2h_s = 0.0;           ///< device->host transfers
+  double lut_build_s = 0.0;     ///< lookup-table construction (CPU)
+  double texture_bind_s = 0.0;  ///< texture binding
+  double host_compute_s = 0.0;  ///< CPU pixel computation (sequential sim)
+  double host_reduce_s = 0.0;   ///< partial-image reduction (multi-GPU)
+
+  // --- Measured ---------------------------------------------------------------
+  double wall_s = 0.0;  ///< wall-clock of the whole simulate() call
+
+  // --- Diagnostics --------------------------------------------------------------
+  gpusim::KernelCounters counters;  ///< zero for the sequential simulator
+  double utilization = 0.0;         ///< perf-model occupancy ramp factor
+  double achieved_gflops = 0.0;     ///< counted flops / modeled time
+
+  /// The paper's "non-kernel overhead".
+  [[nodiscard]] double non_kernel_s() const {
+    return h2d_s + d2h_s + lut_build_s + texture_bind_s + host_reduce_s;
+  }
+
+  /// The paper's "application time" (modeled).
+  [[nodiscard]] double application_s() const {
+    return kernel_s + non_kernel_s() + host_compute_s;
+  }
+
+  /// Fraction of application time spent outside the kernel (Fig. 16).
+  [[nodiscard]] double non_kernel_fraction() const {
+    const double app = application_s();
+    return app > 0.0 ? non_kernel_s() / app : 0.0;
+  }
+};
+
+/// A rendered star image plus how long it took.
+struct SimulationResult {
+  imageio::ImageF image;
+  TimingBreakdown timing;
+};
+
+}  // namespace starsim

@@ -1,0 +1,60 @@
+#include "starsim/catalog.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace starsim {
+
+Vec3 CatalogStar::direction() const {
+  const double cos_dec = std::cos(declination);
+  return {cos_dec * std::cos(right_ascension),
+          cos_dec * std::sin(right_ascension), std::sin(declination)};
+}
+
+Catalog Catalog::synthesize(std::size_t count, std::uint64_t seed,
+                            double magnitude_min, double magnitude_max) {
+  STARSIM_REQUIRE(count > 0, "catalogue needs at least one star");
+  STARSIM_REQUIRE(magnitude_min < magnitude_max,
+                  "magnitude range must be non-degenerate");
+
+  support::Pcg32 rng(seed);
+  Catalog catalog;
+  catalog.stars_.reserve(count);
+
+  // Inverse-transform sampling of the truncated exponential-in-magnitude
+  // law N(<m) ~ 10^(0.51 m): with k = 0.51 ln 10,
+  //   m = min + ln(1 + u (e^(k (max-min)) - 1)) / k.
+  const double k = kMagnitudeSlope * std::numbers::ln10;
+  const double spread = std::expm1(k * (magnitude_max - magnitude_min));
+
+  for (std::size_t i = 0; i < count; ++i) {
+    CatalogStar star;
+    star.right_ascension = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    // sin(dec) uniform in [-1, 1] gives uniform density on the sphere.
+    star.declination = std::asin(rng.uniform(-1.0, 1.0));
+    star.magnitude =
+        magnitude_min + std::log1p(rng.uniform() * spread) / k;
+    catalog.stars_.push_back(star);
+  }
+  return catalog;
+}
+
+Catalog Catalog::from_stars(std::vector<CatalogStar> stars) {
+  STARSIM_REQUIRE(!stars.empty(), "catalogue needs at least one star");
+  Catalog catalog;
+  catalog.stars_ = std::move(stars);
+  return catalog;
+}
+
+std::size_t Catalog::count_brighter_than(double limit) const {
+  std::size_t count = 0;
+  for (const CatalogStar& star : stars_) {
+    if (star.magnitude < limit) ++count;
+  }
+  return count;
+}
+
+}  // namespace starsim

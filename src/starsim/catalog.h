@@ -1,0 +1,53 @@
+// Celestial star catalogue substrate.
+//
+// The paper's input pipeline retrieves "stars that locate in the FOV of
+// star image from star catalogue" (its reference [4]); real catalogues
+// (e.g. SAO, Hipparcos subsets used by star trackers) are proprietary-ish
+// and large, so we synthesize one with the two properties the simulation
+// cares about: directions uniform on the celestial sphere and the
+// empirical magnitude law log10 N(<m) ~ 0.51 m (each magnitude step
+// roughly triples the cumulative star count).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "starsim/attitude.h"
+
+namespace starsim {
+
+struct CatalogStar {
+  double right_ascension = 0.0;  ///< radians, [0, 2 pi)
+  double declination = 0.0;      ///< radians, [-pi/2, pi/2]
+  double magnitude = 0.0;
+
+  /// Unit direction vector in the inertial frame.
+  [[nodiscard]] Vec3 direction() const;
+};
+
+class Catalog {
+ public:
+  /// Synthesize `count` stars with uniform sphere coverage and the 0.51-dex
+  /// cumulative magnitude law over [magnitude_min, magnitude_max].
+  static Catalog synthesize(std::size_t count, std::uint64_t seed = 2012,
+                            double magnitude_min = 0.0,
+                            double magnitude_max = 7.0);
+
+  /// Wrap an existing star list (catalogue file loading).
+  static Catalog from_stars(std::vector<CatalogStar> stars);
+
+  [[nodiscard]] std::span<const CatalogStar> stars() const { return stars_; }
+  [[nodiscard]] std::size_t size() const { return stars_.size(); }
+
+  /// Stars brighter than (magnitude below) `limit`.
+  [[nodiscard]] std::size_t count_brighter_than(double limit) const;
+
+  /// The slope of the cumulative magnitude law used by synthesize().
+  static constexpr double kMagnitudeSlope = 0.51;
+
+ private:
+  std::vector<CatalogStar> stars_;
+};
+
+}  // namespace starsim

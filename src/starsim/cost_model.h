@@ -1,0 +1,75 @@
+// Flop accounting shared by the CPU and GPU sides.
+//
+// Every simulator measures its arithmetic in the same unit — fp64
+// flop-equivalents, with transcendentals priced at the DeviceSpec costs —
+// so modeled CPU time (HostSpec) and modeled GPU time (perf model) are
+// directly comparable, which is what makes the benches' speedup columns
+// meaningful. FlopMeter exposes the same counting surface as
+// gpusim::ThreadCtx (count_flops / exp / pow / sqrt), letting the PSF and
+// brightness formulas be written once and instantiated for either side
+// (see psf.h).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "gpusim/device_spec.h"
+
+namespace starsim {
+
+/// Transcendental prices in flop-equivalents.
+struct ArithmeticCosts {
+  double exp_cost = 160.0;
+  double pow_cost = 200.0;
+  double sqrt_cost = 40.0;
+  double erf_cost = 120.0;
+
+  static ArithmeticCosts from_device(const gpusim::DeviceSpec& spec) {
+    return ArithmeticCosts{spec.exp_flop_equiv, spec.pow_flop_equiv,
+                           spec.sqrt_flop_equiv, spec.erf_flop_equiv};
+  }
+};
+
+/// CPU-side arithmetic meter with the ThreadCtx counting interface.
+class FlopMeter {
+ public:
+  FlopMeter() = default;
+  explicit FlopMeter(const ArithmeticCosts& costs) : costs_(costs) {}
+
+  void count_flops(std::uint64_t n) { flops_ += n; }
+
+  double exp(double x) {
+    flops_ += static_cast<std::uint64_t>(costs_.exp_cost);
+    return std::exp(x);
+  }
+  double pow(double base, double exponent) {
+    flops_ += static_cast<std::uint64_t>(costs_.pow_cost);
+    return std::pow(base, exponent);
+  }
+  double sqrt(double x) {
+    flops_ += static_cast<std::uint64_t>(costs_.sqrt_cost);
+    return std::sqrt(x);
+  }
+  double erf(double x) {
+    flops_ += static_cast<std::uint64_t>(costs_.erf_cost);
+    return std::erf(x);
+  }
+
+  [[nodiscard]] std::uint64_t flops() const { return flops_; }
+  void reset() { flops_ = 0; }
+
+ private:
+  ArithmeticCosts costs_;
+  std::uint64_t flops_ = 0;
+};
+
+/// Zero-overhead meter for callers that want the value without accounting.
+struct NullMeter {
+  void count_flops(std::uint64_t) {}
+  double exp(double x) { return std::exp(x); }
+  double pow(double base, double exponent) { return std::pow(base, exponent); }
+  double sqrt(double x) { return std::sqrt(x); }
+  double erf(double x) { return std::erf(x); }
+};
+
+}  // namespace starsim

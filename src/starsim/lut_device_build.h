@@ -1,0 +1,39 @@
+// Device-side lookup-table construction (ablation of a Section IV-D design
+// choice).
+//
+// The paper builds the adaptive simulator's table on the CPU, "due to the
+// small execution overhead and little data parallelism". This module
+// implements the alternative it rejected — a kernel in which every thread
+// evaluates one table entry directly into device memory (no upload) — so
+// bench_ablation_lut_build can measure where the CPU choice holds: at the
+// paper's tiny fixed-geometry table, and where it stops holding: large
+// tables (fine magnitude bins, subpixel phases), whose build parallelism is
+// no longer "little".
+#pragma once
+
+#include "gpusim/device.h"
+#include "starsim/lookup_table.h"
+#include "starsim/scene.h"
+
+namespace starsim {
+
+struct DeviceLutBuild {
+  /// The table in device memory, LookupTable texture layout (caller frees).
+  gpusim::DevicePtr<float> table;
+  /// Geometry matching LookupTable::build for the same inputs.
+  int width = 0;
+  int height = 0;
+  /// Modeled kernel time of the build (there is no upload: the table is
+  /// born in device memory).
+  double kernel_s = 0.0;
+  double utilization = 0.0;
+  std::uint64_t flops = 0;
+};
+
+/// Build the lookup table with a kernel on `device`. The values match
+/// LookupTable::build(scene, options) to float precision.
+[[nodiscard]] DeviceLutBuild build_lookup_table_on_device(
+    gpusim::Device& device, const SceneConfig& scene,
+    const LookupTableOptions& options = {});
+
+}  // namespace starsim

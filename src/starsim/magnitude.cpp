@@ -1,0 +1,20 @@
+#include "starsim/magnitude.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace starsim {
+
+double BrightnessModel::brightness(double magnitude) const {
+  return proportion_factor * std::pow(magnitude_base, -magnitude);
+}
+
+double BrightnessModel::magnitude_of(double flux) const {
+  STARSIM_REQUIRE(flux > 0.0, "brightness must be positive");
+  STARSIM_REQUIRE(proportion_factor > 0.0 && magnitude_base > 1.0,
+                  "invalid brightness model parameters");
+  return -std::log(flux / proportion_factor) / std::log(magnitude_base);
+}
+
+}  // namespace starsim

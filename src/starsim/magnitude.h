@@ -1,0 +1,38 @@
+// Star brightness from magnitude — the paper's Eq. (1):
+//
+//     g(m) = A * 2.512^(-m)
+//
+// A is the proportion factor that sets the flux of a magnitude-0 star in
+// sensor units; 2.512 is the conventional Pogson-scale base (five magnitudes
+// = a factor of ~100 in flux). Magnitudes conventionally range 0..15 in the
+// paper's catalogues.
+#pragma once
+
+#include <cstdint>
+
+namespace starsim {
+
+struct BrightnessModel {
+  double proportion_factor = 1000.0;  ///< A in Eq. (1)
+  double magnitude_base = 2.512;      ///< Pogson ratio
+
+  /// Flop-equivalents one brightness evaluation costs (the pow dominates;
+  /// callers add the device/host pow cost on top of kArithmeticFlops).
+  static constexpr std::uint64_t kArithmeticFlops = 2;
+
+  /// g(m) evaluated through `meter` so the pow is priced consistently on
+  /// CPU (FlopMeter) and GPU (ThreadCtx).
+  template <typename Meter>
+  [[nodiscard]] double brightness(Meter& meter, double magnitude) const {
+    meter.count_flops(kArithmeticFlops);
+    return proportion_factor * meter.pow(magnitude_base, -magnitude);
+  }
+
+  /// Unmetered convenience overload.
+  [[nodiscard]] double brightness(double magnitude) const;
+
+  /// Inverse: the magnitude whose brightness is `flux` (flux must be > 0).
+  [[nodiscard]] double magnitude_of(double flux) const;
+};
+
+}  // namespace starsim

@@ -1,0 +1,76 @@
+#include "starsim/multi_gpu_simulator.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/timer.h"
+
+namespace starsim {
+
+MultiGpuSimulator::MultiGpuSimulator(int device_count, gpusim::DeviceSpec spec,
+                                     gpusim::HostSpec host)
+    : host_(host) {
+  STARSIM_REQUIRE(device_count > 0, "need at least one device");
+  devices_.reserve(static_cast<std::size_t>(device_count));
+  for (int i = 0; i < device_count; ++i) {
+    devices_.push_back(std::make_unique<gpusim::Device>(spec));
+  }
+}
+
+SimulationResult MultiGpuSimulator::simulate(const SceneConfig& scene,
+                                             std::span<const Star> stars) {
+  scene.validate();
+  const support::WallTimer wall;
+  SimulationResult result;
+  result.image = imageio::ImageF(scene.image_width, scene.image_height);
+  if (stars.empty()) {
+    result.timing.wall_s = wall.seconds();
+    return result;
+  }
+
+  const std::size_t device_count = devices_.size();
+  const std::size_t chunk =
+      (stars.size() + device_count - 1) / device_count;
+
+  double max_kernel_s = 0.0;
+  double utilization_sum = 0.0;
+  int active_devices = 0;
+  for (std::size_t d = 0; d < device_count; ++d) {
+    const std::size_t begin = d * chunk;
+    if (begin >= stars.size()) break;
+    const std::size_t end = std::min(stars.size(), begin + chunk);
+
+    ParallelSimulator worker(*devices_[d]);
+    SimulationResult partial =
+        worker.simulate(scene, stars.subspan(begin, end - begin));
+
+    // Reduce the partial image into the result.
+    auto dst = result.image.pixels();
+    const auto src = partial.image.pixels();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+
+    // Kernels run concurrently; the PCIe bus and host reduction are shared.
+    max_kernel_s = std::max(max_kernel_s, partial.timing.kernel_s);
+    result.timing.h2d_s += partial.timing.h2d_s;
+    result.timing.d2h_s += partial.timing.d2h_s;
+    result.timing.counters.merge(partial.timing.counters);
+    utilization_sum += partial.timing.utilization;
+    ++active_devices;
+  }
+
+  result.timing.kernel_s = max_kernel_s;
+  result.timing.host_reduce_s = host_.memory_stream_time_s(
+      static_cast<double>(active_devices) *
+      static_cast<double>(result.image.pixel_count()) * sizeof(float));
+  result.timing.utilization =
+      active_devices > 0 ? utilization_sum / active_devices : 0.0;
+  result.timing.achieved_gflops =
+      result.timing.kernel_s > 0.0
+          ? static_cast<double>(result.timing.counters.flops) /
+                result.timing.kernel_s / 1e9
+          : 0.0;
+  result.timing.wall_s = wall.seconds();
+  return result;
+}
+
+}  // namespace starsim

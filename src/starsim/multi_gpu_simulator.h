@@ -1,0 +1,47 @@
+// Multi-GPU scaling — the paper's stated future work ("Our future work will
+// focus on scaling our simulators to multiple GPUs in order to obtain better
+// performance and also more memory space").
+//
+// Stars are partitioned into contiguous chunks, one per simulated device;
+// each device runs the star-centric parallel pipeline on its chunk against
+// its own image copy, and the host sums the partial images. The timing
+// composition models the obvious deployment: kernels execute concurrently
+// (max across devices), the PCIe bus is shared (transfer times add), and
+// the reduction streams N partial images through host memory.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/host_spec.h"
+#include "starsim/parallel_simulator.h"
+#include "starsim/simulator.h"
+
+namespace starsim {
+
+class MultiGpuSimulator final : public Simulator {
+ public:
+  /// Creates `device_count` devices of the given spec.
+  MultiGpuSimulator(int device_count,
+                    gpusim::DeviceSpec spec = gpusim::DeviceSpec::gtx480(),
+                    gpusim::HostSpec host = gpusim::HostSpec::i7_860());
+
+  [[nodiscard]] SimulatorKind kind() const override {
+    return SimulatorKind::kMultiGpu;
+  }
+  [[nodiscard]] std::string_view name() const override { return "multi-gpu"; }
+
+  [[nodiscard]] int device_count() const {
+    return static_cast<int>(devices_.size());
+  }
+
+  [[nodiscard]] SimulationResult simulate(
+      const SceneConfig& scene, std::span<const Star> stars) override;
+
+ private:
+  std::vector<std::unique_ptr<gpusim::Device>> devices_;
+  gpusim::HostSpec host_;
+};
+
+}  // namespace starsim

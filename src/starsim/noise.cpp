@@ -1,0 +1,37 @@
+#include "starsim/noise.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace starsim {
+
+imageio::ImageF apply_sensor_noise(const imageio::ImageF& flux,
+                                   const SensorNoiseConfig& config) {
+  STARSIM_REQUIRE(config.gain_electrons_per_flux > 0.0,
+                  "gain must be positive");
+  STARSIM_REQUIRE(config.read_noise_electrons >= 0.0,
+                  "read noise must be non-negative");
+  STARSIM_REQUIRE(!flux.empty(), "cannot add noise to an empty image");
+
+  support::Pcg32 rng(config.seed);
+  imageio::ImageF out(flux.width(), flux.height());
+  const auto src = flux.pixels();
+  auto dst = out.pixels();
+  const double gain = config.gain_electrons_per_flux;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    double electrons = std::max(0.0, static_cast<double>(src[i])) * gain +
+                       config.dark_offset_electrons;
+    if (config.shot_noise) {
+      electrons = static_cast<double>(rng.poisson(electrons));
+    }
+    if (config.read_noise_electrons > 0.0) {
+      electrons += rng.normal(0.0, config.read_noise_electrons);
+    }
+    dst[i] = static_cast<float>(std::max(0.0, electrons) / gain);
+  }
+  return out;
+}
+
+}  // namespace starsim

@@ -1,0 +1,34 @@
+// Sensor noise injection (realism extension).
+//
+// The paper's motivating instruments — star sensors, space-environment
+// simulators — image through real detectors; the intensity model's clean
+// flux field becomes a realistic frame only after shot noise, read noise
+// and a dark offset. This module applies that output stage to a simulated
+// image. Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "imageio/image.h"
+
+namespace starsim {
+
+struct SensorNoiseConfig {
+  /// Detector gain: electrons collected per unit of model flux. Shot noise
+  /// scales as sqrt(electrons), so larger gain means relatively less noise.
+  double gain_electrons_per_flux = 1.0;
+  /// Apply Poisson (photon shot) noise.
+  bool shot_noise = true;
+  /// Gaussian read noise sigma, in electrons.
+  double read_noise_electrons = 2.0;
+  /// Constant dark-level offset, in electrons.
+  double dark_offset_electrons = 0.0;
+  std::uint64_t seed = 20120521;  // the paper's conference date
+};
+
+/// Return a noisy copy of `flux` (units preserved: electrons are converted
+/// back to flux by the gain). Pixel values are clamped at zero.
+[[nodiscard]] imageio::ImageF apply_sensor_noise(
+    const imageio::ImageF& flux, const SensorNoiseConfig& config);
+
+}  // namespace starsim

@@ -1,0 +1,118 @@
+#include "starsim/openmp_simulator.h"
+
+#include <thread>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "starsim/kernel_cost.h"
+#include "starsim/psf.h"
+#include "starsim/roi.h"
+#include "support/timer.h"
+
+namespace starsim {
+
+OpenMpSimulator::OpenMpSimulator(int threads, gpusim::HostSpec host,
+                                 ArithmeticCosts costs)
+    : threads_(threads), host_(host), costs_(costs) {
+  if (threads_ <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads_ = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+}
+
+SimulationResult OpenMpSimulator::simulate(const SceneConfig& scene,
+                                           std::span<const Star> stars) {
+  scene.validate();
+  const support::WallTimer wall;
+
+  SimulationResult result;
+  result.image = imageio::ImageF(scene.image_width, scene.image_height);
+
+  const GaussianPsf psf(scene.psf_sigma);
+  const Roi roi(scene.roi_side);
+  const double coefficient = psf.coefficient();
+  const double inv_two_sigma_sq = psf.inv_two_sigma_sq();
+  const double inv_sqrt2_sigma = psf.inv_sqrt2_sigma();
+  const bool integrated = scene.pixel_integration;
+  const int side = roi.side();
+  const auto star_count = static_cast<long long>(stars.size());
+
+  // Worker-private images; reduced after the parallel region. Flop counts
+  // are per-worker and summed (the total is identical to the sequential
+  // simulator's — same loops, same meters).
+  const int workers = threads_;
+  std::vector<imageio::ImageF> partials(
+      static_cast<std::size_t>(workers > 1 ? workers : 1),
+      imageio::ImageF(scene.image_width, scene.image_height));
+  std::vector<std::uint64_t> worker_flops(partials.size(), 0);
+
+#ifdef _OPENMP
+#pragma omp parallel num_threads(workers)
+#endif
+  {
+#ifdef _OPENMP
+    const auto worker = static_cast<std::size_t>(omp_get_thread_num());
+#else
+    const std::size_t worker = 0;
+#endif
+    imageio::ImageF& image = partials[worker % partials.size()];
+    FlopMeter meter(costs_);
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (long long s = 0; s < star_count; ++s) {
+      const Star& star = stars[static_cast<std::size_t>(s)];
+      double brightness = scene.brightness.brightness(
+          meter, static_cast<double>(star.magnitude));
+      meter.count_flops(kernel_cost::kWeightFlops);
+      brightness *= static_cast<double>(star.weight);
+
+      const int base_x = roi.base_coord(star.x);
+      const int base_y = roi.base_coord(star.y);
+      for (int ty = 0; ty < side; ++ty) {
+        const int pixel_y = base_y + ty;
+        for (int tx = 0; tx < side; ++tx) {
+          const int pixel_x = base_x + tx;
+          meter.count_flops(kernel_cost::kCoordFlops +
+                            kernel_cost::kBoundsFlops);
+          if (!image.contains(pixel_x, pixel_y)) continue;
+          const double dx =
+              static_cast<double>(pixel_x) - static_cast<double>(star.x);
+          const double dy =
+              static_cast<double>(pixel_y) - static_cast<double>(star.y);
+          const double rate =
+              integrated
+                  ? gauss_integrated_rate(meter, inv_sqrt2_sigma, dx, dy)
+                  : gauss_rate(meter, coefficient, inv_two_sigma_sq, dx, dy);
+          meter.count_flops(kernel_cost::kAccumFlops);
+          image(pixel_x, pixel_y) += static_cast<float>(brightness * rate);
+        }
+      }
+    }
+    worker_flops[worker % partials.size()] = meter.flops();
+  }
+
+  // Reduce the partial images.
+  auto out = result.image.pixels();
+  std::uint64_t total_flops = 0;
+  for (std::size_t w = 0; w < partials.size(); ++w) {
+    const auto src = partials[w].pixels();
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += src[i];
+    total_flops += worker_flops[w];
+  }
+
+  result.timing.counters.flops = total_flops;
+  result.timing.host_compute_s =
+      host_.parallel_time_s(static_cast<double>(total_flops), threads_);
+  // The reduction streams all partial images through memory once.
+  result.timing.host_reduce_s = host_.memory_stream_time_s(
+      static_cast<double>(partials.size()) *
+      static_cast<double>(result.image.pixel_count()) * sizeof(float));
+  result.timing.wall_s = wall.seconds();
+  return result;
+}
+
+}  // namespace starsim

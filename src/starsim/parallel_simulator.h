@@ -1,0 +1,51 @@
+// The paper's parallel simulator (Section III-B).
+//
+// Star-centric decomposition on the (simulated) GPU: each thread block is a
+// star, each thread a pixel of that star's ROI. The kernel follows Fig. 6
+// step for step — thread (0,0) computes the star's brightness and stages it
+// with the position in shared memory behind a __syncthreads barrier; every
+// thread then derives its pixel coordinate, evaluates the Gaussian PSF, and
+// accumulates into the global image with atomicAdd (ROIs of nearby stars
+// overlap, and the exact conflict count is reported in the counters).
+#pragma once
+
+#include "gpusim/device.h"
+#include "starsim/simulator.h"
+
+namespace starsim {
+
+struct ParallelOptions {
+  /// Lift the paper's ROI limitation: when the ROI needs more threads than
+  /// a block allows, decompose each star's ROI into tile_side^2-thread
+  /// tiles, one block per (star, tile). Off by default — the paper's
+  /// simulator rejects such ROIs (Section IV-D), and the selection/
+  /// calibration results are stated for the untiled kernel.
+  bool allow_tiling = false;
+  int tile_side = 16;
+};
+
+class ParallelSimulator final : public Simulator {
+ public:
+  explicit ParallelSimulator(gpusim::Device& device,
+                             ParallelOptions options = {});
+
+  [[nodiscard]] SimulatorKind kind() const override {
+    return SimulatorKind::kParallel;
+  }
+  [[nodiscard]] std::string_view name() const override { return "parallel"; }
+
+  [[nodiscard]] SimulationResult simulate(
+      const SceneConfig& scene, std::span<const Star> stars) override;
+
+  /// Largest ROI side this device supports without tiling (side^2 threads
+  /// must fit in a block — the limitation Section IV-D discusses).
+  [[nodiscard]] int max_roi_side() const;
+
+  [[nodiscard]] const ParallelOptions& options() const { return options_; }
+
+ private:
+  gpusim::Device& device_;
+  ParallelOptions options_;
+};
+
+}  // namespace starsim

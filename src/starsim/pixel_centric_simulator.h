@@ -1,0 +1,38 @@
+// The rejected design from Fig. 3(a), implemented for the ablation study.
+//
+// One thread per image pixel; every thread scans the whole star array and
+// tests whether the pixel falls inside each star's ROI. The paper rejects
+// this decomposition because "each thread has to identify all stars ... and
+// it will lead to many divergences in the warp execution"; here those
+// divergences are measured, not asserted — the branch counters report the
+// divergent-warp rate and the perf model prices it, so
+// bench_ablation_pixel_centric can show the actual gap against the
+// star-centric kernel on identical workloads.
+//
+// Work is O(pixels x stars) — use it on ablation-scale scenes only.
+#pragma once
+
+#include "gpusim/device.h"
+#include "starsim/simulator.h"
+
+namespace starsim {
+
+class PixelCentricSimulator final : public Simulator {
+ public:
+  explicit PixelCentricSimulator(gpusim::Device& device);
+
+  [[nodiscard]] SimulatorKind kind() const override {
+    return SimulatorKind::kPixelCentric;
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "pixel-centric";
+  }
+
+  [[nodiscard]] SimulationResult simulate(
+      const SceneConfig& scene, std::span<const Star> stars) override;
+
+ private:
+  gpusim::Device& device_;
+};
+
+}  // namespace starsim

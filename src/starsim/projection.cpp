@@ -1,0 +1,47 @@
+#include "starsim/projection.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace starsim {
+
+double CameraModel::half_diagonal_fov() const {
+  const double half_diag =
+      0.5 * std::hypot(static_cast<double>(width), static_cast<double>(height));
+  return std::atan2(half_diag, focal_length_px);
+}
+
+StarField project_to_image(std::span<const CatalogStar> catalog,
+                           const Quaternion& attitude,
+                           const CameraModel& camera) {
+  STARSIM_REQUIRE(camera.width > 0 && camera.height > 0,
+                  "camera frame must be non-empty");
+  STARSIM_REQUIRE(camera.focal_length_px > 0.0,
+                  "focal length must be positive");
+
+  StarField stars;
+  const double cx = camera.center_x();
+  const double cy = camera.center_y();
+  const double lo_x = -camera.frame_margin_px;
+  const double lo_y = -camera.frame_margin_px;
+  const double hi_x = camera.width + camera.frame_margin_px;
+  const double hi_y = camera.height + camera.frame_margin_px;
+
+  for (const CatalogStar& entry : catalog) {
+    if (entry.magnitude >= camera.magnitude_limit) continue;
+    const Vec3 cam = attitude.rotate(entry.direction());
+    if (cam.z <= 1e-9) continue;  // behind or at the image plane
+    const double u = camera.focal_length_px * cam.x / cam.z + cx;
+    const double v = camera.focal_length_px * cam.y / cam.z + cy;
+    if (u < lo_x || u >= hi_x || v < lo_y || v >= hi_y) continue;
+    Star star;
+    star.magnitude = static_cast<float>(entry.magnitude);
+    star.x = static_cast<float>(u);
+    star.y = static_cast<float>(v);
+    stars.push_back(star);
+  }
+  return stars;
+}
+
+}  // namespace starsim

@@ -1,0 +1,50 @@
+// Catalogue -> image-plane star retrieval: the paper's Star generation
+// stage for attitude-driven simulation.
+//
+// A pinhole (gnomonic) camera model: the attitude quaternion rotates
+// inertial star directions into the camera frame (+Z boresight, +X right,
+// +Y down/image-y), directions in front of the camera project to
+//   u = f * X/Z + cx,   v = f * Y/Z + cy,
+// and stars landing inside the frame (with optional margin) and brighter
+// than the detection limit become image-plane Star records.
+#pragma once
+
+#include <span>
+
+#include "starsim/attitude.h"
+#include "starsim/catalog.h"
+#include "starsim/star.h"
+
+namespace starsim {
+
+struct CameraModel {
+  int width = 1024;
+  int height = 1024;
+  double focal_length_px = 2000.0;
+  /// Principal point; NaN means the image center.
+  double principal_x = -1.0;
+  double principal_y = -1.0;
+  /// Faintest detectable magnitude.
+  double magnitude_limit = 7.0;
+  /// Extra pixels beyond the frame to keep (stars just outside still leak
+  /// flux in through their ROI); 0 culls exactly at the frame edge.
+  int frame_margin_px = 0;
+
+  [[nodiscard]] double center_x() const {
+    return principal_x >= 0.0 ? principal_x : 0.5 * (width - 1);
+  }
+  [[nodiscard]] double center_y() const {
+    return principal_y >= 0.0 ? principal_y : 0.5 * (height - 1);
+  }
+
+  /// Half-angle of the diagonal field of view, radians.
+  [[nodiscard]] double half_diagonal_fov() const;
+};
+
+/// Project every detectable catalogue star in the FOV onto the image plane.
+/// `attitude` maps inertial directions into the camera frame.
+[[nodiscard]] StarField project_to_image(std::span<const CatalogStar> catalog,
+                                         const Quaternion& attitude,
+                                         const CameraModel& camera);
+
+}  // namespace starsim

@@ -1,0 +1,44 @@
+#include "starsim/psf.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.h"
+
+namespace starsim {
+
+GaussianPsf::GaussianPsf(double sigma) : sigma_(sigma) {
+  STARSIM_REQUIRE(sigma > 0.0, "PSF sigma must be positive");
+  coefficient_ = 1.0 / (2.0 * std::numbers::pi * sigma * sigma);
+  inv_two_sigma_sq_ = 1.0 / (2.0 * sigma * sigma);
+  inv_sqrt2_sigma_ = 1.0 / (std::numbers::sqrt2 * sigma);
+}
+
+double GaussianPsf::intensity_rate(double dx, double dy) const {
+  return coefficient_ * std::exp(-(dx * dx + dy * dy) * inv_two_sigma_sq_);
+}
+
+double GaussianPsf::integrated_rate(double dx, double dy) const {
+  // The 2-D Gaussian separates; each axis integrates to an erf difference
+  // over the pixel footprint [d-0.5, d+0.5].
+  const auto axis = [this](double d) {
+    return 0.5 * (std::erf((d + 0.5) * inv_sqrt2_sigma_) -
+                  std::erf((d - 0.5) * inv_sqrt2_sigma_));
+  };
+  return axis(dx) * axis(dy);
+}
+
+double GaussianPsf::energy_within_radius(double r) const {
+  STARSIM_REQUIRE(r >= 0.0, "radius must be non-negative");
+  return 1.0 - std::exp(-r * r * inv_two_sigma_sq_);
+}
+
+int GaussianPsf::radius_for_energy(double fraction) const {
+  STARSIM_REQUIRE(fraction > 0.0 && fraction < 1.0,
+                  "energy fraction must be in (0, 1)");
+  // r = sigma * sqrt(-2 ln(1 - fraction)), rounded up to whole pixels.
+  const double r = sigma_ * std::sqrt(-2.0 * std::log(1.0 - fraction));
+  return static_cast<int>(std::ceil(r));
+}
+
+}  // namespace starsim

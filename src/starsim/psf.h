@@ -1,0 +1,87 @@
+// Gaussian point spread function — the paper's Eq. (2):
+//
+//     mu(x, y) = 1/(2 pi delta^2) * exp(-((x-X)^2 + (y-Y)^2) / (2 delta^2))
+//
+// mu is the fraction of a star's flux that lands on the (point-sampled)
+// pixel at distance (dx, dy) = (x-X, y-Y) from the star. The class
+// precomputes the two constants so the hot path is the six-flop expression
+// the kernels and the sequential simulator share (gauss_rate below).
+//
+// Two refinements beyond the paper are provided for validation work:
+// pixel-integrated rates (erf over the pixel footprint, the physically exact
+// pixel response) and the enclosed-energy radial profile used to choose ROI
+// radii.
+#pragma once
+
+#include <cstdint>
+
+namespace starsim {
+
+class GaussianPsf {
+ public:
+  /// `sigma` is the paper's delta, in pixels; must be positive.
+  explicit GaussianPsf(double sigma);
+
+  [[nodiscard]] double sigma() const { return sigma_; }
+  /// 1/(2 pi sigma^2), the on-center rate.
+  [[nodiscard]] double coefficient() const { return coefficient_; }
+  /// 1/(2 sigma^2), the exponent scale.
+  [[nodiscard]] double inv_two_sigma_sq() const { return inv_two_sigma_sq_; }
+  /// 1/(sqrt(2) sigma), the erf argument scale of the integrated rate.
+  [[nodiscard]] double inv_sqrt2_sigma() const { return inv_sqrt2_sigma_; }
+
+  /// Point-sampled intensity rate at offset (dx, dy) — Eq. (2).
+  [[nodiscard]] double intensity_rate(double dx, double dy) const;
+
+  /// Pixel-integrated rate: Eq. (2) integrated over the unit pixel centered
+  /// at (dx, dy). Exact (product of erf differences).
+  [[nodiscard]] double integrated_rate(double dx, double dy) const;
+
+  /// Fraction of total flux within radius `r` of the center:
+  /// 1 - exp(-r^2 / (2 sigma^2)). Used to size ROIs.
+  [[nodiscard]] double energy_within_radius(double r) const;
+
+  /// Smallest ROI half-width capturing at least `fraction` of the flux.
+  [[nodiscard]] int radius_for_energy(double fraction) const;
+
+ private:
+  double sigma_;
+  double coefficient_;
+  double inv_two_sigma_sq_;
+  double inv_sqrt2_sigma_;
+};
+
+/// Flop-equivalents of one gauss_rate evaluation, excluding the exp (which
+/// the meter prices itself).
+inline constexpr std::uint64_t kGaussRateArithmeticFlops = 6;
+
+/// The shared hot-path expression: coeff * exp(-(dx^2+dy^2) * inv2s2),
+/// metered through either a FlopMeter (CPU) or a ThreadCtx (GPU).
+template <typename Meter>
+[[nodiscard]] double gauss_rate(Meter& meter, double coefficient,
+                                double inv_two_sigma_sq, double dx,
+                                double dy) {
+  meter.count_flops(kGaussRateArithmeticFlops);
+  const double r_sq = dx * dx + dy * dy;
+  return coefficient * meter.exp(-r_sq * inv_two_sigma_sq);
+}
+
+/// Arithmetic (non-erf) flops of one pixel-integrated rate evaluation.
+inline constexpr std::uint64_t kIntegratedRateArithmeticFlops = 9;
+
+/// Pixel-integrated rate (exact pixel response) as a metered hot path:
+/// the product of per-axis erf differences over the unit pixel at offset
+/// (dx, dy). Four erf evaluations, priced by the meter.
+template <typename Meter>
+[[nodiscard]] double gauss_integrated_rate(Meter& meter,
+                                           double inv_sqrt2_sigma, double dx,
+                                           double dy) {
+  meter.count_flops(kIntegratedRateArithmeticFlops);
+  const double x = 0.5 * (meter.erf((dx + 0.5) * inv_sqrt2_sigma) -
+                          meter.erf((dx - 0.5) * inv_sqrt2_sigma));
+  const double y = 0.5 * (meter.erf((dy + 0.5) * inv_sqrt2_sigma) -
+                          meter.erf((dy - 0.5) * inv_sqrt2_sigma));
+  return x * y;
+}
+
+}  // namespace starsim

@@ -1,0 +1,25 @@
+#include "starsim/render.h"
+
+#include "imageio/bmp.h"
+#include "imageio/pnm.h"
+
+namespace starsim {
+
+imageio::ImageU8 render_display_image(const imageio::ImageF& flux,
+                                      const RenderOptions& options) {
+  if (options.apply_noise) {
+    return imageio::tonemap_u8(apply_sensor_noise(flux, options.noise),
+                               options.tonemap);
+  }
+  return imageio::tonemap_u8(flux, options.tonemap);
+}
+
+void save_star_image(const imageio::ImageF& flux,
+                     const std::string& path_prefix,
+                     const RenderOptions& options) {
+  const imageio::ImageU8 frame = render_display_image(flux, options);
+  imageio::write_bmp_gray8(frame, path_prefix + ".bmp");
+  imageio::write_pgm8(frame, path_prefix + ".pgm");
+}
+
+}  // namespace starsim

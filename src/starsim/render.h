@@ -1,0 +1,35 @@
+// Output stage: flux image -> displayable frame (the paper's Output stage,
+// which "sends out the gray value to CPU platform to form a picture").
+#pragma once
+
+#include <string>
+
+#include "imageio/image.h"
+#include "imageio/tonemap.h"
+#include "starsim/noise.h"
+
+namespace starsim {
+
+struct RenderOptions {
+  imageio::TonemapOptions tonemap{
+      .full_scale = 1.0f,
+      .gamma = 1.0f,
+      .auto_expose = true,
+      .percentile = 99.9f,
+  };
+  bool apply_noise = false;
+  SensorNoiseConfig noise;
+};
+
+/// Quantize a simulated flux image for display (optionally through the
+/// sensor noise model).
+[[nodiscard]] imageio::ImageU8 render_display_image(
+    const imageio::ImageF& flux, const RenderOptions& options = {});
+
+/// Render and write both a BMP and a PGM next to each other:
+/// `<path_prefix>.bmp` and `<path_prefix>.pgm`.
+void save_star_image(const imageio::ImageF& flux,
+                     const std::string& path_prefix,
+                     const RenderOptions& options = {});
+
+}  // namespace starsim

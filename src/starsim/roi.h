@@ -1,0 +1,71 @@
+// Region-of-interest geometry.
+//
+// The intensity distribution of a star is restricted to a square ROI of
+// `side` pixels centered on the star (Fig. 1 of the paper): pixel columns
+// [base_x, base_x + side) with base_x = round(star.x) - side/2, and likewise
+// in y. ROI pixels falling outside the image are clipped (the kernels'
+// boundary branch). All simulators, the lookup table and the work
+// predictors share this one definition so they agree pixel-for-pixel.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace starsim {
+
+class Roi {
+ public:
+  explicit Roi(int side) : side_(side) {
+    STARSIM_REQUIRE(side > 0, "ROI side must be positive");
+  }
+
+  [[nodiscard]] int side() const { return side_; }
+  /// The paper's MARGIN: offset from the ROI base to the star's pixel.
+  [[nodiscard]] int margin() const { return side_ / 2; }
+  [[nodiscard]] int area() const { return side_ * side_; }
+
+  /// First pixel coordinate of the ROI along one axis.
+  [[nodiscard]] int base_coord(float star_coord) const {
+    return static_cast<int>(std::lround(star_coord)) - margin();
+  }
+
+  /// Image-clipped pixel bounds of a star's ROI (half-open).
+  struct Bounds {
+    int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+    [[nodiscard]] bool empty() const { return x0 >= x1 || y0 >= y1; }
+    [[nodiscard]] int width() const { return std::max(0, x1 - x0); }
+    [[nodiscard]] int height() const { return std::max(0, y1 - y0); }
+    [[nodiscard]] long area() const {
+      return static_cast<long>(width()) * height();
+    }
+  };
+
+  [[nodiscard]] Bounds clipped_bounds(float star_x, float star_y,
+                                      int image_width,
+                                      int image_height) const {
+    const int bx = base_coord(star_x);
+    const int by = base_coord(star_y);
+    Bounds b;
+    b.x0 = std::max(0, bx);
+    b.y0 = std::max(0, by);
+    b.x1 = std::min(image_width, bx + side_);
+    b.y1 = std::min(image_height, by + side_);
+    return b;
+  }
+
+  /// True when the whole (unclipped) ROI of a star lies inside the image.
+  [[nodiscard]] bool fully_inside(float star_x, float star_y, int image_width,
+                                  int image_height) const {
+    const int bx = base_coord(star_x);
+    const int by = base_coord(star_y);
+    return bx >= 0 && by >= 0 && bx + side_ <= image_width &&
+           by + side_ <= image_height;
+  }
+
+ private:
+  int side_;
+};
+
+}  // namespace starsim

@@ -1,0 +1,40 @@
+// Scene configuration shared by all simulators: the model parameters that,
+// per Section II of the paper, define a star image simulation — image size,
+// ROI side, Gaussian blur width, and the brightness proportionality.
+#pragma once
+
+#include "starsim/magnitude.h"
+#include "support/error.h"
+
+namespace starsim {
+
+struct SceneConfig {
+  int image_width = 1024;
+  int image_height = 1024;
+  /// ROI side in pixels (the paper's empirical range is radius 2..20, i.e.
+  /// sides up to ~40; the parallel simulator additionally caps side^2 at
+  /// the device's threads-per-block limit).
+  int roi_side = 10;
+  /// Gaussian PSF standard deviation (the paper's delta), in pixels.
+  double psf_sigma = 1.7;
+  /// Pixel response model: false = the paper's point-sampled Eq. (2);
+  /// true = the exact pixel-integrated response (erf over the pixel
+  /// footprint), which conserves flux for arbitrarily small sigma at the
+  /// price of four erf evaluations per pixel.
+  bool pixel_integration = false;
+  BrightnessModel brightness;
+  /// Magnitude range the instrument detects (0..15 in the paper).
+  double magnitude_min = 0.0;
+  double magnitude_max = 15.0;
+
+  void validate() const {
+    STARSIM_REQUIRE(image_width > 0 && image_height > 0,
+                    "image dimensions must be positive");
+    STARSIM_REQUIRE(roi_side > 0, "ROI side must be positive");
+    STARSIM_REQUIRE(psf_sigma > 0.0, "PSF sigma must be positive");
+    STARSIM_REQUIRE(magnitude_min <= magnitude_max,
+                    "magnitude range is inverted");
+  }
+};
+
+}  // namespace starsim

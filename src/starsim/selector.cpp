@@ -1,0 +1,257 @@
+#include "starsim/selector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/perf_model.h"
+#include "starsim/device_frame.h"
+#include "starsim/kernel_cost.h"
+#include "starsim/magnitude.h"
+#include "starsim/psf.h"
+#include "support/error.h"
+
+namespace starsim {
+
+namespace {
+
+namespace kc = kernel_cost;
+
+struct LutGeometry {
+  int bins = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+};
+
+LutGeometry lut_geometry(const SceneConfig& scene,
+                         const LookupTableOptions& options) {
+  LutGeometry g;
+  const double span = scene.magnitude_max - scene.magnitude_min;
+  g.bins = std::max(
+      1, static_cast<int>(std::ceil(span * options.bins_per_magnitude)));
+  g.entries = static_cast<std::uint64_t>(g.bins) *
+              static_cast<std::uint64_t>(options.subpixel_phases) *
+              static_cast<std::uint64_t>(options.subpixel_phases) *
+              static_cast<std::uint64_t>(scene.roi_side) *
+              static_cast<std::uint64_t>(scene.roi_side);
+  g.bytes = g.entries * sizeof(float);
+  return g;
+}
+
+/// Flop-equivalents of one PSF evaluation under the scene's pixel model.
+std::uint64_t psf_eval_flops(const gpusim::DeviceSpec& device,
+                             const SceneConfig& scene) {
+  if (scene.pixel_integration) {
+    return kIntegratedRateArithmeticFlops +
+           4 * static_cast<std::uint64_t>(device.erf_flop_equiv);
+  }
+  return kGaussRateArithmeticFlops +
+         static_cast<std::uint64_t>(device.exp_flop_equiv);
+}
+
+/// Geometry fields common to both star-centric kernels.
+void fill_launch_geometry(const gpusim::DeviceSpec& spec,
+                          const gpusim::LaunchConfig& config,
+                          gpusim::KernelCounters& c) {
+  const std::uint64_t tpb = config.threads_per_block();
+  const std::uint64_t wpb =
+      (tpb + static_cast<std::uint64_t>(spec.warp_size) - 1) /
+      static_cast<std::uint64_t>(spec.warp_size);
+  c.blocks_launched = config.total_blocks();
+  c.threads_launched = c.blocks_launched * tpb;
+  c.warps_launched = c.blocks_launched * wpb;
+}
+
+double transfer_total(const gpusim::DeviceSpec& spec,
+                      std::span<const std::uint64_t> transfer_bytes) {
+  double total = 0.0;
+  for (std::uint64_t bytes : transfer_bytes) {
+    total += gpusim::estimate_transfer_time(spec, bytes);
+  }
+  return total;
+}
+
+}  // namespace
+
+SimulatorSelector::SimulatorSelector(gpusim::DeviceSpec device,
+                                     gpusim::HostSpec host,
+                                     LookupTableOptions lut)
+    : device_(std::move(device)), host_(host), lut_(lut) {}
+
+gpusim::KernelCounters SimulatorSelector::predict_parallel_counters(
+    const SceneConfig& scene, std::size_t star_count) const {
+  scene.validate();
+  STARSIM_REQUIRE(star_count > 0, "prediction needs at least one star");
+  const auto n = static_cast<std::uint64_t>(star_count);
+  const auto side = static_cast<std::uint64_t>(scene.roi_side);
+  const std::uint64_t tpb = side * side;
+  const std::uint64_t wpb =
+      (tpb + static_cast<std::uint64_t>(device_.warp_size) - 1) /
+      static_cast<std::uint64_t>(device_.warp_size);
+  const gpusim::LaunchConfig config =
+      star_centric_config(star_count, scene.roi_side);
+
+  gpusim::KernelCounters c;
+  fill_launch_geometry(device_, config, c);
+
+  // Thread (0,0) of each active block: star load + brightness staging.
+  // The lone 16-byte load coalesces into one transaction; the staged
+  // shared values are read warp-wide at the same address (broadcast), so
+  // no bank conflicts arise.
+  c.global_reads = n;
+  c.global_bytes_read = n * sizeof(Star);
+  c.global_transactions = n;
+  c.shared_bank_conflicts = 0;
+  c.shared_writes = n * 3;
+  c.flops += n * (BrightnessModel::kArithmeticFlops +
+                  static_cast<std::uint64_t>(device_.pow_flop_equiv) +
+                  kc::kWeightFlops);
+
+  // Every thread of each active block.
+  const std::uint64_t threads = n * tpb;
+  c.shared_reads = threads * 3;
+  c.flops += threads * (kc::kCoordFlops + kc::kBoundsFlops);
+  // Interior stars: every thread passes the bounds test.
+  c.flops += threads * (psf_eval_flops(device_, scene) + kc::kAccumFlops);
+  c.atomic_ops = threads;
+  c.global_bytes_read += threads * sizeof(float);
+  c.global_bytes_written += threads * sizeof(float);
+  c.atomic_conflicts = 0;  // scattered stars (measured value may be small >0)
+
+  c.barriers = n * wpb;
+  c.branch_sites_evaluated = n * wpb;
+  c.divergent_warp_branches = 0;
+  return c;
+}
+
+gpusim::KernelCounters SimulatorSelector::predict_adaptive_counters(
+    const SceneConfig& scene, std::size_t star_count) const {
+  scene.validate();
+  STARSIM_REQUIRE(star_count > 0, "prediction needs at least one star");
+  const auto n = static_cast<std::uint64_t>(star_count);
+  const auto side = static_cast<std::uint64_t>(scene.roi_side);
+  const std::uint64_t tpb = side * side;
+  const std::uint64_t wpb =
+      (tpb + static_cast<std::uint64_t>(device_.warp_size) - 1) /
+      static_cast<std::uint64_t>(device_.warp_size);
+  const gpusim::LaunchConfig config =
+      star_centric_config(star_count, scene.roi_side);
+
+  gpusim::KernelCounters c;
+  fill_launch_geometry(device_, config, c);
+
+  c.global_reads = n;
+  c.global_bytes_read = n * sizeof(Star);
+  c.global_transactions = n;
+  c.shared_bank_conflicts = 0;
+  c.shared_writes = n * 4;
+
+  const std::uint64_t threads = n * tpb;
+  c.shared_reads = threads * 4;
+  c.flops += threads * (kc::kCoordFlops + kc::kBoundsFlops +
+                        kc::kLutIndexFlops + kc::kAccumFlops);
+  c.texture_fetches = threads;
+  // Hit/miss estimate: the whole table is touched cold once per SM; capacity
+  // misses appear only when the table outgrows the per-SM cache.
+  const LutGeometry lut = lut_geometry(scene, lut_);
+  const std::uint64_t table_lines =
+      (lut.bytes + static_cast<std::uint64_t>(device_.texture_cache_line_bytes) -
+       1) /
+      static_cast<std::uint64_t>(device_.texture_cache_line_bytes);
+  const double sm_cache = static_cast<double>(device_.texture_cache_bytes_per_sm);
+  const double reuse = std::min(
+      1.0, sm_cache / static_cast<double>(std::max<std::uint64_t>(1, lut.bytes)));
+  const std::uint64_t cold =
+      std::min(c.texture_fetches,
+               table_lines * static_cast<std::uint64_t>(device_.sm_count));
+  const auto capacity_misses = static_cast<std::uint64_t>(
+      (1.0 - reuse) * static_cast<double>(c.texture_fetches - cold));
+  c.texture_misses = cold + capacity_misses;
+  c.texture_hits = c.texture_fetches - c.texture_misses;
+
+  c.atomic_ops = threads;
+  c.global_bytes_read += threads * sizeof(float);
+  c.global_bytes_written += threads * sizeof(float);
+  c.barriers = n * wpb;
+  c.branch_sites_evaluated = n * wpb;
+  return c;
+}
+
+std::uint64_t SimulatorSelector::predict_sequential_flops(
+    const SceneConfig& scene, std::size_t star_count) const {
+  scene.validate();
+  const auto n = static_cast<std::uint64_t>(star_count);
+  const auto area = static_cast<std::uint64_t>(scene.roi_side) *
+                    static_cast<std::uint64_t>(scene.roi_side);
+  const std::uint64_t per_star =
+      BrightnessModel::kArithmeticFlops +
+      static_cast<std::uint64_t>(device_.pow_flop_equiv) + kc::kWeightFlops;
+  const std::uint64_t per_pixel = kc::kCoordFlops + kc::kBoundsFlops +
+                                  psf_eval_flops(device_, scene) +
+                                  kc::kAccumFlops;
+  return n * (per_star + area * per_pixel);
+}
+
+Prediction SimulatorSelector::predict(const SceneConfig& scene,
+                                      std::size_t star_count) const {
+  Prediction p;
+  const gpusim::LaunchConfig config =
+      star_centric_config(star_count, scene.roi_side);
+  const std::uint64_t star_bytes = star_count * sizeof(Star);
+  const std::uint64_t image_bytes = static_cast<std::uint64_t>(
+                                        scene.image_width) *
+                                    static_cast<std::uint64_t>(
+                                        scene.image_height) *
+                                    sizeof(float);
+
+  p.sequential_s =
+      host_.scalar_time_s(static_cast<double>(
+          predict_sequential_flops(scene, star_count)));
+
+  // Parallel: stars + blank image up, image down.
+  p.parallel.counters = predict_parallel_counters(scene, star_count);
+  const gpusim::KernelTiming parallel_timing =
+      gpusim::estimate_kernel_time(device_, config, p.parallel.counters);
+  p.parallel.kernel_s = parallel_timing.kernel_s;
+  p.parallel.utilization = parallel_timing.utilization;
+  p.parallel.achieved_gflops = parallel_timing.achieved_gflops;
+  {
+    const std::uint64_t up[] = {star_bytes, image_bytes};
+    p.parallel.h2d_s = transfer_total(device_, up);
+    const std::uint64_t down[] = {image_bytes};
+    p.parallel.d2h_s = transfer_total(device_, down);
+  }
+
+  // Adaptive: additionally builds, uploads and binds the lookup table.
+  p.adaptive.counters = predict_adaptive_counters(scene, star_count);
+  const gpusim::KernelTiming adaptive_timing =
+      gpusim::estimate_kernel_time(device_, config, p.adaptive.counters);
+  p.adaptive.kernel_s = adaptive_timing.kernel_s;
+  p.adaptive.utilization = adaptive_timing.utilization;
+  p.adaptive.achieved_gflops = adaptive_timing.achieved_gflops;
+  const LutGeometry lut = lut_geometry(scene, lut_);
+  {
+    const std::uint64_t up[] = {star_bytes, image_bytes, lut.bytes};
+    p.adaptive.h2d_s = transfer_total(device_, up);
+    const std::uint64_t down[] = {image_bytes};
+    p.adaptive.d2h_s = transfer_total(device_, down);
+  }
+  p.adaptive.lut_build_s =
+      host_.lut_build_time_s(static_cast<double>(lut.entries));
+  p.adaptive.texture_bind_s = device_.texture_bind_s;
+
+  p.best_gpu = p.adaptive.application_s() < p.parallel.application_s()
+                   ? SimulatorKind::kAdaptive
+                   : SimulatorKind::kParallel;
+  const double best_gpu_s = std::min(p.parallel.application_s(),
+                                     p.adaptive.application_s());
+  p.best = p.sequential_s < best_gpu_s ? SimulatorKind::kSequential
+                                       : p.best_gpu;
+  return p;
+}
+
+SimulatorKind SimulatorSelector::choose(const SceneConfig& scene,
+                                        std::size_t star_count) const {
+  return predict(scene, star_count).best;
+}
+
+}  // namespace starsim

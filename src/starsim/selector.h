@@ -1,0 +1,75 @@
+// The simulator selection advisor — Table III as an API.
+//
+// The paper closes with a selection rule: below the inflection point
+// (2^13 stars at ROI 10, or ROI side 10 at 8192 stars) use the parallel
+// simulator, above it the adaptive one, and for very small fields
+// (~up to 2^7 stars) the sequential simulator "can be a competent choice".
+// Rather than hard-coding those numbers, SimulatorSelector *predicts* the
+// application time of all three simulators analytically: it reconstructs
+// the exact execution counters each kernel would produce (the kernels are
+// deterministic in their work) and prices them with the same performance
+// and transfer models the simulators report against. The predictions are
+// therefore exact for interior stars — a property the test suite checks
+// counter-for-counter — and the advisor generalizes to any scene, device
+// spec, or lookup-table geometry.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/counters.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/host_spec.h"
+#include "starsim/breakdown.h"
+#include "starsim/lookup_table.h"
+#include "starsim/scene.h"
+#include "starsim/simulator.h"
+
+namespace starsim {
+
+struct Prediction {
+  double sequential_s = 0.0;   ///< modeled CPU application time
+  TimingBreakdown parallel;    ///< modeled, counters filled analytically
+  TimingBreakdown adaptive;    ///< modeled, counters filled analytically
+  SimulatorKind best = SimulatorKind::kSequential;      ///< of all three
+  SimulatorKind best_gpu = SimulatorKind::kParallel;    ///< Table III answer
+};
+
+class SimulatorSelector {
+ public:
+  explicit SimulatorSelector(
+      gpusim::DeviceSpec device = gpusim::DeviceSpec::gtx480(),
+      gpusim::HostSpec host = gpusim::HostSpec::i7_860(),
+      LookupTableOptions lut = LookupTableOptions{});
+
+  /// Counters the parallel kernel produces for `star_count` interior stars
+  /// (no ROI clipping; conflicts predicted as zero).
+  [[nodiscard]] gpusim::KernelCounters predict_parallel_counters(
+      const SceneConfig& scene, std::size_t star_count) const;
+
+  /// Counters the adaptive kernel produces; texture hit/miss split is
+  /// estimated (cold misses per active SM), every other field is exact.
+  [[nodiscard]] gpusim::KernelCounters predict_adaptive_counters(
+      const SceneConfig& scene, std::size_t star_count) const;
+
+  /// Flop-equivalents of the sequential simulator.
+  [[nodiscard]] std::uint64_t predict_sequential_flops(
+      const SceneConfig& scene, std::size_t star_count) const;
+
+  /// Full three-way application-time prediction.
+  [[nodiscard]] Prediction predict(const SceneConfig& scene,
+                                   std::size_t star_count) const;
+
+  /// The recommended simulator for this workload.
+  [[nodiscard]] SimulatorKind choose(const SceneConfig& scene,
+                                     std::size_t star_count) const;
+
+  [[nodiscard]] const gpusim::DeviceSpec& device() const { return device_; }
+  [[nodiscard]] const gpusim::HostSpec& host() const { return host_; }
+
+ private:
+  gpusim::DeviceSpec device_;
+  gpusim::HostSpec host_;
+  LookupTableOptions lut_;
+};
+
+}  // namespace starsim

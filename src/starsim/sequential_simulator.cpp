@@ -1,0 +1,69 @@
+#include "starsim/sequential_simulator.h"
+
+#include "starsim/kernel_cost.h"
+#include "starsim/psf.h"
+#include "starsim/roi.h"
+#include "support/timer.h"
+
+namespace starsim {
+
+SequentialSimulator::SequentialSimulator(gpusim::HostSpec host,
+                                         ArithmeticCosts costs)
+    : host_(host), costs_(costs) {}
+
+SimulationResult SequentialSimulator::simulate(const SceneConfig& scene,
+                                               std::span<const Star> stars) {
+  scene.validate();
+  const support::WallTimer wall;
+  FlopMeter meter(costs_);
+
+  SimulationResult result;
+  result.image = imageio::ImageF(scene.image_width, scene.image_height);
+
+  const GaussianPsf psf(scene.psf_sigma);
+  const Roi roi(scene.roi_side);
+  const double coefficient = psf.coefficient();
+  const double inv_two_sigma_sq = psf.inv_two_sigma_sq();
+  const double inv_sqrt2_sigma = psf.inv_sqrt2_sigma();
+  const bool integrated = scene.pixel_integration;
+  const int side = roi.side();
+
+  // Fig. 5: outer loop over stars, inner two-level loop over ROI pixels.
+  for (const Star& star : stars) {
+    double brightness =
+        scene.brightness.brightness(meter, static_cast<double>(star.magnitude));
+    meter.count_flops(kernel_cost::kWeightFlops);
+    brightness *= static_cast<double>(star.weight);
+
+    const int base_x = roi.base_coord(star.x);
+    const int base_y = roi.base_coord(star.y);
+    for (int ty = 0; ty < side; ++ty) {
+      const int pixel_y = base_y + ty;
+      for (int tx = 0; tx < side; ++tx) {
+        const int pixel_x = base_x + tx;
+        meter.count_flops(kernel_cost::kCoordFlops +
+                          kernel_cost::kBoundsFlops);
+        if (!result.image.contains(pixel_x, pixel_y)) continue;
+        const double dx =
+            static_cast<double>(pixel_x) - static_cast<double>(star.x);
+        const double dy =
+            static_cast<double>(pixel_y) - static_cast<double>(star.y);
+        const double rate =
+            integrated
+                ? gauss_integrated_rate(meter, inv_sqrt2_sigma, dx, dy)
+                : gauss_rate(meter, coefficient, inv_two_sigma_sq, dx, dy);
+        meter.count_flops(kernel_cost::kAccumFlops);
+        result.image(pixel_x, pixel_y) +=
+            static_cast<float>(brightness * rate);
+      }
+    }
+  }
+
+  result.timing.host_compute_s =
+      host_.scalar_time_s(static_cast<double>(meter.flops()));
+  result.timing.counters.flops = meter.flops();
+  result.timing.wall_s = wall.seconds();
+  return result;
+}
+
+}  // namespace starsim

@@ -1,0 +1,38 @@
+// The baseline: the paper's single-threaded CPU simulator (Section III-A).
+//
+// Four stages — star generation (the caller's job), star brightness
+// computation, pixel computation, output — executed sequentially with the
+// Fig. 5 loop structure: an outer loop over stars and a two-level loop over
+// each star's ROI pixels with an in-image test per pixel. Arithmetic is
+// metered (cost_model.h) so the run reports both the measured wall time on
+// this host and the modeled time on the paper's host (HostSpec).
+#pragma once
+
+#include "gpusim/host_spec.h"
+#include "starsim/cost_model.h"
+#include "starsim/simulator.h"
+
+namespace starsim {
+
+class SequentialSimulator final : public Simulator {
+ public:
+  explicit SequentialSimulator(
+      gpusim::HostSpec host = gpusim::HostSpec::i7_860(),
+      ArithmeticCosts costs = ArithmeticCosts{});
+
+  [[nodiscard]] SimulatorKind kind() const override {
+    return SimulatorKind::kSequential;
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "sequential";
+  }
+
+  [[nodiscard]] SimulationResult simulate(
+      const SceneConfig& scene, std::span<const Star> stars) override;
+
+ private:
+  gpusim::HostSpec host_;
+  ArithmeticCosts costs_;
+};
+
+}  // namespace starsim

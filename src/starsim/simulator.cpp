@@ -1,0 +1,17 @@
+#include "starsim/simulator.h"
+
+namespace starsim {
+
+std::string_view to_string(SimulatorKind kind) {
+  switch (kind) {
+    case SimulatorKind::kSequential: return "sequential";
+    case SimulatorKind::kParallel: return "parallel";
+    case SimulatorKind::kAdaptive: return "adaptive";
+    case SimulatorKind::kPixelCentric: return "pixel-centric";
+    case SimulatorKind::kMultiGpu: return "multi-gpu";
+    case SimulatorKind::kCpuParallel: return "cpu-parallel";
+  }
+  return "unknown";
+}
+
+}  // namespace starsim

@@ -1,0 +1,43 @@
+// The simulator interface: one call renders a star field into a float image
+// and reports its timing breakdown. Implementations are the paper's three
+// simulators (sequential / parallel / adaptive) plus two studied variants
+// (pixel-centric ablation, multi-GPU extension).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "starsim/breakdown.h"
+#include "starsim/scene.h"
+#include "starsim/star.h"
+
+namespace starsim {
+
+enum class SimulatorKind {
+  kSequential,
+  kParallel,
+  kAdaptive,
+  kPixelCentric,
+  kMultiGpu,
+  kCpuParallel,
+};
+
+[[nodiscard]] std::string_view to_string(SimulatorKind kind);
+
+class Simulator {
+ public:
+  virtual ~Simulator() = default;
+
+  [[nodiscard]] virtual SimulatorKind kind() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Render `stars` onto a fresh image of `scene.image_width x height`.
+  /// Implementations must produce identical pixel sums up to floating-point
+  /// accumulation order (the adaptive simulator up to its lookup-table
+  /// quantization).
+  [[nodiscard]] virtual SimulationResult simulate(
+      const SceneConfig& scene, std::span<const Star> stars) = 0;
+};
+
+}  // namespace starsim

@@ -1,0 +1,31 @@
+// The star record exchanged between the Star generation stage and the
+// simulators — the paper's star dataset format: "the magnitude of the star,
+// the 2-dimensional coordinate in image plane".
+//
+// The struct is a 16-byte POD used verbatim on both the host and the
+// simulated device (the paper's starArray elements). Coordinates are
+// image-plane pixels: pixel (x, y) samples the plane at integer (x, y), so a
+// star whose position is integral sits exactly on a pixel center.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace starsim {
+
+struct Star {
+  float magnitude = 0.0f;  ///< visual magnitude, conventionally in [0, 15]
+  float x = 0.0f;          ///< image-plane x in pixels
+  float y = 0.0f;          ///< image-plane y in pixels
+  /// Per-star flux multiplier (exposure weighting extension; 1 = the
+  /// paper's model).
+  float weight = 1.0f;
+
+  bool operator==(const Star&) const = default;
+};
+
+static_assert(sizeof(Star) == 16, "Star must stay a 16-byte device POD");
+
+using StarField = std::vector<Star>;
+
+}  // namespace starsim

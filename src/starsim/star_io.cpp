@@ -1,0 +1,134 @@
+#include "starsim/star_io.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "support/error.h"
+
+namespace starsim {
+
+namespace {
+
+using support::IoError;
+
+constexpr std::string_view kStarMagic = "starsim-stars v1";
+constexpr std::string_view kCatalogMagic = "starsim-catalog v1";
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw IoError("cannot open star file for writing: " + path);
+  return file;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw IoError("cannot open star file: " + path);
+  return file;
+}
+
+bool is_blank_or_comment(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Parse whitespace-separated doubles from `line` into `out[0..max)`.
+/// Returns how many were present; throws on trailing junk.
+std::size_t parse_fields(const std::string& line, double* out,
+                         std::size_t max, const std::string& path) {
+  std::istringstream stream(line);
+  std::size_t count = 0;
+  double value = 0.0;
+  while (stream >> value) {
+    STARSIM_REQUIRE(count < max, path + ": too many fields in line");
+    out[count++] = value;
+  }
+  STARSIM_REQUIRE(stream.eof(), path + ": malformed number in line");
+  return count;
+}
+
+void expect_magic(std::ifstream& file, std::string_view magic,
+                  const std::string& path) {
+  std::string line;
+  STARSIM_REQUIRE(static_cast<bool>(std::getline(file, line)),
+                  path + ": empty file");
+  // Tolerate trailing CR from CRLF files.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != magic) {
+    throw IoError(path + ": not a " + std::string(magic) + " file");
+  }
+}
+
+}  // namespace
+
+void write_star_file(const StarField& stars, const std::string& path) {
+  std::ofstream file = open_out(path);
+  file << kStarMagic << '\n';
+  file << "# magnitude x y weight (" << stars.size() << " stars)\n";
+  file.precision(9);  // round-trips float exactly
+  for (const Star& star : stars) {
+    file << star.magnitude << ' ' << star.x << ' ' << star.y << ' '
+         << star.weight << '\n';
+  }
+  if (!file.good()) throw IoError("failed writing star file: " + path);
+}
+
+StarField read_star_file(const std::string& path) {
+  std::ifstream file = open_in(path);
+  expect_magic(file, kStarMagic, path);
+  StarField stars;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (is_blank_or_comment(line)) continue;
+    double fields[4] = {0.0, 0.0, 0.0, 1.0};
+    const std::size_t count = parse_fields(line, fields, 4, path);
+    STARSIM_REQUIRE(count >= 3, path + ": star line needs magnitude x y");
+    Star star;
+    star.magnitude = static_cast<float>(fields[0]);
+    star.x = static_cast<float>(fields[1]);
+    star.y = static_cast<float>(fields[2]);
+    star.weight = count >= 4 ? static_cast<float>(fields[3]) : 1.0f;
+    stars.push_back(star);
+  }
+  return stars;
+}
+
+void write_catalog_file(const Catalog& catalog, const std::string& path) {
+  std::ofstream file = open_out(path);
+  file << kCatalogMagic << '\n';
+  file << "# right_ascension_rad declination_rad magnitude ("
+       << catalog.size() << " stars)\n";
+  file.precision(17);  // round-trips double exactly
+  for (const CatalogStar& star : catalog.stars()) {
+    file << star.right_ascension << ' ' << star.declination << ' '
+         << star.magnitude << '\n';
+  }
+  if (!file.good()) throw IoError("failed writing catalog file: " + path);
+}
+
+Catalog read_catalog_file(const std::string& path) {
+  std::ifstream file = open_in(path);
+  expect_magic(file, kCatalogMagic, path);
+  std::vector<CatalogStar> stars;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (is_blank_or_comment(line)) continue;
+    double fields[3] = {0.0, 0.0, 0.0};
+    const std::size_t count = parse_fields(line, fields, 3, path);
+    STARSIM_REQUIRE(count == 3,
+                    path + ": catalog line needs ra dec magnitude");
+    CatalogStar star;
+    star.right_ascension = fields[0];
+    star.declination = fields[1];
+    star.magnitude = fields[2];
+    stars.push_back(star);
+  }
+  return Catalog::from_stars(std::move(stars));
+}
+
+}  // namespace starsim

@@ -1,0 +1,42 @@
+// Star dataset files.
+//
+// The paper's star generation stage emits "such format file" records — the
+// magnitude of the star and its 2-D image-plane coordinate — which the
+// simulators consume. This module defines that interchange format so
+// datasets can be produced once and replayed: a line-oriented text format
+// with a self-identifying header,
+//
+//   starsim-stars v1
+//   # comment lines allowed
+//   <magnitude> <x> <y> [weight]
+//
+// and the celestial variant for catalogues,
+//
+//   starsim-catalog v1
+//   <right_ascension_rad> <declination_rad> <magnitude>
+//
+// Values are written with enough digits to round-trip float (stars) and
+// double (catalogue) exactly.
+#pragma once
+
+#include <string>
+
+#include "starsim/catalog.h"
+#include "starsim/star.h"
+
+namespace starsim {
+
+/// Write a star field; throws IoError on failure.
+void write_star_file(const StarField& stars, const std::string& path);
+
+/// Read a star field written by write_star_file (or hand-authored in the
+/// same format). Throws IoError / PreconditionError on malformed input.
+[[nodiscard]] StarField read_star_file(const std::string& path);
+
+/// Write a celestial catalogue.
+void write_catalog_file(const Catalog& catalog, const std::string& path);
+
+/// Read a celestial catalogue.
+[[nodiscard]] Catalog read_catalog_file(const std::string& path);
+
+}  // namespace starsim

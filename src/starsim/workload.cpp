@@ -1,0 +1,60 @@
+#include "starsim/workload.h"
+
+#include <cmath>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace starsim {
+
+StarField generate_stars(const WorkloadConfig& config) {
+  STARSIM_REQUIRE(config.star_count > 0, "workload needs at least one star");
+  STARSIM_REQUIRE(config.image_width > 0 && config.image_height > 0,
+                  "workload image dimensions must be positive");
+  STARSIM_REQUIRE(config.magnitude_min <= config.magnitude_max,
+                  "workload magnitude range is inverted");
+  STARSIM_REQUIRE(config.border_margin * 2 < config.image_width &&
+                      config.border_margin * 2 < config.image_height,
+                  "border margin leaves no interior");
+
+  support::Pcg32 rng(config.seed);
+  StarField stars;
+  stars.reserve(config.star_count);
+  const double x_lo = config.border_margin;
+  const double x_hi = config.image_width - config.border_margin;
+  const double y_lo = config.border_margin;
+  const double y_hi = config.image_height - config.border_margin;
+  for (std::size_t i = 0; i < config.star_count; ++i) {
+    Star star;
+    star.magnitude = static_cast<float>(
+        rng.uniform(config.magnitude_min, config.magnitude_max));
+    double x = rng.uniform(x_lo, x_hi);
+    double y = rng.uniform(y_lo, y_hi);
+    if (config.integer_positions) {
+      x = std::floor(x);
+      y = std::floor(y);
+    }
+    star.x = static_cast<float>(x);
+    star.y = static_cast<float>(y);
+    stars.push_back(star);
+  }
+  return stars;
+}
+
+std::vector<std::size_t> test1_star_counts() {
+  std::vector<std::size_t> counts;
+  for (int power = 5; power <= 17; ++power) {
+    counts.push_back(std::size_t{1} << power);
+  }
+  return counts;
+}
+
+std::vector<int> test2_roi_sides() {
+  std::vector<int> sides;
+  for (int side = 2; side <= 32; side += 2) {
+    sides.push_back(side);
+  }
+  return sides;
+}
+
+}  // namespace starsim

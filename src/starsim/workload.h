@@ -1,0 +1,53 @@
+// Benchmark workload generation.
+//
+// The paper's experiments use "simulated data which have been generated
+// randomly": stars with a magnitude in [0, 15] and a 2-D image-plane
+// coordinate. Workload regenerates such datasets deterministically from a
+// seed, and provides the two sweep axes of the evaluation:
+//   test1 — star count 2^5 .. 2^17 at fixed ROI 10x10, image 1024^2;
+//   test2 — ROI side 2 .. 32 at fixed 8192 stars, image 1024^2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "starsim/star.h"
+
+namespace starsim {
+
+struct WorkloadConfig {
+  std::size_t star_count = 1024;
+  int image_width = 1024;
+  int image_height = 1024;
+  double magnitude_min = 0.0;
+  double magnitude_max = 15.0;
+  /// Snap star positions to pixel centers (integer coordinates). This is
+  /// the paper's dataset convention and makes the adaptive simulator's
+  /// pixel-centered lookup table exact; disable to study subpixel error
+  /// (bench_ablation_lut_resolution).
+  bool integer_positions = true;
+  /// Keep stars this many pixels away from the image border so their ROI
+  /// never clips (0 = allow border stars).
+  int border_margin = 0;
+  std::uint64_t seed = 42;
+};
+
+/// Generate a deterministic star field per `config`.
+[[nodiscard]] StarField generate_stars(const WorkloadConfig& config);
+
+/// test1's sweep of star counts: 2^5, 2^6, ..., 2^17.
+[[nodiscard]] std::vector<std::size_t> test1_star_counts();
+
+/// test2's sweep of ROI side lengths: 2, 4, ..., 32.
+[[nodiscard]] std::vector<int> test2_roi_sides();
+
+/// Star count fixed by test2 (8192 = 2^13).
+inline constexpr std::size_t kTest2StarCount = 8192;
+
+/// ROI side fixed by test1.
+inline constexpr int kTest1RoiSide = 10;
+
+/// Image edge used by both tests.
+inline constexpr int kBenchImageEdge = 1024;
+
+}  // namespace starsim

@@ -1,0 +1,135 @@
+#include "support/cli.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/error.h"
+
+namespace starsim::support {
+
+Cli::Cli(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  STARSIM_REQUIRE(find(name) == nullptr, "duplicate option: " + name);
+  Opt opt;
+  opt.name = name;
+  opt.help = help;
+  opt.is_flag = true;
+  opt.value = "false";
+  opts_.push_back(std::move(opt));
+}
+
+void Cli::add_option(const std::string& name, const std::string& help,
+                     const std::string& fallback) {
+  STARSIM_REQUIRE(find(name) == nullptr, "duplicate option: " + name);
+  Opt opt;
+  opt.name = name;
+  opt.help = help;
+  opt.value = fallback;
+  opt.fallback = fallback;
+  opts_.push_back(std::move(opt));
+}
+
+Cli::Opt* Cli::find(const std::string& name) {
+  for (auto& opt : opts_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+const Cli::Opt& Cli::get(const std::string& name, bool want_flag) const {
+  for (const auto& opt : opts_) {
+    if (opt.name == name) {
+      STARSIM_REQUIRE(opt.is_flag == want_flag,
+                      "option kind mismatch for: " + name);
+      return opt;
+    }
+  }
+  throw PreconditionError("unknown option queried: " + name);
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    Opt* opt = find(name);
+    STARSIM_REQUIRE(opt != nullptr, "unknown option: --" + name);
+    if (opt->is_flag) {
+      STARSIM_REQUIRE(!inline_value.has_value(),
+                      "flag --" + name + " does not take a value");
+      opt->value = "true";
+    } else if (inline_value.has_value()) {
+      opt->value = *inline_value;
+    } else {
+      STARSIM_REQUIRE(i + 1 < argc, "option --" + name + " needs a value");
+      opt->value = argv[++i];
+    }
+    opt->seen = true;
+  }
+  return true;
+}
+
+bool Cli::flag(const std::string& name) const {
+  return get(name, /*want_flag=*/true).value == "true";
+}
+
+std::string Cli::str(const std::string& name) const {
+  return get(name, /*want_flag=*/false).value;
+}
+
+long Cli::integer(const std::string& name) const {
+  const std::string raw = str(name);
+  try {
+    std::size_t used = 0;
+    const long value = std::stol(raw, &used, 0);
+    STARSIM_REQUIRE(used == raw.size(), "--" + name + ": trailing junk");
+    return value;
+  } catch (const std::logic_error&) {
+    throw PreconditionError("--" + name + " expects an integer, got: " + raw);
+  }
+}
+
+double Cli::real(const std::string& name) const {
+  const std::string raw = str(name);
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(raw, &used);
+    STARSIM_REQUIRE(used == raw.size(), "--" + name + ": trailing junk");
+    return value;
+  } catch (const std::logic_error&) {
+    throw PreconditionError("--" + name + " expects a number, got: " + raw);
+  }
+}
+
+std::string Cli::help_text() const {
+  std::ostringstream out;
+  out << program_ << " — " << summary_ << "\n\noptions:\n";
+  for (const auto& opt : opts_) {
+    out << "  --" << opt.name;
+    if (!opt.is_flag) out << " <value>";
+    out << "\n      " << opt.help;
+    if (!opt.is_flag && !opt.fallback.empty()) {
+      out << " (default: " << opt.fallback << ")";
+    }
+    out << '\n';
+  }
+  out << "  --help\n      show this message\n";
+  return out.str();
+}
+
+}  // namespace starsim::support

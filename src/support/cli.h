@@ -1,0 +1,60 @@
+// Minimal command-line parser shared by examples and bench binaries.
+//
+// Supports `--flag`, `--key value`, and `--key=value` forms plus positional
+// arguments. Unknown options are an error (benchmark invocations should fail
+// loudly rather than silently ignore a typo in a sweep parameter).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace starsim::support {
+
+/// Declarative option set + parsed results.
+class Cli {
+ public:
+  /// `program` and `summary` feed the --help text.
+  Cli(std::string program, std::string summary);
+
+  /// Declare a boolean flag (present/absent).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Declare an option that takes a value; `fallback` is used when absent.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& fallback);
+
+  /// Parse argv. Returns false when --help was requested (help text printed
+  /// to stdout); throws PreconditionError on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] long integer(const std::string& name) const;
+  [[nodiscard]] double real(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Opt {
+    std::string name;
+    std::string help;
+    std::string value;     // current (fallback or parsed) value
+    std::string fallback;  // printed in help
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  Opt* find(const std::string& name);
+  const Opt& get(const std::string& name, bool want_flag) const;
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Opt> opts_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace starsim::support

@@ -1,0 +1,55 @@
+#include "support/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace starsim::support {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  STARSIM_REQUIRE(!header_.empty(), "CSV needs at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  STARSIM_REQUIRE(row.size() == header_.size(),
+                  "CSV row arity must match header arity");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::render() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << escape(row[c]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw IoError("cannot open CSV output file: " + path);
+  file << render();
+  if (!file.good()) throw IoError("failed writing CSV file: " + path);
+}
+
+}  // namespace starsim::support

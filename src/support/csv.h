@@ -1,0 +1,36 @@
+// CSV emission for benchmark results.
+//
+// Each bench binary can mirror its console table into a CSV file (via the
+// --csv flag) so figures can be re-plotted downstream. Quoting follows RFC
+// 4180: fields containing commas, quotes, or newlines are quoted and inner
+// quotes doubled.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace starsim::support {
+
+/// In-memory CSV document; write_file() flushes it atomically-ish (full
+/// rewrite) to disk.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render the document as a string (header + rows, LF line endings).
+  [[nodiscard]] std::string render() const;
+
+  /// Write to `path`; throws IoError on failure.
+  void write_file(const std::string& path) const;
+
+  /// Quote a single field per RFC 4180 if needed.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace starsim::support

@@ -1,0 +1,51 @@
+// Error-handling primitives shared by every starsim module.
+//
+// The library reports recoverable contract violations with exceptions derived
+// from `support::Error` so callers can distinguish our failures from generic
+// std errors. `STARSIM_REQUIRE` is the standard precondition guard: it is
+// always on (not assert-style), because the simulators are driven by external
+// configuration and silent out-of-range launches would corrupt results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace starsim::support {
+
+/// Base class for all starsim exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a simulated device resource (memory, texture units, thread
+/// limits) is exhausted or misused.
+class DeviceError : public Error {
+ public:
+  explicit DeviceError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on I/O failures (image files, CSV output).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace starsim::support
+
+/// Precondition guard: throws PreconditionError with location info when the
+/// condition does not hold. Always enabled.
+#define STARSIM_REQUIRE(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      throw ::starsim::support::PreconditionError(                          \
+          std::string(__FILE__) + ":" + std::to_string(__LINE__) + ": " +   \
+          (msg) + " (violated: " #cond ")");                                \
+    }                                                                       \
+  } while (false)

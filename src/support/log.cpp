@@ -1,0 +1,62 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace starsim::support {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::once_flag g_env_once;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void init_from_env() {
+  if (const char* env = std::getenv("STARSIM_LOG")) {
+    g_level.store(parse_log_level(env));
+  }
+}
+
+}  // namespace
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+LogLevel log_level() {
+  std::call_once(g_env_once, init_from_env);
+  return g_level.load();
+}
+
+void set_log_level(LogLevel level) {
+  std::call_once(g_env_once, init_from_env);
+  g_level.store(level);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < log_level() || level == LogLevel::kOff) return;
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace starsim::support

@@ -1,0 +1,53 @@
+// Leveled stderr logging.
+//
+// The simulators themselves never log on hot paths; logging exists for the
+// harnesses and examples (progress of long sweeps, configuration echo).
+// Level is process-global and can be preset via the STARSIM_LOG environment
+// variable (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace starsim::support {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Current process-global level (initialized from STARSIM_LOG, default info).
+LogLevel log_level();
+
+/// Override the process-global level.
+void set_log_level(LogLevel level);
+
+/// Parse a level name; unknown names yield kInfo.
+LogLevel parse_log_level(const std::string& name);
+
+/// Emit one line at `level` (no-op when below the global level).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LineLogger {
+ public:
+  explicit LineLogger(LogLevel level) : level_(level) {}
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+  ~LineLogger() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace starsim::support
+
+#define STARSIM_LOG(level) \
+  ::starsim::support::detail::LineLogger(::starsim::support::LogLevel::level)
+#define STARSIM_INFO STARSIM_LOG(kInfo)
+#define STARSIM_WARN STARSIM_LOG(kWarn)
+#define STARSIM_DEBUG STARSIM_LOG(kDebug)

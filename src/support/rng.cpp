@@ -1,0 +1,100 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace starsim::support {
+
+Pcg32::Pcg32(std::uint64_t seed_value, std::uint64_t stream) {
+  seed(seed_value, stream);
+}
+
+void Pcg32::seed(std::uint64_t seed_value, std::uint64_t stream) {
+  state_ = 0;
+  inc_ = (stream << 1u) | 1u;
+  (void)(*this)();
+  state_ += seed_value;
+  (void)(*this)();
+  has_spare_ = false;
+}
+
+Pcg32::result_type Pcg32::operator()() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Pcg32::uniform() {
+  // 32 random bits scaled by 2^-32; strictly inside [0, 1).
+  return static_cast<double>((*this)()) * 0x1.0p-32;
+}
+
+double Pcg32::uniform(double lo, double hi) {
+  STARSIM_REQUIRE(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint32_t Pcg32::bounded(std::uint32_t n) {
+  STARSIM_REQUIRE(n > 0, "bounded(n) requires n > 0");
+  // Lemire's multiply-shift rejection method: unbiased and division-free in
+  // the common case.
+  std::uint64_t m = static_cast<std::uint64_t>((*this)()) * n;
+  auto lo = static_cast<std::uint32_t>(m);
+  if (lo < n) {
+    const std::uint32_t threshold = (0u - n) % n;
+    while (lo < threshold) {
+      m = static_cast<std::uint64_t>((*this)()) * n;
+      lo = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32u);
+}
+
+double Pcg32::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double Pcg32::normal(double mean, double sigma) {
+  STARSIM_REQUIRE(sigma >= 0.0, "normal sigma must be non-negative");
+  return mean + sigma * normal();
+}
+
+std::uint64_t Pcg32::poisson(double lambda) {
+  STARSIM_REQUIRE(lambda >= 0.0, "poisson lambda must be non-negative");
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-lambda.
+    const double limit = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++k;
+      product *= uniform();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; clamp at zero.
+  const double sample = normal(lambda, std::sqrt(lambda)) + 0.5;
+  return sample <= 0.0 ? 0 : static_cast<std::uint64_t>(sample);
+}
+
+}  // namespace starsim::support

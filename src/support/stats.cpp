@@ -1,0 +1,105 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace starsim::support {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double accum = 0.0;
+  for (double v : values) accum += (v - m) * (v - m);
+  return std::sqrt(accum / static_cast<double>(values.size() - 1));
+}
+
+double median(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  s.min = *lo;
+  s.max = *hi;
+  s.mean = mean(values);
+  s.median = median(values);
+  s.stddev = stddev(values);
+  return s;
+}
+
+double geometric_mean(std::span<const double> values) {
+  STARSIM_REQUIRE(!values.empty(), "geometric_mean of empty sample");
+  double log_sum = 0.0;
+  for (double v : values) {
+    STARSIM_REQUIRE(v > 0.0, "geometric_mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y) {
+  STARSIM_REQUIRE(x.size() == y.size(), "fit_line size mismatch");
+  STARSIM_REQUIRE(x.size() >= 2, "fit_line needs at least two points");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  STARSIM_REQUIRE(sxx > 0.0, "fit_line requires non-constant x");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+  STARSIM_REQUIRE(x.size() == y.size(), "correlation size mismatch");
+  STARSIM_REQUIRE(x.size() >= 2, "correlation needs at least two points");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  STARSIM_REQUIRE(sxx > 0.0 && syy > 0.0,
+                  "correlation requires non-constant samples");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double relative_error(double a, double b, double eps) {
+  const double scale = std::max({std::abs(a), std::abs(b), eps});
+  return std::abs(a - b) / scale;
+}
+
+}  // namespace starsim::support

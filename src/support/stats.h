@@ -1,0 +1,54 @@
+// Small statistics toolkit used by the benchmark harnesses and tests:
+// summary statistics, linear regression (for "does time scale linearly in
+// stars?" checks), and geometric means (for speedup aggregation, which is
+// the correct mean for ratios).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace starsim::support {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+};
+
+/// Compute a Summary; empty input yields a zeroed Summary.
+Summary summarize(std::span<const double> values);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> values);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double stddev(std::span<const double> values);
+
+/// Median (average of central pair for even sizes); 0 for empty input.
+double median(std::span<const double> values);
+
+/// Geometric mean; requires all values strictly positive.
+double geometric_mean(std::span<const double> values);
+
+/// Least-squares line fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< Coefficient of determination.
+};
+
+/// Fit a line through (x, y) pairs; requires sizes to match and >= 2 points.
+LinearFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Pearson correlation coefficient; requires matching sizes >= 2.
+double correlation(std::span<const double> x, std::span<const double> y);
+
+/// Relative error |a-b| / max(|a|,|b|,eps); symmetric and safe near zero.
+double relative_error(double a, double b, double eps = 1e-300);
+
+}  // namespace starsim::support

@@ -1,0 +1,74 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace starsim::support {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  bool digit_seen = false;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' &&
+               c != 'x' && c != '^' && c != '%') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  STARSIM_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> row) {
+  STARSIM_REQUIRE(row.size() == header_.size(),
+                  "row arity must match header arity");
+  rows_.push_back(std::move(row));
+}
+
+std::string ConsoleTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_right) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << "  ";
+      const std::size_t pad = widths[c] - row[c].size();
+      const bool right = align_right && looks_numeric(row[c]);
+      if (right) out << std::string(pad, ' ');
+      out << row[c];
+      if (!right && c + 1 != row.size()) out << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  emit_row(header_, /*align_right=*/false);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c ? 2 : 0);
+  }
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row, /*align_right=*/true);
+  return out.str();
+}
+
+}  // namespace starsim::support

@@ -1,0 +1,32 @@
+// Console table rendering for the benchmark harnesses.
+//
+// Every bench binary prints the same rows/series the paper's table or figure
+// reports; ConsoleTable keeps that output aligned and diff-friendly. Values
+// are stored as strings so callers control numeric formatting (see units.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace starsim::support {
+
+/// Column-aligned plain-text table with a header row and a rule under it.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with two-space column gutters; numeric-looking cells are
+  /// right-aligned, text cells left-aligned.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace starsim::support

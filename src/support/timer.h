@@ -1,0 +1,50 @@
+// Wall-clock timing for the measured (CPU) side of the experiments.
+//
+// The GPU side of every benchmark reports *modeled* time (see
+// gpusim/perf_model.h); only the sequential simulator and the host-side
+// stages are measured with these timers. Keeping the two kinds of time in
+// separate types at the call sites would be overkill — the experiment
+// harnesses label provenance instead — but all wall measurements go through
+// WallTimer so the clock source is uniform (steady_clock).
+#pragma once
+
+#include <chrono>
+
+namespace starsim::support {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double on destruction; used to attribute
+/// wall time to a breakdown slot without littering call sites with timers.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink_seconds) : sink_(sink_seconds) {}
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+  ~ScopedAccumulator() { sink_ += timer_.seconds(); }
+
+ private:
+  double& sink_;
+  WallTimer timer_;
+};
+
+}  // namespace starsim::support

@@ -1,0 +1,59 @@
+#include "support/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace starsim::support {
+
+namespace {
+
+std::string printf_string(const char* fmt, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), fmt, value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string fixed(double value, int digits) {
+  char fmt[16];
+  std::snprintf(fmt, sizeof(fmt), "%%.%df", digits);
+  return printf_string(fmt, value);
+}
+
+std::string compact(double value) {
+  const double mag = std::abs(value);
+  if (mag != 0.0 && (mag >= 1e6 || mag < 1e-3)) {
+    return printf_string("%.3e", value);
+  }
+  return printf_string("%.4g", value);
+}
+
+std::string format_time(double seconds) {
+  const double mag = std::abs(seconds);
+  if (mag < 1e-6) return fixed(seconds * 1e9, 1) + " ns";
+  if (mag < 1e-3) return fixed(seconds * 1e6, 2) + " us";
+  if (mag < 1.0) return fixed(seconds * 1e3, 3) + " ms";
+  return fixed(seconds, 3) + " s";
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kKiB = 1024;
+  constexpr std::uint64_t kMiB = kKiB * 1024;
+  constexpr std::uint64_t kGiB = kMiB * 1024;
+  const auto b = static_cast<double>(bytes);
+  if (bytes >= kGiB) return fixed(b / static_cast<double>(kGiB), 2) + " GiB";
+  if (bytes >= kMiB) return fixed(b / static_cast<double>(kMiB), 2) + " MiB";
+  if (bytes >= kKiB) return fixed(b / static_cast<double>(kKiB), 2) + " KiB";
+  return std::to_string(bytes) + " B";
+}
+
+std::string format_rate(double bytes_per_second) {
+  const double mag = std::abs(bytes_per_second);
+  if (mag >= 1e9) return fixed(bytes_per_second / 1e9, 2) + " GB/s";
+  if (mag >= 1e6) return fixed(bytes_per_second / 1e6, 2) + " MB/s";
+  if (mag >= 1e3) return fixed(bytes_per_second / 1e3, 2) + " KB/s";
+  return fixed(bytes_per_second, 1) + " B/s";
+}
+
+}  // namespace starsim::support

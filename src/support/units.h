@@ -1,0 +1,25 @@
+// Human-readable formatting of times, byte counts and rates, plus fixed
+// precision numeric formatting used by the table/CSV emitters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace starsim::support {
+
+/// "123.4 us" / "12.34 ms" / "1.234 s" style; input in seconds.
+std::string format_time(double seconds);
+
+/// "512 B" / "4.00 MiB" style.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "3.60 GB/s" style; input in bytes per second.
+std::string format_rate(double bytes_per_second);
+
+/// Fixed-precision decimal rendering ("%.{digits}f").
+std::string fixed(double value, int digits);
+
+/// Scientific-ish compact rendering for wide dynamic ranges.
+std::string compact(double value);
+
+}  // namespace starsim::support

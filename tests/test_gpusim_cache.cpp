@@ -1,0 +1,136 @@
+#include "gpusim/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace {
+
+using starsim::gpusim::SetAssociativeCache;
+using starsim::support::PreconditionError;
+
+TEST(Cache, FirstAccessMissesSecondHits) {
+  SetAssociativeCache cache(1024, 32, 2);
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetHits) {
+  SetAssociativeCache cache(1024, 32, 2);
+  EXPECT_FALSE(cache.access(64));
+  EXPECT_TRUE(cache.access(64 + 31));  // same 32-byte line
+  EXPECT_FALSE(cache.access(64 + 32));  // next line
+}
+
+TEST(Cache, GeometryDerivedFromParameters) {
+  SetAssociativeCache cache(4096, 32, 4);
+  EXPECT_EQ(cache.set_count(), 32u);  // 4096 / (32*4)
+  EXPECT_EQ(cache.associativity(), 4);
+  EXPECT_EQ(cache.line_bytes(), 32);
+}
+
+TEST(Cache, AssociativityHoldsConflictingLines) {
+  // 2 sets, 2 ways, 32B lines => total 128 bytes. Addresses 0, 128, 256 all
+  // map to set 0; the first two coexist, the third evicts LRU.
+  SetAssociativeCache cache(128, 32, 2);
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_FALSE(cache.access(128));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(128));
+}
+
+TEST(Cache, LruEvictionOrder) {
+  SetAssociativeCache cache(128, 32, 2);  // 2 sets x 2 ways
+  (void)cache.access(0);    // set0: {0}
+  (void)cache.access(128);  // set0: {0, 128}
+  (void)cache.access(0);    // touch 0 -> 128 is LRU
+  (void)cache.access(256);  // evicts 128
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_FALSE(cache.access(128));  // was evicted
+}
+
+TEST(Cache, DirectMappedThrashes) {
+  SetAssociativeCache direct(64, 32, 1);  // 2 sets, 1 way
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(direct.access(0));
+    EXPECT_FALSE(direct.access(64));  // same set, always evicts
+  }
+  EXPECT_EQ(direct.hit_rate(), 0.0);
+}
+
+TEST(Cache, WorkingSetWithinCapacityAllHitsAfterWarmup) {
+  SetAssociativeCache cache(4096, 32, 4);
+  for (std::uint64_t a = 0; a < 4096; a += 32) (void)cache.access(a);
+  const std::uint64_t warm_misses = cache.misses();
+  EXPECT_EQ(warm_misses, 128u);  // cold misses only
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t a = 0; a < 4096; a += 32) {
+      ASSERT_TRUE(cache.access(a));
+    }
+  }
+  EXPECT_EQ(cache.misses(), warm_misses);
+}
+
+TEST(Cache, ResetClearsLinesAndStats) {
+  SetAssociativeCache cache(1024, 32, 2);
+  (void)cache.access(0);
+  (void)cache.access(0);
+  cache.reset();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_FALSE(cache.access(0));  // cold again
+}
+
+TEST(Cache, InvalidateKeepsStats) {
+  SetAssociativeCache cache(1024, 32, 2);
+  (void)cache.access(0);
+  (void)cache.access(0);
+  cache.invalidate();
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, HitRateComputation) {
+  SetAssociativeCache cache(1024, 32, 2);
+  EXPECT_EQ(cache.hit_rate(), 0.0);
+  (void)cache.access(0);
+  (void)cache.access(0);
+  (void)cache.access(0);
+  (void)cache.access(0);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.75);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssociativeCache(1024, 33, 2), PreconditionError);
+  EXPECT_THROW(SetAssociativeCache(1024, 0, 2), PreconditionError);
+  EXPECT_THROW(SetAssociativeCache(1024, 32, 0), PreconditionError);
+  EXPECT_THROW(SetAssociativeCache(16, 32, 1), PreconditionError);
+}
+
+class CacheSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+// Property: a sequential sweep over exactly the cache capacity never evicts
+// a line before its re-use, regardless of geometry.
+TEST_P(CacheSweepTest, CapacitySweepIsColdMissesOnly) {
+  const auto [line, ways] = GetParam();
+  const std::size_t total =
+      static_cast<std::size_t>(line) * static_cast<std::size_t>(ways) * 8;
+  SetAssociativeCache cache(total, line, ways);
+  for (std::uint64_t a = 0; a < total; a += static_cast<std::uint64_t>(line)) {
+    ASSERT_FALSE(cache.access(a));
+  }
+  for (std::uint64_t a = 0; a < total; a += static_cast<std::uint64_t>(line)) {
+    ASSERT_TRUE(cache.access(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweepTest,
+    ::testing::Combine(::testing::Values(16, 32, 64, 128),
+                       ::testing::Values(1, 2, 4, 8)));
+
+}  // namespace

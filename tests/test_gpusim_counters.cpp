@@ -1,0 +1,118 @@
+#include "gpusim/counters.h"
+
+#include <gtest/gtest.h>
+
+#include "starsim/breakdown.h"
+
+namespace {
+
+namespace gs = starsim::gpusim;
+
+gs::KernelCounters sample_counters() {
+  gs::KernelCounters c;
+  c.blocks_launched = 2;
+  c.threads_launched = 64;
+  c.warps_launched = 2;
+  c.flops = 1000;
+  c.global_reads = 10;
+  c.global_writes = 5;
+  c.global_bytes_read = 40;
+  c.global_bytes_written = 20;
+  c.global_transactions = 3;
+  c.shared_reads = 30;
+  c.shared_writes = 6;
+  c.shared_bank_conflicts = 2;
+  c.atomic_ops = 64;
+  c.atomic_conflicts = 1;
+  c.texture_fetches = 7;
+  c.texture_hits = 6;
+  c.texture_misses = 1;
+  c.barriers = 2;
+  c.branch_sites_evaluated = 4;
+  c.divergent_warp_branches = 1;
+  return c;
+}
+
+TEST(Counters, DefaultIsAllZero) {
+  const gs::KernelCounters c;
+  EXPECT_EQ(c.flops, 0u);
+  EXPECT_EQ(c.global_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(c.divergence_rate(), 0.0);
+}
+
+TEST(Counters, MergeSumsEveryField) {
+  gs::KernelCounters a = sample_counters();
+  a.merge(sample_counters());
+  const gs::KernelCounters one = sample_counters();
+  EXPECT_EQ(a.blocks_launched, 2 * one.blocks_launched);
+  EXPECT_EQ(a.threads_launched, 2 * one.threads_launched);
+  EXPECT_EQ(a.warps_launched, 2 * one.warps_launched);
+  EXPECT_EQ(a.flops, 2 * one.flops);
+  EXPECT_EQ(a.global_reads, 2 * one.global_reads);
+  EXPECT_EQ(a.global_writes, 2 * one.global_writes);
+  EXPECT_EQ(a.global_bytes_read, 2 * one.global_bytes_read);
+  EXPECT_EQ(a.global_bytes_written, 2 * one.global_bytes_written);
+  EXPECT_EQ(a.global_transactions, 2 * one.global_transactions);
+  EXPECT_EQ(a.shared_reads, 2 * one.shared_reads);
+  EXPECT_EQ(a.shared_writes, 2 * one.shared_writes);
+  EXPECT_EQ(a.shared_bank_conflicts, 2 * one.shared_bank_conflicts);
+  EXPECT_EQ(a.atomic_ops, 2 * one.atomic_ops);
+  EXPECT_EQ(a.atomic_conflicts, 2 * one.atomic_conflicts);
+  EXPECT_EQ(a.texture_fetches, 2 * one.texture_fetches);
+  EXPECT_EQ(a.texture_hits, 2 * one.texture_hits);
+  EXPECT_EQ(a.texture_misses, 2 * one.texture_misses);
+  EXPECT_EQ(a.barriers, 2 * one.barriers);
+  EXPECT_EQ(a.branch_sites_evaluated, 2 * one.branch_sites_evaluated);
+  EXPECT_EQ(a.divergent_warp_branches, 2 * one.divergent_warp_branches);
+}
+
+TEST(Counters, MergeWithEmptyIsIdentity) {
+  gs::KernelCounters a = sample_counters();
+  a.merge(gs::KernelCounters{});
+  const gs::KernelCounters one = sample_counters();
+  EXPECT_EQ(a.flops, one.flops);
+  EXPECT_EQ(a.barriers, one.barriers);
+}
+
+TEST(Counters, GlobalBytesSumsBothDirections) {
+  EXPECT_EQ(sample_counters().global_bytes(), 60u);
+}
+
+TEST(Counters, DivergenceRateIsFraction) {
+  EXPECT_DOUBLE_EQ(sample_counters().divergence_rate(), 0.25);
+}
+
+TEST(Counters, ToStringMentionsKeyFields) {
+  const std::string text = sample_counters().to_string();
+  EXPECT_NE(text.find("blocks=2"), std::string::npos);
+  EXPECT_NE(text.find("flops=1000"), std::string::npos);
+  EXPECT_NE(text.find("atomics=64"), std::string::npos);
+  EXPECT_NE(text.find("conflicts=1"), std::string::npos);
+  EXPECT_NE(text.find("txn=3"), std::string::npos);
+  EXPECT_NE(text.find("bank_conf=2"), std::string::npos);
+  EXPECT_NE(text.find("div=1/4"), std::string::npos);
+}
+
+// --- TimingBreakdown arithmetic (starsim/breakdown.h) ---
+
+TEST(TimingBreakdown, ComposesComponents) {
+  starsim::TimingBreakdown t;
+  t.kernel_s = 2.0;
+  t.h2d_s = 0.5;
+  t.d2h_s = 0.25;
+  t.lut_build_s = 0.125;
+  t.texture_bind_s = 0.0625;
+  t.host_reduce_s = 0.0625;
+  t.host_compute_s = 1.0;
+  EXPECT_DOUBLE_EQ(t.non_kernel_s(), 1.0);
+  EXPECT_DOUBLE_EQ(t.application_s(), 4.0);
+  EXPECT_DOUBLE_EQ(t.non_kernel_fraction(), 0.25);
+}
+
+TEST(TimingBreakdown, EmptyBreakdownIsSafe) {
+  const starsim::TimingBreakdown t;
+  EXPECT_DOUBLE_EQ(t.application_s(), 0.0);
+  EXPECT_DOUBLE_EQ(t.non_kernel_fraction(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,63 @@
+#include "gpusim/dim.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using starsim::gpusim::Dim3;
+using starsim::gpusim::LaunchConfig;
+
+TEST(Dim3, DefaultsToUnit) {
+  Dim3 d;
+  EXPECT_EQ(d.x, 1u);
+  EXPECT_EQ(d.y, 1u);
+  EXPECT_EQ(d.z, 1u);
+  EXPECT_EQ(d.count(), 1u);
+}
+
+TEST(Dim3, CountMultipliesComponents) {
+  EXPECT_EQ(Dim3(4, 5, 6).count(), 120u);
+  EXPECT_EQ(Dim3(65535, 65535).count(), 65535ull * 65535ull);
+}
+
+TEST(Dim3, LinearIsRowMajor) {
+  const Dim3 extent(4, 3, 2);
+  EXPECT_EQ(extent.linear(Dim3(0, 0, 0)), 0u);
+  EXPECT_EQ(extent.linear(Dim3(1, 0, 0)), 1u);
+  EXPECT_EQ(extent.linear(Dim3(0, 1, 0)), 4u);
+  EXPECT_EQ(extent.linear(Dim3(0, 0, 1)), 12u);
+  EXPECT_EQ(extent.linear(Dim3(3, 2, 1)), 23u);
+}
+
+class DimRoundTripTest : public ::testing::TestWithParam<Dim3> {};
+
+TEST_P(DimRoundTripTest, DelinearizeInvertsLinear) {
+  const Dim3 extent = GetParam();
+  for (std::uint64_t flat = 0; flat < extent.count(); ++flat) {
+    const Dim3 idx = extent.delinearize(flat);
+    ASSERT_LT(idx.x, extent.x);
+    ASSERT_LT(idx.y, extent.y);
+    ASSERT_LT(idx.z, extent.z);
+    ASSERT_EQ(extent.linear(idx), flat);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Extents, DimRoundTripTest,
+                         ::testing::Values(Dim3(1), Dim3(7), Dim3(4, 3),
+                                           Dim3(3, 4, 2), Dim3(1, 1, 5),
+                                           Dim3(16, 16)));
+
+TEST(Dim3, ToStringFormats) {
+  EXPECT_EQ(to_string(Dim3(1, 2, 3)), "(1, 2, 3)");
+}
+
+TEST(LaunchConfig, CountsThreadsAndBlocks) {
+  LaunchConfig config;
+  config.grid = Dim3(8, 2);
+  config.block = Dim3(10, 10);
+  EXPECT_EQ(config.total_blocks(), 16u);
+  EXPECT_EQ(config.threads_per_block(), 100u);
+  EXPECT_EQ(config.total_threads(), 1600u);
+}
+
+}  // namespace

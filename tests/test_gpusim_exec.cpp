@@ -1,0 +1,526 @@
+// Execution-semantics tests for the functional GPU engine: thread identity,
+// barriers, shared memory, atomics, divergence tracking, counters, and
+// error behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/frame_pool.h"
+#include "support/error.h"
+
+namespace {
+
+namespace gs = starsim::gpusim;
+using starsim::support::DeviceError;
+using starsim::support::PreconditionError;
+
+gs::ThreadProgram noop_kernel(gs::ThreadCtx&) { co_return; }
+
+// Device is non-copyable; tests construct in place and serialize block
+// execution for deterministic counters.
+struct SerialDevice : gs::Device {
+  SerialDevice() : gs::Device(gs::DeviceSpec::test_small()) {
+    set_parallel_blocks(false);
+  }
+};
+
+TEST(Exec, EveryThreadRunsExactlyOnce) {
+  SerialDevice dev;
+  auto out = dev.malloc<float>(2 * 3 * 4 * 2);  // grid(2,3) x block(4,2)
+  dev.memset_zero(out);
+
+  auto kernel = [&out](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    const std::uint64_t global =
+        ctx.block_linear() * ctx.block_dim().count() +
+        ctx.block_dim().linear(ctx.thread_idx());
+    ctx.atomic_add(out, global, 1.0f);
+    co_return;
+  };
+  gs::LaunchConfig config{gs::Dim3(2, 3), gs::Dim3(4, 2)};
+  const gs::LaunchResult r = dev.launch(config, kernel);
+
+  std::vector<float> host(out.size());
+  dev.memcpy_d2h(std::span<float>(host), out);
+  for (float v : host) ASSERT_EQ(v, 1.0f);
+  EXPECT_EQ(r.counters.threads_launched, 48u);
+  EXPECT_EQ(r.counters.blocks_launched, 6u);
+  dev.free(out);
+}
+
+TEST(Exec, ThreadAndBlockIndicesAreCorrect) {
+  SerialDevice dev;
+  // Encode identity into a value and verify it lands at the right slot.
+  auto out = dev.malloc<float>(4 * 6);
+  auto kernel = [&out](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    const auto bx = ctx.block_idx().x;
+    const auto tx = ctx.thread_idx().x;
+    const auto ty = ctx.thread_idx().y;
+    const std::uint64_t slot = ctx.block_linear() * 6 + ty * 3 + tx;
+    ctx.store(out, slot,
+              static_cast<float>(bx * 100 + ty * 10 + tx));
+    co_return;
+  };
+  gs::LaunchConfig config{gs::Dim3(4), gs::Dim3(3, 2)};
+  (void)dev.launch(config, kernel);
+  std::vector<float> host(out.size());
+  dev.memcpy_d2h(std::span<float>(host), out);
+  for (unsigned b = 0; b < 4; ++b) {
+    for (unsigned ty = 0; ty < 2; ++ty) {
+      for (unsigned tx = 0; tx < 3; ++tx) {
+        ASSERT_EQ(host[b * 6 + ty * 3 + tx],
+                  static_cast<float>(b * 100 + ty * 10 + tx));
+      }
+    }
+  }
+  dev.free(out);
+}
+
+TEST(Exec, GridAndBlockDimsVisibleInKernel) {
+  SerialDevice dev;
+  auto out = dev.malloc<float>(4);
+  auto kernel = [&out](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    if (ctx.block_linear() == 0 && ctx.thread_linear() == 0) {
+      ctx.store(out, 0, static_cast<float>(ctx.grid_dim().x));
+      ctx.store(out, 1, static_cast<float>(ctx.grid_dim().y));
+      ctx.store(out, 2, static_cast<float>(ctx.block_dim().x));
+      ctx.store(out, 3, static_cast<float>(ctx.block_dim().y));
+    }
+    co_return;
+  };
+  (void)dev.launch({gs::Dim3(5, 2), gs::Dim3(4, 3)}, kernel);
+  std::vector<float> host(4);
+  dev.memcpy_d2h(std::span<float>(host), out);
+  EXPECT_EQ(host[0], 5.0f);
+  EXPECT_EQ(host[1], 2.0f);
+  EXPECT_EQ(host[2], 4.0f);
+  EXPECT_EQ(host[3], 3.0f);
+  dev.free(out);
+}
+
+TEST(Exec, BarrierOrdersSharedMemoryWrites) {
+  SerialDevice dev;
+  auto out = dev.malloc<float>(64);
+  // Thread 0 writes shared memory; all threads read it after the barrier —
+  // the exact Fig. 6 pattern. Without the barrier threads running before
+  // thread 0 would read zero.
+  auto kernel = [&out](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    auto shared = ctx.shared_array<float>(1);
+    // Run threads in reverse-dependency order: the LAST thread writes.
+    if (ctx.thread_linear() == ctx.block_dim().count() - 1) {
+      shared.set(0, 42.0f);
+    }
+    co_await ctx.syncthreads();
+    ctx.store(out, ctx.thread_linear(), shared.get(0));
+    co_return;
+  };
+  (void)dev.launch({gs::Dim3(1), gs::Dim3(64)}, kernel);
+  std::vector<float> host(64);
+  dev.memcpy_d2h(std::span<float>(host), out);
+  for (float v : host) ASSERT_EQ(v, 42.0f);
+  dev.free(out);
+}
+
+TEST(Exec, MultipleBarriersAlternatePhases) {
+  SerialDevice dev;
+  auto out = dev.malloc<float>(32);
+  auto kernel = [&out](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    auto shared = ctx.shared_array<float>(1);
+    if (ctx.thread_linear() == 0) shared.set(0, 1.0f);
+    co_await ctx.syncthreads();
+    const float first = shared.get(0);
+    co_await ctx.syncthreads();
+    if (ctx.thread_linear() == 31) shared.set(0, first + 1.0f);
+    co_await ctx.syncthreads();
+    ctx.store(out, ctx.thread_linear(), shared.get(0));
+    co_return;
+  };
+  const gs::LaunchResult r = dev.launch({gs::Dim3(1), gs::Dim3(32)}, kernel);
+  std::vector<float> host(32);
+  dev.memcpy_d2h(std::span<float>(host), out);
+  for (float v : host) ASSERT_EQ(v, 2.0f);
+  EXPECT_EQ(r.counters.barriers, 3u);  // 1 warp x 3 barrier epochs
+  dev.free(out);
+}
+
+TEST(Exec, BarrierDivergenceIsAnError) {
+  SerialDevice dev;
+  auto kernel = [](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    if (ctx.thread_linear() % 2 == 0) {
+      co_await ctx.syncthreads();  // odd threads never arrive
+    }
+    co_return;
+  };
+  EXPECT_THROW((void)dev.launch({gs::Dim3(1), gs::Dim3(8)}, kernel),
+               DeviceError);
+}
+
+TEST(Exec, KernelExceptionPropagates) {
+  SerialDevice dev;
+  auto kernel = [](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    if (ctx.thread_linear() == 3) {
+      throw std::runtime_error("bad thread");
+    }
+    co_return;
+  };
+  EXPECT_THROW((void)dev.launch({gs::Dim3(1), gs::Dim3(8)}, kernel),
+               std::runtime_error);
+}
+
+TEST(Exec, GlobalLoadStoreBoundsChecked) {
+  SerialDevice dev;
+  auto buffer = dev.malloc<float>(4);
+  auto kernel = [&buffer](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    ctx.store(buffer, 100, 1.0f);  // out of bounds
+    co_return;
+  };
+  EXPECT_THROW((void)dev.launch({gs::Dim3(1), gs::Dim3(1)}, kernel),
+               PreconditionError);
+  dev.free(buffer);
+}
+
+TEST(Exec, SharedMemoryIsPerBlock) {
+  SerialDevice dev;
+  auto out = dev.malloc<float>(8);
+  // Each block writes its own id into shared memory; cross-block leakage
+  // would mix ids.
+  auto kernel = [&out](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    auto shared = ctx.shared_array<float>(1);
+    if (ctx.thread_linear() == 0) {
+      shared.set(0, static_cast<float>(ctx.block_linear()));
+    }
+    co_await ctx.syncthreads();
+    if (ctx.thread_linear() == 1) {
+      ctx.store(out, ctx.block_linear(), shared.get(0));
+    }
+    co_return;
+  };
+  (void)dev.launch({gs::Dim3(8), gs::Dim3(2)}, kernel);
+  std::vector<float> host(8);
+  dev.memcpy_d2h(std::span<float>(host), out);
+  for (unsigned b = 0; b < 8; ++b) ASSERT_EQ(host[b], static_cast<float>(b));
+  dev.free(out);
+}
+
+TEST(Exec, SharedMemoryZeroInitialized) {
+  SerialDevice dev;
+  auto out = dev.malloc<float>(1);
+  auto kernel = [&out](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    auto shared = ctx.shared_array<float>(4);
+    ctx.store(out, 0, shared.get(3));
+    co_return;
+  };
+  (void)dev.launch({gs::Dim3(1), gs::Dim3(1)}, kernel);
+  std::vector<float> host(1, -1.0f);
+  dev.memcpy_d2h(std::span<float>(host), out);
+  EXPECT_EQ(host[0], 0.0f);
+  dev.free(out);
+}
+
+TEST(Exec, SharedMemoryBudgetEnforced) {
+  SerialDevice dev;  // 1 KiB shared per block
+  auto kernel = [](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    (void)ctx.shared_array<float>(512);  // 2 KiB
+    co_return;
+  };
+  EXPECT_THROW((void)dev.launch({gs::Dim3(1), gs::Dim3(1)}, kernel),
+               PreconditionError);
+}
+
+TEST(Exec, SharedSequenceMismatchDetected) {
+  SerialDevice dev;
+  auto kernel = [](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    if (ctx.thread_linear() == 0) {
+      (void)ctx.shared_array<float>(4);
+    } else {
+      (void)ctx.shared_array<float>(8);  // different size, same slot
+    }
+    co_return;
+  };
+  EXPECT_THROW((void)dev.launch({gs::Dim3(1), gs::Dim3(2)}, kernel),
+               PreconditionError);
+}
+
+TEST(Exec, AtomicAddAccumulatesAcrossBlocks) {
+  SerialDevice dev;
+  auto cell = dev.malloc<float>(1);
+  dev.memset_zero(cell);
+  auto kernel = [&cell](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    ctx.atomic_add(cell, 0, 1.0f);
+    co_return;
+  };
+  const gs::LaunchResult r = dev.launch({gs::Dim3(16), gs::Dim3(32)}, kernel);
+  std::vector<float> host(1);
+  dev.memcpy_d2h(std::span<float>(host), cell);
+  EXPECT_EQ(host[0], 512.0f);
+  EXPECT_EQ(r.counters.atomic_ops, 512u);
+  // 512 ops on one address: 511 of them conflicted.
+  EXPECT_EQ(r.counters.atomic_conflicts, 511u);
+  dev.free(cell);
+}
+
+TEST(Exec, AtomicConflictsZeroWhenAddressesDisjoint) {
+  SerialDevice dev;
+  auto cells = dev.malloc<float>(64);
+  dev.memset_zero(cells);
+  auto kernel = [&cells](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    ctx.atomic_add(cells, ctx.thread_linear(), 2.0f);
+    co_return;
+  };
+  const gs::LaunchResult r = dev.launch({gs::Dim3(1), gs::Dim3(64)}, kernel);
+  EXPECT_EQ(r.counters.atomic_ops, 64u);
+  EXPECT_EQ(r.counters.atomic_conflicts, 0u);
+  dev.free(cells);
+}
+
+TEST(Exec, AtomicConflictCountIsExact) {
+  SerialDevice dev;
+  auto cells = dev.malloc<float>(4);
+  dev.memset_zero(cells);
+  // Threads 0..31 hit cell (t % 2): 16 ops per cell -> 15 conflicts each.
+  auto kernel = [&cells](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    ctx.atomic_add(cells, ctx.thread_linear() % 2, 1.0f);
+    co_return;
+  };
+  const gs::LaunchResult r = dev.launch({gs::Dim3(1), gs::Dim3(32)}, kernel);
+  EXPECT_EQ(r.counters.atomic_conflicts, 30u);
+  dev.free(cells);
+}
+
+TEST(Exec, AtomicReturnsPreviousValue) {
+  SerialDevice dev;
+  auto cell = dev.malloc<float>(1);
+  auto out = dev.malloc<float>(1);
+  dev.memset_zero(cell);
+  auto kernel = [&cell, &out](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    const float before = ctx.atomic_add(cell, 0, 5.0f);
+    const float after = ctx.atomic_add(cell, 0, 5.0f);
+    ctx.store(out, 0, after - before);
+    co_return;
+  };
+  (void)dev.launch({gs::Dim3(1), gs::Dim3(1)}, kernel);
+  std::vector<float> host(1);
+  dev.memcpy_d2h(std::span<float>(host), out);
+  EXPECT_EQ(host[0], 5.0f);
+  dev.free(cell);
+  dev.free(out);
+}
+
+TEST(Exec, WarpCountsRoundUp) {
+  SerialDevice dev;
+  const gs::LaunchResult r =
+      dev.launch({gs::Dim3(3), gs::Dim3(33)}, noop_kernel);
+  EXPECT_EQ(r.counters.warps_launched, 6u);  // ceil(33/32)=2 per block
+  EXPECT_EQ(r.counters.threads_launched, 99u);
+}
+
+TEST(Exec, UniformBranchIsNotDivergent) {
+  SerialDevice dev;
+  auto kernel = [](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    ctx.branch(0, true);
+    co_return;
+  };
+  const gs::LaunchResult r = dev.launch({gs::Dim3(2), gs::Dim3(32)}, kernel);
+  EXPECT_EQ(r.counters.branch_sites_evaluated, 2u);
+  EXPECT_EQ(r.counters.divergent_warp_branches, 0u);
+}
+
+TEST(Exec, MixedBranchWithinWarpIsDivergent) {
+  SerialDevice dev;
+  auto kernel = [](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    ctx.branch(0, ctx.thread_linear() % 2 == 0);
+    co_return;
+  };
+  const gs::LaunchResult r = dev.launch({gs::Dim3(1), gs::Dim3(32)}, kernel);
+  EXPECT_EQ(r.counters.branch_sites_evaluated, 1u);
+  EXPECT_EQ(r.counters.divergent_warp_branches, 1u);
+  EXPECT_DOUBLE_EQ(r.counters.divergence_rate(), 1.0);
+}
+
+TEST(Exec, WarpUniformButGridMixedIsNotDivergent) {
+  SerialDevice dev;
+  // Warp 0 all-true, warp 1 all-false: no divergence inside either warp.
+  auto kernel = [](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    ctx.branch(0, ctx.warp_id() == 0);
+    co_return;
+  };
+  const gs::LaunchResult r = dev.launch({gs::Dim3(1), gs::Dim3(64)}, kernel);
+  EXPECT_EQ(r.counters.branch_sites_evaluated, 2u);
+  EXPECT_EQ(r.counters.divergent_warp_branches, 0u);
+}
+
+TEST(Exec, BranchSiteOutOfRangeThrows) {
+  SerialDevice dev;
+  auto kernel = [](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    ctx.branch(99, true);
+    co_return;
+  };
+  EXPECT_THROW((void)dev.launch({gs::Dim3(1), gs::Dim3(1)}, kernel),
+               PreconditionError);
+}
+
+TEST(Exec, MeteredTranscendentalsCountFlops) {
+  SerialDevice dev;
+  const gs::DeviceSpec& spec = dev.spec();
+  auto out = dev.malloc<float>(1);
+  auto kernel = [&out](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    const double v = ctx.exp(0.0) + ctx.pow(2.0, 3.0) + ctx.sqrt(16.0);
+    ctx.count_flops(2);
+    ctx.store(out, 0, static_cast<float>(v));
+    co_return;
+  };
+  const gs::LaunchResult r = dev.launch({gs::Dim3(1), gs::Dim3(1)}, kernel);
+  const auto expected = static_cast<std::uint64_t>(
+      spec.exp_flop_equiv + spec.pow_flop_equiv + spec.sqrt_flop_equiv + 2);
+  EXPECT_EQ(r.counters.flops, expected);
+  std::vector<float> host(1);
+  dev.memcpy_d2h(std::span<float>(host), out);
+  EXPECT_FLOAT_EQ(host[0], 1.0f + 8.0f + 4.0f);
+  dev.free(out);
+}
+
+TEST(Exec, CountersSumMemoryTraffic) {
+  SerialDevice dev;
+  auto buf = dev.malloc<float>(32);
+  dev.memset_zero(buf);
+  auto kernel = [&buf](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    const float v = ctx.load(buf, ctx.thread_linear());
+    ctx.store(buf, ctx.thread_linear(), v + 1.0f);
+    co_return;
+  };
+  const gs::LaunchResult r = dev.launch({gs::Dim3(1), gs::Dim3(32)}, kernel);
+  EXPECT_EQ(r.counters.global_reads, 32u);
+  EXPECT_EQ(r.counters.global_writes, 32u);
+  EXPECT_EQ(r.counters.global_bytes_read, 128u);
+  EXPECT_EQ(r.counters.global_bytes_written, 128u);
+  dev.free(buf);
+}
+
+TEST(Exec, FramePoolRecyclesFrames) {
+  starsim::gpusim::detail::frame_pool_drain();
+  SerialDevice dev;
+  (void)dev.launch({gs::Dim3(4), gs::Dim3(8)}, noop_kernel);
+  const std::size_t after_first = starsim::gpusim::detail::frame_pool_size();
+  EXPECT_GT(after_first, 0u);  // frames parked for reuse
+  (void)dev.launch({gs::Dim3(4), gs::Dim3(8)}, noop_kernel);
+  // Second identical launch must not grow the pool (full recycling).
+  EXPECT_EQ(starsim::gpusim::detail::frame_pool_size(), after_first);
+}
+
+TEST(Exec, ParallelAndSerialProduceSameImage) {
+  gs::DeviceSpec spec = gs::DeviceSpec::test_small();
+  gs::Device serial(spec);
+  serial.set_parallel_blocks(false);
+  gs::Device parallel(spec);
+  parallel.set_parallel_blocks(true);
+
+  auto run = [](gs::Device& dev) {
+    auto buf = dev.malloc<float>(64);
+    dev.memset_zero(buf);
+    auto kernel = [&buf](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+      ctx.atomic_add(buf, ctx.thread_linear() % 64, 1.0f);
+      co_return;
+    };
+    (void)dev.launch({gs::Dim3(16), gs::Dim3(32)}, kernel);
+    std::vector<float> host(64);
+    dev.memcpy_d2h(std::span<float>(host), buf);
+    dev.free(buf);
+    return host;
+  };
+  EXPECT_EQ(run(serial), run(parallel));
+}
+
+
+TEST(Exec, KernelExceptionPropagatesFromParallelBlocks) {
+  gs::Device dev(gs::DeviceSpec::test_small());
+  dev.set_parallel_blocks(true);
+  auto kernel = [](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    if (ctx.block_linear() == 13 && ctx.thread_linear() == 2) {
+      throw std::runtime_error("bad block");
+    }
+    co_return;
+  };
+  EXPECT_THROW((void)dev.launch({gs::Dim3(32), gs::Dim3(8)}, kernel),
+               std::runtime_error);
+}
+
+TEST(Exec, ThreeDimensionalBlocksSupported) {
+  SerialDevice dev;
+  auto out = dev.malloc<float>(2 * 4 * 2);
+  auto kernel = [&out](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    const auto& t = ctx.thread_idx();
+    ctx.store(out, ctx.thread_linear(),
+              static_cast<float>(t.z * 100 + t.y * 10 + t.x));
+    co_return;
+  };
+  (void)dev.launch({gs::Dim3(1), gs::Dim3(2, 4, 2)}, kernel);
+  std::vector<float> host(16);
+  dev.memcpy_d2h(std::span<float>(host), out);
+  EXPECT_EQ(host[0], 0.0f);      // (0,0,0)
+  EXPECT_EQ(host[1], 1.0f);      // (1,0,0)
+  EXPECT_EQ(host[2], 10.0f);     // (0,1,0)
+  EXPECT_EQ(host[8], 100.0f);    // (0,0,1)
+  EXPECT_EQ(host[15], 131.0f);   // (1,3,1)
+  dev.free(out);
+}
+
+TEST(Exec, MultipleTexturesUsableInOneKernel) {
+  SerialDevice dev;
+  auto a = dev.malloc<float>(16);
+  auto b = dev.malloc<float>(16);
+  std::vector<float> ha(16, 2.0f);
+  std::vector<float> hb(16, 5.0f);
+  dev.memcpy_h2d(a, std::span<const float>(ha));
+  dev.memcpy_h2d(b, std::span<const float>(hb));
+  const auto ta = dev.bind_texture_2d(a, 4, 4, gs::AddressMode::kClamp);
+  const auto tb = dev.bind_texture_2d(b, 4, 4, gs::AddressMode::kClamp);
+  auto out = dev.malloc<float>(1);
+  auto kernel = [&](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    ctx.store(out, 0, ctx.tex2d(ta, 1, 1) + ctx.tex2d(tb, 2, 2));
+    co_return;
+  };
+  (void)dev.launch({gs::Dim3(1), gs::Dim3(1)}, kernel);
+  std::vector<float> host(1);
+  dev.memcpy_d2h(std::span<float>(host), out);
+  EXPECT_EQ(host[0], 7.0f);
+  dev.unbind_texture(ta);
+  dev.unbind_texture(tb);
+  dev.free(a);
+  dev.free(b);
+  dev.free(out);
+}
+
+TEST(Exec, BarrierInsideLoopCountsEveryEpoch) {
+  SerialDevice dev;
+  auto kernel = [](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    auto shared = ctx.shared_array<float>(1);
+    for (int round = 0; round < 5; ++round) {
+      if (ctx.thread_linear() == 0) shared.set(0, static_cast<float>(round));
+      co_await ctx.syncthreads();
+    }
+    co_return;
+  };
+  const gs::LaunchResult r = dev.launch({gs::Dim3(1), gs::Dim3(64)}, kernel);
+  EXPECT_EQ(r.counters.barriers, 5u * 2u);  // 5 epochs x 2 warps
+}
+
+TEST(Exec, GridZDimensionWorks) {
+  SerialDevice dev;
+  auto out = dev.malloc<float>(8);
+  dev.memset_zero(out);
+  auto kernel = [&out](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    ctx.atomic_add(out, ctx.block_linear(), 1.0f);
+    co_return;
+  };
+  const gs::LaunchResult r =
+      dev.launch({gs::Dim3(2, 2, 2), gs::Dim3(4)}, kernel);
+  EXPECT_EQ(r.counters.blocks_launched, 8u);
+  std::vector<float> host(8);
+  dev.memcpy_d2h(std::span<float>(host), out);
+  for (float v : host) EXPECT_EQ(v, 4.0f);
+  dev.free(out);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include "gpusim/device_memory.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace {
+
+using starsim::gpusim::DeviceMemoryManager;
+using starsim::gpusim::DevicePtr;
+using starsim::support::DeviceError;
+using starsim::support::PreconditionError;
+
+TEST(DeviceMemory, AllocateTracksUsage) {
+  DeviceMemoryManager mm(1 << 20);
+  auto a = mm.allocate<float>(256);
+  EXPECT_EQ(mm.used_bytes(), 1024u);
+  EXPECT_EQ(mm.live_allocations(), 1u);
+  EXPECT_EQ(a.size(), 256u);
+  EXPECT_EQ(a.bytes(), 1024u);
+  EXPECT_TRUE(a.is_live());
+}
+
+TEST(DeviceMemory, ReleaseReturnsBytes) {
+  DeviceMemoryManager mm(1 << 20);
+  auto a = mm.allocate<double>(100);
+  mm.release(a);
+  EXPECT_EQ(mm.used_bytes(), 0u);
+  EXPECT_EQ(mm.live_allocations(), 0u);
+  EXPECT_TRUE(a.is_null());  // handle cleared on release
+}
+
+TEST(DeviceMemory, OutOfMemoryThrows) {
+  DeviceMemoryManager mm(1024);
+  EXPECT_THROW((void)mm.allocate<float>(1024), DeviceError);  // 4 KiB > 1 KiB
+}
+
+TEST(DeviceMemory, ExactCapacityFits) {
+  DeviceMemoryManager mm(1024);
+  auto a = mm.allocate<float>(256);
+  EXPECT_EQ(mm.free_bytes(), 0u);
+  EXPECT_THROW((void)mm.allocate<float>(1), DeviceError);
+  mm.release(a);
+  EXPECT_NO_THROW((void)mm.allocate<float>(256));
+}
+
+TEST(DeviceMemory, FreeingMakesRoom) {
+  DeviceMemoryManager mm(1024);
+  auto a = mm.allocate<float>(128);
+  auto b = mm.allocate<float>(128);
+  mm.release(a);
+  EXPECT_NO_THROW((void)mm.allocate<float>(128));
+  mm.release(b);
+}
+
+TEST(DeviceMemory, DoubleFreeThrows) {
+  DeviceMemoryManager mm(1 << 20);
+  auto a = mm.allocate<int>(10);
+  auto copy = a;
+  mm.release(a);
+  EXPECT_THROW(mm.release(copy), DeviceError);
+}
+
+TEST(DeviceMemory, UseAfterFreeDetected) {
+  DeviceMemoryManager mm(1 << 20);
+  auto a = mm.allocate<float>(16);
+  auto copy = a;
+  EXPECT_NO_THROW((void)copy.raw());
+  mm.release(a);
+  EXPECT_FALSE(copy.is_live());
+  EXPECT_THROW((void)copy.raw(), PreconditionError);
+}
+
+TEST(DeviceMemory, NullPtrIsNotLive) {
+  DevicePtr<float> null_ptr;
+  EXPECT_TRUE(null_ptr.is_null());
+  EXPECT_FALSE(null_ptr.is_live());
+  EXPECT_THROW((void)null_ptr.raw(), PreconditionError);
+}
+
+TEST(DeviceMemory, ZeroCountAllocationRejected) {
+  DeviceMemoryManager mm(1 << 20);
+  EXPECT_THROW((void)mm.allocate<float>(0), PreconditionError);
+}
+
+TEST(DeviceMemory, AllocationsAreDistinct) {
+  DeviceMemoryManager mm(1 << 20);
+  auto a = mm.allocate<float>(4);
+  auto b = mm.allocate<float>(4);
+  EXPECT_NE(a.raw(), b.raw());
+  EXPECT_NE(a.allocation_id(), b.allocation_id());
+  a.raw()[0] = 1.0f;
+  b.raw()[0] = 2.0f;
+  EXPECT_EQ(a.raw()[0], 1.0f);
+  mm.release(a);
+  mm.release(b);
+}
+
+TEST(DeviceMemory, IsLiveQueriesById) {
+  DeviceMemoryManager mm(1 << 20);
+  auto a = mm.allocate<float>(4);
+  const auto id = a.allocation_id();
+  EXPECT_TRUE(mm.is_live(id));
+  mm.release(a);
+  EXPECT_FALSE(mm.is_live(id));
+  EXPECT_FALSE(mm.is_live(9999));
+}
+
+TEST(DeviceMemory, ManySmallAllocationsStayStable) {
+  DeviceMemoryManager mm(1 << 20);
+  std::vector<DevicePtr<int>> ptrs;
+  for (int i = 0; i < 200; ++i) {
+    ptrs.push_back(mm.allocate<int>(8));
+    ptrs.back().raw()[0] = i;
+  }
+  // Growth of the internal slot store must not invalidate older handles.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(ptrs[static_cast<std::size_t>(i)].is_live());
+    ASSERT_EQ(ptrs[static_cast<std::size_t>(i)].raw()[0], i);
+  }
+  for (auto& p : ptrs) mm.release(p);
+  EXPECT_EQ(mm.used_bytes(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+#include "gpusim/morton.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/rng.h"
+
+namespace {
+
+namespace gs = starsim::gpusim;
+
+TEST(Morton, KnownValues) {
+  EXPECT_EQ(gs::morton_encode(0, 0), 0u);
+  EXPECT_EQ(gs::morton_encode(1, 0), 1u);
+  EXPECT_EQ(gs::morton_encode(0, 1), 2u);
+  EXPECT_EQ(gs::morton_encode(1, 1), 3u);
+  EXPECT_EQ(gs::morton_encode(2, 0), 4u);
+  EXPECT_EQ(gs::morton_encode(0, 2), 8u);
+  EXPECT_EQ(gs::morton_encode(3, 3), 15u);
+}
+
+TEST(Morton, RoundTripExhaustiveSmall) {
+  for (std::uint32_t x = 0; x < 64; ++x) {
+    for (std::uint32_t y = 0; y < 64; ++y) {
+      const std::uint32_t code = gs::morton_encode(x, y);
+      ASSERT_EQ(gs::morton_decode_x(code), x);
+      ASSERT_EQ(gs::morton_decode_y(code), y);
+    }
+  }
+}
+
+TEST(Morton, RoundTripRandom16Bit) {
+  starsim::support::Pcg32 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint32_t x = rng.bounded(65536);
+    const std::uint32_t y = rng.bounded(65536);
+    const std::uint32_t code = gs::morton_encode(x, y);
+    ASSERT_EQ(gs::morton_decode_x(code), x);
+    ASSERT_EQ(gs::morton_decode_y(code), y);
+  }
+}
+
+TEST(Morton, EncodingIsInjectiveOnTiles) {
+  // Within an 8x8 tile all 64 codes are distinct and dense in [0, 64).
+  bool seen[64] = {};
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      const std::uint32_t code = gs::morton_encode(x, y);
+      ASSERT_LT(code, 64u);
+      ASSERT_FALSE(seen[code]);
+      seen[code] = true;
+    }
+  }
+}
+
+TEST(Morton, PreservesTwoDimensionalLocality) {
+  // The defining property the texture cache exploits: 2-D neighbors stay
+  // numerically close. Any 2x2 pixel neighborhood spans at most 3 gaps in
+  // code space when aligned; measure the average row-neighbor distance
+  // against the row-major layout's vertical distance for a 256-wide image.
+  double morton_vertical = 0.0;
+  double row_major_vertical = 0.0;
+  constexpr int kWidth = 256;
+  for (std::uint32_t x = 0; x < 64; ++x) {
+    for (std::uint32_t y = 0; y < 63; ++y) {
+      morton_vertical += static_cast<double>(std::abs(
+          static_cast<long>(gs::morton_encode(x, y + 1)) -
+          static_cast<long>(gs::morton_encode(x, y))));
+      row_major_vertical += kWidth;  // row-major vertical step
+    }
+  }
+  // Morton's average vertical step must be far below a 256-wide row stride.
+  EXPECT_LT(morton_vertical, row_major_vertical * 0.25);
+}
+
+TEST(Morton, MasksTo16Bits) {
+  // Coordinates beyond 16 bits wrap into range instead of colliding UB.
+  EXPECT_EQ(gs::morton_part1by1(0x10000u), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+#include "gpusim/occupancy.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace gs = starsim::gpusim;
+
+gs::LaunchConfig config_of(std::uint32_t blocks, std::uint32_t threads) {
+  gs::LaunchConfig c;
+  c.grid = gs::Dim3(blocks);
+  c.block = gs::Dim3(threads);
+  return c;
+}
+
+TEST(Occupancy, WarpsPerBlockRoundUp) {
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  EXPECT_EQ(gs::compute_occupancy(spec, config_of(1, 32)).warps_per_block, 1u);
+  EXPECT_EQ(gs::compute_occupancy(spec, config_of(1, 33)).warps_per_block, 2u);
+  EXPECT_EQ(gs::compute_occupancy(spec, config_of(1, 100)).warps_per_block, 4u);
+  EXPECT_EQ(gs::compute_occupancy(spec, config_of(1, 1024)).warps_per_block,
+            32u);
+}
+
+TEST(Occupancy, ResidencyLimitedByWarpBudget) {
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();  // 48 warps, 8 blocks
+  // 4-warp blocks: warp budget allows 12, block slots cap at 8.
+  EXPECT_EQ(gs::compute_occupancy(spec, config_of(100, 128))
+                .resident_blocks_per_sm,
+            8);
+  // 16-warp blocks: 48/16 = 3 blocks.
+  EXPECT_EQ(gs::compute_occupancy(spec, config_of(100, 512))
+                .resident_blocks_per_sm,
+            3);
+}
+
+TEST(Occupancy, HugeBlockStillResidesOnce) {
+  gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  spec.max_resident_warps_per_sm = 24;
+  // 32-warp block exceeds the 24-warp budget; clamp to one resident block.
+  const gs::Occupancy occ = gs::compute_occupancy(spec, config_of(10, 1024));
+  EXPECT_EQ(occ.resident_blocks_per_sm, 1);
+  EXPECT_EQ(occ.resident_warps_per_sm, 24);
+}
+
+TEST(Occupancy, SmallGridLimitsConcurrentWarps) {
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  const gs::Occupancy occ = gs::compute_occupancy(spec, config_of(4, 100));
+  EXPECT_DOUBLE_EQ(occ.concurrent_warps, 16.0);  // 4 blocks x 4 warps
+}
+
+TEST(Occupancy, UtilizationRampsWithBlocks) {
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  double previous = 0.0;
+  for (std::uint32_t blocks : {1u, 8u, 32u, 128u, 512u, 4096u}) {
+    const double u =
+        gs::compute_occupancy(spec, config_of(blocks, 100)).utilization;
+    EXPECT_GE(u, previous);
+    previous = u;
+  }
+  EXPECT_DOUBLE_EQ(previous, 1.0);  // saturated at large grids
+}
+
+TEST(Occupancy, UtilizationCapsAtOne) {
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  const gs::Occupancy occ = gs::compute_occupancy(spec, config_of(100000, 1024));
+  EXPECT_DOUBLE_EQ(occ.utilization, 1.0);
+}
+
+TEST(Occupancy, SaturationPointMatchesSpec) {
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  // Exactly saturation_warps concurrent warps -> utilization 1.
+  // 360 warps = 90 blocks of 4 warps on the GTX480 (15 SMs x 24).
+  const gs::Occupancy occ = gs::compute_occupancy(spec, config_of(90, 128));
+  EXPECT_DOUBLE_EQ(occ.concurrent_warps, 360.0);
+  EXPECT_DOUBLE_EQ(occ.utilization, 1.0);
+  const gs::Occupancy under = gs::compute_occupancy(spec, config_of(45, 128));
+  EXPECT_DOUBLE_EQ(under.utilization, 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+#include "gpusim/perf_model.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace gs = starsim::gpusim;
+
+gs::LaunchConfig big_config() {
+  gs::LaunchConfig c;
+  c.grid = gs::Dim3(256, 32);  // 8192 blocks
+  c.block = gs::Dim3(10, 10);
+  return c;
+}
+
+gs::KernelCounters base_counters() {
+  gs::KernelCounters c;
+  c.blocks_launched = 8192;
+  c.threads_launched = 819200;
+  c.warps_launched = 8192 * 4;
+  return c;
+}
+
+TEST(PerfModel, EmptyKernelCostsLaunchOverhead) {
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  const gs::KernelTiming t =
+      gs::estimate_kernel_time(spec, big_config(), gs::KernelCounters{});
+  EXPECT_DOUBLE_EQ(t.launch_s, spec.kernel_launch_overhead_s);
+  EXPECT_NEAR(t.kernel_s, spec.kernel_launch_overhead_s, 1e-12);
+}
+
+TEST(PerfModel, ComputeTimeMatchesEffectiveThroughputAtSaturation) {
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  gs::KernelCounters c = base_counters();
+  c.flops = 1'000'000'000;  // 1 Gflop
+  const gs::KernelTiming t = gs::estimate_kernel_time(spec, big_config(), c);
+  EXPECT_DOUBLE_EQ(t.utilization, 1.0);
+  EXPECT_NEAR(t.compute_s, 1e9 / spec.effective_fp64_flops(), 1e-12);
+}
+
+TEST(PerfModel, LowOccupancyInflatesComputeTime) {
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  gs::KernelCounters c;
+  c.flops = 1'000'000;
+  gs::LaunchConfig small;
+  small.grid = gs::Dim3(4);
+  small.block = gs::Dim3(10, 10);
+  const gs::KernelTiming t_small = gs::estimate_kernel_time(spec, small, c);
+  const gs::KernelTiming t_big =
+      gs::estimate_kernel_time(spec, big_config(), c);
+  EXPECT_GT(t_small.compute_s, t_big.compute_s);
+  EXPECT_LT(t_small.utilization, t_big.utilization);
+}
+
+TEST(PerfModel, MonotoneInEveryCounter) {
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  const gs::LaunchConfig config = big_config();
+  gs::KernelCounters base = base_counters();
+  base.flops = 1'000'000;
+  base.global_reads = 10'000;
+  base.global_bytes_read = 40'000;
+  base.shared_reads = 10'000;
+  base.texture_hits = 10'000;
+  base.texture_misses = 100;
+  base.texture_fetches = 10'100;
+  base.atomic_ops = 10'000;
+  base.atomic_conflicts = 50;
+  base.barriers = 1'000;
+  base.divergent_warp_branches = 100;
+  const double t0 = gs::estimate_kernel_time(spec, config, base).kernel_s;
+
+  auto bump = [&](auto mutate) {
+    gs::KernelCounters c = base;
+    mutate(c);
+    return gs::estimate_kernel_time(spec, config, c).kernel_s;
+  };
+  EXPECT_GT(bump([](auto& c) { c.flops *= 10; }), t0);
+  EXPECT_GT(bump([](auto& c) { c.global_reads *= 100; }), t0);
+  EXPECT_GT(bump([](auto& c) { c.global_bytes_read *= 1000; }), t0);
+  EXPECT_GT(bump([](auto& c) { c.shared_reads *= 1000; }), t0);
+  EXPECT_GT(bump([](auto& c) { c.texture_hits *= 100; }), t0);
+  EXPECT_GT(bump([](auto& c) { c.texture_misses *= 100; }), t0);
+  EXPECT_GT(bump([](auto& c) { c.atomic_ops *= 100; }), t0);
+  EXPECT_GT(bump([](auto& c) { c.atomic_conflicts *= 1000; }), t0);
+  EXPECT_GT(bump([](auto& c) { c.barriers *= 1000; }), t0);
+  EXPECT_GT(bump([](auto& c) { c.divergent_warp_branches *= 1000; }), t0);
+}
+
+TEST(PerfModel, GlobalMemoryTakesMaxOfBandwidthAndLatency) {
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  // Huge bytes, few accesses: bandwidth-bound.
+  gs::KernelCounters bw = base_counters();
+  bw.global_reads = 10;
+  bw.global_bytes_read = 1ull << 30;
+  const double expect_bw =
+      static_cast<double>(1ull << 30) / (spec.global_bandwidth_gbps * 1e9);
+  EXPECT_NEAR(gs::estimate_kernel_time(spec, big_config(), bw).global_s,
+              expect_bw, expect_bw * 1e-9);
+  // Many accesses, few bytes: latency-bound (exceeds the bandwidth term).
+  gs::KernelCounters lat = base_counters();
+  lat.global_reads = 100'000'000;
+  lat.global_bytes_read = 100;
+  const gs::KernelTiming t = gs::estimate_kernel_time(spec, big_config(), lat);
+  EXPECT_GT(t.global_s, expect_bw * 0.001);
+  EXPECT_GT(t.global_s, 0.0);
+}
+
+TEST(PerfModel, AchievedGflopsConsistent) {
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  gs::KernelCounters c = base_counters();
+  c.flops = 500'000'000;
+  const gs::KernelTiming t = gs::estimate_kernel_time(spec, big_config(), c);
+  EXPECT_NEAR(t.achieved_gflops, 0.5 / t.kernel_s, 1e-9);
+  // Achieved must be below the effective peak.
+  EXPECT_LT(t.achieved_gflops, spec.effective_fp64_flops() / 1e9);
+}
+
+TEST(PerfModel, TotalIsSumOfComponents) {
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  gs::KernelCounters c = base_counters();
+  c.flops = 123'456'789;
+  c.global_reads = 55'555;
+  c.global_bytes_read = 222'220;
+  c.shared_reads = 44'444;
+  c.texture_hits = 33'333;
+  c.texture_misses = 2'222;
+  c.atomic_ops = 11'111;
+  c.atomic_conflicts = 99;
+  c.barriers = 1'234;
+  c.divergent_warp_branches = 56;
+  const gs::KernelTiming t = gs::estimate_kernel_time(spec, big_config(), c);
+  EXPECT_NEAR(t.kernel_s,
+              t.launch_s + t.compute_s + t.global_s + t.shared_s +
+                  t.texture_s + t.atomic_s + t.barrier_s + t.divergence_s,
+              1e-15);
+}
+
+TEST(PerfModel, TransferTimeLinearInBytes) {
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  const double t1 = gs::estimate_transfer_time(spec, 1 << 20);
+  const double t2 = gs::estimate_transfer_time(spec, 2 << 20);
+  EXPECT_NEAR(t2 - t1,
+              static_cast<double>(1 << 20) / (spec.pcie_bandwidth_gbps * 1e9),
+              1e-12);
+  EXPECT_DOUBLE_EQ(gs::estimate_transfer_time(spec, 0), spec.pcie_latency_s);
+}
+
+TEST(PerfModel, TableOneTransmissionMagnitude) {
+  // Table I reports ~2.43 ms of CPU-GPU transmission at small star counts;
+  // that traffic is two 4 MiB image copies plus a tiny star array. The
+  // calibrated transfer model must land near it.
+  const gs::DeviceSpec spec = gs::DeviceSpec::gtx480();
+  const std::uint64_t image = 1024ull * 1024ull * 4ull;
+  const double total = gs::estimate_transfer_time(spec, image) * 2 +
+                       gs::estimate_transfer_time(spec, 32 * 16);
+  EXPECT_NEAR(total, 2.43e-3, 0.5e-3);
+}
+
+}  // namespace

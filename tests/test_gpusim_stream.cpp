@@ -1,0 +1,139 @@
+#include "gpusim/stream.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace {
+
+namespace gs = starsim::gpusim;
+using Engine = gs::StreamScheduler::Engine;
+
+TEST(StreamScheduler, SingleStreamSerializes) {
+  gs::StreamScheduler sched(1);
+  const gs::StreamId s = sched.create_stream();
+  EXPECT_DOUBLE_EQ(sched.enqueue_h2d(s, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(sched.enqueue_kernel(s, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(sched.enqueue_d2h(s, 0.5), 3.5);
+  EXPECT_DOUBLE_EQ(sched.makespan(), 3.5);
+  EXPECT_DOUBLE_EQ(sched.stream_end(s), 3.5);
+}
+
+TEST(StreamScheduler, TwoStreamsOverlapCopyAndCompute) {
+  gs::StreamScheduler sched(1);
+  const gs::StreamId a = sched.create_stream();
+  const gs::StreamId b = sched.create_stream();
+  // a: copy [0,1], kernel [1,3]; b: copy [1,2] (engine busy until 1),
+  // kernel [3,5] (compute busy until 3).
+  (void)sched.enqueue_h2d(a, 1.0);
+  (void)sched.enqueue_kernel(a, 2.0);
+  EXPECT_DOUBLE_EQ(sched.enqueue_h2d(b, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(sched.enqueue_kernel(b, 2.0), 5.0);
+  // Serial would be 6; overlap saves one copy slot.
+  EXPECT_DOUBLE_EQ(sched.makespan(), 5.0);
+}
+
+TEST(StreamScheduler, SingleCopyEngineSerializesBothDirections) {
+  gs::StreamScheduler sched(1);
+  const gs::StreamId a = sched.create_stream();
+  const gs::StreamId b = sched.create_stream();
+  (void)sched.enqueue_h2d(a, 1.0);
+  // D2H on another stream shares the single engine: starts at 1.
+  EXPECT_DOUBLE_EQ(sched.enqueue_d2h(b, 1.0), 2.0);
+}
+
+TEST(StreamScheduler, DualCopyEnginesRunDirectionsConcurrently) {
+  gs::StreamScheduler sched(2);
+  const gs::StreamId a = sched.create_stream();
+  const gs::StreamId b = sched.create_stream();
+  (void)sched.enqueue_h2d(a, 1.0);
+  EXPECT_DOUBLE_EQ(sched.enqueue_d2h(b, 1.0), 1.0);  // concurrent
+  EXPECT_DOUBLE_EQ(sched.makespan(), 1.0);
+}
+
+TEST(StreamScheduler, DepthFirstIssueHitsTheFalseDependency) {
+  // Fermi's copy-engine pitfall, reproduced: issuing each frame's readback
+  // before the next frame's upload blocks the (FIFO) copy engine behind a
+  // transfer that is waiting on a kernel — the pipeline degenerates to
+  // fully serial execution despite using two streams.
+  gs::StreamScheduler sched(1);
+  const gs::StreamId s0 = sched.create_stream();
+  const gs::StreamId s1 = sched.create_stream();
+  constexpr int kFrames = 50;
+  for (int f = 0; f < kFrames; ++f) {
+    const gs::StreamId s = (f % 2 == 0) ? s0 : s1;
+    (void)sched.enqueue_h2d(s, 1.0);
+    (void)sched.enqueue_kernel(s, 1.0);
+    (void)sched.enqueue_d2h(s, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(sched.makespan(), 150.0);  // fully serial
+}
+
+TEST(StreamScheduler, SoftwarePipelinedIssueIsEngineBound) {
+  // The fix: prefetch frame f+1's upload before frame f's kernel/readback.
+  // The copy engine then carries 2 units per frame back-to-back and binds
+  // the makespan at ~100 (+ fill/drain), not 150.
+  gs::StreamScheduler sched(1);
+  const gs::StreamId s0 = sched.create_stream();
+  const gs::StreamId s1 = sched.create_stream();
+  constexpr int kFrames = 50;
+  auto stream_of = [&](int f) { return (f % 2 == 0) ? s0 : s1; };
+  (void)sched.enqueue_h2d(stream_of(0), 1.0);
+  for (int f = 0; f < kFrames; ++f) {
+    if (f + 1 < kFrames) (void)sched.enqueue_h2d(stream_of(f + 1), 1.0);
+    (void)sched.enqueue_kernel(stream_of(f), 1.0);
+    (void)sched.enqueue_d2h(stream_of(f), 1.0);
+  }
+  EXPECT_LT(sched.makespan(), 105.0);
+  EXPECT_GE(sched.makespan(), 100.0);
+  EXPECT_DOUBLE_EQ(sched.engine_busy(Engine::kCopyH2D), 100.0);
+  EXPECT_DOUBLE_EQ(sched.engine_busy(Engine::kCompute), 50.0);
+}
+
+TEST(StreamScheduler, KernelBoundPipelineHidesCopies) {
+  gs::StreamScheduler sched(2);
+  const gs::StreamId s0 = sched.create_stream();
+  const gs::StreamId s1 = sched.create_stream();
+  constexpr int kFrames = 20;
+  for (int f = 0; f < kFrames; ++f) {
+    const gs::StreamId s = (f % 2 == 0) ? s0 : s1;
+    (void)sched.enqueue_h2d(s, 0.1);
+    (void)sched.enqueue_kernel(s, 1.0);
+    (void)sched.enqueue_d2h(s, 0.1);
+  }
+  // Compute is the bottleneck: makespan ~ 20 + fill/drain.
+  EXPECT_LT(sched.makespan(), 20.0 + 0.5);
+  EXPECT_GE(sched.makespan(), 20.0);
+}
+
+TEST(StreamScheduler, ZeroDurationOpsAreFree) {
+  gs::StreamScheduler sched(1);
+  const gs::StreamId s = sched.create_stream();
+  EXPECT_DOUBLE_EQ(sched.enqueue_kernel(s, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sched.makespan(), 0.0);
+}
+
+TEST(StreamScheduler, ResetClearsTimeKeepsStreams) {
+  gs::StreamScheduler sched(1);
+  const gs::StreamId s = sched.create_stream();
+  (void)sched.enqueue_kernel(s, 5.0);
+  sched.reset();
+  EXPECT_DOUBLE_EQ(sched.makespan(), 0.0);
+  EXPECT_EQ(sched.stream_count(), 1u);
+  EXPECT_DOUBLE_EQ(sched.enqueue_kernel(s, 1.0), 1.0);
+}
+
+TEST(StreamScheduler, RejectsInvalidInputs) {
+  EXPECT_THROW(gs::StreamScheduler(0), starsim::support::PreconditionError);
+  EXPECT_THROW(gs::StreamScheduler(3), starsim::support::PreconditionError);
+  gs::StreamScheduler sched(1);
+  EXPECT_THROW((void)sched.enqueue_kernel(gs::StreamId{}, 1.0),
+               starsim::support::PreconditionError);
+  const gs::StreamId s = sched.create_stream();
+  EXPECT_THROW((void)sched.enqueue_kernel(s, -1.0),
+               starsim::support::PreconditionError);
+  EXPECT_THROW((void)sched.stream_end(gs::StreamId{7}),
+               starsim::support::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+#include "imageio/bmp.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace {
+
+namespace io = starsim::imageio;
+using starsim::support::IoError;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+io::ImageU8 random_image(int width, int height, std::uint64_t seed) {
+  starsim::support::Pcg32 rng(seed);
+  io::ImageU8 image(width, height);
+  for (auto& v : image.pixels()) {
+    v = static_cast<std::uint8_t>(rng.bounded(256));
+  }
+  return image;
+}
+
+TEST(Bmp, Gray8RoundTrip) {
+  const io::ImageU8 original = random_image(37, 23, 1);
+  const std::string path = temp_path("roundtrip8.bmp");
+  io::write_bmp_gray8(original, path);
+  EXPECT_EQ(io::read_bmp_gray(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(Bmp, Rgb24RoundTrip) {
+  const io::ImageU8 original = random_image(16, 16, 2);
+  const std::string path = temp_path("roundtrip24.bmp");
+  io::write_bmp_rgb24(original, path);
+  EXPECT_EQ(io::read_bmp_gray(path), original);
+  std::remove(path.c_str());
+}
+
+class BmpPaddingTest : public ::testing::TestWithParam<int> {};
+
+// Row padding kicks in for widths not divisible by 4; every width must
+// survive the round trip.
+TEST_P(BmpPaddingTest, Gray8AnyWidthRoundTrips) {
+  const int width = GetParam();
+  const io::ImageU8 original = random_image(width, 5, 77);
+  const std::string path = temp_path("pad.bmp");
+  io::write_bmp_gray8(original, path);
+  EXPECT_EQ(io::read_bmp_gray(path), original);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BmpPaddingTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 33));
+
+class BmpPadding24Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(BmpPadding24Test, Rgb24AnyWidthRoundTrips) {
+  const int width = GetParam();
+  const io::ImageU8 original = random_image(width, 4, 99);
+  const std::string path = temp_path("pad24.bmp");
+  io::write_bmp_rgb24(original, path);
+  EXPECT_EQ(io::read_bmp_gray(path), original);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BmpPadding24Test,
+                         ::testing::Values(1, 2, 3, 4, 5, 7));
+
+TEST(Bmp, HeaderMagicAndOffsets) {
+  const io::ImageU8 image(8, 8, 100);
+  const std::string path = temp_path("header.bmp");
+  io::write_bmp_gray8(image, path);
+
+  std::ifstream file(path, std::ios::binary);
+  std::vector<unsigned char> bytes((std::istreambuf_iterator<char>(file)),
+                                   std::istreambuf_iterator<char>());
+  ASSERT_GE(bytes.size(), 54u + 1024u + 64u);
+  EXPECT_EQ(bytes[0], 'B');
+  EXPECT_EQ(bytes[1], 'M');
+  // BITMAPINFOHEADER size at offset 14.
+  EXPECT_EQ(bytes[14], 40);
+  // bpp at offset 28.
+  EXPECT_EQ(bytes[28], 8);
+  // data offset = 14 + 40 + 256*4.
+  const unsigned data_offset = bytes[10] | (bytes[11] << 8);
+  EXPECT_EQ(data_offset, 14u + 40u + 1024u);
+  std::remove(path.c_str());
+}
+
+TEST(Bmp, WriteRejectsEmptyImage) {
+  io::ImageU8 empty;
+  EXPECT_THROW(io::write_bmp_gray8(empty, temp_path("x.bmp")),
+               starsim::support::PreconditionError);
+}
+
+TEST(Bmp, WriteThrowsOnBadPath) {
+  const io::ImageU8 image(2, 2);
+  EXPECT_THROW(io::write_bmp_gray8(image, "/no-such-dir/zz/x.bmp"), IoError);
+}
+
+TEST(Bmp, ReadRejectsMissingFile) {
+  EXPECT_THROW((void)io::read_bmp_gray(temp_path("missing.bmp")), IoError);
+}
+
+TEST(Bmp, ReadRejectsGarbage) {
+  const std::string path = temp_path("garbage.bmp");
+  std::ofstream(path) << "this is not a bitmap at all, sorry";
+  EXPECT_THROW((void)io::read_bmp_gray(path),
+               starsim::support::PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(Bmp, ReadRejectsTruncated) {
+  const io::ImageU8 image = random_image(16, 16, 5);
+  const std::string path = temp_path("trunc.bmp");
+  io::write_bmp_gray8(image, path);
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+  EXPECT_THROW((void)io::read_bmp_gray(path),
+               starsim::support::PreconditionError);
+  std::remove(path.c_str());
+}
+
+}  // namespace

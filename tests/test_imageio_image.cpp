@@ -1,0 +1,95 @@
+#include "imageio/image.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace {
+
+using starsim::imageio::Image;
+using starsim::imageio::ImageF;
+using starsim::imageio::ImageU8;
+using starsim::support::PreconditionError;
+
+TEST(Image, ConstructsZeroInitialized) {
+  ImageF image(4, 3);
+  EXPECT_EQ(image.width(), 4);
+  EXPECT_EQ(image.height(), 3);
+  EXPECT_EQ(image.pixel_count(), 12u);
+  for (float v : image.pixels()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Image, ConstructsWithFillValue) {
+  ImageU8 image(2, 2, 7);
+  for (auto v : image.pixels()) EXPECT_EQ(v, 7);
+}
+
+TEST(Image, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(ImageF(0, 3), PreconditionError);
+  EXPECT_THROW(ImageF(3, -1), PreconditionError);
+}
+
+TEST(Image, DefaultIsEmpty) {
+  ImageF image;
+  EXPECT_TRUE(image.empty());
+  EXPECT_EQ(image.pixel_count(), 0u);
+}
+
+TEST(Image, RowMajorIndexing) {
+  ImageF image(3, 2);
+  image(2, 1) = 5.0f;
+  EXPECT_EQ(image.index(2, 1), 5u);
+  EXPECT_EQ(image.pixels()[5], 5.0f);
+}
+
+TEST(Image, ContainsMatchesBounds) {
+  ImageF image(3, 2);
+  EXPECT_TRUE(image.contains(0, 0));
+  EXPECT_TRUE(image.contains(2, 1));
+  EXPECT_FALSE(image.contains(3, 0));
+  EXPECT_FALSE(image.contains(0, 2));
+  EXPECT_FALSE(image.contains(-1, 0));
+  EXPECT_FALSE(image.contains(0, -1));
+}
+
+TEST(Image, CheckedAccessThrowsOutOfBounds) {
+  ImageF image(2, 2);
+  EXPECT_THROW((void)image.at(2, 0), PreconditionError);
+  EXPECT_THROW((void)image.at(0, -1), PreconditionError);
+  EXPECT_NO_THROW((void)image.at(1, 1));
+}
+
+TEST(Image, FillOverwritesEverything) {
+  ImageF image(4, 4, 1.0f);
+  image.fill(2.5f);
+  for (float v : image.pixels()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Image, EqualityComparesPixels) {
+  ImageF a(2, 2, 1.0f);
+  ImageF b(2, 2, 1.0f);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 3.0f;
+  EXPECT_NE(a, b);
+}
+
+TEST(Image, MaxAbsDifference) {
+  ImageF a(2, 2);
+  ImageF b(2, 2);
+  b(0, 1) = -4.0f;
+  b(1, 0) = 2.0f;
+  EXPECT_DOUBLE_EQ(max_abs_difference(a, b), 4.0);
+}
+
+TEST(Image, MaxAbsDifferenceRejectsSizeMismatch) {
+  ImageF a(2, 2);
+  ImageF b(3, 2);
+  EXPECT_THROW((void)max_abs_difference(a, b), PreconditionError);
+}
+
+TEST(Image, TotalFluxSumsPixels) {
+  ImageF image(2, 3, 0.5f);
+  EXPECT_DOUBLE_EQ(total_flux(image), 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+#include "imageio/pnm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace {
+
+namespace io = starsim::imageio;
+using starsim::support::IoError;
+using starsim::support::PreconditionError;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Pnm, Pgm8RoundTrip) {
+  starsim::support::Pcg32 rng(3);
+  io::ImageU8 original(31, 17);
+  for (auto& v : original.pixels()) {
+    v = static_cast<std::uint8_t>(rng.bounded(256));
+  }
+  const std::string path = temp_path("rt8.pgm");
+  io::write_pgm8(original, path);
+  EXPECT_EQ(io::read_pgm8(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, Pgm16RoundTrip) {
+  starsim::support::Pcg32 rng(4);
+  io::ImageU16 original(13, 9);
+  for (auto& v : original.pixels()) {
+    v = static_cast<std::uint16_t>(rng.bounded(65536));
+  }
+  const std::string path = temp_path("rt16.pgm");
+  io::write_pgm16(original, path);
+  EXPECT_EQ(io::read_pgm16(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, Pgm16IsBigEndianOnDisk) {
+  io::ImageU16 image(1, 1);
+  image(0, 0) = 0x0102;
+  const std::string path = temp_path("endian.pgm");
+  io::write_pgm16(image, path);
+  std::ifstream file(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(file)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GE(bytes.size(), 2u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[bytes.size() - 2]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[bytes.size() - 1]), 0x02);
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, HeaderIsP5WithDimensions) {
+  io::ImageU8 image(5, 7, 1);
+  const std::string path = temp_path("hdr.pgm");
+  io::write_pgm8(image, path);
+  std::ifstream file(path, std::ios::binary);
+  std::string header;
+  std::getline(file, header);
+  EXPECT_EQ(header, "P5");
+  int width = 0;
+  int height = 0;
+  int maxval = 0;
+  file >> width >> height >> maxval;
+  EXPECT_EQ(width, 5);
+  EXPECT_EQ(height, 7);
+  EXPECT_EQ(maxval, 255);
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, ReaderHonorsComments) {
+  const std::string path = temp_path("comment.pgm");
+  std::ofstream out(path, std::ios::binary);
+  out << "P5\n# a comment line\n2 1\n# another\n255\n";
+  out.put(static_cast<char>(9));
+  out.put(static_cast<char>(250));
+  out.close();
+  const io::ImageU8 image = io::read_pgm8(path);
+  EXPECT_EQ(image.width(), 2);
+  EXPECT_EQ(image.height(), 1);
+  EXPECT_EQ(image(0, 0), 9);
+  EXPECT_EQ(image(1, 0), 250);
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, ReadRejectsWrongBitDepth) {
+  io::ImageU8 image(2, 2, 3);
+  const std::string path = temp_path("depth.pgm");
+  io::write_pgm8(image, path);
+  EXPECT_THROW((void)io::read_pgm16(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, ReadRejectsTruncatedRaster) {
+  const std::string path = temp_path("trunc.pgm");
+  std::ofstream out(path, std::ios::binary);
+  out << "P5\n4 4\n255\n";
+  out.put(1);  // only one of 16 bytes
+  out.close();
+  EXPECT_THROW((void)io::read_pgm8(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, ReadRejectsMissingFile) {
+  EXPECT_THROW((void)io::read_pgm8(temp_path("no.pgm")), IoError);
+}
+
+TEST(Pnm, PpmWritesThreePlanes) {
+  io::ImageU8 r(2, 2, 10);
+  io::ImageU8 g(2, 2, 20);
+  io::ImageU8 b(2, 2, 30);
+  const std::string path = temp_path("rgb.ppm");
+  io::write_ppm(r, g, b, path);
+  std::ifstream file(path, std::ios::binary);
+  std::string magic;
+  file >> magic;
+  EXPECT_EQ(magic, "P6");
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, PpmRejectsMismatchedPlanes) {
+  io::ImageU8 r(2, 2);
+  io::ImageU8 g(3, 2);
+  io::ImageU8 b(2, 2);
+  EXPECT_THROW(io::write_ppm(r, g, b, temp_path("bad.ppm")),
+               PreconditionError);
+}
+
+}  // namespace

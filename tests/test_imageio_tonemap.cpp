@@ -1,0 +1,101 @@
+#include "imageio/tonemap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace {
+
+namespace io = starsim::imageio;
+using starsim::support::PreconditionError;
+
+TEST(Tonemap, LinearMapsFullScaleTo255) {
+  io::ImageF flux(2, 1);
+  flux(0, 0) = 0.0f;
+  flux(1, 0) = 2.0f;
+  io::TonemapOptions opts;
+  opts.full_scale = 2.0f;
+  const io::ImageU8 out = io::tonemap_u8(flux, opts);
+  EXPECT_EQ(out(0, 0), 0);
+  EXPECT_EQ(out(1, 0), 255);
+}
+
+TEST(Tonemap, MidScaleIsProportional) {
+  io::ImageF flux(1, 1);
+  flux(0, 0) = 0.5f;
+  io::TonemapOptions opts;
+  opts.full_scale = 1.0f;
+  EXPECT_EQ(io::tonemap_u8(flux, opts)(0, 0), 128);  // round(0.5*255)
+}
+
+TEST(Tonemap, ClipsAboveFullScale) {
+  io::ImageF flux(1, 1);
+  flux(0, 0) = 100.0f;
+  io::TonemapOptions opts;
+  opts.full_scale = 1.0f;
+  EXPECT_EQ(io::tonemap_u8(flux, opts)(0, 0), 255);
+}
+
+TEST(Tonemap, ClampsNegativeToZero) {
+  io::ImageF flux(1, 1);
+  flux(0, 0) = -5.0f;
+  EXPECT_EQ(io::tonemap_u8(flux)(0, 0), 0);
+}
+
+TEST(Tonemap, GammaBrightensMidtones) {
+  io::ImageF flux(1, 1);
+  flux(0, 0) = 0.25f;
+  io::TonemapOptions linear;
+  io::TonemapOptions gamma;
+  gamma.gamma = 2.2f;
+  EXPECT_GT(io::tonemap_u8(flux, gamma)(0, 0),
+            io::tonemap_u8(flux, linear)(0, 0));
+  // gamma 2.2 on 0.25: 0.25^(1/2.2) ~ 0.533.
+  EXPECT_EQ(io::tonemap_u8(flux, gamma)(0, 0),
+            static_cast<int>(std::lround(std::pow(0.25, 1.0 / 2.2) * 255)));
+}
+
+TEST(Tonemap, U16UsesFullRange) {
+  io::ImageF flux(2, 1);
+  flux(0, 0) = 1.0f;
+  flux(1, 0) = 0.5f;
+  const io::ImageU16 out = io::tonemap_u16(flux);
+  EXPECT_EQ(out(0, 0), 65535);
+  EXPECT_EQ(out(1, 0), 32768);
+}
+
+TEST(Tonemap, AutoExposurePicksPercentileOfNonzero) {
+  io::ImageF flux(10, 1);
+  for (int x = 0; x < 10; ++x) flux(x, 0) = static_cast<float>(x);
+  // percentile 100 over nonzero {1..9} -> full scale 9.
+  EXPECT_FLOAT_EQ(io::auto_full_scale(flux, 100.0f), 9.0f);
+  // 50th percentile of 9 nonzero values -> rank 4 -> value 5.
+  EXPECT_FLOAT_EQ(io::auto_full_scale(flux, 50.0f), 5.0f);
+}
+
+TEST(Tonemap, AutoExposureOnBlackImageIsSafe) {
+  io::ImageF flux(4, 4);
+  EXPECT_FLOAT_EQ(io::auto_full_scale(flux, 99.0f), 1.0f);
+  io::TonemapOptions opts;
+  opts.auto_expose = true;
+  const io::ImageU8 out = io::tonemap_u8(flux, opts);
+  for (auto v : out.pixels()) EXPECT_EQ(v, 0);
+}
+
+TEST(Tonemap, RejectsBadParameters) {
+  io::ImageF flux(1, 1, 1.0f);
+  io::TonemapOptions opts;
+  opts.full_scale = 0.0f;
+  EXPECT_THROW((void)io::tonemap_u8(flux, opts), PreconditionError);
+  opts.full_scale = 1.0f;
+  opts.gamma = 0.0f;
+  EXPECT_THROW((void)io::tonemap_u8(flux, opts), PreconditionError);
+  EXPECT_THROW((void)io::auto_full_scale(flux, 0.0f), PreconditionError);
+  EXPECT_THROW((void)io::auto_full_scale(flux, 101.0f), PreconditionError);
+  io::ImageF empty;
+  EXPECT_THROW((void)io::tonemap_u8(empty), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+#include "starsim/attitude.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace {
+
+using starsim::Quaternion;
+using starsim::Vec3;
+
+constexpr double kPi = std::numbers::pi;
+
+void expect_vec_near(const Vec3& a, const Vec3& b, double tol = 1e-12) {
+  EXPECT_NEAR(a.x, b.x, tol);
+  EXPECT_NEAR(a.y, b.y, tol);
+  EXPECT_NEAR(a.z, b.z, tol);
+}
+
+TEST(Vec3Test, BasicAlgebra) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, -5, 6};
+  expect_vec_near(a + b, {5, -3, 9});
+  expect_vec_near(a - b, {-3, 7, -3});
+  expect_vec_near(a * 2.0, {2, 4, 6});
+  EXPECT_DOUBLE_EQ(a.dot(b), 12.0);
+  expect_vec_near(a.cross(b), {27, 6, -13});
+  EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}.norm()), 5.0);
+}
+
+TEST(Vec3Test, NormalizedHasUnitLength) {
+  const Vec3 v = Vec3{3, 4, 12}.normalized();
+  EXPECT_NEAR(v.norm(), 1.0, 1e-14);
+  EXPECT_THROW((void)(Vec3{0, 0, 0}.normalized()),
+               starsim::support::PreconditionError);
+}
+
+TEST(QuaternionTest, IdentityLeavesVectorsAlone) {
+  const Quaternion q = Quaternion::identity();
+  expect_vec_near(q.rotate({1, 2, 3}), {1, 2, 3});
+}
+
+TEST(QuaternionTest, QuarterTurnAboutZ) {
+  const Quaternion q = Quaternion::from_axis_angle({0, 0, 1}, kPi / 2);
+  expect_vec_near(q.rotate({1, 0, 0}), {0, 1, 0});
+  expect_vec_near(q.rotate({0, 1, 0}), {-1, 0, 0});
+  expect_vec_near(q.rotate({0, 0, 1}), {0, 0, 1});
+}
+
+TEST(QuaternionTest, RotationPreservesLengthAndAngles) {
+  starsim::support::Pcg32 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Quaternion q = Quaternion::from_axis_angle(
+        {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1) + 2.0},
+        rng.uniform(-kPi, kPi));
+    const Vec3 a{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Vec3 b{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Vec3 ra = q.rotate(a);
+    const Vec3 rb = q.rotate(b);
+    ASSERT_NEAR(ra.norm(), a.norm(), 1e-10);
+    ASSERT_NEAR(ra.dot(rb), a.dot(b), 1e-9);
+  }
+}
+
+TEST(QuaternionTest, CompositionMatchesSequentialRotation) {
+  const Quaternion a = Quaternion::from_axis_angle({0, 0, 1}, 0.7);
+  const Quaternion b = Quaternion::from_axis_angle({1, 0, 0}, -1.1);
+  const Vec3 v{1, 2, 3};
+  expect_vec_near((a * b).rotate(v), a.rotate(b.rotate(v)), 1e-12);
+}
+
+TEST(QuaternionTest, ConjugateInvertsRotation) {
+  const Quaternion q = Quaternion::from_axis_angle({1, 2, 3}, 0.9);
+  const Vec3 v{4, -5, 6};
+  expect_vec_near(q.conjugate().rotate(q.rotate(v)), v, 1e-12);
+}
+
+TEST(QuaternionTest, AxisAngleProducesUnitQuaternion) {
+  const Quaternion q = Quaternion::from_axis_angle({2, 0, 0}, 1.2345);
+  EXPECT_NEAR(q.norm(), 1.0, 1e-14);
+}
+
+TEST(QuaternionTest, NormalizedRescales) {
+  const Quaternion q(2.0, 0.0, 0.0, 0.0);
+  const Quaternion n = q.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-14);
+  EXPECT_NEAR(n.w(), 1.0, 1e-14);
+  EXPECT_THROW((void)Quaternion(0, 0, 0, 0).normalized(),
+               starsim::support::PreconditionError);
+}
+
+TEST(QuaternionTest, FullTurnIsIdentity) {
+  const Quaternion q = Quaternion::from_axis_angle({0, 1, 0}, 2 * kPi);
+  expect_vec_near(q.rotate({1, 2, 3}), {1, 2, 3}, 1e-12);
+}
+
+TEST(QuaternionTest, EulerMatchesAxisComposition) {
+  const double yaw = 0.3;
+  const double pitch = -0.4;
+  const double roll = 1.1;
+  const Quaternion e = Quaternion::from_euler(yaw, pitch, roll);
+  const Quaternion m = Quaternion::from_axis_angle({0, 0, 1}, yaw) *
+                       Quaternion::from_axis_angle({0, 1, 0}, pitch) *
+                       Quaternion::from_axis_angle({1, 0, 0}, roll);
+  const Vec3 v{1, -2, 0.5};
+  expect_vec_near(e.rotate(v), m.rotate(v), 1e-12);
+}
+
+TEST(QuaternionTest, EulerYawOnly) {
+  const Quaternion q = Quaternion::from_euler(kPi / 2, 0, 0);
+  expect_vec_near(q.rotate({1, 0, 0}), {0, 1, 0}, 1e-12);
+}
+
+}  // namespace

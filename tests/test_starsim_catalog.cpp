@@ -1,0 +1,105 @@
+#include "starsim/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.h"
+
+namespace {
+
+using starsim::Catalog;
+using starsim::CatalogStar;
+
+TEST(Catalog, SynthesizesRequestedCount) {
+  const Catalog catalog = Catalog::synthesize(5000, 1);
+  EXPECT_EQ(catalog.size(), 5000u);
+}
+
+TEST(Catalog, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)Catalog::synthesize(0),
+               starsim::support::PreconditionError);
+  EXPECT_THROW((void)Catalog::synthesize(10, 1, 5.0, 5.0),
+               starsim::support::PreconditionError);
+}
+
+TEST(Catalog, CoordinatesInValidRanges) {
+  const Catalog catalog = Catalog::synthesize(20000, 2);
+  for (const CatalogStar& star : catalog.stars()) {
+    ASSERT_GE(star.right_ascension, 0.0);
+    ASSERT_LT(star.right_ascension, 2.0 * std::numbers::pi);
+    ASSERT_GE(star.declination, -std::numbers::pi / 2);
+    ASSERT_LE(star.declination, std::numbers::pi / 2);
+    ASSERT_GE(star.magnitude, 0.0);
+    ASSERT_LE(star.magnitude, 7.0);
+  }
+}
+
+TEST(Catalog, DeterministicBySeed) {
+  const Catalog a = Catalog::synthesize(100, 7);
+  const Catalog b = Catalog::synthesize(100, 7);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.stars()[i].right_ascension, b.stars()[i].right_ascension);
+    EXPECT_EQ(a.stars()[i].magnitude, b.stars()[i].magnitude);
+  }
+}
+
+TEST(Catalog, DirectionsAreUnitVectors) {
+  const Catalog catalog = Catalog::synthesize(1000, 3);
+  for (const CatalogStar& star : catalog.stars()) {
+    ASSERT_NEAR(star.direction().norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(Catalog, SphereCoverageIsUniform) {
+  // Uniform sphere density => sin(dec) uniform in [-1, 1]: both hemispheres
+  // and the |sin dec| < 0.5 band each hold ~half the stars.
+  const Catalog catalog = Catalog::synthesize(50000, 4);
+  int north = 0;
+  int band = 0;
+  for (const CatalogStar& star : catalog.stars()) {
+    if (star.declination > 0) ++north;
+    if (std::abs(std::sin(star.declination)) < 0.5) ++band;
+  }
+  EXPECT_NEAR(north / 50000.0, 0.5, 0.02);
+  EXPECT_NEAR(band / 50000.0, 0.5, 0.02);
+}
+
+TEST(Catalog, MagnitudeLawHasCorrectSlope) {
+  // log10 N(<m) must grow at ~0.51 dex per magnitude: N(<6)/N(<5) ~ 3.24.
+  const Catalog catalog = Catalog::synthesize(200000, 5);
+  const double n5 = static_cast<double>(catalog.count_brighter_than(5.0));
+  const double n6 = static_cast<double>(catalog.count_brighter_than(6.0));
+  const double ratio = n6 / n5;
+  EXPECT_NEAR(std::log10(ratio), Catalog::kMagnitudeSlope, 0.05);
+}
+
+TEST(Catalog, FaintStarsDominate) {
+  const Catalog catalog = Catalog::synthesize(10000, 6);
+  // More stars in the faintest magnitude unit than in the brightest.
+  const auto faint = catalog.size() - catalog.count_brighter_than(6.0);
+  const auto bright = catalog.count_brighter_than(1.0);
+  EXPECT_GT(faint, bright * 10);
+}
+
+TEST(Catalog, CustomMagnitudeRangeRespected) {
+  const Catalog catalog = Catalog::synthesize(1000, 7, 2.0, 4.0);
+  for (const CatalogStar& star : catalog.stars()) {
+    ASSERT_GE(star.magnitude, 2.0);
+    ASSERT_LE(star.magnitude, 4.0);
+  }
+}
+
+TEST(CatalogStarTest, DirectionMatchesSphericalCoordinates) {
+  CatalogStar star;
+  star.right_ascension = 0.0;
+  star.declination = 0.0;
+  EXPECT_NEAR(star.direction().x, 1.0, 1e-15);
+  star.right_ascension = std::numbers::pi / 2;
+  EXPECT_NEAR(star.direction().y, 1.0, 1e-15);
+  star.declination = std::numbers::pi / 2;
+  EXPECT_NEAR(star.direction().z, 1.0, 1e-15);
+}
+
+}  // namespace

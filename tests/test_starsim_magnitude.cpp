@@ -1,0 +1,103 @@
+#include "starsim/magnitude.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "starsim/cost_model.h"
+#include "support/error.h"
+
+namespace {
+
+using starsim::ArithmeticCosts;
+using starsim::BrightnessModel;
+using starsim::FlopMeter;
+
+TEST(Brightness, MagnitudeZeroGivesProportionFactor) {
+  BrightnessModel model;
+  model.proportion_factor = 1234.5;
+  EXPECT_DOUBLE_EQ(model.brightness(0.0), 1234.5);
+}
+
+TEST(Brightness, EachMagnitudeStepDividesByBase) {
+  const BrightnessModel model;
+  for (double m = 0.0; m < 15.0; m += 1.0) {
+    EXPECT_NEAR(model.brightness(m) / model.brightness(m + 1.0),
+                model.magnitude_base, 1e-9);
+  }
+}
+
+TEST(Brightness, FiveMagnitudesIsAboutFactor100) {
+  const BrightnessModel model;
+  // 2.512^5 = 100.02...: the Pogson convention the paper's Eq. (1) uses.
+  EXPECT_NEAR(model.brightness(0.0) / model.brightness(5.0), 100.0, 0.1);
+}
+
+TEST(Brightness, StrictlyDecreasingInMagnitude) {
+  const BrightnessModel model;
+  double previous = model.brightness(-1.0);
+  for (double m = 0.0; m <= 15.0; m += 0.25) {
+    const double b = model.brightness(m);
+    EXPECT_LT(b, previous);
+    EXPECT_GT(b, 0.0);
+    previous = b;
+  }
+}
+
+class MagnitudeInverseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MagnitudeInverseTest, MagnitudeOfInvertsBrightness) {
+  const BrightnessModel model;
+  const double m = GetParam();
+  EXPECT_NEAR(model.magnitude_of(model.brightness(m)), m, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, MagnitudeInverseTest,
+                         ::testing::Values(0.0, 0.5, 3.0, 7.25, 12.0, 15.0));
+
+TEST(Brightness, MagnitudeOfRejectsNonPositiveFlux) {
+  const BrightnessModel model;
+  EXPECT_THROW((void)model.magnitude_of(0.0),
+               starsim::support::PreconditionError);
+  EXPECT_THROW((void)model.magnitude_of(-1.0),
+               starsim::support::PreconditionError);
+}
+
+TEST(Brightness, MeteredEvaluationCountsPowCost) {
+  const BrightnessModel model;
+  ArithmeticCosts costs;
+  costs.pow_cost = 123.0;
+  FlopMeter meter(costs);
+  const double value = model.brightness(meter, 4.0);
+  EXPECT_DOUBLE_EQ(value, model.brightness(4.0));
+  EXPECT_EQ(meter.flops(), BrightnessModel::kArithmeticFlops + 123u);
+}
+
+TEST(FlopMeterTest, TranscendentalsPricedByCosts) {
+  ArithmeticCosts costs{10.0, 20.0, 30.0};
+  FlopMeter meter(costs);
+  EXPECT_DOUBLE_EQ(meter.exp(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(meter.pow(2.0, 10.0), 1024.0);
+  EXPECT_DOUBLE_EQ(meter.sqrt(9.0), 3.0);
+  meter.count_flops(5);
+  EXPECT_EQ(meter.flops(), 65u);
+  meter.reset();
+  EXPECT_EQ(meter.flops(), 0u);
+}
+
+TEST(FlopMeterTest, CostsMatchDeviceSpec) {
+  const auto spec = starsim::gpusim::DeviceSpec::gtx480();
+  const ArithmeticCosts costs = ArithmeticCosts::from_device(spec);
+  EXPECT_DOUBLE_EQ(costs.exp_cost, spec.exp_flop_equiv);
+  EXPECT_DOUBLE_EQ(costs.pow_cost, spec.pow_flop_equiv);
+  EXPECT_DOUBLE_EQ(costs.sqrt_cost, spec.sqrt_flop_equiv);
+}
+
+TEST(FlopMeterTest, NullMeterComputesWithoutCounting) {
+  starsim::NullMeter meter;
+  EXPECT_DOUBLE_EQ(meter.exp(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(meter.pow(3.0, 2.0), 9.0);
+  EXPECT_DOUBLE_EQ(meter.sqrt(16.0), 4.0);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+#include "starsim/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.h"
+#include "support/stats.h"
+
+namespace {
+
+using starsim::apply_sensor_noise;
+using starsim::SensorNoiseConfig;
+namespace io = starsim::imageio;
+
+io::ImageF flat_image(int edge, float value) {
+  return io::ImageF(edge, edge, value);
+}
+
+std::vector<double> as_doubles(const io::ImageF& image) {
+  std::vector<double> values;
+  values.reserve(image.pixel_count());
+  for (float v : image.pixels()) values.push_back(v);
+  return values;
+}
+
+TEST(Noise, DeterministicBySeed) {
+  const io::ImageF flux = flat_image(32, 100.0f);
+  SensorNoiseConfig config;
+  config.seed = 42;
+  const io::ImageF a = apply_sensor_noise(flux, config);
+  const io::ImageF b = apply_sensor_noise(flux, config);
+  EXPECT_EQ(a, b);
+  config.seed = 43;
+  EXPECT_NE(apply_sensor_noise(flux, config), a);
+}
+
+TEST(Noise, ShotNoiseHasPoissonStatistics) {
+  const io::ImageF flux = flat_image(128, 400.0f);
+  SensorNoiseConfig config;
+  config.read_noise_electrons = 0.0;
+  config.gain_electrons_per_flux = 1.0;
+  const auto noisy = as_doubles(apply_sensor_noise(flux, config));
+  const auto summary = starsim::support::summarize(noisy);
+  EXPECT_NEAR(summary.mean, 400.0, 2.0);
+  EXPECT_NEAR(summary.stddev, 20.0, 1.5);  // sqrt(400)
+}
+
+TEST(Noise, HigherGainReducesRelativeShotNoise) {
+  const io::ImageF flux = flat_image(128, 100.0f);
+  SensorNoiseConfig low;
+  low.read_noise_electrons = 0.0;
+  low.gain_electrons_per_flux = 1.0;
+  SensorNoiseConfig high = low;
+  high.gain_electrons_per_flux = 100.0;
+  const double sd_low =
+      starsim::support::stddev(as_doubles(apply_sensor_noise(flux, low)));
+  const double sd_high =
+      starsim::support::stddev(as_doubles(apply_sensor_noise(flux, high)));
+  EXPECT_LT(sd_high, sd_low * 0.2);
+}
+
+TEST(Noise, ReadNoiseOnlyHasGaussianSigma) {
+  const io::ImageF flux = flat_image(128, 50.0f);
+  SensorNoiseConfig config;
+  config.shot_noise = false;
+  config.read_noise_electrons = 3.0;
+  const auto noisy = as_doubles(apply_sensor_noise(flux, config));
+  const auto summary = starsim::support::summarize(noisy);
+  EXPECT_NEAR(summary.mean, 50.0, 0.2);
+  EXPECT_NEAR(summary.stddev, 3.0, 0.2);
+}
+
+TEST(Noise, NoNoiseModesPassThrough) {
+  io::ImageF flux(8, 8);
+  flux(3, 4) = 17.5f;
+  SensorNoiseConfig config;
+  config.shot_noise = false;
+  config.read_noise_electrons = 0.0;
+  const io::ImageF out = apply_sensor_noise(flux, config);
+  EXPECT_EQ(out, flux);
+}
+
+TEST(Noise, DarkOffsetRaisesFloor) {
+  const io::ImageF flux = flat_image(64, 0.0f);
+  SensorNoiseConfig config;
+  config.shot_noise = false;
+  config.read_noise_electrons = 0.0;
+  config.dark_offset_electrons = 12.0;
+  const io::ImageF out = apply_sensor_noise(flux, config);
+  for (float v : out.pixels()) ASSERT_FLOAT_EQ(v, 12.0f);
+}
+
+TEST(Noise, OutputNeverNegative) {
+  const io::ImageF flux = flat_image(64, 0.5f);
+  SensorNoiseConfig config;
+  config.read_noise_electrons = 10.0;  // often pushes below zero
+  const io::ImageF out = apply_sensor_noise(flux, config);
+  for (float v : out.pixels()) ASSERT_GE(v, 0.0f);
+}
+
+TEST(Noise, NegativeInputTreatedAsZeroFlux) {
+  io::ImageF flux(4, 4, -5.0f);
+  SensorNoiseConfig config;
+  config.shot_noise = false;
+  config.read_noise_electrons = 0.0;
+  const io::ImageF out = apply_sensor_noise(flux, config);
+  for (float v : out.pixels()) ASSERT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Noise, GainConvertsBackToFluxUnits) {
+  const io::ImageF flux = flat_image(128, 9.0f);
+  SensorNoiseConfig config;
+  config.gain_electrons_per_flux = 50.0;
+  config.read_noise_electrons = 0.0;
+  const auto noisy = as_doubles(apply_sensor_noise(flux, config));
+  EXPECT_NEAR(starsim::support::mean(noisy), 9.0, 0.1);
+}
+
+TEST(Noise, RejectsBadConfig) {
+  const io::ImageF flux = flat_image(4, 1.0f);
+  SensorNoiseConfig config;
+  config.gain_electrons_per_flux = 0.0;
+  EXPECT_THROW((void)apply_sensor_noise(flux, config),
+               starsim::support::PreconditionError);
+  config.gain_electrons_per_flux = 1.0;
+  config.read_noise_electrons = -1.0;
+  EXPECT_THROW((void)apply_sensor_noise(flux, config),
+               starsim::support::PreconditionError);
+  EXPECT_THROW((void)apply_sensor_noise(io::ImageF{}, SensorNoiseConfig{}),
+               starsim::support::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+#include "starsim/projection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "support/error.h"
+
+namespace {
+
+using starsim::CameraModel;
+using starsim::CatalogStar;
+using starsim::project_to_image;
+using starsim::Quaternion;
+using starsim::StarField;
+
+CatalogStar star_at(double ra, double dec, double magnitude = 3.0) {
+  CatalogStar star;
+  star.right_ascension = ra;
+  star.declination = dec;
+  star.magnitude = magnitude;
+  return star;
+}
+
+TEST(Projection, BoresightStarLandsAtPrincipalPoint) {
+  // Identity attitude maps inertial +Z to the boresight; a star at the
+  // celestial pole (+Z) lands at the image center.
+  const std::vector<CatalogStar> catalog{
+      star_at(0.0, std::numbers::pi / 2)};
+  CameraModel camera;
+  const StarField stars =
+      project_to_image(catalog, Quaternion::identity(), camera);
+  ASSERT_EQ(stars.size(), 1u);
+  EXPECT_NEAR(stars[0].x, camera.center_x(), 1e-4);
+  EXPECT_NEAR(stars[0].y, camera.center_y(), 1e-4);
+  EXPECT_FLOAT_EQ(stars[0].magnitude, 3.0f);
+}
+
+TEST(Projection, OffAxisStarOffsetMatchesGnomonicFormula) {
+  // A star 1 degree off boresight toward +X lands f*tan(1 deg) right of
+  // center. Direction (sin a, 0, cos a) has ra=0, dec = pi/2 - a.
+  const double angle = std::numbers::pi / 180.0;
+  const std::vector<CatalogStar> catalog{
+      star_at(0.0, std::numbers::pi / 2 - angle)};
+  CameraModel camera;
+  const StarField stars =
+      project_to_image(catalog, Quaternion::identity(), camera);
+  ASSERT_EQ(stars.size(), 1u);
+  EXPECT_NEAR(stars[0].x - camera.center_x(),
+              camera.focal_length_px * std::tan(angle), 1e-3);
+  EXPECT_NEAR(stars[0].y, camera.center_y(), 1e-3);
+}
+
+TEST(Projection, StarsBehindCameraCulled) {
+  const std::vector<CatalogStar> catalog{
+      star_at(0.0, -std::numbers::pi / 2)};  // -Z: behind the boresight
+  const StarField stars =
+      project_to_image(catalog, Quaternion::identity(), CameraModel{});
+  EXPECT_TRUE(stars.empty());
+}
+
+TEST(Projection, StarsOutsideFrameCulled) {
+  // 45 degrees off axis: tan(45) * 2000 px is far outside a 1024 frame.
+  const std::vector<CatalogStar> catalog{
+      star_at(0.0, std::numbers::pi / 4)};
+  const StarField stars =
+      project_to_image(catalog, Quaternion::identity(), CameraModel{});
+  EXPECT_TRUE(stars.empty());
+}
+
+TEST(Projection, MagnitudeLimitCullsFaintStars) {
+  const std::vector<CatalogStar> catalog{
+      star_at(0.0, std::numbers::pi / 2, 3.0),
+      star_at(0.01, std::numbers::pi / 2 - 0.01, 8.5)};
+  CameraModel camera;
+  camera.magnitude_limit = 7.0;
+  const StarField stars =
+      project_to_image(catalog, Quaternion::identity(), camera);
+  ASSERT_EQ(stars.size(), 1u);
+  EXPECT_FLOAT_EQ(stars[0].magnitude, 3.0f);
+}
+
+TEST(Projection, AttitudeSlewMovesStars) {
+  // Slewing the camera by half the small angle shifts the projected star
+  // position accordingly.
+  const double angle = 0.004;  // radians, ~2000*tan = 8 px
+  const std::vector<CatalogStar> catalog{star_at(0.0, std::numbers::pi / 2)};
+  CameraModel camera;
+  const Quaternion slew = Quaternion::from_axis_angle({0, 1, 0}, angle);
+  const StarField stars = project_to_image(catalog, slew, camera);
+  ASSERT_EQ(stars.size(), 1u);
+  EXPECT_NEAR(std::abs(stars[0].x - camera.center_x()),
+              camera.focal_length_px * std::tan(angle), 0.05);
+}
+
+TEST(Projection, FrameMarginKeepsNearbyStars) {
+  // A star just outside the frame is culled at margin 0 but kept with a
+  // margin, modeling ROI flux leakage from off-frame stars.
+  const double theta = std::atan2(520.0, 2000.0);  // ~8 px past the edge
+  const std::vector<CatalogStar> catalog{
+      star_at(0.0, std::numbers::pi / 2 - theta)};
+  CameraModel tight;
+  EXPECT_TRUE(project_to_image(catalog, Quaternion::identity(), tight).empty());
+  CameraModel loose;
+  loose.frame_margin_px = 16;
+  EXPECT_EQ(project_to_image(catalog, Quaternion::identity(), loose).size(),
+            1u);
+}
+
+TEST(Projection, HalfDiagonalFovMatchesGeometry) {
+  CameraModel camera;
+  camera.width = 1024;
+  camera.height = 1024;
+  camera.focal_length_px = 2000.0;
+  const double expected = std::atan2(512.0 * std::numbers::sqrt2, 2000.0);
+  EXPECT_NEAR(camera.half_diagonal_fov(), expected, 1e-12);
+}
+
+TEST(Projection, DenseCatalogYieldsPlausibleFovCount) {
+  // The fraction of a uniform catalogue inside the FOV approximates the
+  // FOV solid angle over 4 pi.
+  const starsim::Catalog catalog = starsim::Catalog::synthesize(200000, 11);
+  CameraModel camera;
+  camera.magnitude_limit = 100.0;  // no magnitude culling
+  const StarField stars =
+      project_to_image(catalog.stars(), Quaternion::identity(), camera);
+  // Solid angle of the ~28.7 x 28.7 deg frame: ~0.25 sr -> ~2% of sphere.
+  const double fraction =
+      static_cast<double>(stars.size()) / static_cast<double>(catalog.size());
+  EXPECT_GT(fraction, 0.010);
+  EXPECT_LT(fraction, 0.030);
+}
+
+TEST(Projection, ValidatesCamera) {
+  CameraModel camera;
+  camera.focal_length_px = 0.0;
+  EXPECT_THROW((void)project_to_image({}, Quaternion::identity(), camera),
+               starsim::support::PreconditionError);
+}
+
+}  // namespace

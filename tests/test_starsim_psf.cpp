@@ -1,0 +1,162 @@
+#include "starsim/psf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "starsim/cost_model.h"
+#include "support/error.h"
+
+namespace {
+
+using starsim::FlopMeter;
+using starsim::GaussianPsf;
+
+TEST(Psf, RejectsNonPositiveSigma) {
+  EXPECT_THROW(GaussianPsf(0.0), starsim::support::PreconditionError);
+  EXPECT_THROW(GaussianPsf(-1.0), starsim::support::PreconditionError);
+}
+
+TEST(Psf, PeakValueIsCoefficient) {
+  const GaussianPsf psf(1.7);
+  EXPECT_DOUBLE_EQ(psf.intensity_rate(0.0, 0.0), psf.coefficient());
+  EXPECT_DOUBLE_EQ(psf.coefficient(),
+                   1.0 / (2.0 * std::numbers::pi * 1.7 * 1.7));
+}
+
+TEST(Psf, RadiallySymmetric) {
+  const GaussianPsf psf(2.0);
+  EXPECT_DOUBLE_EQ(psf.intensity_rate(1.0, 2.0), psf.intensity_rate(2.0, 1.0));
+  EXPECT_DOUBLE_EQ(psf.intensity_rate(1.0, 2.0),
+                   psf.intensity_rate(-1.0, -2.0));
+  EXPECT_DOUBLE_EQ(psf.intensity_rate(3.0, 0.0), psf.intensity_rate(0.0, 3.0));
+}
+
+TEST(Psf, DecreasesWithRadius) {
+  const GaussianPsf psf(1.5);
+  double previous = psf.intensity_rate(0.0, 0.0);
+  for (double r = 0.5; r < 10.0; r += 0.5) {
+    const double v = psf.intensity_rate(r, 0.0);
+    EXPECT_LT(v, previous);
+    EXPECT_GT(v, 0.0);
+    previous = v;
+  }
+}
+
+class PsfNormalizationTest : public ::testing::TestWithParam<double> {};
+
+// Eq. (2) integrates to 1 over the plane: a wide discrete sum over pixel
+// samples must approach 1 for any sigma (point sampling at unit spacing is
+// an excellent quadrature for sigma >~ 0.7).
+TEST_P(PsfNormalizationTest, DiscreteSumApproachesUnity) {
+  const double sigma = GetParam();
+  const GaussianPsf psf(sigma);
+  const int radius = static_cast<int>(std::ceil(8.0 * sigma));
+  double total = 0.0;
+  for (int y = -radius; y <= radius; ++y) {
+    for (int x = -radius; x <= radius; ++x) {
+      total += psf.intensity_rate(x, y);
+    }
+  }
+  // Unit-spacing point sampling aliases slightly for sub-pixel sigmas
+  // (Poisson summation error ~ 2 exp(-2 pi^2 sigma^2)).
+  EXPECT_NEAR(total, 1.0, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, PsfNormalizationTest,
+                         ::testing::Values(0.8, 1.0, 1.5, 1.7, 2.5, 4.0));
+
+TEST(Psf, IntegratedRateSumsToUnityExactly) {
+  // The erf-integrated rates tile the plane: their sum over all pixels is
+  // exactly 1 for any sigma, including sub-pixel ones.
+  const GaussianPsf psf(0.4);
+  double total = 0.0;
+  for (int y = -8; y <= 8; ++y) {
+    for (int x = -8; x <= 8; ++x) {
+      total += psf.integrated_rate(x, y);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Psf, IntegratedRateMatchesNumericalQuadrature) {
+  const GaussianPsf psf(1.3);
+  // 64x64 midpoint quadrature over the pixel at offset (1.0, -2.0).
+  const double dx = 1.0;
+  const double dy = -2.0;
+  double numeric = 0.0;
+  constexpr int kN = 64;
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      const double px = dx - 0.5 + (i + 0.5) / kN;
+      const double py = dy - 0.5 + (j + 0.5) / kN;
+      numeric += psf.intensity_rate(px, py) / (kN * kN);
+    }
+  }
+  EXPECT_NEAR(psf.integrated_rate(dx, dy), numeric, 3e-7);
+}
+
+TEST(Psf, EnergyWithinRadiusMatchesClosedForm) {
+  const GaussianPsf psf(2.0);
+  EXPECT_DOUBLE_EQ(psf.energy_within_radius(0.0), 0.0);
+  // r = sigma: 1 - e^-0.5.
+  EXPECT_NEAR(psf.energy_within_radius(2.0), 1.0 - std::exp(-0.5), 1e-12);
+  EXPECT_NEAR(psf.energy_within_radius(20.0), 1.0, 1e-9);
+}
+
+TEST(Psf, EnergyMonotoneInRadius) {
+  const GaussianPsf psf(1.7);
+  double previous = -1.0;
+  for (double r = 0.0; r < 12.0; r += 0.25) {
+    const double e = psf.energy_within_radius(r);
+    EXPECT_GT(e, previous);
+    previous = e;
+  }
+}
+
+class RoiRadiusTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RoiRadiusTest, RadiusForEnergyIsTight) {
+  const GaussianPsf psf(GetParam());
+  for (double fraction : {0.9, 0.95, 0.99, 0.999}) {
+    const int r = psf.radius_for_energy(fraction);
+    EXPECT_GE(psf.energy_within_radius(r), fraction);
+    if (r > 1) {
+      EXPECT_LT(psf.energy_within_radius(r - 1), fraction);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, RoiRadiusTest,
+                         ::testing::Values(0.8, 1.5, 1.7, 3.0, 5.0));
+
+TEST(Psf, RadiusForEnergyRejectsBadFraction) {
+  const GaussianPsf psf(1.0);
+  EXPECT_THROW((void)psf.radius_for_energy(0.0),
+               starsim::support::PreconditionError);
+  EXPECT_THROW((void)psf.radius_for_energy(1.0),
+               starsim::support::PreconditionError);
+}
+
+TEST(Psf, PaperRoiRangeCoversTypicalSigmas) {
+  // The paper states ROI radii are empirically 2..20 pixels; for the
+  // default sigma 1.7 a 99% ROI radius must land in that window.
+  const GaussianPsf psf(1.7);
+  const int r = psf.radius_for_energy(0.99);
+  EXPECT_GE(r, 2);
+  EXPECT_LE(r, 20);
+}
+
+TEST(Psf, GaussRateMatchesIntensityRateAndCountsFlops) {
+  const GaussianPsf psf(1.7);
+  starsim::ArithmeticCosts costs;
+  costs.exp_cost = 50.0;
+  FlopMeter meter(costs);
+  const double v = starsim::gauss_rate(meter, psf.coefficient(),
+                                       psf.inv_two_sigma_sq(), 1.5, -2.5);
+  EXPECT_DOUBLE_EQ(v, psf.intensity_rate(1.5, -2.5));
+  EXPECT_EQ(meter.flops(), starsim::kGaussRateArithmeticFlops + 50u);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+#include "starsim/render.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "imageio/bmp.h"
+#include "imageio/pnm.h"
+
+namespace {
+
+namespace io = starsim::imageio;
+using starsim::RenderOptions;
+
+io::ImageF star_like_image() {
+  io::ImageF flux(64, 64);
+  flux(32, 32) = 10.0f;
+  flux(31, 32) = 6.0f;
+  flux(33, 32) = 6.0f;
+  flux(32, 31) = 6.0f;
+  flux(32, 33) = 6.0f;
+  flux(10, 10) = 2.0f;
+  return flux;
+}
+
+TEST(Render, AutoExposedFrameHasVisibleStars) {
+  const io::ImageU8 frame = starsim::render_display_image(star_like_image());
+  EXPECT_GT(frame(32, 32), 200);
+  EXPECT_GT(frame(10, 10), 0);
+  EXPECT_EQ(frame(0, 0), 0);  // background stays black
+}
+
+TEST(Render, NoiseOptionPerturbsBackground) {
+  RenderOptions options;
+  options.apply_noise = true;
+  options.noise.read_noise_electrons = 5.0;
+  options.noise.gain_electrons_per_flux = 1.0;
+  options.tonemap.auto_expose = false;
+  options.tonemap.full_scale = 10.0f;
+  const io::ImageU8 noisy =
+      starsim::render_display_image(star_like_image(), options);
+  int nonzero_background = 0;
+  for (int x = 0; x < 30; ++x) {
+    if (noisy(x, 0) > 0) ++nonzero_background;
+  }
+  EXPECT_GT(nonzero_background, 3);
+}
+
+TEST(Render, SaveWritesBothFormats) {
+  const std::string prefix = ::testing::TempDir() + "/render_test";
+  starsim::save_star_image(star_like_image(), prefix);
+  const io::ImageU8 bmp = io::read_bmp_gray(prefix + ".bmp");
+  const io::ImageU8 pgm = io::read_pgm8(prefix + ".pgm");
+  EXPECT_EQ(bmp.width(), 64);
+  EXPECT_EQ(bmp, pgm);  // identical content in both containers
+  std::remove((prefix + ".bmp").c_str());
+  std::remove((prefix + ".pgm").c_str());
+}
+
+TEST(Render, DeterministicWithFixedNoiseSeed) {
+  RenderOptions options;
+  options.apply_noise = true;
+  const io::ImageU8 a =
+      starsim::render_display_image(star_like_image(), options);
+  const io::ImageU8 b =
+      starsim::render_display_image(star_like_image(), options);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include "starsim/roi.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace {
+
+using starsim::Roi;
+
+TEST(Roi, RejectsNonPositiveSide) {
+  EXPECT_THROW(Roi(0), starsim::support::PreconditionError);
+  EXPECT_THROW(Roi(-3), starsim::support::PreconditionError);
+}
+
+TEST(Roi, MarginIsHalfSide) {
+  EXPECT_EQ(Roi(10).margin(), 5);
+  EXPECT_EQ(Roi(9).margin(), 4);
+  EXPECT_EQ(Roi(1).margin(), 0);
+  EXPECT_EQ(Roi(32).margin(), 16);
+}
+
+TEST(Roi, AreaIsSideSquared) {
+  EXPECT_EQ(Roi(10).area(), 100);
+  EXPECT_EQ(Roi(3).area(), 9);
+}
+
+TEST(Roi, BaseCoordRoundsStarPosition) {
+  const Roi roi(10);  // margin 5
+  EXPECT_EQ(roi.base_coord(100.0f), 95);
+  EXPECT_EQ(roi.base_coord(100.4f), 95);
+  EXPECT_EQ(roi.base_coord(100.6f), 96);
+  EXPECT_EQ(roi.base_coord(0.0f), -5);
+}
+
+TEST(Roi, InteriorStarHasFullBounds) {
+  const Roi roi(10);
+  const Roi::Bounds b = roi.clipped_bounds(100.0f, 200.0f, 1024, 1024);
+  EXPECT_EQ(b.x0, 95);
+  EXPECT_EQ(b.x1, 105);
+  EXPECT_EQ(b.y0, 195);
+  EXPECT_EQ(b.y1, 205);
+  EXPECT_EQ(b.area(), 100);
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(Roi, CornerStarClipsToQuarter) {
+  const Roi roi(10);
+  const Roi::Bounds b = roi.clipped_bounds(0.0f, 0.0f, 1024, 1024);
+  EXPECT_EQ(b.x0, 0);
+  EXPECT_EQ(b.x1, 5);
+  EXPECT_EQ(b.y0, 0);
+  EXPECT_EQ(b.y1, 5);
+  EXPECT_EQ(b.area(), 25);
+}
+
+TEST(Roi, EdgeStarClipsOneAxis) {
+  const Roi roi(10);
+  const Roi::Bounds b = roi.clipped_bounds(512.0f, 1023.0f, 1024, 1024);
+  EXPECT_EQ(b.x0, 507);
+  EXPECT_EQ(b.x1, 517);
+  EXPECT_EQ(b.y0, 1018);
+  EXPECT_EQ(b.y1, 1024);
+  EXPECT_EQ(b.area(), 60);
+}
+
+TEST(Roi, FarOutsideStarHasEmptyBounds) {
+  const Roi roi(10);
+  const Roi::Bounds b = roi.clipped_bounds(-100.0f, 512.0f, 1024, 1024);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.area(), 0);
+  EXPECT_EQ(b.width(), 0);
+}
+
+TEST(Roi, JustOutsideStarStillTouchesFrame) {
+  const Roi roi(10);
+  // Star 3 pixels off the left edge: columns -8..1 -> 0..1 survive.
+  const Roi::Bounds b = roi.clipped_bounds(-3.0f, 512.0f, 1024, 1024);
+  EXPECT_EQ(b.x0, 0);
+  EXPECT_EQ(b.x1, 2);
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(Roi, FullyInsidePredicate) {
+  const Roi roi(10);
+  EXPECT_TRUE(roi.fully_inside(100.0f, 100.0f, 1024, 1024));
+  EXPECT_TRUE(roi.fully_inside(5.0f, 5.0f, 1024, 1024));    // base = 0
+  EXPECT_FALSE(roi.fully_inside(4.0f, 100.0f, 1024, 1024));  // base = -1
+  EXPECT_TRUE(roi.fully_inside(1019.0f, 1019.0f, 1024, 1024));  // 1014+10=1024
+  EXPECT_FALSE(roi.fully_inside(1020.0f, 100.0f, 1024, 1024));
+}
+
+class RoiConsistencyTest : public ::testing::TestWithParam<int> {};
+
+// Property: for any side, an interior star's clipped bounds have exactly
+// side^2 pixels and start at base_coord.
+TEST_P(RoiConsistencyTest, InteriorBoundsMatchGeometry) {
+  const int side = GetParam();
+  const Roi roi(side);
+  const float x = 100.0f;
+  const float y = 77.0f;
+  const Roi::Bounds b = roi.clipped_bounds(x, y, 1024, 1024);
+  EXPECT_EQ(b.x0, roi.base_coord(x));
+  EXPECT_EQ(b.y0, roi.base_coord(y));
+  EXPECT_EQ(b.width(), side);
+  EXPECT_EQ(b.height(), side);
+  EXPECT_EQ(b.area(), static_cast<long>(side) * side);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sides, RoiConsistencyTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 16, 31, 32));
+
+}  // namespace

@@ -1,0 +1,128 @@
+#include "starsim/star_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "starsim/workload.h"
+#include "support/error.h"
+
+namespace {
+
+using starsim::Catalog;
+using starsim::read_catalog_file;
+using starsim::read_star_file;
+using starsim::Star;
+using starsim::StarField;
+using starsim::write_catalog_file;
+using starsim::write_star_file;
+using starsim::support::IoError;
+using starsim::support::PreconditionError;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(StarIo, StarFieldRoundTripsExactly) {
+  starsim::WorkloadConfig workload;
+  workload.star_count = 500;
+  workload.integer_positions = false;
+  const StarField original = generate_stars(workload);
+  const std::string path = temp_path("stars_rt.stars");
+  write_star_file(original, path);
+  EXPECT_EQ(read_star_file(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(StarIo, WeightsRoundTrip) {
+  StarField stars{Star{1.5f, 10.25f, 20.75f, 0.5f},
+                  Star{14.0f, 0.0f, 1023.0f, 2.25f}};
+  const std::string path = temp_path("weights.stars");
+  write_star_file(stars, path);
+  EXPECT_EQ(read_star_file(path), stars);
+  std::remove(path.c_str());
+}
+
+TEST(StarIo, WeightDefaultsToOneWhenOmitted) {
+  const std::string path = temp_path("three_field.stars");
+  std::ofstream(path) << "starsim-stars v1\n3.5 100 200\n";
+  const StarField stars = read_star_file(path);
+  ASSERT_EQ(stars.size(), 1u);
+  EXPECT_FLOAT_EQ(stars[0].magnitude, 3.5f);
+  EXPECT_FLOAT_EQ(stars[0].weight, 1.0f);
+  std::remove(path.c_str());
+}
+
+TEST(StarIo, CommentsAndBlankLinesIgnored) {
+  const std::string path = temp_path("comments.stars");
+  std::ofstream(path) << "starsim-stars v1\n"
+                         "# header comment\n"
+                         "\n"
+                         "1 2 3\n"
+                         "   # indented comment\n"
+                         "4 5 6 0.5\n";
+  EXPECT_EQ(read_star_file(path).size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(StarIo, EmptyFieldRoundTrips) {
+  const std::string path = temp_path("empty.stars");
+  write_star_file(StarField{}, path);
+  EXPECT_TRUE(read_star_file(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(StarIo, CrlfHeaderTolerated) {
+  const std::string path = temp_path("crlf.stars");
+  std::ofstream(path, std::ios::binary) << "starsim-stars v1\r\n1 2 3\n";
+  EXPECT_EQ(read_star_file(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(StarIo, RejectsWrongMagic) {
+  const std::string path = temp_path("bad_magic.stars");
+  std::ofstream(path) << "not-a-star-file\n1 2 3\n";
+  EXPECT_THROW((void)read_star_file(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(StarIo, RejectsMalformedLines) {
+  const std::string path = temp_path("bad_line.stars");
+  std::ofstream(path) << "starsim-stars v1\n1 2\n";  // too few fields
+  EXPECT_THROW((void)read_star_file(path), PreconditionError);
+  std::ofstream(path) << "starsim-stars v1\n1 2 three\n";
+  EXPECT_THROW((void)read_star_file(path), PreconditionError);
+  std::ofstream(path) << "starsim-stars v1\n1 2 3 4 5\n";  // too many
+  EXPECT_THROW((void)read_star_file(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(StarIo, RejectsMissingFile) {
+  EXPECT_THROW((void)read_star_file(temp_path("nope.stars")), IoError);
+}
+
+TEST(StarIo, CatalogRoundTripsExactly) {
+  const Catalog original = Catalog::synthesize(1000, 9);
+  const std::string path = temp_path("cat_rt.cat");
+  write_catalog_file(original, path);
+  const Catalog loaded = read_catalog_file(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.stars()[i].right_ascension,
+              original.stars()[i].right_ascension);
+    EXPECT_EQ(loaded.stars()[i].declination,
+              original.stars()[i].declination);
+    EXPECT_EQ(loaded.stars()[i].magnitude, original.stars()[i].magnitude);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StarIo, StarAndCatalogFormatsDoNotCrossLoad) {
+  const std::string path = temp_path("cross.stars");
+  write_star_file(StarField{Star{1.0f, 2.0f, 3.0f, 1.0f}}, path);
+  EXPECT_THROW((void)read_catalog_file(path), IoError);
+  std::remove(path.c_str());
+}
+
+}  // namespace

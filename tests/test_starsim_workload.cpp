@@ -1,0 +1,158 @@
+#include "starsim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/error.h"
+
+namespace {
+
+using starsim::generate_stars;
+using starsim::StarField;
+using starsim::WorkloadConfig;
+
+TEST(Workload, GeneratesRequestedCount) {
+  WorkloadConfig config;
+  config.star_count = 777;
+  EXPECT_EQ(generate_stars(config).size(), 777u);
+}
+
+TEST(Workload, DeterministicForSameSeed) {
+  WorkloadConfig config;
+  config.star_count = 100;
+  config.seed = 99;
+  EXPECT_EQ(generate_stars(config), generate_stars(config));
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadConfig a;
+  a.star_count = 100;
+  a.seed = 1;
+  WorkloadConfig b = a;
+  b.seed = 2;
+  EXPECT_NE(generate_stars(a), generate_stars(b));
+}
+
+TEST(Workload, PositionsInsideImage) {
+  WorkloadConfig config;
+  config.star_count = 5000;
+  config.image_width = 640;
+  config.image_height = 480;
+  for (const auto& star : generate_stars(config)) {
+    ASSERT_GE(star.x, 0.0f);
+    ASSERT_LT(star.x, 640.0f);
+    ASSERT_GE(star.y, 0.0f);
+    ASSERT_LT(star.y, 480.0f);
+  }
+}
+
+TEST(Workload, MagnitudesInConfiguredRange) {
+  WorkloadConfig config;
+  config.star_count = 5000;
+  config.magnitude_min = 2.0;
+  config.magnitude_max = 6.0;
+  for (const auto& star : generate_stars(config)) {
+    ASSERT_GE(star.magnitude, 2.0f);
+    ASSERT_LT(star.magnitude, 6.0f);
+  }
+}
+
+TEST(Workload, IntegerPositionsAreIntegral) {
+  WorkloadConfig config;
+  config.star_count = 1000;
+  config.integer_positions = true;
+  for (const auto& star : generate_stars(config)) {
+    ASSERT_EQ(star.x, std::floor(star.x));
+    ASSERT_EQ(star.y, std::floor(star.y));
+  }
+}
+
+TEST(Workload, SubpixelPositionsMostlyFractional) {
+  WorkloadConfig config;
+  config.star_count = 1000;
+  config.integer_positions = false;
+  int fractional = 0;
+  for (const auto& star : generate_stars(config)) {
+    if (star.x != std::floor(star.x)) ++fractional;
+  }
+  EXPECT_GT(fractional, 990);
+}
+
+TEST(Workload, BorderMarginKeepsRoiInterior) {
+  WorkloadConfig config;
+  config.star_count = 2000;
+  config.border_margin = 16;
+  config.image_width = 256;
+  config.image_height = 256;
+  for (const auto& star : generate_stars(config)) {
+    ASSERT_GE(star.x, 16.0f);
+    ASSERT_LT(star.x, 240.0f);
+    ASSERT_GE(star.y, 16.0f);
+    ASSERT_LT(star.y, 240.0f);
+  }
+}
+
+TEST(Workload, DefaultWeightIsOne) {
+  WorkloadConfig config;
+  config.star_count = 10;
+  for (const auto& star : generate_stars(config)) {
+    ASSERT_EQ(star.weight, 1.0f);
+  }
+}
+
+TEST(Workload, RejectsBadConfigs) {
+  using starsim::support::PreconditionError;
+  WorkloadConfig config;
+  config.star_count = 0;
+  EXPECT_THROW((void)generate_stars(config), PreconditionError);
+  config.star_count = 1;
+  config.image_width = 0;
+  EXPECT_THROW((void)generate_stars(config), PreconditionError);
+  config.image_width = 64;
+  config.magnitude_min = 8.0;
+  config.magnitude_max = 2.0;
+  EXPECT_THROW((void)generate_stars(config), PreconditionError);
+  config.magnitude_max = 15.0;
+  config.border_margin = 32;  // 2*32 >= 64
+  EXPECT_THROW((void)generate_stars(config), PreconditionError);
+}
+
+TEST(Workload, Test1SweepIsPowersOfTwo) {
+  const auto counts = starsim::test1_star_counts();
+  ASSERT_EQ(counts.size(), 13u);
+  EXPECT_EQ(counts.front(), 32u);       // 2^5
+  EXPECT_EQ(counts.back(), 131072u);    // 2^17
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], counts[i - 1] * 2);
+  }
+}
+
+TEST(Workload, Test2SweepIsEvenSidesUpTo32) {
+  const auto sides = starsim::test2_roi_sides();
+  ASSERT_EQ(sides.size(), 16u);
+  EXPECT_EQ(sides.front(), 2);
+  EXPECT_EQ(sides.back(), 32);
+  for (int side : sides) EXPECT_EQ(side % 2, 0);
+}
+
+TEST(Workload, BenchConstantsMatchPaper) {
+  EXPECT_EQ(starsim::kTest2StarCount, 8192u);  // 2^13
+  EXPECT_EQ(starsim::kTest1RoiSide, 10);
+  EXPECT_EQ(starsim::kBenchImageEdge, 1024);
+}
+
+TEST(Workload, StarFieldsAreWellSpread) {
+  // The paper's atomic-contention argument relies on scattered stars: on a
+  // 1024^2 image, 1024 stars should occupy nearly as many distinct pixels.
+  WorkloadConfig config;
+  config.star_count = 1024;
+  std::set<std::pair<int, int>> distinct;
+  for (const auto& star : generate_stars(config)) {
+    distinct.emplace(static_cast<int>(star.x), static_cast<int>(star.y));
+  }
+  EXPECT_GT(distinct.size(), 1000u);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include "support/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace {
+
+namespace sup = starsim::support;
+using sup::PreconditionError;
+
+sup::Cli make_cli() {
+  sup::Cli cli("prog", "test program");
+  cli.add_flag("verbose", "talk more");
+  cli.add_option("count", "how many", "10");
+  cli.add_option("scale", "a real", "1.5");
+  cli.add_option("name", "a string", "default");
+  return cli;
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  sup::Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_FALSE(cli.flag("verbose"));
+  EXPECT_EQ(cli.integer("count"), 10);
+  EXPECT_DOUBLE_EQ(cli.real("scale"), 1.5);
+  EXPECT_EQ(cli.str("name"), "default");
+}
+
+TEST(Cli, ParsesSeparatedValues) {
+  sup::Cli cli = make_cli();
+  const char* argv[] = {"prog", "--count", "42", "--verbose"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_TRUE(cli.flag("verbose"));
+  EXPECT_EQ(cli.integer("count"), 42);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  sup::Cli cli = make_cli();
+  const char* argv[] = {"prog", "--scale=2.25", "--name=abc"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_DOUBLE_EQ(cli.real("scale"), 2.25);
+  EXPECT_EQ(cli.str("name"), "abc");
+}
+
+TEST(Cli, ParsesHexIntegers) {
+  sup::Cli cli = make_cli();
+  const char* argv[] = {"prog", "--count", "0x20"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.integer("count"), 32);
+}
+
+TEST(Cli, CollectsPositionals) {
+  sup::Cli cli = make_cli();
+  const char* argv[] = {"prog", "one", "--count", "5", "two"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "one");
+  EXPECT_EQ(cli.positional()[1], "two");
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  sup::Cli cli = make_cli();
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_THROW((void)cli.parse(2, argv), PreconditionError);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  sup::Cli cli = make_cli();
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_THROW((void)cli.parse(2, argv), PreconditionError);
+}
+
+TEST(Cli, RejectsValueOnFlag) {
+  sup::Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose=yes"};
+  EXPECT_THROW((void)cli.parse(2, argv), PreconditionError);
+}
+
+TEST(Cli, RejectsNonNumericValue) {
+  sup::Cli cli = make_cli();
+  const char* argv[] = {"prog", "--count", "abc"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW((void)cli.integer("count"), PreconditionError);
+}
+
+TEST(Cli, RejectsTrailingJunk) {
+  sup::Cli cli = make_cli();
+  const char* argv[] = {"prog", "--scale", "1.5x"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW((void)cli.real("scale"), PreconditionError);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  sup::Cli cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpTextMentionsOptions) {
+  sup::Cli cli = make_cli();
+  const std::string help = cli.help_text();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+  EXPECT_NE(help.find("default: 10"), std::string::npos);
+}
+
+TEST(Cli, RejectsDuplicateDeclaration) {
+  sup::Cli cli("p", "s");
+  cli.add_flag("x", "flag");
+  EXPECT_THROW(cli.add_option("x", "again", "1"), PreconditionError);
+}
+
+TEST(Cli, QueryingWrongKindThrows) {
+  sup::Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW((void)cli.flag("count"), PreconditionError);
+  EXPECT_THROW((void)cli.str("verbose"), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "support/error.h"
+#include "support/stats.h"
+
+namespace {
+
+using starsim::support::Pcg32;
+using starsim::support::PreconditionError;
+
+TEST(Pcg32, SameSeedSameSequence) {
+  Pcg32 a(123);
+  Pcg32 b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Pcg32, DifferentSeedsDifferentSequences) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, DifferentStreamsDifferentSequences) {
+  Pcg32 a(7, 100);
+  Pcg32 b(7, 101);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, ReseedReproduces) {
+  Pcg32 rng(55);
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng());
+  rng.seed(55);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Pcg32, UniformInUnitInterval) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformRangeRespectsBounds) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 12.25);
+    ASSERT_GE(u, -3.5);
+    ASSERT_LT(u, 12.25);
+  }
+}
+
+TEST(Pcg32, UniformMeanNearCenter) {
+  Pcg32 rng(31);
+  double total = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / kSamples, 0.5, 0.01);
+}
+
+TEST(Pcg32, UniformRejectsInvertedRange) {
+  Pcg32 rng(1);
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+TEST(Pcg32, BoundedStaysInRange) {
+  Pcg32 rng(77);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Pcg32, BoundedCoversAllResidues) {
+  Pcg32 rng(77);
+  std::array<int, 7> hits{};
+  for (int i = 0; i < 7000; ++i) hits[rng.bounded(7)]++;
+  for (int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(Pcg32, BoundedRejectsZero) {
+  Pcg32 rng(1);
+  EXPECT_THROW((void)rng.bounded(0), PreconditionError);
+}
+
+TEST(Pcg32, NormalMomentsMatch) {
+  Pcg32 rng(2024);
+  std::vector<double> samples;
+  samples.reserve(100000);
+  for (int i = 0; i < 100000; ++i) samples.push_back(rng.normal());
+  EXPECT_NEAR(starsim::support::mean(samples), 0.0, 0.02);
+  EXPECT_NEAR(starsim::support::stddev(samples), 1.0, 0.02);
+}
+
+TEST(Pcg32, NormalScaledMoments) {
+  Pcg32 rng(2025);
+  std::vector<double> samples;
+  samples.reserve(50000);
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(starsim::support::mean(samples), 10.0, 0.1);
+  EXPECT_NEAR(starsim::support::stddev(samples), 3.0, 0.1);
+}
+
+TEST(Pcg32, NormalRejectsNegativeSigma) {
+  Pcg32 rng(1);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), PreconditionError);
+}
+
+TEST(Pcg32, PoissonZeroLambda) {
+  Pcg32 rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Pcg32, PoissonRejectsNegativeLambda) {
+  Pcg32 rng(6);
+  EXPECT_THROW((void)rng.poisson(-1.0), PreconditionError);
+}
+
+class PoissonMomentsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMomentsTest, MeanAndVarianceNearLambda) {
+  const double lambda = GetParam();
+  Pcg32 rng(909);
+  std::vector<double> samples;
+  samples.reserve(40000);
+  for (int i = 0; i < 40000; ++i) {
+    samples.push_back(static_cast<double>(rng.poisson(lambda)));
+  }
+  const double m = starsim::support::mean(samples);
+  const double sd = starsim::support::stddev(samples);
+  EXPECT_NEAR(m, lambda, std::max(0.05, 0.05 * lambda));
+  EXPECT_NEAR(sd * sd, lambda, std::max(0.3, 0.08 * lambda));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonMomentsTest,
+                         ::testing::Values(0.5, 2.0, 8.0, 25.0, 60.0, 400.0));
+
+}  // namespace

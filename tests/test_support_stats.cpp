@@ -1,0 +1,116 @@
+#include "support/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.h"
+
+namespace {
+
+namespace sup = starsim::support;
+using sup::PreconditionError;
+
+TEST(Stats, MeanOfKnownSample) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(sup::mean(v), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(sup::mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, StddevOfKnownSample) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(sup::stddev(v), 2.138089935, 1e-8);
+}
+
+TEST(Stats, StddevOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(sup::stddev(std::vector<double>{42.0}), 0.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(sup::median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(sup::median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, SummarizeKnownSample) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  const sup::Summary s = sup::summarize(v);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const sup::Summary s = sup::summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, GeometricMeanOfRatios) {
+  const std::vector<double> v{2.0, 8.0};
+  EXPECT_DOUBLE_EQ(sup::geometric_mean(v), 4.0);
+}
+
+TEST(Stats, GeometricMeanRejectsNonPositive) {
+  EXPECT_THROW((void)sup::geometric_mean(std::vector<double>{1.0, 0.0}),
+               PreconditionError);
+  EXPECT_THROW((void)sup::geometric_mean(std::vector<double>{}),
+               PreconditionError);
+}
+
+TEST(Stats, FitLineRecoversExactLine) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(3.0 * xi - 7.0);
+  const sup::LinearFit fit = sup::fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, FitLineNoisyHasLowerR2) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y{1.0, 4.1, 2.0, 6.5, 4.0};
+  const sup::LinearFit fit = sup::fit_line(x, y);
+  EXPECT_GT(fit.r_squared, 0.0);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(Stats, FitLineRejectsBadInput) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)sup::fit_line(one, one), PreconditionError);
+  const std::vector<double> constant{2.0, 2.0};
+  const std::vector<double> y{1.0, 3.0};
+  EXPECT_THROW((void)sup::fit_line(constant, y), PreconditionError);
+  const std::vector<double> x2{1.0, 2.0};
+  const std::vector<double> y3{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)sup::fit_line(x2, y3), PreconditionError);
+}
+
+TEST(Stats, CorrelationOfPerfectlyCorrelated) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{10.0, 20.0, 30.0};
+  EXPECT_NEAR(sup::correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationOfAnticorrelated) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{3.0, 2.0, 1.0};
+  EXPECT_NEAR(sup::correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(Stats, RelativeErrorProperties) {
+  EXPECT_DOUBLE_EQ(sup::relative_error(1.0, 1.0), 0.0);
+  EXPECT_NEAR(sup::relative_error(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_DOUBLE_EQ(sup::relative_error(0.0, 0.0), 0.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(sup::relative_error(3.0, 5.0),
+                   sup::relative_error(5.0, 3.0));
+}
+
+}  // namespace

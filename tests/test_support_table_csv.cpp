@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "support/csv.h"
+#include "support/error.h"
+#include "support/table.h"
+
+namespace {
+
+namespace sup = starsim::support;
+using sup::PreconditionError;
+
+TEST(ConsoleTable, RendersHeaderRuleAndRows) {
+  sup::ConsoleTable table({"name", "value"});
+  table.add_row({"alpha", "1.5"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(ConsoleTable, NumericCellsRightAligned) {
+  sup::ConsoleTable table({"v"});
+  table.add_row({"1"});
+  table.add_row({"1000"});
+  const std::string out = table.render();
+  // "1" must be padded to the width of "1000": appears as "   1".
+  EXPECT_NE(out.find("   1\n"), std::string::npos);
+}
+
+TEST(ConsoleTable, RejectsArityMismatch) {
+  sup::ConsoleTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(ConsoleTable, RejectsEmptyHeader) {
+  EXPECT_THROW(sup::ConsoleTable(std::vector<std::string>{}),
+               PreconditionError);
+}
+
+TEST(CsvWriter, RendersHeaderAndRows) {
+  sup::CsvWriter csv({"x", "y"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  EXPECT_EQ(csv.render(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(sup::CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(sup::CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(sup::CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(sup::CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, RejectsArityMismatch) {
+  sup::CsvWriter csv({"a"});
+  EXPECT_THROW(csv.add_row({"1", "2"}), PreconditionError);
+}
+
+TEST(CsvWriter, WritesFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/starsim_csv_test.csv";
+  sup::CsvWriter csv({"k", "v"});
+  csv.add_row({"speed", "97"});
+  csv.write_file(path);
+  std::ifstream file(path);
+  std::string content((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "k,v\nspeed,97\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  sup::CsvWriter csv({"a"});
+  EXPECT_THROW(csv.write_file("/nonexistent-dir/zzz/file.csv"),
+               starsim::support::IoError);
+}
+
+}  // namespace

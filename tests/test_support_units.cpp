@@ -1,0 +1,49 @@
+#include "support/units.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace sup = starsim::support;
+
+TEST(Units, FormatTimePicksScale) {
+  EXPECT_EQ(sup::format_time(2.5), "2.500 s");
+  EXPECT_EQ(sup::format_time(2.5e-3), "2.500 ms");
+  EXPECT_EQ(sup::format_time(2.5e-6), "2.50 us");
+  EXPECT_EQ(sup::format_time(2.5e-9), "2.5 ns");
+}
+
+TEST(Units, FormatTimeBoundaries) {
+  EXPECT_EQ(sup::format_time(1.0), "1.000 s");
+  EXPECT_EQ(sup::format_time(0.999), "999.000 ms");
+  EXPECT_EQ(sup::format_time(0.0), "0.0 ns");
+}
+
+TEST(Units, FormatBytesPicksScale) {
+  EXPECT_EQ(sup::format_bytes(512), "512 B");
+  EXPECT_EQ(sup::format_bytes(4096), "4.00 KiB");
+  EXPECT_EQ(sup::format_bytes(4ull << 20), "4.00 MiB");
+  EXPECT_EQ(sup::format_bytes(3ull << 30), "3.00 GiB");
+}
+
+TEST(Units, FormatRatePicksScale) {
+  EXPECT_EQ(sup::format_rate(3.6e9), "3.60 GB/s");
+  EXPECT_EQ(sup::format_rate(1.5e6), "1.50 MB/s");
+  EXPECT_EQ(sup::format_rate(2e3), "2.00 KB/s");
+  EXPECT_EQ(sup::format_rate(42.0), "42.0 B/s");
+}
+
+TEST(Units, FixedPrecision) {
+  EXPECT_EQ(sup::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(sup::fixed(3.14159, 0), "3");
+  EXPECT_EQ(sup::fixed(-1.005, 1), "-1.0");
+}
+
+TEST(Units, CompactSwitchesToScientific) {
+  EXPECT_EQ(sup::compact(0.0), "0");
+  EXPECT_EQ(sup::compact(1234.5), "1234");
+  EXPECT_EQ(sup::compact(1.0e7), "1.000e+07");
+  EXPECT_EQ(sup::compact(1.0e-5), "1.000e-05");
+}
+
+}  // namespace
