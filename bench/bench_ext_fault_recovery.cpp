@@ -1,0 +1,117 @@
+// Extension — what does resilience cost? A frame service that wraps its
+// simulator in a ResilientExecutor pays (a) a fixed wrapper cost on every
+// clean frame and (b) retry re-execution plus modeled backoff on faulted
+// ones. This bench measures both against the bare parallel simulator at
+// injected transient-fault rates of 0%, 1% and 10% (the acceptance envelope
+// of docs/resilience.md), on one test1-style workload.
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "gpusim/fault_injector.h"
+#include "starsim/openmp_simulator.h"
+#include "starsim/parallel_simulator.h"
+#include "starsim/resilient_executor.h"
+#include "starsim/sequential_simulator.h"
+#include "starsim/workload.h"
+#include "support/table.h"
+#include "support/timer.h"
+#include "support/units.h"
+
+namespace {
+
+using namespace starsim;
+namespace sup = starsim::support;
+
+std::unique_ptr<ResilientExecutor> make_executor(gpusim::Device& device) {
+  std::vector<std::unique_ptr<Simulator>> chain;
+  chain.push_back(std::make_unique<ParallelSimulator>(device));
+  chain.push_back(std::make_unique<OpenMpSimulator>());
+  chain.push_back(std::make_unique<SequentialSimulator>());
+  return std::make_unique<ResilientExecutor>(std::move(chain));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace starsim::bench;
+
+  SweepOptions options;
+  std::string csv_path;
+  if (!parse_bench_cli(argc, argv, "bench_ext_fault_recovery",
+                       "extension: resilience wrapper overhead vs fault rate",
+                       options, csv_path)) {
+    return 0;
+  }
+  const int frames = options.quick ? 8 : 40;
+
+  const SceneConfig scene = paper_scene(kTest1RoiSide);
+  WorkloadConfig workload;
+  workload.star_count = 4096;
+  workload.seed = options.seed;
+  const StarField field = generate_stars(workload);
+
+  gpusim::Device device(gpusim::DeviceSpec::gtx480());
+
+  // Baseline: the bare simulator, no wrapper, no injector.
+  ParallelSimulator bare(device);
+  const sup::WallTimer bare_timer;
+  for (int f = 0; f < frames; ++f) (void)bare.simulate(scene, field);
+  const double bare_s = bare_timer.seconds() / frames;
+
+  std::printf(
+      "Extension — resilience overhead (%d frames, 4096 stars, 1024^2)\n\n",
+      frames);
+  sup::ConsoleTable table({"fault rate", "wall/frame", "overhead", "attempts",
+                           "recovered", "degraded", "modeled backoff"});
+  sup::CsvWriter csv({"fault_rate", "wall_per_frame_s", "overhead_pct",
+                      "attempts", "recovered_frames", "degraded_frames",
+                      "backoff_s"});
+
+  for (const double rate : {0.0, 0.01, 0.1}) {
+    gpusim::FaultInjector injector(
+        gpusim::FaultPolicy::transient(rate, options.seed));
+    device.set_fault_injector(rate > 0.0 ? &injector : nullptr);
+    auto executor = make_executor(device);
+
+    int attempts = 0;
+    int recovered = 0;
+    int degraded = 0;
+    double backoff_s = 0.0;
+    const sup::WallTimer timer;
+    for (int f = 0; f < frames; ++f) {
+      (void)executor->simulate(scene, field);
+      const ResilienceReport& report = executor->last_report();
+      attempts += report.attempts;
+      if (report.recovered()) ++recovered;
+      if (report.degraded) ++degraded;
+      backoff_s += report.backoff_total_s;
+    }
+    const double per_frame_s = timer.seconds() / frames;
+    device.set_fault_injector(nullptr);
+
+    const double overhead = (per_frame_s - bare_s) / bare_s * 100.0;
+    table.add_row({sup::fixed(rate * 100.0, 0) + "%",
+                   sup::format_time(per_frame_s),
+                   sup::fixed(overhead, 1) + "%", std::to_string(attempts),
+                   std::to_string(recovered), std::to_string(degraded),
+                   sup::format_time(backoff_s)});
+    csv.add_row({sup::fixed(rate, 2), sup::compact(per_frame_s),
+                 sup::fixed(overhead, 2), std::to_string(attempts),
+                 std::to_string(recovered), std::to_string(degraded),
+                 sup::compact(backoff_s)});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nbare parallel baseline: %s/frame\n",
+              sup::format_time(bare_s).c_str());
+  std::puts(
+      "reading: at 0% the wrapper is one virtual call and a report reset —"
+      "\nnoise against the frame cost; faulted frames pay one full re-run"
+      "\nper retry, so wall cost scales with the injected rate while every"
+      "\nframe still completes (backoff is modeled, not slept).");
+  maybe_write_csv(csv, csv_path);
+  return 0;
+}

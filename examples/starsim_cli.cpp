@@ -12,13 +12,17 @@
 #include <memory>
 #include <numbers>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gpusim/device.h"
+#include "gpusim/fault_injector.h"
 #include "starsim/adaptive_simulator.h"
 #include "starsim/openmp_simulator.h"
 #include "starsim/parallel_simulator.h"
 #include "starsim/projection.h"
 #include "starsim/render.h"
+#include "starsim/resilient_executor.h"
 #include "starsim/selector.h"
 #include "starsim/sequential_simulator.h"
 #include "starsim/star_io.h"
@@ -110,6 +114,12 @@ int cmd_simulate(int argc, char** argv) {
   cli.add_flag("integrated", "pixel-integrated PSF response");
   cli.add_flag("noise", "apply sensor noise");
   cli.add_option("out", "output image prefix", "frame");
+  cli.add_flag("inject-faults",
+               "inject deterministic device faults (see docs/resilience.md)");
+  cli.add_option("fault-rate", "per-operation fault probability", "0.05");
+  cli.add_option("fault-seed", "fault-injection RNG seed", "2012");
+  cli.add_option("max-retries", "retries per simulator before degrading",
+                 "3");
   if (!cli.parse(argc, argv)) return 0;
 
   const StarField stars = read_star_file(cli.str("in"));
@@ -142,7 +152,42 @@ int cmd_simulate(int argc, char** argv) {
     return 1;
   }
 
+  // With fault injection, the chosen simulator becomes the head of a
+  // degradation chain (chosen -> cpu-parallel -> sequential) behind a
+  // ResilientExecutor, and the device gets a seeded transient-fault oracle.
+  std::unique_ptr<gpusim::FaultInjector> injector;
+  if (cli.flag("inject-faults")) {
+    injector = std::make_unique<gpusim::FaultInjector>(
+        gpusim::FaultPolicy::transient(
+            cli.real("fault-rate"),
+            static_cast<std::uint64_t>(cli.integer("fault-seed"))));
+    device.set_fault_injector(injector.get());
+    RetryPolicy retry;
+    retry.max_retries = static_cast<int>(cli.integer("max-retries"));
+    std::vector<std::unique_ptr<Simulator>> chain;
+    chain.push_back(std::move(simulator));
+    chain.push_back(std::make_unique<OpenMpSimulator>());
+    chain.push_back(std::make_unique<SequentialSimulator>());
+    simulator =
+        std::make_unique<ResilientExecutor>(std::move(chain), retry);
+  }
+
   const SimulationResult result = simulator->simulate(scene, stars);
+  if (injector) {
+    const auto& executor = static_cast<const ResilientExecutor&>(*simulator);
+    const ResilienceReport& report = executor.last_report();
+    std::printf(
+        "resilience: %d attempt(s), %zu fault(s), %d fallback(s); "
+        "final simulator: %s%s; modeled backoff %s\n",
+        report.attempts, report.faults.size(), report.fallbacks,
+        report.final_simulator.c_str(),
+        report.degraded ? " (degraded)" : "",
+        sup::format_time(report.backoff_total_s).c_str());
+    for (const FaultEvent& fault : report.faults) {
+      std::printf("  fault in %s: %s\n", fault.simulator.c_str(),
+                  fault.error.c_str());
+    }
+  }
   std::printf(
       "%zu stars -> %dx%d frame with the %s simulator\n"
       "modeled: %s application (%s kernel, %s non-kernel); wall here: %s\n",

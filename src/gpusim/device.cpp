@@ -23,6 +23,9 @@ Device::Device(DeviceSpec spec)
 TextureHandle Device::bind_texture_2d(const DevicePtr<float>& data, int width,
                                       int height, AddressMode mode,
                                       float border_value) {
+  if (fault_injector_ != nullptr) [[unlikely]] {
+    fault_injector_->on_texture_bind();
+  }
   Texture2D texture(data, width, height, mode, border_value);
   transfers_.texture_binds += 1;
   transfers_.texture_bind_s += spec_.texture_bind_s;

@@ -25,6 +25,7 @@
 #include "gpusim/block_runner.h"
 #include "gpusim/device_memory.h"
 #include "gpusim/device_spec.h"
+#include "gpusim/fault_injector.h"
 #include "gpusim/launch_state.h"
 #include "gpusim/perf_model.h"
 #include "gpusim/texture.h"
@@ -63,6 +64,23 @@ class Device {
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
   [[nodiscard]] const DeviceMemoryManager& memory() const { return memory_; }
 
+  // --- Fault injection ---------------------------------------------------------
+  /// Attach a fault-injection oracle (see gpusim/fault_injector.h) consulted
+  /// at every allocation, transfer, launch and texture bind. nullptr
+  /// detaches. Non-owning; the injector must outlive the device. Disabled
+  /// (the default) costs exactly one predictable null check per site.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+    memory_.set_fault_injector(injector);
+  }
+  [[nodiscard]] FaultInjector* fault_injector() const {
+    return fault_injector_;
+  }
+  /// True when an attached injector has latched the device as lost.
+  [[nodiscard]] bool lost() const {
+    return fault_injector_ != nullptr && fault_injector_->device_lost();
+  }
+
   // --- Memory ------------------------------------------------------------------
   template <typename T>
   [[nodiscard]] DevicePtr<T> malloc(std::size_t count) {
@@ -84,6 +102,11 @@ class Device {
     transfers_.h2d_calls += 1;
     transfers_.h2d_s +=
         estimate_transfer_time(spec_, src.size_bytes(), pinned_transfers_);
+    if (fault_injector_ != nullptr) [[unlikely]] {
+      fault_injector_->on_transfer(FaultSite::kMemcpyH2D,
+                                   reinterpret_cast<std::byte*>(dst.raw()),
+                                   src.size_bytes());
+    }
   }
 
   /// Copy device -> host; accrues modeled PCIe time.
@@ -96,6 +119,11 @@ class Device {
     transfers_.d2h_calls += 1;
     transfers_.d2h_s +=
         estimate_transfer_time(spec_, src.bytes(), pinned_transfers_);
+    if (fault_injector_ != nullptr) [[unlikely]] {
+      fault_injector_->on_transfer(FaultSite::kMemcpyD2H,
+                                   reinterpret_cast<std::byte*>(dst.data()),
+                                   src.bytes());
+    }
   }
 
   /// Stage transfers through page-locked host memory (the transmission
@@ -165,6 +193,11 @@ class Device {
     state.totals.atomic_conflicts = state.total_atomic_conflicts();
     LaunchResult result{config, state.totals,
                         estimate_kernel_time(spec_, config, state.totals)};
+    // A launch killed by the (injected) watchdog never retires: it leaves
+    // no last_launch_ record, as if cudaDeviceSynchronize returned an error.
+    if (fault_injector_ != nullptr) [[unlikely]] {
+      fault_injector_->on_kernel_launch(result.timing.kernel_s);
+    }
     last_launch_ = result;
     ++launch_count_;
     return result;
@@ -209,6 +242,7 @@ class Device {
   std::vector<SetAssociativeCache> sm_caches_;
   std::unique_ptr<std::mutex[]> sm_cache_mutexes_;
   TransferStats transfers_;
+  FaultInjector* fault_injector_ = nullptr;  // non-owning, may be null
   std::optional<LaunchResult> last_launch_;
   std::size_t launch_count_ = 0;
   bool parallel_blocks_ = false;

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "gpusim/fault_injector.h"
+
 namespace starsim::gpusim {
 
 DeviceMemoryManager::DeviceMemoryManager(std::size_t capacity_bytes)
@@ -11,11 +13,14 @@ DeviceMemoryManager::DeviceMemoryManager(std::size_t capacity_bytes)
 
 DeviceMemoryManager::Slot& DeviceMemoryManager::allocate_bytes(
     std::size_t bytes) {
+  if (injector_ != nullptr) [[unlikely]] {
+    injector_->on_malloc(bytes);
+  }
   if (bytes > free_bytes()) {
-    throw support::DeviceError(
-        "device out of memory: requested " + std::to_string(bytes) +
-        " bytes with " + std::to_string(free_bytes()) + " of " +
-        std::to_string(capacity_) + " free");
+    STARSIM_THROW(support::DeviceError,
+                  "device out of memory: requested " + std::to_string(bytes) +
+                      " bytes with " + std::to_string(free_bytes()) + " of " +
+                      std::to_string(capacity_) + " free");
   }
   Slot slot;
   slot.data = std::make_unique<std::byte[]>(bytes);
@@ -32,8 +37,8 @@ void DeviceMemoryManager::release_id(std::uint32_t id) {
   STARSIM_REQUIRE(id < slots_.size(), "unknown device allocation");
   Slot& slot = slots_[id];
   if (!slot.live) {
-    throw support::DeviceError("double free of device allocation " +
-                               std::to_string(id));
+    STARSIM_THROW(support::DeviceError,
+                  "double free of device allocation " + std::to_string(id));
   }
   slot.live = false;
   slot.data.reset();

@@ -22,6 +22,7 @@
 namespace starsim::gpusim {
 
 class DeviceMemoryManager;
+class FaultInjector;
 
 template <typename T>
 class DevicePtr {
@@ -83,6 +84,12 @@ class DeviceMemoryManager {
     ptr = DevicePtr<T>();
   }
 
+  /// Attach a fault-injection oracle consulted before every allocation
+  /// (nullptr detaches; the manager does not own it). Releases never
+  /// consult it: cleanup is fault-free by design.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
+
   [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
   [[nodiscard]] std::size_t used_bytes() const { return used_; }
   [[nodiscard]] std::size_t free_bytes() const { return capacity_ - used_; }
@@ -103,6 +110,7 @@ class DeviceMemoryManager {
   std::size_t capacity_;
   std::size_t used_ = 0;
   std::size_t live_count_ = 0;
+  FaultInjector* injector_ = nullptr;  // non-owning, may be null
   // deque: slot addresses (hence &slot.live) stay stable across growth.
   std::deque<Slot> slots_;
 };

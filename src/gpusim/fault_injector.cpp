@@ -1,0 +1,190 @@
+#include "gpusim/fault_injector.h"
+
+#include <algorithm>
+#include <string>
+
+#include "support/error.h"
+
+namespace starsim::gpusim {
+
+namespace {
+
+using support::DeviceError;
+using support::DeviceLostError;
+using support::KernelTimeoutError;
+using support::TransferError;
+
+}  // namespace
+
+std::string_view to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kMalloc: return "malloc";
+    case FaultSite::kMemcpyH2D: return "memcpy_h2d";
+    case FaultSite::kMemcpyD2H: return "memcpy_d2h";
+    case FaultSite::kKernelLaunch: return "kernel_launch";
+    case FaultSite::kTextureBind: return "texture_bind";
+    case FaultSite::kStreamEnqueue: return "stream_enqueue";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kOutOfMemory: return "out_of_memory";
+    case FaultKind::kTransferFailure: return "transfer_failure";
+    case FaultKind::kTransferCorruption: return "transfer_corruption";
+    case FaultKind::kKernelTimeout: return "kernel_timeout";
+    case FaultKind::kWatchdogOverrun: return "watchdog_overrun";
+    case FaultKind::kBindFailure: return "bind_failure";
+    case FaultKind::kStreamFailure: return "stream_failure";
+    case FaultKind::kDeviceLost: return "device_lost";
+  }
+  return "unknown";
+}
+
+FaultPolicy FaultPolicy::transient(double rate, std::uint64_t seed) {
+  FaultPolicy policy;
+  policy.seed = seed;
+  policy.malloc_oom_rate = rate;
+  policy.h2d_fault_rate = rate;
+  policy.d2h_fault_rate = rate;
+  policy.kernel_timeout_rate = rate;
+  policy.texture_bind_fault_rate = rate;
+  return policy;
+}
+
+FaultInjector::FaultInjector(FaultPolicy policy)
+    : policy_(policy), rng_(policy.seed) {
+  const auto in_unit = [](double rate) { return rate >= 0.0 && rate <= 1.0; };
+  STARSIM_REQUIRE(in_unit(policy_.malloc_oom_rate) &&
+                      in_unit(policy_.h2d_fault_rate) &&
+                      in_unit(policy_.d2h_fault_rate) &&
+                      in_unit(policy_.corruption_fraction) &&
+                      in_unit(policy_.kernel_timeout_rate) &&
+                      in_unit(policy_.texture_bind_fault_rate) &&
+                      in_unit(policy_.stream_fault_rate) &&
+                      in_unit(policy_.device_lost_rate),
+                  "fault rates must be probabilities in [0, 1]");
+}
+
+void FaultInjector::reset() {
+  rng_.seed(policy_.seed);
+  device_lost_ = false;
+  consults_ = 0;
+  history_.clear();
+}
+
+void FaultInjector::mark_device_lost() { device_lost_ = true; }
+
+void FaultInjector::throw_if_lost(FaultSite site) {
+  if (!device_lost_) return;
+  STARSIM_THROW(DeviceLostError, "device lost: " + std::string(to_string(site)) +
+                                     " issued to a device that dropped off "
+                                     "the bus");
+}
+
+void FaultInjector::lose_device(FaultSite site) {
+  device_lost_ = true;
+  record(site, FaultKind::kDeviceLost);
+  STARSIM_THROW(DeviceLostError,
+                "injected device loss at " + std::string(to_string(site)) +
+                    " (consult #" + std::to_string(consults_) + ")");
+}
+
+bool FaultInjector::roll(FaultSite site, double rate) {
+  ++consults_;
+  if (rate <= 0.0) return false;
+  if (rng_.uniform() >= rate) return false;
+  // A fault fires; a second roll decides whether it takes the device down.
+  if (policy_.device_lost_rate > 0.0 &&
+      rng_.uniform() < policy_.device_lost_rate) {
+    lose_device(site);
+  }
+  return true;
+}
+
+void FaultInjector::record(FaultSite site, FaultKind kind) {
+  history_.push_back(InjectedFault{site, kind, consults_});
+}
+
+void FaultInjector::on_malloc(std::size_t bytes) {
+  throw_if_lost(FaultSite::kMalloc);
+  if (!roll(FaultSite::kMalloc, policy_.malloc_oom_rate)) return;
+  record(FaultSite::kMalloc, FaultKind::kOutOfMemory);
+  // Transient allocator failure: the capacity is there, the allocation
+  // simply failed this time (fragmentation, a racing tenant) — retryable,
+  // unlike the DeviceMemoryManager's real capacity OOM.
+  throw DeviceError(std::string(__FILE__) + ":" + std::to_string(__LINE__) +
+                        ": injected transient OOM on " +
+                        std::to_string(bytes) + "-byte device allocation",
+                    /*retryable=*/true);
+}
+
+void FaultInjector::on_transfer(FaultSite site, std::byte* data,
+                                std::size_t bytes) {
+  throw_if_lost(site);
+  const double rate = site == FaultSite::kMemcpyH2D ? policy_.h2d_fault_rate
+                                                    : policy_.d2h_fault_rate;
+  if (!roll(site, rate)) return;
+  const bool corrupt =
+      bytes > 0 && rng_.uniform() < policy_.corruption_fraction;
+  if (corrupt) {
+    // The copy completed but one payload byte flipped in flight; the modeled
+    // end-to-end checksum detects it. Actually flip the byte so a caller
+    // that wrongly swallows this error produces a provably wrong image.
+    if (data != nullptr) {
+      const std::size_t offset = rng_.bounded(
+          static_cast<std::uint32_t>(std::min<std::size_t>(bytes, 0xffffffffu)));
+      data[offset] ^= std::byte{0x40};
+    }
+    record(site, FaultKind::kTransferCorruption);
+    STARSIM_THROW(TransferError,
+                  "injected PCIe corruption on " +
+                      std::string(to_string(site)) + " of " +
+                      std::to_string(bytes) + " bytes (checksum mismatch)");
+  }
+  // Outright failure: tear the destination so partial data is never mistaken
+  // for a completed transfer.
+  if (data != nullptr && bytes > 0) {
+    const std::size_t torn = std::min<std::size_t>(bytes, 64);
+    for (std::size_t i = 0; i < torn; ++i) data[i] = std::byte{0xee};
+  }
+  record(site, FaultKind::kTransferFailure);
+  STARSIM_THROW(TransferError, "injected PCIe failure on " +
+                                   std::string(to_string(site)) + " of " +
+                                   std::to_string(bytes) + " bytes");
+}
+
+void FaultInjector::on_kernel_launch(double modeled_kernel_s) {
+  throw_if_lost(FaultSite::kKernelLaunch);
+  if (policy_.watchdog_budget_s > 0.0 &&
+      modeled_kernel_s > policy_.watchdog_budget_s) {
+    ++consults_;
+    record(FaultSite::kKernelLaunch, FaultKind::kWatchdogOverrun);
+    STARSIM_THROW(KernelTimeoutError,
+                  "kernel exceeded the watchdog budget: modeled " +
+                      std::to_string(modeled_kernel_s) + " s > budget " +
+                      std::to_string(policy_.watchdog_budget_s) + " s");
+  }
+  if (!roll(FaultSite::kKernelLaunch, policy_.kernel_timeout_rate)) return;
+  record(FaultSite::kKernelLaunch, FaultKind::kKernelTimeout);
+  STARSIM_THROW(KernelTimeoutError,
+                "injected watchdog kill of a kernel launch (modeled " +
+                    std::to_string(modeled_kernel_s) + " s)");
+}
+
+void FaultInjector::on_texture_bind() {
+  throw_if_lost(FaultSite::kTextureBind);
+  if (!roll(FaultSite::kTextureBind, policy_.texture_bind_fault_rate)) return;
+  record(FaultSite::kTextureBind, FaultKind::kBindFailure);
+  STARSIM_THROW(TransferError, "injected texture binding failure");
+}
+
+void FaultInjector::on_stream_enqueue() {
+  throw_if_lost(FaultSite::kStreamEnqueue);
+  if (!roll(FaultSite::kStreamEnqueue, policy_.stream_fault_rate)) return;
+  record(FaultSite::kStreamEnqueue, FaultKind::kStreamFailure);
+  STARSIM_THROW(TransferError, "injected stream enqueue failure");
+}
+
+}  // namespace starsim::gpusim

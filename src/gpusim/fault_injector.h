@@ -1,0 +1,155 @@
+// Deterministic fault injection for the simulated device.
+//
+// A production star-image service must survive the faults a real GPU fleet
+// throws at it: allocator failures at the 1.5 GB cap, PCIe transfer errors
+// (outright failures and corrupted payloads), kernels killed by the driver
+// watchdog, and devices dropping off the bus entirely. The FaultInjector
+// models all of these as a seeded, policy-driven oracle that the runtime
+// consults at each fault site: Device (transfers, launches, texture binds),
+// DeviceMemoryManager (allocations) and StreamScheduler (enqueues) each hold
+// an optional non-owning pointer and ask it before/around the real work.
+//
+// Design constraints (mirrored by tests):
+//  - Deterministic: the injector draws from one Pcg32 seeded by the policy,
+//    so the same seed and the same operation sequence produce the same fault
+//    sequence, recorded in `history()`.
+//  - Zero overhead when disabled: no injector attached means exactly one
+//    predictable null-pointer check per fault site and nothing else.
+//  - Latched device loss: once a fault escalates to kDeviceLost (or
+//    mark_device_lost() is called), every subsequent consult throws
+//    DeviceLostError immediately — the device is gone until reset().
+//  - Cleanup paths never consult the injector: frees and texture unbinds
+//    always succeed, so RAII recovery cannot itself fault (the CUDA analogue
+//    is ignoring cudaFree errors on a lost device).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace starsim::gpusim {
+
+/// Where in the runtime a fault can be injected.
+enum class FaultSite : std::uint8_t {
+  kMalloc,
+  kMemcpyH2D,
+  kMemcpyD2H,
+  kKernelLaunch,
+  kTextureBind,
+  kStreamEnqueue,
+};
+
+[[nodiscard]] std::string_view to_string(FaultSite site);
+
+/// What kind of fault was injected.
+enum class FaultKind : std::uint8_t {
+  kOutOfMemory,         ///< transient allocator failure (retryable)
+  kTransferFailure,     ///< PCIe copy aborted, destination torn
+  kTransferCorruption,  ///< copy completed but payload corrupted (detected)
+  kKernelTimeout,       ///< random watchdog kill (transient contention)
+  kWatchdogOverrun,     ///< modeled kernel time exceeded the budget
+  kBindFailure,         ///< texture binding failed
+  kStreamFailure,       ///< stream enqueue rejected
+  kDeviceLost,          ///< device dropped off the bus (latched)
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+/// Per-site fault probabilities plus the watchdog budget. All rates are in
+/// [0, 1] per consulted operation; 0 disables that site.
+struct FaultPolicy {
+  std::uint64_t seed = 0;
+  double malloc_oom_rate = 0.0;
+  double h2d_fault_rate = 0.0;
+  double d2h_fault_rate = 0.0;
+  /// Of the injected transfer faults, the fraction that complete the copy
+  /// and corrupt one payload byte (caught by the modeled end-to-end
+  /// checksum) instead of failing outright.
+  double corruption_fraction = 0.5;
+  double kernel_timeout_rate = 0.0;
+  double texture_bind_fault_rate = 0.0;
+  double stream_fault_rate = 0.0;
+  /// Probability that any injected fault escalates to losing the device.
+  double device_lost_rate = 0.0;
+  /// Kernel watchdog budget in modeled seconds: launches whose modeled
+  /// kernel time exceeds it time out deterministically (every attempt).
+  /// <= 0 disables the watchdog.
+  double watchdog_budget_s = 0.0;
+
+  /// Uniform transient-fault policy: every retryable site faults at `rate`,
+  /// no device loss, no watchdog. The standard knob for the CLI and bench.
+  [[nodiscard]] static FaultPolicy transient(double rate, std::uint64_t seed);
+};
+
+/// One injected fault, recorded for determinism checks and reports.
+struct InjectedFault {
+  FaultSite site = FaultSite::kMalloc;
+  FaultKind kind = FaultKind::kOutOfMemory;
+  /// Index of the consult (across all sites) that produced this fault.
+  std::uint64_t consult_index = 0;
+
+  bool operator==(const InjectedFault&) const = default;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPolicy policy);
+
+  /// Re-arm from the policy seed: clears the latched lost state, the
+  /// history, and the consult counter. The next run replays identically.
+  void reset();
+
+  [[nodiscard]] const FaultPolicy& policy() const { return policy_; }
+  [[nodiscard]] bool device_lost() const { return device_lost_; }
+  /// Force the latched lost state (e.g. to script a mid-run device loss).
+  void mark_device_lost();
+
+  [[nodiscard]] std::uint64_t consult_count() const { return consults_; }
+  [[nodiscard]] const std::vector<InjectedFault>& history() const {
+    return history_;
+  }
+
+  // --- Fault sites -----------------------------------------------------------
+  // Each hook either returns normally (no fault) or throws the matching
+  // support error. All throws carry file:line-bearing messages.
+
+  /// Consulted by DeviceMemoryManager before reserving capacity.
+  void on_malloc(std::size_t bytes);
+
+  /// Consulted by Device after the functional copy: may tear the
+  /// destination and throw TransferError (failure), or corrupt one byte and
+  /// throw TransferError (detected corruption). `site` is kMemcpyH2D or
+  /// kMemcpyD2H; `data` the destination bytes (null skips the scribble).
+  void on_transfer(FaultSite site, std::byte* data, std::size_t bytes);
+
+  /// Consulted by Device after a launch completes functionally; throws
+  /// KernelTimeoutError when the modeled time overruns the watchdog budget
+  /// or a random timeout fires.
+  void on_kernel_launch(double modeled_kernel_s);
+
+  /// Consulted by Device::bind_texture_2d.
+  void on_texture_bind();
+
+  /// Consulted by StreamScheduler::enqueue.
+  void on_stream_enqueue();
+
+ private:
+  /// Rolls the per-site rate; returns true when a fault fires. Escalates to
+  /// a thrown DeviceLostError when the device-lost roll also fires.
+  bool roll(FaultSite site, double rate);
+  void record(FaultSite site, FaultKind kind);
+  /// Latched-state check, run first in every hook.
+  void throw_if_lost(FaultSite site);
+  [[noreturn]] void lose_device(FaultSite site);
+
+  FaultPolicy policy_;
+  support::Pcg32 rng_;
+  bool device_lost_ = false;
+  std::uint64_t consults_ = 0;
+  std::vector<InjectedFault> history_;
+};
+
+}  // namespace starsim::gpusim

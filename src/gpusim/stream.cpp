@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gpusim/fault_injector.h"
 #include "support/error.h"
 
 namespace starsim::gpusim {
@@ -36,6 +37,9 @@ double StreamScheduler::enqueue(StreamId stream, Engine engine,
   STARSIM_REQUIRE(stream.valid() && stream.index < streams_.size(),
                   "unknown stream");
   STARSIM_REQUIRE(duration_s >= 0.0, "operation duration must be >= 0");
+  if (injector_ != nullptr) [[unlikely]] {
+    injector_->on_stream_enqueue();
+  }
   EngineState& eng = engine_state(engine);
   double& stream_tail = streams_[stream.index];
   const double start = std::max(eng.available_at, stream_tail);

@@ -20,6 +20,8 @@
 
 namespace starsim::gpusim {
 
+class FaultInjector;
+
 /// Opaque stream identifier.
 struct StreamId {
   std::uint32_t index = 0xffffffffu;
@@ -37,6 +39,11 @@ class StreamScheduler {
 
   [[nodiscard]] StreamId create_stream();
   [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
+
+  /// Attach a fault-injection oracle consulted at every enqueue (modeled
+  /// stream-resource exhaustion; see gpusim/fault_injector.h). nullptr
+  /// detaches. Non-owning.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   /// Enqueue an operation of `duration_s` on `stream`; returns its modeled
   /// completion time (seconds since the scheduler epoch).
@@ -76,6 +83,7 @@ class StreamScheduler {
   [[nodiscard]] const EngineState& engine_state(Engine engine) const;
 
   int copy_engines_;
+  FaultInjector* injector_ = nullptr;  // non-owning, may be null
   EngineState h2d_;
   EngineState d2h_;  // aliases h2d_ when copy_engines_ == 1
   EngineState compute_;

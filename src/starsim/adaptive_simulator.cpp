@@ -160,31 +160,49 @@ SimulationResult AdaptiveSimulator::simulate(const SceneConfig& scene,
 
   DeviceFrame frame(device_, scene, stars);
   auto lut_device = device_.malloc<float>(table.entries());
-  device_.memcpy_h2d(lut_device, table.values());
-  const TextureHandle lut_texture = device_.bind_texture_2d(
-      lut_device, table.width(), table.height(), gpusim::AddressMode::kClamp);
+  TextureHandle lut_texture;
+  // Table upload, bind, launch and readback can all fault under injection;
+  // release the table allocation and texture slot on any throw so a
+  // retrying caller starts from a clean device (frame is already RAII).
+  gpusim::LaunchResult launch;
+  try {
+    device_.memcpy_h2d(lut_device, table.values());
+    lut_texture = device_.bind_texture_2d(lut_device, table.width(),
+                                          table.height(),
+                                          gpusim::AddressMode::kClamp);
 
-  KernelParams params;
-  params.stars = frame.stars();
-  params.image = frame.image();
-  params.lut = lut_texture;
-  params.star_count = static_cast<std::uint32_t>(stars.size());
-  params.image_width = scene.image_width;
-  params.image_height = scene.image_height;
-  params.margin = Roi(scene.roi_side).margin();
-  params.roi_side = scene.roi_side;
-  params.magnitude_min = scene.magnitude_min;
-  params.inv_bin_width = options_.bins_per_magnitude;
-  params.magnitude_bins = table.magnitude_bins();
-  params.phases = table.phases();
+    KernelParams params;
+    params.stars = frame.stars();
+    params.image = frame.image();
+    params.lut = lut_texture;
+    params.star_count = static_cast<std::uint32_t>(stars.size());
+    params.image_width = scene.image_width;
+    params.image_height = scene.image_height;
+    params.margin = Roi(scene.roi_side).margin();
+    params.roi_side = scene.roi_side;
+    params.magnitude_min = scene.magnitude_min;
+    params.inv_bin_width = options_.bins_per_magnitude;
+    params.magnitude_bins = table.magnitude_bins();
+    params.phases = table.phases();
 
-  const gpusim::LaunchConfig config =
-      star_centric_config(stars.size(), scene.roi_side);
-  const gpusim::LaunchResult launch = device_.launch(
-      config,
-      [&params](ThreadCtx& ctx) { return adaptive_kernel(ctx, params); });
+    const gpusim::LaunchConfig config =
+        star_centric_config(stars.size(), scene.roi_side);
+    launch = device_.launch(
+        config,
+        [&params](ThreadCtx& ctx) { return adaptive_kernel(ctx, params); });
 
-  frame.readback(result.image);
+    frame.readback(result.image);
+  } catch (...) {
+    try {
+      if (lut_texture.valid()) device_.unbind_texture(lut_texture);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    try {
+      device_.free(lut_device);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    throw;
+  }
   device_.unbind_texture(lut_texture);
   device_.free(lut_device);
 

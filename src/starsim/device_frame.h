@@ -24,26 +24,27 @@ class DeviceFrame {
       : device_(device),
         pixel_count_(static_cast<std::size_t>(scene.image_width) *
                      static_cast<std::size_t>(scene.image_height)) {
-    stars_ = device_.malloc<Star>(stars.empty() ? 1 : stars.size());
-    image_ = device_.malloc<float>(pixel_count_);
-    if (!stars.empty()) device_.memcpy_h2d(stars_, stars);
-    // The paper's pipeline ships the initial (blank) image to the device;
-    // the 1024^2 float image dominates Table I's transmission time.
-    const std::vector<float> blank(pixel_count_, 0.0f);
-    device_.memcpy_h2d(image_, std::span<const float>(blank));
+    // A fault (injected OOM, failed upload) mid-construction must not leak
+    // the earlier allocations: a retrying caller would otherwise exhaust
+    // the device's 1.5 GB after a handful of faulted frames.
+    try {
+      stars_ = device_.malloc<Star>(stars.empty() ? 1 : stars.size());
+      image_ = device_.malloc<float>(pixel_count_);
+      if (!stars.empty()) device_.memcpy_h2d(stars_, stars);
+      // The paper's pipeline ships the initial (blank) image to the device;
+      // the 1024^2 float image dominates Table I's transmission time.
+      const std::vector<float> blank(pixel_count_, 0.0f);
+      device_.memcpy_h2d(image_, std::span<const float>(blank));
+    } catch (...) {
+      release();
+      throw;
+    }
   }
 
   DeviceFrame(const DeviceFrame&) = delete;
   DeviceFrame& operator=(const DeviceFrame&) = delete;
 
-  ~DeviceFrame() {
-    // Best effort: frees cannot throw out of a destructor.
-    try {
-      if (!stars_.is_null()) device_.free(stars_);
-      if (!image_.is_null()) device_.free(image_);
-    } catch (...) {  // NOLINT(bugprone-empty-catch)
-    }
-  }
+  ~DeviceFrame() { release(); }
 
   [[nodiscard]] const gpusim::DevicePtr<Star>& stars() const { return stars_; }
   [[nodiscard]] const gpusim::DevicePtr<float>& image() const {
@@ -58,6 +59,18 @@ class DeviceFrame {
   }
 
  private:
+  // Best effort: frees cannot throw out of a destructor or an unwind path.
+  void release() noexcept {
+    try {
+      if (!stars_.is_null()) device_.free(stars_);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    try {
+      if (!image_.is_null()) device_.free(image_);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+
   gpusim::Device& device_;
   std::size_t pixel_count_;
   gpusim::DevicePtr<Star> stars_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.h"
+#include "support/log.h"
 #include "support/timer.h"
 
 namespace starsim {
@@ -15,34 +16,56 @@ MultiGpuSimulator::MultiGpuSimulator(int device_count, gpusim::DeviceSpec spec,
   for (int i = 0; i < device_count; ++i) {
     devices_.push_back(std::make_unique<gpusim::Device>(spec));
   }
+  quarantined_.assign(devices_.size(), false);
 }
 
-SimulationResult MultiGpuSimulator::simulate(const SceneConfig& scene,
-                                             std::span<const Star> stars) {
-  scene.validate();
-  const support::WallTimer wall;
-  SimulationResult result;
-  result.image = imageio::ImageF(scene.image_width, scene.image_height);
-  if (stars.empty()) {
-    result.timing.wall_s = wall.seconds();
-    return result;
-  }
+gpusim::Device& MultiGpuSimulator::device(int index) {
+  STARSIM_REQUIRE(index >= 0 && index < device_count(),
+                  "device index out of range");
+  return *devices_[static_cast<std::size_t>(index)];
+}
 
-  const std::size_t device_count = devices_.size();
-  const std::size_t chunk =
-      (stars.size() + device_count - 1) / device_count;
+int MultiGpuSimulator::quarantined_count() const {
+  return static_cast<int>(
+      std::count(quarantined_.begin(), quarantined_.end(), true));
+}
+
+bool MultiGpuSimulator::is_quarantined(int index) const {
+  STARSIM_REQUIRE(index >= 0 && index < device_count(),
+                  "device index out of range");
+  return quarantined_[static_cast<std::size_t>(index)];
+}
+
+bool MultiGpuSimulator::run_pass(const SceneConfig& scene,
+                                 std::span<const Star> stars,
+                                 const std::vector<std::size_t>& healthy,
+                                 SimulationResult& result) {
+  const std::size_t device_count = healthy.size();
+  const std::size_t chunk = (stars.size() + device_count - 1) / device_count;
 
   double max_kernel_s = 0.0;
   double utilization_sum = 0.0;
   int active_devices = 0;
-  for (std::size_t d = 0; d < device_count; ++d) {
-    const std::size_t begin = d * chunk;
+  for (std::size_t slot = 0; slot < device_count; ++slot) {
+    const std::size_t begin = slot * chunk;
     if (begin >= stars.size()) break;
     const std::size_t end = std::min(stars.size(), begin + chunk);
+    const std::size_t d = healthy[slot];
 
-    ParallelSimulator worker(*devices_[d]);
-    SimulationResult partial =
-        worker.simulate(scene, stars.subspan(begin, end - begin));
+    SimulationResult partial;
+    try {
+      ParallelSimulator worker(*devices_[d]);
+      partial = worker.simulate(scene, stars.subspan(begin, end - begin));
+    } catch (const support::DeviceLostError&) {
+      // Quarantine the dead device and signal a restart: the partial sums
+      // accumulated so far are discarded and the surviving devices re-share
+      // the whole field. Its leaked allocations die with the device.
+      quarantined_[d] = true;
+      STARSIM_WARN << "multi-gpu: device " << d << " lost; quarantined ("
+                   << quarantined_count() << " of " << devices_.size()
+                   << " down)";
+      return false;
+    }
 
     // Reduce the partial image into the result.
     auto dst = result.image.pixels();
@@ -69,6 +92,36 @@ SimulationResult MultiGpuSimulator::simulate(const SceneConfig& scene,
           ? static_cast<double>(result.timing.counters.flops) /
                 result.timing.kernel_s / 1e9
           : 0.0;
+  return true;
+}
+
+SimulationResult MultiGpuSimulator::simulate(const SceneConfig& scene,
+                                             std::span<const Star> stars) {
+  scene.validate();
+  const support::WallTimer wall;
+  SimulationResult result;
+  result.image = imageio::ImageF(scene.image_width, scene.image_height);
+  if (stars.empty()) {
+    result.timing.wall_s = wall.seconds();
+    return result;
+  }
+
+  while (true) {
+    std::vector<std::size_t> healthy;
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      if (!quarantined_[d]) healthy.push_back(d);
+    }
+    if (healthy.empty()) {
+      STARSIM_THROW(support::DeviceLostError,
+                    "all " + std::to_string(devices_.size()) +
+                        " devices quarantined; no capacity left");
+    }
+    // A lost device mid-pass poisons the partial sums: start clean.
+    result.image = imageio::ImageF(scene.image_width, scene.image_height);
+    result.timing = TimingBreakdown{};
+    if (run_pass(scene, stars, healthy, result)) break;
+  }
+
   result.timing.wall_s = wall.seconds();
   return result;
 }

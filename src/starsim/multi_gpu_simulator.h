@@ -8,9 +8,17 @@
 // composition models the obvious deployment: kernels execute concurrently
 // (max across devices), the PCIe bus is shared (transfer times add), and
 // the reduction streams N partial images through host memory.
+//
+// Fault tolerance: a device that throws DeviceLostError (e.g. via an
+// attached FaultInjector) is quarantined — removed from the fleet for this
+// and all later simulate() calls — and the pass restarts with the surviving
+// devices sharing the full star load, so the caller still receives the
+// complete, correct image. Only when every device is lost does simulate()
+// itself throw DeviceLostError.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "gpusim/device.h"
@@ -36,11 +44,25 @@ class MultiGpuSimulator final : public Simulator {
     return static_cast<int>(devices_.size());
   }
 
+  /// Mutable device access, e.g. to attach a FaultInjector.
+  [[nodiscard]] gpusim::Device& device(int index);
+
+  /// Devices removed from the fleet after throwing DeviceLostError.
+  [[nodiscard]] int quarantined_count() const;
+  [[nodiscard]] bool is_quarantined(int index) const;
+
   [[nodiscard]] SimulationResult simulate(
       const SceneConfig& scene, std::span<const Star> stars) override;
 
  private:
+  /// One shard-distribution pass over `healthy`. Returns false when a
+  /// device was lost mid-pass (it is quarantined; the caller restarts).
+  bool run_pass(const SceneConfig& scene, std::span<const Star> stars,
+                const std::vector<std::size_t>& healthy,
+                SimulationResult& result);
+
   std::vector<std::unique_ptr<gpusim::Device>> devices_;
+  std::vector<bool> quarantined_;
   gpusim::HostSpec host_;
 };
 

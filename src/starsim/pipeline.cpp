@@ -1,9 +1,13 @@
 #include "starsim/pipeline.h"
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "gpusim/stream.h"
+#include "starsim/openmp_simulator.h"
 #include "starsim/parallel_simulator.h"
+#include "starsim/sequential_simulator.h"
 #include "support/error.h"
 
 namespace starsim {
@@ -13,10 +17,23 @@ PipelineResult simulate_frame_sequence(gpusim::Device& device,
                                        std::span<const StarField> frame_fields,
                                        const PipelineOptions& options) {
   STARSIM_REQUIRE(options.streams >= 1, "need at least one stream");
+  STARSIM_REQUIRE(!frame_fields.empty(),
+                  "frame sequence must contain at least one frame");
   PipelineResult result;
-  if (frame_fields.empty()) return result;
 
+  // In resilient mode every frame runs through the recovery ladder;
+  // otherwise the plain parallel simulator, exactly as before.
   ParallelSimulator simulator(device);
+  std::unique_ptr<ResilientExecutor> executor;
+  if (options.resilient) {
+    std::vector<std::unique_ptr<Simulator>> chain;
+    chain.push_back(std::make_unique<ParallelSimulator>(device));
+    chain.push_back(std::make_unique<OpenMpSimulator>());
+    chain.push_back(std::make_unique<SequentialSimulator>());
+    executor = std::make_unique<ResilientExecutor>(std::move(chain),
+                                                   options.retry);
+    result.resilience.reserve(frame_fields.size());
+  }
   result.frames.reserve(frame_fields.size());
 
   gpusim::StreamScheduler scheduler(options.copy_engines);
@@ -27,9 +44,13 @@ PipelineResult simulate_frame_sequence(gpusim::Device& device,
   }
 
   // Run every frame functionally first; the schedule below only needs the
-  // modeled stage durations.
+  // modeled stage durations. A faulted frame retries/degrades inside the
+  // executor here, so by the time stages are enqueued only the successful
+  // attempt exists — recovery never stalls the stream schedule.
   for (const StarField& field : frame_fields) {
-    SimulationResult sim = simulator.simulate(scene, field);
+    SimulationResult sim = executor ? executor->simulate(scene, field)
+                                    : simulator.simulate(scene, field);
+    if (executor) result.resilience.push_back(executor->last_report());
     result.serial_s += sim.timing.application_s();
     result.frames.push_back(std::move(sim));
   }

@@ -1,0 +1,83 @@
+#include "starsim/resilient_executor.h"
+
+#include <cmath>
+#include <exception>
+#include <utility>
+
+#include "starsim/adaptive_simulator.h"
+#include "starsim/openmp_simulator.h"
+#include "starsim/parallel_simulator.h"
+#include "starsim/sequential_simulator.h"
+#include "support/error.h"
+
+namespace starsim {
+
+void RetryPolicy::validate() const {
+  STARSIM_REQUIRE(max_retries >= 0, "max_retries must be >= 0");
+  STARSIM_REQUIRE(backoff_initial_s >= 0.0, "backoff must be >= 0");
+  STARSIM_REQUIRE(backoff_multiplier >= 1.0,
+                  "backoff multiplier must be >= 1");
+}
+
+ResilientExecutor::ResilientExecutor(
+    std::vector<std::unique_ptr<Simulator>> chain, RetryPolicy policy)
+    : chain_(std::move(chain)), policy_(policy) {
+  STARSIM_REQUIRE(!chain_.empty(), "resilience chain must be non-empty");
+  for (const auto& simulator : chain_) {
+    STARSIM_REQUIRE(simulator != nullptr,
+                    "resilience chain must not contain null simulators");
+  }
+  policy_.validate();
+}
+
+ResilientExecutor ResilientExecutor::with_default_chain(
+    gpusim::Device& device, RetryPolicy policy) {
+  std::vector<std::unique_ptr<Simulator>> chain;
+  chain.push_back(std::make_unique<AdaptiveSimulator>(device));
+  chain.push_back(std::make_unique<ParallelSimulator>(device));
+  chain.push_back(std::make_unique<OpenMpSimulator>());
+  chain.push_back(std::make_unique<SequentialSimulator>());
+  return ResilientExecutor(std::move(chain), policy);
+}
+
+SimulationResult ResilientExecutor::simulate(const SceneConfig& scene,
+                                             std::span<const Star> stars) {
+  report_ = ResilienceReport{};
+  std::exception_ptr last_error;
+
+  for (std::size_t level = 0; level < chain_.size(); ++level) {
+    Simulator& simulator = *chain_[level];
+    for (int attempt = 0;; ++attempt) {
+      ++report_.attempts;
+      try {
+        SimulationResult result = simulator.simulate(scene, stars);
+        report_.final_simulator = std::string(simulator.name());
+        report_.degraded = level > 0;
+        return result;
+      } catch (const support::DeviceError& error) {
+        // Only device-side failures enter the recovery ladder;
+        // PreconditionError and std errors propagate untouched.
+        last_error = std::current_exception();
+        FaultEvent event;
+        event.simulator = std::string(simulator.name());
+        event.error = error.what();
+        event.retryable = error.retryable();
+        if (error.retryable() && attempt < policy_.max_retries) {
+          event.backoff_s = policy_.backoff_initial_s *
+                            std::pow(policy_.backoff_multiplier, attempt);
+          report_.backoff_total_s += event.backoff_s;
+          report_.faults.push_back(std::move(event));
+          continue;  // retry the same rung
+        }
+        report_.faults.push_back(std::move(event));
+        break;  // degrade to the next rung
+      }
+    }
+    ++report_.fallbacks;
+  }
+
+  // Every rung failed (possible only when the chain has no CPU rung).
+  std::rethrow_exception(last_error);
+}
+
+}  // namespace starsim

@@ -1,0 +1,105 @@
+// Retry + graceful-degradation wrapper around any Simulator chain.
+//
+// A frame stream serving live consumers must not die because one kernel was
+// killed by the watchdog or one PCIe copy arrived corrupted. The
+// ResilientExecutor wraps an ordered chain of simulators (fastest first,
+// e.g. adaptive -> parallel -> cpu-parallel -> sequential) and runs each
+// frame through a two-level recovery ladder:
+//
+//  1. Transient faults (support::Error::retryable() == true: transfer
+//     errors, watchdog kills, injected allocator failures) retry the same
+//     simulator up to RetryPolicy::max_retries times with exponential
+//     backoff. Retrying re-runs the whole simulate() call against fresh
+//     device buffers, so a recovered frame is bit-identical to a fault-free
+//     run of the same simulator.
+//  2. Persistent faults (retries exhausted, or a non-retryable DeviceError
+//     such as a lost device or a real capacity OOM) degrade to the next
+//     simulator in the chain. CPU rungs cannot fault, so a chain ending in
+//     a CPU simulator completes every frame.
+//
+// Every simulate() call fills a ResilienceReport (attempts, per-fault
+// events, fallbacks, total modeled backoff). Backoff time is modeled, like
+// every other duration in this repository — the executor records it rather
+// than sleeping. PreconditionError and non-device errors are never caught:
+// contract violations must surface, not degrade. See docs/resilience.md.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "starsim/simulator.h"
+
+namespace starsim {
+
+/// Bounded-retry policy for transient (retryable) faults.
+struct RetryPolicy {
+  /// Retries per chain level after the first attempt (>= 0).
+  int max_retries = 3;
+  /// Modeled backoff before the first retry of a level, seconds.
+  double backoff_initial_s = 1e-3;
+  /// Backoff multiplier per subsequent retry (exponential).
+  double backoff_multiplier = 2.0;
+
+  void validate() const;
+};
+
+/// One failed attempt, as recorded in the report.
+struct FaultEvent {
+  std::string simulator;  ///< name() of the simulator that faulted
+  std::string error;      ///< what() of the thrown error
+  bool retryable = false;
+  /// Modeled backoff applied after this failure (0 when degrading).
+  double backoff_s = 0.0;
+};
+
+/// Per-frame account of what resilience cost.
+struct ResilienceReport {
+  std::vector<FaultEvent> faults;  ///< failed attempts, in order
+  std::string final_simulator;     ///< simulator that produced the image
+  int attempts = 0;                ///< simulate() calls incl. the success
+  int fallbacks = 0;               ///< chain levels abandoned
+  double backoff_total_s = 0.0;    ///< modeled backoff spent
+  bool degraded = false;           ///< final image came from a fallback rung
+
+  /// True when the frame needed any recovery at all.
+  [[nodiscard]] bool recovered() const { return !faults.empty(); }
+};
+
+class ResilientExecutor final : public Simulator {
+ public:
+  /// Takes ownership of the chain; tried in order. Must be non-empty.
+  explicit ResilientExecutor(std::vector<std::unique_ptr<Simulator>> chain,
+                             RetryPolicy policy = {});
+
+  /// The full degradation ladder on `device`: adaptive -> parallel ->
+  /// cpu-parallel -> sequential. The device must outlive the executor.
+  [[nodiscard]] static ResilientExecutor with_default_chain(
+      gpusim::Device& device, RetryPolicy policy = {});
+
+  [[nodiscard]] SimulatorKind kind() const override {
+    return chain_.front()->kind();
+  }
+  [[nodiscard]] std::string_view name() const override { return "resilient"; }
+
+  [[nodiscard]] std::size_t chain_length() const { return chain_.size(); }
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+
+  /// Report of the most recent simulate() call.
+  [[nodiscard]] const ResilienceReport& last_report() const {
+    return report_;
+  }
+
+  /// Runs the recovery ladder. Rethrows the last device error only when
+  /// every rung of the chain failed.
+  [[nodiscard]] SimulationResult simulate(
+      const SceneConfig& scene, std::span<const Star> stars) override;
+
+ private:
+  std::vector<std::unique_ptr<Simulator>> chain_;
+  RetryPolicy policy_;
+  ResilienceReport report_;
+};
+
+}  // namespace starsim

@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string_view>
@@ -38,17 +40,30 @@ bool is_blank_or_comment(const std::string& line) {
 }
 
 /// Parse whitespace-separated doubles from `line` into `out[0..max)`.
-/// Returns how many were present; throws on trailing junk.
+/// Returns how many were present; throws on trailing junk. Tokens go
+/// through strtod (not operator>>, which rejects the "nan"/"inf"
+/// spellings outright) so non-finite values — written or overflowed —
+/// can be rejected with a clear IoError: a single NaN magnitude or
+/// position would silently poison every pixel its ROI touches downstream
+/// (NaN propagates through the PSF sums).
 std::size_t parse_fields(const std::string& line, double* out,
                          std::size_t max, const std::string& path) {
   std::istringstream stream(line);
   std::size_t count = 0;
-  double value = 0.0;
-  while (stream >> value) {
+  std::string token;
+  while (stream >> token) {
     STARSIM_REQUIRE(count < max, path + ": too many fields in line");
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    STARSIM_REQUIRE(end == token.c_str() + token.size(),
+                    path + ": malformed number in line");
+    if (!std::isfinite(value)) {
+      throw IoError(path + ": non-finite value in line '" + line +
+                    "' (field " + std::to_string(count + 1) +
+                    "): corrupt catalog data rejected");
+    }
     out[count++] = value;
   }
-  STARSIM_REQUIRE(stream.eof(), path + ": malformed number in line");
   return count;
 }
 

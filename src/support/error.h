@@ -5,6 +5,12 @@
 // std errors. `STARSIM_REQUIRE` is the standard precondition guard: it is
 // always on (not assert-style), because the simulators are driven by external
 // configuration and silent out-of-range launches would corrupt results.
+//
+// Device-side failures carry a `retryable()` flag consumed by the resilience
+// layer (starsim::ResilientExecutor): transient faults (PCIe transfer errors,
+// kernel watchdog timeouts, injected allocator failures) are worth retrying
+// on the same device; persistent ones (a lost device, a real capacity OOM)
+// are not and trigger graceful degradation instead. See docs/resilience.md.
 #pragma once
 
 #include <stdexcept>
@@ -15,7 +21,15 @@ namespace starsim::support {
 /// Base class for all starsim exceptions.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, bool retryable = false)
+      : std::runtime_error(what), retryable_(retryable) {}
+
+  /// True when the operation may succeed if simply re-issued (transient
+  /// fault); false for contract violations and persistent resource failures.
+  [[nodiscard]] bool retryable() const { return retryable_; }
+
+ private:
+  bool retryable_ = false;
 };
 
 /// Raised when a caller violates a documented precondition.
@@ -28,7 +42,35 @@ class PreconditionError : public Error {
 /// limits) is exhausted or misused.
 class DeviceError : public Error {
  public:
-  explicit DeviceError(const std::string& what) : Error(what) {}
+  explicit DeviceError(const std::string& what, bool retryable = false)
+      : Error(what, retryable) {}
+};
+
+/// Raised when a host<->device transfer fails or its payload arrives
+/// corrupted (modeled PCIe error). Transient: the same copy can be
+/// re-issued, so retryable by default.
+class TransferError : public DeviceError {
+ public:
+  explicit TransferError(const std::string& what, bool retryable = true)
+      : DeviceError(what, retryable) {}
+};
+
+/// Raised when a kernel launch exceeds the watchdog budget (hung kernel).
+/// Retryable by default: a timeout caused by transient contention may pass
+/// on re-launch; a deterministic budget overrun will exhaust its retries and
+/// degrade instead.
+class KernelTimeoutError : public DeviceError {
+ public:
+  explicit KernelTimeoutError(const std::string& what, bool retryable = true)
+      : DeviceError(what, retryable) {}
+};
+
+/// Raised when the device has dropped off the bus entirely. Never
+/// retryable on the same device — callers must quarantine it and fail over.
+class DeviceLostError : public DeviceError {
+ public:
+  explicit DeviceLostError(const std::string& what)
+      : DeviceError(what, /*retryable=*/false) {}
 };
 
 /// Raised on I/O failures (image files, CSV output).
@@ -49,3 +91,9 @@ class IoError : public Error {
           (msg) + " (violated: " #cond ")");                                \
     }                                                                       \
   } while (false)
+
+/// Throw any starsim error type with a file:line-bearing message, matching
+/// the STARSIM_REQUIRE message format so every failure is locatable.
+#define STARSIM_THROW(ErrorType, msg)                                       \
+  throw ErrorType(std::string(__FILE__) + ":" + std::to_string(__LINE__) +  \
+                  ": " + (msg))

@@ -35,6 +35,51 @@ TEST(DeviceMemory, OutOfMemoryThrows) {
   EXPECT_THROW((void)mm.allocate<float>(1024), DeviceError);  // 4 KiB > 1 KiB
 }
 
+TEST(DeviceMemory, OutOfMemoryMessageCarriesLocationAndSizes) {
+  DeviceMemoryManager mm(1024);
+  try {
+    (void)mm.allocate<float>(1024);
+    FAIL() << "expected DeviceError";
+  } catch (const DeviceError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("device_memory.cpp:"), std::string::npos)
+        << "OOM message should point at the throw site: " << what;
+    EXPECT_NE(what.find("requested 4096 bytes"), std::string::npos) << what;
+    EXPECT_NE(what.find("1024 of 1024 free"), std::string::npos) << what;
+    EXPECT_FALSE(error.retryable()) << "a real capacity OOM is persistent";
+  }
+}
+
+TEST(DeviceMemory, DoubleFreeMessageCarriesLocationAndId) {
+  DeviceMemoryManager mm(1 << 20);
+  auto a = mm.allocate<int>(10);
+  auto copy = a;
+  mm.release(a);
+  try {
+    mm.release(copy);
+    FAIL() << "expected DeviceError";
+  } catch (const DeviceError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("device_memory.cpp:"), std::string::npos) << what;
+    EXPECT_NE(what.find("double free"), std::string::npos) << what;
+  }
+}
+
+TEST(DeviceMemory, UseAfterFreeMessageNamesTheContract) {
+  DeviceMemoryManager mm(1 << 20);
+  auto a = mm.allocate<float>(16);
+  auto copy = a;
+  mm.release(a);
+  try {
+    (void)copy.raw();
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("null or freed"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
 TEST(DeviceMemory, ExactCapacityFits) {
   DeviceMemoryManager mm(1024);
   auto a = mm.allocate<float>(256);

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "gpusim/fault_injector.h"
 #include "starsim/parallel_simulator.h"
 #include "starsim/workload.h"
 #include "support/error.h"
@@ -113,6 +114,57 @@ TEST(MultiGpu, EmptyFieldShortCircuits) {
   MultiGpuSimulator two(2);
   const SimulationResult r = two.simulate(scene_of(64, 10), StarField{});
   for (float v : r.image.pixels()) ASSERT_EQ(v, 0.0f);
+}
+
+TEST(MultiGpu, LostDeviceIsQuarantinedAndSurvivorsFinishTheFrame) {
+  const SceneConfig scene = scene_of(128, 10);
+  const StarField stars = workload_of(128, 400);
+
+  MultiGpuSimulator fleet(4);
+  gs::FaultInjector injector(gs::FaultPolicy{});
+  fleet.device(1).set_fault_injector(&injector);
+  injector.mark_device_lost();
+
+  const SimulationResult survived = fleet.simulate(scene, stars);
+  EXPECT_EQ(fleet.quarantined_count(), 1);
+  EXPECT_TRUE(fleet.is_quarantined(1));
+  EXPECT_FALSE(fleet.is_quarantined(0));
+
+  // The three survivors re-share the full field: bit-identical to a
+  // three-device fleet that never saw a fault.
+  MultiGpuSimulator reference(3);
+  const SimulationResult expected = reference.simulate(scene, stars);
+  EXPECT_EQ(max_abs_difference(expected.image, survived.image), 0.0);
+}
+
+TEST(MultiGpu, QuarantinePersistsAcrossCalls) {
+  const SceneConfig scene = scene_of(64, 10);
+  const StarField stars = workload_of(64, 100);
+  MultiGpuSimulator fleet(2);
+  gs::FaultInjector injector(gs::FaultPolicy{});
+  fleet.device(0).set_fault_injector(&injector);
+  injector.mark_device_lost();
+  (void)fleet.simulate(scene, stars);
+  ASSERT_EQ(fleet.quarantined_count(), 1);
+  // A later frame must not re-probe the dead device.
+  const SimulationResult again = fleet.simulate(scene, stars);
+  EXPECT_EQ(fleet.quarantined_count(), 1);
+  EXPECT_GT(total_flux(again.image), 0.0);
+}
+
+TEST(MultiGpu, AllDevicesLostThrowsDeviceLost) {
+  const SceneConfig scene = scene_of(64, 10);
+  const StarField stars = workload_of(64, 50);
+  MultiGpuSimulator fleet(2);
+  gs::FaultInjector a{gs::FaultPolicy{}};
+  gs::FaultInjector b{gs::FaultPolicy{}};
+  fleet.device(0).set_fault_injector(&a);
+  fleet.device(1).set_fault_injector(&b);
+  a.mark_device_lost();
+  b.mark_device_lost();
+  EXPECT_THROW((void)fleet.simulate(scene, stars),
+               starsim::support::DeviceLostError);
+  EXPECT_EQ(fleet.quarantined_count(), 2);
 }
 
 TEST(MultiGpu, MemoryCapacityScalesWithDevices) {

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "gpusim/fault_injector.h"
 #include "starsim/parallel_simulator.h"
 #include "starsim/workload.h"
 
@@ -101,13 +102,21 @@ TEST(Pipeline, ComputeBoundSequenceHidesTransfersEntirely) {
   EXPECT_GT(result.compute_utilization, 0.8);
 }
 
-TEST(Pipeline, EmptySequenceIsEmptyResult) {
+TEST(Pipeline, EmptySequenceIsAPreconditionError) {
+  // An empty sequence used to return a fake result whose speedup() silently
+  // evaluated 0/0 to 1.0; now the contract violation surfaces at the entry.
   gs::Device device(gs::DeviceSpec::gtx480());
-  const PipelineResult result = simulate_frame_sequence(
-      device, small_scene(), std::vector<StarField>{});
-  EXPECT_TRUE(result.frames.empty());
-  EXPECT_DOUBLE_EQ(result.pipelined_s, 0.0);
-  EXPECT_DOUBLE_EQ(result.speedup(), 1.0);
+  EXPECT_THROW((void)simulate_frame_sequence(device, small_scene(),
+                                             std::vector<StarField>{}),
+               starsim::support::PreconditionError);
+}
+
+TEST(Pipeline, UnpopulatedResultRatesThrowInsteadOfLying) {
+  const PipelineResult result;  // never ran: both times are zero
+  EXPECT_THROW((void)result.speedup(),
+               starsim::support::PreconditionError);
+  EXPECT_THROW((void)result.frames_per_second(),
+               starsim::support::PreconditionError);
 }
 
 TEST(Pipeline, RejectsZeroStreams) {
@@ -117,6 +126,96 @@ TEST(Pipeline, RejectsZeroStreams) {
   EXPECT_THROW((void)simulate_frame_sequence(device, small_scene(),
                                              make_frames(1, 10), options),
                starsim::support::PreconditionError);
+}
+
+TEST(Pipeline, ResilientModeIsBitIdenticalWithoutFaults) {
+  gs::Device device(gs::DeviceSpec::gtx480());
+  const auto frames = make_frames(4, 200);
+  const PipelineResult plain =
+      simulate_frame_sequence(device, small_scene(), frames);
+  PipelineOptions options;
+  options.resilient = true;
+  const PipelineResult resilient =
+      simulate_frame_sequence(device, small_scene(), frames, options);
+  ASSERT_EQ(resilient.frames.size(), plain.frames.size());
+  ASSERT_EQ(resilient.resilience.size(), frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    EXPECT_EQ(max_abs_difference(plain.frames[f].image,
+                                 resilient.frames[f].image),
+              0.0);
+    EXPECT_EQ(resilient.resilience[f].attempts, 1);
+    EXPECT_FALSE(resilient.resilience[f].recovered());
+  }
+  // Fault-free recovery machinery must not distort the modeled schedule.
+  EXPECT_DOUBLE_EQ(resilient.pipelined_s, plain.pipelined_s);
+}
+
+TEST(Pipeline, ResilientModeRecoversFaultedFramesBitIdentically) {
+  gs::Device device(gs::DeviceSpec::gtx480());
+  const auto frames = make_frames(6, 300);
+  const PipelineResult clean =
+      simulate_frame_sequence(device, small_scene(), frames);
+
+  gs::FaultInjector injector(gs::FaultPolicy::transient(0.1, 404));
+  device.set_fault_injector(&injector);
+  PipelineOptions options;
+  options.resilient = true;
+  options.retry.max_retries = 3;
+  const PipelineResult faulted =
+      simulate_frame_sequence(device, small_scene(), frames, options);
+  device.set_fault_injector(nullptr);
+
+  EXPECT_FALSE(injector.history().empty())
+      << "10% fault rate over 6 frames should have injected something";
+  ASSERT_EQ(faulted.frames.size(), frames.size());
+  int recovered_frames = 0;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    EXPECT_EQ(
+        max_abs_difference(clean.frames[f].image, faulted.frames[f].image),
+        0.0)
+        << "frame " << f << " not bit-identical after recovery";
+    if (faulted.resilience[f].recovered()) ++recovered_frames;
+  }
+  EXPECT_GT(recovered_frames, 0);
+}
+
+TEST(Pipeline, ResilientReportsAreDeterministicPerSeed) {
+  gs::Device device(gs::DeviceSpec::gtx480());
+  const auto frames = make_frames(5, 250);
+  PipelineOptions options;
+  options.resilient = true;
+
+  gs::FaultInjector injector(gs::FaultPolicy::transient(0.1, 77));
+  device.set_fault_injector(&injector);
+  const PipelineResult first =
+      simulate_frame_sequence(device, small_scene(), frames, options);
+  injector.reset();
+  const PipelineResult second =
+      simulate_frame_sequence(device, small_scene(), frames, options);
+  device.set_fault_injector(nullptr);
+
+  ASSERT_EQ(first.resilience.size(), second.resilience.size());
+  for (std::size_t f = 0; f < first.resilience.size(); ++f) {
+    EXPECT_EQ(first.resilience[f].attempts, second.resilience[f].attempts);
+    EXPECT_EQ(first.resilience[f].faults.size(),
+              second.resilience[f].faults.size());
+    EXPECT_EQ(first.resilience[f].final_simulator,
+              second.resilience[f].final_simulator);
+  }
+}
+
+TEST(Pipeline, NonResilientPipelinePropagatesInjectedFaults) {
+  gs::Device device(gs::DeviceSpec::gtx480());
+  gs::FaultPolicy policy;
+  policy.seed = 1;
+  policy.h2d_fault_rate = 1.0;
+  policy.corruption_fraction = 0.0;
+  gs::FaultInjector injector(policy);
+  device.set_fault_injector(&injector);
+  EXPECT_THROW((void)simulate_frame_sequence(device, small_scene(),
+                                             make_frames(2, 50)),
+               starsim::support::TransferError);
+  device.set_fault_injector(nullptr);
 }
 
 }  // namespace

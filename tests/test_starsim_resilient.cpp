@@ -1,0 +1,286 @@
+#include "starsim/resilient_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gpusim/fault_injector.h"
+#include "starsim/adaptive_simulator.h"
+#include "starsim/parallel_simulator.h"
+#include "starsim/sequential_simulator.h"
+#include "starsim/workload.h"
+#include "support/error.h"
+
+namespace {
+
+namespace gs = starsim::gpusim;
+using starsim::ResilienceReport;
+using starsim::ResilientExecutor;
+using starsim::RetryPolicy;
+using starsim::SceneConfig;
+using starsim::SequentialSimulator;
+using starsim::SimulationResult;
+using starsim::Simulator;
+using starsim::SimulatorKind;
+using starsim::Star;
+using starsim::StarField;
+using starsim::support::DeviceError;
+using starsim::support::DeviceLostError;
+using starsim::support::PreconditionError;
+using starsim::support::TransferError;
+
+SceneConfig small_scene() {
+  SceneConfig scene;
+  scene.image_width = 64;
+  scene.image_height = 64;
+  scene.roi_side = 8;
+  return scene;
+}
+
+StarField some_stars(std::size_t count = 50) {
+  starsim::WorkloadConfig workload;
+  workload.star_count = count;
+  workload.image_width = 64;
+  workload.image_height = 64;
+  workload.seed = 7;
+  return generate_stars(workload);
+}
+
+/// Test double: fails the first `failures` simulate() calls with a
+/// configurable error, then behaves as a sequential simulator.
+class FlakySimulator final : public Simulator {
+ public:
+  enum class Failure { kRetryableTransfer, kNonRetryableDevice, kDeviceLost };
+
+  FlakySimulator(int failures, Failure mode)
+      : failures_(failures), mode_(mode) {}
+
+  [[nodiscard]] SimulatorKind kind() const override {
+    return SimulatorKind::kSequential;
+  }
+  [[nodiscard]] std::string_view name() const override { return "flaky"; }
+  [[nodiscard]] int calls() const { return calls_; }
+
+  [[nodiscard]] SimulationResult simulate(
+      const SceneConfig& scene, std::span<const Star> stars) override {
+    ++calls_;
+    if (calls_ <= failures_) {
+      switch (mode_) {
+        case Failure::kRetryableTransfer:
+          throw TransferError("synthetic checksum mismatch");
+        case Failure::kNonRetryableDevice:
+          throw DeviceError("synthetic hard failure", /*retryable=*/false);
+        case Failure::kDeviceLost:
+          throw DeviceLostError("synthetic device loss");
+      }
+    }
+    return inner_.simulate(scene, stars);
+  }
+
+ private:
+  int failures_;
+  Failure mode_;
+  int calls_ = 0;
+  SequentialSimulator inner_;
+};
+
+std::vector<std::unique_ptr<Simulator>> chain_of(
+    std::unique_ptr<Simulator> head) {
+  std::vector<std::unique_ptr<Simulator>> chain;
+  chain.push_back(std::move(head));
+  return chain;
+}
+
+TEST(ResilientExecutor, RejectsEmptyChain) {
+  EXPECT_THROW(
+      ResilientExecutor(std::vector<std::unique_ptr<Simulator>>{}),
+      PreconditionError);
+}
+
+TEST(ResilientExecutor, RejectsNullChainEntry) {
+  std::vector<std::unique_ptr<Simulator>> chain;
+  chain.push_back(nullptr);
+  EXPECT_THROW(ResilientExecutor{std::move(chain)}, PreconditionError);
+}
+
+TEST(ResilientExecutor, RejectsBadPolicy) {
+  RetryPolicy policy;
+  policy.max_retries = -1;
+  EXPECT_THROW(
+      ResilientExecutor(chain_of(std::make_unique<SequentialSimulator>()),
+                        policy),
+      PreconditionError);
+}
+
+TEST(ResilientExecutor, CleanRunIsSingleAttempt) {
+  ResilientExecutor executor(
+      chain_of(std::make_unique<SequentialSimulator>()));
+  const SimulationResult result =
+      executor.simulate(small_scene(), some_stars());
+  SequentialSimulator reference;
+  const auto expected = reference.simulate(small_scene(), some_stars()).image;
+  EXPECT_EQ(max_abs_difference(expected, result.image), 0.0);
+  const ResilienceReport& report = executor.last_report();
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(report.fallbacks, 0);
+  EXPECT_FALSE(report.degraded);
+  EXPECT_FALSE(report.recovered());
+  EXPECT_EQ(report.final_simulator, "sequential");
+}
+
+TEST(ResilientExecutor, RetriesTransientFaultsWithExponentialBackoff) {
+  auto flaky = std::make_unique<FlakySimulator>(
+      2, FlakySimulator::Failure::kRetryableTransfer);
+  FlakySimulator* probe = flaky.get();
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_initial_s = 1e-3;
+  policy.backoff_multiplier = 2.0;
+  ResilientExecutor executor(chain_of(std::move(flaky)), policy);
+  const SimulationResult result =
+      executor.simulate(small_scene(), some_stars());
+  EXPECT_EQ(probe->calls(), 3);
+
+  SequentialSimulator reference;
+  const auto expected = reference.simulate(small_scene(), some_stars()).image;
+  EXPECT_EQ(max_abs_difference(expected, result.image), 0.0)
+      << "recovered frame must be bit-identical to the fault-free run";
+
+  const ResilienceReport& report = executor.last_report();
+  EXPECT_EQ(report.attempts, 3);
+  EXPECT_EQ(report.fallbacks, 0);
+  EXPECT_TRUE(report.recovered());
+  EXPECT_FALSE(report.degraded);
+  ASSERT_EQ(report.faults.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.faults[0].backoff_s, 1e-3);
+  EXPECT_DOUBLE_EQ(report.faults[1].backoff_s, 2e-3);
+  EXPECT_DOUBLE_EQ(report.backoff_total_s, 3e-3);
+}
+
+TEST(ResilientExecutor, ExhaustedRetriesDegradeToNextRung) {
+  std::vector<std::unique_ptr<Simulator>> chain;
+  chain.push_back(std::make_unique<FlakySimulator>(
+      100, FlakySimulator::Failure::kRetryableTransfer));
+  chain.push_back(std::make_unique<SequentialSimulator>());
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  ResilientExecutor executor(std::move(chain), policy);
+  const SimulationResult result =
+      executor.simulate(small_scene(), some_stars());
+  EXPECT_GT(result.image.pixel_count(), 0u);
+  const ResilienceReport& report = executor.last_report();
+  EXPECT_EQ(report.attempts, 4);  // 3 on the flaky rung + 1 sequential
+  EXPECT_EQ(report.fallbacks, 1);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.final_simulator, "sequential");
+}
+
+TEST(ResilientExecutor, NonRetryableFaultSkipsRetriesEntirely) {
+  std::vector<std::unique_ptr<Simulator>> chain;
+  auto flaky = std::make_unique<FlakySimulator>(
+      100, FlakySimulator::Failure::kNonRetryableDevice);
+  FlakySimulator* probe = flaky.get();
+  chain.push_back(std::move(flaky));
+  chain.push_back(std::make_unique<SequentialSimulator>());
+  ResilientExecutor executor(std::move(chain));
+  (void)executor.simulate(small_scene(), some_stars());
+  EXPECT_EQ(probe->calls(), 1) << "non-retryable errors must not be retried";
+  EXPECT_EQ(executor.last_report().fallbacks, 1);
+}
+
+TEST(ResilientExecutor, DeviceLossDegradesWithoutRetry) {
+  std::vector<std::unique_ptr<Simulator>> chain;
+  auto flaky = std::make_unique<FlakySimulator>(
+      100, FlakySimulator::Failure::kDeviceLost);
+  FlakySimulator* probe = flaky.get();
+  chain.push_back(std::move(flaky));
+  chain.push_back(std::make_unique<SequentialSimulator>());
+  ResilientExecutor executor(std::move(chain));
+  (void)executor.simulate(small_scene(), some_stars());
+  EXPECT_EQ(probe->calls(), 1);
+  EXPECT_TRUE(executor.last_report().degraded);
+}
+
+TEST(ResilientExecutor, AllRungsFailingRethrows) {
+  RetryPolicy policy;
+  policy.max_retries = 1;
+  ResilientExecutor executor(
+      chain_of(std::make_unique<FlakySimulator>(
+          100, FlakySimulator::Failure::kRetryableTransfer)),
+      policy);
+  EXPECT_THROW((void)executor.simulate(small_scene(), some_stars()),
+               TransferError);
+}
+
+TEST(ResilientExecutor, PreconditionErrorsAreNeverSwallowed) {
+  ResilientExecutor executor(
+      chain_of(std::make_unique<SequentialSimulator>()));
+  SceneConfig bad = small_scene();
+  bad.image_width = 0;
+  EXPECT_THROW((void)executor.simulate(bad, some_stars()), PreconditionError);
+}
+
+TEST(ResilientExecutor, DefaultChainSpansAdaptiveToSequential) {
+  gs::Device device(gs::DeviceSpec::gtx480());
+  ResilientExecutor executor =
+      ResilientExecutor::with_default_chain(device);
+  EXPECT_EQ(executor.chain_length(), 4u);
+  EXPECT_EQ(executor.kind(), SimulatorKind::kAdaptive);
+  EXPECT_EQ(executor.name(), "resilient");
+  (void)executor.simulate(small_scene(), some_stars());
+  EXPECT_EQ(executor.last_report().final_simulator, "adaptive");
+}
+
+TEST(ResilientExecutor, RecoversInjectedTransientFaultsBitIdentically) {
+  gs::Device device(gs::DeviceSpec::gtx480());
+  const StarField stars = some_stars(200);
+  starsim::ParallelSimulator reference(device);
+  const auto expected = reference.simulate(small_scene(), stars).image;
+
+  gs::FaultInjector injector(gs::FaultPolicy::transient(0.1, 2012));
+  device.set_fault_injector(&injector);
+  RetryPolicy policy;
+  policy.max_retries = 5;
+  ResilientExecutor executor(
+      chain_of(std::make_unique<starsim::ParallelSimulator>(device)), policy);
+  int recovered = 0;
+  for (int run = 0; run < 20; ++run) {
+    const SimulationResult result = executor.simulate(small_scene(), stars);
+    EXPECT_EQ(max_abs_difference(expected, result.image), 0.0)
+        << "run " << run << " diverged from the fault-free image";
+    if (executor.last_report().recovered()) ++recovered;
+  }
+  device.set_fault_injector(nullptr);
+  EXPECT_GT(recovered, 0) << "expected at least one injected fault in "
+                             "20 runs at a 10% rate";
+}
+
+TEST(ResilientExecutor, PersistentWatchdogFaultDegradesToCpu) {
+  gs::Device device(gs::DeviceSpec::gtx480());
+  gs::FaultPolicy policy;
+  policy.watchdog_budget_s = 1e-12;  // every kernel overruns the watchdog
+  gs::FaultInjector injector(policy);
+  device.set_fault_injector(&injector);
+  ResilientExecutor executor = ResilientExecutor::with_default_chain(device);
+  const StarField stars = some_stars();
+  const SimulationResult result = executor.simulate(small_scene(), stars);
+  device.set_fault_injector(nullptr);
+
+  const ResilienceReport& report = executor.last_report();
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.final_simulator, "cpu-parallel");
+  EXPECT_EQ(report.fallbacks, 2);  // adaptive and parallel both abandoned
+
+  SequentialSimulator cpu;
+  const auto expected = cpu.simulate(small_scene(), stars).image;
+  double peak = 0.0;
+  for (float v : expected.pixels()) {
+    peak = std::max(peak, static_cast<double>(v));
+  }
+  EXPECT_LT(max_abs_difference(expected, result.image) / peak, 1e-5);
+}
+
+}  // namespace

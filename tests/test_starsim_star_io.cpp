@@ -102,6 +102,34 @@ TEST(StarIo, RejectsMissingFile) {
   EXPECT_THROW((void)read_star_file(temp_path("nope.stars")), IoError);
 }
 
+TEST(StarIo, RejectsNonFiniteStarValues) {
+  // operator>> happily parses "nan" and "inf"; one NaN magnitude would
+  // silently poison every pixel its ROI touches. Reject at the boundary.
+  const std::string path = temp_path("nonfinite.stars");
+  for (const char* line : {"nan 2 3", "1 inf 3", "1 2 -inf", "1 2 3 nan"}) {
+    std::ofstream(path) << "starsim-stars v1\n" << line << "\n";
+    try {
+      (void)read_star_file(path);
+      FAIL() << "expected IoError for line: " << line;
+    } catch (const IoError& error) {
+      EXPECT_NE(std::string(error.what()).find("non-finite"),
+                std::string::npos);
+      EXPECT_NE(std::string(error.what()).find(path), std::string::npos);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StarIo, RejectsNonFiniteCatalogValues) {
+  const std::string path = temp_path("nonfinite.cat");
+  for (const char* line : {"nan 0.5 3", "0.5 inf 3", "0.5 0.5 nan"}) {
+    std::ofstream(path) << "starsim-catalog v1\n" << line << "\n";
+    EXPECT_THROW((void)read_catalog_file(path), IoError)
+        << "line: " << line;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(StarIo, CatalogRoundTripsExactly) {
   const Catalog original = Catalog::synthesize(1000, 9);
   const std::string path = temp_path("cat_rt.cat");
