@@ -5,18 +5,24 @@
 //   starsim_cli project  --catalog sky.cat --yaw 12 --pitch 3 --out fov.stars
 //   starsim_cli generate --stars 8192 --out random.stars
 //   starsim_cli simulate --in fov.stars --sim auto --out frame
+//   starsim_cli serve-bench --clients 8 --workers 2 --batch 8
 //
 // `simulate --sim auto` asks the SimulatorSelector (Table III) to pick the
-// best simulator for the workload.
+// best simulator for the workload; `serve-bench` load-tests the concurrent
+// FrameService (docs/serving.md).
 #include <cstdio>
+#include <future>
 #include <memory>
 #include <numbers>
+#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "gpusim/device.h"
 #include "gpusim/fault_injector.h"
+#include "serve/service.h"
 #include "starsim/adaptive_simulator.h"
 #include "starsim/openmp_simulator.h"
 #include "starsim/parallel_simulator.h"
@@ -28,6 +34,7 @@
 #include "starsim/star_io.h"
 #include "starsim/workload.h"
 #include "support/cli.h"
+#include "support/timer.h"
 #include "support/units.h"
 
 namespace {
@@ -207,6 +214,140 @@ int cmd_simulate(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve_bench(int argc, char** argv) {
+  sup::Cli cli("starsim_cli serve-bench",
+               "load-test the concurrent frame service (docs/serving.md)");
+  cli.add_option("clients", "concurrent client threads", "8");
+  cli.add_option("frames", "requests per client", "8");
+  cli.add_option("workers", "render worker threads", "2");
+  cli.add_option("batch", "max dynamic batch size", "8");
+  cli.add_option("queue", "admission queue capacity", "128");
+  cli.add_option("cache", "rendered-frame cache capacity (0 = off)", "0");
+  cli.add_option("stars", "stars per frame", "256");
+  cli.add_option("size", "image edge, pixels", "512");
+  cli.add_option("roi", "ROI side, pixels", "10");
+  cli.add_option("sim", "auto | sequential | cpu | parallel | adaptive",
+                 "adaptive");
+  cli.add_option("lut-bins", "adaptive LUT bins per magnitude", "100");
+  cli.add_option("lut-phases", "adaptive LUT subpixel phases", "2");
+  cli.add_option("seed", "star-field seed base", "42");
+  cli.add_flag("shared-stream",
+               "all clients replay one shared request stream (cacheable "
+               "traffic; pair with --cache)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int clients = static_cast<int>(cli.integer("clients"));
+  const std::size_t frames = static_cast<std::size_t>(cli.integer("frames"));
+  const bool shared = cli.flag("shared-stream");
+
+  SceneConfig scene;
+  scene.image_width = static_cast<int>(cli.integer("size"));
+  scene.image_height = scene.image_width;
+  scene.roi_side = static_cast<int>(cli.integer("roi"));
+
+  std::optional<SimulatorKind> kind;
+  const std::string which = cli.str("sim");
+  if (which == "sequential") {
+    kind = SimulatorKind::kSequential;
+  } else if (which == "cpu" || which == "cpu-parallel") {
+    kind = SimulatorKind::kCpuParallel;
+  } else if (which == "parallel") {
+    kind = SimulatorKind::kParallel;
+  } else if (which == "adaptive") {
+    kind = SimulatorKind::kAdaptive;
+  } else if (which != "auto") {
+    std::fprintf(stderr, "unknown simulator: %s\n", which.c_str());
+    return 1;
+  }
+
+  // One star field per distinct request; with --shared-stream every client
+  // replays stream 0 so repeat traffic can hit the frame cache.
+  const std::size_t streams =
+      shared ? 1 : static_cast<std::size_t>(clients);
+  std::vector<StarField> fields;
+  fields.reserve(streams * frames);
+  for (std::size_t i = 0; i < streams * frames; ++i) {
+    WorkloadConfig workload;
+    workload.star_count = static_cast<std::size_t>(cli.integer("stars"));
+    workload.image_width = scene.image_width;
+    workload.image_height = scene.image_height;
+    workload.seed = static_cast<std::uint64_t>(cli.integer("seed")) + i;
+    fields.push_back(generate_stars(workload));
+  }
+
+  serve::FrameServiceOptions opts;
+  opts.workers = static_cast<int>(cli.integer("workers"));
+  opts.max_batch_size = static_cast<std::size_t>(cli.integer("batch"));
+  opts.queue_capacity = static_cast<std::size_t>(cli.integer("queue"));
+  opts.cache_capacity = static_cast<std::size_t>(cli.integer("cache"));
+  opts.worker.lut.bins_per_magnitude =
+      static_cast<int>(cli.integer("lut-bins"));
+  opts.worker.lut.subpixel_phases =
+      static_cast<int>(cli.integer("lut-phases"));
+  const bool warm_cache = opts.cache_capacity > 0 && shared;
+  serve::FrameService service(std::move(opts));
+
+  // Concurrent duplicates of an uncached scene all miss (the first render
+  // is still in flight), so warm the cache with one serial pass before
+  // timing the measured, cache-hitting traffic.
+  if (warm_cache) {
+    for (const StarField& stars : fields) {
+      serve::RenderRequest request;
+      request.scene = scene;
+      request.stars = stars;
+      request.simulator = kind;
+      (void)service.render(std::move(request));
+    }
+  }
+
+  sup::WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::size_t base =
+          shared ? 0 : static_cast<std::size_t>(c) * frames;
+      std::vector<std::future<serve::RenderResponse>> futures;
+      futures.reserve(frames);
+      for (std::size_t i = 0; i < frames; ++i) {
+        serve::RenderRequest request;
+        request.scene = scene;
+        request.stars = fields[base + i];
+        request.simulator = kind;
+        futures.push_back(service.submit(std::move(request)));
+      }
+      for (auto& future : futures) (void)future.get();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double wall_s = timer.seconds();
+  const serve::ServiceStats stats = service.stats();
+
+  std::printf(
+      "served %llu frames for %d clients in %s (%.1f frames/s)\n"
+      "latency: p50 %s, p95 %s, p99 %s, mean %s\n"
+      "batching: %llu batches, mean size %.2f\n"
+      "cache: %llu hits / %llu misses (%.0f%% hit rate)\n"
+      "failures: %llu failed, %llu rejected\n",
+      static_cast<unsigned long long>(static_cast<std::size_t>(clients) *
+                                      frames),
+      clients, sup::format_time(wall_s).c_str(),
+      static_cast<double>(static_cast<std::size_t>(clients) * frames) /
+          wall_s,
+      sup::format_time(stats.latency.p50).c_str(),
+      sup::format_time(stats.latency.p95).c_str(),
+      sup::format_time(stats.latency.p99).c_str(),
+      sup::format_time(stats.mean_latency_s).c_str(),
+      static_cast<unsigned long long>(stats.batches),
+      stats.mean_batch_size(),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses),
+      stats.cache_hit_rate() * 100.0,
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.rejected));
+  return stats.failed == 0 ? 0 : 1;
+}
+
 void print_usage() {
   std::puts(
       "starsim_cli — star image simulation workflow\n"
@@ -216,6 +357,7 @@ void print_usage() {
       "  project   attitude -> FOV star retrieval\n"
       "  generate  random benchmark star field\n"
       "  simulate  star file -> image (--sim auto uses the selector)\n"
+      "  serve-bench  load-test the concurrent frame service\n"
       "\n"
       "run `starsim_cli <subcommand> --help` for options.");
 }
@@ -234,6 +376,7 @@ int main(int argc, char** argv) {
   if (command == "project") return cmd_project(argc - 1, argv + 1);
   if (command == "generate") return cmd_generate(argc - 1, argv + 1);
   if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+  if (command == "serve-bench") return cmd_serve_bench(argc - 1, argv + 1);
   if (command == "--help" || command == "help") {
     print_usage();
     return 0;

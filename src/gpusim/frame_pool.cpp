@@ -1,5 +1,6 @@
 #include "gpusim/frame_pool.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 #include <vector>
@@ -7,6 +8,12 @@
 namespace starsim::gpusim::detail {
 
 namespace {
+
+// Process-wide aggregate the thread-local counters fold into. Touched only
+// on drain/thread-exit/reset, never on the allocation hot path.
+std::atomic<std::uint64_t> g_acquired{0};
+std::atomic<std::uint64_t> g_reused{0};
+std::atomic<std::uint64_t> g_allocated{0};
 
 // One bucket per frame size class; kernels in one process use only a handful
 // of distinct frame sizes, so linear search over buckets is effectively O(1).
@@ -17,8 +24,10 @@ struct Bucket {
 
 struct Pool {
   std::vector<Bucket> buckets;
+  FramePoolStats stats;  // this thread's counts since the last flush
 
   ~Pool() {
+    flush_stats();
     for (Bucket& bucket : buckets) {
       for (void* frame : bucket.frames) std::free(frame);
     }
@@ -31,6 +40,13 @@ struct Pool {
     buckets.push_back(Bucket{bytes, {}});
     return buckets.back();
   }
+
+  void flush_stats() {
+    g_acquired.fetch_add(stats.acquired, std::memory_order_relaxed);
+    g_reused.fetch_add(stats.reused, std::memory_order_relaxed);
+    g_allocated.fetch_add(stats.allocated, std::memory_order_relaxed);
+    stats = FramePoolStats{};
+  }
 };
 
 thread_local Pool t_pool;
@@ -42,11 +58,14 @@ std::size_t size_class(std::size_t bytes) { return (bytes + 63u) & ~63u; }
 
 void* frame_alloc(std::size_t bytes) {
   Bucket& bucket = t_pool.bucket_for(size_class(bytes));
+  t_pool.stats.acquired += 1;
   if (!bucket.frames.empty()) {
+    t_pool.stats.reused += 1;
     void* frame = bucket.frames.back();
     bucket.frames.pop_back();
     return frame;
   }
+  t_pool.stats.allocated += 1;
   void* frame = std::malloc(size_class(bytes));
   if (frame == nullptr) throw std::bad_alloc();
   return frame;
@@ -57,6 +76,7 @@ void frame_free(void* ptr, std::size_t bytes) {
 }
 
 void frame_pool_drain() {
+  t_pool.flush_stats();
   for (Bucket& bucket : t_pool.buckets) {
     for (void* frame : bucket.frames) std::free(frame);
     bucket.frames.clear();
@@ -67,6 +87,21 @@ std::size_t frame_pool_size() {
   std::size_t total = 0;
   for (const Bucket& bucket : t_pool.buckets) total += bucket.frames.size();
   return total;
+}
+
+FramePoolStats frame_pool_stats() {
+  FramePoolStats s = t_pool.stats;
+  s.acquired += g_acquired.load(std::memory_order_relaxed);
+  s.reused += g_reused.load(std::memory_order_relaxed);
+  s.allocated += g_allocated.load(std::memory_order_relaxed);
+  return s;
+}
+
+void frame_pool_stats_reset() {
+  t_pool.stats = FramePoolStats{};
+  g_acquired.store(0, std::memory_order_relaxed);
+  g_reused.store(0, std::memory_order_relaxed);
+  g_allocated.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace starsim::gpusim::detail

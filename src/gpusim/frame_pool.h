@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace starsim::gpusim::detail {
 
@@ -19,10 +20,37 @@ void* frame_alloc(std::size_t bytes);
 void frame_free(void* ptr, std::size_t bytes);
 
 /// Release all pooled frames of the calling thread (test hook; frames are
-/// otherwise retained for reuse until thread exit).
+/// otherwise retained for reuse until thread exit). Also flushes the
+/// thread's reuse counters into the process-wide aggregate.
 void frame_pool_drain();
 
 /// Number of frames currently parked in the calling thread's pool.
 std::size_t frame_pool_size();
+
+/// Allocation-churn counters: every frame_alloc() is an acquisition that was
+/// either satisfied from the free list (reused) or fell through to malloc
+/// (allocated); acquired == reused + allocated.
+struct FramePoolStats {
+  std::uint64_t acquired = 0;
+  std::uint64_t reused = 0;
+  std::uint64_t allocated = 0;
+
+  /// Fraction of acquisitions served without touching malloc; 0 when idle.
+  [[nodiscard]] double reuse_rate() const {
+    return acquired > 0
+               ? static_cast<double>(reused) / static_cast<double>(acquired)
+               : 0.0;
+  }
+};
+
+/// Process-wide aggregate plus the calling thread's not-yet-flushed counts.
+/// Counters are kept thread-local on the hot path and folded into the
+/// global aggregate when a thread drains its pool or exits, so totals over
+/// a worker fleet are exact once the workers have joined.
+[[nodiscard]] FramePoolStats frame_pool_stats();
+
+/// Zero the process-wide aggregate and the calling thread's counters
+/// (bench/test hook; other threads' unflushed counts are unaffected).
+void frame_pool_stats_reset();
 
 }  // namespace starsim::gpusim::detail

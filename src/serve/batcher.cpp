@@ -1,0 +1,24 @@
+#include "serve/batcher.h"
+
+#include <utility>
+
+namespace starsim::serve {
+
+Batcher::Batcher(std::size_t max_batch_size)
+    : max_batch_size_(max_batch_size) {
+  STARSIM_REQUIRE(max_batch_size > 0, "batch size cap must be positive");
+}
+
+std::optional<Batch> Batcher::next_batch(
+    BoundedQueue<QueuedRequest>& queue) const {
+  std::vector<QueuedRequest> run =
+      queue.pop_run(max_batch_size_, &Batcher::compatible);
+  if (run.empty()) return std::nullopt;
+  Batch batch;
+  batch.simulator = run.front().simulator;
+  batch.requests = std::move(run);
+  batch.formed = std::chrono::steady_clock::now();
+  return batch;
+}
+
+}  // namespace starsim::serve

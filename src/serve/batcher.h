@@ -1,0 +1,70 @@
+// Dynamic request batching: coalesce compatible queued requests so the
+// per-scene setup is paid once per batch.
+//
+// The paper's non-kernel analysis (Table I) is the motivation: for the
+// adaptive simulator, every simulate() call pays the lookup-table build,
+// upload and texture bind on top of the kernel. Requests that share a scene
+// and a simulator can share that setup; the batcher drains the longest
+// immediate run of such requests from the admission queue (up to a cap) and
+// hands them to a worker as one Batch. Under light load batches degenerate
+// to size 1 (no added latency — there is no batching timer); under heavy
+// load they grow toward the cap and the amortization kicks in.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/request_queue.h"
+
+namespace starsim::serve {
+
+/// One admitted request waiting for execution.
+struct QueuedRequest {
+  RenderRequest request;  ///< stars resolved (attitude already projected)
+  SimulatorKind simulator = SimulatorKind::kParallel;  ///< resolved kind
+  std::uint64_t scene_key = 0;  ///< fingerprint_scene — batch compatibility
+  std::uint64_t key = 0;        ///< fingerprint_request — cache identity
+  std::promise<RenderResponse> promise;
+  std::chrono::steady_clock::time_point submitted{};
+};
+
+/// Requests coalesced for one simulate_batch call: same scene bits, same
+/// simulator, so one lookup-table/texture setup serves them all.
+struct Batch {
+  SimulatorKind simulator = SimulatorKind::kParallel;
+  std::vector<QueuedRequest> requests;
+  std::chrono::steady_clock::time_point formed{};
+
+  [[nodiscard]] std::size_t size() const { return requests.size(); }
+  [[nodiscard]] const SceneConfig& scene() const {
+    return requests.front().request.scene;
+  }
+};
+
+class Batcher {
+ public:
+  explicit Batcher(std::size_t max_batch_size);
+
+  /// Two requests may share a batch iff their scenes are bit-identical and
+  /// they resolved to the same simulator.
+  [[nodiscard]] static bool compatible(const QueuedRequest& a,
+                                       const QueuedRequest& b) {
+    return a.scene_key == b.scene_key && a.simulator == b.simulator;
+  }
+
+  /// Block for the next request and coalesce its compatible followers.
+  /// nullopt when the queue is closed and drained (worker shutdown signal).
+  [[nodiscard]] std::optional<Batch> next_batch(
+      BoundedQueue<QueuedRequest>& queue) const;
+
+  [[nodiscard]] std::size_t max_batch_size() const { return max_batch_size_; }
+
+ private:
+  std::size_t max_batch_size_;
+};
+
+}  // namespace starsim::serve

@@ -1,0 +1,66 @@
+#include "serve/fingerprint.h"
+
+#include <cstring>
+#include <type_traits>
+
+namespace starsim::serve {
+
+namespace {
+
+/// Incremental 64-bit FNV-1a.
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= static_cast<std::uint64_t>(p[i]);
+      hash_ *= 1099511628211ull;
+    }
+  }
+
+  template <typename T>
+  void value(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof(v));
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+void hash_scene(Fnv1a& fnv, const SceneConfig& scene) {
+  fnv.value(scene.image_width);
+  fnv.value(scene.image_height);
+  fnv.value(scene.roi_side);
+  fnv.value(scene.psf_sigma);
+  fnv.value(static_cast<std::uint8_t>(scene.pixel_integration));
+  fnv.value(scene.brightness.proportion_factor);
+  fnv.value(scene.brightness.magnitude_base);
+  fnv.value(scene.magnitude_min);
+  fnv.value(scene.magnitude_max);
+}
+
+}  // namespace
+
+std::uint64_t fingerprint_scene(const SceneConfig& scene) {
+  Fnv1a fnv;
+  hash_scene(fnv, scene);
+  return fnv.digest();
+}
+
+std::uint64_t fingerprint_request(const SceneConfig& scene,
+                                  std::span<const Star> stars,
+                                  SimulatorKind simulator) {
+  Fnv1a fnv;
+  hash_scene(fnv, scene);
+  fnv.value(static_cast<std::uint32_t>(simulator));
+  fnv.value(static_cast<std::uint64_t>(stars.size()));
+  // Star is a padding-free 16-byte POD (static_asserted in star.h), so the
+  // whole span hashes as one contiguous byte run.
+  if (!stars.empty()) fnv.bytes(stars.data(), stars.size_bytes());
+  return fnv.digest();
+}
+
+}  // namespace starsim::serve

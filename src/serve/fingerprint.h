@@ -1,0 +1,31 @@
+// Scene/request fingerprints — the serving layer's identity function.
+//
+// Batching compatibility ("may these requests share one lookup table /
+// texture setup?") and cache identity ("is this frame already rendered?")
+// both reduce to hashing: two scenes batch together iff every model
+// parameter is bit-equal, and a request hits the cache iff scene, star
+// field and simulator all match. FNV-1a over the exact bit patterns keeps
+// this deterministic across runs and platforms with the same float layout —
+// no tolerance, no canonicalization: a simulator would render bit-different
+// frames for any difference these hashes see.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "starsim/scene.h"
+#include "starsim/simulator.h"
+#include "starsim/star.h"
+
+namespace starsim::serve {
+
+/// 64-bit FNV-1a over the scene's model parameters (field by field, so
+/// struct padding never leaks into the hash).
+[[nodiscard]] std::uint64_t fingerprint_scene(const SceneConfig& scene);
+
+/// Full request identity: scene, resolved star field, simulator kind.
+[[nodiscard]] std::uint64_t fingerprint_request(const SceneConfig& scene,
+                                                std::span<const Star> stars,
+                                                SimulatorKind simulator);
+
+}  // namespace starsim::serve

@@ -1,0 +1,67 @@
+#include "serve/frame_cache.h"
+
+#include <utility>
+
+namespace starsim::serve {
+
+std::optional<CachedFrame> FrameCache::lookup(std::uint64_t key) {
+  if (!enabled()) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_ += 1;
+    return std::nullopt;
+  }
+  hits_ += 1;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.frame;
+}
+
+void FrameCache::insert(std::uint64_t key, CachedFrame frame) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  insertions_ += 1;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.frame = std::move(frame);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    evictions_ += 1;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(frame), lru_.begin()});
+}
+
+bool FrameCache::invalidate(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  return true;
+}
+
+void FrameCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  entries_.clear();
+}
+
+FrameCache::Stats FrameCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.size = entries_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace starsim::serve

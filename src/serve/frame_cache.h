@@ -1,0 +1,82 @@
+// Thread-safe LRU cache of rendered frames keyed by request fingerprint.
+//
+// Large-scale simulation traffic repeats itself — star sensor test benches
+// replay attitude sequences, load generators cycle scene sets — and a
+// repeat render of a bit-identical request is pure waste. Frames are
+// megabytes, so hits hand out shared ownership of the stored result rather
+// than copies, and capacity is counted in frames (the natural budget unit:
+// one 1024^2 float frame is 4 MiB).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "serve/request.h"
+
+namespace starsim::serve {
+
+/// A completed render, shared between the cache and every response it backs.
+struct CachedFrame {
+  std::shared_ptr<const SimulationResult> result;
+  SimulatorKind simulator = SimulatorKind::kParallel;
+};
+
+class FrameCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+
+    [[nodiscard]] double hit_rate() const {
+      const std::uint64_t lookups = hits + misses;
+      return lookups > 0
+                 ? static_cast<double>(hits) / static_cast<double>(lookups)
+                 : 0.0;
+    }
+  };
+
+  /// Capacity in frames; 0 disables the cache (lookups always miss and are
+  /// not counted, insertions are dropped).
+  explicit FrameCache(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+
+  /// Hit promotes the entry to most-recently-used.
+  [[nodiscard]] std::optional<CachedFrame> lookup(std::uint64_t key);
+
+  /// Insert or refresh; evicts the least-recently-used entry when full.
+  void insert(std::uint64_t key, CachedFrame frame);
+
+  /// Drop one entry; true when it existed.
+  bool invalidate(std::uint64_t key);
+
+  /// Drop everything (counters survive; size goes to zero).
+  void clear();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    CachedFrame frame;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  mutable std::mutex mutex_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::size_t capacity_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace starsim::serve

@@ -1,0 +1,60 @@
+// The serving layer's wire types: what a client submits to a FrameService
+// and what it gets back.
+//
+// A RenderRequest names a scene, the stars to render (either an explicit
+// image-plane field or an attitude resolved against the service's shared
+// catalog), and an optional pinned simulator. The response carries the
+// rendered frame plus the per-request latency breakdown the paper's
+// evaluation vocabulary maps onto a server: queue wait and batch wait are
+// the serving layer's own costs, kernel and non-kernel time are the
+// simulator's modeled breakdown (non-kernel amortized by batching).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "starsim/attitude.h"
+#include "starsim/breakdown.h"
+#include "starsim/scene.h"
+#include "starsim/simulator.h"
+#include "starsim/star.h"
+
+namespace starsim::serve {
+
+struct RenderRequest {
+  SceneConfig scene;
+  /// Explicit image-plane star field. May be empty when `attitude` is set
+  /// and the service was configured with a catalog.
+  StarField stars;
+  /// Attitude-driven request: the service projects its catalog through its
+  /// camera model at admission (the per-image "catalog prep" the batch
+  /// amortization literature pays once).
+  std::optional<Quaternion> attitude;
+  /// Pinned simulator; nullopt asks the SimulatorSelector (Table III).
+  std::optional<SimulatorKind> simulator;
+};
+
+/// Where one request's response time went.
+struct LatencyBreakdown {
+  double queue_wait_s = 0.0;   ///< submit -> coalesced into a batch
+  double batch_wait_s = 0.0;   ///< batch formed -> worker starts rendering
+  double render_wall_s = 0.0;  ///< measured wall inside the simulator
+  double kernel_s = 0.0;       ///< modeled kernel time of this frame
+  double non_kernel_s = 0.0;   ///< modeled non-kernel overhead (amortized)
+  double total_s = 0.0;        ///< submit -> response ready
+};
+
+struct RenderResponse {
+  /// Shared, not copied: a cached frame may back many responses.
+  std::shared_ptr<const SimulationResult> result;
+  SimulatorKind simulator = SimulatorKind::kParallel;
+  LatencyBreakdown latency;
+  /// Request identity (scene + stars + simulator); the frame-cache key.
+  std::uint64_t fingerprint = 0;
+  /// Number of requests rendered together; 0 for cache hits.
+  std::size_t batch_size = 0;
+  bool from_cache = false;
+};
+
+}  // namespace starsim::serve

@@ -1,0 +1,133 @@
+// Bounded MPMC queue with close semantics — the serving layer's admission
+// control.
+//
+// Backpressure comes in two grades: try_push rejects immediately when the
+// queue is full (hard admission control, the caller sees the overload), and
+// push blocks until space frees (cooperative backpressure for clients that
+// would rather wait than shed). pop_run is the dynamic batcher's drain
+// step: it blocks for the first item, then greedily takes the longest
+// immediate run of compatible followers without waiting for more to arrive —
+// batch size adapts to instantaneous load instead of a timer.
+//
+// close() transitions the queue to drain mode: pushes fail, pops keep
+// returning queued items until the queue is empty, then report exhaustion.
+// Workers therefore finish every admitted request before shutting down.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "support/error.h"
+
+namespace starsim::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    STARSIM_REQUIRE(capacity > 0, "queue capacity must be positive");
+  }
+
+  /// Non-blocking admission: false when the queue is full or closed (the
+  /// item is consumed only on success).
+  [[nodiscard]] bool try_push(T& item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking admission: waits while full; false when the queue closes
+  /// before space frees.
+  [[nodiscard]] bool push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock, [this] {
+        return closed_ || items_.size() < capacity_;
+      });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking take: nullopt only when the queue is closed and drained.
+  [[nodiscard]] std::optional<T> pop() {
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Blocking take of a coalescable run: waits for the first item, then
+  /// greedily pops up to `max_run` total items while `compatible(first,
+  /// next)` holds for the immediate front. Empty result only when the queue
+  /// is closed and drained.
+  template <typename Compatible>
+  [[nodiscard]] std::vector<T> pop_run(std::size_t max_run,
+                                       Compatible&& compatible) {
+    STARSIM_REQUIRE(max_run > 0, "run length must be positive");
+    std::vector<T> run;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return run;
+      run.push_back(std::move(items_.front()));
+      items_.pop_front();
+      while (run.size() < max_run && !items_.empty() &&
+             compatible(run.front(), items_.front())) {
+        run.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    not_full_.notify_all();
+    return run;
+  }
+
+  /// Stop admitting; wake every waiter. Queued items stay poppable.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace starsim::serve

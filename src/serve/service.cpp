@@ -1,0 +1,274 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "serve/fingerprint.h"
+#include "support/error.h"
+
+namespace starsim::serve {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+double ServiceStats::mean_batch_size() const {
+  std::uint64_t total_batches = 0;
+  std::uint64_t total_requests = 0;
+  for (std::size_t size = 0; size < batch_size_histogram.size(); ++size) {
+    total_batches += batch_size_histogram[size];
+    total_requests += batch_size_histogram[size] * size;
+  }
+  return total_batches > 0 ? static_cast<double>(total_requests) /
+                                 static_cast<double>(total_batches)
+                           : 0.0;
+}
+
+FrameService::FrameService(FrameServiceOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      cache_(options_.cache_capacity),
+      batcher_(options_.max_batch_size) {
+  STARSIM_REQUIRE(options_.workers >= 0, "worker count must be non-negative");
+  pool_ = std::make_unique<WorkerPool>(
+      options_.workers, options_.worker,
+      [this] { return batcher_.next_batch(queue_); },
+      [this](Batch&& batch, Worker& worker) {
+        execute_batch(std::move(batch), worker);
+      });
+}
+
+FrameService::~FrameService() { stop(); }
+
+QueuedRequest FrameService::admit(RenderRequest&& request) {
+  request.scene.validate();
+  if (request.stars.empty() && request.attitude.has_value()) {
+    STARSIM_REQUIRE(options_.catalog.has_value(),
+                    "attitude-driven request needs a service catalog");
+    request.stars = project_to_image(options_.catalog->stars(),
+                                     *request.attitude, options_.camera);
+  }
+  SimulatorKind kind = SimulatorKind::kSequential;
+  if (request.simulator.has_value()) {
+    kind = *request.simulator;
+  } else if (!request.stars.empty()) {
+    // The selector's analytic predictions require at least one star; an
+    // empty field renders a blank frame identically fast everywhere.
+    kind = options_.selector.choose(request.scene, request.stars.size());
+  }
+  if (kind == SimulatorKind::kMultiGpu) {
+    STARSIM_THROW(support::PreconditionError,
+                  "multi-gpu simulation owns its own devices and cannot be "
+                  "served by single-device workers");
+  }
+  QueuedRequest queued;
+  queued.simulator = kind;
+  queued.scene_key = fingerprint_scene(request.scene);
+  queued.key = fingerprint_request(request.scene, request.stars, kind);
+  queued.request = std::move(request);
+  queued.submitted = std::chrono::steady_clock::now();
+  return queued;
+}
+
+std::optional<std::future<RenderResponse>> FrameService::serve_from_cache(
+    QueuedRequest& queued) {
+  if (!cache_.enabled()) return std::nullopt;
+  std::optional<CachedFrame> hit = cache_.lookup(queued.key);
+  if (!hit.has_value()) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    cache_misses_ += 1;
+    return std::nullopt;
+  }
+  RenderResponse response;
+  response.result = std::move(hit->result);
+  response.simulator = hit->simulator;
+  response.fingerprint = queued.key;
+  response.from_cache = true;
+  response.batch_size = 0;
+  response.latency.total_s = seconds_between(
+      queued.submitted, std::chrono::steady_clock::now());
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    submitted_ += 1;
+    cache_hits_ += 1;
+    completed_ += 1;
+    latency_samples_.push_back(response.latency.total_s);
+  }
+  queued.promise.set_value(std::move(response));
+  return queued.promise.get_future();
+}
+
+std::future<RenderResponse> FrameService::submit(RenderRequest request) {
+  QueuedRequest queued = admit(std::move(request));
+  if (auto hit = serve_from_cache(queued)) return std::move(*hit);
+  std::future<RenderResponse> future = queued.promise.get_future();
+  if (!queue_.push(std::move(queued))) {
+    STARSIM_THROW(support::Error, "FrameService is stopped");
+  }
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  submitted_ += 1;
+  return future;
+}
+
+std::optional<std::future<RenderResponse>> FrameService::try_submit(
+    RenderRequest request) {
+  QueuedRequest queued = admit(std::move(request));
+  if (auto hit = serve_from_cache(queued)) return std::move(*hit);
+  std::future<RenderResponse> future = queued.promise.get_future();
+  if (!queue_.try_push(queued)) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    rejected_ += 1;
+    return std::nullopt;
+  }
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  submitted_ += 1;
+  return future;
+}
+
+RenderResponse FrameService::render(RenderRequest request) {
+  return submit(std::move(request)).get();
+}
+
+void FrameService::execute_batch(Batch&& batch, Worker& worker) {
+  const auto exec_start = std::chrono::steady_clock::now();
+  const std::size_t count = batch.size();
+  std::vector<StarField> fields;
+  fields.reserve(count);
+  for (QueuedRequest& queued : batch.requests) {
+    fields.push_back(std::move(queued.request.stars));
+  }
+
+  std::vector<SimulationResult> results;
+  try {
+    results = worker.render(batch.scene(), batch.simulator, fields);
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    // Account before delivering: a client that wakes on its future must
+    // already see itself in the stats.
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      failed_ += count;
+    }
+    for (QueuedRequest& queued : batch.requests) {
+      queued.promise.set_exception(error);
+    }
+    return;
+  }
+
+  const auto finish = std::chrono::steady_clock::now();
+  std::vector<RenderResponse> responses;
+  responses.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const QueuedRequest& queued = batch.requests[i];
+    RenderResponse response;
+    response.simulator = batch.simulator;
+    response.fingerprint = queued.key;
+    response.batch_size = count;
+    response.latency.queue_wait_s =
+        seconds_between(queued.submitted, batch.formed);
+    response.latency.batch_wait_s = seconds_between(batch.formed, exec_start);
+    response.latency.render_wall_s = results[i].timing.wall_s;
+    response.latency.kernel_s = results[i].timing.kernel_s;
+    response.latency.non_kernel_s = results[i].timing.non_kernel_s();
+    response.latency.total_s = seconds_between(queued.submitted, finish);
+    response.result =
+        std::make_shared<const SimulationResult>(std::move(results[i]));
+    responses.push_back(std::move(response));
+  }
+
+  // Account before delivering (same reason as the failure path).
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    completed_ += count;
+    batches_ += 1;
+    if (batch_size_histogram_.size() <= count) {
+      batch_size_histogram_.resize(count + 1, 0);
+    }
+    batch_size_histogram_[count] += 1;
+    for (const RenderResponse& response : responses) {
+      latency_samples_.push_back(response.latency.total_s);
+    }
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    cache_.insert(batch.requests[i].key,
+                  CachedFrame{responses[i].result, batch.simulator});
+    batch.requests[i].promise.set_value(std::move(responses[i]));
+  }
+}
+
+void FrameService::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Close admission; workers drain every already-admitted request (pop_run
+  // keeps returning queued items after close), then exit on empty.
+  queue_.close();
+  pool_->join();
+  // With zero workers nothing drained the queue — fail those futures rather
+  // than leaving clients blocked forever.
+  std::vector<QueuedRequest> orphaned;
+  while (std::optional<QueuedRequest> leftover = queue_.pop()) {
+    orphaned.push_back(std::move(*leftover));
+  }
+  if (!orphaned.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      failed_ += orphaned.size();
+    }
+    for (QueuedRequest& queued : orphaned) {
+      queued.promise.set_exception(
+          std::make_exception_ptr(support::Error(
+              "FrameService stopped before the request was executed")));
+    }
+  }
+}
+
+bool FrameService::stopped() const {
+  const std::lock_guard<std::mutex> lock(stop_mutex_);
+  return stopped_;
+}
+
+void FrameService::invalidate_cache() { cache_.clear(); }
+
+bool FrameService::invalidate_cached_frame(std::uint64_t fingerprint) {
+  return cache_.invalidate(fingerprint);
+}
+
+ServiceStats FrameService::stats() const {
+  ServiceStats s;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    s.submitted = submitted_;
+    s.rejected = rejected_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.cache_hits = cache_hits_;
+    s.cache_misses = cache_misses_;
+    s.batches = batches_;
+    s.batch_size_histogram = batch_size_histogram_;
+    s.latency = support::tail_quantiles(latency_samples_);
+    double sum = 0.0;
+    for (const double sample : latency_samples_) sum += sample;
+    s.mean_latency_s = latency_samples_.empty()
+                           ? 0.0
+                           : sum / static_cast<double>(latency_samples_.size());
+  }
+  s.elapsed_s = lifetime_.seconds();
+  s.throughput_rps = s.elapsed_s > 0.0
+                         ? static_cast<double>(s.completed) / s.elapsed_s
+                         : 0.0;
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace starsim::serve

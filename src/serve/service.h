@@ -1,0 +1,156 @@
+// FrameService — the in-process frame-serving front end.
+//
+// Clients submit RenderRequests and get futures; inside, the service runs
+// the pipeline the large-scale simulation literature (UFig; Bai et al.)
+// says heavy render traffic needs:
+//
+//   submit -> admission control (bounded queue: try_submit rejects when
+//   full, submit blocks) -> dynamic batching (compatible requests coalesce,
+//   per-scene setup paid once per batch) -> worker pool (per-worker
+//   devices, optional resilience) -> LRU frame cache (bit-identical repeat
+//   requests are served without rendering).
+//
+// Frames served through the service are bit-identical to direct
+// Simulator::simulate calls with the same scene and stars — batching,
+// caching and concurrency change *when* a frame is computed, never *what*.
+// Aggregate stats (throughput, p50/p95/p99 latency, batch-size histogram,
+// cache hit rate) come from stats(). See docs/serving.md.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/frame_cache.h"
+#include "serve/request.h"
+#include "serve/request_queue.h"
+#include "serve/worker_pool.h"
+#include "starsim/catalog.h"
+#include "starsim/projection.h"
+#include "starsim/selector.h"
+#include "support/stats.h"
+#include "support/timer.h"
+
+namespace starsim::serve {
+
+struct FrameServiceOptions {
+  /// Render threads, each with a private device. 0 builds a service that
+  /// admits but never executes (tests of admission/shutdown paths).
+  int workers = 2;
+  /// Admission bound: requests queued beyond this are rejected (try_submit)
+  /// or block the submitter (submit).
+  std::size_t queue_capacity = 64;
+  /// Dynamic batching cap; 1 disables coalescing.
+  std::size_t max_batch_size = 8;
+  /// Rendered-frame LRU capacity in frames; 0 disables caching.
+  std::size_t cache_capacity = 32;
+  WorkerOptions worker{};
+  /// Consulted for requests with no pinned simulator (Table III advisor).
+  SimulatorSelector selector{};
+  /// Shared catalog + camera for attitude-driven requests; prepared once,
+  /// reused by every projection (the amortized "catalog prep").
+  std::optional<Catalog> catalog;
+  CameraModel camera{};
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;   ///< admitted requests (incl. cache hits)
+  std::uint64_t rejected = 0;    ///< bounced by admission control
+  std::uint64_t completed = 0;   ///< futures resolved with a frame
+  std::uint64_t failed = 0;      ///< futures resolved with an exception
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t batches = 0;
+  /// batch_size_histogram[s] = batches of size s ([0] unused).
+  std::vector<std::uint64_t> batch_size_histogram;
+  /// Quantiles/mean of per-request total latency (submit -> response).
+  support::TailQuantiles latency;
+  double mean_latency_s = 0.0;
+  double elapsed_s = 0.0;        ///< service lifetime so far
+  double throughput_rps = 0.0;   ///< completed / elapsed
+  FrameCache::Stats cache;
+
+  [[nodiscard]] double cache_hit_rate() const { return cache.hit_rate(); }
+  [[nodiscard]] double mean_batch_size() const;
+};
+
+class FrameService {
+ public:
+  explicit FrameService(FrameServiceOptions options = {});
+  ~FrameService();
+
+  FrameService(const FrameService&) = delete;
+  FrameService& operator=(const FrameService&) = delete;
+
+  /// Blocking admission: waits for queue space under overload. Throws
+  /// support::Error when the service is stopped. Invalid requests (bad
+  /// scene, unsupported simulator, attitude without a catalog) throw
+  /// synchronously — they never consume queue space.
+  [[nodiscard]] std::future<RenderResponse> submit(RenderRequest request);
+
+  /// Non-blocking admission: nullopt (and a `rejected` tick) when the
+  /// queue is full or the service is stopped.
+  [[nodiscard]] std::optional<std::future<RenderResponse>> try_submit(
+      RenderRequest request);
+
+  /// submit + wait: the synchronous convenience path.
+  [[nodiscard]] RenderResponse render(RenderRequest request);
+
+  /// Stop admission, drain every queued request through the workers, join
+  /// them. Requests that no worker will ever run (workers == 0) fail their
+  /// futures. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] bool stopped() const;
+
+  /// Drop all cached frames (counters survive).
+  void invalidate_cache();
+  /// Drop one cached frame by request fingerprint; true when it existed.
+  bool invalidate_cached_frame(std::uint64_t fingerprint);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const FrameServiceOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  /// Validate + resolve a request into its queued form (stars projected,
+  /// simulator resolved, fingerprints computed). Throws on invalid input.
+  QueuedRequest admit(RenderRequest&& request);
+
+  /// Serve from cache if possible; on hit returns the ready future.
+  std::optional<std::future<RenderResponse>> serve_from_cache(
+      QueuedRequest& queued);
+
+  void execute_batch(Batch&& batch, Worker& worker);
+
+  void record_completion(double total_latency_s);
+
+  FrameServiceOptions options_;
+  support::WallTimer lifetime_;
+  BoundedQueue<QueuedRequest> queue_;
+  FrameCache cache_;
+  Batcher batcher_;
+
+  mutable std::mutex stats_mutex_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t batches_ = 0;
+  std::vector<std::uint64_t> batch_size_histogram_;
+  std::vector<double> latency_samples_;
+
+  mutable std::mutex stop_mutex_;
+  bool stopped_ = false;
+
+  // Last member: its threads touch everything above, so it must die first.
+  std::unique_ptr<WorkerPool> pool_;
+};
+
+}  // namespace starsim::serve

@@ -1,0 +1,115 @@
+#include "serve/worker_pool.h"
+
+#include <utility>
+
+#include "starsim/adaptive_simulator.h"
+#include "starsim/openmp_simulator.h"
+#include "starsim/parallel_simulator.h"
+#include "starsim/pixel_centric_simulator.h"
+#include "starsim/sequential_simulator.h"
+#include "support/error.h"
+
+namespace starsim::serve {
+
+namespace {
+
+std::unique_ptr<Simulator> make_simulator(gpusim::Device& device,
+                                          const WorkerOptions& options,
+                                          SimulatorKind kind) {
+  switch (kind) {
+    case SimulatorKind::kSequential:
+      return std::make_unique<SequentialSimulator>();
+    case SimulatorKind::kCpuParallel:
+      return std::make_unique<OpenMpSimulator>();
+    case SimulatorKind::kParallel:
+      return std::make_unique<ParallelSimulator>(device);
+    case SimulatorKind::kAdaptive:
+      return std::make_unique<AdaptiveSimulator>(device, options.lut);
+    case SimulatorKind::kPixelCentric:
+      return std::make_unique<PixelCentricSimulator>(device);
+    case SimulatorKind::kMultiGpu:
+      break;
+  }
+  STARSIM_THROW(support::PreconditionError,
+                "simulator kind '" + std::string(to_string(kind)) +
+                    "' cannot run on a single-device serving worker");
+}
+
+}  // namespace
+
+Worker::Worker(int index, const WorkerOptions& options)
+    : index_(index),
+      options_(options),
+      device_(std::make_unique<gpusim::Device>(options.device)) {}
+
+Simulator& Worker::simulator(SimulatorKind kind) {
+  auto& slot = simulators_.at(static_cast<std::size_t>(kind));
+  if (slot == nullptr) {
+    if (options_.resilient) {
+      // The requested kind stays the chain head so fault-free resilient
+      // renders are bit-identical to non-resilient ones (the invariant the
+      // resilience layer documents); CPU rungs complete every frame.
+      std::vector<std::unique_ptr<Simulator>> chain;
+      chain.push_back(make_simulator(*device_, options_, kind));
+      if (kind != SimulatorKind::kCpuParallel) {
+        chain.push_back(
+            make_simulator(*device_, options_, SimulatorKind::kCpuParallel));
+      }
+      if (kind != SimulatorKind::kSequential) {
+        chain.push_back(
+            make_simulator(*device_, options_, SimulatorKind::kSequential));
+      }
+      slot = std::make_unique<ResilientExecutor>(std::move(chain),
+                                                 options_.retry);
+    } else {
+      slot = make_simulator(*device_, options_, kind);
+    }
+  }
+  return *slot;
+}
+
+std::vector<SimulationResult> Worker::render(
+    const SceneConfig& scene, SimulatorKind kind,
+    std::span<const StarField> fields) {
+  return simulator(kind).simulate_batch(scene, fields);
+}
+
+WorkerPool::WorkerPool(int workers, const WorkerOptions& options,
+                       BatchSource source, BatchSink sink)
+    : source_(std::move(source)), sink_(std::move(sink)) {
+  STARSIM_REQUIRE(workers >= 0, "worker count must be non-negative");
+  STARSIM_REQUIRE(source_ != nullptr && sink_ != nullptr,
+                  "worker pool needs a batch source and sink");
+  workers_.reserve(static_cast<std::size_t>(workers));
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(i, options));
+  }
+  // Spawn only after every Worker exists: a throwing Worker constructor
+  // must not leave earlier threads running against a half-built pool.
+  for (auto& worker : workers_) {
+    threads_.emplace_back([this, w = worker.get()] { run(*w); });
+  }
+}
+
+WorkerPool::~WorkerPool() { join(); }
+
+void WorkerPool::join() {
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void WorkerPool::run(Worker& worker) {
+  while (std::optional<Batch> batch = source_()) {
+    try {
+      sink_(std::move(*batch), worker);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+      // The sink owns promise delivery; whatever escaped has already been
+      // reported through the batch's futures or is unreportable. A worker
+      // thread must outlive any single bad batch.
+    }
+  }
+}
+
+}  // namespace starsim::serve

@@ -1,0 +1,102 @@
+// Worker pool: N render threads, each owning a private simulated device.
+//
+// Determinism is the design constraint: frames served concurrently must be
+// bit-identical to frames rendered alone (the test suite checks this).
+// gpusim Devices are stateful (transfer stats, texture slots, caches), so
+// workers never share one — each worker constructs its own Device from the
+// configured spec and lazily instantiates one simulator per kind on it,
+// exactly the per-device sharding MultiGpuSimulator uses for capacity and
+// ResilientExecutor wraps for fault handling.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "serve/batcher.h"
+#include "starsim/lookup_table.h"
+#include "starsim/resilient_executor.h"
+#include "starsim/simulator.h"
+
+namespace starsim::serve {
+
+struct WorkerOptions {
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::gtx480();
+  /// Lookup-table geometry for adaptive simulators on this worker. Finer
+  /// tables cost more per build — exactly the setup dynamic batching
+  /// amortizes — and buy per-frame accuracy.
+  LookupTableOptions lut{};
+  /// Wrap every simulator in a ResilientExecutor degradation chain
+  /// (requested kind -> cpu-parallel -> sequential) so a faulted frame
+  /// retries or degrades instead of failing its future. Note: the executor
+  /// retries frame by frame, so resilient batches forgo the adaptive
+  /// simulator's batched setup amortization.
+  bool resilient = false;
+  RetryPolicy retry{};
+};
+
+/// One worker's render context. Not thread-safe — owned by one pool thread
+/// (or used single-threaded in tests).
+class Worker {
+ public:
+  Worker(int index, const WorkerOptions& options);
+
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] gpusim::Device& device() { return *device_; }
+
+  /// The simulator serving `kind` on this worker's device, constructed on
+  /// first use. Throws PreconditionError for kinds a single-device worker
+  /// cannot host (multi-GPU).
+  [[nodiscard]] Simulator& simulator(SimulatorKind kind);
+
+  /// Render a batch through the kind's batch entry point.
+  [[nodiscard]] std::vector<SimulationResult> render(
+      const SceneConfig& scene, SimulatorKind kind,
+      std::span<const StarField> fields);
+
+ private:
+  int index_;
+  WorkerOptions options_;
+  std::unique_ptr<gpusim::Device> device_;
+  std::array<std::unique_ptr<Simulator>, 6> simulators_;  // indexed by kind
+};
+
+class WorkerPool {
+ public:
+  /// Blocking batch supplier; nullopt tells the worker to exit (queue
+  /// closed and drained).
+  using BatchSource = std::function<std::optional<Batch>()>;
+  /// Batch executor; must deliver every request's promise (value or
+  /// exception) — an exception escaping the sink is swallowed so one bad
+  /// batch cannot kill a worker thread.
+  using BatchSink = std::function<void(Batch&&, Worker&)>;
+
+  /// Spawns `workers` threads immediately.
+  WorkerPool(int workers, const WorkerOptions& options, BatchSource source,
+             BatchSink sink);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Wait for every worker to exit (source must be returning nullopt or
+  /// this blocks). Idempotent.
+  void join();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void run(Worker& worker);
+
+  BatchSource source_;
+  BatchSink sink_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace starsim::serve

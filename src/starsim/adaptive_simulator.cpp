@@ -101,6 +101,140 @@ ThreadProgram adaptive_kernel(ThreadCtx& ctx, KernelParams p) {
   ctx.atomic_add(p.image, index, value * weight);
 }
 
+void validate_scene(const gpusim::Device& device, const SceneConfig& scene) {
+  scene.validate();
+  const long threads_per_block =
+      static_cast<long>(scene.roi_side) * scene.roi_side;
+  if (threads_per_block >
+      static_cast<long>(device.spec().max_threads_per_block)) {
+    throw support::DeviceError(
+        "ROI side " + std::to_string(scene.roi_side) +
+        " exceeds the device block limit");
+  }
+}
+
+/// The per-scene setup both entry points share, built on the CPU
+/// (Section IV-D) and shipped once: lookup-table build, device upload and
+/// texture bind, with its modeled costs snapshotted so callers can charge
+/// them to one frame or amortize them over a batch. RAII: the device
+/// buffer and texture slot are released on destruction (fault-injected
+/// frees cannot throw out of the unwind path).
+class SharedTable {
+ public:
+  SharedTable(gpusim::Device& device, const SceneConfig& scene,
+              const LookupTableOptions& options)
+      : device_(device),
+        table_(LookupTable::build(scene, options)),
+        inv_bin_width_(options.bins_per_magnitude) {
+    if (AdaptiveSimulator::max_magnitude_bins(device_, scene.roi_side,
+                                              options.subpixel_phases) <
+        table_.magnitude_bins()) {
+      throw support::DeviceError(
+          "lookup table does not fit the device's texture limits: " +
+          std::to_string(table_.magnitude_bins()) + " bins requested");
+    }
+    device_.reset_transfer_stats();
+    buffer_ = device_.malloc<float>(table_.entries());
+    try {
+      device_.memcpy_h2d(buffer_, table_.values());
+      texture_ = device_.bind_texture_2d(buffer_, table_.width(),
+                                         table_.height(),
+                                         gpusim::AddressMode::kClamp);
+    } catch (...) {
+      release();
+      throw;
+    }
+    upload_s_ = device_.transfer_stats().h2d_s;
+    bind_s_ = device_.transfer_stats().texture_bind_s;
+    build_s_ = gpusim::HostSpec::i7_860().lut_build_time_s(
+        static_cast<double>(table_.entries()));
+  }
+
+  SharedTable(const SharedTable&) = delete;
+  SharedTable& operator=(const SharedTable&) = delete;
+
+  ~SharedTable() { release(); }
+
+  [[nodiscard]] const LookupTable& table() const { return table_; }
+  [[nodiscard]] TextureHandle texture() const { return texture_; }
+  [[nodiscard]] double inv_bin_width() const { return inv_bin_width_; }
+
+  /// Charge this table's modeled setup cost to `timing`, split over `share`
+  /// frames (1 = the classic per-call accounting).
+  void amortize_into(TimingBreakdown& timing, std::size_t share) const {
+    const auto n = static_cast<double>(share);
+    timing.h2d_s += upload_s_ / n;
+    timing.texture_bind_s += bind_s_ / n;
+    timing.lut_build_s += build_s_ / n;
+  }
+
+ private:
+  void release() noexcept {
+    try {
+      if (texture_.valid()) device_.unbind_texture(texture_);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    try {
+      if (!buffer_.is_null()) device_.free(buffer_);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+
+  gpusim::Device& device_;
+  LookupTable table_;
+  double inv_bin_width_ = 1.0;
+  DevicePtr<float> buffer_;
+  TextureHandle texture_;
+  double upload_s_ = 0.0;
+  double bind_s_ = 0.0;
+  double build_s_ = 0.0;
+};
+
+/// Render one field against an already-bound table. Fills every timing
+/// component the frame itself causes (kernel, star/image transfers); the
+/// caller adds the table's amortized setup share.
+SimulationResult render_frame(gpusim::Device& device, const SceneConfig& scene,
+                              std::span<const Star> stars,
+                              const SharedTable& shared) {
+  SimulationResult result;
+  result.image = imageio::ImageF(scene.image_width, scene.image_height);
+  if (stars.empty()) return result;
+
+  device.reset_transfer_stats();
+  DeviceFrame frame(device, scene, stars);
+
+  KernelParams params;
+  params.stars = frame.stars();
+  params.image = frame.image();
+  params.lut = shared.texture();
+  params.star_count = static_cast<std::uint32_t>(stars.size());
+  params.image_width = scene.image_width;
+  params.image_height = scene.image_height;
+  params.margin = Roi(scene.roi_side).margin();
+  params.roi_side = scene.roi_side;
+  params.magnitude_min = scene.magnitude_min;
+  params.inv_bin_width = shared.inv_bin_width();
+  params.magnitude_bins = shared.table().magnitude_bins();
+  params.phases = shared.table().phases();
+
+  const gpusim::LaunchConfig config =
+      star_centric_config(stars.size(), scene.roi_side);
+  const gpusim::LaunchResult launch = device.launch(
+      config,
+      [&params](ThreadCtx& ctx) { return adaptive_kernel(ctx, params); });
+
+  frame.readback(result.image);
+
+  const gpusim::TransferStats& transfers = device.transfer_stats();
+  result.timing.kernel_s = launch.timing.kernel_s;
+  result.timing.h2d_s = transfers.h2d_s;
+  result.timing.d2h_s = transfers.d2h_s;
+  result.timing.counters = launch.counters;
+  result.timing.utilization = launch.timing.utilization;
+  result.timing.achieved_gflops = launch.timing.achieved_gflops;
+  return result;
+}
+
 }  // namespace
 
 AdaptiveSimulator::AdaptiveSimulator(gpusim::Device& device,
@@ -128,96 +262,62 @@ int AdaptiveSimulator::max_magnitude_bins(const gpusim::Device& device,
 
 SimulationResult AdaptiveSimulator::simulate(const SceneConfig& scene,
                                              std::span<const Star> stars) {
-  scene.validate();
-  const long threads_per_block =
-      static_cast<long>(scene.roi_side) * scene.roi_side;
-  if (threads_per_block >
-      static_cast<long>(device_.spec().max_threads_per_block)) {
-    throw support::DeviceError(
-        "ROI side " + std::to_string(scene.roi_side) +
-        " exceeds the device block limit");
-  }
+  validate_scene(device_, scene);
 
   const support::WallTimer wall;
-  SimulationResult result;
-  result.image = imageio::ImageF(scene.image_width, scene.image_height);
   if (stars.empty()) {
+    SimulationResult result;
+    result.image = imageio::ImageF(scene.image_width, scene.image_height);
     result.timing.wall_s = wall.seconds();
     return result;
   }
 
-  device_.reset_transfer_stats();
-
-  // Build the lookup table on the CPU (Section IV-D) and ship it.
-  const LookupTable table = LookupTable::build(scene, options_);
-  if (AdaptiveSimulator::max_magnitude_bins(device_, scene.roi_side,
-                                            options_.subpixel_phases) <
-      table.magnitude_bins()) {
-    throw support::DeviceError(
-        "lookup table does not fit the device's texture limits: " +
-        std::to_string(table.magnitude_bins()) + " bins requested");
-  }
-
-  DeviceFrame frame(device_, scene, stars);
-  auto lut_device = device_.malloc<float>(table.entries());
-  TextureHandle lut_texture;
-  // Table upload, bind, launch and readback can all fault under injection;
-  // release the table allocation and texture slot on any throw so a
-  // retrying caller starts from a clean device (frame is already RAII).
-  gpusim::LaunchResult launch;
-  try {
-    device_.memcpy_h2d(lut_device, table.values());
-    lut_texture = device_.bind_texture_2d(lut_device, table.width(),
-                                          table.height(),
-                                          gpusim::AddressMode::kClamp);
-
-    KernelParams params;
-    params.stars = frame.stars();
-    params.image = frame.image();
-    params.lut = lut_texture;
-    params.star_count = static_cast<std::uint32_t>(stars.size());
-    params.image_width = scene.image_width;
-    params.image_height = scene.image_height;
-    params.margin = Roi(scene.roi_side).margin();
-    params.roi_side = scene.roi_side;
-    params.magnitude_min = scene.magnitude_min;
-    params.inv_bin_width = options_.bins_per_magnitude;
-    params.magnitude_bins = table.magnitude_bins();
-    params.phases = table.phases();
-
-    const gpusim::LaunchConfig config =
-        star_centric_config(stars.size(), scene.roi_side);
-    launch = device_.launch(
-        config,
-        [&params](ThreadCtx& ctx) { return adaptive_kernel(ctx, params); });
-
-    frame.readback(result.image);
-  } catch (...) {
-    try {
-      if (lut_texture.valid()) device_.unbind_texture(lut_texture);
-    } catch (...) {  // NOLINT(bugprone-empty-catch)
-    }
-    try {
-      device_.free(lut_device);
-    } catch (...) {  // NOLINT(bugprone-empty-catch)
-    }
-    throw;
-  }
-  device_.unbind_texture(lut_texture);
-  device_.free(lut_device);
-
-  const gpusim::TransferStats& transfers = device_.transfer_stats();
-  result.timing.kernel_s = launch.timing.kernel_s;
-  result.timing.h2d_s = transfers.h2d_s;
-  result.timing.d2h_s = transfers.d2h_s;
-  result.timing.lut_build_s = gpusim::HostSpec::i7_860().lut_build_time_s(
-      static_cast<double>(table.entries()));
-  result.timing.texture_bind_s = transfers.texture_bind_s;
-  result.timing.counters = launch.counters;
-  result.timing.utilization = launch.timing.utilization;
-  result.timing.achieved_gflops = launch.timing.achieved_gflops;
+  const SharedTable shared(device_, scene, options_);
+  SimulationResult result = render_frame(device_, scene, stars, shared);
+  shared.amortize_into(result.timing, 1);
   result.timing.wall_s = wall.seconds();
   return result;
+}
+
+std::vector<SimulationResult> AdaptiveSimulator::simulate_batch(
+    const SceneConfig& scene, std::span<const StarField> fields) {
+  validate_scene(device_, scene);
+
+  std::vector<SimulationResult> results;
+  results.reserve(fields.size());
+  if (fields.empty()) return results;
+
+  const std::size_t non_empty = static_cast<std::size_t>(std::count_if(
+      fields.begin(), fields.end(),
+      [](const StarField& f) { return !f.empty(); }));
+  if (non_empty == 0) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      const support::WallTimer wall;
+      SimulationResult result;
+      result.image = imageio::ImageF(scene.image_width, scene.image_height);
+      result.timing.wall_s = wall.seconds();
+      results.push_back(std::move(result));
+    }
+    return results;
+  }
+
+  const support::WallTimer setup_wall;
+  const SharedTable shared(device_, scene, options_);
+  const double setup_wall_s = setup_wall.seconds();
+
+  for (const StarField& field : fields) {
+    const support::WallTimer wall;
+    SimulationResult result = render_frame(device_, scene, field, shared);
+    if (!field.empty()) {
+      shared.amortize_into(result.timing, non_empty);
+      result.timing.wall_s =
+          wall.seconds() + setup_wall_s / static_cast<double>(non_empty);
+    } else {
+      result.timing.wall_s = wall.seconds();
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 }  // namespace starsim

@@ -254,4 +254,14 @@ SimulatorKind SimulatorSelector::choose(const SceneConfig& scene,
   return predict(scene, star_count).best;
 }
 
+SimulatorKind SimulatorSelector::choose(
+    const SceneConfig& scene, std::size_t star_count,
+    std::optional<SimulatorKind> preference) const {
+  if (preference.has_value()) {
+    scene.validate();
+    return *preference;
+  }
+  return choose(scene, star_count);
+}
+
 }  // namespace starsim

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "gpusim/counters.h"
 #include "gpusim/device_spec.h"
@@ -62,6 +63,15 @@ class SimulatorSelector {
   /// The recommended simulator for this workload.
   [[nodiscard]] SimulatorKind choose(const SceneConfig& scene,
                                      std::size_t star_count) const;
+
+  /// choose() with an explicit per-request override: when `preference` is
+  /// set, the cost model is not consulted and the preference is returned
+  /// verbatim (a serving client that pins a simulator must get that
+  /// simulator, not the advisor's opinion). When unset, falls through to
+  /// the analytic three-way prediction.
+  [[nodiscard]] SimulatorKind choose(
+      const SceneConfig& scene, std::size_t star_count,
+      std::optional<SimulatorKind> preference) const;
 
   [[nodiscard]] const gpusim::DeviceSpec& device() const { return device_; }
   [[nodiscard]] const gpusim::HostSpec& host() const { return host_; }

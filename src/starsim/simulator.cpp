@@ -14,4 +14,25 @@ std::string_view to_string(SimulatorKind kind) {
   return "unknown";
 }
 
+std::optional<SimulatorKind> simulator_kind_from_string(
+    std::string_view name) {
+  if (name == "sequential") return SimulatorKind::kSequential;
+  if (name == "parallel") return SimulatorKind::kParallel;
+  if (name == "adaptive") return SimulatorKind::kAdaptive;
+  if (name == "pixel-centric") return SimulatorKind::kPixelCentric;
+  if (name == "multi-gpu") return SimulatorKind::kMultiGpu;
+  if (name == "cpu-parallel" || name == "cpu") return SimulatorKind::kCpuParallel;
+  return std::nullopt;
+}
+
+std::vector<SimulationResult> Simulator::simulate_batch(
+    const SceneConfig& scene, std::span<const StarField> fields) {
+  std::vector<SimulationResult> results;
+  results.reserve(fields.size());
+  for (const StarField& field : fields) {
+    results.push_back(simulate(scene, field));
+  }
+  return results;
+}
+
 }  // namespace starsim

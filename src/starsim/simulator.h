@@ -4,9 +4,11 @@
 // (pixel-centric ablation, multi-GPU extension).
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "starsim/breakdown.h"
 #include "starsim/scene.h"
@@ -25,6 +27,11 @@ enum class SimulatorKind {
 
 [[nodiscard]] std::string_view to_string(SimulatorKind kind);
 
+/// Inverse of to_string (also accepts the CLI aliases "cpu" and "auto"-less
+/// spellings); nullopt for unknown names.
+[[nodiscard]] std::optional<SimulatorKind> simulator_kind_from_string(
+    std::string_view name);
+
 class Simulator {
  public:
   virtual ~Simulator() = default;
@@ -38,6 +45,16 @@ class Simulator {
   /// quantization).
   [[nodiscard]] virtual SimulationResult simulate(
       const SceneConfig& scene, std::span<const Star> stars) = 0;
+
+  /// Render a batch of star fields against one shared scene. Images are
+  /// bit-identical to per-field simulate() calls; the default renders each
+  /// field independently. Implementations with per-scene setup (the
+  /// adaptive simulator's lookup-table build / upload / texture bind)
+  /// override this to pay that setup once and amortize its cost evenly
+  /// across the batch's timing breakdowns — the serving layer's dynamic
+  /// batching win.
+  [[nodiscard]] virtual std::vector<SimulationResult> simulate_batch(
+      const SceneConfig& scene, std::span<const StarField> fields);
 };
 
 }  // namespace starsim

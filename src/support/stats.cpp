@@ -31,6 +31,41 @@ double median(std::span<const double> values) {
   return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
 }
 
+namespace {
+
+/// Type-7 quantile of an already sorted sample.
+double sorted_quantile(std::span<const double> sorted, double q) {
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double rank = q * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= n) return sorted[n - 1];
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+}  // namespace
+
+double quantile(std::span<const double> values, double q) {
+  STARSIM_REQUIRE(q >= 0.0 && q <= 1.0, "quantile requires q in [0, 1]");
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_quantile(sorted, q);
+}
+
+TailQuantiles tail_quantiles(std::span<const double> values) {
+  TailQuantiles t;
+  t.count = values.size();
+  if (values.empty()) return t;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  t.p50 = sorted_quantile(sorted, 0.50);
+  t.p95 = sorted_quantile(sorted, 0.95);
+  t.p99 = sorted_quantile(sorted, 0.99);
+  return t;
+}
+
 Summary summarize(std::span<const double> values) {
   Summary s;
   s.count = values.size();

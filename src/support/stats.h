@@ -32,6 +32,22 @@ double stddev(std::span<const double> values);
 /// Median (average of central pair for even sizes); 0 for empty input.
 double median(std::span<const double> values);
 
+/// Quantile `q` in [0, 1] with linear interpolation between order statistics
+/// (the common "type 7" definition: quantile(0.5) == median). 0 for empty
+/// input.
+double quantile(std::span<const double> values, double q);
+
+/// The tail-latency triple every serving report wants (p50/p95/p99).
+struct TailQuantiles {
+  std::size_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Compute p50/p95/p99 in one sort; empty input yields a zeroed result.
+TailQuantiles tail_quantiles(std::span<const double> values);
+
 /// Geometric mean; requires all values strictly positive.
 double geometric_mean(std::span<const double> values);
 

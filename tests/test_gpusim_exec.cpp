@@ -409,6 +409,29 @@ TEST(Exec, FramePoolRecyclesFrames) {
   EXPECT_EQ(starsim::gpusim::detail::frame_pool_size(), after_first);
 }
 
+TEST(Exec, FramePoolStatsCountReuse) {
+  namespace detail = starsim::gpusim::detail;
+  detail::frame_pool_drain();
+  detail::frame_pool_stats_reset();
+  SerialDevice dev;
+  (void)dev.launch({gs::Dim3(4), gs::Dim3(8)}, noop_kernel);
+  const auto cold = detail::frame_pool_stats();
+  EXPECT_GT(cold.acquired, 0u);
+  EXPECT_EQ(cold.acquired, cold.reused + cold.allocated);
+  EXPECT_GT(cold.allocated, 0u);  // first launch cannot reuse anything
+
+  (void)dev.launch({gs::Dim3(4), gs::Dim3(8)}, noop_kernel);
+  const auto warm = detail::frame_pool_stats();
+  EXPECT_EQ(warm.acquired, 2 * cold.acquired);
+  // The second identical launch is served entirely from the free list.
+  EXPECT_EQ(warm.allocated, cold.allocated);
+  EXPECT_EQ(warm.reused, cold.reused + cold.acquired);
+  EXPECT_GT(warm.reuse_rate(), 0.0);
+
+  detail::frame_pool_stats_reset();
+  EXPECT_EQ(detail::frame_pool_stats().acquired, 0u);
+}
+
 TEST(Exec, ParallelAndSerialProduceSameImage) {
   gs::DeviceSpec spec = gs::DeviceSpec::test_small();
   gs::Device serial(spec);

@@ -1,0 +1,106 @@
+#include "serve/frame_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "starsim/breakdown.h"
+
+namespace {
+
+using starsim::SimulationResult;
+using starsim::SimulatorKind;
+using starsim::serve::CachedFrame;
+using starsim::serve::FrameCache;
+
+CachedFrame frame_with_kernel_time(double kernel_s) {
+  auto result = std::make_shared<SimulationResult>();
+  result->timing.kernel_s = kernel_s;
+  return CachedFrame{std::move(result), SimulatorKind::kParallel};
+}
+
+TEST(FrameCache, MissThenHit) {
+  FrameCache cache(4);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  cache.insert(1, frame_with_kernel_time(0.5));
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->result->timing.kernel_s, 0.5);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(FrameCache, HitSharesOwnershipNotACopy) {
+  FrameCache cache(2);
+  CachedFrame frame = frame_with_kernel_time(1.0);
+  const SimulationResult* stored = frame.result.get();
+  cache.insert(9, frame);
+  const auto hit = cache.lookup(9);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->result.get(), stored);
+}
+
+TEST(FrameCache, EvictsLeastRecentlyUsed) {
+  FrameCache cache(2);
+  cache.insert(1, frame_with_kernel_time(1.0));
+  cache.insert(2, frame_with_kernel_time(2.0));
+  ASSERT_TRUE(cache.lookup(1).has_value());  // 1 becomes most recent
+  cache.insert(3, frame_with_kernel_time(3.0));  // evicts 2, not 1
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().size, 2u);
+}
+
+TEST(FrameCache, ReinsertRefreshesInsteadOfEvicting) {
+  FrameCache cache(2);
+  cache.insert(1, frame_with_kernel_time(1.0));
+  cache.insert(2, frame_with_kernel_time(2.0));
+  cache.insert(1, frame_with_kernel_time(10.0));  // refresh, no eviction
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->result->timing.kernel_s, 10.0);
+  // The refresh promoted key 1, so a new insert evicts key 2.
+  cache.insert(3, frame_with_kernel_time(3.0));
+  EXPECT_FALSE(cache.lookup(2).has_value());
+}
+
+TEST(FrameCache, InvalidateRemovesSingleEntry) {
+  FrameCache cache(4);
+  cache.insert(1, frame_with_kernel_time(1.0));
+  cache.insert(2, frame_with_kernel_time(2.0));
+  EXPECT_TRUE(cache.invalidate(1));
+  EXPECT_FALSE(cache.invalidate(1));  // already gone
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_TRUE(cache.lookup(2).has_value());
+}
+
+TEST(FrameCache, ClearDropsEntriesKeepsCounters) {
+  FrameCache cache(4);
+  cache.insert(1, frame_with_kernel_time(1.0));
+  ASSERT_TRUE(cache.lookup(1).has_value());
+  cache.clear();
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_EQ(stats.hits, 1u);  // history survives the clear
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(FrameCache, ZeroCapacityDisablesCaching) {
+  FrameCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert(1, frame_with_kernel_time(1.0));
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  // Disabled caches do not even count lookups: hit rate stays undefined/0.
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 0u);
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+#include "serve/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include "starsim/scene.h"
+#include "starsim/star.h"
+
+namespace {
+
+using starsim::SceneConfig;
+using starsim::SimulatorKind;
+using starsim::Star;
+using starsim::StarField;
+using starsim::serve::fingerprint_request;
+using starsim::serve::fingerprint_scene;
+
+TEST(Fingerprint, SceneHashIsDeterministic) {
+  const SceneConfig a;
+  const SceneConfig b;
+  EXPECT_EQ(fingerprint_scene(a), fingerprint_scene(b));
+}
+
+TEST(Fingerprint, EverySceneFieldChangesTheHash) {
+  const SceneConfig base;
+  const std::uint64_t h = fingerprint_scene(base);
+
+  SceneConfig s = base;
+  s.image_width = 512;
+  EXPECT_NE(fingerprint_scene(s), h);
+  s = base;
+  s.image_height = 512;
+  EXPECT_NE(fingerprint_scene(s), h);
+  s = base;
+  s.roi_side = 12;
+  EXPECT_NE(fingerprint_scene(s), h);
+  s = base;
+  s.psf_sigma = 2.0;
+  EXPECT_NE(fingerprint_scene(s), h);
+  s = base;
+  s.pixel_integration = !s.pixel_integration;
+  EXPECT_NE(fingerprint_scene(s), h);
+  s = base;
+  s.brightness.proportion_factor = 500.0;
+  EXPECT_NE(fingerprint_scene(s), h);
+  s = base;
+  s.brightness.magnitude_base = 2.0;
+  EXPECT_NE(fingerprint_scene(s), h);
+  s = base;
+  s.magnitude_min = 1.0;
+  EXPECT_NE(fingerprint_scene(s), h);
+  s = base;
+  s.magnitude_max = 10.0;
+  EXPECT_NE(fingerprint_scene(s), h);
+}
+
+TEST(Fingerprint, WidthHeightSwapIsNotACollision) {
+  SceneConfig a;
+  a.image_width = 512;
+  a.image_height = 1024;
+  SceneConfig b;
+  b.image_width = 1024;
+  b.image_height = 512;
+  EXPECT_NE(fingerprint_scene(a), fingerprint_scene(b));
+}
+
+TEST(Fingerprint, RequestHashCoversStarsAndSimulator) {
+  const SceneConfig scene;
+  StarField stars{Star{3.0f, 10.0f, 20.0f, 1.0f},
+                  Star{5.0f, 30.0f, 40.0f, 1.0f}};
+  const std::uint64_t h =
+      fingerprint_request(scene, stars, SimulatorKind::kParallel);
+
+  // Same inputs, same hash.
+  EXPECT_EQ(fingerprint_request(scene, stars, SimulatorKind::kParallel), h);
+
+  // Simulator kind is part of the identity (kernels differ numerically).
+  EXPECT_NE(fingerprint_request(scene, stars, SimulatorKind::kAdaptive), h);
+
+  // Any star perturbation changes the hash.
+  StarField moved = stars;
+  moved[1].x += 0.5f;
+  EXPECT_NE(fingerprint_request(scene, moved, SimulatorKind::kParallel), h);
+
+  // Star order matters (atomic accumulation order is part of the result
+  // identity under the bit-identical contract).
+  StarField swapped{stars[1], stars[0]};
+  EXPECT_NE(fingerprint_request(scene, swapped, SimulatorKind::kParallel), h);
+
+  // Star count matters even against an empty tail.
+  StarField shorter{stars[0]};
+  EXPECT_NE(fingerprint_request(scene, shorter, SimulatorKind::kParallel), h);
+}
+
+TEST(Fingerprint, EmptyFieldHashesDistinctFromSceneHash) {
+  const SceneConfig scene;
+  const StarField none;
+  EXPECT_NE(fingerprint_request(scene, none, SimulatorKind::kSequential),
+            fingerprint_scene(scene));
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+#include "serve/request_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/error.h"
+
+namespace {
+
+using starsim::serve::BoundedQueue;
+using starsim::support::PreconditionError;
+
+TEST(BoundedQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), PreconditionError);
+}
+
+TEST(BoundedQueue, TryPushRejectsWhenFull) {
+  BoundedQueue<int> queue(2);
+  int a = 1;
+  int b = 2;
+  int c = 3;
+  EXPECT_TRUE(queue.try_push(a));
+  EXPECT_TRUE(queue.try_push(b));
+  EXPECT_FALSE(queue.try_push(c));
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueue, PushRejectsAfterClose) {
+  BoundedQueue<int> queue(4);
+  queue.close();
+  EXPECT_FALSE(queue.push(1));
+  int v = 2;
+  EXPECT_FALSE(queue.try_push(v));
+}
+
+TEST(BoundedQueue, CloseThenDrainDeliversEverything) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.push(i));
+  queue.close();
+  // Close stops admission but queued items stay poppable until empty.
+  for (int i = 0; i < 5; ++i) {
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPopper) {
+  BoundedQueue<int> queue(2);
+  std::thread popper([&queue] {
+    EXPECT_FALSE(queue.pop().has_value());  // blocks until close
+  });
+  queue.close();
+  popper.join();
+}
+
+TEST(BoundedQueue, CloseUnblocksFullPusher) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.push(0));
+  std::thread pusher([&queue] {
+    EXPECT_FALSE(queue.push(1));  // blocks on full queue until close
+  });
+  queue.close();
+  pusher.join();
+}
+
+TEST(BoundedQueue, PopRunCoalescesCompatibleFront) {
+  BoundedQueue<int> queue(16);
+  // 7, 7, 7, 9, 7: the run must stop at the first incompatible item.
+  for (int v : {7, 7, 7, 9, 7}) EXPECT_TRUE(queue.push(v));
+  const auto same = [](int first, int next) { return first == next; };
+  EXPECT_EQ(queue.pop_run(8, same), (std::vector<int>{7, 7, 7}));
+  EXPECT_EQ(queue.pop_run(8, same), (std::vector<int>{9}));
+  EXPECT_EQ(queue.pop_run(8, same), (std::vector<int>{7}));
+}
+
+TEST(BoundedQueue, PopRunHonorsMaxRun) {
+  BoundedQueue<int> queue(16);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(queue.push(1));
+  const auto always = [](int, int) { return true; };
+  EXPECT_EQ(queue.pop_run(4, always).size(), 4u);
+  EXPECT_EQ(queue.pop_run(4, always).size(), 2u);
+}
+
+TEST(BoundedQueue, PopRunEmptyAfterCloseAndDrain) {
+  BoundedQueue<int> queue(4);
+  queue.close();
+  EXPECT_TRUE(queue.pop_run(4, [](int, int) { return true; }).empty());
+}
+
+TEST(BoundedQueue, ConcurrentProducersConsumersPreserveEveryItem) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> queue(8);  // small: forces both wait paths
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> count{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        sum.fetch_add(*item);
+        count.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+
+  constexpr int kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), kTotal);
+  EXPECT_EQ(sum.load(), static_cast<std::int64_t>(kTotal) * (kTotal - 1) / 2);
+}
+
+}  // namespace

@@ -251,4 +251,89 @@ TEST(Adaptive, EmptyStarFieldShortCircuits) {
   EXPECT_DOUBLE_EQ(r.timing.lut_build_s, 0.0);
 }
 
+TEST(Adaptive, BatchFramesBitIdenticalToSoloRenders) {
+  const SceneConfig scene = scene_of(128, 10);
+  std::vector<StarField> fields;
+  fields.push_back(bin_centered_stars(60, 128, 1));
+  fields.push_back(bin_centered_stars(90, 128, 1));
+  fields.push_back(bin_centered_stars(120, 128, 1));
+
+  gs::Device batch_device(gs::DeviceSpec::gtx480());
+  AdaptiveSimulator batch_sim(batch_device);
+  const std::vector<SimulationResult> batched =
+      batch_sim.simulate_batch(scene, fields);
+  ASSERT_EQ(batched.size(), fields.size());
+
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    gs::Device solo_device(gs::DeviceSpec::gtx480());
+    AdaptiveSimulator solo_sim(solo_device);
+    const SimulationResult solo = solo_sim.simulate(scene, fields[i]);
+    // Bit-identical, not merely close: batching shares the lookup-table
+    // setup but must never change a rendered pixel.
+    EXPECT_EQ(max_abs_difference(solo.image, batched[i].image), 0.0f);
+    EXPECT_DOUBLE_EQ(batched[i].timing.kernel_s, solo.timing.kernel_s);
+  }
+}
+
+TEST(Adaptive, BatchAmortizesSetupAcrossFrames) {
+  const SceneConfig scene = scene_of(128, 10);
+  const StarField stars = bin_centered_stars(80, 128, 1);
+  const std::vector<StarField> fields(4, stars);
+
+  gs::Device solo_device(gs::DeviceSpec::gtx480());
+  const SimulationResult solo =
+      AdaptiveSimulator(solo_device).simulate(scene, stars);
+
+  gs::Device batch_device(gs::DeviceSpec::gtx480());
+  const std::vector<SimulationResult> batched =
+      AdaptiveSimulator(batch_device).simulate_batch(scene, fields);
+  ASSERT_EQ(batched.size(), 4u);
+
+  double batch_build = 0.0;
+  double batch_bind = 0.0;
+  for (const SimulationResult& r : batched) {
+    // Each frame carries an equal 1/4 share of the shared setup.
+    EXPECT_DOUBLE_EQ(r.timing.lut_build_s, solo.timing.lut_build_s / 4.0);
+    EXPECT_DOUBLE_EQ(r.timing.texture_bind_s,
+                     solo.timing.texture_bind_s / 4.0);
+    EXPECT_LT(r.timing.non_kernel_s(), solo.timing.non_kernel_s());
+    batch_build += r.timing.lut_build_s;
+    batch_bind += r.timing.texture_bind_s;
+  }
+  // The batch pays the setup exactly once in total.
+  EXPECT_NEAR(batch_build, solo.timing.lut_build_s, 1e-15);
+  EXPECT_NEAR(batch_bind, solo.timing.texture_bind_s, 1e-15);
+}
+
+TEST(Adaptive, BatchSkipsSetupShareForEmptyFields) {
+  const SceneConfig scene = scene_of(64, 10);
+  std::vector<StarField> fields;
+  fields.push_back(bin_centered_stars(20, 64, 1));
+  fields.push_back(StarField{});
+  fields.push_back(bin_centered_stars(30, 64, 1));
+
+  gs::Device device(gs::DeviceSpec::gtx480());
+  const std::vector<SimulationResult> batched =
+      AdaptiveSimulator(device).simulate_batch(scene, fields);
+  ASSERT_EQ(batched.size(), 3u);
+  for (float v : batched[1].image.pixels()) ASSERT_EQ(v, 0.0f);
+  EXPECT_DOUBLE_EQ(batched[1].timing.lut_build_s, 0.0);
+  // The two non-empty frames split the setup between themselves.
+  EXPECT_DOUBLE_EQ(batched[0].timing.lut_build_s,
+                   batched[2].timing.lut_build_s);
+  EXPECT_GT(batched[0].timing.lut_build_s, 0.0);
+}
+
+TEST(Adaptive, BatchOfAllEmptyFieldsIsBlank) {
+  gs::Device device(gs::DeviceSpec::gtx480());
+  const std::vector<StarField> fields(2);
+  const std::vector<SimulationResult> batched =
+      AdaptiveSimulator(device).simulate_batch(scene_of(64, 10), fields);
+  ASSERT_EQ(batched.size(), 2u);
+  for (const SimulationResult& r : batched) {
+    for (float v : r.image.pixels()) ASSERT_EQ(v, 0.0f);
+    EXPECT_DOUBLE_EQ(r.timing.lut_build_s, 0.0);
+  }
+}
+
 }  // namespace

@@ -135,6 +135,36 @@ TEST(Selector, RejectsZeroStars) {
                starsim::support::PreconditionError);
 }
 
+TEST(Selector, ExplicitPreferenceOverridesCostModel) {
+  const SimulatorSelector selector;
+  // 8 stars: the cost model says sequential (see SequentialWinsTinyFields),
+  // but a pinned preference must win without consulting the model.
+  EXPECT_EQ(selector.choose(paper_scene(), 8, SimulatorKind::kAdaptive),
+            SimulatorKind::kAdaptive);
+  EXPECT_EQ(selector.choose(paper_scene(), 1 << 17, SimulatorKind::kSequential),
+            SimulatorKind::kSequential);
+  // The preference path never runs the star-count-sensitive predictors, so
+  // zero stars is fine there.
+  EXPECT_EQ(selector.choose(paper_scene(), 0, SimulatorKind::kParallel),
+            SimulatorKind::kParallel);
+}
+
+TEST(Selector, UnsetPreferenceFallsThroughToCostModel) {
+  const SimulatorSelector selector;
+  EXPECT_EQ(selector.choose(paper_scene(), 8, std::nullopt),
+            selector.choose(paper_scene(), 8));
+  EXPECT_EQ(selector.choose(paper_scene(), 1 << 14, std::nullopt),
+            selector.choose(paper_scene(), 1 << 14));
+}
+
+TEST(Selector, PreferencePathStillValidatesScene) {
+  const SimulatorSelector selector;
+  SceneConfig bad = paper_scene();
+  bad.roi_side = 0;
+  EXPECT_THROW((void)selector.choose(bad, 8, SimulatorKind::kParallel),
+               starsim::support::PreconditionError);
+}
+
 TEST(Selector, CustomLutGeometryShiftsAdaptiveCost) {
   starsim::LookupTableOptions fine;
   fine.bins_per_magnitude = 64;

@@ -104,6 +104,43 @@ TEST(Stats, CorrelationOfAnticorrelated) {
   EXPECT_NEAR(sup::correlation(x, y), -1.0, 1e-12);
 }
 
+TEST(Stats, QuantileTypeSevenInterpolation) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(sup::quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sup::quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(sup::quantile(v, 0.5), 3.0);
+  // rank = 0.95 * 4 = 3.8 -> 4 + 0.8 * (5 - 4)
+  EXPECT_DOUBLE_EQ(sup::quantile(v, 0.95), 4.8);
+  // rank = 0.25 * 4 = 1.0 -> exactly the second order statistic
+  EXPECT_DOUBLE_EQ(sup::quantile(v, 0.25), 2.0);
+}
+
+TEST(Stats, QuantileEdgeCases) {
+  EXPECT_DOUBLE_EQ(sup::quantile(std::vector<double>{}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sup::quantile(std::vector<double>{7.0}, 0.99), 7.0);
+  EXPECT_THROW((void)sup::quantile(std::vector<double>{1.0}, -0.1),
+               PreconditionError);
+  EXPECT_THROW((void)sup::quantile(std::vector<double>{1.0}, 1.1),
+               PreconditionError);
+}
+
+TEST(Stats, TailQuantilesOfUniformRamp) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const sup::TailQuantiles t = sup::tail_quantiles(v);
+  EXPECT_EQ(t.count, 100u);
+  EXPECT_DOUBLE_EQ(t.p50, 50.5);
+  EXPECT_NEAR(t.p95, 95.05, 1e-12);
+  EXPECT_NEAR(t.p99, 99.01, 1e-12);
+}
+
+TEST(Stats, TailQuantilesEmpty) {
+  const sup::TailQuantiles t = sup::tail_quantiles(std::vector<double>{});
+  EXPECT_EQ(t.count, 0u);
+  EXPECT_DOUBLE_EQ(t.p50, 0.0);
+  EXPECT_DOUBLE_EQ(t.p99, 0.0);
+}
+
 TEST(Stats, RelativeErrorProperties) {
   EXPECT_DOUBLE_EQ(sup::relative_error(1.0, 1.0), 0.0);
   EXPECT_NEAR(sup::relative_error(1.0, 1.1), 0.1 / 1.1, 1e-12);
