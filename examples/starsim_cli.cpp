@@ -234,11 +234,46 @@ int cmd_serve_bench(int argc, char** argv) {
   cli.add_flag("shared-stream",
                "all clients replay one shared request stream (cacheable "
                "traffic; pair with --cache)");
+  cli.add_flag("inject-faults",
+               "chaos mode: seeded per-worker fault injection (transient "
+               "faults + device loss) with resilient workers");
+  cli.add_option("fault-rate", "per-consult fault probability", "0.05");
+  cli.add_option("lost-rate",
+                 "probability an injected fault takes the device down",
+                 "0.1");
+  cli.add_option("fault-seed", "fault-schedule seed base", "1");
+  cli.add_option("deadline-ms",
+                 "per-request deadline, milliseconds (0 = none)", "0");
+  cli.add_option("priority-mix",
+                 "low:normal:high request weights, e.g. 1:2:1", "0:1:0");
   if (!cli.parse(argc, argv)) return 0;
 
   const int clients = static_cast<int>(cli.integer("clients"));
   const std::size_t frames = static_cast<std::size_t>(cli.integer("frames"));
   const bool shared = cli.flag("shared-stream");
+  const bool inject = cli.flag("inject-faults");
+  const double deadline_ms = cli.real("deadline-ms");
+
+  // "l:n:h" weights unroll into a repeating priority pattern; request i
+  // takes pattern[i % size], so the mix holds per client stream.
+  std::vector<serve::RequestPriority> priority_pattern;
+  {
+    const std::string mix = cli.str("priority-mix");
+    long weights[3] = {0, 1, 0};
+    if (std::sscanf(mix.c_str(), "%ld:%ld:%ld", &weights[0], &weights[1],
+                    &weights[2]) != 3 ||
+        weights[0] < 0 || weights[1] < 0 || weights[2] < 0 ||
+        weights[0] + weights[1] + weights[2] == 0) {
+      std::fprintf(stderr, "bad --priority-mix (want low:normal:high): %s\n",
+                   mix.c_str());
+      return 1;
+    }
+    for (int p = 0; p < 3; ++p) {
+      for (long w = 0; w < weights[p]; ++w) {
+        priority_pattern.push_back(static_cast<serve::RequestPriority>(p));
+      }
+    }
+  }
 
   SceneConfig scene;
   scene.image_width = static_cast<int>(cli.integer("size"));
@@ -284,6 +319,15 @@ int cmd_serve_bench(int argc, char** argv) {
       static_cast<int>(cli.integer("lut-bins"));
   opts.worker.lut.subpixel_phases =
       static_cast<int>(cli.integer("lut-phases"));
+  if (inject) {
+    // Chaos serving: seeded faults at every device site, resilient workers
+    // so a faulted frame degrades instead of failing its future, and the
+    // supervisor's replacement ladder on device loss (docs/resilience.md).
+    opts.worker.fault_policy = gpusim::FaultPolicy::chaos(
+        cli.real("fault-rate"), cli.real("lost-rate"),
+        static_cast<std::uint64_t>(cli.integer("fault-seed")));
+    opts.worker.resilient = true;
+  }
   const bool warm_cache = opts.cache_capacity > 0 && shared;
   serve::FrameService service(std::move(opts));
 
@@ -314,13 +358,25 @@ int cmd_serve_bench(int argc, char** argv) {
         request.scene = scene;
         request.stars = fields[base + i];
         request.simulator = kind;
+        request.priority = priority_pattern[i % priority_pattern.size()];
+        if (deadline_ms > 0.0) request.deadline_s = deadline_ms / 1000.0;
         futures.push_back(service.submit(std::move(request)));
       }
-      for (auto& future : futures) (void)future.get();
+      for (auto& future : futures) {
+        // Under chaos or tight deadlines some futures resolve with typed
+        // errors; the stats printed below account for every outcome.
+        try {
+          (void)future.get();
+        } catch (const std::exception&) {
+        }
+      }
     });
   }
   for (auto& thread : threads) thread.join();
   const double wall_s = timer.seconds();
+  // Quiesce before reporting: supervision decisions for the final batches
+  // may still be in flight, and stop() makes every counter final.
+  service.stop();
   const serve::ServiceStats stats = service.stats();
 
   std::printf(
@@ -328,7 +384,9 @@ int cmd_serve_bench(int argc, char** argv) {
       "latency: p50 %s, p95 %s, p99 %s, mean %s\n"
       "batching: %llu batches, mean size %.2f\n"
       "cache: %llu hits / %llu misses (%.0f%% hit rate)\n"
-      "failures: %llu failed, %llu rejected\n",
+      "failures: %llu failed, %llu rejected, %llu shed\n"
+      "deadlines: %llu expired (%llu at admission, %llu in queue, %llu "
+      "post-render)\n",
       static_cast<unsigned long long>(static_cast<std::size_t>(clients) *
                                       frames),
       clients, sup::format_time(wall_s).c_str(),
@@ -344,8 +402,38 @@ int cmd_serve_bench(int argc, char** argv) {
       static_cast<unsigned long long>(stats.cache_misses),
       stats.cache_hit_rate() * 100.0,
       static_cast<unsigned long long>(stats.failed),
-      static_cast<unsigned long long>(stats.rejected));
-  return stats.failed == 0 ? 0 : 1;
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.expired_total()),
+      static_cast<unsigned long long>(stats.expired_admission),
+      static_cast<unsigned long long>(stats.expired_batch),
+      static_cast<unsigned long long>(stats.expired_post_render));
+
+  const serve::PoolHealth health = service.health();
+  std::printf("health: %d/%zu workers active, %d device replacements, "
+              "%d quarantines, %llu sink exceptions%s\n",
+              health.active_workers, health.workers.size(),
+              health.total_device_replacements, health.total_quarantines,
+              static_cast<unsigned long long>(health.sink_exceptions),
+              health.degraded() ? " [DEGRADED]" : "");
+  for (const serve::WorkerHealth& worker : health.workers) {
+    if (worker.state == serve::WorkerState::kHealthy &&
+        worker.device_replacements == 0) {
+      continue;  // only the interesting rows
+    }
+    std::printf("  worker %d: %s, %d replacements, %llu ok / %llu failed "
+                "batches\n",
+                worker.index, to_string(worker.state).data(),
+                worker.device_replacements,
+                static_cast<unsigned long long>(worker.batches_ok),
+                static_cast<unsigned long long>(worker.batches_failed));
+  }
+
+  // Chaos and tight deadlines legitimately fail futures; stuck (never
+  // resolved) requests are the only unconditional bench failure.
+  if (stats.in_flight() != 0) return 1;
+  const bool failures_expected = inject || deadline_ms > 0.0;
+  return failures_expected || stats.failed == 0 ? 0 : 1;
 }
 
 void print_usage() {

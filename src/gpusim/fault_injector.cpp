@@ -53,6 +53,14 @@ FaultPolicy FaultPolicy::transient(double rate, std::uint64_t seed) {
   return policy;
 }
 
+FaultPolicy FaultPolicy::chaos(double rate, double lost_rate,
+                               std::uint64_t seed) {
+  FaultPolicy policy = transient(rate, seed);
+  policy.stream_fault_rate = rate;
+  policy.device_lost_rate = lost_rate;
+  return policy;
+}
+
 FaultInjector::FaultInjector(FaultPolicy policy)
     : policy_(policy), rng_(policy.seed) {
   const auto in_unit = [](double rate) { return rate >= 0.0 && rate <= 1.0; };
@@ -72,6 +80,11 @@ void FaultInjector::reset() {
   device_lost_ = false;
   consults_ = 0;
   history_.clear();
+}
+
+void FaultInjector::reseed(std::uint64_t seed) {
+  policy_.seed = seed;
+  reset();
 }
 
 void FaultInjector::mark_device_lost() { device_lost_ = true; }

@@ -82,6 +82,13 @@ struct FaultPolicy {
   /// Uniform transient-fault policy: every retryable site faults at `rate`,
   /// no device loss, no watchdog. The standard knob for the CLI and bench.
   [[nodiscard]] static FaultPolicy transient(double rate, std::uint64_t seed);
+
+  /// Chaos policy: every transient site faults at `rate` AND any injected
+  /// fault may escalate to losing the device with probability `lost_rate`.
+  /// The shape the service-level chaos harness drives — it exercises the
+  /// full recovery ladder including worker quarantine and replacement.
+  [[nodiscard]] static FaultPolicy chaos(double rate, double lost_rate,
+                                         std::uint64_t seed);
 };
 
 /// One injected fault, recorded for determinism checks and reports.
@@ -101,6 +108,12 @@ class FaultInjector {
   /// Re-arm from the policy seed: clears the latched lost state, the
   /// history, and the consult counter. The next run replays identically.
   void reset();
+
+  /// Re-arm with a *new* seed: same clearing as reset(), but the fault
+  /// stream diverges. This is how a supervisor models swapping a failed
+  /// physical device for a fresh one — the replacement shares the fault
+  /// rates but not the fault schedule of the unit it replaced.
+  void reseed(std::uint64_t seed);
 
   [[nodiscard]] const FaultPolicy& policy() const { return policy_; }
   [[nodiscard]] bool device_lost() const { return device_lost_; }

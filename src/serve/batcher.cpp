@@ -16,6 +16,7 @@ std::optional<Batch> Batcher::next_batch(
   if (run.empty()) return std::nullopt;
   Batch batch;
   batch.simulator = run.front().simulator;
+  batch.priority = run.front().priority;
   batch.requests = std::move(run);
   batch.formed = std::chrono::steady_clock::now();
   return batch;

@@ -30,12 +30,22 @@ struct QueuedRequest {
   std::uint64_t key = 0;        ///< fingerprint_request — cache identity
   std::promise<RenderResponse> promise;
   std::chrono::steady_clock::time_point submitted{};
+  /// Absolute expiry (submit time + RenderRequest::deadline_s); nullopt
+  /// when the request carries no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  RequestPriority priority = RequestPriority::kNormal;
+
+  [[nodiscard]] bool expired(std::chrono::steady_clock::time_point now) const {
+    return deadline.has_value() && now >= *deadline;
+  }
 };
 
 /// Requests coalesced for one simulate_batch call: same scene bits, same
 /// simulator, so one lookup-table/texture setup serves them all.
 struct Batch {
   SimulatorKind simulator = SimulatorKind::kParallel;
+  /// Runs never span priority bands, so a batch has one priority.
+  RequestPriority priority = RequestPriority::kNormal;
   std::vector<QueuedRequest> requests;
   std::chrono::steady_clock::time_point formed{};
 

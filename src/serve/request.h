@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string_view>
 
 #include "starsim/attitude.h"
 #include "starsim/breakdown.h"
@@ -21,6 +22,27 @@
 #include "starsim/star.h"
 
 namespace starsim::serve {
+
+/// Importance classes for admission and load shedding. Under overload the
+/// service sheds lowest-priority-first (a displaced request's future fails
+/// with support::OverloadShedError), and workers drain higher classes
+/// before lower ones. Within a class, order stays FIFO.
+enum class RequestPriority : std::uint8_t {
+  kLow = 0,     ///< bulk / speculative traffic, first to shed
+  kNormal = 1,  ///< the default
+  kHigh = 2,    ///< hardware-in-the-loop frame deadlines ride here
+};
+
+inline constexpr std::size_t kPriorityClasses = 3;
+
+[[nodiscard]] constexpr std::string_view to_string(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kLow: return "low";
+    case RequestPriority::kNormal: return "normal";
+    case RequestPriority::kHigh: return "high";
+  }
+  return "unknown";
+}
 
 struct RenderRequest {
   SceneConfig scene;
@@ -33,6 +55,14 @@ struct RenderRequest {
   std::optional<Quaternion> attitude;
   /// Pinned simulator; nullopt asks the SimulatorSelector (Table III).
   std::optional<SimulatorKind> simulator;
+  /// Importance class consulted by admission, shedding and batch pickup.
+  RequestPriority priority = RequestPriority::kNormal;
+  /// Response-time budget measured from submit, in seconds. When it expires
+  /// the request fails with support::DeadlineExceededError — at admission
+  /// (<= 0 budgets fail immediately), at batch formation (an expired
+  /// request is never rendered), or post-render when the frame finished too
+  /// late. nullopt means no deadline.
+  std::optional<double> deadline_s;
 };
 
 /// Where one request's response time went.
@@ -48,6 +78,8 @@ struct LatencyBreakdown {
 struct RenderResponse {
   /// Shared, not copied: a cached frame may back many responses.
   std::shared_ptr<const SimulationResult> result;
+  /// The simulator that actually produced the frame. Equal to the resolved
+  /// request simulator unless recovery degraded the render (see `degraded`).
   SimulatorKind simulator = SimulatorKind::kParallel;
   LatencyBreakdown latency;
   /// Request identity (scene + stars + simulator); the frame-cache key.
@@ -55,6 +87,12 @@ struct RenderResponse {
   /// Number of requests rendered together; 0 for cache hits.
   std::size_t batch_size = 0;
   bool from_cache = false;
+  /// True when a fallback rung (worker CPU fallback, resilient-chain
+  /// degradation) produced the frame instead of the requested simulator.
+  /// Degraded frames are pixel-equivalent up to the executed simulator's
+  /// accumulation order, not bit-identical to the requested kind, and are
+  /// never inserted into the frame cache.
+  bool degraded = false;
 };
 
 }  // namespace starsim::serve

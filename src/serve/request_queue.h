@@ -1,5 +1,5 @@
-// Bounded MPMC queue with close semantics — the serving layer's admission
-// control.
+// Bounded MPMC queue with close semantics and priority bands — the serving
+// layer's admission control.
 //
 // Backpressure comes in two grades: try_push rejects immediately when the
 // queue is full (hard admission control, the caller sees the overload), and
@@ -9,9 +9,20 @@
 // immediate run of compatible followers without waiting for more to arrive —
 // batch size adapts to instantaneous load instead of a timer.
 //
-// close() transitions the queue to drain mode: pushes fail, pops keep
-// returning queued items until the queue is empty, then report exhaustion.
-// Workers therefore finish every admitted request before shutting down.
+// Priority: the queue is partitioned into `bands` classes (band 0 lowest).
+// Capacity is shared across bands, pops always drain the highest non-empty
+// band first (FIFO within a band), and try_push_shedding implements
+// importance-aware overload shedding: when the queue is full, an arriving
+// item may displace the *youngest item of the lowest non-empty band below
+// its own* instead of being rejected — overload sheds lowest-priority-first
+// rather than arrival-order. A single-band queue (the default) degenerates
+// to the plain FIFO behaviour.
+//
+// close() transitions the queue to drain mode: pushes fail and every
+// blocked pusher wakes (returning false, so a submitter blocked on a full
+// queue can never deadlock against shutdown), while pops keep returning
+// queued items until the queue is empty, then report exhaustion. Workers
+// therefore finish every admitted request before shutting down.
 #pragma once
 
 #include <condition_variable>
@@ -29,55 +40,102 @@ namespace starsim::serve {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+  /// Outcome of a shedding admission attempt.
+  enum class PushOutcome {
+    kAccepted,   ///< space was free (or freed by close-race), item queued
+    kDisplaced,  ///< item queued; a lower-band item was shed to make room
+    kRejected,   ///< full of equal-or-higher-band work (or closed)
+  };
+
+  explicit BoundedQueue(std::size_t capacity, std::size_t bands = 1)
+      : bands_(bands), capacity_(capacity) {
     STARSIM_REQUIRE(capacity > 0, "queue capacity must be positive");
+    STARSIM_REQUIRE(bands > 0, "queue needs at least one priority band");
   }
 
   /// Non-blocking admission: false when the queue is full or closed (the
   /// item is consumed only on success).
-  [[nodiscard]] bool try_push(T& item) {
+  [[nodiscard]] bool try_push(T& item, std::size_t band = 0) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
+      if (closed_ || count_ >= capacity_) return false;
+      band_at(band).push_back(std::move(item));
+      ++count_;
     }
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Non-blocking admission with priority shedding. When the queue is full
+  /// and some band strictly below `band` holds an item, the *youngest* item
+  /// of the *lowest* such band is moved into `displaced` and the new item
+  /// takes its place (kDisplaced). The caller owns failing the displaced
+  /// item's promise. Full of equal-or-higher work => kRejected, item
+  /// untouched.
+  [[nodiscard]] PushOutcome try_push_shedding(T& item, std::size_t band,
+                                              std::optional<T>& displaced) {
+    displaced.reset();
+    bool was_displacement = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushOutcome::kRejected;
+      if (count_ >= capacity_) {
+        std::deque<T>* victim_band = nullptr;
+        for (std::size_t b = 0; b < band && b < bands_.size(); ++b) {
+          if (!bands_[b].empty()) {
+            victim_band = &bands_[b];
+            break;
+          }
+        }
+        if (victim_band == nullptr) return PushOutcome::kRejected;
+        displaced.emplace(std::move(victim_band->back()));
+        victim_band->pop_back();
+        --count_;
+        was_displacement = true;
+      }
+      band_at(band).push_back(std::move(item));
+      ++count_;
+    }
+    not_empty_.notify_one();
+    return was_displacement ? PushOutcome::kDisplaced : PushOutcome::kAccepted;
   }
 
   /// Blocking admission: waits while full; false when the queue closes
-  /// before space frees.
-  [[nodiscard]] bool push(T item) {
+  /// before space frees (close() wakes every blocked pusher).
+  [[nodiscard]] bool push(T item, std::size_t band = 0) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      not_full_.wait(lock, [this] {
-        return closed_ || items_.size() < capacity_;
-      });
+      not_full_.wait(lock, [this] { return closed_ || count_ < capacity_; });
       if (closed_) return false;
-      items_.push_back(std::move(item));
+      band_at(band).push_back(std::move(item));
+      ++count_;
     }
     not_empty_.notify_one();
     return true;
   }
 
-  /// Blocking take: nullopt only when the queue is closed and drained.
+  /// Blocking take: highest non-empty band first; nullopt only when the
+  /// queue is closed and drained.
   [[nodiscard]] std::optional<T> pop() {
     std::optional<T> item;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-      if (items_.empty()) return std::nullopt;
-      item.emplace(std::move(items_.front()));
-      items_.pop_front();
+      not_empty_.wait(lock, [this] { return closed_ || count_ > 0; });
+      std::deque<T>* band = highest_non_empty();
+      if (band == nullptr) return std::nullopt;
+      item.emplace(std::move(band->front()));
+      band->pop_front();
+      --count_;
     }
     not_full_.notify_one();
     return item;
   }
 
-  /// Blocking take of a coalescable run: waits for the first item, then
-  /// greedily pops up to `max_run` total items while `compatible(first,
-  /// next)` holds for the immediate front. Empty result only when the queue
-  /// is closed and drained.
+  /// Blocking take of a coalescable run: waits for the first item (always
+  /// from the highest non-empty band), then greedily pops up to `max_run`
+  /// total items from that band while `compatible(first, next)` holds for
+  /// the immediate front. Runs never span bands — a batch has one priority.
+  /// Empty result only when the queue is closed and drained.
   template <typename Compatible>
   [[nodiscard]] std::vector<T> pop_run(std::size_t max_run,
                                        Compatible&& compatible) {
@@ -85,21 +143,25 @@ class BoundedQueue {
     std::vector<T> run;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-      if (items_.empty()) return run;
-      run.push_back(std::move(items_.front()));
-      items_.pop_front();
-      while (run.size() < max_run && !items_.empty() &&
-             compatible(run.front(), items_.front())) {
-        run.push_back(std::move(items_.front()));
-        items_.pop_front();
+      not_empty_.wait(lock, [this] { return closed_ || count_ > 0; });
+      std::deque<T>* band = highest_non_empty();
+      if (band == nullptr) return run;
+      run.push_back(std::move(band->front()));
+      band->pop_front();
+      --count_;
+      while (run.size() < max_run && !band->empty() &&
+             compatible(run.front(), band->front())) {
+        run.push_back(std::move(band->front()));
+        band->pop_front();
+        --count_;
       }
     }
     not_full_.notify_all();
     return run;
   }
 
-  /// Stop admitting; wake every waiter. Queued items stay poppable.
+  /// Stop admitting; wake every waiter (blocked pushers return false).
+  /// Queued items stay poppable.
   void close() {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -116,16 +178,37 @@ class BoundedQueue {
 
   [[nodiscard]] std::size_t size() const {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return items_.size();
+    return count_;
+  }
+
+  /// Queued items in one priority band.
+  [[nodiscard]] std::size_t band_size(std::size_t band) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return band < bands_.size() ? bands_[band].size() : 0;
   }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t bands() const { return bands_.size(); }
 
  private:
+  /// Clamps out-of-range bands to the top class rather than throwing midway
+  /// through an admission that already consumed the item.
+  [[nodiscard]] std::deque<T>& band_at(std::size_t band) {
+    return bands_[band < bands_.size() ? band : bands_.size() - 1];
+  }
+
+  [[nodiscard]] std::deque<T>* highest_non_empty() {
+    for (std::size_t b = bands_.size(); b-- > 0;) {
+      if (!bands_[b].empty()) return &bands_[b];
+    }
+    return nullptr;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
+  std::vector<std::deque<T>> bands_;
+  std::size_t count_ = 0;
   std::size_t capacity_;
   bool closed_ = false;
 };

@@ -1,5 +1,6 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <string>
@@ -15,6 +16,10 @@ namespace {
 double seconds_between(std::chrono::steady_clock::time_point from,
                        std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
+}
+
+std::size_t band_of(RequestPriority priority) {
+  return static_cast<std::size_t>(priority);
 }
 
 }  // namespace
@@ -33,7 +38,7 @@ double ServiceStats::mean_batch_size() const {
 
 FrameService::FrameService(FrameServiceOptions options)
     : options_(std::move(options)),
-      queue_(options_.queue_capacity),
+      queue_(options_.queue_capacity, kPriorityClasses),
       cache_(options_.cache_capacity),
       batcher_(options_.max_batch_size) {
   STARSIM_REQUIRE(options_.workers >= 0, "worker count must be non-negative");
@@ -41,7 +46,7 @@ FrameService::FrameService(FrameServiceOptions options)
       options_.workers, options_.worker,
       [this] { return batcher_.next_batch(queue_); },
       [this](Batch&& batch, Worker& worker) {
-        execute_batch(std::move(batch), worker);
+        return execute_batch(std::move(batch), worker);
       });
 }
 
@@ -72,9 +77,31 @@ QueuedRequest FrameService::admit(RenderRequest&& request) {
   queued.simulator = kind;
   queued.scene_key = fingerprint_scene(request.scene);
   queued.key = fingerprint_request(request.scene, request.stars, kind);
-  queued.request = std::move(request);
+  queued.priority = request.priority;
   queued.submitted = std::chrono::steady_clock::now();
+  if (request.deadline_s.has_value()) {
+    queued.deadline =
+        queued.submitted + std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(
+                                   std::max(*request.deadline_s, 0.0)));
+  }
+  queued.request = std::move(request);
   return queued;
+}
+
+void FrameService::expire_request(QueuedRequest& queued,
+                                  std::uint64_t& counter, const char* stage) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    counter += 1;
+    failed_ += 1;
+  }
+  queued.promise.set_exception(std::make_exception_ptr(
+      support::DeadlineExceededError(
+          "request deadline expired " + std::string(stage) +
+          " (budget " +
+          std::to_string(queued.request.deadline_s.value_or(0.0)) + " s)")));
 }
 
 std::optional<std::future<RenderResponse>> FrameService::serve_from_cache(
@@ -107,9 +134,21 @@ std::optional<std::future<RenderResponse>> FrameService::serve_from_cache(
 
 std::future<RenderResponse> FrameService::submit(RenderRequest request) {
   QueuedRequest queued = admit(std::move(request));
+  if (queued.expired(std::chrono::steady_clock::now())) {
+    // A zero-or-negative budget cannot be met even by a cache hit: the
+    // request is admitted (counted) and failed before it costs anything.
+    std::future<RenderResponse> future = queued.promise.get_future();
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      submitted_ += 1;
+    }
+    expire_request(queued, expired_admission_, "at admission");
+    return future;
+  }
   if (auto hit = serve_from_cache(queued)) return std::move(*hit);
   std::future<RenderResponse> future = queued.promise.get_future();
-  if (!queue_.push(std::move(queued))) {
+  const std::size_t band = band_of(queued.priority);
+  if (!queue_.push(std::move(queued), band)) {
     STARSIM_THROW(support::Error, "FrameService is stopped");
   }
   const std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -120,12 +159,38 @@ std::future<RenderResponse> FrameService::submit(RenderRequest request) {
 std::optional<std::future<RenderResponse>> FrameService::try_submit(
     RenderRequest request) {
   QueuedRequest queued = admit(std::move(request));
+  if (queued.expired(std::chrono::steady_clock::now())) {
+    std::future<RenderResponse> future = queued.promise.get_future();
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      submitted_ += 1;
+    }
+    expire_request(queued, expired_admission_, "at admission");
+    return future;
+  }
   if (auto hit = serve_from_cache(queued)) return std::move(*hit);
   std::future<RenderResponse> future = queued.promise.get_future();
-  if (!queue_.try_push(queued)) {
+  const RequestPriority priority = queued.priority;
+  const std::size_t band = band_of(priority);
+  std::optional<QueuedRequest> displaced;
+  const auto outcome = queue_.try_push_shedding(queued, band, displaced);
+  if (outcome == BoundedQueue<QueuedRequest>::PushOutcome::kRejected) {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     rejected_ += 1;
     return std::nullopt;
+  }
+  if (displaced.has_value()) {
+    // Overload shedding: the youngest lowest-priority queued request made
+    // room for this higher-priority one. Account before delivering.
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      shed_ += 1;
+      failed_ += 1;
+    }
+    displaced->promise.set_exception(std::make_exception_ptr(
+        support::OverloadShedError(
+            "request shed under overload: displaced by a " +
+            std::string(to_string(priority)) + "-priority admission")));
   }
   const std::lock_guard<std::mutex> lock(stats_mutex_);
   submitted_ += 1;
@@ -136,18 +201,36 @@ RenderResponse FrameService::render(RenderRequest request) {
   return submit(std::move(request)).get();
 }
 
-void FrameService::execute_batch(Batch&& batch, Worker& worker) {
+bool FrameService::execute_batch(Batch&& batch, Worker& worker) {
   const auto exec_start = std::chrono::steady_clock::now();
-  const std::size_t count = batch.size();
+
+  // Deadline check at batch formation: an expired request is dropped here,
+  // before any device work, so it is never rendered.
+  std::vector<QueuedRequest> live;
+  live.reserve(batch.requests.size());
+  for (QueuedRequest& queued : batch.requests) {
+    if (queued.expired(exec_start)) {
+      expire_request(queued, expired_batch_, "in queue (skipped at batch "
+                                             "formation, never rendered)");
+    } else {
+      live.push_back(std::move(queued));
+    }
+  }
+  if (live.empty()) return true;  // nothing to render is not a device failure
+
+  const std::size_t count = live.size();
   std::vector<StarField> fields;
   fields.reserve(count);
-  for (QueuedRequest& queued : batch.requests) {
+  for (QueuedRequest& queued : live) {
     fields.push_back(std::move(queued.request.stars));
   }
 
-  std::vector<SimulationResult> results;
+  // batch.scene() would read a moved-from request after the expiry
+  // partition above; the live requests still own their scenes.
+  const SceneConfig& scene = live.front().request.scene;
+  Worker::RenderOutcome outcome;
   try {
-    results = worker.render(batch.scene(), batch.simulator, fields);
+    outcome = worker.render(scene, batch.simulator, fields);
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
     // Account before delivering: a client that wakes on its future must
@@ -156,52 +239,74 @@ void FrameService::execute_batch(Batch&& batch, Worker& worker) {
       const std::lock_guard<std::mutex> lock(stats_mutex_);
       failed_ += count;
     }
-    for (QueuedRequest& queued : batch.requests) {
+    for (QueuedRequest& queued : live) {
       queued.promise.set_exception(error);
     }
-    return;
+    return false;
   }
 
   const auto finish = std::chrono::steady_clock::now();
   std::vector<RenderResponse> responses;
   responses.reserve(count);
+  std::vector<bool> late(count, false);
+  std::size_t delivered = 0;
   for (std::size_t i = 0; i < count; ++i) {
-    const QueuedRequest& queued = batch.requests[i];
+    const QueuedRequest& queued = live[i];
+    late[i] = queued.expired(finish);
+    if (late[i]) {
+      responses.emplace_back();  // placeholder; the future gets an error
+      continue;
+    }
     RenderResponse response;
-    response.simulator = batch.simulator;
+    response.simulator = outcome.executed[i];
+    response.degraded = outcome.executed[i] != batch.simulator;
     response.fingerprint = queued.key;
     response.batch_size = count;
     response.latency.queue_wait_s =
         seconds_between(queued.submitted, batch.formed);
     response.latency.batch_wait_s = seconds_between(batch.formed, exec_start);
-    response.latency.render_wall_s = results[i].timing.wall_s;
-    response.latency.kernel_s = results[i].timing.kernel_s;
-    response.latency.non_kernel_s = results[i].timing.non_kernel_s();
+    response.latency.render_wall_s = outcome.results[i].timing.wall_s;
+    response.latency.kernel_s = outcome.results[i].timing.kernel_s;
+    response.latency.non_kernel_s = outcome.results[i].timing.non_kernel_s();
     response.latency.total_s = seconds_between(queued.submitted, finish);
     response.result =
-        std::make_shared<const SimulationResult>(std::move(results[i]));
+        std::make_shared<const SimulationResult>(std::move(outcome.results[i]));
     responses.push_back(std::move(response));
+    delivered += 1;
   }
 
   // Account before delivering (same reason as the failure path).
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
-    completed_ += count;
+    completed_ += delivered;
     batches_ += 1;
     if (batch_size_histogram_.size() <= count) {
       batch_size_histogram_.resize(count + 1, 0);
     }
     batch_size_histogram_[count] += 1;
-    for (const RenderResponse& response : responses) {
-      latency_samples_.push_back(response.latency.total_s);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!late[i]) latency_samples_.push_back(responses[i].latency.total_s);
     }
   }
 
   for (std::size_t i = 0; i < count; ++i) {
-    cache_.insert(batch.requests[i].key,
-                  CachedFrame{responses[i].result, batch.simulator});
-    batch.requests[i].promise.set_value(std::move(responses[i]));
+    if (late[i]) {
+      // The frame exists but missed its deadline; the render is honest
+      // waste the stats make visible.
+      expire_request(live[i], expired_post_render_,
+                     "post-render (frame finished too late)");
+      continue;
+    }
+    // A degraded frame is not bit-identical to the requested simulator's
+    // output; caching it under the request fingerprint would poison later
+    // healthy hits.
+    if (!responses[i].degraded) {
+      cache_.insert(live[i].key,
+                    CachedFrame{responses[i].result, responses[i].simulator});
+    }
+    live[i].promise.set_value(std::move(responses[i]));
   }
+  return true;
 }
 
 void FrameService::stop() {
@@ -211,11 +316,14 @@ void FrameService::stop() {
     stopped_ = true;
   }
   // Close admission; workers drain every already-admitted request (pop_run
-  // keeps returning queued items after close), then exit on empty.
+  // keeps returning queued items after close), then exit on empty. close()
+  // also wakes any submitter blocked on a full queue — its push returns
+  // false and submit() throws instead of deadlocking against stop().
   queue_.close();
   pool_->join();
-  // With zero workers nothing drained the queue — fail those futures rather
-  // than leaving clients blocked forever.
+  // If workers retired (or the pool was built with zero workers) nothing
+  // drained the queue — fail those futures rather than leaving clients
+  // blocked forever.
   std::vector<QueuedRequest> orphaned;
   while (std::optional<QueuedRequest> leftover = queue_.pop()) {
     orphaned.push_back(std::move(*leftover));
@@ -244,6 +352,8 @@ bool FrameService::invalidate_cached_frame(std::uint64_t fingerprint) {
   return cache_.invalidate(fingerprint);
 }
 
+PoolHealth FrameService::health() const { return pool_->health(); }
+
 ServiceStats FrameService::stats() const {
   ServiceStats s;
   {
@@ -252,6 +362,10 @@ ServiceStats FrameService::stats() const {
     s.rejected = rejected_;
     s.completed = completed_;
     s.failed = failed_;
+    s.shed = shed_;
+    s.expired_admission = expired_admission_;
+    s.expired_batch = expired_batch_;
+    s.expired_post_render = expired_post_render_;
     s.cache_hits = cache_hits_;
     s.cache_misses = cache_misses_;
     s.batches = batches_;
@@ -263,6 +377,7 @@ ServiceStats FrameService::stats() const {
                            ? 0.0
                            : sum / static_cast<double>(latency_samples_.size());
   }
+  s.sink_exceptions = pool_->sink_exceptions();
   s.elapsed_s = lifetime_.seconds();
   s.throughput_rps = s.elapsed_s > 0.0
                          ? static_cast<double>(s.completed) / s.elapsed_s

@@ -62,6 +62,18 @@ struct ServiceStats {
   std::uint64_t rejected = 0;    ///< bounced by admission control
   std::uint64_t completed = 0;   ///< futures resolved with a frame
   std::uint64_t failed = 0;      ///< futures resolved with an exception
+  /// Lower-priority requests displaced by higher-priority admissions under
+  /// overload (their futures failed with OverloadShedError; also counted
+  /// in `failed`).
+  std::uint64_t shed = 0;
+  /// Deadline expiries by detection point (all also counted in `failed`):
+  /// at admission, at batch formation (the request was never rendered),
+  /// and post-render (the frame finished too late to deliver).
+  std::uint64_t expired_admission = 0;
+  std::uint64_t expired_batch = 0;
+  std::uint64_t expired_post_render = 0;
+  /// Exceptions that escaped the worker batch sink (see WorkerPool).
+  std::uint64_t sink_exceptions = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t batches = 0;
@@ -76,6 +88,15 @@ struct ServiceStats {
 
   [[nodiscard]] double cache_hit_rate() const { return cache.hit_rate(); }
   [[nodiscard]] double mean_batch_size() const;
+  [[nodiscard]] std::uint64_t expired_total() const {
+    return expired_admission + expired_batch + expired_post_render;
+  }
+  /// Every admitted request is exactly one of completed or failed once the
+  /// service has quiesced; anything else is a stuck (never-resolved)
+  /// future. The chaos harness asserts this reaches zero.
+  [[nodiscard]] std::uint64_t in_flight() const {
+    return submitted - completed - failed;
+  }
 };
 
 class FrameService {
@@ -89,11 +110,17 @@ class FrameService {
   /// Blocking admission: waits for queue space under overload. Throws
   /// support::Error when the service is stopped. Invalid requests (bad
   /// scene, unsupported simulator, attitude without a catalog) throw
-  /// synchronously — they never consume queue space.
+  /// synchronously — they never consume queue space. A request whose
+  /// deadline has already expired (deadline_s <= 0) is admitted but its
+  /// future fails immediately with DeadlineExceededError.
   [[nodiscard]] std::future<RenderResponse> submit(RenderRequest request);
 
-  /// Non-blocking admission: nullopt (and a `rejected` tick) when the
-  /// queue is full or the service is stopped.
+  /// Non-blocking admission with priority-aware load shedding: when the
+  /// queue is full but holds lower-priority work, the youngest such
+  /// request is displaced (its future fails with OverloadShedError, a
+  /// `shed` tick) and this one takes its place. nullopt (and a `rejected`
+  /// tick) when the queue is full of equal-or-higher-priority work or the
+  /// service is stopped.
   [[nodiscard]] std::optional<std::future<RenderResponse>> try_submit(
       RenderRequest request);
 
@@ -113,6 +140,9 @@ class FrameService {
   bool invalidate_cached_frame(std::uint64_t fingerprint);
 
   [[nodiscard]] ServiceStats stats() const;
+  /// Worker-pool supervision snapshot: per-worker state, device
+  /// replacements, quarantines, failure streaks (docs/resilience.md).
+  [[nodiscard]] PoolHealth health() const;
   [[nodiscard]] const FrameServiceOptions& options() const { return options_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
 
@@ -125,7 +155,14 @@ class FrameService {
   std::optional<std::future<RenderResponse>> serve_from_cache(
       QueuedRequest& queued);
 
-  void execute_batch(Batch&& batch, Worker& worker);
+  /// Fail an admitted-but-expired request's future with
+  /// DeadlineExceededError; `counter` is the stage-specific expiry counter.
+  void expire_request(QueuedRequest& queued, std::uint64_t& counter,
+                      const char* stage);
+
+  /// Render a batch and deliver every promise; false when the render threw
+  /// (the worker pool's circuit breaker counts consecutive failures).
+  bool execute_batch(Batch&& batch, Worker& worker);
 
   void record_completion(double total_latency_s);
 
@@ -140,6 +177,10 @@ class FrameService {
   std::uint64_t rejected_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t expired_admission_ = 0;
+  std::uint64_t expired_batch_ = 0;
+  std::uint64_t expired_post_render_ = 0;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
   std::uint64_t batches_ = 0;

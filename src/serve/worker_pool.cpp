@@ -1,5 +1,6 @@
 #include "serve/worker_pool.h"
 
+#include <string>
 #include <utility>
 
 #include "starsim/adaptive_simulator.h"
@@ -8,6 +9,7 @@
 #include "starsim/pixel_centric_simulator.h"
 #include "starsim/sequential_simulator.h"
 #include "support/error.h"
+#include "support/log.h"
 
 namespace starsim::serve {
 
@@ -35,12 +37,46 @@ std::unique_ptr<Simulator> make_simulator(gpusim::Device& device,
                     "' cannot run on a single-device serving worker");
 }
 
+bool needs_device(SimulatorKind kind) {
+  return kind == SimulatorKind::kParallel || kind == SimulatorKind::kAdaptive ||
+         kind == SimulatorKind::kPixelCentric;
+}
+
 }  // namespace
+
+std::string_view to_string(WorkerState state) {
+  switch (state) {
+    case WorkerState::kHealthy: return "healthy";
+    case WorkerState::kQuarantined: return "quarantined";
+    case WorkerState::kCpuFallback: return "cpu-fallback";
+    case WorkerState::kRetired: return "retired";
+  }
+  return "unknown";
+}
 
 Worker::Worker(int index, const WorkerOptions& options)
     : index_(index),
       options_(options),
-      device_(std::make_unique<gpusim::Device>(options.device)) {}
+      device_(std::make_unique<gpusim::Device>(options.device)) {
+  if (options_.fault_policy.has_value()) {
+    gpusim::FaultPolicy policy = *options_.fault_policy;
+    policy.seed = injector_seed(0);
+    injector_ = std::make_unique<gpusim::FaultInjector>(policy);
+    device_->set_fault_injector(injector_.get());
+  }
+}
+
+std::uint64_t Worker::injector_seed(int generation) const {
+  // Decorrelate workers and device generations from one user-facing seed:
+  // golden-ratio stride per worker, odd stride per replacement.
+  const std::uint64_t base =
+      options_.fault_policy.has_value() ? options_.fault_policy->seed : 0;
+  return base +
+         std::uint64_t{0x9E3779B97F4A7C15} *
+             static_cast<std::uint64_t>(index_ + 1) +
+         std::uint64_t{0xD1B54A32D192ED03} *
+             static_cast<std::uint64_t>(generation);
+}
 
 Simulator& Worker::simulator(SimulatorKind kind) {
   auto& slot = simulators_.at(static_cast<std::size_t>(kind));
@@ -68,23 +104,109 @@ Simulator& Worker::simulator(SimulatorKind kind) {
   return *slot;
 }
 
-std::vector<SimulationResult> Worker::render(
-    const SceneConfig& scene, SimulatorKind kind,
-    std::span<const StarField> fields) {
-  return simulator(kind).simulate_batch(scene, fields);
+Worker::RenderOutcome Worker::render(const SceneConfig& scene,
+                                     SimulatorKind kind,
+                                     std::span<const StarField> fields) {
+  SimulatorKind effective = kind;
+  if (state_.load() == WorkerState::kCpuFallback && needs_device(kind)) {
+    // The device budget is spent; keep emitting frames on the CPU. The
+    // service marks these responses degraded (different accumulation
+    // order => not bit-identical to the requested GPU kind).
+    effective = SimulatorKind::kCpuParallel;
+  }
+  RenderOutcome outcome;
+  outcome.executed.reserve(fields.size());
+  Simulator& sim = simulator(effective);
+  if (options_.resilient) {
+    // The resilient executor recovers frame by frame; run it that way and
+    // read each frame's report so a degraded frame is attributed to the
+    // rung that actually rendered it.
+    auto& executor = static_cast<ResilientExecutor&>(sim);
+    outcome.results.reserve(fields.size());
+    for (const StarField& field : fields) {
+      outcome.results.push_back(executor.simulate(scene, field));
+      const ResilienceReport& report = executor.last_report();
+      outcome.executed.push_back(
+          simulator_kind_from_string(report.final_simulator)
+              .value_or(effective));
+    }
+  } else {
+    outcome.results = sim.simulate_batch(scene, fields);
+    outcome.executed.assign(fields.size(), effective);
+  }
+  return outcome;
+}
+
+void Worker::replace_device() {
+  // Simulators hold references into the old device; they must die first.
+  for (auto& slot : simulators_) slot.reset();
+  device_ = std::make_unique<gpusim::Device>(options_.device);
+  const int generation = replacements_.load() + 1;
+  if (injector_ != nullptr) {
+    injector_->reseed(injector_seed(generation));
+    device_->set_fault_injector(injector_.get());
+  }
+  replacements_.store(generation);
+  consecutive_failures_.store(0);
+  state_.store(WorkerState::kHealthy);
+}
+
+void Worker::note_quarantined() {
+  quarantines_.fetch_add(1);
+  state_.store(WorkerState::kQuarantined);
+}
+
+void Worker::enter_cpu_fallback() {
+  // CPU simulators never touch the (dead) device, so the lost latch can
+  // stay; drop the device's simulators so nothing dereferences it again.
+  for (auto& slot : simulators_) slot.reset();
+  consecutive_failures_.store(0);
+  state_.store(WorkerState::kCpuFallback);
+}
+
+void Worker::retire() {
+  for (auto& slot : simulators_) slot.reset();
+  state_.store(WorkerState::kRetired);
+}
+
+void Worker::note_batch(bool ok) {
+  if (ok) {
+    batches_ok_.fetch_add(1);
+    consecutive_failures_.store(0);
+  } else {
+    batches_failed_.fetch_add(1);
+    consecutive_failures_.fetch_add(1);
+  }
+}
+
+WorkerHealth Worker::health() const {
+  WorkerHealth h;
+  h.index = index_;
+  h.state = state_.load();
+  h.device_replacements = replacements_.load();
+  h.quarantines = quarantines_.load();
+  h.consecutive_failures = consecutive_failures_.load();
+  h.batches_ok = batches_ok_.load();
+  h.batches_failed = batches_failed_.load();
+  return h;
 }
 
 WorkerPool::WorkerPool(int workers, const WorkerOptions& options,
                        BatchSource source, BatchSink sink)
-    : source_(std::move(source)), sink_(std::move(sink)) {
+    : options_(options), source_(std::move(source)), sink_(std::move(sink)) {
   STARSIM_REQUIRE(workers >= 0, "worker count must be non-negative");
   STARSIM_REQUIRE(source_ != nullptr && sink_ != nullptr,
                   "worker pool needs a batch source and sink");
+  STARSIM_REQUIRE(options_.supervision.max_device_replacements >= 0,
+                  "device replacement budget must be non-negative");
+  STARSIM_REQUIRE(options_.supervision.circuit_breaker_threshold >= 0,
+                  "circuit breaker threshold must be non-negative");
   workers_.reserve(static_cast<std::size_t>(workers));
   threads_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(i, options));
   }
+  active_workers_.store(workers);
   // Spawn only after every Worker exists: a throwing Worker constructor
   // must not leave earlier threads running against a half-built pool.
   for (auto& worker : workers_) {
@@ -100,16 +222,78 @@ void WorkerPool::join() {
   }
 }
 
+PoolHealth WorkerPool::health() const {
+  PoolHealth pool;
+  pool.workers.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    pool.workers.push_back(worker->health());
+    pool.total_device_replacements +=
+        pool.workers.back().device_replacements;
+    pool.total_quarantines += pool.workers.back().quarantines;
+  }
+  pool.active_workers = active_workers_.load();
+  pool.sink_exceptions = sink_exceptions_.load();
+  return pool;
+}
+
 void WorkerPool::run(Worker& worker) {
   while (std::optional<Batch> batch = source_()) {
+    bool ok = false;
     try {
-      sink_(std::move(*batch), worker);
-    } catch (...) {  // NOLINT(bugprone-empty-catch)
-      // The sink owns promise delivery; whatever escaped has already been
-      // reported through the batch's futures or is unreportable. A worker
-      // thread must outlive any single bad batch.
+      ok = sink_(std::move(*batch), worker);
+    } catch (const std::exception& error) {
+      // The sink owns promise delivery; an exception escaping it means a
+      // batch may have died unreported. Count and log it — silence here
+      // turns a service bug into an unresolvable client hang.
+      sink_exceptions_.fetch_add(1);
+      STARSIM_WARN << "worker " << worker.index()
+                   << ": exception escaped the batch sink: " << error.what();
+    } catch (...) {
+      sink_exceptions_.fetch_add(1);
+      STARSIM_WARN << "worker " << worker.index()
+                   << ": non-standard exception escaped the batch sink";
+    }
+    worker.note_batch(ok);
+    // A CPU-fallback worker never re-enters supervision: its device latch
+    // stays lost by design and its CPU renders cannot fault.
+    if (worker.state() == WorkerState::kCpuFallback) continue;
+    const int breaker = options_.supervision.circuit_breaker_threshold;
+    const bool breaker_tripped =
+        breaker > 0 && worker.consecutive_failures() >= breaker;
+    if (worker.lost() || breaker_tripped) {
+      if (!supervise(worker)) return;  // retired: thread exits
     }
   }
+}
+
+bool WorkerPool::supervise(Worker& worker) {
+  worker.note_quarantined();
+  const bool lost = worker.lost();
+  if (worker.replacements() < options_.supervision.max_device_replacements) {
+    worker.replace_device();
+    STARSIM_WARN << "worker " << worker.index() << ": device "
+                 << (lost ? "lost" : "suspect (circuit breaker)")
+                 << "; replaced (replacement "
+                 << worker.replacements() << " of "
+                 << options_.supervision.max_device_replacements << ")";
+    return true;
+  }
+  // Replacement budget exhausted: retire if capacity survives elsewhere,
+  // otherwise the last active worker degrades to CPU so frames keep coming.
+  const std::lock_guard<std::mutex> guard(supervise_mutex_);
+  if (active_workers_.load() > 1) {
+    active_workers_.fetch_sub(1);
+    worker.retire();
+    STARSIM_WARN << "worker " << worker.index()
+                 << ": replacement budget exhausted; retired ("
+                 << active_workers_.load() << " workers remain)";
+    return false;
+  }
+  worker.enter_cpu_fallback();
+  STARSIM_WARN << "worker " << worker.index()
+               << ": replacement budget exhausted on the last active "
+                  "worker; falling back to CPU rendering";
+  return true;
 }
 
 }  // namespace starsim::serve

@@ -1,4 +1,5 @@
-// Worker pool: N render threads, each owning a private simulated device.
+// Worker pool: N render threads, each owning a private simulated device,
+// under a supervisor that keeps capacity alive when devices fail.
 //
 // Determinism is the design constraint: frames served concurrently must be
 // bit-identical to frames rendered alone (the test suite checks this).
@@ -7,23 +8,52 @@
 // configured spec and lazily instantiates one simulator per kind on it,
 // exactly the per-device sharding MultiGpuSimulator uses for capacity and
 // ResilientExecutor wraps for fault handling.
+//
+// Supervision (docs/resilience.md, "service-level recovery ladder"): after
+// every batch the pool checks the worker's device. A device that dropped
+// off the bus (latched DeviceLostError), or a sink that failed
+// `circuit_breaker_threshold` consecutive batches, quarantines the worker;
+// the supervisor then *replaces* the device with a freshly constructed one
+// (re-seeding the worker's fault injector — a new physical unit has a new
+// fault schedule), bounded by `max_device_replacements` per worker. When
+// the budget is exhausted the worker retires (the pool runs on with reduced
+// capacity) — unless it is the last active worker, which instead falls back
+// to CPU-only rendering so the service keeps emitting frames. health()
+// snapshots all of this per worker.
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "gpusim/device.h"
+#include "gpusim/fault_injector.h"
 #include "serve/batcher.h"
 #include "starsim/lookup_table.h"
 #include "starsim/resilient_executor.h"
 #include "starsim/simulator.h"
 
 namespace starsim::serve {
+
+/// When and how the pool replaces failing workers.
+struct SupervisionPolicy {
+  /// Fresh devices a quarantined worker may receive before it retires (or,
+  /// as the last active worker, falls back to CPU rendering). 0 disables
+  /// replacement entirely — the first quarantine retires the worker.
+  int max_device_replacements = 2;
+  /// Consecutive failed batches on one worker before the supervisor treats
+  /// the device as suspect and quarantines it even without a latched
+  /// DeviceLostError. 0 disables the circuit breaker.
+  int circuit_breaker_threshold = 3;
+};
 
 struct WorkerOptions {
   gpusim::DeviceSpec device = gpusim::DeviceSpec::gtx480();
@@ -38,32 +68,131 @@ struct WorkerOptions {
   /// simulator's batched setup amortization.
   bool resilient = false;
   RetryPolicy retry{};
+  SupervisionPolicy supervision{};
+  /// Per-worker fault injection (the chaos harness's entry point): each
+  /// worker owns a FaultInjector built from this policy with the seed
+  /// decorrelated by worker index, attached to its private device. nullopt
+  /// (production) attaches nothing and costs nothing.
+  std::optional<gpusim::FaultPolicy> fault_policy;
 };
 
-/// One worker's render context. Not thread-safe — owned by one pool thread
-/// (or used single-threaded in tests).
+/// Lifecycle of one supervised worker.
+enum class WorkerState : int {
+  kHealthy = 0,
+  /// Device declared failed; replacement pending or exhausted. Transient —
+  /// visible only between detection and the supervisor's decision.
+  kQuarantined = 1,
+  /// Replacement budget exhausted on the last active worker: renders every
+  /// batch on CPU simulators (responses flag `degraded` for GPU kinds).
+  kCpuFallback = 2,
+  /// Replacement budget exhausted with other workers still active: thread
+  /// exited, capacity reduced.
+  kRetired = 3,
+};
+
+[[nodiscard]] std::string_view to_string(WorkerState state);
+
+/// Point-in-time view of one worker, from WorkerPool::health().
+struct WorkerHealth {
+  int index = 0;
+  WorkerState state = WorkerState::kHealthy;
+  int device_replacements = 0;  ///< fresh devices this worker received
+  int quarantines = 0;          ///< times the supervisor declared it failed
+  int consecutive_failures = 0; ///< current failed-batch streak (breaker arm)
+  std::uint64_t batches_ok = 0;
+  std::uint64_t batches_failed = 0;
+};
+
+/// Point-in-time view of the pool.
+struct PoolHealth {
+  std::vector<WorkerHealth> workers;
+  /// Workers currently able to take batches (healthy or CPU fallback).
+  int active_workers = 0;
+  int total_device_replacements = 0;
+  int total_quarantines = 0;
+  /// Exceptions that escaped the batch sink (which owns promise delivery —
+  /// anything escaping it is a bug worth counting, not swallowing silently).
+  std::uint64_t sink_exceptions = 0;
+
+  /// True when any worker is running below its configured capability.
+  [[nodiscard]] bool degraded() const {
+    for (const WorkerHealth& w : workers) {
+      if (w.state != WorkerState::kHealthy) return true;
+    }
+    return false;
+  }
+};
+
+/// One worker's render context. Render paths are single-threaded (owned by
+/// one pool thread); the health counters are atomics so the supervisor's
+/// snapshot can read them from any thread.
 class Worker {
  public:
   Worker(int index, const WorkerOptions& options);
 
   [[nodiscard]] int index() const { return index_; }
   [[nodiscard]] gpusim::Device& device() { return *device_; }
+  [[nodiscard]] gpusim::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
 
   /// The simulator serving `kind` on this worker's device, constructed on
   /// first use. Throws PreconditionError for kinds a single-device worker
   /// cannot host (multi-GPU).
   [[nodiscard]] Simulator& simulator(SimulatorKind kind);
 
-  /// Render a batch through the kind's batch entry point.
-  [[nodiscard]] std::vector<SimulationResult> render(
-      const SceneConfig& scene, SimulatorKind kind,
-      std::span<const StarField> fields);
+  /// What a batch render actually did, frame by frame.
+  struct RenderOutcome {
+    std::vector<SimulationResult> results;
+    /// Simulator that produced frame i — the requested kind unless CPU
+    /// fallback or a resilient chain degraded it.
+    std::vector<SimulatorKind> executed;
+  };
+
+  /// Render a batch through the kind's batch entry point (or frame by
+  /// frame through the resilient chain when configured).
+  [[nodiscard]] RenderOutcome render(const SceneConfig& scene,
+                                     SimulatorKind kind,
+                                     std::span<const StarField> fields);
+
+  /// True when this worker's device has latched as lost.
+  [[nodiscard]] bool lost() const {
+    return device_ != nullptr && device_->lost();
+  }
+
+  // --- Supervision (called by the owning pool thread only) -------------------
+  /// Tear down every simulator, construct a fresh Device from the spec, and
+  /// re-seed + re-attach the fault injector (a replacement unit has its own
+  /// fault schedule). Returns the worker to kHealthy.
+  void replace_device();
+  void note_quarantined();
+  void enter_cpu_fallback();
+  void retire();
+  void note_batch(bool ok);
+
+  // --- Health (readable from any thread) -------------------------------------
+  [[nodiscard]] WorkerState state() const { return state_.load(); }
+  [[nodiscard]] int replacements() const { return replacements_.load(); }
+  [[nodiscard]] int consecutive_failures() const {
+    return consecutive_failures_.load();
+  }
+  [[nodiscard]] WorkerHealth health() const;
 
  private:
+  [[nodiscard]] std::uint64_t injector_seed(int generation) const;
+
   int index_;
   WorkerOptions options_;
+  std::unique_ptr<gpusim::FaultInjector> injector_;  // may be null
   std::unique_ptr<gpusim::Device> device_;
   std::array<std::unique_ptr<Simulator>, 6> simulators_;  // indexed by kind
+
+  std::atomic<WorkerState> state_{WorkerState::kHealthy};
+  std::atomic<int> replacements_{0};
+  std::atomic<int> quarantines_{0};
+  std::atomic<int> consecutive_failures_{0};
+  std::atomic<std::uint64_t> batches_ok_{0};
+  std::atomic<std::uint64_t> batches_failed_{0};
 };
 
 class WorkerPool {
@@ -72,9 +201,10 @@ class WorkerPool {
   /// closed and drained).
   using BatchSource = std::function<std::optional<Batch>()>;
   /// Batch executor; must deliver every request's promise (value or
-  /// exception) — an exception escaping the sink is swallowed so one bad
-  /// batch cannot kill a worker thread.
-  using BatchSink = std::function<void(Batch&&, Worker&)>;
+  /// exception) and return true iff the batch produced frames. An exception
+  /// escaping the sink is counted, logged, and treated as a failed batch —
+  /// one bad batch cannot kill a worker thread.
+  using BatchSink = std::function<bool(Batch&&, Worker&)>;
 
   /// Spawns `workers` threads immediately.
   WorkerPool(int workers, const WorkerOptions& options, BatchSource source,
@@ -90,13 +220,31 @@ class WorkerPool {
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Point-in-time health snapshot; callable from any thread, any time.
+  [[nodiscard]] PoolHealth health() const;
+
+  /// Exceptions that escaped the batch sink so far.
+  [[nodiscard]] std::uint64_t sink_exceptions() const {
+    return sink_exceptions_.load();
+  }
+
  private:
   void run(Worker& worker);
+  /// Quarantine + replace/retire/fallback decision for a failed worker.
+  /// False => the worker retired and its thread must exit.
+  [[nodiscard]] bool supervise(Worker& worker);
 
+  WorkerOptions options_;
   BatchSource source_;
   BatchSink sink_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+
+  std::atomic<std::uint64_t> sink_exceptions_{0};
+  std::atomic<int> active_workers_{0};
+  /// Serializes retire-vs-fallback decisions so two workers exhausting
+  /// their budgets at once cannot both retire and leave the queue dead.
+  std::mutex supervise_mutex_;
 };
 
 }  // namespace starsim::serve

@@ -79,6 +79,26 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// Raised by the serving layer when a request's deadline passed before a
+/// frame could be delivered — at admission, at batch formation (the request
+/// is never rendered), or after a render that finished too late. Never
+/// retryable: re-issuing the identical request cannot un-expire it; the
+/// client must submit a fresh request with a fresh deadline.
+class DeadlineExceededError : public Error {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : Error(what, /*retryable=*/false) {}
+};
+
+/// Raised into a queued request's future when overload shedding displaced
+/// it in favour of higher-priority work. Retryable: the same request may
+/// well be admitted once the burst passes.
+class OverloadShedError : public Error {
+ public:
+  explicit OverloadShedError(const std::string& what)
+      : Error(what, /*retryable=*/true) {}
+};
+
 }  // namespace starsim::support
 
 /// Precondition guard: throws PreconditionError with location info when the

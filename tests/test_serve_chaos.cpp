@@ -1,0 +1,418 @@
+// Chaos harness for the serving stack: seeded fault injection at every
+// device site (including device loss) under concurrent submitters.
+//
+// The contract under chaos is threefold: every admitted future resolves
+// (a frame or a typed error — never a hang), every surviving frame is
+// bit-identical to a direct Simulator render of the same inputs by the
+// simulator that actually executed it, and the supervisor keeps the
+// service alive (device replacement -> retire -> CPU fallback) without a
+// restart. Fault schedules are seeded, so each scenario replays the same
+// decisions run after run; the scripted tests below (rate = 1.0) pin the
+// exact supervision ladder transition by transition.
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gpusim/fault_injector.h"
+#include "imageio/image.h"
+#include "serve/worker_pool.h"
+#include "starsim/openmp_simulator.h"
+#include "starsim/parallel_simulator.h"
+#include "starsim/sequential_simulator.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace {
+
+namespace gs = starsim::gpusim;
+using starsim::OpenMpSimulator;
+using starsim::ParallelSimulator;
+using starsim::SceneConfig;
+using starsim::SequentialSimulator;
+using starsim::SimulatorKind;
+using starsim::Star;
+using starsim::StarField;
+using starsim::imageio::ImageF;
+using starsim::imageio::max_abs_difference;
+using starsim::serve::Batch;
+using starsim::serve::FrameService;
+using starsim::serve::FrameServiceOptions;
+using starsim::serve::PoolHealth;
+using starsim::serve::RenderRequest;
+using starsim::serve::RenderResponse;
+using starsim::serve::RequestPriority;
+using starsim::serve::ServiceStats;
+using starsim::serve::Worker;
+using starsim::serve::WorkerOptions;
+using starsim::serve::WorkerPool;
+using starsim::serve::WorkerState;
+
+SceneConfig small_scene() {
+  SceneConfig scene;
+  scene.image_width = 64;
+  scene.image_height = 64;
+  scene.roi_side = 10;
+  return scene;
+}
+
+StarField random_stars(std::uint64_t seed, std::size_t count) {
+  starsim::support::Pcg32 rng(seed);
+  StarField stars;
+  for (std::size_t i = 0; i < count; ++i) {
+    Star star;
+    star.magnitude = 2.0f + 10.0f * static_cast<float>(rng.uniform());
+    star.x = 64.0f * static_cast<float>(rng.uniform());
+    star.y = 64.0f * static_cast<float>(rng.uniform());
+    stars.push_back(star);
+  }
+  return stars;
+}
+
+RenderRequest pinned_request(const StarField& stars, SimulatorKind kind) {
+  RenderRequest request;
+  request.scene = small_scene();
+  request.stars = stars;
+  request.simulator = kind;
+  return request;
+}
+
+/// Direct (no service, no faults) renders of every field by every simulator
+/// a resilient kParallel worker can end up executing — the bit-identity
+/// oracle for whatever the chaos run degrades to.
+struct ReferenceSet {
+  std::vector<ImageF> parallel;
+  std::vector<ImageF> cpu_parallel;
+  std::vector<ImageF> sequential;
+
+  explicit ReferenceSet(const std::vector<StarField>& fields) {
+    OpenMpSimulator omp;
+    SequentialSimulator seq;
+    for (const StarField& stars : fields) {
+      gs::Device device(gs::DeviceSpec::gtx480());
+      parallel.push_back(
+          ParallelSimulator(device).simulate(small_scene(), stars).image);
+      cpu_parallel.push_back(omp.simulate(small_scene(), stars).image);
+      sequential.push_back(seq.simulate(small_scene(), stars).image);
+    }
+  }
+
+  [[nodiscard]] const ImageF& image(SimulatorKind kind, std::size_t i) const {
+    switch (kind) {
+      case SimulatorKind::kParallel: return parallel[i];
+      case SimulatorKind::kCpuParallel: return cpu_parallel[i];
+      case SimulatorKind::kSequential: return sequential[i];
+      default: ADD_FAILURE() << "unexpected executed kind"; return parallel[i];
+    }
+  }
+};
+
+// --- The chaos run: concurrent submitters vs injected faults -----------------
+
+TEST(ServeChaos, EveryAdmittedFutureResolvesAndSurvivingFramesAreExact) {
+  constexpr int kSubmitters = 4;
+  constexpr std::size_t kFields = 12;
+
+  std::vector<StarField> fields;
+  for (std::size_t i = 0; i < kFields; ++i) {
+    fields.push_back(random_stars(3000 + i, 40));
+  }
+  const ReferenceSet references(fields);
+
+  FrameServiceOptions options;
+  options.workers = 2;
+  options.max_batch_size = 4;
+  options.queue_capacity = 64;
+  options.cache_capacity = 0;  // every admitted request exercises a worker
+  options.worker.resilient = true;  // faulted frames degrade, not fail
+  options.worker.fault_policy = gs::FaultPolicy::chaos(
+      /*rate=*/0.15, /*lost_rate=*/0.25, /*seed=*/2024);
+  FrameService service(std::move(options));
+
+  // Each submitter pushes every field with a rotating priority; every sixth
+  // request carries an already-expired deadline — a deterministic slice of
+  // traffic that must fail typed (DeadlineExceededError), never render, and
+  // still count as resolved.
+  struct Submitted {
+    std::size_t field = 0;
+    bool pre_expired = false;
+    std::future<RenderResponse> future;
+  };
+  std::vector<std::vector<Submitted>> per_thread(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kFields; ++i) {
+        RenderRequest request =
+            pinned_request(fields[i], SimulatorKind::kParallel);
+        request.priority = static_cast<RequestPriority>(i % 3);
+        Submitted entry;
+        entry.field = i;
+        entry.pre_expired = (i % 6) == 5;
+        if (entry.pre_expired) {
+          request.deadline_s = 0.0;
+        } else if (i % 2 == 0) {
+          request.deadline_s = 30.0;  // generous: exercised, never missed
+        }
+        entry.future = service.submit(std::move(request));
+        per_thread[static_cast<std::size_t>(t)].push_back(std::move(entry));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  std::uint64_t frames = 0;
+  std::uint64_t pre_expired = 0;
+  for (auto& thread_entries : per_thread) {
+    for (Submitted& entry : thread_entries) {
+      ASSERT_TRUE(entry.future.valid());
+      try {
+        const RenderResponse response = entry.future.get();
+        EXPECT_FALSE(entry.pre_expired);
+        ASSERT_NE(response.result, nullptr);
+        // Bit-identity against the simulator that actually ran the frame;
+        // the degraded flag must agree with the substitution.
+        EXPECT_EQ(max_abs_difference(
+                      response.result->image,
+                      references.image(response.simulator, entry.field)),
+                  0.0);
+        EXPECT_EQ(response.degraded,
+                  response.simulator != SimulatorKind::kParallel);
+        ++frames;
+      } catch (const starsim::support::DeadlineExceededError&) {
+        EXPECT_TRUE(entry.pre_expired);
+        ++pre_expired;
+      }
+      // Any other exception type escapes and fails the test: under this
+      // policy the resilient chain's CPU rungs complete every live frame.
+    }
+  }
+
+  service.stop();
+  const ServiceStats stats = service.stats();
+  constexpr std::uint64_t kTotal = kSubmitters * kFields;
+  EXPECT_EQ(stats.submitted, kTotal);
+  EXPECT_EQ(frames + pre_expired, kTotal);
+  EXPECT_EQ(stats.completed, frames);
+  EXPECT_EQ(stats.failed, pre_expired);
+  EXPECT_EQ(stats.expired_admission, pre_expired);
+  EXPECT_EQ(stats.in_flight(), 0u) << "stuck futures after quiesce";
+  EXPECT_EQ(stats.sink_exceptions, 0u);
+
+  const PoolHealth health = service.health();
+  EXPECT_EQ(health.workers.size(), 2u);
+  EXPECT_GE(health.total_quarantines, health.total_device_replacements);
+  EXPECT_GE(health.active_workers, 1);
+}
+
+TEST(ServeChaos, DeviceLossIsSurvivedByReplacementWithoutRestart) {
+  constexpr std::size_t kRequests = 30;
+
+  FrameServiceOptions options;
+  options.workers = 1;  // one worker + sync submits => one deterministic
+                        // consult sequence for the seeded injector
+  options.cache_capacity = 0;
+  options.worker.supervision.max_device_replacements = 20;
+  // Every injected fault escalates to device loss; at 5% per consult the
+  // seeded schedule interleaves losses with healthy renders.
+  options.worker.fault_policy =
+      gs::FaultPolicy::chaos(/*rate=*/0.05, /*lost_rate=*/1.0, /*seed=*/7);
+  FrameService service(std::move(options));
+
+  std::size_t losses = 0;
+  std::size_t successes = 0;
+  std::optional<std::size_t> first_loss;
+  bool recovered_on_gpu = false;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    try {
+      const RenderResponse response = service.render(
+          pinned_request(random_stars(8000 + i, 30), SimulatorKind::kParallel));
+      ++successes;
+      if (first_loss.has_value() && !response.degraded &&
+          response.simulator == SimulatorKind::kParallel) {
+        recovered_on_gpu = true;  // a fresh device rendered after a loss
+      }
+    } catch (const starsim::support::DeviceLostError&) {
+      ++losses;
+      if (!first_loss.has_value()) first_loss = i;
+    }
+  }
+
+  EXPECT_EQ(losses + successes, kRequests);
+  EXPECT_GE(losses, 1u) << "fault schedule injected no device loss";
+  EXPECT_TRUE(recovered_on_gpu)
+      << "no healthy GPU render after a device replacement";
+
+  const PoolHealth health = service.health();
+  ASSERT_EQ(health.workers.size(), 1u);
+  // Each loss quarantines once and is repaired by one fresh device; the
+  // budget (20) is far above the schedule's loss count, so the worker never
+  // retires or degrades.
+  EXPECT_EQ(health.total_device_replacements, static_cast<int>(losses));
+  EXPECT_EQ(health.total_quarantines, static_cast<int>(losses));
+  EXPECT_EQ(health.workers[0].state, WorkerState::kHealthy);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.in_flight(), 0u);
+  EXPECT_EQ(stats.completed, successes);
+  EXPECT_EQ(stats.failed, losses);
+}
+
+// --- Scripted supervision ladder (rate = 1.0: exact, transition by
+// --- transition) -------------------------------------------------------------
+
+TEST(ServeChaos, BudgetExhaustionFallsBackToCpuOnLastWorker) {
+  FrameServiceOptions options;
+  options.workers = 1;
+  options.cache_capacity = 8;
+  options.worker.supervision.max_device_replacements = 1;
+  // Every device consult faults and every fault kills the device: render 1
+  // spends the single replacement, render 2 exhausts the budget on the last
+  // active worker, which must fall back to CPU instead of retiring.
+  options.worker.fault_policy =
+      gs::FaultPolicy::chaos(/*rate=*/1.0, /*lost_rate=*/1.0, /*seed=*/1);
+  FrameService service(std::move(options));
+
+  const StarField stars = random_stars(42, 25);
+  EXPECT_THROW(
+      (void)service.render(pinned_request(stars, SimulatorKind::kParallel)),
+      starsim::support::DeviceLostError);
+  EXPECT_THROW(
+      (void)service.render(pinned_request(stars, SimulatorKind::kParallel)),
+      starsim::support::DeviceLostError);
+
+  const RenderResponse degraded =
+      service.render(pinned_request(stars, SimulatorKind::kParallel));
+  EXPECT_EQ(degraded.simulator, SimulatorKind::kCpuParallel);
+  EXPECT_TRUE(degraded.degraded);
+
+  // A degraded frame must not be cached under the request's fingerprint: a
+  // later identical request re-renders instead of replaying the fallback.
+  const RenderResponse again =
+      service.render(pinned_request(stars, SimulatorKind::kParallel));
+  EXPECT_FALSE(again.from_cache);
+
+  const PoolHealth health = service.health();
+  ASSERT_EQ(health.workers.size(), 1u);
+  EXPECT_EQ(health.workers[0].state, WorkerState::kCpuFallback);
+  EXPECT_EQ(to_string(health.workers[0].state), "cpu-fallback");
+  EXPECT_EQ(health.workers[0].device_replacements, 1);
+  EXPECT_EQ(health.workers[0].quarantines, 2);
+  EXPECT_EQ(health.active_workers, 1);
+  EXPECT_TRUE(health.degraded());
+}
+
+TEST(ServeChaos, BudgetExhaustionRetiresWorkerWhileOthersRemain) {
+  FrameServiceOptions options;
+  options.workers = 2;
+  options.cache_capacity = 0;
+  options.worker.supervision.max_device_replacements = 0;  // first loss decides
+  options.worker.fault_policy =
+      gs::FaultPolicy::chaos(/*rate=*/1.0, /*lost_rate=*/1.0, /*seed=*/2);
+  FrameService service(std::move(options));
+
+  // First loss retires a worker (capacity survives elsewhere); second loss
+  // hits the now-last worker, which falls back to CPU; from then on frames
+  // keep flowing, degraded.
+  EXPECT_THROW((void)service.render(pinned_request(random_stars(50, 20),
+                                                   SimulatorKind::kParallel)),
+               starsim::support::DeviceLostError);
+  EXPECT_THROW((void)service.render(pinned_request(random_stars(51, 20),
+                                                   SimulatorKind::kParallel)),
+               starsim::support::DeviceLostError);
+  const RenderResponse response = service.render(
+      pinned_request(random_stars(52, 20), SimulatorKind::kParallel));
+  EXPECT_EQ(response.simulator, SimulatorKind::kCpuParallel);
+  EXPECT_TRUE(response.degraded);
+
+  const PoolHealth health = service.health();
+  ASSERT_EQ(health.workers.size(), 2u);
+  int retired = 0;
+  int fallback = 0;
+  for (const auto& worker : health.workers) {
+    retired += worker.state == WorkerState::kRetired ? 1 : 0;
+    fallback += worker.state == WorkerState::kCpuFallback ? 1 : 0;
+  }
+  EXPECT_EQ(retired, 1);
+  EXPECT_EQ(fallback, 1);
+  EXPECT_EQ(health.active_workers, 1);
+  EXPECT_EQ(health.total_device_replacements, 0);
+
+  // Shutdown still quiesces cleanly with a retired worker in the pool.
+  service.stop();
+  EXPECT_EQ(service.stats().in_flight(), 0u);
+}
+
+TEST(ServeChaos, CircuitBreakerReplacesSuspectDeviceWithoutLoss) {
+  FrameServiceOptions options;
+  options.workers = 1;
+  options.cache_capacity = 0;
+  options.worker.supervision.max_device_replacements = 1;
+  options.worker.supervision.circuit_breaker_threshold = 2;
+  // Kernel launches always time out but the device never latches as lost:
+  // only the consecutive-failure breaker can declare it suspect.
+  gs::FaultPolicy policy;
+  policy.kernel_timeout_rate = 1.0;
+  options.worker.fault_policy = policy;
+  FrameService service(std::move(options));
+
+  // Failures 1-2 trip the breaker (replacement #1, streak resets); failures
+  // 3-4 trip it again with the budget spent, so the last worker falls back
+  // to CPU; render 5 succeeds there.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_THROW(
+        (void)service.render(pinned_request(random_stars(60 + i, 20),
+                                            SimulatorKind::kParallel)),
+        starsim::support::KernelTimeoutError);
+  }
+  const RenderResponse response = service.render(
+      pinned_request(random_stars(64, 20), SimulatorKind::kParallel));
+  EXPECT_EQ(response.simulator, SimulatorKind::kCpuParallel);
+
+  // The last batch's accounting lands after its promise resolves; join the
+  // workers so the health snapshot is final.
+  service.stop();
+  const PoolHealth health = service.health();
+  ASSERT_EQ(health.workers.size(), 1u);
+  EXPECT_EQ(health.workers[0].state, WorkerState::kCpuFallback);
+  EXPECT_EQ(health.workers[0].quarantines, 2);
+  EXPECT_EQ(health.workers[0].device_replacements, 1);
+  EXPECT_EQ(health.workers[0].batches_failed, 4u);
+  EXPECT_EQ(health.workers[0].batches_ok, 1u);
+}
+
+// --- Sink exception accounting (the silent-swallow fix) ----------------------
+
+TEST(ServeChaos, WorkerPoolCountsSinkExceptionsAndSurvives) {
+  std::atomic<int> batches_served{0};
+  WorkerOptions options;
+  options.supervision.circuit_breaker_threshold = 0;  // isolate the counter
+  WorkerPool pool(
+      1, options,
+      [&]() -> std::optional<Batch> {
+        if (batches_served.fetch_add(1) >= 3) return std::nullopt;
+        return Batch{};
+      },
+      [](Batch&&, Worker&) -> bool {
+        throw std::runtime_error("sink bug: promise delivery skipped");
+      });
+  pool.join();
+
+  // Three throwing batches: each is counted and logged, none kills the
+  // worker thread (it drained the source to exhaustion).
+  EXPECT_EQ(pool.sink_exceptions(), 3u);
+  const PoolHealth health = pool.health();
+  ASSERT_EQ(health.workers.size(), 1u);
+  EXPECT_EQ(health.workers[0].batches_failed, 3u);
+  EXPECT_EQ(health.workers[0].batches_ok, 0u);
+  EXPECT_EQ(health.sink_exceptions, 3u);
+}
+
+}  // namespace

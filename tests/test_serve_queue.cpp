@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -91,6 +92,93 @@ TEST(BoundedQueue, PopRunEmptyAfterCloseAndDrain) {
   BoundedQueue<int> queue(4);
   queue.close();
   EXPECT_TRUE(queue.pop_run(4, [](int, int) { return true; }).empty());
+}
+
+TEST(BoundedQueue, PopDrainsHighestBandFirst) {
+  BoundedQueue<int> queue(8, 3);
+  int low_a = 1;
+  int low_b = 2;
+  int mid = 3;
+  int high = 4;
+  EXPECT_TRUE(queue.try_push(low_a, 0));
+  EXPECT_TRUE(queue.try_push(high, 2));
+  EXPECT_TRUE(queue.try_push(mid, 1));
+  EXPECT_TRUE(queue.try_push(low_b, 0));
+  // Highest band first; FIFO within a band regardless of arrival order.
+  EXPECT_EQ(queue.pop(), 4);
+  EXPECT_EQ(queue.pop(), 3);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(BoundedQueue, PopRunNeverSpansBands) {
+  BoundedQueue<int> queue(8, 3);
+  int a = 5;
+  int b = 5;
+  int c = 5;
+  EXPECT_TRUE(queue.try_push(a, 1));
+  EXPECT_TRUE(queue.try_push(b, 1));
+  EXPECT_TRUE(queue.try_push(c, 2));
+  const auto same = [](int first, int next) { return first == next; };
+  // All three are mutually compatible, but a run has one priority: the
+  // band-2 item drains alone, then the band-1 pair.
+  EXPECT_EQ(queue.pop_run(8, same), (std::vector<int>{5}));
+  EXPECT_EQ(queue.pop_run(8, same), (std::vector<int>{5, 5}));
+}
+
+TEST(BoundedQueue, SheddingDisplacesYoungestOfLowestBand) {
+  BoundedQueue<int> queue(3, 3);
+  int low_old = 1;
+  int low_young = 2;
+  int mid = 3;
+  EXPECT_TRUE(queue.try_push(low_old, 0));
+  EXPECT_TRUE(queue.try_push(low_young, 0));
+  EXPECT_TRUE(queue.try_push(mid, 1));
+
+  using Outcome = BoundedQueue<int>::PushOutcome;
+  std::optional<int> displaced;
+  int high = 4;
+  // Full: the high admission sheds the *youngest* item of the *lowest*
+  // band below it, not the oldest and not the mid band.
+  EXPECT_EQ(queue.try_push_shedding(high, 2, displaced), Outcome::kDisplaced);
+  EXPECT_EQ(displaced, 2);
+  int mid_2 = 5;
+  EXPECT_EQ(queue.try_push_shedding(mid_2, 1, displaced), Outcome::kDisplaced);
+  EXPECT_EQ(displaced, 1);
+  // Band 0 is now empty: nothing below mid or low remains to shed.
+  int mid_3 = 6;
+  EXPECT_EQ(queue.try_push_shedding(mid_3, 1, displaced), Outcome::kRejected);
+  EXPECT_FALSE(displaced.has_value());
+  int low_again = 7;
+  EXPECT_EQ(queue.try_push_shedding(low_again, 0, displaced),
+            Outcome::kRejected);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.band_size(0), 0u);
+  EXPECT_EQ(queue.band_size(1), 2u);
+  EXPECT_EQ(queue.band_size(2), 1u);
+}
+
+TEST(BoundedQueue, SheddingAcceptsWithoutVictimWhenSpaceRemains) {
+  BoundedQueue<int> queue(2, 3);
+  using Outcome = BoundedQueue<int>::PushOutcome;
+  std::optional<int> displaced;
+  int a = 1;
+  EXPECT_EQ(queue.try_push_shedding(a, 2, displaced), Outcome::kAccepted);
+  EXPECT_FALSE(displaced.has_value());
+  queue.close();
+  int b = 2;
+  EXPECT_EQ(queue.try_push_shedding(b, 2, displaced), Outcome::kRejected);
+}
+
+TEST(BoundedQueue, OutOfRangeBandClampsToTopClass) {
+  BoundedQueue<int> queue(4, 3);
+  int urgent = 9;
+  int normal = 1;
+  EXPECT_TRUE(queue.try_push(normal, 1));
+  EXPECT_TRUE(queue.try_push(urgent, 99));  // clamped to band 2
+  EXPECT_EQ(queue.band_size(2), 1u);
+  EXPECT_EQ(queue.band_size(99), 0u);
+  EXPECT_EQ(queue.pop(), 9);
 }
 
 TEST(BoundedQueue, ConcurrentProducersConsumersPreserveEveryItem) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <thread>
@@ -369,6 +371,319 @@ TEST(FrameService, ResilientWorkersRenderIdenticalFramesWhenHealthy) {
   const RenderResponse response =
       service.render(pinned_request(stars, SimulatorKind::kParallel));
   EXPECT_EQ(max_abs_difference(response.result->image, reference), 0.0);
+}
+
+TEST(FrameService, ExpiredDeadlineFailsAtAdmission) {
+  FrameServiceOptions options;
+  options.workers = 0;  // admission path only
+  options.cache_capacity = 0;
+  FrameService service(std::move(options));
+
+  RenderRequest spent = pinned_request(random_stars(1, 10),
+                                       SimulatorKind::kParallel);
+  spent.deadline_s = 0.0;  // unmeetable before any work
+  auto future = service.submit(std::move(spent));
+  EXPECT_THROW((void)future.get(),
+               starsim::support::DeadlineExceededError);
+
+  RenderRequest negative = pinned_request(random_stars(1, 10),
+                                          SimulatorKind::kParallel);
+  negative.deadline_s = -1.0;
+  auto maybe = service.try_submit(std::move(negative));
+  ASSERT_TRUE(maybe.has_value());
+  EXPECT_THROW((void)maybe->get(),
+               starsim::support::DeadlineExceededError);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.expired_admission, 2u);
+  EXPECT_EQ(stats.expired_total(), 2u);
+  EXPECT_EQ(service.queue_depth(), 0u);  // never consumed queue space
+}
+
+TEST(FrameService, DeadlineExpiredInQueueIsSkippedAtBatchFormation) {
+  FrameServiceOptions options;
+  options.workers = 1;
+  options.max_batch_size = 4;
+  options.cache_capacity = 0;
+  FrameService service(std::move(options));
+
+  // A slow render occupies the single worker; requests with microscopic
+  // budgets expire behind it. Their scene differs from the blocker's, so
+  // they can never coalesce into its batch — they reach batch formation
+  // only after the slow render, long past their deadlines, and must be
+  // dropped there without ever being rendered.
+  RenderRequest blocker;
+  blocker.scene.image_width = 256;
+  blocker.scene.image_height = 256;
+  blocker.scene.roi_side = 16;
+  blocker.stars = random_stars(77, 5000);
+  blocker.simulator = SimulatorKind::kSequential;
+  auto slow = service.submit(std::move(blocker));
+
+  std::vector<std::future<RenderResponse>> doomed;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    RenderRequest request = pinned_request(random_stars(80 + i, 10),
+                                           SimulatorKind::kSequential);
+    request.deadline_s = 0.001;
+    doomed.push_back(service.submit(std::move(request)));
+  }
+
+  EXPECT_NE(slow.get().result, nullptr);
+  for (auto& future : doomed) {
+    EXPECT_THROW((void)future.get(),
+                 starsim::support::DeadlineExceededError);
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.expired_batch, 3u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 3u);
+  // The skipped requests never rendered: only the blocker's batch exists.
+  std::uint64_t histogram_requests = 0;
+  for (std::size_t size = 0; size < stats.batch_size_histogram.size(); ++size) {
+    histogram_requests += stats.batch_size_histogram[size] * size;
+  }
+  EXPECT_EQ(histogram_requests, 1u);
+}
+
+TEST(FrameService, DeadlineMissedDuringRenderFailsPostRender) {
+  FrameServiceOptions options;
+  options.workers = 1;
+  options.cache_capacity = 8;
+  FrameService service(std::move(options));
+
+  // The budget comfortably covers the queue wait (the worker is idle) but
+  // not the render itself: the frame exists, finishes late, and the future
+  // must see the deadline error, not the frame.
+  RenderRequest request;
+  request.scene.image_width = 256;
+  request.scene.image_height = 256;
+  request.scene.roi_side = 20;
+  request.stars = random_stars(90, 8000);
+  request.simulator = SimulatorKind::kSequential;
+  request.deadline_s = 0.005;
+  auto future = service.submit(std::move(request));
+  EXPECT_THROW((void)future.get(),
+               starsim::support::DeadlineExceededError);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.expired_post_render, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+TEST(FrameService, GenerousDeadlineDeliversNormally) {
+  FrameServiceOptions options;
+  options.workers = 1;
+  FrameService service(std::move(options));
+  RenderRequest request = pinned_request(random_stars(5, 20),
+                                         SimulatorKind::kParallel);
+  request.deadline_s = 30.0;
+  const RenderResponse response = service.render(std::move(request));
+  EXPECT_NE(response.result, nullptr);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.expired_total(), 0u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(FrameService, TrySubmitShedsLowestPriorityFirstUnderOverload) {
+  using starsim::serve::RequestPriority;
+  FrameServiceOptions options;
+  options.workers = 0;  // nothing drains: admission decisions are visible
+  options.queue_capacity = 2;
+  options.cache_capacity = 0;
+  FrameService service(std::move(options));
+
+  const auto prioritized = [&](std::uint64_t seed, RequestPriority priority) {
+    RenderRequest request = pinned_request(random_stars(seed, 10),
+                                           SimulatorKind::kParallel);
+    request.priority = priority;
+    return request;
+  };
+
+  auto low_old = service.try_submit(prioritized(1, RequestPriority::kLow));
+  auto low_young = service.try_submit(prioritized(2, RequestPriority::kLow));
+  ASSERT_TRUE(low_old.has_value());
+  ASSERT_TRUE(low_young.has_value());
+
+  // Full queue, but of low-priority work: a high admission displaces the
+  // youngest low request; a normal one then displaces the older low.
+  auto high = service.try_submit(prioritized(3, RequestPriority::kHigh));
+  ASSERT_TRUE(high.has_value());
+  EXPECT_THROW((void)low_young->get(),
+               starsim::support::OverloadShedError);
+  auto normal = service.try_submit(prioritized(4, RequestPriority::kNormal));
+  ASSERT_TRUE(normal.has_value());
+  EXPECT_THROW((void)low_old->get(), starsim::support::OverloadShedError);
+
+  // Nothing below normal remains: equal-or-lower admissions bounce.
+  EXPECT_FALSE(
+      service.try_submit(prioritized(5, RequestPriority::kLow)).has_value());
+  EXPECT_FALSE(
+      service.try_submit(prioritized(6, RequestPriority::kNormal)).has_value());
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.failed, 2u);
+
+  service.stop();  // the surviving high + normal futures fail typed
+  EXPECT_THROW((void)high->get(), starsim::support::Error);
+  EXPECT_THROW((void)normal->get(), starsim::support::Error);
+  stats = service.stats();
+  EXPECT_EQ(stats.failed, 4u);
+  EXPECT_EQ(stats.in_flight(), 0u);
+}
+
+TEST(FrameService, HighPriorityOvertakesEarlierLowPriorityInQueue) {
+  using starsim::serve::RequestPriority;
+  FrameServiceOptions options;
+  options.workers = 1;
+  options.cache_capacity = 0;
+  FrameService service(std::move(options));
+
+  // Occupy the single worker, then queue a low request *before* a high
+  // one. The worker must drain the high band first, so the high response
+  // finishes with the smaller total latency despite arriving later.
+  RenderRequest blocker;
+  blocker.scene.image_width = 256;
+  blocker.scene.image_height = 256;
+  blocker.scene.roi_side = 16;
+  blocker.stars = random_stars(70, 3000);
+  blocker.simulator = SimulatorKind::kSequential;
+  auto busy = service.submit(std::move(blocker));
+
+  RenderRequest low;
+  low.scene.image_width = 128;
+  low.scene.image_height = 128;
+  low.scene.roi_side = 12;
+  low.stars = random_stars(71, 4000);
+  low.simulator = SimulatorKind::kSequential;
+  low.priority = RequestPriority::kLow;
+  RenderRequest high = low;
+  high.stars = random_stars(72, 4000);
+  high.priority = RequestPriority::kHigh;
+
+  auto low_future = service.submit(std::move(low));
+  auto high_future = service.submit(std::move(high));
+
+  EXPECT_NE(busy.get().result, nullptr);
+  const RenderResponse high_response = high_future.get();
+  const RenderResponse low_response = low_future.get();
+  EXPECT_LT(high_response.latency.total_s, low_response.latency.total_s);
+}
+
+TEST(FrameService, StopWakesSubmitterBlockedOnFullQueue) {
+  FrameServiceOptions options;
+  options.workers = 0;  // the queue never drains
+  options.queue_capacity = 1;
+  options.cache_capacity = 0;
+  FrameService service(std::move(options));
+
+  auto queued = service.submit(
+      pinned_request(random_stars(1, 10), SimulatorKind::kParallel));
+
+  // The second submit blocks on the full queue; stop() must wake it with a
+  // typed error instead of deadlocking shutdown against the submitter.
+  std::atomic<bool> threw{false};
+  std::thread submitter([&] {
+    try {
+      (void)service.submit(
+          pinned_request(random_stars(2, 10), SimulatorKind::kParallel));
+    } catch (const starsim::support::Error&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.stop();
+  submitter.join();
+  EXPECT_TRUE(threw.load());
+
+  // The admitted request failed at drain; the blocked one never counted.
+  EXPECT_THROW((void)queued.get(), starsim::support::Error);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.in_flight(), 0u);
+}
+
+TEST(FrameService, CacheInvalidationRacesConcurrentSubmitters) {
+  constexpr int kSubmitters = 3;
+  constexpr std::size_t kIterations = 40;
+  constexpr std::size_t kFields = 4;
+
+  std::vector<StarField> fields;
+  std::vector<starsim::imageio::ImageF> references;
+  for (std::size_t i = 0; i < kFields; ++i) {
+    fields.push_back(random_stars(600 + i, 25));
+    gs::Device device(gs::DeviceSpec::gtx480());
+    references.push_back(
+        ParallelSimulator(device).simulate(small_scene(), fields[i]).image);
+  }
+
+  FrameServiceOptions options;
+  options.workers = 2;
+  options.cache_capacity = 16;
+  FrameService service(std::move(options));
+
+  const RenderResponse primed =
+      service.render(pinned_request(fields[0], SimulatorKind::kParallel));
+  const std::uint64_t fingerprint = primed.fingerprint;
+
+  // Submitters hammer a small working set (high hit likelihood) while the
+  // invalidator concurrently drops frames; every response must still be
+  // the exact frame whether it came from a worker or the cache.
+  std::atomic<bool> done{false};
+  std::thread invalidator([&] {
+    while (!done.load()) {
+      service.invalidate_cache();
+      (void)service.invalidate_cached_frame(fingerprint);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> submitters;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        const std::size_t field = (i + static_cast<std::size_t>(t)) % kFields;
+        const RenderResponse response = service.render(
+            pinned_request(fields[field], SimulatorKind::kParallel));
+        if (max_abs_difference(response.result->image, references[field]) !=
+            0.0) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  done.store(true);
+  invalidator.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, kSubmitters * kIterations + 1);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.in_flight(), 0u);
+}
+
+TEST(FrameService, HealthReportsAHealthyPool) {
+  FrameServiceOptions options;
+  options.workers = 2;
+  FrameService service(std::move(options));
+  const starsim::serve::PoolHealth health = service.health();
+  ASSERT_EQ(health.workers.size(), 2u);
+  EXPECT_EQ(health.active_workers, 2);
+  EXPECT_FALSE(health.degraded());
+  for (const auto& worker : health.workers) {
+    EXPECT_EQ(worker.state, starsim::serve::WorkerState::kHealthy);
+    EXPECT_EQ(to_string(worker.state), "healthy");
+    EXPECT_EQ(worker.device_replacements, 0);
+    EXPECT_EQ(worker.quarantines, 0);
+  }
+  EXPECT_EQ(health.sink_exceptions, 0u);
 }
 
 TEST(FrameService, StatsReportLatencyAndThroughput) {
