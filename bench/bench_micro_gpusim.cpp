@@ -127,6 +127,42 @@ void BM_FunctionalEngineThreadCost(benchmark::State& state) {
 }
 BENCHMARK(BM_FunctionalEngineThreadCost);
 
+// The same kernel with the sanitizer armed — the on/off delta is the
+// instrumentation cost documented in docs/gpusim.md. range(0) selects the
+// mode: 0 = off (the near-zero-overhead contract), 1 = memcheck+synccheck,
+// 2 = all four tools (racecheck's shadow words dominate).
+void BM_FunctionalEngineThreadCostSanitized(benchmark::State& state) {
+  gs::Device device(gs::DeviceSpec::gtx480());
+  switch (state.range(0)) {
+    case 0: device.set_sanitizer(gs::SanitizerMode::kOff); break;
+    case 1:
+      device.set_sanitizer(gs::SanitizerMode::kMemcheck |
+                           gs::SanitizerMode::kSynccheck);
+      break;
+    default: device.set_sanitizer(gs::SanitizerMode::kAll); break;
+  }
+  auto image = device.malloc<float>(1 << 16);
+  device.memset_zero(image);
+  auto kernel = [&image](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    auto shared = ctx.shared_array<float>(1);
+    if (ctx.thread_linear() == 0) shared.set(0, 1.0f);
+    co_await ctx.syncthreads();
+    ctx.count_flops(10);
+    ctx.atomic_add(image,
+                   (ctx.block_linear() * 97 + ctx.thread_linear()) & 0xffff,
+                   shared.get(0));
+    co_return;
+  };
+  const gs::LaunchConfig config{gs::Dim3(64), gs::Dim3(10, 10)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.launch(config, kernel));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.total_threads()));
+  device.free(image);
+}
+BENCHMARK(BM_FunctionalEngineThreadCostSanitized)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_SequentialSimulatorPixelRate(benchmark::State& state) {
   starsim::SceneConfig scene;
   scene.image_width = 256;

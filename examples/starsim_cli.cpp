@@ -22,6 +22,7 @@
 
 #include "gpusim/device.h"
 #include "gpusim/fault_injector.h"
+#include "gpusim/sanitizer.h"
 #include "serve/service.h"
 #include "starsim/adaptive_simulator.h"
 #include "starsim/openmp_simulator.h"
@@ -41,6 +42,18 @@ namespace {
 
 using namespace starsim;
 namespace sup = starsim::support;
+
+/// Parse a --sanitize value; nullopt (after an stderr diagnostic) on junk.
+std::optional<gpusim::SanitizerMode> parse_sanitize(const std::string& value) {
+  try {
+    return gpusim::sanitizer_mode_from_string(value);
+  } catch (const std::exception&) {
+    std::fprintf(stderr,
+                 "bad --sanitize (want off|memcheck|race|sync|leak|all): %s\n",
+                 value.c_str());
+    return std::nullopt;
+  }
+}
 
 int cmd_catalog(int argc, char** argv) {
   sup::Cli cli("starsim_cli catalog", "synthesize a celestial catalogue");
@@ -127,7 +140,14 @@ int cmd_simulate(int argc, char** argv) {
   cli.add_option("fault-seed", "fault-injection RNG seed", "2012");
   cli.add_option("max-retries", "retries per simulator before degrading",
                  "3");
+  cli.add_option("sanitize",
+                 "instrument the device: off | memcheck | race | sync | "
+                 "leak | all (non-zero exit on findings)",
+                 "off");
   if (!cli.parse(argc, argv)) return 0;
+  const std::optional<gpusim::SanitizerMode> sanitize =
+      parse_sanitize(cli.str("sanitize"));
+  if (!sanitize.has_value()) return 1;
 
   const StarField stars = read_star_file(cli.str("in"));
   SceneConfig scene;
@@ -145,6 +165,7 @@ int cmd_simulate(int argc, char** argv) {
   }
 
   gpusim::Device device(gpusim::DeviceSpec::gtx480());
+  device.set_sanitizer(*sanitize);
   std::unique_ptr<Simulator> simulator;
   if (which == "sequential") {
     simulator = std::make_unique<SequentialSimulator>();
@@ -211,6 +232,21 @@ int cmd_simulate(int argc, char** argv) {
   save_star_image(result.image, cli.str("out"), render);
   std::printf("wrote %s.bmp and %s.pgm\n", cli.str("out").c_str(),
               cli.str("out").c_str());
+
+  if (*sanitize != gpusim::SanitizerMode::kOff) {
+    gpusim::SanitizerReport report = device.sanitizer_report();
+    report.mode = *sanitize;
+    if (gpusim::sanitizer_enabled(*sanitize,
+                                  gpusim::SanitizerMode::kLeakcheck)) {
+      // Leakcheck judges teardown: a well-behaved simulator frees its
+      // buffers and unbinds its textures when destroyed, so destroy it
+      // first and audit what it left on the device.
+      simulator.reset();
+      report.merge(device.leak_report());
+    }
+    std::printf("%s\n", report.summary().c_str());
+    if (!report.clean()) return 1;
+  }
   return 0;
 }
 
@@ -246,7 +282,14 @@ int cmd_serve_bench(int argc, char** argv) {
                  "per-request deadline, milliseconds (0 = none)", "0");
   cli.add_option("priority-mix",
                  "low:normal:high request weights, e.g. 1:2:1", "0:1:0");
+  cli.add_option("sanitize",
+                 "worker-wide device instrumentation: off | memcheck | race "
+                 "| sync | leak | all (non-zero exit on findings)",
+                 "off");
   if (!cli.parse(argc, argv)) return 0;
+  const std::optional<gpusim::SanitizerMode> sanitize =
+      parse_sanitize(cli.str("sanitize"));
+  if (!sanitize.has_value()) return 1;
 
   const int clients = static_cast<int>(cli.integer("clients"));
   const std::size_t frames = static_cast<std::size_t>(cli.integer("frames"));
@@ -319,6 +362,7 @@ int cmd_serve_bench(int argc, char** argv) {
       static_cast<int>(cli.integer("lut-bins"));
   opts.worker.lut.subpixel_phases =
       static_cast<int>(cli.integer("lut-phases"));
+  opts.worker.sanitize = *sanitize;
   if (inject) {
     // Chaos serving: seeded faults at every device site, resilient workers
     // so a faulted frame degrades instead of failing its future, and the
@@ -427,6 +471,14 @@ int cmd_serve_bench(int argc, char** argv) {
                 worker.device_replacements,
                 static_cast<unsigned long long>(worker.batches_ok),
                 static_cast<unsigned long long>(worker.batches_failed));
+  }
+
+  if (*sanitize != gpusim::SanitizerMode::kOff) {
+    std::printf("sanitizer (%s): %llu finding(s) across %llu batches\n",
+                std::string(gpusim::to_string(*sanitize)).c_str(),
+                static_cast<unsigned long long>(stats.sanitizer_findings),
+                static_cast<unsigned long long>(stats.batches));
+    if (stats.sanitizer_findings != 0) return 1;
   }
 
   // Chaos and tight deadlines legitimately fail futures; stuck (never

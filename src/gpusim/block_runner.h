@@ -7,6 +7,10 @@
 // reach a barrier while others run to completion, the launch fails with a
 // DeviceError instead of deadlocking (the real hardware's behaviour is
 // undefined; failing loudly is the useful simulation of "undefined").
+// Under the sanitizer's synccheck tool the divergence is instead recorded
+// as a kBarrierDivergence finding and the block is abandoned (stranded
+// coroutines are destroyed), so a sanitized run reports the defect for
+// every affected block rather than dying on the first.
 #pragma once
 
 #include <string>
@@ -70,6 +74,7 @@ void run_block(LaunchState& launch, const Dim3& block_idx,
   while (done_count < thread_count) {
     std::size_t suspended = 0;
     std::size_t finished_this_pass = 0;
+    std::size_t first_waiting = thread_count;  // a thread at the barrier
     for (std::size_t t = 0; t < thread_count; ++t) {
       if (done[t]) continue;
       handles[t].resume();
@@ -84,18 +89,35 @@ void run_block(LaunchState& launch, const Dim3& block_idx,
         STARSIM_REQUIRE(ctxs[t].at_barrier(),
                         "thread suspended outside a barrier");
         ctxs[t].clear_barrier();
+        if (first_waiting == thread_count) first_waiting = t;
         ++suspended;
       }
     }
     if (suspended > 0) {
       if (finished_this_pass > 0) {
-        throw support::DeviceError(
+        const std::string message =
             "__syncthreads divergence in block " + to_string(block_idx) +
             ": " + std::to_string(suspended) + " thread(s) at the barrier, " +
-            std::to_string(finished_this_pass) + " exited without it");
+            std::to_string(finished_this_pass) + " exited without it";
+        if (sanitizer_enabled(launch.sanitize, SanitizerMode::kSynccheck)) {
+          SanitizerFinding finding;
+          finding.kind = SanitizerFindingKind::kBarrierDivergence;
+          finding.block = block_idx;
+          finding.thread = ctxs[first_waiting].thread_idx();
+          finding.epoch = block.sync_epoch;
+          finding.message = message;
+          launch.report_finding(std::move(finding));
+          // Abandon the block: HandleSet destroys the stranded coroutines;
+          // whatever was counted so far still merges.
+          block.finalize_branch_stats();
+          launch.merge_block(block.counters);
+          return;
+        }
+        throw support::DeviceError(message);
       }
       // Every warp of the block crosses this barrier once.
       block.counters.barriers += static_cast<std::uint64_t>(block.warps);
+      ++block.sync_epoch;
     }
   }
 

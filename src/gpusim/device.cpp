@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "support/log.h"
+
 namespace starsim::gpusim {
 
 Device::Device(DeviceSpec spec)
@@ -18,6 +20,48 @@ Device::Device(DeviceSpec spec)
 #ifdef _OPENMP
   parallel_blocks_ = true;
 #endif
+}
+
+Device::~Device() {
+  // Destructors must not throw; when leakcheck is armed, teardown leaks are
+  // logged here and available programmatically via leak_report() before
+  // destruction.
+  if (sanitizer_enabled(sanitize_, SanitizerMode::kLeakcheck)) {
+    const SanitizerReport leaks = leak_report();
+    if (!leaks.clean()) {
+      STARSIM_WARN << "device teardown with leaks — " << leaks.summary();
+    }
+  }
+}
+
+SanitizerReport Device::leak_report() const {
+  SanitizerReport report;
+  report.mode = SanitizerMode::kLeakcheck;
+  for (const DeviceMemoryManager::LiveAllocation& alloc :
+       memory_.live_allocation_info()) {
+    SanitizerFinding finding;
+    finding.kind = SanitizerFindingKind::kLeakedAllocation;
+    finding.allocation_id = alloc.id;
+    finding.address = alloc.bytes;
+    finding.message = "device allocation #" + std::to_string(alloc.id) +
+                      " (" + std::to_string(alloc.bytes) +
+                      " bytes, generation " + std::to_string(alloc.generation) +
+                      ") never freed";
+    report.add(std::move(finding));
+  }
+  for (std::size_t i = 0; i < textures_.size(); ++i) {
+    if (!textures_[i].has_value()) continue;
+    SanitizerFinding finding;
+    finding.kind = SanitizerFindingKind::kLeakedTexture;
+    finding.allocation_id = textures_[i]->allocation_id();
+    finding.address = textures_[i]->bytes();
+    finding.message = "texture handle #" + std::to_string(i) +
+                      " still bound to allocation #" +
+                      std::to_string(textures_[i]->allocation_id()) + " (" +
+                      std::to_string(textures_[i]->bytes()) + " bytes)";
+    report.add(std::move(finding));
+  }
+  return report;
 }
 
 TextureHandle Device::bind_texture_2d(const DevicePtr<float>& data, int width,

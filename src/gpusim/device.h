@@ -28,6 +28,7 @@
 #include "gpusim/fault_injector.h"
 #include "gpusim/launch_state.h"
 #include "gpusim/perf_model.h"
+#include "gpusim/sanitizer.h"
 #include "gpusim/texture.h"
 
 namespace starsim::gpusim {
@@ -52,11 +53,14 @@ struct LaunchResult {
   LaunchConfig config;
   KernelCounters counters;
   KernelTiming timing;
+  /// Findings of this launch; empty (and cost-free) when sanitizing is off.
+  SanitizerReport sanitizer;
 };
 
 class Device {
  public:
   explicit Device(DeviceSpec spec = DeviceSpec::gtx480());
+  ~Device();
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -81,6 +85,29 @@ class Device {
     return fault_injector_ != nullptr && fault_injector_->device_lost();
   }
 
+  // --- Sanitizer ---------------------------------------------------------------
+  /// Default SanitizerMode for subsequent launches; also arms the memory
+  /// manager (memcheck gives *future* allocations an initialization
+  /// shadow, so enable before allocating for full coverage). kOff (the
+  /// default) keeps every instrumented site to one predictable branch.
+  void set_sanitizer(SanitizerMode mode) {
+    sanitize_ = mode;
+    memory_.set_sanitizer(mode);
+  }
+  [[nodiscard]] SanitizerMode sanitizer() const { return sanitize_; }
+
+  /// Findings accumulated across launches (and host-side checks) since
+  /// construction or the last clear.
+  [[nodiscard]] const SanitizerReport& sanitizer_report() const {
+    return sanitizer_report_;
+  }
+  void clear_sanitizer_report() { sanitizer_report_ = SanitizerReport{}; }
+
+  /// Leakcheck: every still-live allocation and still-bound texture, as of
+  /// now. Callers run it when the device *should* be empty (teardown, end
+  /// of a frame loop); the destructor logs it when leakcheck is armed.
+  [[nodiscard]] SanitizerReport leak_report() const;
+
   // --- Memory ------------------------------------------------------------------
   template <typename T>
   [[nodiscard]] DevicePtr<T> malloc(std::size_t count) {
@@ -92,12 +119,20 @@ class Device {
     memory_.release(ptr);
   }
 
-  /// Copy host -> device; accrues modeled PCIe time.
+  /// Copy host -> device; accrues modeled PCIe time. An oversized copy is
+  /// a real defect (SanitizerError, never retryable), with the offending
+  /// handle and extents in the message.
   template <typename T>
   void memcpy_h2d(const DevicePtr<T>& dst, std::span<const T> src) {
-    STARSIM_REQUIRE(src.size() <= dst.size(),
-                    "h2d copy larger than destination");
+    if (src.size() > dst.size()) {
+      STARSIM_THROW(support::SanitizerError,
+                    "h2d copy of " + std::to_string(src.size()) +
+                        " element(s) overflows device allocation #" +
+                        std::to_string(dst.allocation_id()) + " of " +
+                        std::to_string(dst.size()) + " element(s)");
+    }
     std::memcpy(dst.raw(), src.data(), src.size_bytes());
+    dst.sanitizer_mark_initialized(0, src.size_bytes());
     transfers_.h2d_bytes += src.size_bytes();
     transfers_.h2d_calls += 1;
     transfers_.h2d_s +=
@@ -109,11 +144,29 @@ class Device {
     }
   }
 
-  /// Copy device -> host; accrues modeled PCIe time.
+  /// Copy device -> host; accrues modeled PCIe time. Same typed-error
+  /// contract as memcpy_h2d; with memcheck armed, reading back bytes no
+  /// store/copy/memset ever wrote is reported as an uninitialized read.
   template <typename T>
   void memcpy_d2h(std::span<T> dst, const DevicePtr<T>& src) {
-    STARSIM_REQUIRE(dst.size() >= src.size(),
-                    "d2h destination smaller than source");
+    if (dst.size() < src.size()) {
+      STARSIM_THROW(support::SanitizerError,
+                    "d2h copy of device allocation #" +
+                        std::to_string(src.allocation_id()) + " (" +
+                        std::to_string(src.size()) +
+                        " element(s)) overflows a host buffer of " +
+                        std::to_string(dst.size()) + " element(s)");
+    }
+    if (!src.sanitizer_initialized(0, src.bytes())) [[unlikely]] {
+      SanitizerFinding finding;
+      finding.kind = SanitizerFindingKind::kUninitializedRead;
+      finding.allocation_id = src.allocation_id();
+      finding.message =
+          "d2h copy reads device allocation #" +
+          std::to_string(src.allocation_id()) +
+          " containing byte(s) never written since allocation";
+      sanitizer_report_.add(std::move(finding));
+    }
     std::memcpy(dst.data(), src.raw(), src.bytes());
     transfers_.d2h_bytes += src.bytes();
     transfers_.d2h_calls += 1;
@@ -136,6 +189,7 @@ class Device {
   template <typename T>
   void memset_zero(const DevicePtr<T>& ptr) {
     std::memset(ptr.raw(), 0, ptr.bytes());
+    ptr.sanitizer_mark_initialized(0, ptr.bytes());
   }
 
   // --- Textures -------------------------------------------------------------------
@@ -153,6 +207,14 @@ class Device {
   /// threads when parallel_blocks() is enabled (OpenMP builds only).
   template <typename KernelFn>
   LaunchResult launch(const LaunchConfig& config, const KernelFn& kernel) {
+    return launch_sanitized(config, kernel, sanitize_);
+  }
+
+  /// launch() with a per-launch SanitizerMode override (e.g. sanitize one
+  /// suspect kernel without paying for the whole frame loop).
+  template <typename KernelFn>
+  LaunchResult launch_sanitized(const LaunchConfig& config,
+                                const KernelFn& kernel, SanitizerMode mode) {
     validate_launch(config);
     for (SetAssociativeCache& cache : sm_caches_) cache.reset();
 
@@ -161,6 +223,7 @@ class Device {
     state.config = config;
     state.parallel_blocks = parallel_blocks_;
     state.track_warp_access = track_warp_access_;
+    state.sanitize = mode;
     state.textures = &textures_;
     state.sm_caches = &sm_caches_;
     state.sm_cache_mutexes = sm_cache_mutexes_.get();
@@ -193,6 +256,11 @@ class Device {
     state.totals.atomic_conflicts = state.total_atomic_conflicts();
     LaunchResult result{config, state.totals,
                         estimate_kernel_time(spec_, config, state.totals)};
+    if (mode != SanitizerMode::kOff) [[unlikely]] {
+      state.sanitizer_report.mode = mode;
+      result.sanitizer = std::move(state.sanitizer_report);
+      sanitizer_report_.merge(result.sanitizer);
+    }
     // A launch killed by the (injected) watchdog never retires: it leaves
     // no last_launch_ record, as if cudaDeviceSynchronize returned an error.
     if (fault_injector_ != nullptr) [[unlikely]] {
@@ -248,6 +316,8 @@ class Device {
   bool parallel_blocks_ = false;
   bool track_warp_access_ = true;
   bool pinned_transfers_ = false;
+  SanitizerMode sanitize_ = SanitizerMode::kOff;
+  SanitizerReport sanitizer_report_;
 };
 
 }  // namespace starsim::gpusim

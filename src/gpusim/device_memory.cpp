@@ -1,6 +1,7 @@
 #include "gpusim/device_memory.h"
 
 #include <string>
+#include <utility>
 
 #include "gpusim/fault_injector.h"
 
@@ -22,32 +23,70 @@ DeviceMemoryManager::Slot& DeviceMemoryManager::allocate_bytes(
                       " bytes with " + std::to_string(free_bytes()) + " of " +
                       std::to_string(capacity_) + " free");
   }
-  Slot slot;
-  slot.data = std::make_unique<std::byte[]>(bytes);
-  slot.bytes = bytes;
-  slot.id = static_cast<std::uint32_t>(slots_.size());
-  slot.live = true;
-  slots_.push_back(std::move(slot));
+  Slot* slot;
+  if (!free_slots_.empty()) {
+    // Recycle a freed slot (same id, bumped generation — already bumped at
+    // release time, so handles into the previous occupant fail is_live()).
+    slot = &slots_[free_slots_.back()];
+    free_slots_.pop_back();
+  } else {
+    slots_.emplace_back();
+    slots_.back().id = static_cast<std::uint32_t>(slots_.size() - 1);
+    slot = &slots_.back();
+  }
+  slot->data = std::make_unique<std::byte[]>(bytes);
+  slot->bytes = bytes;
+  slot->live = true;
+  if (sanitizer_enabled(sanitize_, SanitizerMode::kMemcheck)) [[unlikely]] {
+    // Value-initialized: every byte starts "never written".
+    slot->init = std::make_unique<std::uint8_t[]>(bytes);
+  } else {
+    slot->init.reset();
+  }
   used_ += bytes;
   ++live_count_;
-  return slots_.back();
+  return *slot;
 }
 
-void DeviceMemoryManager::release_id(std::uint32_t id) {
-  STARSIM_REQUIRE(id < slots_.size(), "unknown device allocation");
+void DeviceMemoryManager::release_id(std::uint32_t id,
+                                     std::uint32_t generation) {
+  if (id >= slots_.size()) {
+    STARSIM_THROW(support::SanitizerError,
+                  "release of unknown device allocation handle #" +
+                      std::to_string(id) + " (only " +
+                      std::to_string(slots_.size()) + " slot(s) ever issued)");
+  }
   Slot& slot = slots_[id];
-  if (!slot.live) {
-    STARSIM_THROW(support::DeviceError,
-                  "double free of device allocation " + std::to_string(id));
+  if (!slot.live || slot.generation != generation) {
+    // The generation check catches a stale handle whose slot has since been
+    // recycled — releasing it again must not free the new occupant.
+    STARSIM_THROW(support::SanitizerError,
+                  "double free of device allocation #" + std::to_string(id) +
+                      " (" + std::to_string(slot.bytes) +
+                      " bytes, handle generation " + std::to_string(generation) +
+                      ", slot at generation " +
+                      std::to_string(slot.generation) + ")");
   }
   slot.live = false;
+  slot.generation += 1;
   slot.data.reset();
+  slot.init.reset();
   used_ -= slot.bytes;
   --live_count_;
+  free_slots_.push_back(id);
 }
 
 bool DeviceMemoryManager::is_live(std::uint32_t id) const {
   return id < slots_.size() && slots_[id].live;
+}
+
+std::vector<DeviceMemoryManager::LiveAllocation>
+DeviceMemoryManager::live_allocation_info() const {
+  std::vector<LiveAllocation> live;
+  for (const Slot& slot : slots_) {
+    if (slot.live) live.push_back({slot.id, slot.bytes, slot.generation});
+  }
+  return live;
 }
 
 }  // namespace starsim::gpusim

@@ -8,15 +8,27 @@
 //
 // `DevicePtr<T>` is the typed handle kernels and the host API exchange. It
 // carries the raw storage pointer (for speed), the element count (every
-// access is bounds-checked) and a liveness flag pointer so use-after-free is
-// detected rather than silently reading freed storage.
+// access is bounds-checked), a liveness flag pointer, and the allocation
+// generation observed at malloc time. Freed slots are recycled with a
+// bumped generation, so a stale handle into a recycled slot is still
+// detected (the sanitizer's use-after-free check) instead of silently
+// reading the new occupant's bytes.
+//
+// When the sanitizer's memcheck tool is enabled, each allocation also
+// carries an initialization shadow (one byte per data byte) that marks
+// which bytes have been written (kernel stores, h2d copies, memset); reads
+// of never-written bytes become uninitialized-read findings. The shadow is
+// only allocated while sanitizing, so off mode pays nothing.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <memory>
+#include <vector>
 
+#include "gpusim/sanitizer.h"
 #include "support/error.h"
 
 namespace starsim::gpusim {
@@ -33,7 +45,8 @@ class DevicePtr {
   [[nodiscard]] std::size_t bytes() const { return count_ * sizeof(T); }
   [[nodiscard]] bool is_null() const { return raw_ == nullptr; }
   [[nodiscard]] bool is_live() const {
-    return raw_ != nullptr && live_flag_ != nullptr && *live_flag_;
+    return raw_ != nullptr && live_flag_ != nullptr && *live_flag_ &&
+           generation_flag_ != nullptr && *generation_flag_ == generation_;
   }
 
   /// Raw storage access for the host-side API (memcpy, texture binding).
@@ -44,18 +57,53 @@ class DevicePtr {
   }
 
   [[nodiscard]] std::uint32_t allocation_id() const { return id_; }
+  /// Slot generation this handle was minted for; a recycled slot has a
+  /// higher generation, which is how stale handles are told apart.
+  [[nodiscard]] std::uint32_t generation() const { return generation_; }
+
+  // --- Sanitizer initialization shadow (memcheck) ----------------------------
+  /// Mark `n` bytes at `byte_offset` as initialized. No-op unless the
+  /// allocation was made while memcheck was enabled.
+  void sanitizer_mark_initialized(std::size_t byte_offset,
+                                  std::size_t n) const {
+    if (init_shadow_ != nullptr) [[unlikely]] {
+      std::memset(init_shadow_ + byte_offset, 1, n);
+    }
+  }
+
+  /// True when all `n` bytes at `byte_offset` have been written since
+  /// allocation (trivially true without a shadow).
+  [[nodiscard]] bool sanitizer_initialized(std::size_t byte_offset,
+                                           std::size_t n) const {
+    if (init_shadow_ == nullptr) return true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (init_shadow_[byte_offset + i] == 0) return false;
+    }
+    return true;
+  }
 
  private:
   friend class Device;
   friend class DeviceMemoryManager;
 
-  DevicePtr(T* raw, std::size_t count, std::uint32_t id, const bool* live)
-      : raw_(raw), count_(count), id_(id), live_flag_(live) {}
+  DevicePtr(T* raw, std::size_t count, std::uint32_t id, const bool* live,
+            const std::uint32_t* generation_flag, std::uint32_t generation,
+            std::uint8_t* init_shadow)
+      : raw_(raw),
+        count_(count),
+        id_(id),
+        live_flag_(live),
+        generation_flag_(generation_flag),
+        generation_(generation),
+        init_shadow_(init_shadow) {}
 
   T* raw_ = nullptr;
   std::size_t count_ = 0;
   std::uint32_t id_ = 0xffffffffu;
   const bool* live_flag_ = nullptr;
+  const std::uint32_t* generation_flag_ = nullptr;
+  std::uint32_t generation_ = 0;
+  std::uint8_t* init_shadow_ = nullptr;  // null unless memcheck at malloc
 };
 
 /// Owns all simulated global memory of one device.
@@ -74,13 +122,15 @@ class DeviceMemoryManager {
     const std::size_t bytes = count * sizeof(T);
     Slot& slot = allocate_bytes(bytes);
     return DevicePtr<T>(reinterpret_cast<T*>(slot.data.get()), count, slot.id,
-                        &slot.live);
+                        &slot.live, &slot.generation, slot.generation,
+                        slot.init.get());
   }
 
-  /// Release an allocation; double free throws.
+  /// Release an allocation; double free and unknown handles throw
+  /// support::SanitizerError (a real defect, never retryable).
   template <typename T>
   void release(DevicePtr<T>& ptr) {
-    release_id(ptr.id_);
+    release_id(ptr.id_, ptr.generation_);
     ptr = DevicePtr<T>();
   }
 
@@ -90,29 +140,49 @@ class DeviceMemoryManager {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
 
+  /// Enable/disable sanitizer tools for *future* allocations (memcheck adds
+  /// the initialization shadow at malloc time; earlier allocations keep
+  /// whatever shadow they were born with).
+  void set_sanitizer(SanitizerMode mode) { sanitize_ = mode; }
+  [[nodiscard]] SanitizerMode sanitizer() const { return sanitize_; }
+
   [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
   [[nodiscard]] std::size_t used_bytes() const { return used_; }
   [[nodiscard]] std::size_t free_bytes() const { return capacity_ - used_; }
   [[nodiscard]] std::size_t live_allocations() const { return live_count_; }
   [[nodiscard]] bool is_live(std::uint32_t id) const;
 
+  /// One live (unfreed) allocation, as enumerated by leakcheck.
+  struct LiveAllocation {
+    std::uint32_t id = 0;
+    std::size_t bytes = 0;
+    std::uint32_t generation = 0;
+  };
+  [[nodiscard]] std::vector<LiveAllocation> live_allocation_info() const;
+
  private:
   struct Slot {
     std::unique_ptr<std::byte[]> data;
+    std::unique_ptr<std::uint8_t[]> init;  // memcheck shadow, else null
     std::size_t bytes = 0;
     std::uint32_t id = 0;
+    /// Bumped on every release; handles minted for an older generation of
+    /// a recycled slot fail is_live().
+    std::uint32_t generation = 0;
     bool live = false;
   };
 
   Slot& allocate_bytes(std::size_t bytes);
-  void release_id(std::uint32_t id);
+  void release_id(std::uint32_t id, std::uint32_t generation);
 
   std::size_t capacity_;
   std::size_t used_ = 0;
   std::size_t live_count_ = 0;
   FaultInjector* injector_ = nullptr;  // non-owning, may be null
+  SanitizerMode sanitize_ = SanitizerMode::kOff;
   // deque: slot addresses (hence &slot.live) stay stable across growth.
   std::deque<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;  // ids available for recycling
 };
 
 }  // namespace starsim::gpusim

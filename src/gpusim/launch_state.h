@@ -21,6 +21,7 @@
 #include "gpusim/counters.h"
 #include "gpusim/device_spec.h"
 #include "gpusim/dim.h"
+#include "gpusim/sanitizer.h"
 #include "gpusim/texture.h"
 #include "support/error.h"
 
@@ -35,6 +36,9 @@ struct LaunchState {
   /// Warp-level access grouping (bank conflicts, coalescing). Costs a few
   /// percent of functional-execution speed; Device exposes a switch.
   bool track_warp_access = true;
+  /// Sanitizer tools active for this launch (Device default or per-launch
+  /// override). kOff keeps every instrumentation site to one branch.
+  SanitizerMode sanitize = SanitizerMode::kOff;
 
   // Texture machinery, borrowed from the owning Device for the duration of
   // the launch. Caches are indexed by simulated SM id.
@@ -100,6 +104,28 @@ struct LaunchState {
                         (*textures)[handle.index].has_value(),
                     "fetch through invalid or unbound texture handle");
     return *(*textures)[handle.index];
+  }
+
+  /// Non-throwing lookup for the sanitizer's pre-validation of fetches.
+  [[nodiscard]] const Texture2D* texture_or_null(TextureHandle handle) const {
+    if (textures == nullptr || handle.index >= textures->size() ||
+        !(*textures)[handle.index].has_value()) {
+      return nullptr;
+    }
+    return &*(*textures)[handle.index];
+  }
+
+  // --- Sanitizer findings -----------------------------------------------------
+  std::mutex sanitizer_mutex;
+  SanitizerReport sanitizer_report;
+
+  void report_finding(SanitizerFinding finding) {
+    if (parallel_blocks) {
+      const std::lock_guard<std::mutex> lock(sanitizer_mutex);
+      sanitizer_report.add(std::move(finding));
+    } else {
+      sanitizer_report.add(std::move(finding));
+    }
   }
 };
 
@@ -218,9 +244,27 @@ struct BlockState {
     std::unique_ptr<std::byte[]> data;
     std::size_t bytes = 0;
     std::size_t base_offset = 0;  ///< position in the block's arena
+
+    /// Racecheck shadow: one cell per 4-byte word, tracking the last access
+    /// in the current barrier epoch. Two different threads touching the
+    /// same word in the same epoch with at least one write is a hazard.
+    /// Empty (never allocated) unless racecheck is on.
+    struct RaceCell {
+      std::int64_t write_epoch = -1;
+      std::uint32_t writer = 0;
+      std::int64_t read_epoch = -1;
+      std::uint32_t reader = 0;
+      bool multiple_readers = false;
+      bool flagged = false;  ///< one finding per word, not per access
+    };
+    std::vector<RaceCell> race;
   };
   std::vector<SharedAlloc> shared_allocs;
   std::size_t shared_used = 0;
+
+  /// __syncthreads crossings completed so far — the racecheck epoch. Two
+  /// accesses with the same epoch value have no barrier between them.
+  std::uint32_t sync_epoch = 0;
 
   // Branch outcome tallies: [warp][site][taken]. A site evaluated with both
   // outcomes inside one warp is a divergent warp-branch.

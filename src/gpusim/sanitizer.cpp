@@ -1,0 +1,126 @@
+#include "gpusim/sanitizer.h"
+
+#include <algorithm>
+#include <array>
+
+#include "support/error.h"
+
+namespace starsim::gpusim {
+
+SanitizerMode sanitizer_mode_from_string(std::string_view name) {
+  if (name == "off") return SanitizerMode::kOff;
+  if (name == "memcheck") return SanitizerMode::kMemcheck;
+  if (name == "race" || name == "racecheck") return SanitizerMode::kRacecheck;
+  if (name == "sync" || name == "synccheck") return SanitizerMode::kSynccheck;
+  if (name == "leak" || name == "leakcheck") return SanitizerMode::kLeakcheck;
+  if (name == "all") return SanitizerMode::kAll;
+  STARSIM_THROW(support::PreconditionError,
+                "unknown sanitizer mode '" + std::string(name) +
+                    "' (expected off|memcheck|race|sync|leak|all)");
+}
+
+std::string to_string(SanitizerMode mode) {
+  if (mode == SanitizerMode::kOff) return "off";
+  if (mode == SanitizerMode::kAll) return "all";
+  std::string out;
+  const auto append = [&out](std::string_view name) {
+    if (!out.empty()) out += "+";
+    out += name;
+  };
+  if (sanitizer_enabled(mode, SanitizerMode::kMemcheck)) append("memcheck");
+  if (sanitizer_enabled(mode, SanitizerMode::kRacecheck)) append("racecheck");
+  if (sanitizer_enabled(mode, SanitizerMode::kSynccheck)) append("synccheck");
+  if (sanitizer_enabled(mode, SanitizerMode::kLeakcheck)) append("leakcheck");
+  return out;
+}
+
+std::string_view to_string(SanitizerFindingKind kind) {
+  switch (kind) {
+    case SanitizerFindingKind::kGlobalOutOfBounds:
+      return "global-out-of-bounds";
+    case SanitizerFindingKind::kSharedOutOfBounds:
+      return "shared-out-of-bounds";
+    case SanitizerFindingKind::kUninitializedRead:
+      return "uninitialized-read";
+    case SanitizerFindingKind::kUseAfterFree:
+      return "use-after-free";
+    case SanitizerFindingKind::kInvalidTextureFetch:
+      return "invalid-texture-fetch";
+    case SanitizerFindingKind::kSharedRace:
+      return "shared-race";
+    case SanitizerFindingKind::kBarrierDivergence:
+      return "barrier-divergence";
+    case SanitizerFindingKind::kLeakedAllocation:
+      return "leaked-allocation";
+    case SanitizerFindingKind::kLeakedTexture:
+      return "leaked-texture";
+  }
+  return "unknown";
+}
+
+std::string SanitizerFinding::describe() const {
+  std::string out = "[" + std::string(to_string(kind)) + "] block " +
+                    to_string(block) + " thread " + to_string(thread);
+  if (allocation_id != 0xffffffffu) {
+    out += " alloc #" + std::to_string(allocation_id);
+  }
+  out += " byte " + std::to_string(address) + " epoch " +
+         std::to_string(epoch) + ": " + message;
+  return out;
+}
+
+std::uint64_t SanitizerReport::count(SanitizerFindingKind kind) const {
+  return static_cast<std::uint64_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [kind](const SanitizerFinding& finding) {
+                      return finding.kind == kind;
+                    }));
+}
+
+void SanitizerReport::add(SanitizerFinding finding) {
+  total_findings += 1;
+  if (findings.size() < kMaxFindings) findings.push_back(std::move(finding));
+}
+
+void SanitizerReport::merge(const SanitizerReport& other) {
+  mode = mode | other.mode;
+  total_findings += other.total_findings;
+  for (const SanitizerFinding& finding : other.findings) {
+    if (findings.size() >= kMaxFindings) break;
+    findings.push_back(finding);
+  }
+}
+
+std::string SanitizerReport::summary() const {
+  if (clean()) {
+    return "sanitizer (" + to_string(mode) + "): 0 findings";
+  }
+  std::string out = "sanitizer (" + to_string(mode) + "): " +
+                    std::to_string(total_findings) + " finding(s)";
+  constexpr std::array<SanitizerFindingKind, 9> kKinds = {
+      SanitizerFindingKind::kGlobalOutOfBounds,
+      SanitizerFindingKind::kSharedOutOfBounds,
+      SanitizerFindingKind::kUninitializedRead,
+      SanitizerFindingKind::kUseAfterFree,
+      SanitizerFindingKind::kInvalidTextureFetch,
+      SanitizerFindingKind::kSharedRace,
+      SanitizerFindingKind::kBarrierDivergence,
+      SanitizerFindingKind::kLeakedAllocation,
+      SanitizerFindingKind::kLeakedTexture,
+  };
+  for (const SanitizerFindingKind kind : kKinds) {
+    const std::uint64_t n = count(kind);
+    if (n > 0) {
+      out += "\n  " + std::string(to_string(kind)) + ": " + std::to_string(n);
+    }
+  }
+  if (total_findings > findings.size()) {
+    out += "\n  (showing first " + std::to_string(findings.size()) + ")";
+  }
+  for (const SanitizerFinding& finding : findings) {
+    out += "\n  " + finding.describe();
+  }
+  return out;
+}
+
+}  // namespace starsim::gpusim

@@ -1,0 +1,132 @@
+// gpusim's compute-sanitizer analog: opt-in instrumentation of the
+// simulated device that turns silent kernel defects into structured
+// findings.
+//
+// Four independently selectable tools mirror NVIDIA's compute-sanitizer:
+//   memcheck  — bounds- and initialization-checked global accesses,
+//               use-after-free (allocation generations), double free;
+//   racecheck — per-shared-memory-word shadow state flagging R/W and W/W
+//               hazards between block threads not separated by a
+//               __syncthreads barrier epoch;
+//   synccheck — divergent-barrier detection (threads of a block that exit
+//               while siblings wait at __syncthreads);
+//   leakcheck — unfreed device allocations and still-bound textures at
+//               device teardown.
+//
+// Findings carry the failing block/thread coordinates, the allocation and
+// byte address involved, and the barrier epoch — enough to locate the
+// defect without a debugger. A sanitized launch *suppresses* the bad access
+// (loads return 0, stores are dropped) and keeps running so one kernel run
+// reports every defect, unlike the off-mode contract where the first
+// out-of-contract access throws. Off mode costs one predictable branch per
+// instrumented site (see docs/gpusim.md for measurements).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/dim.h"
+
+namespace starsim::gpusim {
+
+/// Bitmask of enabled sanitizer tools; settable per Device or per launch.
+enum class SanitizerMode : std::uint8_t {
+  kOff = 0,
+  kMemcheck = 1 << 0,
+  kRacecheck = 1 << 1,
+  kSynccheck = 1 << 2,
+  kLeakcheck = 1 << 3,
+  kAll = kMemcheck | kRacecheck | kSynccheck | kLeakcheck,
+};
+
+[[nodiscard]] constexpr SanitizerMode operator|(SanitizerMode a,
+                                                SanitizerMode b) {
+  return static_cast<SanitizerMode>(static_cast<std::uint8_t>(a) |
+                                    static_cast<std::uint8_t>(b));
+}
+
+[[nodiscard]] constexpr SanitizerMode operator&(SanitizerMode a,
+                                                SanitizerMode b) {
+  return static_cast<SanitizerMode>(static_cast<std::uint8_t>(a) &
+                                    static_cast<std::uint8_t>(b));
+}
+
+/// True when `tool` (one of the mode bits) is enabled in `mode`.
+[[nodiscard]] constexpr bool sanitizer_enabled(SanitizerMode mode,
+                                               SanitizerMode tool) {
+  return (mode & tool) != SanitizerMode::kOff;
+}
+
+/// Parse a CLI-style mode name: off|memcheck|race|sync|leak|all (also
+/// accepts the long forms racecheck/synccheck/leakcheck). Throws
+/// support::PreconditionError on anything else.
+[[nodiscard]] SanitizerMode sanitizer_mode_from_string(std::string_view name);
+
+[[nodiscard]] std::string to_string(SanitizerMode mode);
+
+/// What a finding is about; each kind belongs to exactly one tool.
+enum class SanitizerFindingKind : std::uint8_t {
+  // memcheck
+  kGlobalOutOfBounds = 0,
+  kSharedOutOfBounds,
+  kUninitializedRead,
+  kUseAfterFree,
+  kInvalidTextureFetch,
+  // racecheck
+  kSharedRace,
+  // synccheck
+  kBarrierDivergence,
+  // leakcheck
+  kLeakedAllocation,
+  kLeakedTexture,
+};
+
+[[nodiscard]] std::string_view to_string(SanitizerFindingKind kind);
+
+/// One detected defect. Device-side findings carry the block/thread that
+/// performed the access; host-side findings (leaks) leave them (0,0,0).
+struct SanitizerFinding {
+  SanitizerFindingKind kind = SanitizerFindingKind::kGlobalOutOfBounds;
+  Dim3 block;
+  Dim3 thread;
+  /// Global allocation id, or the shared-array slot index for shared-memory
+  /// findings; 0xffffffff when no allocation is involved.
+  std::uint32_t allocation_id = 0xffffffffu;
+  /// Byte offset of the access within the allocation (global) or the
+  /// block's shared-memory arena (shared/race findings).
+  std::uint64_t address = 0;
+  /// Barrier epoch of the access: __syncthreads crossings the block had
+  /// completed when the finding was recorded.
+  std::uint32_t epoch = 0;
+  std::string message;
+
+  /// One-line rendering: "[kind] block (..) thread (..) ...: message".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Everything the sanitizer found during one launch (or accumulated across
+/// launches at the Device level). Collection is capped at kMaxFindings to
+/// bound memory on pathological kernels; total_findings keeps the true
+/// count.
+struct SanitizerReport {
+  static constexpr std::size_t kMaxFindings = 256;
+
+  SanitizerMode mode = SanitizerMode::kOff;
+  std::vector<SanitizerFinding> findings;
+  std::uint64_t total_findings = 0;
+
+  [[nodiscard]] bool clean() const { return total_findings == 0; }
+  [[nodiscard]] std::uint64_t count(SanitizerFindingKind kind) const;
+
+  /// Record a finding (drops the payload past the cap, always counts).
+  void add(SanitizerFinding finding);
+  void merge(const SanitizerReport& other);
+
+  /// Multi-line human-readable summary: per-kind totals followed by the
+  /// retained findings, one per line.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace starsim::gpusim

@@ -45,6 +45,13 @@ class Texture2D {
            sizeof(float);
   }
 
+  /// True while the backing allocation is live; a texture whose buffer was
+  /// freed is a use-after-free the sanitizer reports on fetch.
+  [[nodiscard]] bool backing_live() const { return data_.is_live(); }
+  [[nodiscard]] std::uint32_t allocation_id() const {
+    return data_.allocation_id();
+  }
+
   /// Apply the address mode. Returns false when the fetch resolves to the
   /// border value (x, y untouched); true with clamped coordinates otherwise.
   [[nodiscard]] bool resolve(int& x, int& y) const;

@@ -8,12 +8,20 @@
 // kernel via count_flops()/exp()/pow(), the same convention the sequential
 // simulator uses through FlopMeter, so CPU and GPU work is measured in the
 // same unit (fp64 flop-equivalents).
+//
+// The same methods are the sanitizer's instrumentation points (see
+// gpusim/sanitizer.h): with a launch's SanitizerMode off, each access pays
+// exactly one predictable branch; with memcheck/racecheck on, defective
+// accesses are recorded as findings and suppressed (loads return 0, stores
+// are dropped) so one run reports every defect instead of throwing on the
+// first.
 #pragma once
 
 #include <cmath>
 #include <coroutine>
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "gpusim/launch_state.h"
 #include "gpusim/device_memory.h"
@@ -39,14 +47,20 @@ class SharedArray {
  private:
   friend class ThreadCtx;
   SharedArray(T* data, std::size_t count, std::size_t base_offset,
-              ThreadCtx* ctx)
-      : data_(data), count_(count), base_offset_(base_offset), ctx_(ctx) {}
+              std::size_t slot, ThreadCtx* ctx)
+      : data_(data),
+        count_(count),
+        base_offset_(base_offset),
+        slot_(slot),
+        ctx_(ctx) {}
 
   T* data_ = nullptr;
   std::size_t count_ = 0;
   /// Byte offset of element 0 within the block's shared-memory arena —
   /// the address space bank indices are derived from.
   std::size_t base_offset_ = 0;
+  /// Index into BlockState::shared_allocs (the racecheck shadow lives there).
+  std::size_t slot_ = 0;
   ThreadCtx* ctx_ = nullptr;
 };
 
@@ -110,6 +124,9 @@ class ThreadCtx {
   // --- Global memory ----------------------------------------------------------
   template <typename T>
   [[nodiscard]] T load(const DevicePtr<T>& ptr, std::size_t i) {
+    if (sanitizing()) [[unlikely]] {
+      if (!memcheck_global(ptr, i, /*is_write=*/false)) return T{};
+    }
     STARSIM_REQUIRE(i < ptr.size(), "global read out of bounds");
     ++block_->counters.global_reads;
     block_->counters.global_bytes_read += sizeof(T);
@@ -119,6 +136,9 @@ class ThreadCtx {
 
   template <typename T>
   void store(const DevicePtr<T>& ptr, std::size_t i, T value) {
+    if (sanitizing()) [[unlikely]] {
+      if (!memcheck_global(ptr, i, /*is_write=*/true)) return;
+    }
     STARSIM_REQUIRE(i < ptr.size(), "global write out of bounds");
     ++block_->counters.global_writes;
     block_->counters.global_bytes_written += sizeof(T);
@@ -129,6 +149,9 @@ class ThreadCtx {
   /// atomicAdd on a float in global memory: thread-safe across concurrently
   /// executing blocks, with exact per-address conflict accounting.
   float atomic_add(const DevicePtr<float>& ptr, std::size_t i, float value) {
+    if (sanitizing()) [[unlikely]] {
+      if (!memcheck_global(ptr, i, /*is_write=*/true)) return 0.0f;
+    }
     STARSIM_REQUIRE(i < ptr.size(), "atomic add out of bounds");
     ++block_->counters.atomic_ops;
     block_->counters.global_bytes_read += sizeof(float);
@@ -163,7 +186,7 @@ class ThreadCtx {
       STARSIM_REQUIRE(allocs[slot].bytes == bytes,
                       "shared_array sequence mismatch across threads");
       return SharedArray<T>(reinterpret_cast<T*>(allocs[slot].data.get()),
-                            count, allocs[slot].base_offset, this);
+                            count, allocs[slot].base_offset, slot, this);
     }
     STARSIM_REQUIRE(slot == allocs.size(),
                     "shared_array sequence mismatch across threads");
@@ -178,12 +201,29 @@ class ThreadCtx {
     alloc.bytes = bytes;
     allocs.push_back(std::move(alloc));
     return SharedArray<T>(reinterpret_cast<T*>(allocs.back().data.get()),
-                          count, allocs.back().base_offset, this);
+                          count, allocs.back().base_offset, slot, this);
   }
 
   // --- Texture ----------------------------------------------------------------
   /// Nearest-sample fetch through the block's SM texture cache.
   float tex2d(TextureHandle handle, int x, int y) {
+    if (sanitizer_enabled(block_->launch->sanitize, SanitizerMode::kMemcheck))
+        [[unlikely]] {
+      const Texture2D* pre = block_->launch->texture_or_null(handle);
+      if (pre == nullptr) {
+        report_finding(SanitizerFindingKind::kInvalidTextureFetch,
+                       0xffffffffu, 0,
+                       "fetch through invalid or unbound texture handle #" +
+                           std::to_string(handle.index));
+        return 0.0f;
+      }
+      if (!pre->backing_live()) {
+        report_finding(SanitizerFindingKind::kUseAfterFree,
+                       pre->allocation_id(), 0,
+                       "texture fetch through a freed backing allocation");
+        return 0.0f;
+      }
+    }
     const Texture2D& tex = block_->launch->texture(handle);
     ++block_->counters.texture_fetches;
     if (!tex.resolve(x, y)) {
@@ -236,19 +276,162 @@ class ThreadCtx {
   void clear_barrier() { at_barrier_ = false; }
   [[nodiscard]] BlockState& block_state() { return *block_; }
 
+  // --- Sanitizer hooks ----------------------------------------------------------
+  /// True when any sanitizer tool is active for this launch (the single
+  /// branch every instrumented site pays in off mode).
+  [[nodiscard]] bool sanitizing() const {
+    return block_->launch->sanitize != SanitizerMode::kOff;
+  }
+
+  /// Record a finding at this thread's coordinates and barrier epoch.
+  void report_finding(SanitizerFindingKind kind, std::uint32_t alloc_id,
+                      std::uint64_t address, std::string message) {
+    SanitizerFinding finding;
+    finding.kind = kind;
+    finding.block = block_->block_idx;
+    finding.thread = thread_idx_;
+    finding.allocation_id = alloc_id;
+    finding.address = address;
+    finding.epoch = block_->sync_epoch;
+    finding.message = std::move(message);
+    block_->launch->report_finding(std::move(finding));
+  }
+
+  /// Memcheck a global access. True = proceed; false = a finding was
+  /// recorded and the access must be suppressed.
+  template <typename T>
+  [[nodiscard]] bool memcheck_global(const DevicePtr<T>& ptr, std::size_t i,
+                                     bool is_write) {
+    if (!sanitizer_enabled(block_->launch->sanitize,
+                           SanitizerMode::kMemcheck)) {
+      return true;
+    }
+    const char* op = is_write ? "write" : "read";
+    if (!ptr.is_live()) {
+      report_finding(SanitizerFindingKind::kUseAfterFree, ptr.allocation_id(),
+                     i * sizeof(T),
+                     std::string("global ") + op +
+                         " through a freed or null device pointer");
+      return false;
+    }
+    if (i >= ptr.size()) {
+      report_finding(SanitizerFindingKind::kGlobalOutOfBounds,
+                     ptr.allocation_id(), i * sizeof(T),
+                     std::string("global ") + op + " at element " +
+                         std::to_string(i) + " beyond extent " +
+                         std::to_string(ptr.size()));
+      return false;
+    }
+    if (is_write) {
+      ptr.sanitizer_mark_initialized(i * sizeof(T), sizeof(T));
+    } else if (!ptr.sanitizer_initialized(i * sizeof(T), sizeof(T))) {
+      // The bytes are deterministically zero, so the read itself is safe;
+      // report and proceed so one run surfaces every uninitialized site.
+      report_finding(SanitizerFindingKind::kUninitializedRead,
+                     ptr.allocation_id(), i * sizeof(T),
+                     "global read of " + std::to_string(sizeof(T)) +
+                         " byte(s) never written since allocation");
+    }
+    return true;
+  }
+
+  /// Memcheck a shared access (bounds only; shared arrays are zero-filled
+  /// at creation by construction). Same proceed/suppress contract.
+  [[nodiscard]] bool memcheck_shared(std::size_t slot, std::size_t i,
+                                     std::size_t count,
+                                     std::size_t elem_bytes, bool is_write) {
+    if (!sanitizer_enabled(block_->launch->sanitize,
+                           SanitizerMode::kMemcheck)) {
+      return true;
+    }
+    if (i >= count) {
+      report_finding(SanitizerFindingKind::kSharedOutOfBounds,
+                     static_cast<std::uint32_t>(slot),
+                     block_->shared_allocs[slot].base_offset + i * elem_bytes,
+                     std::string("shared ") + (is_write ? "write" : "read") +
+                         " at element " + std::to_string(i) +
+                         " beyond extent " + std::to_string(count));
+      return false;
+    }
+    return true;
+  }
+
   // --- Access-class bookkeeping (SharedArray + load/store) -----------------------
-  void record_shared_access(std::size_t byte_offset, bool is_write) {
+  void record_shared_access(std::size_t slot, std::size_t byte_in_alloc,
+                            std::size_t arena_offset, std::size_t bytes,
+                            bool is_write) {
     if (is_write) {
       ++block_->counters.shared_writes;
     } else {
       ++block_->counters.shared_reads;
     }
     if (block_->launch->track_warp_access) {
-      block_->shared_access.record(warp_id_, shared_seq_++, byte_offset);
+      block_->shared_access.record(warp_id_, shared_seq_++, arena_offset);
+    }
+    if (sanitizer_enabled(block_->launch->sanitize,
+                          SanitizerMode::kRacecheck)) [[unlikely]] {
+      check_shared_race(slot, byte_in_alloc, arena_offset, bytes, is_write);
     }
   }
 
  private:
+  /// Racecheck: per-4-byte-word shadow cells record the last write and the
+  /// readers of the current barrier epoch; a second thread touching the
+  /// same word in the same epoch with at least one write is a hazard. One
+  /// finding per word (the cell is then flagged) keeps reports readable.
+  void check_shared_race(std::size_t slot, std::size_t byte_in_alloc,
+                         std::size_t arena_offset, std::size_t bytes,
+                         bool is_write) {
+    BlockState::SharedAlloc& alloc = block_->shared_allocs[slot];
+    if (alloc.race.empty()) alloc.race.resize((alloc.bytes + 3) / 4);
+    const auto epoch = static_cast<std::int64_t>(block_->sync_epoch);
+    const std::uint32_t me = linear_thread_;
+    const std::size_t first = byte_in_alloc / 4;
+    const std::size_t last = (byte_in_alloc + bytes - 1) / 4;
+    for (std::size_t w = first; w <= last && w < alloc.race.size(); ++w) {
+      BlockState::SharedAlloc::RaceCell& cell = alloc.race[w];
+      if (is_write) {
+        const bool write_write = cell.write_epoch == epoch && cell.writer != me;
+        const bool read_write =
+            cell.read_epoch == epoch &&
+            (cell.reader != me || cell.multiple_readers);
+        if ((write_write || read_write) && !cell.flagged) {
+          cell.flagged = true;
+          const std::uint32_t other = write_write ? cell.writer : cell.reader;
+          report_finding(
+              SanitizerFindingKind::kSharedRace,
+              static_cast<std::uint32_t>(slot), arena_offset,
+              std::string(write_write ? "write-after-write"
+                                      : "write-after-read") +
+                  " hazard on shared word " + std::to_string(w) +
+                  ": threads " + std::to_string(other) + " and " +
+                  std::to_string(me) +
+                  " with no __syncthreads between them");
+        }
+        cell.write_epoch = epoch;
+        cell.writer = me;
+      } else {
+        if (cell.write_epoch == epoch && cell.writer != me && !cell.flagged) {
+          cell.flagged = true;
+          report_finding(
+              SanitizerFindingKind::kSharedRace,
+              static_cast<std::uint32_t>(slot), arena_offset,
+              "read-after-write hazard on shared word " + std::to_string(w) +
+                  ": threads " + std::to_string(cell.writer) + " and " +
+                  std::to_string(me) +
+                  " with no __syncthreads between them");
+        }
+        if (cell.read_epoch != epoch) {
+          cell.read_epoch = epoch;
+          cell.reader = me;
+          cell.multiple_readers = false;
+        } else if (cell.reader != me) {
+          cell.multiple_readers = true;
+        }
+      }
+    }
+  }
+
   void record_global_access(std::uint32_t alloc_id, std::size_t byte_offset) {
     if (block_->launch->track_warp_access) {
       // Distinct allocations cannot coalesce: offset them far apart in the
@@ -283,16 +466,31 @@ class ThreadCtx {
 
 template <typename T>
 T SharedArray<T>::get(std::size_t i) const {
+  if (ctx_->sanitizing()) [[unlikely]] {
+    if (!ctx_->memcheck_shared(slot_, i, count_, sizeof(T),
+                               /*is_write=*/false)) {
+      return T{};
+    }
+  }
   STARSIM_REQUIRE(i < count_, "shared memory read out of bounds");
-  ctx_->record_shared_access(base_offset_ + i * sizeof(T),
+  ctx_->record_shared_access(slot_, i * sizeof(T),
+                             base_offset_ + i * sizeof(T), sizeof(T),
                              /*is_write=*/false);
   return data_[i];
 }
 
 template <typename T>
 void SharedArray<T>::set(std::size_t i, T value) const {
+  if (ctx_->sanitizing()) [[unlikely]] {
+    if (!ctx_->memcheck_shared(slot_, i, count_, sizeof(T),
+                               /*is_write=*/true)) {
+      return;
+    }
+  }
   STARSIM_REQUIRE(i < count_, "shared memory write out of bounds");
-  ctx_->record_shared_access(base_offset_ + i * sizeof(T), /*is_write=*/true);
+  ctx_->record_shared_access(slot_, i * sizeof(T),
+                             base_offset_ + i * sizeof(T), sizeof(T),
+                             /*is_write=*/true);
   data_[i] = value;
 }
 

@@ -59,11 +59,15 @@ class Batcher {
  public:
   explicit Batcher(std::size_t max_batch_size);
 
-  /// Two requests may share a batch iff their scenes are bit-identical and
-  /// they resolved to the same simulator.
+  /// Two requests may share a batch iff their scenes are bit-identical,
+  /// they resolved to the same simulator, and they agree on sanitizing
+  /// (a sanitized batch runs the whole device instrumented; an unsanitized
+  /// rider would silently pay for — and an unsanitized batch would silently
+  /// skip — the instrumentation).
   [[nodiscard]] static bool compatible(const QueuedRequest& a,
                                        const QueuedRequest& b) {
-    return a.scene_key == b.scene_key && a.simulator == b.simulator;
+    return a.scene_key == b.scene_key && a.simulator == b.simulator &&
+           a.request.sanitize == b.request.sanitize;
   }
 
   /// Block for the next request and coalesce its compatible followers.

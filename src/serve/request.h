@@ -15,6 +15,7 @@
 #include <optional>
 #include <string_view>
 
+#include "gpusim/sanitizer.h"
 #include "starsim/attitude.h"
 #include "starsim/breakdown.h"
 #include "starsim/scene.h"
@@ -63,6 +64,12 @@ struct RenderRequest {
   /// request is never rendered), or post-render when the frame finished too
   /// late. nullopt means no deadline.
   std::optional<double> deadline_s;
+  /// Debugging aid: render this request under the full gpusim sanitizer
+  /// (SanitizerMode::kAll on the worker's device for the duration of the
+  /// batch) and return the findings in RenderResponse::sanitizer. Sanitized
+  /// requests never batch with unsanitized ones and bypass the frame cache
+  /// in both directions — the point is the instrumented render itself.
+  bool sanitize = false;
 };
 
 /// Where one request's response time went.
@@ -93,6 +100,10 @@ struct RenderResponse {
   /// accumulation order, not bit-identical to the requested kind, and are
   /// never inserted into the frame cache.
   bool degraded = false;
+  /// Sanitizer findings of the batch that rendered this frame. Set when the
+  /// request asked for a sanitized render or the worker pool runs with a
+  /// worker-wide SanitizerMode; null otherwise. Shared across the batch.
+  std::shared_ptr<const gpusim::SanitizerReport> sanitizer;
 };
 
 }  // namespace starsim::serve

@@ -107,6 +107,10 @@ void FrameService::expire_request(QueuedRequest& queued,
 std::optional<std::future<RenderResponse>> FrameService::serve_from_cache(
     QueuedRequest& queued) {
   if (!cache_.enabled()) return std::nullopt;
+  // A sanitized request wants the instrumented render itself, not a frame
+  // that happens to match bit-for-bit; bypass the cache without touching
+  // its hit/miss counters.
+  if (queued.request.sanitize) return std::nullopt;
   std::optional<CachedFrame> hit = cache_.lookup(queued.key);
   if (!hit.has_value()) {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -228,9 +232,12 @@ bool FrameService::execute_batch(Batch&& batch, Worker& worker) {
   // batch.scene() would read a moved-from request after the expiry
   // partition above; the live requests still own their scenes.
   const SceneConfig& scene = live.front().request.scene;
+  // Batcher::compatible keeps sanitize uniform across a batch, so the
+  // first live request speaks for all of them.
+  const bool sanitized = live.front().request.sanitize;
   Worker::RenderOutcome outcome;
   try {
-    outcome = worker.render(scene, batch.simulator, fields);
+    outcome = worker.render(scene, batch.simulator, fields, sanitized);
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
     // Account before delivering: a client that wakes on its future must
@@ -246,6 +253,13 @@ bool FrameService::execute_batch(Batch&& batch, Worker& worker) {
   }
 
   const auto finish = std::chrono::steady_clock::now();
+  // One report per batch, shared by every response it rendered (the batch
+  // ran as one instrumented device scope).
+  std::shared_ptr<const gpusim::SanitizerReport> sanitizer_report;
+  if (outcome.sanitizer.mode != gpusim::SanitizerMode::kOff) {
+    sanitizer_report = std::make_shared<const gpusim::SanitizerReport>(
+        std::move(outcome.sanitizer));
+  }
   std::vector<RenderResponse> responses;
   responses.reserve(count);
   std::vector<bool> late(count, false);
@@ -269,6 +283,7 @@ bool FrameService::execute_batch(Batch&& batch, Worker& worker) {
     response.latency.kernel_s = outcome.results[i].timing.kernel_s;
     response.latency.non_kernel_s = outcome.results[i].timing.non_kernel_s();
     response.latency.total_s = seconds_between(queued.submitted, finish);
+    response.sanitizer = sanitizer_report;
     response.result =
         std::make_shared<const SimulationResult>(std::move(outcome.results[i]));
     responses.push_back(std::move(response));
@@ -284,6 +299,10 @@ bool FrameService::execute_batch(Batch&& batch, Worker& worker) {
       batch_size_histogram_.resize(count + 1, 0);
     }
     batch_size_histogram_[count] += 1;
+    if (sanitized) sanitized_requests_ += count;
+    if (sanitizer_report != nullptr) {
+      sanitizer_findings_ += sanitizer_report->total_findings;
+    }
     for (std::size_t i = 0; i < count; ++i) {
       if (!late[i]) latency_samples_.push_back(responses[i].latency.total_s);
     }
@@ -299,8 +318,10 @@ bool FrameService::execute_batch(Batch&& batch, Worker& worker) {
     }
     // A degraded frame is not bit-identical to the requested simulator's
     // output; caching it under the request fingerprint would poison later
-    // healthy hits.
-    if (!responses[i].degraded) {
+    // healthy hits. Sanitized frames stay out too: a defective kernel's
+    // suppressed accesses can alter pixels, and the cache must only ever
+    // hold frames the production path would have produced.
+    if (!responses[i].degraded && !sanitized) {
       cache_.insert(live[i].key,
                     CachedFrame{responses[i].result, responses[i].simulator});
     }
@@ -369,6 +390,8 @@ ServiceStats FrameService::stats() const {
     s.cache_hits = cache_hits_;
     s.cache_misses = cache_misses_;
     s.batches = batches_;
+    s.sanitized_requests = sanitized_requests_;
+    s.sanitizer_findings = sanitizer_findings_;
     s.batch_size_histogram = batch_size_histogram_;
     s.latency = support::tail_quantiles(latency_samples_);
     double sum = 0.0;

@@ -77,6 +77,11 @@ struct ServiceStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t batches = 0;
+  /// Requests rendered under the sanitizer (RenderRequest::sanitize), and
+  /// the total findings their batches reported. A non-zero findings count
+  /// on a production scene is a bug in the simulator stack, not the scene.
+  std::uint64_t sanitized_requests = 0;
+  std::uint64_t sanitizer_findings = 0;
   /// batch_size_histogram[s] = batches of size s ([0] unused).
   std::vector<std::uint64_t> batch_size_histogram;
   /// Quantiles/mean of per-request total latency (submit -> response).
@@ -184,6 +189,8 @@ class FrameService {
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
   std::uint64_t batches_ = 0;
+  std::uint64_t sanitized_requests_ = 0;
+  std::uint64_t sanitizer_findings_ = 0;
   std::vector<std::uint64_t> batch_size_histogram_;
   std::vector<double> latency_samples_;
 

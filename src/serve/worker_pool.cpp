@@ -58,6 +58,7 @@ Worker::Worker(int index, const WorkerOptions& options)
     : index_(index),
       options_(options),
       device_(std::make_unique<gpusim::Device>(options.device)) {
+  device_->set_sanitizer(options_.sanitize);
   if (options_.fault_policy.has_value()) {
     gpusim::FaultPolicy policy = *options_.fault_policy;
     policy.seed = injector_seed(0);
@@ -106,13 +107,37 @@ Simulator& Worker::simulator(SimulatorKind kind) {
 
 Worker::RenderOutcome Worker::render(const SceneConfig& scene,
                                      SimulatorKind kind,
-                                     std::span<const StarField> fields) {
+                                     std::span<const StarField> fields,
+                                     bool sanitize) {
   SimulatorKind effective = kind;
   if (state_.load() == WorkerState::kCpuFallback && needs_device(kind)) {
     // The device budget is spent; keep emitting frames on the CPU. The
     // service marks these responses degraded (different accumulation
     // order => not bit-identical to the requested GPU kind).
     effective = SimulatorKind::kCpuParallel;
+  }
+  // Per-batch sanitizer scope: escalate to kAll for a sanitized request,
+  // reset the cumulative report so the outcome covers exactly this batch,
+  // and restore the worker's standing mode on the way out (including when
+  // the render throws — the supervisor may reuse this device).
+  const gpusim::SanitizerMode standing = device_->sanitizer();
+  const gpusim::SanitizerMode mode =
+      sanitize ? gpusim::SanitizerMode::kAll : standing;
+  struct SanitizerScope {
+    gpusim::Device* device = nullptr;
+    gpusim::SanitizerMode standing = gpusim::SanitizerMode::kOff;
+    ~SanitizerScope() {
+      if (device != nullptr) {
+        device->clear_sanitizer_report();
+        device->set_sanitizer(standing);
+      }
+    }
+  } scope;
+  if (mode != gpusim::SanitizerMode::kOff) {
+    device_->set_sanitizer(mode);
+    device_->clear_sanitizer_report();
+    scope.device = device_.get();
+    scope.standing = standing;
   }
   RenderOutcome outcome;
   outcome.executed.reserve(fields.size());
@@ -134,6 +159,10 @@ Worker::RenderOutcome Worker::render(const SceneConfig& scene,
     outcome.results = sim.simulate_batch(scene, fields);
     outcome.executed.assign(fields.size(), effective);
   }
+  if (mode != gpusim::SanitizerMode::kOff) {
+    outcome.sanitizer = device_->sanitizer_report();
+    outcome.sanitizer.mode = mode;
+  }
   return outcome;
 }
 
@@ -141,6 +170,7 @@ void Worker::replace_device() {
   // Simulators hold references into the old device; they must die first.
   for (auto& slot : simulators_) slot.reset();
   device_ = std::make_unique<gpusim::Device>(options_.device);
+  device_->set_sanitizer(options_.sanitize);
   const int generation = replacements_.load() + 1;
   if (injector_ != nullptr) {
     injector_->reseed(injector_seed(generation));

@@ -74,6 +74,11 @@ struct WorkerOptions {
   /// decorrelated by worker index, attached to its private device. nullopt
   /// (production) attaches nothing and costs nothing.
   std::optional<gpusim::FaultPolicy> fault_policy;
+  /// Worker-wide sanitizer mode: every worker device runs instrumented and
+  /// every response carries the batch's SanitizerReport. kOff (production)
+  /// costs one untaken branch per device operation; individual requests can
+  /// still opt in per batch via RenderRequest::sanitize.
+  gpusim::SanitizerMode sanitize = gpusim::SanitizerMode::kOff;
 };
 
 /// Lifecycle of one supervised worker.
@@ -147,13 +152,20 @@ class Worker {
     /// Simulator that produced frame i — the requested kind unless CPU
     /// fallback or a resilient chain degraded it.
     std::vector<SimulatorKind> executed;
+    /// Findings from this batch's device operations. mode == kOff (and the
+    /// report empty) unless the batch was sanitized — by request or by
+    /// WorkerOptions::sanitize.
+    gpusim::SanitizerReport sanitizer;
   };
 
   /// Render a batch through the kind's batch entry point (or frame by
-  /// frame through the resilient chain when configured).
+  /// frame through the resilient chain when configured). `sanitize` runs
+  /// the whole batch under SanitizerMode::kAll regardless of the worker's
+  /// standing mode and collects the findings into the outcome.
   [[nodiscard]] RenderOutcome render(const SceneConfig& scene,
                                      SimulatorKind kind,
-                                     std::span<const StarField> fields);
+                                     std::span<const StarField> fields,
+                                     bool sanitize = false);
 
   /// True when this worker's device has latched as lost.
   [[nodiscard]] bool lost() const {

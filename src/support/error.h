@@ -73,6 +73,17 @@ class DeviceLostError : public DeviceError {
       : DeviceError(what, /*retryable=*/false) {}
 };
 
+/// Raised when the gpusim sanitizer (or its always-on host-side memory
+/// checks: double free, unknown handle, oversized copies) detects a real
+/// program defect. Never retryable — unlike an injected transient fault,
+/// re-issuing a defective operation reproduces the defect, so the
+/// resilience layer must surface it instead of burning retries.
+class SanitizerError : public DeviceError {
+ public:
+  explicit SanitizerError(const std::string& what)
+      : DeviceError(what, /*retryable=*/false) {}
+};
+
 /// Raised on I/O failures (image files, CSV output).
 class IoError : public Error {
  public:

@@ -76,8 +76,19 @@ TEST(Device, OversizeH2dRejected) {
   gs::Device dev(gs::DeviceSpec::test_small());
   auto d = dev.malloc<int>(4);
   const std::vector<int> host(5);
-  EXPECT_THROW(dev.memcpy_h2d(d, std::span<const int>(host)),
-               PreconditionError);
+  try {
+    dev.memcpy_h2d(d, std::span<const int>(host));
+    FAIL() << "expected SanitizerError";
+  } catch (const starsim::support::SanitizerError& error) {
+    // Typed defect: never retryable, names the handle and both extents.
+    EXPECT_FALSE(error.retryable());
+    const std::string what = error.what();
+    EXPECT_NE(what.find("h2d copy of 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("allocation #" + std::to_string(d.allocation_id())),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("of 4 element(s)"), std::string::npos) << what;
+  }
   dev.free(d);
 }
 
@@ -85,7 +96,14 @@ TEST(Device, UndersizedD2hRejected) {
   gs::Device dev(gs::DeviceSpec::test_small());
   auto d = dev.malloc<int>(8);
   std::vector<int> host(4);
-  EXPECT_THROW(dev.memcpy_d2h(std::span<int>(host), d), PreconditionError);
+  try {
+    dev.memcpy_d2h(std::span<int>(host), d);
+    FAIL() << "expected SanitizerError";
+  } catch (const starsim::support::SanitizerError& error) {
+    EXPECT_FALSE(error.retryable());
+    const std::string what = error.what();
+    EXPECT_NE(what.find("host buffer of 4"), std::string::npos) << what;
+  }
   dev.free(d);
 }
 

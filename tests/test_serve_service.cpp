@@ -704,4 +704,47 @@ TEST(FrameService, StatsReportLatencyAndThroughput) {
   EXPECT_GT(stats.throughput_rps, 0.0);
 }
 
+// A sanitized request round-trips through the full pipeline: bypasses the
+// cache both ways, renders bit-identically, and carries a clean report.
+TEST(FrameService, SanitizedRequestRoundTrip) {
+  FrameServiceOptions options;
+  options.workers = 1;
+  options.cache_capacity = 8;
+  FrameService service(std::move(options));
+
+  const StarField stars = random_stars(11, 25);
+  const RenderResponse plain =
+      service.render(pinned_request(stars, SimulatorKind::kParallel));
+  EXPECT_FALSE(plain.from_cache);
+  EXPECT_EQ(plain.sanitizer, nullptr);
+
+  RenderRequest request = pinned_request(stars, SimulatorKind::kParallel);
+  request.sanitize = true;
+  const RenderResponse sanitized = service.render(std::move(request));
+  // The client asked for the instrumented render itself, not a cached frame.
+  EXPECT_FALSE(sanitized.from_cache);
+  ASSERT_NE(sanitized.sanitizer, nullptr);
+  EXPECT_TRUE(sanitized.sanitizer->clean()) << sanitized.sanitizer->summary();
+  EXPECT_FALSE(sanitized.degraded);
+
+  // Instrumentation must not change a bit of the frame.
+  const auto& a = plain.result->image;
+  const auto& b = sanitized.result->image;
+  ASSERT_EQ(a.pixels().size(), b.pixels().size());
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    ASSERT_EQ(a.pixels()[i], b.pixels()[i]) << "pixel " << i;
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sanitized_requests, 1u);
+  EXPECT_EQ(stats.sanitizer_findings, 0u);
+
+  // The sanitized render was not inserted: a later plain request still hits
+  // the original production frame.
+  const RenderResponse hit =
+      service.render(pinned_request(stars, SimulatorKind::kParallel));
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_EQ(hit.result.get(), plain.result.get());
+}
+
 }  // namespace
