@@ -17,6 +17,7 @@
 #include "starsim/sequential_simulator.h"
 #include "starsim/workload.h"
 #include "support/rng.h"
+#include "trace/trace.h"
 
 namespace {
 
@@ -162,6 +163,53 @@ void BM_FunctionalEngineThreadCostSanitized(benchmark::State& state) {
   device.free(image);
 }
 BENCHMARK(BM_FunctionalEngineThreadCostSanitized)->Arg(0)->Arg(1)->Arg(2);
+
+// The same kernel under the tracer — the on/off delta is the observability
+// cost documented in docs/observability.md. range(0) = 0 measures the
+// disabled path (one relaxed atomic load per instrumented site; the contract
+// is "within noise of BM_FunctionalEngineThreadCost"), 1 measures live
+// recording of every kernel_launch span. The buffer is cleared periodically
+// (off the clock) so long runs stay memory-bounded.
+void BM_FunctionalEngineThreadCostTraced(benchmark::State& state) {
+  starsim::trace::TraceRecorder& recorder =
+      starsim::trace::TraceRecorder::instance();
+  const bool traced = state.range(0) != 0;
+  if (traced) {
+    recorder.start();
+  } else {
+    recorder.stop();
+  }
+  gs::Device device(gs::DeviceSpec::gtx480());
+  auto image = device.malloc<float>(1 << 16);
+  device.memset_zero(image);
+  auto kernel = [&image](gs::ThreadCtx& ctx) -> gs::ThreadProgram {
+    auto shared = ctx.shared_array<float>(1);
+    if (ctx.thread_linear() == 0) shared.set(0, 1.0f);
+    co_await ctx.syncthreads();
+    ctx.count_flops(10);
+    ctx.atomic_add(image,
+                   (ctx.block_linear() * 97 + ctx.thread_linear()) & 0xffff,
+                   shared.get(0));
+    co_return;
+  };
+  const gs::LaunchConfig config{gs::Dim3(64), gs::Dim3(10, 10)};
+  std::int64_t since_clear = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.launch(config, kernel));
+    if (traced && ++since_clear == 1024) {
+      state.PauseTiming();
+      recorder.clear();
+      since_clear = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.total_threads()));
+  device.free(image);
+  recorder.stop();
+  recorder.clear();
+}
+BENCHMARK(BM_FunctionalEngineThreadCostTraced)->Arg(0)->Arg(1);
 
 void BM_SequentialSimulatorPixelRate(benchmark::State& state) {
   starsim::SceneConfig scene;

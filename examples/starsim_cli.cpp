@@ -6,15 +6,21 @@
 //   starsim_cli generate --stars 8192 --out random.stars
 //   starsim_cli simulate --in fov.stars --sim auto --out frame
 //   starsim_cli serve-bench --clients 8 --workers 2 --batch 8
+//   starsim_cli trace-check --trace trace.json --metrics metrics.prom
 //
 // `simulate --sim auto` asks the SimulatorSelector (Table III) to pick the
 // best simulator for the workload; `serve-bench` load-tests the concurrent
-// FrameService (docs/serving.md).
+// FrameService (docs/serving.md). Both accept --trace=<file> to export a
+// Chrome trace of the run, serve-bench adds --metrics=<file> for one
+// Prometheus scrape, and trace-check validates either artifact
+// (docs/observability.md).
 #include <cstdio>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <numbers>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -37,6 +43,9 @@
 #include "support/cli.h"
 #include "support/timer.h"
 #include "support/units.h"
+#include "trace/chrome_trace.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace {
 
@@ -53,6 +62,34 @@ std::optional<gpusim::SanitizerMode> parse_sanitize(const std::string& value) {
                  value.c_str());
     return std::nullopt;
   }
+}
+
+/// Whole-file slurp for trace-check; nullopt (after a diagnostic) on failure.
+std::optional<std::string> read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+/// Stop the recorder and export its snapshot as Chrome trace JSON.
+int finish_trace(const std::string& path) {
+  trace::TraceRecorder& recorder = trace::TraceRecorder::instance();
+  recorder.stop();
+  try {
+    trace::write_chrome_trace(path, recorder.snapshot());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "cannot write trace %s: %s\n", path.c_str(),
+                 error.what());
+    return 1;
+  }
+  std::printf("wrote trace to %s (load in Perfetto or chrome://tracing)\n",
+              path.c_str());
+  return 0;
 }
 
 int cmd_catalog(int argc, char** argv) {
@@ -144,6 +181,10 @@ int cmd_simulate(int argc, char** argv) {
                  "instrument the device: off | memcheck | race | sync | "
                  "leak | all (non-zero exit on findings)",
                  "off");
+  cli.add_option("trace",
+                 "write a Chrome trace of the render to this file "
+                 "(docs/observability.md)",
+                 "");
   if (!cli.parse(argc, argv)) return 0;
   const std::optional<gpusim::SanitizerMode> sanitize =
       parse_sanitize(cli.str("sanitize"));
@@ -200,7 +241,13 @@ int cmd_simulate(int argc, char** argv) {
         std::make_unique<ResilientExecutor>(std::move(chain), retry);
   }
 
+  const std::string trace_path = cli.str("trace");
+  if (!trace_path.empty()) {
+    trace::TraceRecorder::instance().set_thread_name("main");
+    trace::TraceRecorder::instance().start();
+  }
   const SimulationResult result = simulator->simulate(scene, stars);
+  if (!trace_path.empty() && finish_trace(trace_path) != 0) return 1;
   if (injector) {
     const auto& executor = static_cast<const ResilientExecutor&>(*simulator);
     const ResilienceReport& report = executor.last_report();
@@ -286,6 +333,13 @@ int cmd_serve_bench(int argc, char** argv) {
                  "worker-wide device instrumentation: off | memcheck | race "
                  "| sync | leak | all (non-zero exit on findings)",
                  "off");
+  cli.add_option("trace",
+                 "write a Chrome trace of the measured traffic to this file",
+                 "");
+  cli.add_option("metrics",
+                 "write one Prometheus scrape of the final service state to "
+                 "this file",
+                 "");
   if (!cli.parse(argc, argv)) return 0;
   const std::optional<gpusim::SanitizerMode> sanitize =
       parse_sanitize(cli.str("sanitize"));
@@ -388,11 +442,24 @@ int cmd_serve_bench(int argc, char** argv) {
     }
   }
 
+  // Trace only the measured traffic (the warm-up pass above is setup);
+  // worker threads named themselves when the pool spun up, and thread names
+  // are sticky across recorder sessions.
+  const std::string trace_path = cli.str("trace");
+  if (!trace_path.empty()) {
+    trace::TraceRecorder::instance().set_thread_name("bench-main");
+    trace::TraceRecorder::instance().start();
+  }
+
   sup::WallTimer timer;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
+      if (trace::tracing_on()) {
+        trace::TraceRecorder::instance().set_thread_name(
+            "client-" + std::to_string(c));
+      }
       const std::size_t base =
           shared ? 0 : static_cast<std::size_t>(c) * frames;
       std::vector<std::future<serve::RenderResponse>> futures;
@@ -422,6 +489,19 @@ int cmd_serve_bench(int argc, char** argv) {
   // may still be in flight, and stop() makes every counter final.
   service.stop();
   const serve::ServiceStats stats = service.stats();
+
+  if (!trace_path.empty() && finish_trace(trace_path) != 0) return 1;
+  const std::string metrics_path = cli.str("metrics");
+  if (!metrics_path.empty()) {
+    // Scrape after stop(): every counter is final once the queue drained.
+    std::ofstream out(metrics_path, std::ios::binary);
+    out << service.scrape_metrics();
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
 
   std::printf(
       "served %llu frames for %d clients in %s (%.1f frames/s)\n"
@@ -488,6 +568,65 @@ int cmd_serve_bench(int argc, char** argv) {
   return failures_expected || stats.failed == 0 ? 0 : 1;
 }
 
+int cmd_trace_check(int argc, char** argv) {
+  sup::Cli cli("starsim_cli trace-check",
+               "validate trace/metrics artifacts (docs/observability.md)");
+  cli.add_option("trace",
+                 "Chrome trace JSON to validate: balanced B/E slices, "
+                 "monotonic per-thread timestamps, closed flows ('' = skip)",
+                 "");
+  cli.add_option("metrics",
+                 "Prometheus exposition to check for the required serve "
+                 "metric families ('' = skip)",
+                 "");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bool checked = false;
+  bool ok = true;
+  const std::string trace_path = cli.str("trace");
+  if (!trace_path.empty()) {
+    checked = true;
+    const std::optional<std::string> json = read_whole_file(trace_path);
+    if (!json.has_value()) return 1;
+    const trace::TraceCheck check = trace::validate_chrome_trace(*json);
+    std::printf("%s: %s\n", trace_path.c_str(), check.summary().c_str());
+    for (const std::string& error : check.errors) {
+      std::fprintf(stderr, "  trace error: %s\n", error.c_str());
+    }
+    ok = ok && check.ok;
+  }
+  const std::string metrics_path = cli.str("metrics");
+  if (!metrics_path.empty()) {
+    checked = true;
+    const std::optional<std::string> exposition =
+        read_whole_file(metrics_path);
+    if (!exposition.has_value()) return 1;
+    // The families the CI observability step treats as load-bearing: one
+    // per subsystem the scrape unifies (queue, batching, render split,
+    // cache, sanitizer).
+    const std::vector<std::string> required = {
+        "starsim_serve_queue_depth",
+        "starsim_serve_batch_size",
+        "starsim_serve_render_seconds_total",
+        "starsim_serve_cache_hits_total",
+        "starsim_serve_sanitizer_findings_total",
+    };
+    const std::vector<std::string> problems =
+        trace::check_prometheus(*exposition, required);
+    for (const std::string& problem : problems) {
+      std::fprintf(stderr, "  metrics problem: %s\n", problem.c_str());
+    }
+    std::printf("%s: %zu required families %s\n", metrics_path.c_str(),
+                required.size(), problems.empty() ? "present" : "MISSING");
+    ok = ok && problems.empty();
+  }
+  if (!checked) {
+    std::fprintf(stderr, "nothing to check: pass --trace and/or --metrics\n");
+    return 1;
+  }
+  return ok ? 0 : 1;
+}
+
 void print_usage() {
   std::puts(
       "starsim_cli — star image simulation workflow\n"
@@ -498,6 +637,7 @@ void print_usage() {
       "  generate  random benchmark star field\n"
       "  simulate  star file -> image (--sim auto uses the selector)\n"
       "  serve-bench  load-test the concurrent frame service\n"
+      "  trace-check  validate exported trace/metrics artifacts\n"
       "\n"
       "run `starsim_cli <subcommand> --help` for options.");
 }
@@ -517,6 +657,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return cmd_generate(argc - 1, argv + 1);
   if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
   if (command == "serve-bench") return cmd_serve_bench(argc - 1, argv + 1);
+  if (command == "trace-check") return cmd_trace_check(argc - 1, argv + 1);
   if (command == "--help" || command == "help") {
     print_usage();
     return 0;

@@ -70,9 +70,16 @@ TextureHandle Device::bind_texture_2d(const DevicePtr<float>& data, int width,
   if (fault_injector_ != nullptr) [[unlikely]] {
     fault_injector_->on_texture_bind();
   }
+  trace::TraceSpan span("gpusim", "texture_bind");
   Texture2D texture(data, width, height, mode, border_value);
   transfers_.texture_binds += 1;
   transfers_.texture_bind_s += spec_.texture_bind_s;
+  if (span.armed()) [[unlikely]] {
+    span.arg("width", width)
+        .arg("height", height)
+        .arg("bytes", texture.bytes())
+        .arg("modeled_s", spec_.texture_bind_s);
+  }
   // Reuse a free slot if any (textures are bound/unbound per frame in the
   // adaptive simulator).
   for (std::size_t i = 0; i < textures_.size(); ++i) {

@@ -30,6 +30,7 @@
 #include "gpusim/perf_model.h"
 #include "gpusim/sanitizer.h"
 #include "gpusim/texture.h"
+#include "trace/trace.h"
 
 namespace starsim::gpusim {
 
@@ -111,11 +112,22 @@ class Device {
   // --- Memory ------------------------------------------------------------------
   template <typename T>
   [[nodiscard]] DevicePtr<T> malloc(std::size_t count) {
+    if (trace::tracing_on()) [[unlikely]] {
+      trace::instant(
+          "gpusim", "malloc",
+          {{"bytes", static_cast<std::int64_t>(count * sizeof(T))}});
+    }
     return memory_.allocate<T>(count);
   }
 
   template <typename T>
   void free(DevicePtr<T>& ptr) {
+    if (trace::tracing_on()) [[unlikely]] {
+      trace::instant("gpusim", "free",
+                     {{"bytes", static_cast<std::int64_t>(ptr.bytes())},
+                      {"allocation_id",
+                       static_cast<std::int64_t>(ptr.allocation_id())}});
+    }
     memory_.release(ptr);
   }
 
@@ -131,12 +143,19 @@ class Device {
                         std::to_string(dst.allocation_id()) + " of " +
                         std::to_string(dst.size()) + " element(s)");
     }
+    trace::TraceSpan span("gpusim", "memcpy_h2d");
     std::memcpy(dst.raw(), src.data(), src.size_bytes());
     dst.sanitizer_mark_initialized(0, src.size_bytes());
+    const double modeled_s =
+        estimate_transfer_time(spec_, src.size_bytes(), pinned_transfers_);
     transfers_.h2d_bytes += src.size_bytes();
     transfers_.h2d_calls += 1;
-    transfers_.h2d_s +=
-        estimate_transfer_time(spec_, src.size_bytes(), pinned_transfers_);
+    transfers_.h2d_s += modeled_s;
+    if (span.armed()) [[unlikely]] {
+      span.arg("bytes", src.size_bytes())
+          .arg("modeled_s", modeled_s)
+          .arg("pinned", pinned_transfers_);
+    }
     if (fault_injector_ != nullptr) [[unlikely]] {
       fault_injector_->on_transfer(FaultSite::kMemcpyH2D,
                                    reinterpret_cast<std::byte*>(dst.raw()),
@@ -167,11 +186,18 @@ class Device {
           " containing byte(s) never written since allocation";
       sanitizer_report_.add(std::move(finding));
     }
+    trace::TraceSpan span("gpusim", "memcpy_d2h");
     std::memcpy(dst.data(), src.raw(), src.bytes());
+    const double modeled_s =
+        estimate_transfer_time(spec_, src.bytes(), pinned_transfers_);
     transfers_.d2h_bytes += src.bytes();
     transfers_.d2h_calls += 1;
-    transfers_.d2h_s +=
-        estimate_transfer_time(spec_, src.bytes(), pinned_transfers_);
+    transfers_.d2h_s += modeled_s;
+    if (span.armed()) [[unlikely]] {
+      span.arg("bytes", src.bytes())
+          .arg("modeled_s", modeled_s)
+          .arg("pinned", pinned_transfers_);
+    }
     if (fault_injector_ != nullptr) [[unlikely]] {
       fault_injector_->on_transfer(FaultSite::kMemcpyD2H,
                                    reinterpret_cast<std::byte*>(dst.data()),
@@ -215,6 +241,7 @@ class Device {
   template <typename KernelFn>
   LaunchResult launch_sanitized(const LaunchConfig& config,
                                 const KernelFn& kernel, SanitizerMode mode) {
+    trace::TraceSpan span("gpusim", "kernel_launch");
     validate_launch(config);
     for (SetAssociativeCache& cache : sm_caches_) cache.reset();
 
@@ -256,6 +283,35 @@ class Device {
     state.totals.atomic_conflicts = state.total_atomic_conflicts();
     LaunchResult result{config, state.totals,
                         estimate_kernel_time(spec_, config, state.totals)};
+    if (span.armed()) [[unlikely]] {
+      span.arg("grid_x", config.grid.x)
+          .arg("grid_y", config.grid.y)
+          .arg("block_x", config.block.x)
+          .arg("block_y", config.block.y)
+          .arg("blocks", block_count)
+          .arg("threads", config.total_threads())
+          .arg("kernel_s", result.timing.kernel_s)
+          .arg("utilization", result.timing.utilization)
+          .arg("achieved_gflops", result.timing.achieved_gflops)
+          .arg("flops", result.counters.flops)
+          .arg("global_bytes", result.counters.global_bytes())
+          .arg("sanitize", to_string(mode));
+      // A few sampled per-block markers so a timeline shows the block-level
+      // structure of the launch without emitting one event per block. The
+      // modeled per-block cost assumes the uniform work distribution that
+      // estimate_kernel_time itself assumes.
+      if (block_count > 0) {
+        const std::uint64_t samples = block_count < 4 ? block_count : 4;
+        const std::uint64_t stride = block_count / samples;
+        const double per_block_s =
+            result.timing.kernel_s / static_cast<double>(block_count);
+        for (std::uint64_t i = 0; i < samples; ++i) {
+          trace::instant("gpusim", "block_sample",
+                         {{"block", static_cast<std::int64_t>(i * stride)},
+                          {"modeled_block_s", per_block_s}});
+        }
+      }
+    }
     if (mode != SanitizerMode::kOff) [[unlikely]] {
       state.sanitizer_report.mode = mode;
       result.sanitizer = std::move(state.sanitizer_report);

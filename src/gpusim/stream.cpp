@@ -4,6 +4,7 @@
 
 #include "gpusim/fault_injector.h"
 #include "support/error.h"
+#include "trace/trace.h"
 
 namespace starsim::gpusim {
 
@@ -47,6 +48,16 @@ double StreamScheduler::enqueue(StreamId stream, Engine engine,
   eng.available_at = end;
   eng.busy += duration_s;
   stream_tail = end;
+  if (trace::tracing_on()) [[unlikely]] {
+    const char* engine_name = engine == Engine::kCompute    ? "compute"
+                              : engine == Engine::kCopyH2D  ? "copy_h2d"
+                                                            : "copy_d2h";
+    trace::instant("gpusim", "stream_enqueue",
+                   {{"stream", static_cast<std::int64_t>(stream.index)},
+                    {"engine", std::string(engine_name)},
+                    {"duration_s", duration_s},
+                    {"completes_at_s", end}});
+  }
   return end;
 }
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "trace/trace.h"
+
 namespace starsim::serve {
 
 Batcher::Batcher(std::size_t max_batch_size)
@@ -19,6 +21,13 @@ std::optional<Batch> Batcher::next_batch(
   batch.priority = run.front().priority;
   batch.requests = std::move(run);
   batch.formed = std::chrono::steady_clock::now();
+  if (trace::tracing_on()) [[unlikely]] {
+    trace::instant(
+        "serve", "batch_formed",
+        {{"batch_size", static_cast<std::int64_t>(batch.requests.size())},
+         {"simulator", std::string(to_string(batch.simulator))},
+         {"priority", std::string(to_string(batch.priority))}});
+  }
   return batch;
 }
 

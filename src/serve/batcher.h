@@ -34,6 +34,9 @@ struct QueuedRequest {
   /// when the request carries no deadline.
   std::optional<std::chrono::steady_clock::time_point> deadline;
   RequestPriority priority = RequestPriority::kNormal;
+  /// Trace flow id stitching this request's submit-side span to the worker
+  /// thread that renders it; 0 when the request was admitted untraced.
+  std::uint64_t trace_flow = 0;
 
   [[nodiscard]] bool expired(std::chrono::steady_clock::time_point now) const {
     return deadline.has_value() && now >= *deadline;

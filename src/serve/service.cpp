@@ -8,6 +8,8 @@
 
 #include "serve/fingerprint.h"
 #include "support/error.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace starsim::serve {
 
@@ -20,6 +22,13 @@ double seconds_between(std::chrono::steady_clock::time_point from,
 
 std::size_t band_of(RequestPriority priority) {
   return static_cast<std::size_t>(priority);
+}
+
+/// Terminate a request's trace flow (promise delivery, expiry, shed, or
+/// orphaning). All phases of one flow share "serve"/"request" so viewers
+/// bind the arrow from the submitter's slice to this thread's slice.
+void end_request_flow(const QueuedRequest& queued) {
+  trace::flow(trace::Phase::kFlowEnd, "serve", "request", queued.trace_flow);
 }
 
 }  // namespace
@@ -97,6 +106,7 @@ void FrameService::expire_request(QueuedRequest& queued,
     counter += 1;
     failed_ += 1;
   }
+  end_request_flow(queued);
   queued.promise.set_exception(std::make_exception_ptr(
       support::DeadlineExceededError(
           "request deadline expired " + std::string(stage) +
@@ -116,6 +126,11 @@ std::optional<std::future<RenderResponse>> FrameService::serve_from_cache(
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     cache_misses_ += 1;
     return std::nullopt;
+  }
+  if (trace::tracing_on()) [[unlikely]] {
+    trace::instant("serve", "cache_hit",
+                   {{"fingerprint",
+                     static_cast<std::int64_t>(queued.key)}});
   }
   RenderResponse response;
   response.result = std::move(hit->result);
@@ -137,7 +152,14 @@ std::optional<std::future<RenderResponse>> FrameService::serve_from_cache(
 }
 
 std::future<RenderResponse> FrameService::submit(RenderRequest request) {
+  trace::TraceSpan span("serve", "submit");
   QueuedRequest queued = admit(std::move(request));
+  if (span.armed()) [[unlikely]] {
+    span.arg("priority", to_string(queued.priority))
+        .arg("stars", queued.request.stars.size())
+        .arg("simulator", to_string(queued.simulator))
+        .arg("sanitize", queued.request.sanitize);
+  }
   if (queued.expired(std::chrono::steady_clock::now())) {
     // A zero-or-negative budget cannot be met even by a cache hit: the
     // request is admitted (counted) and failed before it costs anything.
@@ -152,8 +174,17 @@ std::future<RenderResponse> FrameService::submit(RenderRequest request) {
   if (auto hit = serve_from_cache(queued)) return std::move(*hit);
   std::future<RenderResponse> future = queued.promise.get_future();
   const std::size_t band = band_of(queued.priority);
+  if (span.armed()) [[unlikely]] {
+    queued.trace_flow = trace::TraceRecorder::instance().next_flow_id();
+  }
+  const std::uint64_t flow_id = queued.trace_flow;
   if (!queue_.push(std::move(queued), band)) {
     STARSIM_THROW(support::Error, "FrameService is stopped");
+  }
+  trace::flow(trace::Phase::kFlowStart, "serve", "request", flow_id);
+  if (trace::tracing_on()) [[unlikely]] {
+    trace::counter("serve", "queue_depth",
+                   static_cast<double>(queue_.size()));
   }
   const std::lock_guard<std::mutex> lock(stats_mutex_);
   submitted_ += 1;
@@ -162,7 +193,14 @@ std::future<RenderResponse> FrameService::submit(RenderRequest request) {
 
 std::optional<std::future<RenderResponse>> FrameService::try_submit(
     RenderRequest request) {
+  trace::TraceSpan span("serve", "try_submit");
   QueuedRequest queued = admit(std::move(request));
+  if (span.armed()) [[unlikely]] {
+    span.arg("priority", to_string(queued.priority))
+        .arg("stars", queued.request.stars.size())
+        .arg("simulator", to_string(queued.simulator))
+        .arg("sanitize", queued.request.sanitize);
+  }
   if (queued.expired(std::chrono::steady_clock::now())) {
     std::future<RenderResponse> future = queued.promise.get_future();
     {
@@ -176,6 +214,10 @@ std::optional<std::future<RenderResponse>> FrameService::try_submit(
   std::future<RenderResponse> future = queued.promise.get_future();
   const RequestPriority priority = queued.priority;
   const std::size_t band = band_of(priority);
+  if (span.armed()) [[unlikely]] {
+    queued.trace_flow = trace::TraceRecorder::instance().next_flow_id();
+  }
+  const std::uint64_t flow_id = queued.trace_flow;
   std::optional<QueuedRequest> displaced;
   const auto outcome = queue_.try_push_shedding(queued, band, displaced);
   if (outcome == BoundedQueue<QueuedRequest>::PushOutcome::kRejected) {
@@ -183,14 +225,29 @@ std::optional<std::future<RenderResponse>> FrameService::try_submit(
     rejected_ += 1;
     return std::nullopt;
   }
+  trace::flow(trace::Phase::kFlowStart, "serve", "request", flow_id);
   if (displaced.has_value()) {
     // Overload shedding: the youngest lowest-priority queued request made
-    // room for this higher-priority one. Account before delivering.
+    // room for this higher-priority one. A displaced request whose own
+    // deadline already passed while it waited is attributed to both causes
+    // (shed + shed_expired) — shedding must not erase the evidence that
+    // its budget was blown in the queue. Account before delivering.
+    const bool was_expired =
+        displaced->expired(std::chrono::steady_clock::now());
     {
       const std::lock_guard<std::mutex> lock(stats_mutex_);
       shed_ += 1;
+      shed_by_priority_[band_of(displaced->priority)] += 1;
+      if (was_expired) shed_expired_ += 1;
       failed_ += 1;
     }
+    if (trace::tracing_on()) [[unlikely]] {
+      trace::instant(
+          "serve", "shed",
+          {{"priority", std::string(to_string(displaced->priority))},
+           {"expired", was_expired}});
+    }
+    end_request_flow(*displaced);
     displaced->promise.set_exception(std::make_exception_ptr(
         support::OverloadShedError(
             "request shed under overload: displaced by a " +
@@ -206,6 +263,13 @@ RenderResponse FrameService::render(RenderRequest request) {
 }
 
 bool FrameService::execute_batch(Batch&& batch, Worker& worker) {
+  trace::TraceSpan span("serve", "render_batch");
+  if (span.armed()) [[unlikely]] {
+    span.arg("batch_size", batch.requests.size())
+        .arg("simulator", to_string(batch.simulator))
+        .arg("worker", worker.index())
+        .arg("priority", to_string(batch.priority));
+  }
   const auto exec_start = std::chrono::steady_clock::now();
 
   // Deadline check at batch formation: an expired request is dropped here,
@@ -247,12 +311,32 @@ bool FrameService::execute_batch(Batch&& batch, Worker& worker) {
       failed_ += count;
     }
     for (QueuedRequest& queued : live) {
+      end_request_flow(queued);
       queued.promise.set_exception(error);
     }
     return false;
   }
 
   const auto finish = std::chrono::steady_clock::now();
+  // Per-batch render totals for stats()/scrape_metrics(), summed while the
+  // results are still intact (they are moved into responses below). Late
+  // frames count too: the device did the work whether or not it delivered.
+  double batch_kernel_s = 0.0;
+  double batch_non_kernel_s = 0.0;
+  double batch_wall_s = 0.0;
+  std::uint64_t batch_flops = 0;
+  std::uint64_t batch_global_bytes = 0;
+  std::uint64_t batch_atomic_ops = 0;
+  std::uint64_t batch_texture_fetches = 0;
+  for (const SimulationResult& rendered : outcome.results) {
+    batch_kernel_s += rendered.timing.kernel_s;
+    batch_non_kernel_s += rendered.timing.non_kernel_s();
+    batch_wall_s += rendered.timing.wall_s;
+    batch_flops += rendered.timing.counters.flops;
+    batch_global_bytes += rendered.timing.counters.global_bytes();
+    batch_atomic_ops += rendered.timing.counters.atomic_ops;
+    batch_texture_fetches += rendered.timing.counters.texture_fetches;
+  }
   // One report per batch, shared by every response it rendered (the batch
   // ran as one instrumented device scope).
   std::shared_ptr<const gpusim::SanitizerReport> sanitizer_report;
@@ -303,6 +387,13 @@ bool FrameService::execute_batch(Batch&& batch, Worker& worker) {
     if (sanitizer_report != nullptr) {
       sanitizer_findings_ += sanitizer_report->total_findings;
     }
+    render_kernel_s_ += batch_kernel_s;
+    render_non_kernel_s_ += batch_non_kernel_s;
+    render_wall_s_ += batch_wall_s;
+    kernel_flops_ += batch_flops;
+    kernel_global_bytes_ += batch_global_bytes;
+    kernel_atomic_ops_ += batch_atomic_ops;
+    kernel_texture_fetches_ += batch_texture_fetches;
     for (std::size_t i = 0; i < count; ++i) {
       if (!late[i]) latency_samples_.push_back(responses[i].latency.total_s);
     }
@@ -324,7 +415,13 @@ bool FrameService::execute_batch(Batch&& batch, Worker& worker) {
     if (!responses[i].degraded && !sanitized) {
       cache_.insert(live[i].key,
                     CachedFrame{responses[i].result, responses[i].simulator});
+      if (trace::tracing_on()) [[unlikely]] {
+        trace::instant("serve", "cache_insert",
+                       {{"fingerprint",
+                         static_cast<std::int64_t>(live[i].key)}});
+      }
     }
+    end_request_flow(live[i]);
     live[i].promise.set_value(std::move(responses[i]));
   }
   return true;
@@ -355,6 +452,7 @@ void FrameService::stop() {
       failed_ += orphaned.size();
     }
     for (QueuedRequest& queued : orphaned) {
+      end_request_flow(queued);
       queued.promise.set_exception(
           std::make_exception_ptr(support::Error(
               "FrameService stopped before the request was executed")));
@@ -384,6 +482,8 @@ ServiceStats FrameService::stats() const {
     s.completed = completed_;
     s.failed = failed_;
     s.shed = shed_;
+    s.shed_expired = shed_expired_;
+    s.shed_by_priority = shed_by_priority_;
     s.expired_admission = expired_admission_;
     s.expired_batch = expired_batch_;
     s.expired_post_render = expired_post_render_;
@@ -392,6 +492,13 @@ ServiceStats FrameService::stats() const {
     s.batches = batches_;
     s.sanitized_requests = sanitized_requests_;
     s.sanitizer_findings = sanitizer_findings_;
+    s.render_kernel_s = render_kernel_s_;
+    s.render_non_kernel_s = render_non_kernel_s_;
+    s.render_wall_s = render_wall_s_;
+    s.kernel_flops = kernel_flops_;
+    s.kernel_global_bytes = kernel_global_bytes_;
+    s.kernel_atomic_ops = kernel_atomic_ops_;
+    s.kernel_texture_fetches = kernel_texture_fetches_;
     s.batch_size_histogram = batch_size_histogram_;
     s.latency = support::tail_quantiles(latency_samples_);
     double sum = 0.0;
@@ -407,6 +514,177 @@ ServiceStats FrameService::stats() const {
                          : 0.0;
   s.cache = cache_.stats();
   return s;
+}
+
+std::string FrameService::scrape_metrics() const {
+  using trace::MetricFamily;
+  using trace::MetricType;
+  const ServiceStats s = stats();
+  const PoolHealth pool = health();
+  std::vector<MetricFamily> families;
+
+  {
+    MetricFamily f{"starsim_serve_requests_total",
+                   "Requests by terminal outcome since service start",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.submitted), {{"outcome", "submitted"}})
+        .add(static_cast<double>(s.rejected), {{"outcome", "rejected"}})
+        .add(static_cast<double>(s.completed), {{"outcome", "completed"}})
+        .add(static_cast<double>(s.failed), {{"outcome", "failed"}})
+        .add(static_cast<double>(s.shed), {{"outcome", "shed"}});
+    families.push_back(std::move(f));
+  }
+  {
+    // stage="shed": displaced requests whose deadline had already passed
+    // when they were shed — the attribution ServiceStats used to lose.
+    MetricFamily f{"starsim_serve_deadline_expired_total",
+                   "Deadline expiries by the stage that detected them",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.expired_admission), {{"stage", "admission"}})
+        .add(static_cast<double>(s.expired_batch), {{"stage", "batch"}})
+        .add(static_cast<double>(s.expired_post_render),
+             {{"stage", "post_render"}})
+        .add(static_cast<double>(s.shed_expired), {{"stage", "shed"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_serve_shed_total",
+                   "Requests shed under overload, by their priority",
+                   MetricType::kCounter, {}};
+    for (std::size_t band = 0; band < kPriorityClasses; ++band) {
+      f.add(static_cast<double>(s.shed_by_priority[band]),
+            {{"priority",
+              std::string(to_string(static_cast<RequestPriority>(band)))}});
+    }
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_serve_queue_depth",
+                   "Requests currently waiting for a worker",
+                   MetricType::kGauge, {}};
+    f.add(static_cast<double>(queue_depth()));
+    families.push_back(std::move(f));
+  }
+  families.push_back(trace::histogram_from_counts(
+      "starsim_serve_batch_size", "Batch sizes formed by dynamic batching",
+      s.batch_size_histogram));
+  {
+    MetricFamily f{"starsim_serve_batches_total",
+                   "Batches executed by the worker pool",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.batches));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_serve_latency_seconds",
+                   "Request latency quantiles (submit to response)",
+                   MetricType::kGauge, {}};
+    f.add(s.latency.p50, {{"quantile", "0.5"}})
+        .add(s.latency.p95, {{"quantile", "0.95"}})
+        .add(s.latency.p99, {{"quantile", "0.99"}});
+    families.push_back(std::move(f));
+  }
+  {
+    // The paper's kernel vs non-kernel decomposition, live: a trace's
+    // kernel_launch spans must sum to the kernel component within 5%.
+    MetricFamily f{"starsim_serve_render_seconds_total",
+                   "Modeled render time by component, summed over frames",
+                   MetricType::kCounter, {}};
+    f.add(s.render_kernel_s, {{"component", "kernel"}})
+        .add(s.render_non_kernel_s, {{"component", "non_kernel"}})
+        .add(s.render_wall_s, {{"component", "wall"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_serve_cache_hits_total",
+                   "Frame-cache hits", MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.cache_hits));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_serve_cache_misses_total",
+                   "Frame-cache misses", MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.cache_misses));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_serve_cache_evictions_total",
+                   "Frames evicted from the LRU cache",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.cache.evictions));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_serve_cache_frames",
+                   "Frames currently cached (and the configured capacity)",
+                   MetricType::kGauge, {}};
+    f.add(static_cast<double>(s.cache.size), {{"kind", "cached"}})
+        .add(static_cast<double>(s.cache.capacity), {{"kind", "capacity"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_serve_sanitized_requests_total",
+                   "Requests rendered under the gpusim sanitizer",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.sanitized_requests));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_serve_sanitizer_findings_total",
+                   "Sanitizer findings reported by sanitized batches",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.sanitizer_findings));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_gpusim_kernel_work_total",
+                   "gpusim kernel-counter totals over rendered frames",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.kernel_flops), {{"counter", "flops"}})
+        .add(static_cast<double>(s.kernel_global_bytes),
+             {{"counter", "global_bytes"}})
+        .add(static_cast<double>(s.kernel_atomic_ops),
+             {{"counter", "atomic_ops"}})
+        .add(static_cast<double>(s.kernel_texture_fetches),
+             {{"counter", "texture_fetches"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_serve_workers",
+                   "Workers by supervision state", MetricType::kGauge, {}};
+    std::array<int, 4> by_state{};
+    for (const WorkerHealth& w : pool.workers) {
+      by_state[static_cast<std::size_t>(w.state)] += 1;
+    }
+    for (std::size_t state = 0; state < by_state.size(); ++state) {
+      f.add(static_cast<double>(by_state[state]),
+            {{"state",
+              std::string(to_string(static_cast<WorkerState>(state)))}});
+    }
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_serve_worker_device_replacements_total",
+                   "Fresh devices handed to quarantined workers",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(pool.total_device_replacements));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_serve_sink_exceptions_total",
+                   "Exceptions that escaped the worker batch sink",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.sink_exceptions));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_serve_throughput_rps",
+                   "Completed requests per second of service lifetime",
+                   MetricType::kGauge, {}};
+    f.add(s.throughput_rps);
+    families.push_back(std::move(f));
+  }
+  return trace::render_prometheus(families);
 }
 
 }  // namespace starsim::serve

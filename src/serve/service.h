@@ -17,11 +17,13 @@
 // cache hit rate) come from stats(). See docs/serving.md.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "serve/batcher.h"
@@ -66,6 +68,14 @@ struct ServiceStats {
   /// overload (their futures failed with OverloadShedError; also counted
   /// in `failed`).
   std::uint64_t shed = 0;
+  /// Of `shed`, requests whose own deadline had already passed when they
+  /// were displaced. Without this, shedding erased the deadline-expiry
+  /// attribution entirely: the request counted only as shed, and no
+  /// expired_* stage recorded that its budget was blown while queued.
+  std::uint64_t shed_expired = 0;
+  /// shed_by_priority[band] = shed requests that held that priority
+  /// (band_of(RequestPriority); low sheds first by design).
+  std::array<std::uint64_t, kPriorityClasses> shed_by_priority{};
   /// Deadline expiries by detection point (all also counted in `failed`):
   /// at admission, at batch formation (the request was never rendered),
   /// and post-render (the frame finished too late to deliver).
@@ -82,6 +92,19 @@ struct ServiceStats {
   /// on a production scene is a bug in the simulator stack, not the scene.
   std::uint64_t sanitized_requests = 0;
   std::uint64_t sanitizer_findings = 0;
+  /// Modeled render-time components summed over every frame the workers
+  /// rendered (late deliveries included — the device did the work). These
+  /// are the service-level equivalent of TimingBreakdown's kernel vs
+  /// non-kernel split, and the totals a trace's kernel_launch spans must
+  /// agree with.
+  double render_kernel_s = 0.0;
+  double render_non_kernel_s = 0.0;
+  double render_wall_s = 0.0;
+  /// gpusim kernel-counter totals over every rendered frame.
+  std::uint64_t kernel_flops = 0;
+  std::uint64_t kernel_global_bytes = 0;
+  std::uint64_t kernel_atomic_ops = 0;
+  std::uint64_t kernel_texture_fetches = 0;
   /// batch_size_histogram[s] = batches of size s ([0] unused).
   std::vector<std::uint64_t> batch_size_histogram;
   /// Quantiles/mean of per-request total latency (submit -> response).
@@ -148,6 +171,10 @@ class FrameService {
   /// Worker-pool supervision snapshot: per-worker state, device
   /// replacements, quarantines, failure streaks (docs/resilience.md).
   [[nodiscard]] PoolHealth health() const;
+  /// One Prometheus text-exposition scrape unifying ServiceStats, queue
+  /// depth, PoolHealth, cache stats, gpusim kernel-counter totals and
+  /// sanitizer findings (docs/observability.md lists every family).
+  [[nodiscard]] std::string scrape_metrics() const;
   [[nodiscard]] const FrameServiceOptions& options() const { return options_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
 
@@ -183,6 +210,8 @@ class FrameService {
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t shed_ = 0;
+  std::uint64_t shed_expired_ = 0;
+  std::array<std::uint64_t, kPriorityClasses> shed_by_priority_{};
   std::uint64_t expired_admission_ = 0;
   std::uint64_t expired_batch_ = 0;
   std::uint64_t expired_post_render_ = 0;
@@ -191,6 +220,13 @@ class FrameService {
   std::uint64_t batches_ = 0;
   std::uint64_t sanitized_requests_ = 0;
   std::uint64_t sanitizer_findings_ = 0;
+  double render_kernel_s_ = 0.0;
+  double render_non_kernel_s_ = 0.0;
+  double render_wall_s_ = 0.0;
+  std::uint64_t kernel_flops_ = 0;
+  std::uint64_t kernel_global_bytes_ = 0;
+  std::uint64_t kernel_atomic_ops_ = 0;
+  std::uint64_t kernel_texture_fetches_ = 0;
   std::vector<std::uint64_t> batch_size_histogram_;
   std::vector<double> latency_samples_;
 

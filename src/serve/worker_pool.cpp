@@ -10,6 +10,7 @@
 #include "starsim/sequential_simulator.h"
 #include "support/error.h"
 #include "support/log.h"
+#include "trace/trace.h"
 
 namespace starsim::serve {
 
@@ -267,6 +268,10 @@ PoolHealth WorkerPool::health() const {
 }
 
 void WorkerPool::run(Worker& worker) {
+  // Sticky across trace sessions, so a session started mid-service still
+  // names this thread in its export.
+  trace::TraceRecorder::instance().set_thread_name(
+      "worker-" + std::to_string(worker.index()));
   while (std::optional<Batch> batch = source_()) {
     bool ok = false;
     try {

@@ -8,6 +8,7 @@
 #include "starsim/kernel_cost.h"
 #include "starsim/roi.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 
 namespace starsim {
 
@@ -126,6 +127,12 @@ class SharedTable {
       : device_(device),
         table_(LookupTable::build(scene, options)),
         inv_bin_width_(options.bins_per_magnitude) {
+    trace::TraceSpan span("starsim", "lut_setup");
+    if (span.armed()) [[unlikely]] {
+      span.arg("entries", table_.entries())
+          .arg("magnitude_bins", table_.magnitude_bins())
+          .arg("phases", table_.phases());
+    }
     if (AdaptiveSimulator::max_magnitude_bins(device_, scene.roi_side,
                                               options.subpixel_phases) <
         table_.magnitude_bins()) {
@@ -262,6 +269,12 @@ int AdaptiveSimulator::max_magnitude_bins(const gpusim::Device& device,
 
 SimulationResult AdaptiveSimulator::simulate(const SceneConfig& scene,
                                              std::span<const Star> stars) {
+  trace::TraceSpan span("starsim", "render");
+  if (span.armed()) [[unlikely]] {
+    span.arg("simulator", name())
+        .arg("stars", stars.size())
+        .arg("roi", scene.roi_side);
+  }
   validate_scene(device_, scene);
 
   const support::WallTimer wall;
@@ -276,11 +289,21 @@ SimulationResult AdaptiveSimulator::simulate(const SceneConfig& scene,
   SimulationResult result = render_frame(device_, scene, stars, shared);
   shared.amortize_into(result.timing, 1);
   result.timing.wall_s = wall.seconds();
+  if (span.armed()) [[unlikely]] {
+    span.arg("kernel_s", result.timing.kernel_s)
+        .arg("non_kernel_s", result.timing.non_kernel_s());
+  }
   return result;
 }
 
 std::vector<SimulationResult> AdaptiveSimulator::simulate_batch(
     const SceneConfig& scene, std::span<const StarField> fields) {
+  trace::TraceSpan span("starsim", "simulate_batch");
+  if (span.armed()) [[unlikely]] {
+    span.arg("simulator", name())
+        .arg("fields", fields.size())
+        .arg("roi", scene.roi_side);
+  }
   validate_scene(device_, scene);
 
   std::vector<SimulationResult> results;

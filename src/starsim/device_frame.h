@@ -14,6 +14,7 @@
 #include "imageio/image.h"
 #include "starsim/scene.h"
 #include "starsim/star.h"
+#include "trace/trace.h"
 
 namespace starsim {
 
@@ -27,6 +28,10 @@ class DeviceFrame {
     // A fault (injected OOM, failed upload) mid-construction must not leak
     // the earlier allocations: a retrying caller would otherwise exhaust
     // the device's 1.5 GB after a handful of faulted frames.
+    trace::TraceSpan span("starsim", "frame_upload");
+    if (span.armed()) [[unlikely]] {
+      span.arg("stars", stars.size()).arg("pixels", pixel_count_);
+    }
     try {
       stars_ = device_.malloc<Star>(stars.empty() ? 1 : stars.size());
       image_ = device_.malloc<float>(pixel_count_);
@@ -55,6 +60,10 @@ class DeviceFrame {
   void readback(imageio::ImageF& target) {
     STARSIM_REQUIRE(target.pixel_count() == pixel_count_,
                     "readback target size mismatch");
+    trace::TraceSpan span("starsim", "readback");
+    if (span.armed()) [[unlikely]] {
+      span.arg("pixels", pixel_count_);
+    }
     device_.memcpy_d2h(target.pixels(), image_);
   }
 

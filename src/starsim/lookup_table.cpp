@@ -6,6 +6,7 @@
 #include "starsim/psf.h"
 #include "support/error.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 
 namespace starsim {
 
@@ -17,6 +18,7 @@ LookupTable LookupTable::build(const SceneConfig& scene,
   STARSIM_REQUIRE(options.subpixel_phases > 0,
                   "subpixel_phases must be positive");
 
+  trace::TraceSpan trace_span("starsim", "lut_build");
   const support::WallTimer wall;
   LookupTable table;
   table.roi_side_ = scene.roi_side;
@@ -59,6 +61,12 @@ LookupTable LookupTable::build(const SceneConfig& scene,
   }
 
   table.build_wall_s_ = wall.seconds();
+  if (trace_span.armed()) [[unlikely]] {
+    trace_span.arg("entries", table.entries())
+        .arg("magnitude_bins", table.magnitude_bins_)
+        .arg("phases", table.phases_)
+        .arg("build_wall_s", table.build_wall_s_);
+  }
   return table;
 }
 

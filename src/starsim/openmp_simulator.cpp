@@ -11,6 +11,7 @@
 #include "starsim/psf.h"
 #include "starsim/roi.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 
 namespace starsim {
 
@@ -25,6 +26,12 @@ OpenMpSimulator::OpenMpSimulator(int threads, gpusim::HostSpec host,
 
 SimulationResult OpenMpSimulator::simulate(const SceneConfig& scene,
                                            std::span<const Star> stars) {
+  trace::TraceSpan span("starsim", "render");
+  if (span.armed()) [[unlikely]] {
+    span.arg("simulator", name())
+        .arg("stars", stars.size())
+        .arg("roi", scene.roi_side);
+  }
   scene.validate();
   const support::WallTimer wall;
 

@@ -8,6 +8,7 @@
 #include "starsim/psf.h"
 #include "starsim/roi.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 
 namespace starsim {
 
@@ -191,6 +192,12 @@ int ParallelSimulator::max_roi_side() const {
 
 SimulationResult ParallelSimulator::simulate(const SceneConfig& scene,
                                              std::span<const Star> stars) {
+  trace::TraceSpan span("starsim", "render");
+  if (span.armed()) [[unlikely]] {
+    span.arg("simulator", name())
+        .arg("stars", stars.size())
+        .arg("roi", scene.roi_side);
+  }
   scene.validate();
   const long threads_per_block =
       static_cast<long>(scene.roi_side) * scene.roi_side;
@@ -279,6 +286,10 @@ SimulationResult ParallelSimulator::simulate(const SceneConfig& scene,
   result.timing.utilization = launch.timing.utilization;
   result.timing.achieved_gflops = launch.timing.achieved_gflops;
   result.timing.wall_s = wall.seconds();
+  if (span.armed()) [[unlikely]] {
+    span.arg("kernel_s", result.timing.kernel_s)
+        .arg("non_kernel_s", result.timing.non_kernel_s());
+  }
   return result;
 }
 

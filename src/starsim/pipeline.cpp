@@ -9,6 +9,7 @@
 #include "starsim/parallel_simulator.h"
 #include "starsim/sequential_simulator.h"
 #include "support/error.h"
+#include "trace/trace.h"
 
 namespace starsim {
 
@@ -19,6 +20,12 @@ PipelineResult simulate_frame_sequence(gpusim::Device& device,
   STARSIM_REQUIRE(options.streams >= 1, "need at least one stream");
   STARSIM_REQUIRE(!frame_fields.empty(),
                   "frame sequence must contain at least one frame");
+  trace::TraceSpan span("starsim", "frame_sequence");
+  if (span.armed()) [[unlikely]] {
+    span.arg("frames", frame_fields.size())
+        .arg("streams", options.streams)
+        .arg("copy_engines", options.copy_engines);
+  }
   PipelineResult result;
 
   // In resilient mode every frame runs through the recovery ladder;

@@ -7,6 +7,7 @@
 #include "starsim/psf.h"
 #include "starsim/roi.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 
 namespace starsim {
 
@@ -90,6 +91,12 @@ PixelCentricSimulator::PixelCentricSimulator(gpusim::Device& device)
 
 SimulationResult PixelCentricSimulator::simulate(const SceneConfig& scene,
                                                  std::span<const Star> stars) {
+  trace::TraceSpan span("starsim", "render");
+  if (span.armed()) [[unlikely]] {
+    span.arg("simulator", name())
+        .arg("stars", stars.size())
+        .arg("roi", scene.roi_side);
+  }
   scene.validate();
   const support::WallTimer wall;
   SimulationResult result;

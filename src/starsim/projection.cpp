@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/error.h"
+#include "trace/trace.h"
 
 namespace starsim {
 
@@ -20,6 +21,7 @@ StarField project_to_image(std::span<const CatalogStar> catalog,
   STARSIM_REQUIRE(camera.focal_length_px > 0.0,
                   "focal length must be positive");
 
+  trace::TraceSpan span("starsim", "projection");
   StarField stars;
   const double cx = camera.center_x();
   const double cy = camera.center_y();
@@ -40,6 +42,9 @@ StarField project_to_image(std::span<const CatalogStar> catalog,
     star.x = static_cast<float>(u);
     star.y = static_cast<float>(v);
     stars.push_back(star);
+  }
+  if (span.armed()) [[unlikely]] {
+    span.arg("catalog_stars", catalog.size()).arg("projected", stars.size());
   }
   return stars;
 }

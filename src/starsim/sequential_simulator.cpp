@@ -4,6 +4,7 @@
 #include "starsim/psf.h"
 #include "starsim/roi.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 
 namespace starsim {
 
@@ -13,6 +14,12 @@ SequentialSimulator::SequentialSimulator(gpusim::HostSpec host,
 
 SimulationResult SequentialSimulator::simulate(const SceneConfig& scene,
                                                std::span<const Star> stars) {
+  trace::TraceSpan span("starsim", "render");
+  if (span.armed()) [[unlikely]] {
+    span.arg("simulator", name())
+        .arg("stars", stars.size())
+        .arg("roi", scene.roi_side);
+  }
   scene.validate();
   const support::WallTimer wall;
   FlopMeter meter(costs_);
@@ -63,6 +70,10 @@ SimulationResult SequentialSimulator::simulate(const SceneConfig& scene,
       host_.scalar_time_s(static_cast<double>(meter.flops()));
   result.timing.counters.flops = meter.flops();
   result.timing.wall_s = wall.seconds();
+  if (span.armed()) [[unlikely]] {
+    span.arg("kernel_s", result.timing.kernel_s)
+        .arg("non_kernel_s", result.timing.non_kernel_s());
+  }
   return result;
 }
 

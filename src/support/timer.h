@@ -15,6 +15,13 @@ namespace starsim::support {
 /// Monotonic wall-clock stopwatch. Starts on construction.
 class WallTimer {
  public:
+  /// Public so tests can assert the clock source stays monotonic: a switch
+  /// to high_resolution_clock (which may alias the adjustable wall clock)
+  /// would let NTP steps corrupt every measured breakdown.
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "WallTimer must be backed by a monotonic clock");
+
   WallTimer() : start_(Clock::now()) {}
 
   /// Restart the stopwatch.
@@ -29,7 +36,6 @@ class WallTimer {
   [[nodiscard]] double millis() const { return seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

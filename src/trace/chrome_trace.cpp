@@ -1,0 +1,296 @@
+#include "trace/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <unordered_map>
+
+#include "support/error.h"
+#include "trace/json_lite.h"
+
+namespace starsim::trace {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+void append_arg_value(std::string& out, const ArgValue& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    char buffer[24];
+    std::snprintf(buffer, sizeof buffer, "%" PRId64, *i);
+    out += buffer;
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    append_number(out, *d);
+  } else if (const auto* b = std::get_if<bool>(&value)) {
+    out += *b ? "true" : "false";
+  } else {
+    out.push_back('"');
+    append_escaped(out, std::get<std::string>(value));
+    out.push_back('"');
+  }
+}
+
+void append_event(std::string& out, const TraceEvent& event) {
+  out += R"({"ph":")";
+  out.push_back(static_cast<char>(event.phase));
+  out += R"(","cat":")";
+  append_escaped(out, event.category);
+  out += R"(","name":")";
+  append_escaped(out, event.name);
+  out += R"(","pid":1,"tid":)";
+  out += std::to_string(event.tid);
+  out += R"(,"ts":)";
+  // Chrome's unit is microseconds; keep nanosecond precision as fractions.
+  char ts[40];
+  std::snprintf(ts, sizeof ts, "%.3f",
+                static_cast<double>(event.ts_ns) / 1000.0);
+  out += ts;
+  switch (event.phase) {
+    case Phase::kFlowStart:
+    case Phase::kFlowStep:
+      out += R"(,"id":")" + std::to_string(event.flow_id) + '"';
+      break;
+    case Phase::kFlowEnd:
+      // bp:e binds the arrow target to the enclosing slice, not the next.
+      out += R"(,"id":")" + std::to_string(event.flow_id) + R"(","bp":"e")";
+      break;
+    case Phase::kInstant: out += R"(,"s":"t")"; break;
+    default: break;
+  }
+  if (!event.args.empty()) {
+    out += R"(,"args":{)";
+    bool first = true;
+    for (const TraceArg& arg : event.args) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('"');
+      append_escaped(out, arg.key);
+      out += "\":";
+      append_arg_value(out, arg.value);
+    }
+    out.push_back('}');
+  }
+  out.push_back('}');
+}
+
+}  // namespace
+
+std::string to_chrome_json(const TraceSnapshot& snapshot) {
+  std::string out;
+  out.reserve(snapshot.events.size() * 96 + 256);
+  out += R"({"displayTimeUnit":"ms","traceEvents":[)";
+  bool first = true;
+  for (const auto& [tid, name] : snapshot.thread_names) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += R"({"ph":"M","pid":1,"tid":)" + std::to_string(tid) +
+           R"(,"name":"thread_name","args":{"name":")";
+    append_escaped(out, name);
+    out += R"("}})";
+  }
+  for (const TraceEvent& event : snapshot.events) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_event(out, event);
+  }
+  out += "]}";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const TraceSnapshot& snapshot) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    STARSIM_THROW(support::IoError, "cannot open trace file: " + path);
+  }
+  const std::string json = to_chrome_json(snapshot);
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!file) {
+    STARSIM_THROW(support::IoError, "short write to trace file: " + path);
+  }
+}
+
+std::string TraceCheck::summary() const {
+  std::string out = ok ? "trace OK: " : "trace INVALID: ";
+  out += std::to_string(events) + " events on " + std::to_string(threads) +
+         " thread(s), " + std::to_string(begin_events) + " B / " +
+         std::to_string(end_events) + " E, " +
+         std::to_string(counter_events) + " counters, " +
+         std::to_string(flow_ids) + " flow(s) (" +
+         std::to_string(cross_thread_flows) + " cross-thread)";
+  if (!errors.empty()) {
+    out += "; first error: " + errors.front();
+  }
+  return out;
+}
+
+TraceCheck validate_chrome_trace(std::string_view json) {
+  TraceCheck check;
+  JsonValue document;
+  try {
+    document = parse_json(json);
+  } catch (const std::exception& error) {
+    check.errors.emplace_back(error.what());
+    return check;
+  }
+  const JsonValue* events = document.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    check.errors.emplace_back("missing traceEvents array");
+    return check;
+  }
+
+  struct OpenSlice {
+    std::string name;
+  };
+  std::map<std::int64_t, std::vector<OpenSlice>> stacks;  // per tid
+  std::map<std::int64_t, double> last_ts;                 // per tid
+  struct FlowSeen {
+    bool start = false;
+    bool end = false;
+    std::set<std::int64_t> tids;
+  };
+  std::unordered_map<std::string, FlowSeen> flows;
+  std::set<std::int64_t> tids;
+
+  std::size_t index = 0;
+  for (const JsonValue& entry : events->as_array()) {
+    const std::size_t at = index++;
+    check.events += 1;
+    if (!entry.is_object()) {
+      check.errors.push_back("event " + std::to_string(at) +
+                             " is not an object");
+      continue;
+    }
+    const JsonValue* ph = entry.find("ph");
+    const JsonValue* name = entry.find("name");
+    if (ph == nullptr || !ph->is_string() || ph->as_string().size() != 1) {
+      check.errors.push_back("event " + std::to_string(at) + " has no phase");
+      continue;
+    }
+    const char phase = ph->as_string()[0];
+    if (phase == 'M') continue;  // metadata carries no timestamp
+
+    const JsonValue* tid_value = entry.find("tid");
+    const JsonValue* ts_value = entry.find("ts");
+    if (tid_value == nullptr || !tid_value->is_number() ||
+        ts_value == nullptr || !ts_value->is_number()) {
+      check.errors.push_back("event " + std::to_string(at) +
+                             " lacks numeric tid/ts");
+      continue;
+    }
+    const auto tid = static_cast<std::int64_t>(tid_value->as_number());
+    const double ts = ts_value->as_number();
+    tids.insert(tid);
+    if (const JsonValue* cat = entry.find("cat");
+        cat != nullptr && cat->is_string()) {
+      check.categories.insert(cat->as_string());
+    }
+
+    const auto [it, inserted] = last_ts.try_emplace(tid, ts);
+    if (!inserted) {
+      if (ts < it->second) {
+        check.errors.push_back(
+            "event " + std::to_string(at) + ": timestamp went backwards on " +
+            "tid " + std::to_string(tid));
+      }
+      it->second = ts;
+    }
+
+    const std::string event_name =
+        name != nullptr && name->is_string() ? name->as_string() : "";
+    switch (phase) {
+      case 'B':
+        check.begin_events += 1;
+        stacks[tid].push_back({event_name});
+        break;
+      case 'E': {
+        check.end_events += 1;
+        auto& stack = stacks[tid];
+        if (stack.empty()) {
+          check.errors.push_back("event " + std::to_string(at) +
+                                 ": E without matching B on tid " +
+                                 std::to_string(tid));
+        } else {
+          if (stack.back().name != event_name) {
+            check.errors.push_back(
+                "event " + std::to_string(at) + ": E for '" + event_name +
+                "' closes open slice '" + stack.back().name + "' on tid " +
+                std::to_string(tid));
+          }
+          stack.pop_back();
+        }
+        break;
+      }
+      case 'i': check.instant_events += 1; break;
+      case 'C': check.counter_events += 1; break;
+      case 's':
+      case 't':
+      case 'f': {
+        const JsonValue* id = entry.find("id");
+        if (id == nullptr || !id->is_string()) {
+          check.errors.push_back("event " + std::to_string(at) +
+                                 ": flow event without id");
+          break;
+        }
+        FlowSeen& seen = flows[id->as_string()];
+        if (phase == 's') seen.start = true;
+        if (phase == 'f') seen.end = true;
+        seen.tids.insert(tid);
+        break;
+      }
+      default:
+        check.errors.push_back("event " + std::to_string(at) +
+                               ": unknown phase '" + std::string(1, phase) +
+                               "'");
+    }
+  }
+
+  for (const auto& [tid, stack] : stacks) {
+    if (!stack.empty()) {
+      check.errors.push_back("tid " + std::to_string(tid) + " ends with " +
+                             std::to_string(stack.size()) +
+                             " unclosed slice(s); first open: '" +
+                             stack.front().name + "'");
+    }
+  }
+  for (const auto& [id, seen] : flows) {
+    check.flow_ids += 1;
+    if (!seen.start || !seen.end) {
+      check.errors.push_back("flow " + id + (seen.start
+                                                 ? " never finishes"
+                                                 : " finishes without start"));
+    }
+    if (seen.tids.size() > 1) check.cross_thread_flows += 1;
+  }
+  check.threads = tids.size();
+  check.ok = check.errors.empty();
+  return check;
+}
+
+}  // namespace starsim::trace

@@ -1,0 +1,49 @@
+// Chrome trace-event JSON export and structural validation.
+//
+// The exporter writes the "JSON object format" (traceEvents array) that
+// chrome://tracing and Perfetto load: B/E duration slices per thread,
+// i/C instant and counter events, s/f flow arrows that stitch one request's
+// spans across the submitter and worker threads, and M metadata records
+// naming threads. The validator re-parses an exported document and checks
+// the structural invariants the golden tests and the CI trace-check step
+// rely on: balanced B/E nesting per thread, monotonic timestamps per
+// thread, and flow ids that both start and finish.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace starsim::trace {
+
+/// Serialize a snapshot to a Chrome trace-event JSON document.
+[[nodiscard]] std::string to_chrome_json(const TraceSnapshot& snapshot);
+
+/// to_chrome_json + write to `path`; throws support::IoError on failure.
+void write_chrome_trace(const std::string& path, const TraceSnapshot& snapshot);
+
+/// What validate_chrome_trace() found.
+struct TraceCheck {
+  bool ok = false;
+  std::vector<std::string> errors;
+  std::size_t events = 0;          ///< all phases, metadata included
+  std::size_t begin_events = 0;    ///< ph B
+  std::size_t end_events = 0;      ///< ph E
+  std::size_t counter_events = 0;  ///< ph C
+  std::size_t instant_events = 0;  ///< ph i
+  std::size_t flow_ids = 0;        ///< distinct flow ids seen
+  std::size_t cross_thread_flows = 0;  ///< flows whose events span > 1 tid
+  std::size_t threads = 0;             ///< distinct tids
+  std::set<std::string> categories;    ///< every "cat" seen
+  /// One-line human summary ("8421 events, 12 threads, ...").
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Parse `json` and verify the structural invariants. Never throws on bad
+/// input — malformed documents come back as ok == false with errors.
+[[nodiscard]] TraceCheck validate_chrome_trace(std::string_view json);
+
+}  // namespace starsim::trace

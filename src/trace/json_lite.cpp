@@ -1,0 +1,241 @@
+#include "trace/json_lite.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace starsim::trace {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t offset, const std::string& what) {
+  STARSIM_THROW(support::Error,
+                "JSON parse error at byte " + std::to_string(offset) + ": " +
+                    what);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail(pos_, "trailing content after document");
+    return value;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(pos_, std::string("expected '") + c + "', found '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't': parse_literal("true"); return JsonValue(true);
+      case 'f': parse_literal("false"); return JsonValue(false);
+      case 'n': parse_literal("null"); return JsonValue(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  void parse_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      fail(pos_, "invalid literal (expected " + std::string(literal) + ")");
+    }
+    pos_ += literal.size();
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail(pos_, "expected a value");
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || end != text_.data() + pos_) {
+      fail(start, "malformed number '" +
+                      std::string(text_.substr(start, pos_ - start)) + "'");
+    }
+    return JsonValue(value);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail(pos_ - 1, "unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail(pos_, "dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail(pos_, "truncated \\u escape");
+          unsigned int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            code <<= 4u;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned int>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned int>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned int>(h - 'A' + 10);
+            } else {
+              fail(pos_, "bad hex digit in \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point; surrogates kept literal.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0u | (code >> 6u)));
+            out.push_back(static_cast<char>(0x80u | (code & 0x3fu)));
+          } else {
+            out.push_back(static_cast<char>(0xe0u | (code >> 12u)));
+            out.push_back(static_cast<char>(0x80u | ((code >> 6u) & 0x3fu)));
+            out.push_back(static_cast<char>(0x80u | (code & 0x3fu)));
+          }
+          break;
+        }
+        default: fail(pos_ - 1, "unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray items;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(std::move(items));
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject members;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      members.insert_or_assign(std::move(key), parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(std::move(members));
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) STARSIM_THROW(support::Error, "JSON value is not a bool");
+  return std::get<bool>(storage_);
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) {
+    STARSIM_THROW(support::Error, "JSON value is not a number");
+  }
+  return std::get<double>(storage_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) {
+    STARSIM_THROW(support::Error, "JSON value is not a string");
+  }
+  return std::get<std::string>(storage_);
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (!is_array()) STARSIM_THROW(support::Error, "JSON value is not an array");
+  return std::get<JsonArray>(storage_);
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (!is_object()) {
+    STARSIM_THROW(support::Error, "JSON value is not an object");
+  }
+  return std::get<JsonObject>(storage_);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const JsonObject& object = std::get<JsonObject>(storage_);
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace starsim::trace

@@ -1,0 +1,76 @@
+// Minimal JSON parser for trace validation.
+//
+// The trace subsystem both writes Chrome trace-event JSON and *checks* it
+// (golden tests, the CI trace-check step), so it needs to read JSON back
+// without growing a dependency. This is a strict little recursive-descent
+// parser covering the JSON grammar the exporter emits — objects, arrays,
+// strings with escapes, numbers, booleans, null — with position-stamped
+// errors. It is not a general-purpose library: no comments, no trailing
+// commas, no surrogate-pair decoding (\uXXXX escapes outside the BMP keep
+// their escaped form).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "support/error.h"
+
+namespace starsim::trace {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+/// std::map keeps key order deterministic for tests.
+using JsonObject = std::map<std::string, JsonValue, std::less<>>;
+
+class JsonValue {
+ public:
+  using Storage = std::variant<std::nullptr_t, bool, double, std::string,
+                               JsonArray, JsonObject>;
+
+  JsonValue() : storage_(nullptr) {}
+  JsonValue(Storage storage) : storage_(std::move(storage)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(storage_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(storage_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(storage_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(storage_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<JsonArray>(storage_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<JsonObject>(storage_);
+  }
+
+  /// Typed accessors; throw support::Error on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+ private:
+  Storage storage_;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, trailing content
+/// rejected). Throws support::Error with a byte offset on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace starsim::trace

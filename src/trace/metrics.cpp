@@ -1,0 +1,176 @@
+#include "trace/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace starsim::trace {
+
+namespace {
+
+void append_label_value_escaped(std::string& out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+}
+
+void append_value(std::string& out, double value) {
+  if (std::isinf(value)) {
+    out += value > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  if (std::isnan(value)) {
+    out += "NaN";
+    return;
+  }
+  // Integers (the common case for counters) print without an exponent.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.0f", value);
+    out += buffer;
+    return;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  out += buffer;
+}
+
+void append_sample(std::string& out, const MetricFamily& family,
+                   const MetricSample& sample) {
+  out += family.name;
+  out += sample.suffix;
+  if (!sample.labels.empty()) {
+    out.push_back('{');
+    bool first = true;
+    for (const MetricLabel& label : sample.labels) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += label.name;
+      out += "=\"";
+      append_label_value_escaped(out, label.value);
+      out.push_back('"');
+    }
+    out.push_back('}');
+  }
+  out.push_back(' ');
+  append_value(out, sample.value);
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string_view to_string(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+MetricFamily& MetricFamily::add(double value, std::vector<MetricLabel> labels) {
+  samples.push_back(MetricSample{"", std::move(labels), value});
+  return *this;
+}
+
+MetricFamily histogram_from_counts(std::string name, std::string help,
+                                   std::span<const std::uint64_t> counts) {
+  MetricFamily family;
+  family.name = std::move(name);
+  family.help = std::move(help);
+  family.type = MetricType::kHistogram;
+  std::uint64_t cumulative = 0;
+  double sum = 0.0;
+  for (std::size_t value = 0; value < counts.size(); ++value) {
+    cumulative += counts[value];
+    sum += static_cast<double>(counts[value]) * static_cast<double>(value);
+    family.samples.push_back(MetricSample{
+        "_bucket",
+        {{"le", std::to_string(value)}},
+        static_cast<double>(cumulative)});
+  }
+  family.samples.push_back(MetricSample{
+      "_bucket", {{"le", "+Inf"}}, static_cast<double>(cumulative)});
+  family.samples.push_back(MetricSample{"_sum", {}, sum});
+  family.samples.push_back(
+      MetricSample{"_count", {}, static_cast<double>(cumulative)});
+  return family;
+}
+
+std::string render_prometheus(std::span<const MetricFamily> families) {
+  std::string out;
+  for (const MetricFamily& family : families) {
+    out += "# HELP ";
+    out += family.name;
+    out.push_back(' ');
+    out += family.help;
+    out.push_back('\n');
+    out += "# TYPE ";
+    out += family.name;
+    out.push_back(' ');
+    out += to_string(family.type);
+    out.push_back('\n');
+    for (const MetricSample& sample : family.samples) {
+      append_sample(out, family, sample);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> check_prometheus(
+    std::string_view exposition, std::span<const std::string> required) {
+  // Families declared (TYPE lines) and families with at least one finite
+  // sample line.
+  std::set<std::string, std::less<>> declared;
+  std::set<std::string, std::less<>> sampled;
+  std::istringstream stream{std::string(exposition)};
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t name_start = 7;
+      const std::size_t name_end = line.find(' ', name_start);
+      if (name_end != std::string::npos) {
+        declared.insert(line.substr(name_start, name_end - name_start));
+      }
+      continue;
+    }
+    if (line[0] == '#') continue;
+    // "name{labels} value" or "name value"; histogram suffixes count for
+    // their base family.
+    const std::size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) continue;
+    std::string name = line.substr(0, name_end);
+    for (const std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        name.resize(name.size() - suffix.size());
+        break;
+      }
+    }
+    const std::size_t value_start = line.rfind(' ');
+    if (value_start == std::string::npos) continue;
+    const std::string value = line.substr(value_start + 1);
+    if (value == "NaN") continue;
+    sampled.insert(std::move(name));
+  }
+
+  std::vector<std::string> problems;
+  for (const std::string& name : required) {
+    if (declared.find(name) == declared.end()) {
+      problems.push_back("missing required metric family: " + name);
+    } else if (sampled.find(name) == sampled.end()) {
+      problems.push_back("metric family has no finite samples: " + name);
+    }
+  }
+  return problems;
+}
+
+}  // namespace starsim::trace

@@ -1,0 +1,64 @@
+// Prometheus text-format metrics exposition.
+//
+// The serving stack accumulates counters in several places — ServiceStats,
+// PoolHealth, the frame cache, gpusim's kernel counters, sanitizer finding
+// totals — and this module unifies them into one scrape: named families of
+// counters, gauges, and histograms rendered in the Prometheus text
+// exposition format (version 0.0.4), the lingua franca every metrics
+// pipeline ingests. FrameService::scrape_metrics() builds the families;
+// this module owns the representation, the renderer, and the checker the
+// CI step uses to assert required families are present and populated.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace starsim::trace {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view to_string(MetricType type);
+
+struct MetricLabel {
+  std::string name;
+  std::string value;
+};
+
+/// One sample line. For plain counters/gauges `suffix` stays empty; the
+/// histogram helper emits `_bucket`/`_sum`/`_count` suffixed samples.
+struct MetricSample {
+  std::string suffix;
+  std::vector<MetricLabel> labels;
+  double value = 0.0;
+};
+
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kGauge;
+  std::vector<MetricSample> samples;
+
+  /// Append a sample; returns *this for chaining.
+  MetricFamily& add(double value, std::vector<MetricLabel> labels = {});
+};
+
+/// Cumulative Prometheus histogram from per-size counts: counts[i] = events
+/// with value exactly i (the batch-size histogram's shape). Emits one
+/// le="i" bucket per non-trivial size plus le="+Inf", then _sum and _count.
+[[nodiscard]] MetricFamily histogram_from_counts(
+    std::string name, std::string help,
+    std::span<const std::uint64_t> counts);
+
+/// Render families in the text exposition format.
+[[nodiscard]] std::string render_prometheus(
+    std::span<const MetricFamily> families);
+
+/// Scrape checker: every name in `required` must appear as a family with at
+/// least one finite sample. Returns human-readable problems (empty = pass).
+[[nodiscard]] std::vector<std::string> check_prometheus(
+    std::string_view exposition, std::span<const std::string> required);
+
+}  // namespace starsim::trace

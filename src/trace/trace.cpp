@@ -1,0 +1,110 @@
+#include "trace/trace.h"
+
+#include <utility>
+
+namespace starsim::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+TraceRecorder::Shard& TraceRecorder::shard() {
+  // Cached per thread: valid for the thread's lifetime because shards are
+  // owned by the process-lifetime singleton and never deallocated.
+  static thread_local Shard* cached = nullptr;
+  if (cached == nullptr) {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto owned = std::make_unique<Shard>();
+    owned->tid = static_cast<std::uint32_t>(shards_.size());
+    cached = owned.get();
+    shards_.push_back(std::move(owned));
+  }
+  return *cached;
+}
+
+void TraceRecorder::start() {
+  clear();
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::stop() {
+  detail::g_enabled.store(false, std::memory_order_release);
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> registry(registry_mutex_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->events.clear();
+  }
+}
+
+std::int64_t TraceRecorder::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint32_t TraceRecorder::current_tid() { return shard().tid; }
+
+void TraceRecorder::set_thread_name(std::string name) {
+  Shard& s = shard();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.name = std::move(name);
+}
+
+void TraceRecorder::record(Phase phase, const char* category,
+                           const char* name, std::vector<TraceArg> args,
+                           std::uint64_t flow_id) {
+  Shard& s = shard();
+  TraceEvent event;
+  event.phase = phase;
+  event.category = category;
+  event.name = name;
+  event.ts_ns = now_ns();
+  event.tid = s.tid;
+  event.flow_id = flow_id;
+  event.args = std::move(args);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.push_back(std::move(event));
+}
+
+TraceSnapshot TraceRecorder::snapshot() {
+  TraceSnapshot out;
+  const std::lock_guard<std::mutex> registry(registry_mutex_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    out.events.insert(out.events.end(), shard->events.begin(),
+                      shard->events.end());
+    if (!shard->name.empty()) {
+      out.thread_names.emplace_back(shard->tid, shard->name);
+    }
+  }
+  return out;
+}
+
+void instant(const char* category, const char* name,
+             std::vector<TraceArg> args) {
+  if (!tracing_on()) return;
+  TraceRecorder::instance().record(Phase::kInstant, category, name,
+                                   std::move(args));
+}
+
+void counter(const char* category, const char* name, double value) {
+  if (!tracing_on()) return;
+  TraceRecorder::instance().record(Phase::kCounter, category, name,
+                                   {{"value", value}});
+}
+
+}  // namespace starsim::trace

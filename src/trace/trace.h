@@ -1,0 +1,227 @@
+// starsim::trace — low-overhead, thread-safe tracing for the whole stack.
+//
+// The paper's evaluation decomposes application time into kernel vs
+// non-kernel components (Figs. 11–16, Table I); this module makes that
+// decomposition observable on a *live* system instead of a post-hoc sum of
+// Timer fields. Every layer emits spans: gpusim for device operations
+// (kernel launches, transfers, texture binds), starsim for pipeline stages
+// (projection, LUT build, render, readback), serve for request lifecycles
+// stitched across threads with flow ids. Snapshots export to Chrome
+// trace-event JSON (chrome_trace.h) loadable in Perfetto, and service
+// counters export to Prometheus text format (metrics.h).
+//
+// Cost model: tracing is off by default and every instrumentation site is
+// gated on one relaxed atomic load (`tracing_on()`), so the disabled path
+// costs a predictable untaken branch — measured within benchmark noise on
+// bench_micro_gpusim (docs/observability.md). When enabled, each event is
+// one timestamp, one small struct, and one push into the calling thread's
+// own lock-sharded buffer (the per-shard mutex is uncontended except
+// against snapshot()).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+namespace starsim::trace {
+
+namespace detail {
+/// The one global gate every instrumentation site checks. Kept outside the
+/// recorder so the disabled path never touches the singleton's init guard.
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when a recorder session is active. Relaxed: a site racing a
+/// start()/stop() edge may drop or record one boundary event, which the
+/// exporters tolerate.
+[[nodiscard]] inline bool tracing_on() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Typed span/event argument values (star counts, byte sizes, modeled
+/// seconds, simulator names).
+using ArgValue = std::variant<std::int64_t, double, bool, std::string>;
+
+struct TraceArg {
+  const char* key;  ///< static string literal
+  ArgValue value;
+};
+
+/// Chrome trace-event phases this recorder emits.
+enum class Phase : char {
+  kBegin = 'B',      ///< duration-slice open (TraceSpan constructor)
+  kEnd = 'E',        ///< duration-slice close (TraceSpan destructor)
+  kInstant = 'i',    ///< point event
+  kCounter = 'C',    ///< named counter sample
+  kFlowStart = 's',  ///< flow arrow origin (request admitted)
+  kFlowStep = 't',   ///< flow arrow waypoint
+  kFlowEnd = 'f',    ///< flow arrow target (response delivered)
+};
+
+struct TraceEvent {
+  Phase phase = Phase::kInstant;
+  const char* category = "";  ///< static literal: "gpusim", "starsim", "serve"
+  const char* name = "";      ///< static literal: "kernel_launch", ...
+  std::int64_t ts_ns = 0;     ///< steady-clock nanoseconds since the epoch
+  std::uint32_t tid = 0;      ///< recorder-assigned small thread id
+  std::uint64_t flow_id = 0;  ///< non-zero only for flow events
+  std::vector<TraceArg> args;
+};
+
+/// Everything one snapshot() drained: events in per-thread order (timestamps
+/// are monotonic within each tid) plus the thread names registered so far.
+struct TraceSnapshot {
+  std::vector<TraceEvent> events;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names;
+};
+
+/// Process-wide event sink. One instance per process; threads register a
+/// private shard on first use and append to it, so recording scales with
+/// thread count and snapshot() is the only cross-shard reader.
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Begin a session: drop buffered events, re-zero the time epoch, open
+  /// the gate. Spans still open from before a start() will close into the
+  /// new session; scope sessions around quiesced code.
+  void start();
+  /// Close the gate. Buffered events stay until the next start()/clear().
+  void stop();
+  /// Drop buffered events without touching the gate (benchmark loops use
+  /// this to bound memory while tracing stays on).
+  void clear();
+
+  [[nodiscard]] bool enabled() const { return tracing_on(); }
+
+  /// Append one event to the calling thread's shard.
+  void record(Phase phase, const char* category, const char* name,
+              std::vector<TraceArg> args = {}, std::uint64_t flow_id = 0);
+
+  /// Copy out everything recorded so far, shard by shard (per-tid order
+  /// preserved). Callable any time; concurrent recording proceeds.
+  [[nodiscard]] TraceSnapshot snapshot();
+
+  /// Steady-clock nanoseconds since the current session's epoch.
+  [[nodiscard]] std::int64_t now_ns() const;
+
+  /// The calling thread's recorder-assigned id (registers the shard).
+  [[nodiscard]] std::uint32_t current_tid();
+
+  /// Name the calling thread in exported traces ("worker-0"). Sticky across
+  /// sessions; callable whether or not tracing is on.
+  void set_thread_name(std::string name);
+
+  /// Fresh process-unique flow id (never 0).
+  [[nodiscard]] std::uint64_t next_flow_id() {
+    return next_flow_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::string name;
+    std::uint32_t tid = 0;
+  };
+
+  TraceRecorder();
+  Shard& shard();
+
+  std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_flow_{1};
+};
+
+/// RAII duration slice: emits a balanced B/E pair on the calling thread.
+/// Construction samples the gate once; a span built while tracing is off
+/// costs two untaken branches and records nothing. Args added via arg() ride
+/// on the E event (Chrome merges B/E args into one slice).
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name)
+      : category_(category), name_(name), armed_(tracing_on()) {
+    if (armed_) [[unlikely]] {
+      TraceRecorder::instance().record(Phase::kBegin, category_, name_);
+    }
+  }
+
+  ~TraceSpan() {
+    if (armed_) [[unlikely]] {
+      TraceRecorder::instance().record(Phase::kEnd, category_, name_,
+                                       std::move(args_));
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True when this span is recording; guard arg-building work with it.
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  TraceSpan& arg(const char* key, T value) {
+    if (armed_) args_.push_back({key, static_cast<std::int64_t>(value)});
+    return *this;
+  }
+  TraceSpan& arg(const char* key, double value) {
+    if (armed_) args_.push_back({key, value});
+    return *this;
+  }
+  TraceSpan& arg(const char* key, bool value) {
+    if (armed_) args_.push_back({key, value});
+    return *this;
+  }
+  TraceSpan& arg(const char* key, std::string value) {
+    if (armed_) args_.push_back({key, std::move(value)});
+    return *this;
+  }
+  TraceSpan& arg(const char* key, const char* value) {
+    if (armed_) args_.push_back({key, std::string(value)});
+    return *this;
+  }
+  TraceSpan& arg(const char* key, std::string_view value) {
+    if (armed_) args_.push_back({key, std::string(value)});
+    return *this;
+  }
+
+ private:
+  const char* category_;
+  const char* name_;
+  std::vector<TraceArg> args_;
+  bool armed_;
+};
+
+/// Point event. Callers should gate on tracing_on() before building args.
+void instant(const char* category, const char* name,
+             std::vector<TraceArg> args = {});
+
+/// Flow arrow event (kFlowStart / kFlowStep / kFlowEnd). Trace viewers bind
+/// the phases of one flow by category + name + id, so every phase of a flow
+/// must use the same category and name — emit all of them through one
+/// call-site convention (serve uses "serve"/"request"). Chrome attaches the
+/// arrow endpoint to the duration slice enclosing the event's timestamp on
+/// the emitting thread.
+inline void flow(Phase phase, const char* category, const char* name,
+                 std::uint64_t id) {
+  if (id != 0 && tracing_on()) [[unlikely]] {
+    TraceRecorder::instance().record(phase, category, name, {}, id);
+  }
+}
+
+/// Counter sample ("queue_depth" over time in the trace viewer).
+void counter(const char* category, const char* name, double value);
+
+}  // namespace starsim::trace

@@ -1,0 +1,258 @@
+// End-to-end observability of the serving stack: a traced concurrent run
+// must export a structurally valid Chrome trace whose request flows span
+// the submitter and worker threads, the trace's kernel totals must agree
+// with the service's own TimingBreakdown accounting, the Prometheus scrape
+// must expose every family the CI step requires, and shedding must keep
+// deadline-expiry attribution (the stage="shed" satellite).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "trace/chrome_trace.h"
+#include "trace/json_lite.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
+namespace {
+
+using starsim::SceneConfig;
+using starsim::SimulatorKind;
+using starsim::Star;
+using starsim::StarField;
+using starsim::serve::FrameService;
+using starsim::serve::FrameServiceOptions;
+using starsim::serve::RenderRequest;
+using starsim::serve::RenderResponse;
+using starsim::serve::RequestPriority;
+using starsim::serve::ServiceStats;
+namespace trace = starsim::trace;
+
+SceneConfig small_scene() {
+  SceneConfig scene;
+  scene.image_width = 64;
+  scene.image_height = 64;
+  scene.roi_side = 10;
+  return scene;
+}
+
+StarField random_stars(std::uint64_t seed, std::size_t count) {
+  starsim::support::Pcg32 rng(seed);
+  StarField stars;
+  for (std::size_t i = 0; i < count; ++i) {
+    Star star;
+    star.magnitude = 2.0f + 10.0f * static_cast<float>(rng.uniform());
+    star.x = 64.0f * static_cast<float>(rng.uniform());
+    star.y = 64.0f * static_cast<float>(rng.uniform());
+    stars.push_back(star);
+  }
+  return stars;
+}
+
+struct TracedRun {
+  std::string json;
+  ServiceStats stats;
+  std::string scrape;
+};
+
+/// Drive a traced multi-client load through a 2-worker service with the
+/// simulator pinned to kParallel (one modeled kernel launch per frame, so
+/// the trace/breakdown comparison has no simulator-choice noise).
+TracedRun run_traced_service(int clients, std::size_t frames) {
+  FrameServiceOptions options;
+  options.workers = 2;
+  options.max_batch_size = 4;
+  options.cache_capacity = 0;
+  FrameService service(std::move(options));
+
+  trace::TraceRecorder::instance().start();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&service, c, frames] {
+      std::vector<std::future<RenderResponse>> futures;
+      for (std::size_t i = 0; i < frames; ++i) {
+        RenderRequest request;
+        request.scene = small_scene();
+        request.stars =
+            random_stars(1000 + static_cast<std::uint64_t>(c) * frames + i,
+                         24);
+        request.simulator = SimulatorKind::kParallel;
+        futures.push_back(service.submit(std::move(request)));
+      }
+      for (auto& future : futures) (void)future.get();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  service.stop();  // joins workers: every span and flow is closed
+  trace::TraceRecorder::instance().stop();
+
+  TracedRun run;
+  run.json = trace::to_chrome_json(trace::TraceRecorder::instance().snapshot());
+  trace::TraceRecorder::instance().clear();
+  run.stats = service.stats();
+  run.scrape = service.scrape_metrics();
+  return run;
+}
+
+TEST(ServeObservability, TracedRunExportsValidCrossThreadTrace) {
+  const TracedRun run = run_traced_service(3, 4);
+  EXPECT_EQ(run.stats.completed, 12u);
+
+  const trace::TraceCheck check = trace::validate_chrome_trace(run.json);
+  EXPECT_TRUE(check.ok) << check.summary();
+  EXPECT_EQ(check.begin_events, check.end_events);
+  // One flow per admitted request, each stitched from the submitting client
+  // thread to the worker that rendered it.
+  EXPECT_EQ(check.flow_ids, 12u);
+  EXPECT_GE(check.cross_thread_flows, 1u);
+  EXPECT_GE(check.threads, 2u);
+  // All three layers contributed events.
+  EXPECT_TRUE(check.categories.contains("serve"));
+  EXPECT_TRUE(check.categories.contains("starsim"));
+  EXPECT_TRUE(check.categories.contains("gpusim"));
+  // The load-bearing span names are present.
+  for (const char* name :
+       {"submit", "render_batch", "render", "kernel_launch", "frame_upload",
+        "readback"}) {
+    EXPECT_NE(run.json.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(ServeObservability, TraceKernelTotalsMatchServiceBreakdown) {
+  const TracedRun run = run_traced_service(2, 4);
+  ASSERT_GT(run.stats.render_kernel_s, 0.0);
+
+  // Sum the modeled kernel seconds the gpusim layer attached to every
+  // kernel_launch slice (args ride on the E event).
+  double traced_kernel_s = 0.0;
+  std::size_t launches = 0;
+  const trace::JsonValue document = trace::parse_json(run.json);
+  const trace::JsonValue* events = document.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (const trace::JsonValue& event : events->as_array()) {
+    const trace::JsonValue* ph = event.find("ph");
+    const trace::JsonValue* name = event.find("name");
+    if (ph == nullptr || name == nullptr || ph->as_string() != "E" ||
+        name->as_string() != "kernel_launch") {
+      continue;
+    }
+    const trace::JsonValue* args = event.find("args");
+    ASSERT_NE(args, nullptr);
+    const trace::JsonValue* kernel_s = args->find("kernel_s");
+    ASSERT_NE(kernel_s, nullptr);
+    traced_kernel_s += kernel_s->as_number();
+    launches += 1;
+  }
+  ASSERT_GT(launches, 0u);
+
+  // The trace and ServiceStats draw from the same perf model, so the totals
+  // must agree within the acceptance criterion's 5%.
+  const double relative_error =
+      std::fabs(traced_kernel_s - run.stats.render_kernel_s) /
+      run.stats.render_kernel_s;
+  EXPECT_LE(relative_error, 0.05)
+      << "trace " << traced_kernel_s << " s vs breakdown "
+      << run.stats.render_kernel_s << " s";
+}
+
+TEST(ServeObservability, ScrapeExposesRequiredFamilies) {
+  const TracedRun run = run_traced_service(2, 2);
+  const std::vector<std::string> required = {
+      // The CI trace-check set:
+      "starsim_serve_queue_depth",
+      "starsim_serve_batch_size",
+      "starsim_serve_render_seconds_total",
+      "starsim_serve_cache_hits_total",
+      "starsim_serve_sanitizer_findings_total",
+      // One per remaining subsystem the scrape unifies:
+      "starsim_serve_requests_total",
+      "starsim_serve_deadline_expired_total",
+      "starsim_serve_shed_total",
+      "starsim_serve_latency_seconds",
+      "starsim_serve_batches_total",
+      "starsim_gpusim_kernel_work_total",
+      "starsim_serve_workers",
+      "starsim_serve_throughput_rps",
+  };
+  const std::vector<std::string> problems =
+      trace::check_prometheus(run.scrape, required);
+  EXPECT_TRUE(problems.empty())
+      << (problems.empty() ? "" : problems.front());
+  EXPECT_NE(run.scrape.find("starsim_serve_requests_total{outcome="
+                            "\"completed\"} 4"),
+            std::string::npos)
+      << run.scrape;
+  EXPECT_NE(run.scrape.find("starsim_gpusim_kernel_work_total{counter="
+                            "\"flops\"}"),
+            std::string::npos);
+}
+
+TEST(ServeObservability, ShedKeepsDeadlineExpiryAttribution) {
+  // A 0-worker service admits but never renders: the low-priority request
+  // sits in the 1-slot queue past its deadline until a high-priority
+  // admission displaces it. Without the shed-stage attribution the expiry
+  // evidence would vanish — the request counts as shed, and no expired_*
+  // stage records that its budget was blown while queued.
+  FrameServiceOptions options;
+  options.workers = 0;
+  options.queue_capacity = 1;
+  options.cache_capacity = 0;
+  FrameService service(std::move(options));
+
+  trace::TraceRecorder::instance().start();
+  RenderRequest low;
+  low.scene = small_scene();
+  low.stars = random_stars(7, 8);
+  low.simulator = SimulatorKind::kSequential;
+  low.priority = RequestPriority::kLow;
+  low.deadline_s = 0.01;
+  std::future<RenderResponse> low_future = service.submit(std::move(low));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  RenderRequest high;
+  high.scene = small_scene();
+  high.stars = random_stars(8, 8);
+  high.simulator = SimulatorKind::kSequential;
+  high.priority = RequestPriority::kHigh;
+  auto high_future = service.try_submit(std::move(high));
+  ASSERT_TRUE(high_future.has_value());
+  EXPECT_THROW((void)low_future.get(), starsim::support::OverloadShedError);
+
+  service.stop();  // fails the queued high request (no workers exist)
+  EXPECT_THROW((void)high_future->get(), starsim::support::Error);
+  trace::TraceRecorder::instance().stop();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.shed_expired, 1u);
+  EXPECT_EQ(stats.shed_by_priority[0], 1u);  // band 0 = low
+  EXPECT_EQ(stats.shed_by_priority[2], 0u);
+  EXPECT_EQ(stats.in_flight(), 0u);
+
+  const std::string scrape = service.scrape_metrics();
+  EXPECT_NE(scrape.find("starsim_serve_deadline_expired_total{stage="
+                        "\"shed\"} 1"),
+            std::string::npos)
+      << scrape;
+  EXPECT_NE(scrape.find("starsim_serve_shed_total{priority=\"low\"} 1"),
+            std::string::npos);
+
+  // Both request flows terminated despite neither being rendered: the shed
+  // path ended the low flow, stop()'s orphan sweep ended the high flow.
+  const trace::TraceCheck check = trace::validate_chrome_trace(
+      trace::to_chrome_json(trace::TraceRecorder::instance().snapshot()));
+  trace::TraceRecorder::instance().clear();
+  EXPECT_TRUE(check.ok) << check.summary();
+  EXPECT_EQ(check.flow_ids, 2u);
+}
+
+}  // namespace

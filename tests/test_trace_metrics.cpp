@@ -1,0 +1,110 @@
+// Prometheus exposition: family rendering, the per-size histogram helper,
+// and the scrape checker the CI observability step relies on.
+#include "trace/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace starsim::trace;
+
+TEST(Metrics, RendersHelpTypeAndSamples) {
+  MetricFamily requests;
+  requests.name = "starsim_serve_requests_total";
+  requests.help = "requests by outcome";
+  requests.type = MetricType::kCounter;
+  requests.add(12, {{"outcome", "completed"}}).add(3, {{"outcome", "failed"}});
+  MetricFamily depth;
+  depth.name = "starsim_serve_queue_depth";
+  depth.help = "current admission queue depth";
+  depth.type = MetricType::kGauge;
+  depth.add(4);
+  const std::vector<MetricFamily> families = {requests, depth};
+  const std::string text = render_prometheus(families);
+  EXPECT_NE(text.find("# HELP starsim_serve_requests_total requests by "
+                      "outcome\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE starsim_serve_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("starsim_serve_requests_total{outcome=\"completed\"} 12\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE starsim_serve_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("starsim_serve_queue_depth 4\n"), std::string::npos);
+}
+
+TEST(Metrics, RendersSpecialValuesAndEscapes) {
+  MetricFamily family;
+  family.name = "m";
+  family.help = "h";
+  family.add(std::numeric_limits<double>::infinity());
+  family.add(0.25, {{"label", "quo\"te\\back\nline"}});
+  const std::vector<MetricFamily> families = {family};
+  const std::string text = render_prometheus(families);
+  EXPECT_NE(text.find("m +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find(R"(m{label="quo\"te\\back\nline"} 0.25)"),
+            std::string::npos);
+}
+
+TEST(Metrics, HistogramFromCountsIsCumulative) {
+  // counts[i] = events of size i: 2 singles, 1 triple -> count 3, sum 5.
+  const std::uint64_t counts[] = {0, 2, 0, 1};
+  const MetricFamily family = histogram_from_counts(
+      "starsim_serve_batch_size", "batch sizes", counts);
+  EXPECT_EQ(family.type, MetricType::kHistogram);
+  const std::vector<MetricFamily> families = {family};
+  const std::string text = render_prometheus(families);
+  EXPECT_NE(text.find("starsim_serve_batch_size_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("starsim_serve_batch_size_bucket{le=\"3\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("starsim_serve_batch_size_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("starsim_serve_batch_size_sum 5\n"), std::string::npos);
+  EXPECT_NE(text.find("starsim_serve_batch_size_count 3\n"),
+            std::string::npos);
+}
+
+TEST(Metrics, CheckerPassesOnCompleteScrape) {
+  MetricFamily gauge;
+  gauge.name = "starsim_serve_queue_depth";
+  gauge.help = "depth";
+  gauge.add(0);
+  const std::uint64_t counts[] = {0, 1};
+  const std::vector<MetricFamily> families = {
+      gauge, histogram_from_counts("starsim_serve_batch_size", "sizes",
+                                   counts)};
+  const std::vector<std::string> required = {"starsim_serve_queue_depth",
+                                             "starsim_serve_batch_size"};
+  EXPECT_TRUE(check_prometheus(render_prometheus(families), required).empty());
+}
+
+TEST(Metrics, CheckerFlagsMissingFamily) {
+  const std::vector<std::string> required = {"starsim_serve_queue_depth"};
+  const std::vector<std::string> problems = check_prometheus("", required);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("missing required metric family"),
+            std::string::npos);
+}
+
+TEST(Metrics, CheckerFlagsDeclaredButUnsampledFamily) {
+  // A TYPE line alone (or one whose only sample is NaN) is not a live
+  // family; the checker demands at least one finite sample.
+  const std::string exposition =
+      "# HELP starsim_serve_queue_depth depth\n"
+      "# TYPE starsim_serve_queue_depth gauge\n"
+      "starsim_serve_queue_depth NaN\n";
+  const std::vector<std::string> required = {"starsim_serve_queue_depth"};
+  const std::vector<std::string> problems =
+      check_prometheus(exposition, required);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("no finite samples"), std::string::npos);
+}
+
+}  // namespace
