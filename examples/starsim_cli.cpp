@@ -6,6 +6,7 @@
 //   starsim_cli generate --stars 8192 --out random.stars
 //   starsim_cli simulate --in fov.stars --sim auto --out frame
 //   starsim_cli serve-bench --clients 8 --workers 2 --batch 8
+//   starsim_cli serve-bench --shards 4 --replicas 2 --hedge-ms 5
 //   starsim_cli trace-check --trace trace.json --metrics metrics.prom
 //
 // `simulate --sim auto` asks the SimulatorSelector (Table III) to pick the
@@ -26,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "fleet/router.h"
 #include "gpusim/device.h"
 #include "gpusim/fault_injector.h"
 #include "gpusim/sanitizer.h"
@@ -340,6 +342,21 @@ int cmd_serve_bench(int argc, char** argv) {
                  "write one Prometheus scrape of the final service state to "
                  "this file",
                  "");
+  cli.add_option("shards",
+                 "serve through a sharded fleet of this many FrameService "
+                 "instances (0 = single service)",
+                 "0");
+  cli.add_option("replicas", "replicas per scene in fleet mode", "2");
+  cli.add_option("router-threads", "fleet router threads", "2");
+  cli.add_option("hedge-ms",
+                 "fleet hedge trigger, ms (-1 = off, 0 = adaptive p95, >0 "
+                 "fixed)",
+                 "-1");
+  cli.add_option("slow-shard",
+                 "inject a straggler: this shard index renders slowly "
+                 "(-1 = none)",
+                 "-1");
+  cli.add_option("slow-ms", "straggler delay per render, ms", "25");
   if (!cli.parse(argc, argv)) return 0;
   const std::optional<gpusim::SanitizerMode> sanitize =
       parse_sanitize(cli.str("sanitize"));
@@ -427,6 +444,157 @@ int cmd_serve_bench(int argc, char** argv) {
     opts.worker.resilient = true;
   }
   const bool warm_cache = opts.cache_capacity > 0 && shared;
+
+  const int shard_count = static_cast<int>(cli.integer("shards"));
+  if (shard_count > 0) {
+    // Fleet mode: the same traffic through a sharded router instead of one
+    // service. Routing keys are scene fingerprints, so each request gets an
+    // imperceptible psf perturbation to spread the streams across the ring
+    // (one scene would otherwise pin the whole bench to one shard).
+    fleet::FleetOptions fleet_opts;
+    fleet_opts.shards = shard_count;
+    fleet_opts.replicas = static_cast<int>(cli.integer("replicas"));
+    fleet_opts.router_threads =
+        static_cast<int>(cli.integer("router-threads"));
+    fleet_opts.hedge_ms = cli.real("hedge-ms");
+    fleet_opts.straggler_shard = static_cast<int>(cli.integer("slow-shard"));
+    fleet_opts.straggler_ms = cli.real("slow-ms");
+    fleet_opts.shard = opts;
+    fleet::ShardRouter router(fleet_opts);
+
+    const auto request_for = [&](std::size_t index) {
+      serve::RenderRequest request;
+      request.scene = scene;
+      request.scene.psf_sigma += 1e-9 * static_cast<double>(index);
+      request.stars = fields[index];
+      request.simulator = kind;
+      return request;
+    };
+    if (warm_cache) {
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        (void)router.render(request_for(i));
+      }
+    }
+
+    const std::string trace_path = cli.str("trace");
+    if (!trace_path.empty()) {
+      trace::TraceRecorder::instance().set_thread_name("bench-main");
+      trace::TraceRecorder::instance().start();
+    }
+
+    sup::WallTimer timer;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        if (trace::tracing_on()) {
+          trace::TraceRecorder::instance().set_thread_name(
+              "client-" + std::to_string(c));
+        }
+        const std::size_t base =
+            shared ? 0 : static_cast<std::size_t>(c) * frames;
+        std::vector<std::future<serve::RenderResponse>> futures;
+        futures.reserve(frames);
+        for (std::size_t i = 0; i < frames; ++i) {
+          serve::RenderRequest request = request_for(base + i);
+          request.priority = priority_pattern[i % priority_pattern.size()];
+          if (deadline_ms > 0.0) request.deadline_s = deadline_ms / 1000.0;
+          futures.push_back(router.submit(std::move(request)));
+        }
+        for (auto& future : futures) {
+          try {
+            (void)future.get();
+          } catch (const std::exception&) {
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    const double wall_s = timer.seconds();
+    router.stop();
+    const fleet::FleetStats stats = router.stats();
+
+    if (!trace_path.empty() && finish_trace(trace_path) != 0) return 1;
+    const std::string metrics_path = cli.str("metrics");
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path, std::ios::binary);
+      out << router.scrape_metrics();
+      if (!out) {
+        std::fprintf(stderr, "cannot write metrics %s\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+      std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    }
+
+    std::printf(
+        "fleet: %d shards x %d replicas, hedge %s\n"
+        "served %llu requests for %d clients in %s (%.1f req/s): "
+        "%llu frames, %llu failed, %llu rejected\n"
+        "latency: p50 %s, p95 %s, p99 %s, mean %s\n"
+        "hedges: %llu launched, %llu won, %llu discarded\n"
+        "failovers: %llu attempted, %llu recovered\n"
+        "shed: %llu displaced, %llu backpressure, %llu expired at the "
+        "router; %llu shard sheds\n"
+        "wire: %llu request bytes, %llu reply bytes\n",
+        router.options().shards, router.options().replicas,
+        fleet_opts.hedge_ms < 0.0
+            ? "off"
+            : (fleet_opts.hedge_ms == 0.0
+                   ? "adaptive"
+                   : (sup::format_time(fleet_opts.hedge_ms / 1000.0))
+                         .c_str()),
+        static_cast<unsigned long long>(stats.submitted), clients,
+        sup::format_time(wall_s).c_str(),
+        static_cast<double>(static_cast<std::size_t>(clients) * frames) /
+            wall_s,
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.failed),
+        static_cast<unsigned long long>(stats.rejected),
+        sup::format_time(stats.latency.p50).c_str(),
+        sup::format_time(stats.latency.p95).c_str(),
+        sup::format_time(stats.latency.p99).c_str(),
+        sup::format_time(stats.mean_latency_s).c_str(),
+        static_cast<unsigned long long>(stats.hedges_launched),
+        static_cast<unsigned long long>(stats.hedges_won),
+        static_cast<unsigned long long>(stats.hedges_discarded),
+        static_cast<unsigned long long>(stats.failovers),
+        static_cast<unsigned long long>(stats.failover_successes),
+        static_cast<unsigned long long>(stats.router_shed),
+        static_cast<unsigned long long>(stats.backpressure_rejected),
+        static_cast<unsigned long long>(stats.expired_router),
+        static_cast<unsigned long long>(stats.shard_sheds),
+        static_cast<unsigned long long>(stats.wire_request_bytes),
+        static_cast<unsigned long long>(stats.wire_reply_bytes));
+    std::uint64_t sanitizer_findings = 0;
+    for (const fleet::ShardSnapshot& shard : stats.shards) {
+      const serve::ServiceStats shard_stats =
+          router.shard(shard.index).stats();
+      sanitizer_findings += shard_stats.sanitizer_findings;
+      std::printf(
+          "  shard %d: %s, %llu routed, %llu errors, %llu sheds, "
+          "%llu quarantines, %llu probes, %llu reinstates\n",
+          shard.index, std::string(fleet::to_string(shard.state)).c_str(),
+          static_cast<unsigned long long>(shard.routed),
+          static_cast<unsigned long long>(shard.errors),
+          static_cast<unsigned long long>(shard.sheds),
+          static_cast<unsigned long long>(shard.quarantines),
+          static_cast<unsigned long long>(shard.probes),
+          static_cast<unsigned long long>(shard.reinstates));
+    }
+    if (*sanitize != gpusim::SanitizerMode::kOff) {
+      std::printf("sanitizer (%s): %llu finding(s) across the fleet\n",
+                  std::string(gpusim::to_string(*sanitize)).c_str(),
+                  static_cast<unsigned long long>(sanitizer_findings));
+      if (sanitizer_findings != 0) return 1;
+    }
+    // Stuck futures are the unconditional failure; chaos and deadlines
+    // legitimately fail some requests.
+    if (stats.in_flight() != 0) return 1;
+    const bool failures_expected = inject || deadline_ms > 0.0;
+    return failures_expected || stats.failed == 0 ? 0 : 1;
+  }
+
   serve::FrameService service(std::move(opts));
 
   // Concurrent duplicates of an uncached scene all miss (the first render
@@ -579,6 +747,9 @@ int cmd_trace_check(int argc, char** argv) {
                  "Prometheus exposition to check for the required serve "
                  "metric families ('' = skip)",
                  "");
+  cli.add_flag("fleet",
+               "also require the fleet router families (scrapes produced by "
+               "serve-bench --shards)");
   if (!cli.parse(argc, argv)) return 0;
 
   bool checked = false;
@@ -604,13 +775,22 @@ int cmd_trace_check(int argc, char** argv) {
     // The families the CI observability step treats as load-bearing: one
     // per subsystem the scrape unifies (queue, batching, render split,
     // cache, sanitizer).
-    const std::vector<std::string> required = {
+    std::vector<std::string> required = {
         "starsim_serve_queue_depth",
         "starsim_serve_batch_size",
         "starsim_serve_render_seconds_total",
         "starsim_serve_cache_hits_total",
         "starsim_serve_sanitizer_findings_total",
     };
+    if (cli.flag("fleet")) {
+      // A fleet scrape carries the router's own families on top of the
+      // instance-labelled shard serve families above.
+      required.push_back("starsim_fleet_requests_total");
+      required.push_back("starsim_fleet_hedges_total");
+      required.push_back("starsim_fleet_failovers_total");
+      required.push_back("starsim_fleet_shard_state");
+      required.push_back("starsim_fleet_latency_seconds");
+    }
     const std::vector<std::string> problems =
         trace::check_prometheus(*exposition, required);
     for (const std::string& problem : problems) {

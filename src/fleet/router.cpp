@@ -1,0 +1,898 @@
+#include "fleet/router.h"
+
+#include <algorithm>
+#include <map>
+#include <span>
+#include <utility>
+
+#include "serve/fingerprint.h"
+#include "support/error.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
+namespace starsim::fleet {
+
+namespace {
+
+/// splitmix64 — the standard 64-bit finalizer; scatters shard/vnode ids and
+/// scene fingerprints uniformly over the ring.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] std::size_t band_of(serve::RequestPriority priority) {
+  return static_cast<std::size_t>(priority);
+}
+
+constexpr auto kHedgePollSlice = std::chrono::microseconds(200);
+/// Adaptive hedge delay before enough latency samples exist, ms.
+constexpr double kColdHedgeMs = 5.0;
+constexpr std::size_t kMinHedgeSamples = 8;
+constexpr std::size_t kHedgeRingSize = 512;
+constexpr std::size_t kLatencySampleCap = 1u << 20;
+
+}  // namespace
+
+std::string_view to_string(ShardState state) {
+  switch (state) {
+    case ShardState::kHealthy:
+      return "healthy";
+    case ShardState::kQuarantined:
+      return "quarantined";
+    case ShardState::kProbing:
+      return "probing";
+    case ShardState::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+ShardRouter::ShardRouter(FleetOptions options)
+    : options_(std::move(options)),
+      queue_(options_.router_queue_capacity, serve::kPriorityClasses) {
+  STARSIM_REQUIRE(options_.shards > 0, "fleet needs at least one shard");
+  STARSIM_REQUIRE(options_.replicas > 0, "fleet needs at least one replica");
+  STARSIM_REQUIRE(options_.virtual_nodes > 0,
+                  "consistent hashing needs ring points");
+  STARSIM_REQUIRE(options_.router_threads > 0,
+                  "router needs at least one thread");
+  // A worker-less shard would never resolve replies, leaving router threads
+  // blocked in wait loops that stop() can never join.
+  STARSIM_REQUIRE(options_.shard.workers > 0,
+                  "shards need at least one worker");
+  options_.replicas = std::min(options_.replicas, options_.shards);
+
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int s = 0; s < options_.shards; ++s) {
+    serve::FrameServiceOptions shard_options = options_.shard;
+    if (shard_options.worker.fault_policy.has_value()) {
+      // Decorrelate injected faults across shards the same way WorkerPool
+      // decorrelates them across workers — correlated chaos would fault
+      // every replica of a scene at once and defeat failover.
+      shard_options.worker.fault_policy->seed =
+          mix64(shard_options.worker.fault_policy->seed +
+                static_cast<std::uint64_t>(s));
+    }
+    if (s == options_.straggler_shard) {
+      shard_options.worker.debug_straggler_ms = options_.straggler_ms;
+    }
+    shards_.push_back(std::make_unique<Shard>(s, std::move(shard_options)));
+  }
+
+  ring_.reserve(static_cast<std::size_t>(options_.shards) *
+                static_cast<std::size_t>(options_.virtual_nodes));
+  for (int s = 0; s < options_.shards; ++s) {
+    for (int v = 0; v < options_.virtual_nodes; ++v) {
+      const std::uint64_t id = (static_cast<std::uint64_t>(s) << 32) |
+                               static_cast<std::uint64_t>(v);
+      ring_.emplace_back(mix64(id), s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+
+  health_.resize(static_cast<std::size_t>(options_.shards));
+  for (HealthSlot& slot : health_) {
+    slot.window.assign(std::max<std::size_t>(options_.breaker_window, 1),
+                       true);
+  }
+  hedge_ring_.assign(kHedgeRingSize, 0.0);
+
+  threads_.reserve(static_cast<std::size_t>(options_.router_threads));
+  for (int i = 0; i < options_.router_threads; ++i) {
+    threads_.emplace_back(&ShardRouter::run, this, i);
+  }
+}
+
+ShardRouter::~ShardRouter() { stop(); }
+
+std::vector<int> ShardRouter::replicas_for(std::uint64_t scene_key) const {
+  std::vector<int> replicas;
+  replicas.reserve(static_cast<std::size_t>(options_.replicas));
+  const std::uint64_t point = mix64(scene_key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const std::pair<std::uint64_t, int>& node, std::uint64_t key) {
+        return node.first < key;
+      });
+  for (std::size_t walked = 0;
+       walked < ring_.size() &&
+       replicas.size() < static_cast<std::size_t>(options_.replicas);
+       ++walked, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(replicas.begin(), replicas.end(), it->second) ==
+        replicas.end()) {
+      replicas.push_back(it->second);
+    }
+  }
+  return replicas;
+}
+
+ShardRouter::RouterTask ShardRouter::make_task(serve::RenderRequest&& request) {
+  request.scene.validate();
+  RouterTask task;
+  task.scene_key = serve::fingerprint_scene(request.scene);
+  task.priority = request.priority;
+  task.deadline_s = request.deadline_s;
+  task.submitted = std::chrono::steady_clock::now();
+  task.promise = std::make_shared<std::promise<serve::RenderResponse>>();
+  task.flow_id = trace::TraceRecorder::instance().next_flow_id();
+  task.request = std::move(request);
+  trace::flow(trace::Phase::kFlowStart, "fleet", "request", task.flow_id);
+  return task;
+}
+
+std::future<serve::RenderResponse> ShardRouter::submit(
+    serve::RenderRequest request) {
+  RouterTask task = make_task(std::move(request));
+  std::future<serve::RenderResponse> future = task.promise->get_future();
+  if (task.deadline_s.has_value() && *task.deadline_s <= 0.0) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      submitted_ += 1;
+    }
+    fail_task(task,
+              std::make_exception_ptr(support::DeadlineExceededError(
+                  "deadline expired before fleet admission")),
+              /*count_expired=*/true);
+    return future;
+  }
+  const std::size_t band = band_of(task.priority);
+  // Account before the push: a router worker may complete the task before
+  // this thread resumes, and in_flight() must never read negative.
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    submitted_ += 1;
+  }
+  if (!queue_.push(std::move(task), band)) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    submitted_ -= 1;
+    STARSIM_THROW(support::Error, "fleet router is stopped");
+  }
+  return future;
+}
+
+std::optional<std::future<serve::RenderResponse>> ShardRouter::try_submit(
+    serve::RenderRequest request) {
+  RouterTask task = make_task(std::move(request));
+  std::future<serve::RenderResponse> future = task.promise->get_future();
+  if (task.deadline_s.has_value() && *task.deadline_s <= 0.0) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      submitted_ += 1;
+    }
+    fail_task(task,
+              std::make_exception_ptr(support::DeadlineExceededError(
+                  "deadline expired before fleet admission")),
+              /*count_expired=*/true);
+    return future;
+  }
+  // Cross-shard backpressure: when every live replica of this scene sits
+  // above the high-watermark, shedding low-priority work at the door beats
+  // queueing it to be displaced (or to expire) later.
+  if (task.priority == serve::RequestPriority::kLow &&
+      replicas_saturated(replicas_for(task.scene_key))) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      rejected_ += 1;
+      backpressure_rejected_ += 1;
+    }
+    trace::flow(trace::Phase::kFlowEnd, "fleet", "request", task.flow_id);
+    return std::nullopt;
+  }
+  const std::size_t band = band_of(task.priority);
+  // Account before the push: a router worker may complete the task before
+  // this thread resumes, and in_flight() must never read negative.
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    submitted_ += 1;
+  }
+  std::optional<RouterTask> displaced;
+  const auto outcome = queue_.try_push_shedding(task, band, displaced);
+  switch (outcome) {
+    case serve::BoundedQueue<RouterTask>::PushOutcome::kRejected: {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      submitted_ -= 1;
+      rejected_ += 1;
+      return std::nullopt;
+    }
+    case serve::BoundedQueue<RouterTask>::PushOutcome::kDisplaced:
+      fail_task(*displaced,
+                std::make_exception_ptr(support::OverloadShedError(
+                    "displaced from the fleet router queue by "
+                    "higher-priority work")),
+                /*count_expired=*/false, /*count_shed=*/true);
+      return future;
+    case serve::BoundedQueue<RouterTask>::PushOutcome::kAccepted:
+      return future;
+  }
+  return future;
+}
+
+serve::RenderResponse ShardRouter::render(serve::RenderRequest request) {
+  return submit(std::move(request)).get();
+}
+
+bool ShardRouter::replicas_saturated(
+    const std::vector<int>& candidates) const {
+  bool any_live = false;
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    for (const int s : candidates) {
+      const HealthSlot& slot = health_[static_cast<std::size_t>(s)];
+      if (slot.state == ShardState::kDown) continue;
+      any_live = true;
+      const Shard& shard = *shards_[static_cast<std::size_t>(s)];
+      const double watermark = options_.backpressure_ratio *
+                               static_cast<double>(shard.queue_capacity());
+      if (static_cast<double>(shard.queue_depth()) < watermark) return false;
+    }
+  }
+  // No live replica at all is a routing failure, not backpressure — let
+  // the execute path account it as ShardDownError.
+  return any_live;
+}
+
+std::optional<double> ShardRouter::remaining_deadline(
+    const RouterTask& task) const {
+  if (!task.deadline_s.has_value()) return std::nullopt;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    task.submitted)
+          .count();
+  return *task.deadline_s - elapsed;
+}
+
+double ShardRouter::hedge_delay_ms() const {
+  if (options_.hedge_ms > 0.0) return options_.hedge_ms;
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (hedge_ring_count_ < kMinHedgeSamples) {
+    return std::max(kColdHedgeMs, options_.min_hedge_ms);
+  }
+  const std::span<const double> window(hedge_ring_.data(), hedge_ring_count_);
+  return std::max(support::quantile(window, options_.hedge_quantile),
+                  options_.min_hedge_ms);
+}
+
+void ShardRouter::record_outcome(int shard_index, bool success) {
+  bool quarantined = false;
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    HealthSlot& slot = health_[static_cast<std::size_t>(shard_index)];
+    if (!success) slot.errors += 1;
+    if (slot.state == ShardState::kDown) return;
+    slot.window[slot.window_next] = success;
+    slot.window_next = (slot.window_next + 1) % slot.window.size();
+    slot.window_count = std::min(slot.window_count + 1, slot.window.size());
+    if (slot.state == ShardState::kHealthy &&
+        slot.window_count >= options_.breaker_min_samples) {
+      std::size_t errors = 0;
+      for (std::size_t i = 0; i < slot.window_count; ++i) {
+        if (!slot.window[i]) errors += 1;
+      }
+      const double rate = static_cast<double>(errors) /
+                          static_cast<double>(slot.window_count);
+      if (rate >= options_.breaker_error_rate) {
+        slot.state = ShardState::kQuarantined;
+        slot.quarantined_at = std::chrono::steady_clock::now();
+        slot.quarantines += 1;
+        quarantined = true;
+      }
+    }
+  }
+  if (quarantined) {
+    trace::instant("fleet", "shard_quarantined");
+  }
+}
+
+void ShardRouter::record_shed(int shard_index) {
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  health_[static_cast<std::size_t>(shard_index)].sheds += 1;
+}
+
+void ShardRouter::fail_task(RouterTask& task, std::exception_ptr error,
+                            bool count_expired, bool count_shed) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    failed_ += 1;
+    if (count_expired) expired_router_ += 1;
+    if (count_shed) router_shed_ += 1;
+  }
+  trace::flow(trace::Phase::kFlowEnd, "fleet", "request", task.flow_id);
+  task.promise->set_exception(std::move(error));
+}
+
+void ShardRouter::deliver(RouterTask& task, serve::RenderResponse response) {
+  const double latency_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    task.submitted)
+          .count();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    completed_ += 1;
+    if (latency_samples_.size() < kLatencySampleCap) {
+      latency_samples_.push_back(latency_s);
+    }
+    hedge_ring_[hedge_ring_next_] = latency_s * 1000.0;
+    hedge_ring_next_ = (hedge_ring_next_ + 1) % hedge_ring_.size();
+    hedge_ring_count_ = std::min(hedge_ring_count_ + 1, hedge_ring_.size());
+  }
+  trace::flow(trace::Phase::kFlowEnd, "fleet", "request", task.flow_id);
+  task.promise->set_value(std::move(response));
+}
+
+void ShardRouter::run(int worker_index) {
+  trace::TraceRecorder::instance().set_thread_name(
+      "router-" + std::to_string(worker_index));
+  for (;;) {
+    std::optional<RouterTask> task = queue_.pop();
+    if (!task.has_value()) return;  // closed and drained
+    execute(std::move(*task));
+  }
+}
+
+void ShardRouter::run_due_probes(const serve::RenderRequest& model) {
+  std::vector<int> due;
+  const auto now = std::chrono::steady_clock::now();
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    for (std::size_t s = 0; s < health_.size(); ++s) {
+      HealthSlot& slot = health_[s];
+      if (slot.state != ShardState::kQuarantined) continue;
+      const double dwell_ms =
+          std::chrono::duration<double, std::milli>(now - slot.quarantined_at)
+              .count();
+      if (dwell_ms < options_.probe_after_ms) continue;
+      slot.state = ShardState::kProbing;
+      slot.probes += 1;
+      due.push_back(static_cast<int>(s));
+    }
+  }
+  for (const int s : due) {
+    trace::TraceSpan span("fleet", "probe");
+    span.arg("shard", shards_[static_cast<std::size_t>(s)]->instance());
+    // Shadow duplicate: the result is discarded, so a still-sick shard can
+    // only waste its own cycles — client traffic keeps routing around it.
+    serve::RenderRequest probe = model;
+    probe.deadline_s.reset();
+    probe.priority = serve::RequestPriority::kLow;
+    ShardState next = ShardState::kQuarantined;
+    try {
+      const WireBuffer frame = encode_request(probe);
+      PendingReply reply = shards_[static_cast<std::size_t>(s)]->submit(frame);
+      const WireBuffer bytes = reply.take();
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        wire_request_bytes_ += frame.size();
+        wire_reply_bytes_ += bytes.size();
+      }
+      (void)decode_reply(bytes);  // throws the typed error on failure
+      next = ShardState::kHealthy;
+    } catch (const support::ShardDownError&) {
+      next = ShardState::kDown;
+    } catch (const std::exception&) {
+      next = ShardState::kQuarantined;  // fresh dwell, probe again later
+    }
+    bool reinstated = false;
+    {
+      const std::lock_guard<std::mutex> lock(health_mutex_);
+      HealthSlot& slot = health_[static_cast<std::size_t>(s)];
+      if (slot.state != ShardState::kProbing) continue;  // killed meanwhile
+      slot.state = next;
+      if (next == ShardState::kHealthy) {
+        slot.reinstates += 1;
+        slot.window_count = 0;
+        slot.window_next = 0;
+        reinstated = true;
+      } else if (next == ShardState::kQuarantined) {
+        slot.quarantined_at = std::chrono::steady_clock::now();
+      }
+    }
+    if (reinstated) {
+      trace::instant("fleet", "shard_reinstated");
+    }
+  }
+}
+
+void ShardRouter::execute(RouterTask task) {
+  run_due_probes(task.request);
+  trace::flow(trace::Phase::kFlowStep, "fleet", "request", task.flow_id);
+  trace::TraceSpan span("fleet", "route");
+  span.arg("priority", to_string(task.priority));
+
+  // Routing plan: healthy replicas first, then non-down replicas (a
+  // quarantined owner of the scene beats a stranger's cold cache), then
+  // any other live shard as a last resort.
+  const std::vector<int> replicas = replicas_for(task.scene_key);
+  std::vector<int> plan;
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    for (const int s : replicas) {
+      if (health_[static_cast<std::size_t>(s)].state == ShardState::kHealthy) {
+        plan.push_back(s);
+      }
+    }
+    for (const int s : replicas) {
+      const ShardState state = health_[static_cast<std::size_t>(s)].state;
+      if (state != ShardState::kHealthy && state != ShardState::kDown) {
+        plan.push_back(s);
+      }
+    }
+    if (plan.empty()) {
+      for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+        if (std::find(replicas.begin(), replicas.end(), s) !=
+            replicas.end()) {
+          continue;
+        }
+        if (health_[static_cast<std::size_t>(s)].state != ShardState::kDown) {
+          plan.push_back(s);
+        }
+      }
+    }
+  }
+  if (plan.empty()) {
+    fail_task(task, std::make_exception_ptr(support::ShardDownError(
+                        "every shard that could serve this scene is down")));
+    return;
+  }
+
+  const bool hedging = options_.hedge_ms >= 0.0 && plan.size() > 1;
+  std::exception_ptr last_error;
+  bool failed_over = false;
+  std::size_t next = 0;
+  while (next < plan.size()) {
+    const int primary_shard = plan[next++];
+    std::optional<double> budget = remaining_deadline(task);
+    if (budget.has_value() && *budget <= 0.0) {
+      fail_task(task,
+                std::make_exception_ptr(support::DeadlineExceededError(
+                    "deadline expired inside the fleet router")),
+                /*count_expired=*/true);
+      return;
+    }
+    serve::RenderRequest attempt = task.request;
+    attempt.deadline_s = budget;
+    std::optional<PendingReply> primary;
+    try {
+      const WireBuffer frame = encode_request(attempt);
+      primary.emplace(
+          shards_[static_cast<std::size_t>(primary_shard)]->submit(frame));
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      wire_request_bytes_ += frame.size();
+    } catch (const support::ShardDownError&) {
+      {
+        const std::lock_guard<std::mutex> lock(health_mutex_);
+        health_[static_cast<std::size_t>(primary_shard)].state =
+            ShardState::kDown;
+      }
+      last_error = std::current_exception();
+      if (next < plan.size()) {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        failovers_ += 1;
+        failed_over = true;
+      }
+      continue;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(health_mutex_);
+      health_[static_cast<std::size_t>(primary_shard)].routed += 1;
+    }
+
+    // Hedge: give the primary one hedge delay; silence launches the same
+    // request on the next planned replica and the first reply wins.
+    int hedge_shard = -1;
+    std::optional<PendingReply> hedge;
+    if (hedging && next < plan.size() &&
+        !primary->wait_for(std::chrono::duration<double>(
+            hedge_delay_ms() / 1000.0))) {
+      std::optional<double> hedge_budget = remaining_deadline(task);
+      if (!hedge_budget.has_value() || *hedge_budget > 0.0) {
+        const int candidate = plan[next];
+        serve::RenderRequest backup = task.request;
+        backup.deadline_s = hedge_budget;
+        try {
+          const WireBuffer frame = encode_request(backup);
+          hedge.emplace(
+              shards_[static_cast<std::size_t>(candidate)]->submit(frame));
+          hedge_shard = candidate;
+          next += 1;
+          {
+            const std::lock_guard<std::mutex> lock(stats_mutex_);
+            hedges_launched_ += 1;
+            wire_request_bytes_ += frame.size();
+          }
+          {
+            const std::lock_guard<std::mutex> lock(health_mutex_);
+            health_[static_cast<std::size_t>(candidate)].routed += 1;
+          }
+        } catch (const support::ShardDownError&) {
+          const std::lock_guard<std::mutex> lock(health_mutex_);
+          health_[static_cast<std::size_t>(candidate)].state =
+              ShardState::kDown;
+          next += 1;
+        }
+      }
+    }
+
+    // First reply wins; the loser (if any) is inspected when ready and
+    // discarded otherwise — the client sees exactly one resolution.
+    PendingReply* winner = &*primary;
+    int winner_shard = primary_shard;
+    PendingReply* loser = nullptr;
+    int loser_shard = -1;
+    if (hedge.has_value()) {
+      for (;;) {
+        if (primary->ready()) break;
+        if (hedge->ready()) {
+          winner = &*hedge;
+          winner_shard = hedge_shard;
+          loser = &*primary;
+          loser_shard = primary_shard;
+          const std::lock_guard<std::mutex> lock(stats_mutex_);
+          hedges_won_ += 1;
+          break;
+        }
+        (void)primary->wait_for(kHedgePollSlice);
+      }
+      if (loser == nullptr) {
+        loser = &*hedge;
+        loser_shard = hedge_shard;
+      }
+    }
+
+    const auto settle_loser = [&]() {
+      if (loser == nullptr) return;
+      if (loser->ready()) {
+        const WireBuffer bytes = loser->take();
+        bool success = false;
+        try {
+          (void)decode_reply(bytes);
+          success = true;
+        } catch (const support::OverloadShedError&) {
+          record_shed(loser_shard);
+        } catch (const std::exception&) {
+          record_outcome(loser_shard, false);
+        }
+        if (success) record_outcome(loser_shard, true);
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        wire_reply_bytes_ += bytes.size();
+        hedges_discarded_ += 1;
+      } else {
+        // Still rendering; the shard resolves it unobserved. Dropping the
+        // handle cannot strand the request — only this router held it.
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        hedges_discarded_ += 1;
+      }
+      loser = nullptr;
+    };
+
+    const auto interpret =
+        [&](PendingReply& reply,
+            int reply_shard) -> std::optional<serve::RenderResponse> {
+      const WireBuffer bytes = reply.take();
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        wire_reply_bytes_ += bytes.size();
+      }
+      try {
+        serve::RenderResponse response = decode_reply(bytes);
+        record_outcome(reply_shard, true);
+        return response;
+      } catch (const support::OverloadShedError&) {
+        // Pressure, not failure: fail over without charging the breaker.
+        record_shed(reply_shard);
+        {
+          const std::lock_guard<std::mutex> lock(stats_mutex_);
+          shard_sheds_ += 1;
+        }
+        last_error = std::current_exception();
+      } catch (const support::DeadlineExceededError&) {
+        // Re-rendering cannot un-expire the request: terminal, no failover.
+        last_error = std::current_exception();
+        throw;
+      } catch (const std::exception&) {
+        record_outcome(reply_shard, false);
+        last_error = std::current_exception();
+      }
+      return std::nullopt;
+    };
+
+    try {
+      std::optional<serve::RenderResponse> response =
+          interpret(*winner, winner_shard);
+      if (!response.has_value() && loser != nullptr) {
+        // Winner failed but the hedge pair is still live: the loser is a
+        // fully-formed failover attempt already in flight — use it.
+        std::optional<serve::RenderResponse> backup =
+            interpret(*loser, loser_shard);
+        loser = nullptr;
+        {
+          const std::lock_guard<std::mutex> lock(stats_mutex_);
+          failovers_ += 1;
+          failed_over = true;
+        }
+        if (backup.has_value()) response = std::move(backup);
+      }
+      if (response.has_value()) {
+        settle_loser();
+        span.arg("shard", winner_shard).arg("hedged", hedge_shard >= 0);
+        if (failed_over) {
+          span.arg("failover", true);
+          const std::lock_guard<std::mutex> lock(stats_mutex_);
+          failover_successes_ += 1;
+        }
+        deliver(task, std::move(*response));
+        return;
+      }
+    } catch (const support::DeadlineExceededError&) {
+      settle_loser();
+      fail_task(task, std::current_exception());
+      return;
+    }
+    settle_loser();
+    if (next < plan.size()) {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      failovers_ += 1;
+      failed_over = true;
+    }
+  }
+
+  fail_task(task, last_error != nullptr
+                      ? last_error
+                      : std::make_exception_ptr(support::ShardDownError(
+                            "no shard could serve the request")));
+}
+
+void ShardRouter::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Close admission, let the router threads drain every queued task
+  // through still-running shards (every admitted future resolves), then
+  // stop the shards themselves.
+  queue_.close();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) shard->stop();
+}
+
+void ShardRouter::kill_shard(int index) {
+  shards_.at(static_cast<std::size_t>(index))->kill();
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  health_[static_cast<std::size_t>(index)].state = ShardState::kDown;
+}
+
+void ShardRouter::quarantine_shard(int index) {
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  HealthSlot& slot = health_.at(static_cast<std::size_t>(index));
+  if (slot.state == ShardState::kDown) return;
+  slot.state = ShardState::kQuarantined;
+  slot.quarantined_at = std::chrono::steady_clock::now();
+  slot.quarantines += 1;
+}
+
+ShardState ShardRouter::shard_state(int index) const {
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  return health_.at(static_cast<std::size_t>(index)).state;
+}
+
+FleetStats ShardRouter::stats() const {
+  FleetStats s;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.rejected = rejected_;
+    s.backpressure_rejected = backpressure_rejected_;
+    s.router_shed = router_shed_;
+    s.expired_router = expired_router_;
+    s.hedges_launched = hedges_launched_;
+    s.hedges_won = hedges_won_;
+    s.hedges_discarded = hedges_discarded_;
+    s.failovers = failovers_;
+    s.failover_successes = failover_successes_;
+    s.shard_sheds = shard_sheds_;
+    s.wire_request_bytes = wire_request_bytes_;
+    s.wire_reply_bytes = wire_reply_bytes_;
+    s.latency = support::tail_quantiles(latency_samples_);
+    double sum = 0.0;
+    for (const double sample : latency_samples_) sum += sample;
+    s.mean_latency_s =
+        latency_samples_.empty()
+            ? 0.0
+            : sum / static_cast<double>(latency_samples_.size());
+  }
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    s.shards.reserve(health_.size());
+    for (std::size_t i = 0; i < health_.size(); ++i) {
+      const HealthSlot& slot = health_[i];
+      ShardSnapshot snapshot;
+      snapshot.index = static_cast<int>(i);
+      snapshot.state = slot.state;
+      snapshot.queue_depth = shards_[i]->queue_depth();
+      snapshot.routed = slot.routed;
+      snapshot.errors = slot.errors;
+      snapshot.sheds = slot.sheds;
+      snapshot.quarantines = slot.quarantines;
+      snapshot.probes = slot.probes;
+      snapshot.reinstates = slot.reinstates;
+      s.shards.push_back(snapshot);
+      s.quarantines += slot.quarantines;
+      s.probes += slot.probes;
+      s.reinstates += slot.reinstates;
+    }
+  }
+  s.elapsed_s = lifetime_.seconds();
+  s.throughput_rps = s.elapsed_s > 0.0
+                         ? static_cast<double>(s.completed) / s.elapsed_s
+                         : 0.0;
+  return s;
+}
+
+std::string ShardRouter::scrape_metrics() const {
+  using trace::MetricFamily;
+  using trace::MetricType;
+  const FleetStats s = stats();
+  std::vector<MetricFamily> families;
+
+  {
+    MetricFamily f{"starsim_fleet_requests_total",
+                   "Fleet requests by terminal outcome",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.submitted), {{"outcome", "submitted"}})
+        .add(static_cast<double>(s.completed), {{"outcome", "completed"}})
+        .add(static_cast<double>(s.failed), {{"outcome", "failed"}})
+        .add(static_cast<double>(s.rejected), {{"outcome", "rejected"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_router_shed_total",
+                   "Requests refused or displaced at the router, by reason",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.router_shed), {{"reason", "displaced"}})
+        .add(static_cast<double>(s.backpressure_rejected),
+             {{"reason", "backpressure"}})
+        .add(static_cast<double>(s.expired_router), {{"reason", "expired"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_hedges_total",
+                   "Hedged requests by lifecycle event",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.hedges_launched), {{"result", "launched"}})
+        .add(static_cast<double>(s.hedges_won), {{"result", "won"}})
+        .add(static_cast<double>(s.hedges_discarded),
+             {{"result", "discarded"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_failovers_total",
+                   "Replica failovers attempted and recovered",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.failovers), {{"result", "attempted"}})
+        .add(static_cast<double>(s.failover_successes),
+             {{"result", "recovered"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_shard_sheds_total",
+                   "OverloadShedError replies received from shards",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.shard_sheds));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_health_transitions_total",
+                   "Shard health-ladder transitions by event",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.quarantines), {{"event", "quarantine"}})
+        .add(static_cast<double>(s.probes), {{"event", "probe"}})
+        .add(static_cast<double>(s.reinstates), {{"event", "reinstate"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_shard_state",
+                   "Health-ladder position per shard (0 healthy, 1 "
+                   "quarantined, 2 probing, 3 down)",
+                   MetricType::kGauge, {}};
+    for (const ShardSnapshot& shard : s.shards) {
+      f.add(static_cast<double>(shard.state),
+            {{"instance", shards_[static_cast<std::size_t>(shard.index)]
+                              ->instance()}});
+    }
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_shard_queue_depth",
+                   "Requests waiting inside each shard service",
+                   MetricType::kGauge, {}};
+    for (const ShardSnapshot& shard : s.shards) {
+      f.add(static_cast<double>(shard.queue_depth),
+            {{"instance", shards_[static_cast<std::size_t>(shard.index)]
+                              ->instance()}});
+    }
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_wire_bytes_total",
+                   "Bytes crossing the wire boundary by direction",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.wire_request_bytes),
+          {{"direction", "request"}})
+        .add(static_cast<double>(s.wire_reply_bytes),
+             {{"direction", "reply"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_latency_seconds",
+                   "Fleet request latency quantiles (submit to delivery)",
+                   MetricType::kGauge, {}};
+    f.add(s.latency.p50, {{"quantile", "0.5"}})
+        .add(s.latency.p95, {{"quantile", "0.95"}})
+        .add(s.latency.p99, {{"quantile", "0.99"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_queue_depth",
+                   "Requests waiting in the router admission queue",
+                   MetricType::kGauge, {}};
+    f.add(static_cast<double>(queue_depth()));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_throughput_rps",
+                   "Completed fleet requests per second of router lifetime",
+                   MetricType::kGauge, {}};
+    f.add(s.throughput_rps);
+    families.push_back(std::move(f));
+  }
+
+  // Merge shard-level serve families name-wise: Prometheus allows each
+  // family once per exposition, so N shards contribute instance-labeled
+  // samples to one shared family instead of N duplicate renders.
+  std::map<std::string, std::size_t> merged;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (trace::MetricFamily& family : shard->metric_families()) {
+      const auto it = merged.find(family.name);
+      if (it == merged.end()) {
+        merged.emplace(family.name, families.size());
+        families.push_back(std::move(family));
+      } else {
+        trace::MetricFamily& target = families[it->second];
+        target.samples.insert(target.samples.end(),
+                              std::make_move_iterator(family.samples.begin()),
+                              std::make_move_iterator(family.samples.end()));
+      }
+    }
+  }
+  return trace::render_prometheus(families);
+}
+
+}  // namespace starsim::fleet

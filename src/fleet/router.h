@@ -1,0 +1,292 @@
+// ShardRouter — the fleet front end over N wire-isolated FrameService
+// shards.
+//
+// Scenes are placed by consistent hashing: each shard owns `virtual_nodes`
+// points on a 64-bit hash ring and a scene's fingerprint walks the ring to
+// its R distinct replicas, so any replica can serve any request for its
+// scenes (frames are bit-identical by construction) and adding a shard
+// moves only ~1/N of the keyspace. On top of placement sit the four
+// robustness mechanisms this module exists for:
+//
+//   * Hedged requests — after a latency-quantile delay with no reply, the
+//     router launches the same request on the next replica; first reply
+//     wins, the loser is discarded (its shard still renders, the client
+//     never sees it twice). Tames one slow shard's p99.
+//   * Replica failover — an error reply walks to the next replica; only
+//     when every replica fails does the client see the error. Deadline
+//     expiries never fail over (re-rendering cannot un-expire a request).
+//   * Health ladder — a sliding-window error-rate breaker quarantines a
+//     shard, shadow probes (duplicate requests whose results are
+//     discarded) test it while real traffic routes around, and a passing
+//     probe reinstates it. The same quarantine -> probe -> reinstate shape
+//     as WorkerPool supervision, one level up (docs/resilience.md).
+//   * Cross-shard backpressure — per-shard OverloadShedError replies fail
+//     over like errors (without tripping the breaker: shed is pressure,
+//     not failure), and when every replica's queue sits above the
+//     high-watermark the router rejects low-priority work at admission
+//     instead of queueing it to be shed later. The router's own bounded
+//     queue reuses serve's 3-band priority shedding.
+//
+// Every request crosses fleet/wire.h both ways, so served frames stay
+// bit-identical to direct renders through every hedge and failover path —
+// the chaos suite (tests/test_fleet_chaos.cpp) holds the router to that.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "fleet/shard.h"
+#include "serve/request.h"
+#include "serve/request_queue.h"
+#include "support/stats.h"
+#include "support/timer.h"
+
+namespace starsim::fleet {
+
+struct FleetOptions {
+  /// Shard instances; each is a full FrameService built from `shard`.
+  int shards = 4;
+  /// Replicas per scene (capped at `shards`). 1 disables failover and
+  /// hedging — there is nowhere else to go.
+  int replicas = 2;
+  /// Hash-ring points per shard. More points smooth the keyspace split.
+  int virtual_nodes = 16;
+  /// Router worker threads draining the admission queue onto shards.
+  int router_threads = 2;
+  /// Router admission bound (requests queued ahead of shard placement).
+  std::size_t router_queue_capacity = 256;
+  /// Hedging trigger: < 0 disables hedging, 0 adapts the delay to the
+  /// observed `hedge_quantile` fleet latency, > 0 is a fixed delay in ms.
+  double hedge_ms = -1.0;
+  /// Latency quantile an adaptive hedge waits for before backing up.
+  double hedge_quantile = 0.95;
+  /// Floor for the adaptive hedge delay, ms (keeps a cold or very fast
+  /// fleet from hedging every request).
+  double min_hedge_ms = 1.0;
+  /// Sliding outcome window per shard feeding the circuit breaker.
+  std::size_t breaker_window = 16;
+  /// Breaker arms only once the window holds this many outcomes.
+  std::size_t breaker_min_samples = 8;
+  /// Error rate over the window that trips quarantine.
+  double breaker_error_rate = 0.5;
+  /// Quarantine dwell before a shadow probe tests the shard, ms.
+  double probe_after_ms = 25.0;
+  /// Backpressure high-watermark: when every replica's shard queue is at
+  /// least this full, low-priority requests are rejected at the router.
+  double backpressure_ratio = 0.9;
+  /// Template for every shard's FrameService (workers, queue, cache,
+  /// fault injection...). Fault-policy seeds are decorrelated per shard.
+  serve::FrameServiceOptions shard{};
+  /// Chaos hook: make this shard's workers sleep `straggler_ms` per render
+  /// (the slow replica hedging exists to beat). -1 disables.
+  int straggler_shard = -1;
+  double straggler_ms = 25.0;
+};
+
+/// Health-ladder position of one shard (docs/resilience.md).
+enum class ShardState : int {
+  kHealthy = 0,
+  kQuarantined = 1,  ///< breaker tripped; real traffic routes around
+  kProbing = 2,      ///< shadow probe in flight
+  kDown = 3,         ///< killed; terminal
+};
+
+[[nodiscard]] std::string_view to_string(ShardState state);
+
+/// Per-shard slice of FleetStats.
+struct ShardSnapshot {
+  int index = 0;
+  ShardState state = ShardState::kHealthy;
+  std::size_t queue_depth = 0;
+  std::uint64_t routed = 0;   ///< attempts sent to this shard (incl. hedges)
+  std::uint64_t errors = 0;   ///< error replies (breaker input)
+  std::uint64_t sheds = 0;    ///< OverloadShedError replies
+  std::uint64_t quarantines = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t reinstates = 0;
+};
+
+/// Fleet-level aggregate counters; the router-tier analogue of
+/// ServiceStats, including the shed/quarantine/hedge counters the issue
+/// wants surfaced as stats rather than logs.
+struct FleetStats {
+  std::uint64_t submitted = 0;   ///< admitted into the router queue
+  std::uint64_t completed = 0;   ///< futures resolved with a frame
+  std::uint64_t failed = 0;      ///< futures resolved with an exception
+  std::uint64_t rejected = 0;    ///< bounced at router admission
+  /// Of `rejected`, low-priority requests refused because every replica
+  /// sat above the backpressure high-watermark.
+  std::uint64_t backpressure_rejected = 0;
+  /// Requests displaced from the router queue by higher-priority
+  /// admissions (failed with OverloadShedError; also counted in failed).
+  std::uint64_t router_shed = 0;
+  /// Deadlines that expired inside the router (also counted in failed).
+  std::uint64_t expired_router = 0;
+  std::uint64_t hedges_launched = 0;
+  std::uint64_t hedges_won = 0;       ///< hedge replied before the primary
+  std::uint64_t hedges_discarded = 0; ///< loser replies dropped (dedup)
+  std::uint64_t failovers = 0;           ///< replica-to-replica retries
+  std::uint64_t failover_successes = 0;  ///< of those, later replica served
+  std::uint64_t shard_sheds = 0;  ///< OverloadShedError replies from shards
+  std::uint64_t quarantines = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t reinstates = 0;
+  std::uint64_t wire_request_bytes = 0;
+  std::uint64_t wire_reply_bytes = 0;
+  support::TailQuantiles latency;  ///< submit -> delivery, router-side
+  double mean_latency_s = 0.0;
+  double elapsed_s = 0.0;
+  double throughput_rps = 0.0;
+  std::vector<ShardSnapshot> shards;
+
+  /// Zero once the fleet has quiesced; anything else is a stuck future.
+  [[nodiscard]] std::uint64_t in_flight() const {
+    return submitted - completed - failed;
+  }
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(FleetOptions options = {});
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Blocking admission (waits for router-queue space). Throws
+  /// support::Error once stopped; invalid scenes throw synchronously.
+  [[nodiscard]] std::future<serve::RenderResponse> submit(
+      serve::RenderRequest request);
+
+  /// Non-blocking admission with the full router-level policy: expired
+  /// deadlines fail fast, saturated replicas reject low-priority work
+  /// (backpressure), and the bounded router queue sheds lower-priority
+  /// work under overload. nullopt = rejected.
+  [[nodiscard]] std::optional<std::future<serve::RenderResponse>> try_submit(
+      serve::RenderRequest request);
+
+  /// submit + wait.
+  [[nodiscard]] serve::RenderResponse render(serve::RenderRequest request);
+
+  /// Stop admission, drain queued requests through the shards, join the
+  /// router threads, stop every shard. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] FleetStats stats() const;
+  /// One Prometheus exposition for the whole fleet: router-level families
+  /// plus every shard's serve families merged name-wise (each family
+  /// appears once, samples instance-labeled per shard).
+  [[nodiscard]] std::string scrape_metrics() const;
+  [[nodiscard]] const FleetOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] int shard_count() const {
+    return static_cast<int>(shards_.size());
+  }
+
+  /// The R distinct replica shards for a scene key, in ring order.
+  [[nodiscard]] std::vector<int> replicas_for(std::uint64_t scene_key) const;
+
+  // Chaos / test hooks -----------------------------------------------------
+  /// Kill a shard: admission there stops, state becomes kDown, traffic
+  /// fails over. Admitted work drains (no stuck futures).
+  void kill_shard(int index);
+  /// Force a shard into quarantine (as if its breaker tripped).
+  void quarantine_shard(int index);
+  [[nodiscard]] ShardState shard_state(int index) const;
+  [[nodiscard]] Shard& shard(int index) {
+    return *shards_.at(static_cast<std::size_t>(index));
+  }
+
+ private:
+  struct RouterTask {
+    serve::RenderRequest request;
+    std::uint64_t scene_key = 0;
+    serve::RequestPriority priority = serve::RequestPriority::kNormal;
+    std::chrono::steady_clock::time_point submitted{};
+    std::optional<double> deadline_s;
+    std::shared_ptr<std::promise<serve::RenderResponse>> promise;
+    std::uint64_t flow_id = 0;
+  };
+
+  /// Breaker + ladder state for one shard, under health_mutex_.
+  struct HealthSlot {
+    ShardState state = ShardState::kHealthy;
+    std::vector<bool> window;  ///< ring of outcomes, true = success
+    std::size_t window_next = 0;
+    std::size_t window_count = 0;
+    std::chrono::steady_clock::time_point quarantined_at{};
+    std::uint64_t routed = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t sheds = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t reinstates = 0;
+  };
+
+  [[nodiscard]] RouterTask make_task(serve::RenderRequest&& request);
+  void run(int worker_index);
+  void execute(RouterTask task);
+  /// Quarantined shards whose dwell elapsed get a shadow probe built from
+  /// `model` (deadline stripped, priority lowered, result discarded).
+  void run_due_probes(const serve::RenderRequest& model);
+  /// Remaining deadline budget, or nullopt for no deadline; <= 0 means
+  /// expired.
+  [[nodiscard]] std::optional<double> remaining_deadline(
+      const RouterTask& task) const;
+  [[nodiscard]] double hedge_delay_ms() const;
+  void record_outcome(int shard_index, bool success);
+  void record_shed(int shard_index);
+  void fail_task(RouterTask& task, std::exception_ptr error,
+                 bool count_expired = false, bool count_shed = false);
+  void deliver(RouterTask& task, serve::RenderResponse response);
+  [[nodiscard]] bool replicas_saturated(
+      const std::vector<int>& candidates) const;
+
+  FleetOptions options_;
+  support::WallTimer lifetime_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Sorted hash ring: (point, shard index).
+  std::vector<std::pair<std::uint64_t, int>> ring_;
+  serve::BoundedQueue<RouterTask> queue_;
+
+  mutable std::mutex health_mutex_;
+  std::vector<HealthSlot> health_;
+
+  mutable std::mutex stats_mutex_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t backpressure_rejected_ = 0;
+  std::uint64_t router_shed_ = 0;
+  std::uint64_t expired_router_ = 0;
+  std::uint64_t hedges_launched_ = 0;
+  std::uint64_t hedges_won_ = 0;
+  std::uint64_t hedges_discarded_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t failover_successes_ = 0;
+  std::uint64_t shard_sheds_ = 0;
+  std::uint64_t wire_request_bytes_ = 0;
+  std::uint64_t wire_reply_bytes_ = 0;
+  std::vector<double> latency_samples_;
+  /// Recent latencies in ms feeding the adaptive hedge trigger.
+  std::vector<double> hedge_ring_;
+  std::size_t hedge_ring_next_ = 0;
+  std::size_t hedge_ring_count_ = 0;
+
+  mutable std::mutex stop_mutex_;
+  bool stopped_ = false;
+
+  // Last member: router threads touch everything above.
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace starsim::fleet

@@ -1,0 +1,74 @@
+#include "fleet/shard.h"
+
+#include <utility>
+
+#include "support/error.h"
+
+namespace starsim::fleet {
+
+WireBuffer PendingReply::take() {
+  if (immediate_ != nullptr) {
+    try {
+      std::rethrow_exception(std::exchange(immediate_, nullptr));
+    } catch (const std::exception& error) {
+      return encode_error(error);
+    }
+  }
+  try {
+    return encode_response(future_.get());
+  } catch (const std::exception& error) {
+    return encode_error(error);
+  }
+}
+
+Shard::Shard(int index, serve::FrameServiceOptions options)
+    : index_(index),
+      instance_("shard-" + std::to_string(index)),
+      service_(std::make_unique<serve::FrameService>(std::move(options))) {}
+
+PendingReply Shard::submit(std::span<const std::uint8_t> frame) {
+  if (down_.load()) {
+    STARSIM_THROW(support::ShardDownError,
+                  instance_ + " is down and not accepting requests");
+  }
+  // A malformed frame throws out of here (the router's encoder is the bug,
+  // not the shard); a well-formed but inadmissible request answers with an
+  // error reply, like any live shard would.
+  serve::RenderRequest request = decode_request(frame);
+  try {
+    std::optional<std::future<serve::RenderResponse>> future =
+        service_->try_submit(std::move(request));
+    if (!future.has_value()) {
+      return PendingReply::failed(
+          std::make_exception_ptr(support::OverloadShedError(
+              instance_ + " rejected the request: queue full of "
+                          "equal-or-higher-priority work")));
+    }
+    return PendingReply(std::move(*future));
+  } catch (const std::exception&) {
+    return PendingReply::failed(std::current_exception());
+  }
+}
+
+void Shard::kill() {
+  const bool was_down = down_.exchange(true);
+  if (!was_down) service_->stop();
+}
+
+void Shard::stop() { service_->stop(); }
+
+std::size_t Shard::queue_depth() const { return service_->queue_depth(); }
+
+std::size_t Shard::queue_capacity() const {
+  return service_->options().queue_capacity;
+}
+
+serve::ServiceStats Shard::stats() const { return service_->stats(); }
+
+serve::PoolHealth Shard::health() const { return service_->health(); }
+
+std::vector<trace::MetricFamily> Shard::metric_families() const {
+  return service_->metric_families(instance_);
+}
+
+}  // namespace starsim::fleet

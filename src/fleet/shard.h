@@ -1,0 +1,118 @@
+// One fleet shard: a FrameService instance reachable only through the wire
+// protocol.
+//
+// The router never touches a shard's FrameService directly — every request
+// crosses wire.h as an encoded frame and every reply comes back as one, so
+// the in-process shard behaves exactly like a remote renderer: typed errors
+// survive the boundary, pixel bits cross verbatim, and killing a shard is
+// indistinguishable (to the router) from a process that stopped answering.
+// That discipline is what makes the fleet chaos tests honest — failover and
+// hedging are exercised against the same byte-level contract a networked
+// deployment would use.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fleet/wire.h"
+#include "serve/service.h"
+
+namespace starsim::fleet {
+
+/// An in-flight shard reply: a handle the router polls (for hedging) and
+/// eventually takes as an encoded frame. Encoding runs lazily on the taking
+/// thread — the stand-in for the shard's reply-serialization work a remote
+/// deployment would do on its RPC thread.
+class PendingReply {
+ public:
+  explicit PendingReply(std::future<serve::RenderResponse> future)
+      : future_(std::move(future)) {}
+
+  /// A reply that already failed at admission (shed, invalid, shard down):
+  /// ready immediately, takes as a typed error frame.
+  [[nodiscard]] static PendingReply failed(std::exception_ptr error) {
+    PendingReply reply;
+    reply.immediate_ = std::move(error);
+    return reply;
+  }
+
+  /// True once a frame (response or error) can be taken without blocking.
+  [[nodiscard]] bool ready() const {
+    if (immediate_ != nullptr) return true;
+    return future_.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  }
+
+  /// Wait up to `timeout` for readiness; true when ready. This is the
+  /// hedging trigger: the router waits one hedge delay on the primary
+  /// before launching a backup.
+  [[nodiscard]] bool wait_for(std::chrono::duration<double> timeout) const {
+    if (immediate_ != nullptr) return true;
+    return future_.wait_for(timeout) == std::future_status::ready;
+  }
+
+  /// Block for the reply and encode it: a response frame on success, a
+  /// typed error frame on failure. Consumes the handle (one take per
+  /// reply).
+  [[nodiscard]] WireBuffer take();
+
+ private:
+  PendingReply() = default;
+
+  std::future<serve::RenderResponse> future_;
+  std::exception_ptr immediate_;
+};
+
+/// A FrameService behind the wire boundary, addressable by shard index.
+class Shard {
+ public:
+  Shard(int index, serve::FrameServiceOptions options);
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Decode and admit a request frame. Throws support::ShardDownError when
+  /// the shard is killed and support::WireFormatError on a malformed frame;
+  /// admission failures (shed, invalid request) come back as ready error
+  /// replies, mirroring how a live remote shard answers.
+  [[nodiscard]] PendingReply submit(std::span<const std::uint8_t> frame);
+
+  /// Chaos hook: take the shard out of the fleet. Admission stops (future
+  /// submits throw ShardDownError) and already-admitted work drains through
+  /// the service's ordinary shutdown — every accepted future still
+  /// resolves, so a kill can never strand a request.
+  void kill();
+
+  /// Orderly shutdown (stop admission, drain, join workers). Idempotent.
+  void stop();
+
+  [[nodiscard]] bool down() const { return down_.load(); }
+  [[nodiscard]] int index() const { return index_; }
+  /// Instance label carried by this shard's metric samples ("shard-N").
+  [[nodiscard]] const std::string& instance() const { return instance_; }
+
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t queue_capacity() const;
+  [[nodiscard]] serve::ServiceStats stats() const;
+  [[nodiscard]] serve::PoolHealth health() const;
+  /// The shard service's metric families, instance-labeled — the router
+  /// merges these across shards into one fleet exposition.
+  [[nodiscard]] std::vector<trace::MetricFamily> metric_families() const;
+
+  /// Direct service access for tests that assert on shard internals.
+  [[nodiscard]] serve::FrameService& service() { return *service_; }
+
+ private:
+  int index_;
+  std::string instance_;
+  std::atomic<bool> down_{false};
+  std::unique_ptr<serve::FrameService> service_;
+};
+
+}  // namespace starsim::fleet

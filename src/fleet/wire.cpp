@@ -1,0 +1,475 @@
+#include "fleet/wire.h"
+
+#include <cstring>
+#include <string>
+
+#include "starsim/attitude.h"
+#include "support/error.h"
+
+namespace starsim::fleet {
+
+namespace {
+
+/// Append-only frame builder. All integers are written little-endian-style
+/// byte by byte; floats travel as their raw bit patterns, so values
+/// round-trip bit-exactly on any platform with IEEE-754 layout.
+class Writer {
+ public:
+  explicit Writer(MessageKind kind) {
+    buffer_.reserve(64);
+    u8(kWireMagic0);
+    u8(kWireMagic1);
+    u8(kWireVersion);
+    u8(static_cast<std::uint8_t>(kind));
+  }
+
+  void u8(std::uint8_t value) { buffer_.push_back(value); }
+
+  void u32(std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      buffer_.push_back(static_cast<std::uint8_t>(value >> shift));
+    }
+  }
+
+  void u64(std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      buffer_.push_back(static_cast<std::uint8_t>(value >> shift));
+    }
+  }
+
+  void i32(std::int32_t value) { u32(static_cast<std::uint32_t>(value)); }
+
+  void f32(float value) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    u32(bits);
+  }
+
+  void f64(double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    u64(bits);
+  }
+
+  void boolean(bool value) { u8(value ? 1 : 0); }
+
+  void str(const std::string& value) {
+    u32(static_cast<std::uint32_t>(value.size()));
+    buffer_.insert(buffer_.end(), value.begin(), value.end());
+  }
+
+  [[nodiscard]] WireBuffer take() { return std::move(buffer_); }
+
+ private:
+  WireBuffer buffer_;
+};
+
+/// Bounds-checked frame reader; every underrun throws WireFormatError
+/// before any out-of-range access.
+class Reader {
+ public:
+  Reader(std::span<const std::uint8_t> bytes, MessageKind expected)
+      : bytes_(bytes) {
+    if (bytes_.size() < 4) {
+      STARSIM_THROW(support::WireFormatError,
+                    "wire frame shorter than its header");
+    }
+    if (bytes_[0] != kWireMagic0 || bytes_[1] != kWireMagic1) {
+      STARSIM_THROW(support::WireFormatError, "wire frame has bad magic");
+    }
+    if (bytes_[2] != kWireVersion) {
+      STARSIM_THROW(support::WireFormatError,
+                    "wire version mismatch: frame v" +
+                        std::to_string(bytes_[2]) + ", decoder v" +
+                        std::to_string(kWireVersion));
+    }
+    if (bytes_[3] != static_cast<std::uint8_t>(expected)) {
+      STARSIM_THROW(support::WireFormatError,
+                    "unexpected wire message kind " +
+                        std::to_string(bytes_[3]));
+    }
+    offset_ = 4;
+  }
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return bytes_[offset_++];
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      value |= static_cast<std::uint32_t>(bytes_[offset_++]) << shift;
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      value |= static_cast<std::uint64_t>(bytes_[offset_++]) << shift;
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::int32_t i32() {
+    return static_cast<std::int32_t>(u32());
+  }
+
+  [[nodiscard]] float f32() {
+    const std::uint32_t bits = u32();
+    float value = 0.0f;
+    std::memcpy(&value, &bits, sizeof value);
+    return value;
+  }
+
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof value);
+    return value;
+  }
+
+  [[nodiscard]] bool boolean() { return u8() != 0; }
+
+  [[nodiscard]] std::string str() {
+    const std::uint32_t size = u32();
+    need(size);
+    std::string value(reinterpret_cast<const char*>(bytes_.data() + offset_),
+                      size);
+    offset_ += size;
+    return value;
+  }
+
+  void expect_exhausted() const {
+    if (offset_ != bytes_.size()) {
+      STARSIM_THROW(support::WireFormatError,
+                    "wire frame has " +
+                        std::to_string(bytes_.size() - offset_) +
+                        " trailing byte(s)");
+    }
+  }
+
+ private:
+  void need(std::size_t count) const {
+    if (bytes_.size() - offset_ < count) {
+      STARSIM_THROW(support::WireFormatError,
+                    "wire frame truncated at offset " +
+                        std::to_string(offset_));
+    }
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+void write_scene(Writer& w, const SceneConfig& scene) {
+  w.i32(scene.image_width);
+  w.i32(scene.image_height);
+  w.i32(scene.roi_side);
+  w.f64(scene.psf_sigma);
+  w.boolean(scene.pixel_integration);
+  w.f64(scene.brightness.proportion_factor);
+  w.f64(scene.brightness.magnitude_base);
+  w.f64(scene.magnitude_min);
+  w.f64(scene.magnitude_max);
+}
+
+SceneConfig read_scene(Reader& r) {
+  SceneConfig scene;
+  scene.image_width = r.i32();
+  scene.image_height = r.i32();
+  scene.roi_side = r.i32();
+  scene.psf_sigma = r.f64();
+  scene.pixel_integration = r.boolean();
+  scene.brightness.proportion_factor = r.f64();
+  scene.brightness.magnitude_base = r.f64();
+  scene.magnitude_min = r.f64();
+  scene.magnitude_max = r.f64();
+  return scene;
+}
+
+void write_counters(Writer& w, const gpusim::KernelCounters& c) {
+  w.u64(c.blocks_launched);
+  w.u64(c.threads_launched);
+  w.u64(c.warps_launched);
+  w.u64(c.flops);
+  w.u64(c.global_reads);
+  w.u64(c.global_writes);
+  w.u64(c.global_bytes_read);
+  w.u64(c.global_bytes_written);
+  w.u64(c.global_transactions);
+  w.u64(c.shared_reads);
+  w.u64(c.shared_writes);
+  w.u64(c.shared_bank_conflicts);
+  w.u64(c.atomic_ops);
+  w.u64(c.atomic_conflicts);
+  w.u64(c.texture_fetches);
+  w.u64(c.texture_hits);
+  w.u64(c.texture_misses);
+  w.u64(c.barriers);
+  w.u64(c.branch_sites_evaluated);
+  w.u64(c.divergent_warp_branches);
+}
+
+gpusim::KernelCounters read_counters(Reader& r) {
+  gpusim::KernelCounters c;
+  c.blocks_launched = r.u64();
+  c.threads_launched = r.u64();
+  c.warps_launched = r.u64();
+  c.flops = r.u64();
+  c.global_reads = r.u64();
+  c.global_writes = r.u64();
+  c.global_bytes_read = r.u64();
+  c.global_bytes_written = r.u64();
+  c.global_transactions = r.u64();
+  c.shared_reads = r.u64();
+  c.shared_writes = r.u64();
+  c.shared_bank_conflicts = r.u64();
+  c.atomic_ops = r.u64();
+  c.atomic_conflicts = r.u64();
+  c.texture_fetches = r.u64();
+  c.texture_hits = r.u64();
+  c.texture_misses = r.u64();
+  c.barriers = r.u64();
+  c.branch_sites_evaluated = r.u64();
+  c.divergent_warp_branches = r.u64();
+  return c;
+}
+
+[[nodiscard]] WireErrorKind classify(const std::exception& error) {
+  // Most-derived first: the decoder reconstructs exactly this class.
+  if (dynamic_cast<const support::ShardDownError*>(&error) != nullptr) {
+    return WireErrorKind::kShardDown;
+  }
+  if (dynamic_cast<const support::OverloadShedError*>(&error) != nullptr) {
+    return WireErrorKind::kOverloadShed;
+  }
+  if (dynamic_cast<const support::DeadlineExceededError*>(&error) != nullptr) {
+    return WireErrorKind::kDeadlineExceeded;
+  }
+  if (dynamic_cast<const support::SanitizerError*>(&error) != nullptr) {
+    return WireErrorKind::kSanitizer;
+  }
+  if (dynamic_cast<const support::DeviceLostError*>(&error) != nullptr) {
+    return WireErrorKind::kDeviceLost;
+  }
+  if (dynamic_cast<const support::KernelTimeoutError*>(&error) != nullptr) {
+    return WireErrorKind::kKernelTimeout;
+  }
+  if (dynamic_cast<const support::TransferError*>(&error) != nullptr) {
+    return WireErrorKind::kTransfer;
+  }
+  if (dynamic_cast<const support::DeviceError*>(&error) != nullptr) {
+    return WireErrorKind::kDevice;
+  }
+  if (dynamic_cast<const support::IoError*>(&error) != nullptr) {
+    return WireErrorKind::kIo;
+  }
+  if (dynamic_cast<const support::PreconditionError*>(&error) != nullptr) {
+    return WireErrorKind::kPrecondition;
+  }
+  return WireErrorKind::kGeneric;
+}
+
+[[noreturn]] void rethrow(WireErrorKind kind, const std::string& what,
+                          bool retryable) {
+  switch (kind) {
+    case WireErrorKind::kShardDown:
+      throw support::ShardDownError(what);
+    case WireErrorKind::kOverloadShed:
+      throw support::OverloadShedError(what);
+    case WireErrorKind::kDeadlineExceeded:
+      throw support::DeadlineExceededError(what);
+    case WireErrorKind::kSanitizer:
+      throw support::SanitizerError(what);
+    case WireErrorKind::kDeviceLost:
+      throw support::DeviceLostError(what);
+    case WireErrorKind::kKernelTimeout:
+      throw support::KernelTimeoutError(what, retryable);
+    case WireErrorKind::kTransfer:
+      throw support::TransferError(what, retryable);
+    case WireErrorKind::kDevice:
+      throw support::DeviceError(what, retryable);
+    case WireErrorKind::kIo:
+      throw support::IoError(what);
+    case WireErrorKind::kPrecondition:
+      throw support::PreconditionError(what);
+    case WireErrorKind::kGeneric:
+      break;
+  }
+  throw support::Error(what, retryable);
+}
+
+}  // namespace
+
+WireBuffer encode_request(const serve::RenderRequest& request) {
+  Writer w(MessageKind::kRequest);
+  write_scene(w, request.scene);
+  w.u64(request.stars.size());
+  for (const Star& star : request.stars) {
+    w.f32(star.magnitude);
+    w.f32(star.x);
+    w.f32(star.y);
+    w.f32(star.weight);
+  }
+  w.boolean(request.attitude.has_value());
+  if (request.attitude.has_value()) {
+    w.f64(request.attitude->w());
+    w.f64(request.attitude->x());
+    w.f64(request.attitude->y());
+    w.f64(request.attitude->z());
+  }
+  w.boolean(request.simulator.has_value());
+  if (request.simulator.has_value()) {
+    w.u8(static_cast<std::uint8_t>(*request.simulator));
+  }
+  w.u8(static_cast<std::uint8_t>(request.priority));
+  w.boolean(request.deadline_s.has_value());
+  if (request.deadline_s.has_value()) w.f64(*request.deadline_s);
+  w.boolean(request.sanitize);
+  return w.take();
+}
+
+serve::RenderRequest decode_request(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageKind::kRequest);
+  serve::RenderRequest request;
+  request.scene = read_scene(r);
+  const std::uint64_t star_count = r.u64();
+  // 16 encoded bytes per star: a frame cannot legitimately promise more
+  // stars than it has bytes, so reject early instead of allocating.
+  if (star_count > bytes.size() / 16) {
+    STARSIM_THROW(support::WireFormatError,
+                  "wire star count exceeds frame size");
+  }
+  request.stars.reserve(static_cast<std::size_t>(star_count));
+  for (std::uint64_t i = 0; i < star_count; ++i) {
+    Star star;
+    star.magnitude = r.f32();
+    star.x = r.f32();
+    star.y = r.f32();
+    star.weight = r.f32();
+    request.stars.push_back(star);
+  }
+  if (r.boolean()) {
+    const double qw = r.f64();
+    const double qx = r.f64();
+    const double qy = r.f64();
+    const double qz = r.f64();
+    request.attitude = Quaternion(qw, qx, qy, qz);
+  }
+  if (r.boolean()) {
+    request.simulator = static_cast<SimulatorKind>(r.u8());
+  }
+  request.priority = static_cast<serve::RequestPriority>(r.u8());
+  if (r.boolean()) request.deadline_s = r.f64();
+  request.sanitize = r.boolean();
+  r.expect_exhausted();
+  return request;
+}
+
+WireBuffer encode_response(const serve::RenderResponse& response) {
+  STARSIM_REQUIRE(response.result != nullptr,
+                  "cannot encode a response without a result");
+  Writer w(MessageKind::kResponse);
+  const SimulationResult& result = *response.result;
+  w.i32(result.image.width());
+  w.i32(result.image.height());
+  for (const float pixel : result.image.pixels()) w.f32(pixel);
+  const TimingBreakdown& t = result.timing;
+  w.f64(t.kernel_s);
+  w.f64(t.h2d_s);
+  w.f64(t.d2h_s);
+  w.f64(t.lut_build_s);
+  w.f64(t.texture_bind_s);
+  w.f64(t.host_compute_s);
+  w.f64(t.host_reduce_s);
+  w.f64(t.wall_s);
+  write_counters(w, t.counters);
+  w.f64(t.utilization);
+  w.f64(t.achieved_gflops);
+  w.u8(static_cast<std::uint8_t>(response.simulator));
+  w.f64(response.latency.queue_wait_s);
+  w.f64(response.latency.batch_wait_s);
+  w.f64(response.latency.render_wall_s);
+  w.f64(response.latency.kernel_s);
+  w.f64(response.latency.non_kernel_s);
+  w.f64(response.latency.total_s);
+  w.u64(response.fingerprint);
+  w.u64(response.batch_size);
+  w.boolean(response.from_cache);
+  w.boolean(response.degraded);
+  return w.take();
+}
+
+WireBuffer encode_error(const std::exception& error) {
+  Writer w(MessageKind::kError);
+  const WireErrorKind kind = classify(error);
+  const auto* typed = dynamic_cast<const support::Error*>(&error);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.boolean(typed != nullptr && typed->retryable());
+  w.str(error.what());
+  return w.take();
+}
+
+bool reply_is_error(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4) {
+    STARSIM_THROW(support::WireFormatError,
+                  "wire frame shorter than its header");
+  }
+  return bytes[3] == static_cast<std::uint8_t>(MessageKind::kError);
+}
+
+serve::RenderResponse decode_reply(std::span<const std::uint8_t> bytes) {
+  if (reply_is_error(bytes)) {
+    Reader r(bytes, MessageKind::kError);
+    const auto kind = static_cast<WireErrorKind>(r.u8());
+    const bool retryable = r.boolean();
+    const std::string what = r.str();
+    r.expect_exhausted();
+    rethrow(kind, what, retryable);
+  }
+  Reader r(bytes, MessageKind::kResponse);
+  serve::RenderResponse response;
+  const int width = r.i32();
+  const int height = r.i32();
+  if (width <= 0 || height <= 0 ||
+      static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height) >
+          bytes.size() / sizeof(float)) {
+    STARSIM_THROW(support::WireFormatError,
+                  "wire image dimensions exceed frame size");
+  }
+  SimulationResult result;
+  result.image = imageio::ImageF(width, height);
+  for (float& pixel : result.image.pixels()) pixel = r.f32();
+  TimingBreakdown& t = result.timing;
+  t.kernel_s = r.f64();
+  t.h2d_s = r.f64();
+  t.d2h_s = r.f64();
+  t.lut_build_s = r.f64();
+  t.texture_bind_s = r.f64();
+  t.host_compute_s = r.f64();
+  t.host_reduce_s = r.f64();
+  t.wall_s = r.f64();
+  t.counters = read_counters(r);
+  t.utilization = r.f64();
+  t.achieved_gflops = r.f64();
+  response.simulator = static_cast<SimulatorKind>(r.u8());
+  response.latency.queue_wait_s = r.f64();
+  response.latency.batch_wait_s = r.f64();
+  response.latency.render_wall_s = r.f64();
+  response.latency.kernel_s = r.f64();
+  response.latency.non_kernel_s = r.f64();
+  response.latency.total_s = r.f64();
+  response.fingerprint = r.u64();
+  response.batch_size = static_cast<std::size_t>(r.u64());
+  response.from_cache = r.boolean();
+  response.degraded = r.boolean();
+  r.expect_exhausted();
+  response.result = std::make_shared<const SimulationResult>(std::move(result));
+  return response;
+}
+
+}  // namespace starsim::fleet

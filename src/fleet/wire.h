@@ -1,0 +1,89 @@
+// starsim::fleet wire protocol — the serialized request/reply boundary
+// between the ShardRouter and its shard services.
+//
+// Each shard runs behind this protocol exactly as a remote process would:
+// the router encodes a RenderRequest into a self-describing binary frame,
+// the shard decodes it, renders, and answers with either a response frame
+// (the full SimulationResult, pixel bits verbatim) or a typed error frame
+// that decodes back into the same support::Error subclass the shard threw.
+// Floats cross the boundary as raw bit patterns, so a frame that survives a
+// round trip is bit-identical to the frame the shard rendered — the fleet
+// layer's failover and hedging guarantees stand on that.
+//
+// Frames are versioned (kMagic + kVersion + a message kind byte) and every
+// decoder bounds-checks; malformed input throws support::WireFormatError,
+// never reads past the buffer. The sanitizer report attached to sanitized
+// responses is deliberately *not* serialized — findings stay shard-local,
+// surfaced through the shard's own metrics (docs/observability.md).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace starsim::fleet {
+
+/// One encoded frame (request or reply) as it crosses the shard boundary.
+using WireBuffer = std::vector<std::uint8_t>;
+
+/// Frame header constants: two magic bytes, a format version, and the
+/// message kind. Bump kWireVersion on any layout change — decoders reject
+/// mismatches instead of misreading fields.
+inline constexpr std::uint8_t kWireMagic0 = 'S';
+inline constexpr std::uint8_t kWireMagic1 = 'F';
+inline constexpr std::uint8_t kWireVersion = 1;
+
+enum class MessageKind : std::uint8_t {
+  kRequest = 1,   ///< router -> shard: a RenderRequest
+  kResponse = 2,  ///< shard -> router: a rendered RenderResponse
+  kError = 3,     ///< shard -> router: a typed failure
+};
+
+/// Error taxonomy tags carried by kError frames; decode_reply rethrows the
+/// matching support::Error subclass so router-side catch clauses behave
+/// exactly as if the shard had thrown in-process.
+enum class WireErrorKind : std::uint8_t {
+  kGeneric = 0,
+  kPrecondition = 1,
+  kDevice = 2,
+  kTransfer = 3,
+  kKernelTimeout = 4,
+  kDeviceLost = 5,
+  kSanitizer = 6,
+  kIo = 7,
+  kDeadlineExceeded = 8,
+  kOverloadShed = 9,
+  kShardDown = 10,
+};
+
+/// Serialize a request for transport to a shard. Field-by-field, so struct
+/// padding never leaks into the frame (the same discipline fingerprint.h
+/// applies to hashing).
+[[nodiscard]] WireBuffer encode_request(const serve::RenderRequest& request);
+
+/// Decode a request frame. Throws support::WireFormatError on truncation,
+/// bad magic, or version/kind mismatch.
+[[nodiscard]] serve::RenderRequest decode_request(
+    std::span<const std::uint8_t> bytes);
+
+/// Serialize a response, including the full SimulationResult (pixel bits
+/// verbatim, complete timing breakdown and kernel counters).
+[[nodiscard]] WireBuffer encode_response(const serve::RenderResponse& response);
+
+/// Serialize a failure as a typed error frame. Errors outside the starsim
+/// taxonomy travel as kGeneric and decode as plain support::Error.
+[[nodiscard]] WireBuffer encode_error(const std::exception& error);
+
+/// True when the frame is an error reply (cheap header peek; throws
+/// support::WireFormatError on a frame too short to classify).
+[[nodiscard]] bool reply_is_error(std::span<const std::uint8_t> bytes);
+
+/// Decode a reply frame: returns the response, or rethrows the typed error
+/// a kError frame carries. Throws support::WireFormatError on malformed
+/// input.
+[[nodiscard]] serve::RenderResponse decode_reply(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace starsim::fleet

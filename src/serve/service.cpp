@@ -516,7 +516,8 @@ ServiceStats FrameService::stats() const {
   return s;
 }
 
-std::string FrameService::scrape_metrics() const {
+std::vector<trace::MetricFamily> FrameService::metric_families(
+    std::string_view instance) const {
   using trace::MetricFamily;
   using trace::MetricType;
   const ServiceStats s = stats();
@@ -684,7 +685,18 @@ std::string FrameService::scrape_metrics() const {
     f.add(s.throughput_rps);
     families.push_back(std::move(f));
   }
-  return trace::render_prometheus(families);
+  if (!instance.empty()) {
+    for (MetricFamily& family : families) {
+      for (trace::MetricSample& sample : family.samples) {
+        sample.labels.push_back({"instance", std::string(instance)});
+      }
+    }
+  }
+  return families;
+}
+
+std::string FrameService::scrape_metrics(std::string_view instance) const {
+  return trace::render_prometheus(metric_families(instance));
 }
 
 }  // namespace starsim::serve

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "serve/batcher.h"
@@ -36,6 +37,7 @@
 #include "starsim/selector.h"
 #include "support/stats.h"
 #include "support/timer.h"
+#include "trace/metrics.h"
 
 namespace starsim::serve {
 
@@ -173,8 +175,18 @@ class FrameService {
   [[nodiscard]] PoolHealth health() const;
   /// One Prometheus text-exposition scrape unifying ServiceStats, queue
   /// depth, PoolHealth, cache stats, gpusim kernel-counter totals and
-  /// sanitizer findings (docs/observability.md lists every family).
-  [[nodiscard]] std::string scrape_metrics() const;
+  /// sanitizer findings (docs/observability.md lists every family). When
+  /// `instance` is non-empty every sample carries an `instance` label, so N
+  /// services (fleet shards) can be scraped side by side without family
+  /// collisions.
+  [[nodiscard]] std::string scrape_metrics(
+      std::string_view instance = {}) const;
+  /// The metric families behind scrape_metrics(), un-rendered, for callers
+  /// that aggregate several services into one exposition (the fleet router
+  /// merges same-named families across shards — Prometheus requires each
+  /// family to appear exactly once per scrape).
+  [[nodiscard]] std::vector<trace::MetricFamily> metric_families(
+      std::string_view instance = {}) const;
   [[nodiscard]] const FrameServiceOptions& options() const { return options_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
 

@@ -1,6 +1,8 @@
 #include "serve/worker_pool.h"
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "starsim/adaptive_simulator.h"
@@ -110,6 +112,10 @@ Worker::RenderOutcome Worker::render(const SceneConfig& scene,
                                      SimulatorKind kind,
                                      std::span<const StarField> fields,
                                      bool sanitize) {
+  if (options_.debug_straggler_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.debug_straggler_ms));
+  }
   SimulatorKind effective = kind;
   if (state_.load() == WorkerState::kCpuFallback && needs_device(kind)) {
     // The device budget is spent; keep emitting frames on the CPU. The

@@ -79,6 +79,11 @@ struct WorkerOptions {
   /// costs one untaken branch per device operation; individual requests can
   /// still opt in per batch via RenderRequest::sanitize.
   gpusim::SanitizerMode sanitize = gpusim::SanitizerMode::kOff;
+  /// Test/bench hook: sleep this long at the top of every render, making
+  /// the whole service an artificial straggler. The fleet layer's hedging
+  /// benchmarks point this at one shard to model a slow replica; 0
+  /// (production) costs nothing.
+  double debug_straggler_ms = 0.0;
 };
 
 /// Lifecycle of one supervised worker.

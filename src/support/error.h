@@ -110,6 +110,25 @@ class OverloadShedError : public Error {
       : Error(what, /*retryable=*/true) {}
 };
 
+/// Raised by the fleet layer when a request targets a shard that has been
+/// killed (or when every replica of a scene is down). Retryable: another
+/// replica of the same scene may serve it — the router's failover path
+/// consumes exactly this signal.
+class ShardDownError : public Error {
+ public:
+  explicit ShardDownError(const std::string& what)
+      : Error(what, /*retryable=*/true) {}
+};
+
+/// Raised when a fleet wire frame cannot be decoded (truncation, bad magic,
+/// unknown version or message kind). Never retryable: re-parsing the same
+/// bytes reproduces the defect; the sender's encoder is the bug.
+class WireFormatError : public Error {
+ public:
+  explicit WireFormatError(const std::string& what)
+      : Error(what, /*retryable=*/false) {}
+};
+
 }  // namespace starsim::support
 
 /// Precondition guard: throws PreconditionError with location info when the

@@ -1,0 +1,270 @@
+// ShardRouter placement and admission policy: consistent-hash ring
+// determinism, replica distinctness, served-frame bit-identity through the
+// wire boundary, router-level backpressure and priority shedding, and
+// aggregate stats accounting.
+#include "fleet/router.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "imageio/image.h"
+#include "serve/fingerprint.h"
+#include "starsim/parallel_simulator.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace {
+
+namespace gs = starsim::gpusim;
+namespace fleet = starsim::fleet;
+using starsim::ParallelSimulator;
+using starsim::SceneConfig;
+using starsim::SimulatorKind;
+using starsim::Star;
+using starsim::StarField;
+using starsim::imageio::ImageF;
+using starsim::imageio::max_abs_difference;
+using starsim::serve::RenderRequest;
+using starsim::serve::RenderResponse;
+using starsim::serve::RequestPriority;
+
+SceneConfig small_scene() {
+  SceneConfig scene;
+  scene.image_width = 64;
+  scene.image_height = 64;
+  scene.roi_side = 10;
+  return scene;
+}
+
+StarField random_stars(std::uint64_t seed, std::size_t count) {
+  starsim::support::Pcg32 rng(seed);
+  StarField stars;
+  for (std::size_t i = 0; i < count; ++i) {
+    Star star;
+    star.magnitude = 2.0f + 10.0f * static_cast<float>(rng.uniform());
+    star.x = 64.0f * static_cast<float>(rng.uniform());
+    star.y = 64.0f * static_cast<float>(rng.uniform());
+    stars.push_back(star);
+  }
+  return stars;
+}
+
+RenderRequest pinned_request(const StarField& stars, SimulatorKind kind) {
+  RenderRequest request;
+  request.scene = small_scene();
+  request.stars = stars;
+  request.simulator = kind;
+  return request;
+}
+
+fleet::FleetOptions quiet_options(int shards, int replicas) {
+  fleet::FleetOptions options;
+  options.shards = shards;
+  options.replicas = replicas;
+  options.router_threads = 2;
+  options.shard.workers = 1;
+  options.shard.cache_capacity = 0;
+  return options;
+}
+
+TEST(FleetRouter, RingIsDeterministicAndReplicasAreDistinct) {
+  fleet::ShardRouter router(quiet_options(5, 3));
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    const std::vector<int> replicas = router.replicas_for(key);
+    ASSERT_EQ(replicas.size(), 3u) << "key " << key;
+    const std::set<int> distinct(replicas.begin(), replicas.end());
+    EXPECT_EQ(distinct.size(), 3u) << "duplicate replica for key " << key;
+    EXPECT_EQ(router.replicas_for(key), replicas) << "unstable for " << key;
+    for (const int s : replicas) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, 5);
+    }
+  }
+}
+
+TEST(FleetRouter, RingSpreadsKeysAcrossEveryShard) {
+  fleet::ShardRouter router(quiet_options(4, 1));
+  std::vector<int> primaries(4, 0);
+  for (std::uint64_t key = 0; key < 4000; ++key) {
+    primaries[static_cast<std::size_t>(router.replicas_for(key)[0])] += 1;
+  }
+  for (int s = 0; s < 4; ++s) {
+    // With 16 virtual nodes the split is rough, not exact: every shard must
+    // own a material share of the keyspace.
+    EXPECT_GT(primaries[static_cast<std::size_t>(s)], 4000 / 16)
+        << "shard " << s << " owns almost nothing";
+  }
+}
+
+TEST(FleetRouter, ReplicasNeverExceedShardCount) {
+  fleet::ShardRouter router(quiet_options(2, 5));
+  EXPECT_EQ(router.options().replicas, 2);
+  EXPECT_EQ(router.replicas_for(123).size(), 2u);
+}
+
+TEST(FleetRouter, ServedFramesAreBitIdenticalToDirectRenders) {
+  fleet::ShardRouter router(quiet_options(3, 2));
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    const StarField stars = random_stars(100 + i, 30);
+    gs::Device device(gs::DeviceSpec::gtx480());
+    const ImageF direct =
+        ParallelSimulator(device).simulate(small_scene(), stars).image;
+    const RenderResponse response =
+        router.render(pinned_request(stars, SimulatorKind::kParallel));
+    ASSERT_NE(response.result, nullptr);
+    EXPECT_EQ(max_abs_difference(response.result->image, direct), 0.0);
+    EXPECT_FALSE(response.degraded);
+  }
+  router.stop();
+  const fleet::FleetStats stats = router.stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.in_flight(), 0u);
+  EXPECT_GT(stats.wire_request_bytes, 0u);
+  EXPECT_GT(stats.wire_reply_bytes, 0u);
+}
+
+TEST(FleetRouter, BackpressureRejectsLowPriorityWhenReplicasSaturated) {
+  fleet::FleetOptions options = quiet_options(2, 2);
+  // Watermark 0: every live replica counts as saturated from the first
+  // request, making the admission decision deterministic.
+  options.backpressure_ratio = 0.0;
+  fleet::ShardRouter router(options);
+
+  RenderRequest low = pinned_request(random_stars(1, 10),
+                                     SimulatorKind::kParallel);
+  low.priority = RequestPriority::kLow;
+  EXPECT_FALSE(router.try_submit(std::move(low)).has_value());
+
+  RenderRequest normal = pinned_request(random_stars(1, 10),
+                                        SimulatorKind::kParallel);
+  normal.priority = RequestPriority::kNormal;
+  auto future = router.try_submit(std::move(normal));
+  ASSERT_TRUE(future.has_value());
+  EXPECT_NE(future->get().result, nullptr);
+
+  router.stop();
+  const fleet::FleetStats stats = router.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.backpressure_rejected, 1u);
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.in_flight(), 0u);
+}
+
+TEST(FleetRouter, RouterQueueShedsLowPriorityForHigh) {
+  fleet::FleetOptions options = quiet_options(1, 1);
+  options.router_threads = 1;
+  options.router_queue_capacity = 2;
+  // One slow shard render pins the single router thread long enough for
+  // the admission race below to be deterministic.
+  options.straggler_shard = 0;
+  options.straggler_ms = 150.0;
+  fleet::ShardRouter router(options);
+
+  // Occupies the router thread (popped immediately, then renders slowly).
+  auto head = router.submit(
+      pinned_request(random_stars(2, 10), SimulatorKind::kParallel));
+  while (router.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Fill the router queue with low-priority work.
+  std::vector<std::future<RenderResponse>> low;
+  for (int i = 0; i < 2; ++i) {
+    RenderRequest request =
+        pinned_request(random_stars(3, 10), SimulatorKind::kParallel);
+    request.priority = RequestPriority::kLow;
+    auto admitted = router.try_submit(std::move(request));
+    ASSERT_TRUE(admitted.has_value()) << "queue not full yet";
+    low.push_back(std::move(*admitted));
+  }
+
+  // A high-priority arrival displaces the youngest queued low request.
+  RenderRequest urgent =
+      pinned_request(random_stars(4, 10), SimulatorKind::kParallel);
+  urgent.priority = RequestPriority::kHigh;
+  auto high = router.try_submit(std::move(urgent));
+  ASSERT_TRUE(high.has_value());
+
+  EXPECT_NE(head.get().result, nullptr);
+  EXPECT_NE(high->get().result, nullptr);
+  std::size_t shed = 0;
+  std::size_t served = 0;
+  for (auto& future : low) {
+    try {
+      (void)future.get();
+      ++served;
+    } catch (const starsim::support::OverloadShedError&) {
+      ++shed;
+    }
+  }
+  EXPECT_EQ(shed, 1u);
+  EXPECT_EQ(served, 1u);
+
+  router.stop();
+  const fleet::FleetStats stats = router.stats();
+  EXPECT_EQ(stats.router_shed, 1u);
+  EXPECT_EQ(stats.in_flight(), 0u);
+}
+
+TEST(FleetRouter, PreExpiredDeadlinesFailFastWithoutRouting) {
+  fleet::ShardRouter router(quiet_options(2, 1));
+  RenderRequest request =
+      pinned_request(random_stars(5, 10), SimulatorKind::kParallel);
+  request.deadline_s = 0.0;
+  auto future = router.submit(std::move(request));
+  EXPECT_THROW((void)future.get(),
+               starsim::support::DeadlineExceededError);
+  const fleet::FleetStats stats = router.stats();
+  EXPECT_EQ(stats.expired_router, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.in_flight(), 0u);
+}
+
+TEST(FleetRouter, InvalidScenesThrowSynchronously) {
+  fleet::ShardRouter router(quiet_options(1, 1));
+  RenderRequest request =
+      pinned_request(random_stars(6, 10), SimulatorKind::kParallel);
+  request.scene.image_width = 0;
+  EXPECT_THROW((void)router.submit(std::move(request)),
+               starsim::support::PreconditionError);
+}
+
+TEST(FleetRouter, SubmitAfterStopThrows) {
+  fleet::ShardRouter router(quiet_options(1, 1));
+  router.stop();
+  EXPECT_THROW((void)router.submit(pinned_request(random_stars(7, 10),
+                                                  SimulatorKind::kParallel)),
+               starsim::support::Error);
+}
+
+TEST(FleetRouter, ScrapeMergesShardFamiliesWithInstanceLabels) {
+  fleet::ShardRouter router(quiet_options(2, 2));
+  (void)router.render(
+      pinned_request(random_stars(8, 12), SimulatorKind::kParallel));
+  const std::string scrape = router.scrape_metrics();
+
+  // Fleet families present.
+  EXPECT_NE(scrape.find("starsim_fleet_requests_total"), std::string::npos);
+  EXPECT_NE(scrape.find("starsim_fleet_hedges_total"), std::string::npos);
+  EXPECT_NE(scrape.find("starsim_fleet_shard_state"), std::string::npos);
+  // Shard serve families appear once (one HELP line) with per-instance
+  // samples — not N colliding copies.
+  const std::string help_marker = "# HELP starsim_serve_requests_total";
+  const std::size_t first = scrape.find(help_marker);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(scrape.find(help_marker, first + 1), std::string::npos)
+      << "duplicate family exposition";
+  EXPECT_NE(scrape.find("instance=\"shard-0\""), std::string::npos);
+  EXPECT_NE(scrape.find("instance=\"shard-1\""), std::string::npos);
+}
+
+}  // namespace

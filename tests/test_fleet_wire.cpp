@@ -1,0 +1,284 @@
+// fleet::wire round-trip coverage: requests, responses and typed errors
+// must cross the shard boundary bit-exactly, and malformed frames must be
+// rejected (WireFormatError) instead of misread.
+#include "fleet/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "imageio/image.h"
+#include "serve/fingerprint.h"
+#include "starsim/attitude.h"
+#include "starsim/parallel_simulator.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace {
+
+namespace fleet = starsim::fleet;
+namespace support = starsim::support;
+using starsim::Quaternion;
+using starsim::SceneConfig;
+using starsim::SimulationResult;
+using starsim::SimulatorKind;
+using starsim::Star;
+using starsim::StarField;
+using starsim::imageio::max_abs_difference;
+using starsim::serve::RenderRequest;
+using starsim::serve::RenderResponse;
+using starsim::serve::RequestPriority;
+
+SceneConfig full_scene() {
+  SceneConfig scene;
+  scene.image_width = 96;
+  scene.image_height = 64;
+  scene.roi_side = 12;
+  scene.psf_sigma = 0.87;
+  scene.pixel_integration = true;
+  scene.brightness.proportion_factor = 1234.5;
+  scene.brightness.magnitude_base = 2.511886;
+  scene.magnitude_min = 1.25;
+  scene.magnitude_max = 7.75;
+  return scene;
+}
+
+StarField random_stars(std::uint64_t seed, std::size_t count) {
+  starsim::support::Pcg32 rng(seed);
+  StarField stars;
+  for (std::size_t i = 0; i < count; ++i) {
+    Star star;
+    star.magnitude = 2.0f + 10.0f * static_cast<float>(rng.uniform());
+    star.x = 64.0f * static_cast<float>(rng.uniform());
+    star.y = 64.0f * static_cast<float>(rng.uniform());
+    star.weight = static_cast<float>(rng.uniform());
+    stars.push_back(star);
+  }
+  return stars;
+}
+
+RenderRequest full_request() {
+  RenderRequest request;
+  request.scene = full_scene();
+  request.stars = random_stars(77, 25);
+  request.attitude = Quaternion(0.5, -0.25, 0.125, 0.8125);
+  request.simulator = SimulatorKind::kParallel;
+  request.priority = RequestPriority::kHigh;
+  request.deadline_s = 2.5;
+  request.sanitize = true;
+  return request;
+}
+
+TEST(FleetWire, RequestRoundTripsEveryField) {
+  const RenderRequest original = full_request();
+  const fleet::WireBuffer frame = fleet::encode_request(original);
+  const RenderRequest decoded = fleet::decode_request(frame);
+
+  EXPECT_EQ(decoded.scene.image_width, original.scene.image_width);
+  EXPECT_EQ(decoded.scene.image_height, original.scene.image_height);
+  EXPECT_EQ(decoded.scene.roi_side, original.scene.roi_side);
+  EXPECT_EQ(decoded.scene.psf_sigma, original.scene.psf_sigma);
+  EXPECT_EQ(decoded.scene.pixel_integration, original.scene.pixel_integration);
+  EXPECT_EQ(decoded.scene.brightness.proportion_factor,
+            original.scene.brightness.proportion_factor);
+  EXPECT_EQ(decoded.scene.brightness.magnitude_base,
+            original.scene.brightness.magnitude_base);
+  EXPECT_EQ(decoded.scene.magnitude_min, original.scene.magnitude_min);
+  EXPECT_EQ(decoded.scene.magnitude_max, original.scene.magnitude_max);
+
+  ASSERT_EQ(decoded.stars.size(), original.stars.size());
+  for (std::size_t i = 0; i < original.stars.size(); ++i) {
+    EXPECT_EQ(decoded.stars[i].magnitude, original.stars[i].magnitude);
+    EXPECT_EQ(decoded.stars[i].x, original.stars[i].x);
+    EXPECT_EQ(decoded.stars[i].y, original.stars[i].y);
+    EXPECT_EQ(decoded.stars[i].weight, original.stars[i].weight);
+  }
+
+  ASSERT_TRUE(decoded.attitude.has_value());
+  EXPECT_EQ(decoded.attitude->w(), original.attitude->w());
+  EXPECT_EQ(decoded.attitude->x(), original.attitude->x());
+  EXPECT_EQ(decoded.attitude->y(), original.attitude->y());
+  EXPECT_EQ(decoded.attitude->z(), original.attitude->z());
+
+  ASSERT_TRUE(decoded.simulator.has_value());
+  EXPECT_EQ(*decoded.simulator, SimulatorKind::kParallel);
+  EXPECT_EQ(decoded.priority, RequestPriority::kHigh);
+  ASSERT_TRUE(decoded.deadline_s.has_value());
+  EXPECT_EQ(*decoded.deadline_s, 2.5);
+  EXPECT_TRUE(decoded.sanitize);
+}
+
+TEST(FleetWire, OptionalFieldsStayAbsent) {
+  RenderRequest original;
+  original.scene = full_scene();
+  original.stars = random_stars(5, 3);
+  const RenderRequest decoded =
+      fleet::decode_request(fleet::encode_request(original));
+  EXPECT_FALSE(decoded.attitude.has_value());
+  EXPECT_FALSE(decoded.simulator.has_value());
+  EXPECT_FALSE(decoded.deadline_s.has_value());
+  EXPECT_FALSE(decoded.sanitize);
+  EXPECT_EQ(decoded.priority, RequestPriority::kNormal);
+}
+
+// The satellite's headline claim: the fingerprint AND the rendered frame
+// are bit-identical across the wire boundary — a shard that decodes a
+// request renders exactly the frame the router's client asked for.
+TEST(FleetWire, FingerprintAndRenderedFrameSurviveTheBoundary) {
+  const RenderRequest original = full_request();
+  const RenderRequest decoded =
+      fleet::decode_request(fleet::encode_request(original));
+
+  EXPECT_EQ(starsim::serve::fingerprint_scene(decoded.scene),
+            starsim::serve::fingerprint_scene(original.scene));
+  EXPECT_EQ(starsim::serve::fingerprint_request(decoded.scene, decoded.stars,
+                                                *decoded.simulator),
+            starsim::serve::fingerprint_request(original.scene, original.stars,
+                                                *original.simulator));
+
+  namespace gs = starsim::gpusim;
+  gs::Device device_a(gs::DeviceSpec::gtx480());
+  gs::Device device_b(gs::DeviceSpec::gtx480());
+  const SimulationResult direct = starsim::ParallelSimulator(device_a).simulate(
+      original.scene, original.stars);
+  const SimulationResult via_wire =
+      starsim::ParallelSimulator(device_b).simulate(decoded.scene,
+                                                    decoded.stars);
+  EXPECT_EQ(max_abs_difference(direct.image, via_wire.image), 0.0);
+}
+
+TEST(FleetWire, ResponseRoundTripsPixelsTimingAndCounters) {
+  namespace gs = starsim::gpusim;
+  gs::Device device(gs::DeviceSpec::gtx480());
+  const RenderRequest request = full_request();
+  SimulationResult result =
+      starsim::ParallelSimulator(device).simulate(request.scene, request.stars);
+
+  RenderResponse response;
+  response.result = std::make_shared<const SimulationResult>(std::move(result));
+  response.simulator = SimulatorKind::kParallel;
+  response.latency = {0.001, 0.002, 0.003, 0.004, 0.005, 0.015};
+  response.fingerprint = starsim::serve::fingerprint_request(
+      request.scene, request.stars, SimulatorKind::kParallel);
+  response.batch_size = 3;
+  response.from_cache = false;
+  response.degraded = false;
+
+  const fleet::WireBuffer frame = fleet::encode_response(response);
+  const RenderResponse decoded = fleet::decode_reply(frame);
+
+  ASSERT_NE(decoded.result, nullptr);
+  EXPECT_EQ(max_abs_difference(decoded.result->image, response.result->image),
+            0.0);
+  EXPECT_EQ(decoded.result->timing.kernel_s, response.result->timing.kernel_s);
+  EXPECT_EQ(decoded.result->timing.wall_s, response.result->timing.wall_s);
+  EXPECT_EQ(decoded.result->timing.counters.flops,
+            response.result->timing.counters.flops);
+  EXPECT_EQ(decoded.result->timing.counters.global_bytes_read,
+            response.result->timing.counters.global_bytes_read);
+  EXPECT_EQ(decoded.result->timing.counters.texture_fetches,
+            response.result->timing.counters.texture_fetches);
+  EXPECT_EQ(decoded.simulator, SimulatorKind::kParallel);
+  EXPECT_EQ(decoded.latency.queue_wait_s, 0.001);
+  EXPECT_EQ(decoded.latency.total_s, 0.015);
+  EXPECT_EQ(decoded.fingerprint, response.fingerprint);
+  EXPECT_EQ(decoded.batch_size, 3u);
+  EXPECT_FALSE(decoded.from_cache);
+  EXPECT_FALSE(decoded.degraded);
+}
+
+// Every taxonomy member must decode back into its own class with its
+// retryable flag intact — router-side catch clauses depend on it.
+template <typename E>
+void expect_error_round_trip(const E& error, bool retryable) {
+  const fleet::WireBuffer frame = fleet::encode_error(error);
+  EXPECT_TRUE(fleet::reply_is_error(frame));
+  try {
+    (void)fleet::decode_reply(frame);
+    FAIL() << "decode_reply did not rethrow";
+  } catch (const E& decoded) {
+    EXPECT_STREQ(decoded.what(), error.what());
+    EXPECT_EQ(decoded.retryable(), retryable);
+  } catch (const std::exception& other) {
+    FAIL() << "wrong exception type: " << other.what();
+  }
+}
+
+TEST(FleetWire, TypedErrorsRoundTrip) {
+  expect_error_round_trip(support::PreconditionError("bad scene"), false);
+  expect_error_round_trip(support::DeviceError("vram exhausted", true), true);
+  expect_error_round_trip(support::TransferError("pcie fault"), true);
+  expect_error_round_trip(support::KernelTimeoutError("watchdog"), true);
+  expect_error_round_trip(support::DeviceLostError("fell off the bus"), false);
+  expect_error_round_trip(support::SanitizerError("oob read"), false);
+  expect_error_round_trip(support::IoError("disk gone"), false);
+  expect_error_round_trip(support::DeadlineExceededError("too late"), false);
+  expect_error_round_trip(support::OverloadShedError("displaced"), true);
+  expect_error_round_trip(support::ShardDownError("killed"), true);
+  expect_error_round_trip(support::Error("generic", true), true);
+  expect_error_round_trip(support::Error("generic", false), false);
+}
+
+TEST(FleetWire, ForeignExceptionsTravelAsGenericErrors) {
+  const fleet::WireBuffer frame =
+      fleet::encode_error(std::runtime_error("not ours"));
+  EXPECT_TRUE(fleet::reply_is_error(frame));
+  try {
+    (void)fleet::decode_reply(frame);
+    FAIL() << "decode_reply did not rethrow";
+  } catch (const support::Error& decoded) {
+    EXPECT_STREQ(decoded.what(), "not ours");
+    EXPECT_FALSE(decoded.retryable());
+  }
+}
+
+TEST(FleetWire, MalformedFramesThrowWireFormatError) {
+  RenderRequest request;
+  request.scene = full_scene();
+  request.stars = random_stars(9, 4);
+  const fleet::WireBuffer good = fleet::encode_request(request);
+
+  // Truncation at every prefix length, including mid-header.
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{3},
+                                 std::size_t{4}, good.size() / 2,
+                                 good.size() - 1}) {
+    fleet::WireBuffer cut(good.begin(),
+                          good.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW((void)fleet::decode_request(cut), support::WireFormatError)
+        << "kept " << keep << " bytes";
+  }
+
+  fleet::WireBuffer bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_THROW((void)fleet::decode_request(bad_magic),
+               support::WireFormatError);
+
+  fleet::WireBuffer bad_version = good;
+  bad_version[2] = fleet::kWireVersion + 1;
+  EXPECT_THROW((void)fleet::decode_request(bad_version),
+               support::WireFormatError);
+
+  // A request frame is not a reply and vice versa.
+  EXPECT_THROW((void)fleet::decode_reply(good), support::WireFormatError);
+
+  fleet::WireBuffer trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW((void)fleet::decode_request(trailing),
+               support::WireFormatError);
+
+  // A star count far beyond the frame must be rejected before allocation.
+  fleet::WireBuffer huge = good;
+  const std::size_t count_offset = 4 + 3 * 4 + 8 + 1 + 4 * 8;  // scene end
+  for (std::size_t i = 0; i < 8; ++i) huge[count_offset + i] = 0xff;
+  EXPECT_THROW((void)fleet::decode_request(huge), support::WireFormatError);
+}
+
+TEST(FleetWire, ReplyClassifierRejectsShortFrames) {
+  const fleet::WireBuffer tiny{1, 2};
+  EXPECT_THROW((void)fleet::reply_is_error(tiny), support::WireFormatError);
+}
+
+}  // namespace
