@@ -100,6 +100,7 @@ ShardRouter::ShardRouter(FleetOptions options)
   }
   hedge_ring_.assign(kHedgeRingSize, 0.0);
 
+  probe_thread_ = std::thread(&ShardRouter::probe_loop, this);
   threads_.reserve(static_cast<std::size_t>(options_.router_threads));
   for (int i = 0; i < options_.router_threads; ++i) {
     threads_.emplace_back(&ShardRouter::run, this, i);
@@ -281,8 +282,10 @@ void ShardRouter::record_outcome(int shard_index, bool success) {
   {
     const std::lock_guard<std::mutex> lock(health_mutex_);
     HealthSlot& slot = health_[static_cast<std::size_t>(shard_index)];
-    if (!success) slot.errors += 1;
+    // A down shard's ladder state is frozen, counters included — late
+    // replies from a killed shard must not skew its error snapshot.
     if (slot.state == ShardState::kDown) return;
+    if (!success) slot.errors += 1;
     slot.window[slot.window_next] = success;
     slot.window_next = (slot.window_next + 1) % slot.window.size();
     slot.window_count = std::min(slot.window_count + 1, slot.window.size());
@@ -353,6 +356,46 @@ void ShardRouter::run(int worker_index) {
   }
 }
 
+void ShardRouter::maybe_arm_probes(const serve::RenderRequest& model) {
+  bool any_sick = false;
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    for (const HealthSlot& slot : health_) {
+      // A probing shard still wants fresh templates: its current probe may
+      // have been built from traffic that fails for reasons of its own.
+      if (slot.state == ShardState::kQuarantined ||
+          slot.state == ShardState::kProbing) {
+        any_sick = true;
+        break;
+      }
+    }
+  }
+  if (!any_sick) return;
+  {
+    const std::lock_guard<std::mutex> lock(probe_mutex_);
+    probe_model_ = model;
+  }
+  probe_cv_.notify_one();
+}
+
+void ShardRouter::probe_loop() {
+  trace::TraceRecorder::instance().set_thread_name("router-probe");
+  // Wake at half the quarantine dwell so an elapsed dwell is noticed
+  // promptly; the floor keeps a tiny dwell from busy-spinning.
+  const auto wake = std::chrono::duration<double, std::milli>(
+      std::max(options_.probe_after_ms * 0.5, 0.25));
+  std::unique_lock<std::mutex> lock(probe_mutex_);
+  for (;;) {
+    probe_cv_.wait_for(lock, wake);
+    if (probe_stop_) return;
+    if (!probe_model_.has_value()) continue;
+    const serve::RenderRequest model = *probe_model_;
+    lock.unlock();
+    run_due_probes(model);
+    lock.lock();
+  }
+}
+
 void ShardRouter::run_due_probes(const serve::RenderRequest& model) {
   std::vector<int> due;
   const auto now = std::chrono::steady_clock::now();
@@ -417,7 +460,9 @@ void ShardRouter::run_due_probes(const serve::RenderRequest& model) {
 }
 
 void ShardRouter::execute(RouterTask task) {
-  run_due_probes(task.request);
+  // Probing happens on its own thread; routing only refreshes the probe
+  // template so a client task never waits behind a probe render.
+  maybe_arm_probes(task.request);
   trace::flow(trace::Phase::kFlowStep, "fleet", "request", task.flow_id);
   trace::TraceSpan span("fleet", "route");
   span.arg("priority", to_string(task.priority));
@@ -567,16 +612,21 @@ void ShardRouter::execute(RouterTask task) {
       if (loser->ready()) {
         const WireBuffer bytes = loser->take();
         bool success = false;
+        bool shed = false;
         try {
           (void)decode_reply(bytes);
           success = true;
         } catch (const support::OverloadShedError&) {
-          record_shed(loser_shard);
+          shed = true;
         } catch (const std::exception&) {
           record_outcome(loser_shard, false);
         }
         if (success) record_outcome(loser_shard, true);
+        if (shed) record_shed(loser_shard);
         const std::lock_guard<std::mutex> lock(stats_mutex_);
+        // Count the shed fleet-wide too, matching interpret(): the two
+        // paths must agree or shard_sheds undercounts the per-shard sum.
+        if (shed) shard_sheds_ += 1;
         wire_reply_bytes_ += bytes.size();
         hedges_discarded_ += 1;
       } else {
@@ -624,10 +674,14 @@ void ShardRouter::execute(RouterTask task) {
           interpret(*winner, winner_shard);
       if (!response.has_value() && loser != nullptr) {
         // Winner failed but the hedge pair is still live: the loser is a
-        // fully-formed failover attempt already in flight — use it.
-        std::optional<serve::RenderResponse> backup =
-            interpret(*loser, loser_shard);
+        // fully-formed failover attempt already in flight — use it. Clear
+        // `loser` before interpret() consumes the reply: a rethrown
+        // DeadlineExceededError lands in the catch below, and settle_loser
+        // must not take an already-taken reply twice.
+        PendingReply& backup_reply = *loser;
         loser = nullptr;
+        std::optional<serve::RenderResponse> backup =
+            interpret(backup_reply, loser_shard);
         {
           const std::lock_guard<std::mutex> lock(stats_mutex_);
           failovers_ += 1;
@@ -673,11 +727,18 @@ void ShardRouter::stop() {
   }
   // Close admission, let the router threads drain every queued task
   // through still-running shards (every admitted future resolves), then
-  // stop the shards themselves.
+  // stop the shards themselves. The probe thread joins before the shards
+  // stop: an in-flight probe resolves through a still-running shard.
   queue_.close();
+  {
+    const std::lock_guard<std::mutex> lock(probe_mutex_);
+    probe_stop_ = true;
+  }
+  probe_cv_.notify_all();
   for (std::thread& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
+  if (probe_thread_.joinable()) probe_thread_.join();
   for (const std::unique_ptr<Shard>& shard : shards_) shard->stop();
 }
 

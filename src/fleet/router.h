@@ -33,6 +33,7 @@
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -234,8 +235,16 @@ class ShardRouter {
   [[nodiscard]] RouterTask make_task(serve::RenderRequest&& request);
   void run(int worker_index);
   void execute(RouterTask task);
+  /// Publish `model` as the probe template and wake the probe thread when
+  /// any shard sits in quarantine. Called from execute(); cheap when the
+  /// fleet is healthy (one health scan, no copy).
+  void maybe_arm_probes(const serve::RenderRequest& model);
+  /// Probe-thread body: waits for a template, then shadow-probes due
+  /// quarantined shards off the routing path.
+  void probe_loop();
   /// Quarantined shards whose dwell elapsed get a shadow probe built from
   /// `model` (deadline stripped, priority lowered, result discarded).
+  /// Blocks for the probe renders — probe-thread only.
   void run_due_probes(const serve::RenderRequest& model);
   /// Remaining deadline budget, or nullopt for no deadline; <= 0 means
   /// expired.
@@ -285,7 +294,16 @@ class ShardRouter {
   mutable std::mutex stop_mutex_;
   bool stopped_ = false;
 
-  // Last member: router threads touch everything above.
+  /// Probe template + shutdown flag for the probe thread, under
+  /// probe_mutex_. Probes run off the router workers so a slow or sick
+  /// shard's probe render never stalls client routing.
+  std::mutex probe_mutex_;
+  std::condition_variable probe_cv_;
+  bool probe_stop_ = false;
+  std::optional<serve::RenderRequest> probe_model_;
+
+  // Last members: these threads touch everything above.
+  std::thread probe_thread_;
   std::vector<std::thread> threads_;
 };
 

@@ -14,6 +14,9 @@ WireBuffer PendingReply::take() {
       return encode_error(error);
     }
   }
+  // Fail loudly on a double-take: get() on a consumed handle would throw
+  // std::future_error into the catch below and masquerade as a shard error.
+  STARSIM_REQUIRE(future_.valid(), "PendingReply was already consumed");
   try {
     return encode_response(future_.get());
   } catch (const std::exception& error) {

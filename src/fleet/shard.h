@@ -43,18 +43,22 @@ class PendingReply {
   }
 
   /// True once a frame (response or error) can be taken without blocking.
+  /// A consumed reply is never ready again — polling a stale handle is a
+  /// harmless no, not UB on an invalid future.
   [[nodiscard]] bool ready() const {
     if (immediate_ != nullptr) return true;
-    return future_.wait_for(std::chrono::seconds(0)) ==
-           std::future_status::ready;
+    return future_.valid() &&
+           future_.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready;
   }
 
   /// Wait up to `timeout` for readiness; true when ready. This is the
   /// hedging trigger: the router waits one hedge delay on the primary
-  /// before launching a backup.
+  /// before launching a backup. False (immediately) once consumed.
   [[nodiscard]] bool wait_for(std::chrono::duration<double> timeout) const {
     if (immediate_ != nullptr) return true;
-    return future_.wait_for(timeout) == std::future_status::ready;
+    return future_.valid() &&
+           future_.wait_for(timeout) == std::future_status::ready;
   }
 
   /// Block for the reply and encode it: a response frame on success, a

@@ -303,6 +303,26 @@ gpusim::KernelCounters read_counters(Reader& r) {
   throw support::Error(what, retryable);
 }
 
+/// Range-checked enum reads: the header promises malformed frames always
+/// throw WireFormatError, so a raw byte must never become an out-of-range
+/// enumerator that downstream switches would misdispatch.
+[[nodiscard]] SimulatorKind read_simulator(Reader& r) {
+  const std::uint8_t raw = r.u8();
+  if (raw > static_cast<std::uint8_t>(SimulatorKind::kCpuParallel)) {
+    STARSIM_THROW(support::WireFormatError,
+                  "wire simulator kind out of range");
+  }
+  return static_cast<SimulatorKind>(raw);
+}
+
+[[nodiscard]] serve::RequestPriority read_priority(Reader& r) {
+  const std::uint8_t raw = r.u8();
+  if (raw >= serve::kPriorityClasses) {
+    STARSIM_THROW(support::WireFormatError, "wire priority out of range");
+  }
+  return static_cast<serve::RequestPriority>(raw);
+}
+
 }  // namespace
 
 WireBuffer encode_request(const serve::RenderRequest& request) {
@@ -361,9 +381,9 @@ serve::RenderRequest decode_request(std::span<const std::uint8_t> bytes) {
     request.attitude = Quaternion(qw, qx, qy, qz);
   }
   if (r.boolean()) {
-    request.simulator = static_cast<SimulatorKind>(r.u8());
+    request.simulator = read_simulator(r);
   }
-  request.priority = static_cast<serve::RequestPriority>(r.u8());
+  request.priority = read_priority(r);
   if (r.boolean()) request.deadline_s = r.f64();
   request.sanitize = r.boolean();
   r.expect_exhausted();
@@ -456,7 +476,7 @@ serve::RenderResponse decode_reply(std::span<const std::uint8_t> bytes) {
   t.counters = read_counters(r);
   t.utilization = r.f64();
   t.achieved_gflops = r.f64();
-  response.simulator = static_cast<SimulatorKind>(r.u8());
+  response.simulator = read_simulator(r);
   response.latency.queue_wait_s = r.f64();
   response.latency.batch_wait_s = r.f64();
   response.latency.render_wall_s = r.f64();

@@ -251,14 +251,24 @@ TEST(FleetChaos, BreakerTripsQuarantineAndProbeReinstates) {
     EXPECT_EQ(mid.failover_successes, 0u);
   }
 
-  // Let the quarantine dwell elapse, then send healthy traffic: the router
-  // shadow-probes both shards with it, the probes pass, and the fleet
-  // reinstates itself before routing the request.
+  // Let the quarantine dwell elapse, then send healthy traffic: routing
+  // publishes it as the probe template (off the routing path, so the
+  // request itself is served immediately by the quarantined replicas),
+  // the probe thread shadow-probes both shards with it, the probes pass,
+  // and the fleet reinstates itself.
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
   const RenderResponse response = router.render(
       pinned_request(small_scene(), stars, SimulatorKind::kParallel));
   ASSERT_NE(response.result, nullptr);
 
+  // Probes are asynchronous; wait (bounded) for the ladder to climb back.
+  const auto reinstate_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((router.shard_state(0) != fleet::ShardState::kHealthy ||
+          router.shard_state(1) != fleet::ShardState::kHealthy) &&
+         std::chrono::steady_clock::now() < reinstate_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   EXPECT_EQ(router.shard_state(0), fleet::ShardState::kHealthy);
   EXPECT_EQ(router.shard_state(1), fleet::ShardState::kHealthy);
 

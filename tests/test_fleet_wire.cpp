@@ -276,6 +276,38 @@ TEST(FleetWire, MalformedFramesThrowWireFormatError) {
   EXPECT_THROW((void)fleet::decode_request(huge), support::WireFormatError);
 }
 
+// A frame whose enum bytes are outside their enumerator ranges is
+// malformed like any other corruption: reject at the boundary instead of
+// letting a wild enum reach dispatch switches.
+TEST(FleetWire, OutOfRangeEnumBytesThrowWireFormatError) {
+  const fleet::WireBuffer good = fleet::encode_request(full_request());
+
+  // Tail layout (deadline present): ..., simulator flag, simulator,
+  // priority, deadline flag, deadline f64, sanitize.
+  const std::size_t simulator_at = good.size() - 12;
+  const std::size_t priority_at = good.size() - 11;
+
+  // Pin the offsets first: patching with *valid* values must decode to
+  // exactly those values, or the corruption below would hit other fields.
+  fleet::WireBuffer retagged = good;
+  retagged[simulator_at] =
+      static_cast<std::uint8_t>(SimulatorKind::kSequential);
+  retagged[priority_at] = static_cast<std::uint8_t>(RequestPriority::kLow);
+  const RenderRequest decoded = fleet::decode_request(retagged);
+  ASSERT_EQ(decoded.simulator, SimulatorKind::kSequential);
+  ASSERT_EQ(decoded.priority, RequestPriority::kLow);
+
+  fleet::WireBuffer bad_simulator = good;
+  bad_simulator[simulator_at] = 0xff;
+  EXPECT_THROW((void)fleet::decode_request(bad_simulator),
+               support::WireFormatError);
+
+  fleet::WireBuffer bad_priority = good;
+  bad_priority[priority_at] = 0xff;
+  EXPECT_THROW((void)fleet::decode_request(bad_priority),
+               support::WireFormatError);
+}
+
 TEST(FleetWire, ReplyClassifierRejectsShortFrames) {
   const fleet::WireBuffer tiny{1, 2};
   EXPECT_THROW((void)fleet::reply_is_error(tiny), support::WireFormatError);
