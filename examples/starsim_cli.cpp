@@ -5,6 +5,7 @@
 //   starsim_cli project  --catalog sky.cat --yaw 12 --pitch 3 --out fov.stars
 //   starsim_cli generate --stars 8192 --out random.stars
 //   starsim_cli simulate --in fov.stars --sim auto --out frame
+//   starsim_cli autoschedule --roi 10 --schedule-cache schedules.txt
 //   starsim_cli serve-bench --clients 8 --workers 2 --batch 8
 //   starsim_cli serve-bench --shards 4 --replicas 2 --hedge-ms 5
 //   starsim_cli trace-check --trace trace.json --metrics metrics.prom
@@ -18,6 +19,7 @@
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <limits>
 #include <memory>
 #include <numbers>
 #include <optional>
@@ -31,6 +33,7 @@
 #include "gpusim/device.h"
 #include "gpusim/fault_injector.h"
 #include "gpusim/sanitizer.h"
+#include "sched/scheduler.h"
 #include "serve/service.h"
 #include "starsim/adaptive_simulator.h"
 #include "starsim/openmp_simulator.h"
@@ -299,6 +302,119 @@ int cmd_simulate(int argc, char** argv) {
   return 0;
 }
 
+/// Map a --device name onto the specs DeviceSpec ships.
+std::optional<gpusim::DeviceSpec> parse_device(const std::string& name) {
+  if (name == "gtx480") return gpusim::DeviceSpec::gtx480();
+  if (name == "gtx580") return gpusim::DeviceSpec::gtx580();
+  if (name == "k20") return gpusim::DeviceSpec::k20();
+  std::fprintf(stderr, "bad --device (want gtx480|gtx580|k20): %s\n",
+               name.c_str());
+  return std::nullopt;
+}
+
+int cmd_autoschedule(int argc, char** argv) {
+  sup::Cli cli("starsim_cli autoschedule",
+               "tune an execution schedule with the cost model "
+               "(docs/scheduling.md)");
+  cli.add_option("stars",
+                 "star count to tune for (0 = sweep the paper's test1 "
+                 "power-of-two grid)",
+                 "0");
+  cli.add_option("size", "image edge, pixels", "1024");
+  cli.add_option("roi", "ROI side, pixels", "10");
+  cli.add_option("sigma", "PSF sigma, pixels", "1.7");
+  cli.add_flag("integrated", "pixel-integrated PSF response");
+  cli.add_option("lut-bins", "adaptive LUT accuracy floor, bins/magnitude",
+                 "1");
+  cli.add_option("lut-phases", "adaptive LUT accuracy floor, subpixel phases",
+                 "1");
+  cli.add_option("batch", "frames batched per scene (setup amortization)",
+                 "1");
+  cli.add_option("device", "modeled GPU: gtx480 | gtx580 | k20", "gtx480");
+  cli.add_option("seed", "tuner annealing seed", "1");
+  cli.add_option("schedule-cache",
+                 "warm-start file: load before tuning, save after ('' = "
+                 "in-memory only)",
+                 "");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::optional<gpusim::DeviceSpec> device =
+      parse_device(cli.str("device"));
+  if (!device.has_value()) return 1;
+
+  SceneConfig scene;
+  scene.image_width = static_cast<int>(cli.integer("size"));
+  scene.image_height = scene.image_width;
+  scene.roi_side = static_cast<int>(cli.integer("roi"));
+  scene.psf_sigma = cli.real("sigma");
+  scene.pixel_integration = cli.flag("integrated");
+
+  sched::SchedulerOptions options;
+  options.device = *device;
+  options.lut_floor.bins_per_magnitude =
+      static_cast<int>(cli.integer("lut-bins"));
+  options.lut_floor.subpixel_phases =
+      static_cast<int>(cli.integer("lut-phases"));
+  options.batch_hint = static_cast<std::size_t>(cli.integer("batch"));
+  options.tuner.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  sched::Scheduler scheduler(options);
+
+  const std::string cache_path = cli.str("schedule-cache");
+  if (!cache_path.empty() && scheduler.load_cache(cache_path)) {
+    std::printf("loaded schedule cache from %s\n", cache_path.c_str());
+  }
+
+  std::vector<std::size_t> counts;
+  const auto pinned = static_cast<std::size_t>(cli.integer("stars"));
+  if (pinned > 0) {
+    counts.push_back(pinned);
+  } else {
+    for (std::size_t n = 32; n <= 131072; n *= 2) counts.push_back(n);
+  }
+
+  const sched::Tuner& tuner = scheduler.tuner();
+  std::printf("device %s, %dx%d image, ROI %d, batch %zu\n",
+              options.device.name.c_str(), scene.image_width,
+              scene.image_height, scene.roi_side, options.batch_hint);
+  std::printf("%9s  %-34s %12s %12s %12s %9s\n", "stars", "tuned schedule",
+              "tuned", "parallel", "adaptive", "speedup");
+  for (const std::size_t n : counts) {
+    sched::Workload workload;
+    workload.scene = scene;
+    workload.star_count = n;
+    workload.batch_hint = options.batch_hint;
+    const sched::TuningOutcome outcome =
+        tuner.tune(workload, options.lut_floor);
+    // Route through the scheduler too so the cache file captures the sweep.
+    (void)scheduler.schedule_for(scene, n);
+    std::printf("%9zu  %-34s %12s %12s %12s %8.2fx\n", n,
+                outcome.schedule.to_string().c_str(),
+                sup::format_time(outcome.cost.application_s).c_str(),
+                sup::format_time(outcome.fixed_parallel_s).c_str(),
+                outcome.fixed_adaptive_s ==
+                        std::numeric_limits<double>::infinity()
+                    ? "n/a"
+                    : sup::format_time(outcome.fixed_adaptive_s).c_str(),
+                outcome.speedup_vs_fixed());
+  }
+  const sched::SchedulerStats stats = scheduler.stats();
+  std::printf(
+      "tuner: %llu invocations, %llu candidates scored; cache: %llu hits / "
+      "%llu misses\n",
+      static_cast<unsigned long long>(stats.tuner_invocations),
+      static_cast<unsigned long long>(stats.candidates_evaluated),
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.misses));
+  if (!cache_path.empty()) {
+    if (!scheduler.save_cache(cache_path)) {
+      std::fprintf(stderr, "cannot write schedule cache %s\n",
+                   cache_path.c_str());
+      return 1;
+    }
+    std::printf("saved schedule cache to %s\n", cache_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_serve_bench(int argc, char** argv) {
   sup::Cli cli("starsim_cli serve-bench",
                "load-test the concurrent frame service (docs/serving.md)");
@@ -357,6 +473,10 @@ int cmd_serve_bench(int argc, char** argv) {
                  "(-1 = none)",
                  "-1");
   cli.add_option("slow-ms", "straggler delay per render, ms", "25");
+  cli.add_option("schedule-cache",
+                 "auto-scheduler warm-start file: load before serving, save "
+                 "after ('' = cold cache)",
+                 "");
   if (!cli.parse(argc, argv)) return 0;
   const std::optional<gpusim::SanitizerMode> sanitize =
       parse_sanitize(cli.str("sanitize"));
@@ -444,6 +564,49 @@ int cmd_serve_bench(int argc, char** argv) {
     opts.worker.resilient = true;
   }
   const bool warm_cache = opts.cache_capacity > 0 && shared;
+
+  // With --schedule-cache the auto-scheduler is shared (one schedule cache
+  // across every shard/service) and warm-started from the file; the final
+  // state is saved back so a second run hits instead of re-tuning.
+  const std::string sched_cache_path = cli.str("schedule-cache");
+  std::shared_ptr<sched::Scheduler> scheduler;
+  if (!sched_cache_path.empty()) {
+    sched::SchedulerOptions sched_options;
+    sched_options.device = opts.selector.device();
+    sched_options.host = opts.selector.host();
+    sched_options.lut_floor = opts.selector.lut();
+    sched_options.batch_hint = std::max<std::size_t>(1, opts.max_batch_size);
+    scheduler = std::make_shared<sched::Scheduler>(sched_options);
+    if (scheduler->load_cache(sched_cache_path)) {
+      std::printf("loaded schedule cache from %s\n",
+                  sched_cache_path.c_str());
+    }
+    opts.scheduler = scheduler;
+  }
+  const auto finish_schedule_cache = [&]() -> bool {
+    if (!scheduler) return true;
+    const sched::SchedulerStats s = scheduler->stats();
+    const double lookups =
+        static_cast<double>(s.cache.hits + s.cache.misses);
+    std::printf(
+        "scheduler: %llu cache hits / %llu misses (%.0f%% hit rate), %llu "
+        "tunes, modeled speedup vs fixed %.2fx\n",
+        static_cast<unsigned long long>(s.cache.hits),
+        static_cast<unsigned long long>(s.cache.misses),
+        lookups > 0.0 ? 100.0 * static_cast<double>(s.cache.hits) / lookups
+                      : 0.0,
+        static_cast<unsigned long long>(s.tuner_invocations),
+        s.tuned_modeled_s_total > 0.0
+            ? s.fallback_modeled_s_total / s.tuned_modeled_s_total
+            : 1.0);
+    if (!scheduler->save_cache(sched_cache_path)) {
+      std::fprintf(stderr, "cannot write schedule cache %s\n",
+                   sched_cache_path.c_str());
+      return false;
+    }
+    std::printf("saved schedule cache to %s\n", sched_cache_path.c_str());
+    return true;
+  };
 
   const int shard_count = static_cast<int>(cli.integer("shards"));
   if (shard_count > 0) {
@@ -588,6 +751,7 @@ int cmd_serve_bench(int argc, char** argv) {
                   static_cast<unsigned long long>(sanitizer_findings));
       if (sanitizer_findings != 0) return 1;
     }
+    if (!finish_schedule_cache()) return 1;
     // Stuck futures are the unconditional failure; chaos and deadlines
     // legitimately fail some requests.
     if (stats.in_flight() != 0) return 1;
@@ -729,6 +893,7 @@ int cmd_serve_bench(int argc, char** argv) {
     if (stats.sanitizer_findings != 0) return 1;
   }
 
+  if (!finish_schedule_cache()) return 1;
   // Chaos and tight deadlines legitimately fail futures; stuck (never
   // resolved) requests are the only unconditional bench failure.
   if (stats.in_flight() != 0) return 1;
@@ -781,6 +946,9 @@ int cmd_trace_check(int argc, char** argv) {
         "starsim_serve_render_seconds_total",
         "starsim_serve_cache_hits_total",
         "starsim_serve_sanitizer_findings_total",
+        "starsim_sched_cache_events_total",
+        "starsim_sched_tuner_invocations_total",
+        "starsim_sched_modeled_seconds_total",
     };
     if (cli.flag("fleet")) {
       // A fleet scrape carries the router's own families on top of the
@@ -816,6 +984,7 @@ void print_usage() {
       "  project   attitude -> FOV star retrieval\n"
       "  generate  random benchmark star field\n"
       "  simulate  star file -> image (--sim auto uses the selector)\n"
+      "  autoschedule  cost-model-tune an execution schedule\n"
       "  serve-bench  load-test the concurrent frame service\n"
       "  trace-check  validate exported trace/metrics artifacts\n"
       "\n"
@@ -836,6 +1005,9 @@ int main(int argc, char** argv) {
   if (command == "project") return cmd_project(argc - 1, argv + 1);
   if (command == "generate") return cmd_generate(argc - 1, argv + 1);
   if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+  if (command == "autoschedule") {
+    return cmd_autoschedule(argc - 1, argv + 1);
+  }
   if (command == "serve-bench") return cmd_serve_bench(argc - 1, argv + 1);
   if (command == "trace-check") return cmd_trace_check(argc - 1, argv + 1);
   if (command == "--help" || command == "help") {

@@ -1,6 +1,82 @@
 #include "gpusim/device_spec.h"
 
+#include <type_traits>
+
 namespace starsim::gpusim {
+
+namespace {
+
+/// FNV-1a, matching the serving layer's fingerprint constants so all
+/// repo-wide identity hashes behave alike (no cross-seeding — the hashed
+/// domains never mix).
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  template <typename T>
+  void value(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof(v));
+  }
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace
+
+std::uint64_t DeviceSpec::fingerprint() const {
+  Fnv1a h;
+  h.bytes(name.data(), name.size());
+  h.value(sm_count);
+  h.value(cores_per_sm);
+  h.value(core_clock_ghz);
+  h.value(warp_size);
+  h.value(max_threads_per_block);
+  h.value(max_block_dim_x);
+  h.value(max_block_dim_y);
+  h.value(max_block_dim_z);
+  h.value(max_grid_blocks);
+  h.value(max_resident_warps_per_sm);
+  h.value(max_resident_blocks_per_sm);
+  h.value(global_memory_bytes);
+  h.value(shared_memory_per_block);
+  h.value(texture_cache_bytes_per_sm);
+  h.value(texture_cache_line_bytes);
+  h.value(texture_cache_associativity);
+  h.value(fp64_flops_per_cycle_per_sm);
+  h.value(issue_efficiency);
+  h.value(exp_flop_equiv);
+  h.value(pow_flop_equiv);
+  h.value(sqrt_flop_equiv);
+  h.value(erf_flop_equiv);
+  h.value(shared_memory_banks);
+  h.value(shared_bank_width_bytes);
+  h.value(global_transaction_bytes);
+  h.value(global_latency_cycles);
+  h.value(global_bandwidth_gbps);
+  h.value(shared_accesses_per_cycle_per_sm);
+  h.value(shared_conflict_cycles);
+  h.value(texture_fetches_per_cycle_per_sm);
+  h.value(texture_miss_latency_cycles);
+  h.value(atomic_ops_per_cycle_per_sm);
+  h.value(atomic_conflict_retry_cycles);
+  h.value(barrier_cycles);
+  h.value(divergence_penalty_cycles);
+  h.value(warps_to_saturate_per_sm);
+  h.value(kernel_launch_overhead_s);
+  h.value(pcie_latency_s);
+  h.value(pcie_bandwidth_gbps);
+  h.value(pcie_pinned_bandwidth_gbps);
+  h.value(texture_bind_s);
+  return h.hash();
+}
 
 DeviceSpec DeviceSpec::gtx480() {
   DeviceSpec spec;  // defaults are the GTX480 values

@@ -104,6 +104,13 @@ struct DeviceSpec {
     return static_cast<double>(sm_count) * warps_to_saturate_per_sm;
   }
 
+  /// 64-bit FNV-1a over every field of the spec (numeric fields by bit
+  /// pattern, the name byte-wise). Two specs with the same fingerprint
+  /// produce identical modeled times for identical work, so schedule
+  /// caches and other perf-model memoizations key on it: any edit to a
+  /// timing parameter invalidates everything derived from the old spec.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
   /// The paper's evaluation platform.
   static DeviceSpec gtx480();
 

@@ -1,0 +1,167 @@
+#include "sched/cache.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "support/error.h"
+
+namespace starsim::sched {
+
+namespace {
+
+constexpr const char* kMagic = "starsim-sched-cache";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+ScheduleCache::ScheduleCache(std::size_t capacity) : capacity_(capacity) {
+  STARSIM_REQUIRE(capacity >= 1, "schedule cache needs capacity >= 1");
+}
+
+std::optional<CachedSchedule> ScheduleCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  order_.splice(order_.end(), order_, it->second);  // refresh to MRU
+  return it->second->value;
+}
+
+void ScheduleCache::insert(std::uint64_t key, const CachedSchedule& entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  insert_locked(key, entry);
+}
+
+void ScheduleCache::insert_locked(std::uint64_t key,
+                                  const CachedSchedule& entry) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->value = entry;
+    order_.splice(order_.end(), order_, it->second);
+    return;
+  }
+  order_.push_back(Entry{key, entry});
+  index_[key] = std::prev(order_.end());
+  ++stats_.insertions;
+  if (index_.size() > capacity_) {
+    index_.erase(order_.front().key);
+    order_.pop_front();
+    ++stats_.evictions;
+  }
+}
+
+std::size_t ScheduleCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+CacheStats ScheduleCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ScheduleCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  order_.clear();
+  index_.clear();
+}
+
+bool ScheduleCache::save(const std::string& path,
+                         std::uint64_t device_fingerprint) const {
+  std::ostringstream out;
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "device " << std::hex << device_fingerprint << std::dec << '\n';
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out << "entries " << order_.size() << '\n';
+    for (const Entry& e : order_) {
+      const Schedule& s = e.value.schedule;
+      out << std::hex << e.key << std::dec << ' '
+          << static_cast<int>(s.simulator) << ' ' << s.tile_side << ' '
+          << s.lut.bins_per_magnitude << ' ' << s.lut.subpixel_phases << ' '
+          << s.cpu_threads << ' ' << s.batch_hint << ' ' << s.launch.grid.x
+          << ' ' << s.launch.grid.y << ' ' << s.launch.block.x << ' '
+          << s.launch.block.y << ' ';
+      // Hex float round-trips doubles exactly — modeled costs must survive
+      // a save/load cycle bit-for-bit or drift detection would self-trigger.
+      out << std::hexfloat << e.value.modeled_s << ' ' << e.value.fallback_s
+          << std::defaultfloat << '\n';
+    }
+  }
+  out << "end\n";
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << out.str();
+  return static_cast<bool>(file.flush());
+}
+
+bool ScheduleCache::load(const std::string& path,
+                         std::uint64_t device_fingerprint) {
+  std::ifstream file(path);
+  if (!file) return false;
+
+  std::string magic;
+  int version = -1;
+  if (!(file >> magic >> version) || magic != kMagic || version != kVersion) {
+    return false;
+  }
+  std::string tag;
+  std::uint64_t stamped = 0;
+  if (!(file >> tag >> std::hex >> stamped >> std::dec) || tag != "device") {
+    return false;
+  }
+  if (stamped != device_fingerprint) return false;
+  std::size_t count = 0;
+  if (!(file >> tag >> count) || tag != "entries") return false;
+
+  // Stage everything before touching the live cache: any malformed or
+  // missing field rejects the whole file.
+  std::vector<Entry> staged;
+  staged.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Entry e;
+    int kind = -1;
+    std::string modeled_hex;
+    std::string fallback_hex;
+    Schedule& s = e.value.schedule;
+    if (!(file >> std::hex >> e.key >> std::dec >> kind >> s.tile_side >>
+          s.lut.bins_per_magnitude >> s.lut.subpixel_phases >> s.cpu_threads >>
+          s.batch_hint >> s.launch.grid.x >> s.launch.grid.y >>
+          s.launch.block.x >> s.launch.block.y >> modeled_hex >>
+          fallback_hex)) {
+      return false;
+    }
+    if (kind < 0 || kind > static_cast<int>(SimulatorKind::kCpuParallel)) {
+      return false;
+    }
+    s.simulator = static_cast<SimulatorKind>(kind);
+    try {
+      // std::hexfloat extraction is unreliable across standard libraries;
+      // strtod handles the 0x1.xp-n form everywhere.
+      std::size_t used = 0;
+      e.value.modeled_s = std::stod(modeled_hex, &used);
+      if (used != modeled_hex.size()) return false;
+      e.value.fallback_s = std::stod(fallback_hex, &used);
+      if (used != fallback_hex.size()) return false;
+    } catch (const std::exception&) {
+      return false;
+    }
+    staged.push_back(std::move(e));
+  }
+  if (!(file >> tag) || tag != "end") return false;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  order_.clear();
+  index_.clear();
+  for (Entry& e : staged) {
+    insert_locked(e.key, e.value);  // LRU-first file order reproduces recency
+  }
+  return true;
+}
+
+}  // namespace starsim::sched

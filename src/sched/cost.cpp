@@ -1,0 +1,273 @@
+#include "sched/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/perf_model.h"
+#include "starsim/device_frame.h"
+#include "starsim/kernel_cost.h"
+#include "starsim/magnitude.h"
+#include "starsim/psf.h"
+#include "starsim/star.h"
+#include "support/error.h"
+
+namespace starsim::sched {
+
+namespace {
+
+namespace kc = kernel_cost;
+
+/// Flop-equivalents of one PSF evaluation (same constants the selector and
+/// both kernels meter).
+std::uint64_t psf_eval_flops(const gpusim::DeviceSpec& device,
+                             const SceneConfig& scene) {
+  if (scene.pixel_integration) {
+    return kIntegratedRateArithmeticFlops +
+           4 * static_cast<std::uint64_t>(device.erf_flop_equiv);
+  }
+  return kGaussRateArithmeticFlops +
+         static_cast<std::uint64_t>(device.exp_flop_equiv);
+}
+
+std::uint64_t image_bytes_of(const SceneConfig& scene) {
+  return static_cast<std::uint64_t>(scene.image_width) *
+         static_cast<std::uint64_t>(scene.image_height) * sizeof(float);
+}
+
+std::uint64_t lut_bytes_of(const SceneConfig& scene,
+                           const LookupTableOptions& lut) {
+  const double span = scene.magnitude_max - scene.magnitude_min;
+  const int bins = std::max(
+      1, static_cast<int>(std::ceil(span * lut.bins_per_magnitude)));
+  const std::uint64_t entries =
+      static_cast<std::uint64_t>(bins) *
+      static_cast<std::uint64_t>(lut.subpixel_phases) *
+      static_cast<std::uint64_t>(lut.subpixel_phases) *
+      static_cast<std::uint64_t>(scene.roi_side) *
+      static_cast<std::uint64_t>(scene.roi_side);
+  return entries * sizeof(float);
+}
+
+}  // namespace
+
+CostModel::CostModel(gpusim::DeviceSpec device, gpusim::HostSpec host)
+    : device_(std::move(device)),
+      host_(host),
+      selector_(device_, host_, LookupTableOptions{}) {}
+
+gpusim::KernelCounters CostModel::predict_tiled_parallel_counters(
+    const SceneConfig& scene, std::size_t star_count, int tile_side) const {
+  scene.validate();
+  STARSIM_REQUIRE(star_count > 0, "prediction needs at least one star");
+  STARSIM_REQUIRE(tile_side > 0 && scene.roi_side % tile_side == 0,
+                  "tile side must divide the ROI side exactly");
+  const auto n = static_cast<std::uint64_t>(star_count);
+  const auto side = static_cast<std::uint64_t>(scene.roi_side);
+  const auto tile = static_cast<std::uint64_t>(tile_side);
+  const std::uint64_t tiles_per_axis = side / tile;
+  const std::uint64_t tiles = tiles_per_axis * tiles_per_axis;
+  const std::uint64_t blocks = n * tiles;
+  const std::uint64_t tpb = tile * tile;
+  const std::uint64_t wpb =
+      (tpb + static_cast<std::uint64_t>(device_.warp_size) - 1) /
+      static_cast<std::uint64_t>(device_.warp_size);
+  const gpusim::LaunchConfig config = star_centric_config(blocks, tile_side);
+
+  gpusim::KernelCounters c;
+  c.blocks_launched = config.total_blocks();
+  c.threads_launched = c.blocks_launched * tpb;
+  c.warps_launched = c.blocks_launched * wpb;
+
+  // Thread (0,0) of each active block re-stages the star — the redundancy
+  // a multi-block star costs over the untiled kernel.
+  c.global_reads = blocks;
+  c.global_bytes_read = blocks * sizeof(Star);
+  c.global_transactions = blocks;
+  c.shared_bank_conflicts = 0;
+  c.shared_writes = blocks * 3;
+  c.flops += blocks * (BrightnessModel::kArithmeticFlops +
+                       static_cast<std::uint64_t>(device_.pow_flop_equiv) +
+                       kc::kWeightFlops);
+
+  // Every thread of each active block; tile-coordinate arithmetic adds two
+  // flops over the untiled kernel.
+  const std::uint64_t threads = blocks * tpb;  // == n * roi_side^2
+  c.shared_reads = threads * 3;
+  c.flops += threads * (kc::kCoordFlops + kc::kBoundsFlops + 2);
+  // Exact tiling: every thread is in the ROI, and interior stars pass the
+  // image-bounds test — both branch sites are warp-uniform.
+  c.flops += threads * (psf_eval_flops(device_, scene) + kc::kAccumFlops);
+  c.atomic_ops = threads;
+  c.global_bytes_read += threads * sizeof(float);
+  c.global_bytes_written += threads * sizeof(float);
+  c.atomic_conflicts = 0;
+
+  c.barriers = blocks * wpb;
+  c.branch_sites_evaluated = 2 * blocks * wpb;  // in-ROI then in-image
+  c.divergent_warp_branches = 0;
+  return c;
+}
+
+CostBreakdown CostModel::score_parallel(const SceneConfig& scene,
+                                        std::size_t star_count,
+                                        const Schedule& schedule) const {
+  CostBreakdown cost;
+  if (!schedule.tiled()) {
+    // Bit-identical to the legacy advisor's parallel column.
+    const Prediction p = selector_.predict(scene, star_count);
+    cost.kernel_s = p.parallel.kernel_s;
+    cost.transfer_s = p.parallel.h2d_s + p.parallel.d2h_s;
+    cost.counters = p.parallel.counters;
+    cost.application_s = p.parallel.application_s();
+    return cost;
+  }
+  cost.counters =
+      predict_tiled_parallel_counters(scene, star_count, schedule.tile_side);
+  const std::uint64_t tiles_per_axis =
+      static_cast<std::uint64_t>(scene.roi_side / schedule.tile_side);
+  const gpusim::LaunchConfig config = star_centric_config(
+      star_count * tiles_per_axis * tiles_per_axis, schedule.tile_side);
+  const gpusim::KernelTiming timing =
+      gpusim::estimate_kernel_time(device_, config, cost.counters);
+  cost.kernel_s = timing.kernel_s;
+  const std::uint64_t star_bytes = star_count * sizeof(Star);
+  const std::uint64_t image_bytes = image_bytes_of(scene);
+  cost.transfer_s = gpusim::estimate_transfer_time(device_, star_bytes) +
+                    gpusim::estimate_transfer_time(device_, image_bytes) +
+                    gpusim::estimate_transfer_time(device_, image_bytes);
+  cost.application_s = cost.kernel_s + cost.transfer_s;
+  return cost;
+}
+
+CostBreakdown CostModel::score_adaptive(const SceneConfig& scene,
+                                        std::size_t star_count,
+                                        const Schedule& schedule) const {
+  CostBreakdown cost;
+  const Prediction p = selector_.predict(scene, star_count, schedule.lut);
+  cost.kernel_s = p.adaptive.kernel_s;
+  cost.counters = p.adaptive.counters;
+  const std::uint64_t star_bytes = star_count * sizeof(Star);
+  const std::uint64_t image_bytes = image_bytes_of(scene);
+  cost.transfer_s = gpusim::estimate_transfer_time(device_, star_bytes) +
+                    gpusim::estimate_transfer_time(device_, image_bytes) +
+                    gpusim::estimate_transfer_time(device_, image_bytes);
+  // The per-scene setup a batch pays once: table upload, CPU-side build,
+  // texture bind (AdaptiveSimulator::simulate_batch's amortization).
+  const double shared_setup =
+      gpusim::estimate_transfer_time(device_,
+                                     lut_bytes_of(scene, schedule.lut)) +
+      p.adaptive.lut_build_s + p.adaptive.texture_bind_s;
+  cost.setup_s =
+      shared_setup / static_cast<double>(std::max<std::size_t>(
+                         1, schedule.batch_hint));
+  cost.application_s = cost.kernel_s + cost.transfer_s + cost.setup_s;
+  return cost;
+}
+
+CostBreakdown CostModel::score_pixel_centric(const SceneConfig& scene,
+                                             std::size_t star_count) const {
+  // Approximate: the pixel-centric ablation's divergence and load pattern
+  // depend on star placement, so this column is an estimate (uniform
+  // broadcast loads, ROI-boundary divergence), unlike the exact
+  // star-centric predictions. It completes the decomposition axis; its
+  // O(pixels x stars) load traffic keeps it far from winning any workload
+  // the paper studies, which matches the ablation bench's measurements.
+  constexpr std::uint64_t kTile = 16;
+  const auto n = static_cast<std::uint64_t>(star_count);
+  const auto width = static_cast<std::uint64_t>(scene.image_width);
+  const auto height = static_cast<std::uint64_t>(scene.image_height);
+  const auto roi = static_cast<std::uint64_t>(scene.roi_side);
+
+  gpusim::LaunchConfig config;
+  config.grid = gpusim::Dim3(
+      static_cast<std::uint32_t>((width + kTile - 1) / kTile),
+      static_cast<std::uint32_t>((height + kTile - 1) / kTile));
+  config.block = gpusim::Dim3(kTile, kTile);
+
+  gpusim::KernelCounters c;
+  const std::uint64_t tpb = kTile * kTile;
+  const std::uint64_t wpb = tpb / static_cast<std::uint64_t>(device_.warp_size);
+  c.blocks_launched = config.total_blocks();
+  c.threads_launched = c.blocks_launched * tpb;
+  c.warps_launched = c.blocks_launched * wpb;
+
+  const std::uint64_t active = width * height;
+  c.flops = c.threads_launched * kc::kCoordFlops;
+  // Every active thread walks the whole star list.
+  c.global_reads = active * n;
+  c.global_bytes_read = active * n * sizeof(Star);
+  // All threads of a warp load the same star: one broadcast transaction
+  // per warp per star.
+  c.global_transactions = c.warps_launched * n;
+  c.flops += active * n * (kc::kBoundsFlops + 2);
+  // Each interior star's ROI covers roi^2 pixels, which evaluate the full
+  // brightness + PSF path.
+  const std::uint64_t hits = n * roi * roi;
+  c.flops += hits * (BrightnessModel::kArithmeticFlops +
+                     static_cast<std::uint64_t>(device_.pow_flop_equiv) +
+                     kc::kWeightFlops + psf_eval_flops(device_, scene) +
+                     kc::kAccumFlops);
+  c.branch_sites_evaluated = c.warps_launched * n;
+  c.divergent_warp_branches =
+      n * ((roi * roi + 31) / 32 + roi);  // warps straddling the ROI edge
+  c.global_writes = active;
+  c.global_bytes_written = active * sizeof(float);
+
+  CostBreakdown cost;
+  cost.counters = c;
+  const gpusim::KernelTiming timing =
+      gpusim::estimate_kernel_time(device_, config, c);
+  cost.kernel_s = timing.kernel_s;
+  const std::uint64_t star_bytes = n * sizeof(Star);
+  const std::uint64_t image_bytes = image_bytes_of(scene);
+  cost.transfer_s = gpusim::estimate_transfer_time(device_, star_bytes) +
+                    gpusim::estimate_transfer_time(device_, image_bytes) +
+                    gpusim::estimate_transfer_time(device_, image_bytes);
+  cost.application_s = cost.kernel_s + cost.transfer_s;
+  return cost;
+}
+
+CostBreakdown CostModel::score(const SceneConfig& scene,
+                               std::size_t star_count,
+                               const Schedule& schedule) const {
+  scene.validate();
+  STARSIM_REQUIRE(star_count > 0, "scoring needs at least one star");
+  switch (schedule.simulator) {
+    case SimulatorKind::kSequential: {
+      CostBreakdown cost;
+      cost.host_s = host_.scalar_time_s(static_cast<double>(
+          selector_.predict_sequential_flops(scene, star_count)));
+      cost.application_s = cost.host_s;
+      return cost;
+    }
+    case SimulatorKind::kCpuParallel: {
+      CostBreakdown cost;
+      const int threads =
+          schedule.cpu_threads > 0 ? schedule.cpu_threads : host_.cores;
+      const int used = std::clamp(threads, 1, host_.cores);
+      const auto flops = static_cast<double>(
+          selector_.predict_sequential_flops(scene, star_count));
+      // Same loops as sequential split over `used` cores, plus streaming
+      // the worker-private partial images through host memory once
+      // (OpenMpSimulator's reduction).
+      cost.host_s =
+          host_.parallel_time_s(flops, used) +
+          host_.memory_stream_time_s(
+              static_cast<double>(used) *
+              static_cast<double>(image_bytes_of(scene)));
+      cost.application_s = cost.host_s;
+      return cost;
+    }
+    case SimulatorKind::kParallel:
+      return score_parallel(scene, star_count, schedule);
+    case SimulatorKind::kAdaptive:
+      return score_adaptive(scene, star_count, schedule);
+    case SimulatorKind::kPixelCentric:
+      return score_pixel_centric(scene, star_count);
+    default:
+      STARSIM_THROW(support::PreconditionError,
+                    "simulator kind is not schedulable");
+  }
+}
+
+}  // namespace starsim::sched

@@ -1,0 +1,107 @@
+#include "sched/schedule.h"
+
+#include <sstream>
+#include <type_traits>
+
+#include "starsim/device_frame.h"
+
+namespace starsim::sched {
+
+namespace {
+
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  template <typename T>
+  void value(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof(v));
+  }
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace
+
+std::string Schedule::to_string() const {
+  std::ostringstream out;
+  out << starsim::to_string(simulator);
+  switch (simulator) {
+    case SimulatorKind::kParallel:
+      out << (tiled() ? " tile=" + std::to_string(tile_side) : " untiled");
+      [[fallthrough]];
+    case SimulatorKind::kAdaptive:
+    case SimulatorKind::kPixelCentric:
+      out << " grid=" << launch.grid.x << "x" << launch.grid.y << " block="
+          << launch.block.x << "x" << launch.block.y;
+      break;
+    case SimulatorKind::kCpuParallel:
+      out << " threads=" << cpu_threads;
+      break;
+    default:
+      break;
+  }
+  if (simulator == SimulatorKind::kAdaptive) {
+    out << " lut=" << lut.bins_per_magnitude << "bpm/"
+        << lut.subpixel_phases << "ph";
+  }
+  out << " batch=" << batch_hint;
+  return out.str();
+}
+
+std::uint32_t Workload::star_bucket() const {
+  std::uint32_t bucket = 0;
+  for (std::size_t n = star_count; n > 1; n >>= 1) ++bucket;
+  return bucket;
+}
+
+std::uint64_t fingerprint_workload(const Workload& workload,
+                                   const LookupTableOptions& lut_floor,
+                                   const gpusim::DeviceSpec& device) {
+  const SceneConfig& scene = workload.scene;
+  Fnv1a h;
+  h.value(workload.star_bucket());
+  h.value(workload.batch_hint);
+  h.value(scene.image_width);
+  h.value(scene.image_height);
+  h.value(scene.roi_side);
+  h.value(scene.psf_sigma);
+  h.value(scene.pixel_integration);
+  h.value(scene.brightness.proportion_factor);
+  h.value(scene.brightness.magnitude_base);
+  h.value(scene.magnitude_min);
+  h.value(scene.magnitude_max);
+  h.value(lut_floor.bins_per_magnitude);
+  h.value(lut_floor.subpixel_phases);
+  h.value(device.fingerprint());
+  return h.hash();
+}
+
+Schedule fixed_schedule(SimulatorKind kind, const SceneConfig& scene,
+                        std::size_t star_count,
+                        const LookupTableOptions& lut_floor,
+                        std::size_t batch_hint) {
+  Schedule s;
+  s.simulator = kind;
+  s.lut = lut_floor;
+  s.batch_hint = batch_hint;
+  switch (kind) {
+    case SimulatorKind::kParallel:
+    case SimulatorKind::kAdaptive:
+      s.launch = star_centric_config(star_count, scene.roi_side);
+      break;
+    default:
+      break;
+  }
+  return s;
+}
+
+}  // namespace starsim::sched

@@ -1,0 +1,228 @@
+#include "sched/space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "gpusim/occupancy.h"
+#include "starsim/device_frame.h"
+#include "support/error.h"
+
+namespace starsim::sched {
+
+namespace {
+
+/// The adaptive simulator's texture-height cap (mirrors
+/// AdaptiveSimulator::max_magnitude_bins): table rows cannot exceed the
+/// 2-D texture height limit, and the table must leave most of device
+/// memory to frames.
+constexpr std::uint64_t kMaxTextureRows = 65536;
+
+std::uint64_t lut_rows(const SceneConfig& scene,
+                       const LookupTableOptions& lut) {
+  const double span = scene.magnitude_max - scene.magnitude_min;
+  const int bins =
+      std::max(1, static_cast<int>(std::ceil(span * lut.bins_per_magnitude)));
+  return static_cast<std::uint64_t>(bins) *
+         static_cast<std::uint64_t>(lut.subpixel_phases) *
+         static_cast<std::uint64_t>(lut.subpixel_phases) *
+         static_cast<std::uint64_t>(scene.roi_side);
+}
+
+}  // namespace
+
+ScheduleSpace::ScheduleSpace(gpusim::DeviceSpec device, gpusim::HostSpec host,
+                             SpaceOptions options)
+    : device_(std::move(device)), host_(host), options_(options) {}
+
+std::vector<int> ScheduleSpace::tile_candidates(
+    const SceneConfig& scene) const {
+  std::vector<int> tiles;
+  for (int t = 2; t < scene.roi_side; ++t) {
+    if (scene.roi_side % t != 0) continue;
+    if (static_cast<std::uint32_t>(t) * static_cast<std::uint32_t>(t) >
+        device_.max_threads_per_block) {
+      continue;
+    }
+    tiles.push_back(t);
+  }
+  return tiles;
+}
+
+Schedule ScheduleSpace::make_parallel(const SceneConfig& scene,
+                                      std::size_t star_count, int tile_side,
+                                      const LookupTableOptions& lut_floor,
+                                      std::size_t batch_hint) const {
+  Schedule s;
+  s.simulator = SimulatorKind::kParallel;
+  s.tile_side = tile_side;
+  s.lut = lut_floor;
+  s.batch_hint = batch_hint;
+  if (tile_side > 0) {
+    const std::size_t tiles_per_axis =
+        static_cast<std::size_t>(scene.roi_side / tile_side);
+    s.launch = star_centric_config(star_count * tiles_per_axis * tiles_per_axis,
+                                   tile_side);
+  } else {
+    s.launch = star_centric_config(star_count, scene.roi_side);
+  }
+  return s;
+}
+
+bool ScheduleSpace::legal(const Schedule& schedule, const SceneConfig& scene,
+                          std::size_t star_count) const {
+  if (star_count == 0) return false;
+  switch (schedule.simulator) {
+    case SimulatorKind::kSequential:
+    case SimulatorKind::kPixelCentric:
+      return true;
+    case SimulatorKind::kCpuParallel:
+      return schedule.cpu_threads >= 0 && schedule.cpu_threads <= host_.cores;
+    case SimulatorKind::kParallel:
+    case SimulatorKind::kAdaptive: {
+      if (schedule.tiled() &&
+          (schedule.simulator == SimulatorKind::kAdaptive ||
+           scene.roi_side % schedule.tile_side != 0)) {
+        return false;  // tiling is a star-centric-kernel axis only
+      }
+      // Mirror Device::launch's validation: threads per block, block dims,
+      // total grid blocks — then require the launch to actually occupy SMs.
+      const gpusim::LaunchConfig& c = schedule.launch;
+      if (c.threads_per_block() == 0 ||
+          c.threads_per_block() > device_.max_threads_per_block) {
+        return false;
+      }
+      if (c.block.x > device_.max_block_dim_x ||
+          c.block.y > device_.max_block_dim_y ||
+          c.block.z > device_.max_block_dim_z) {
+        return false;
+      }
+      if (c.total_blocks() == 0 || c.total_blocks() > device_.max_grid_blocks) {
+        return false;
+      }
+      if (gpusim::compute_occupancy(device_, c).resident_blocks_per_sm < 1) {
+        return false;
+      }
+      if (schedule.simulator == SimulatorKind::kAdaptive) {
+        if (schedule.lut.bins_per_magnitude < 1 ||
+            schedule.lut.subpixel_phases < 1) {
+          return false;
+        }
+        const std::uint64_t rows = lut_rows(scene, schedule.lut);
+        if (rows > kMaxTextureRows) return false;
+        const std::uint64_t bytes =
+            rows * static_cast<std::uint64_t>(scene.roi_side) * sizeof(float);
+        if (bytes > device_.global_memory_bytes / 4) return false;
+      }
+      return true;
+    }
+    default:
+      return false;  // kMultiGpu is out of scope for the single-device tuner
+  }
+}
+
+std::vector<Schedule> ScheduleSpace::seeds(
+    const SceneConfig& scene, std::size_t star_count,
+    const LookupTableOptions& lut_floor, std::size_t batch_hint) const {
+  scene.validate();
+  STARSIM_REQUIRE(star_count > 0, "schedule space needs at least one star");
+  std::vector<Schedule> out;
+
+  out.push_back(fixed_schedule(SimulatorKind::kSequential, scene, star_count,
+                               lut_floor, batch_hint));
+
+  Schedule cpu = fixed_schedule(SimulatorKind::kCpuParallel, scene, star_count,
+                                lut_floor, batch_hint);
+  cpu.cpu_threads = host_.cores;
+  out.push_back(cpu);
+
+  const Schedule untiled =
+      make_parallel(scene, star_count, 0, lut_floor, batch_hint);
+  if (legal(untiled, scene, star_count)) out.push_back(untiled);
+  for (int t : tile_candidates(scene)) {
+    Schedule tiled = make_parallel(scene, star_count, t, lut_floor, batch_hint);
+    if (legal(tiled, scene, star_count)) out.push_back(tiled);
+  }
+
+  Schedule adaptive = fixed_schedule(SimulatorKind::kAdaptive, scene,
+                                     star_count, lut_floor, batch_hint);
+  if (legal(adaptive, scene, star_count)) out.push_back(adaptive);
+
+  out.push_back(fixed_schedule(SimulatorKind::kPixelCentric, scene, star_count,
+                               lut_floor, batch_hint));
+  return out;
+}
+
+std::vector<Schedule> ScheduleSpace::neighbors(
+    const Schedule& schedule, const SceneConfig& scene, std::size_t star_count,
+    const LookupTableOptions& lut_floor) const {
+  std::vector<Schedule> out;
+  auto push_if_legal = [&](Schedule s) {
+    if (legal(s, scene, star_count)) out.push_back(std::move(s));
+  };
+
+  switch (schedule.simulator) {
+    case SimulatorKind::kCpuParallel: {
+      const int threads =
+          schedule.cpu_threads > 0 ? schedule.cpu_threads : host_.cores;
+      for (int next : {threads / 2, threads * 2}) {
+        if (next < 1 || next > host_.cores || next == threads) continue;
+        Schedule s = schedule;
+        s.cpu_threads = next;
+        push_if_legal(std::move(s));
+      }
+      break;
+    }
+    case SimulatorKind::kParallel: {
+      // Step to the adjacent tile side in {divisors..., untiled}.
+      std::vector<int> ladder = tile_candidates(scene);
+      ladder.push_back(0);  // untiled is the coarsest rung
+      const auto it =
+          std::find(ladder.begin(), ladder.end(), schedule.tile_side);
+      if (it != ladder.end()) {
+        if (it != ladder.begin()) {
+          push_if_legal(make_parallel(scene, star_count, *(it - 1), lut_floor,
+                                      schedule.batch_hint));
+        }
+        if (it + 1 != ladder.end()) {
+          push_if_legal(make_parallel(scene, star_count, *(it + 1), lut_floor,
+                                      schedule.batch_hint));
+        }
+      }
+      break;
+    }
+    case SimulatorKind::kAdaptive: {
+      // Refine (never coarsen below the accuracy floor).
+      const int bins_cap =
+          lut_floor.bins_per_magnitude * options_.lut_bins_scale_cap;
+      const int halved = schedule.lut.bins_per_magnitude / 2;
+      for (int bins : {halved, schedule.lut.bins_per_magnitude * 2}) {
+        if (bins < lut_floor.bins_per_magnitude || bins > bins_cap ||
+            bins == schedule.lut.bins_per_magnitude) {
+          continue;
+        }
+        Schedule s = schedule;
+        s.lut.bins_per_magnitude = bins;
+        push_if_legal(std::move(s));
+      }
+      const int phases_cap =
+          std::max(lut_floor.subpixel_phases, options_.lut_phases_cap);
+      const int phalved = schedule.lut.subpixel_phases / 2;
+      for (int phases : {phalved, schedule.lut.subpixel_phases * 2}) {
+        if (phases < lut_floor.subpixel_phases || phases > phases_cap ||
+            phases == schedule.lut.subpixel_phases) {
+          continue;
+        }
+        Schedule s = schedule;
+        s.lut.subpixel_phases = phases;
+        push_if_legal(std::move(s));
+      }
+      break;
+    }
+    default:
+      break;  // sequential / pixel-centric have no tunable axes
+  }
+  return out;
+}
+
+}  // namespace starsim::sched

@@ -51,6 +51,18 @@ FrameService::FrameService(FrameServiceOptions options)
       cache_(options_.cache_capacity),
       batcher_(options_.max_batch_size) {
   STARSIM_REQUIRE(options_.workers >= 0, "worker count must be non-negative");
+  if (options_.use_scheduler && !options_.scheduler) {
+    // Default scheduler: same modeled device/host (and lookup-table
+    // accuracy floor) as the legacy selector, with the dynamic-batching
+    // cap as the batch hint the adaptive path's setup amortizes over.
+    sched::SchedulerOptions sched_options;
+    sched_options.device = options_.selector.device();
+    sched_options.host = options_.selector.host();
+    sched_options.lut_floor = options_.selector.lut();
+    sched_options.batch_hint = std::max<std::size_t>(1, options_.max_batch_size);
+    options_.scheduler = std::make_shared<sched::Scheduler>(sched_options);
+  }
+  if (!options_.use_scheduler) options_.scheduler.reset();
   pool_ = std::make_unique<WorkerPool>(
       options_.workers, options_.worker,
       [this] { return batcher_.next_batch(queue_); },
@@ -72,15 +84,26 @@ QueuedRequest FrameService::admit(RenderRequest&& request) {
   SimulatorKind kind = SimulatorKind::kSequential;
   if (request.simulator.has_value()) {
     kind = *request.simulator;
+    if (kind == SimulatorKind::kMultiGpu) {
+      STARSIM_THROW(support::PreconditionError,
+                    "multi-gpu simulation owns its own devices and cannot be "
+                    "served by single-device workers");
+    }
+    if (options_.scheduler && !request.stars.empty()) {
+      // The pin wins, but routing it through the scheduler records the
+      // modeled cost of honoring it against the tuned decision (and keeps
+      // the schedule cache warm for unpinned traffic on this workload).
+      kind = options_.scheduler->choose(request.scene, request.stars.size(),
+                                        kind);
+    }
   } else if (!request.stars.empty()) {
-    // The selector's analytic predictions require at least one star; an
-    // empty field renders a blank frame identically fast everywhere.
-    kind = options_.selector.choose(request.scene, request.stars.size());
-  }
-  if (kind == SimulatorKind::kMultiGpu) {
-    STARSIM_THROW(support::PreconditionError,
-                  "multi-gpu simulation owns its own devices and cannot be "
-                  "served by single-device workers");
+    // The predictions require at least one star; an empty field renders a
+    // blank frame identically fast everywhere.
+    kind = options_.scheduler
+               ? options_.scheduler->choose(request.scene,
+                                            request.stars.size())
+               : options_.selector.choose(request.scene,
+                                          request.stars.size());
   }
   QueuedRequest queued;
   queued.simulator = kind;
@@ -513,6 +536,7 @@ ServiceStats FrameService::stats() const {
                          ? static_cast<double>(s.completed) / s.elapsed_s
                          : 0.0;
   s.cache = cache_.stats();
+  if (options_.scheduler) s.sched = options_.scheduler->stats();
   return s;
 }
 
@@ -683,6 +707,70 @@ std::vector<trace::MetricFamily> FrameService::metric_families(
                    "Completed requests per second of service lifetime",
                    MetricType::kGauge, {}};
     f.add(s.throughput_rps);
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_sched_cache_events_total",
+                   "Schedule-cache traffic of the auto-scheduler",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.sched.cache.hits), {{"event", "hit"}})
+        .add(static_cast<double>(s.sched.cache.misses), {{"event", "miss"}})
+        .add(static_cast<double>(s.sched.cache.evictions),
+             {{"event", "eviction"}})
+        .add(static_cast<double>(s.sched.cache.insertions),
+             {{"event", "insertion"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_sched_tuner_invocations_total",
+                   "Schedule tunes run on cache misses",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.sched.tuner_invocations));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_sched_candidates_evaluated_total",
+                   "Candidate schedules the tuner's cost model scored",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.sched.candidates_evaluated));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_sched_overrides_total",
+                   "Pinned-simulator requests recorded against the tuned "
+                   "schedule",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.sched.overrides_recorded));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_sched_fallbacks_total",
+                   "Admissions that fell back to the legacy Table III "
+                   "selector",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.sched.fallbacks));
+    families.push_back(std::move(f));
+  }
+  {
+    // schedule="tuned" vs "fallback": summed modeled per-frame seconds of
+    // the tuned decisions and of the best fixed simulator for the same
+    // workloads. Their ratio is the aggregate modeled speedup.
+    MetricFamily f{"starsim_sched_modeled_seconds_total",
+                   "Modeled per-frame seconds, tuned vs legacy fixed",
+                   MetricType::kCounter, {}};
+    f.add(s.sched.tuned_modeled_s_total, {{"schedule", "tuned"}})
+        .add(s.sched.fallback_modeled_s_total, {{"schedule", "fallback"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_sched_modeled_speedup",
+                   "Aggregate modeled speedup of tuned schedules over the "
+                   "fixed baseline (1.0 when nothing was tuned)",
+                   MetricType::kGauge, {}};
+    f.add(s.sched.tuned_modeled_s_total > 0.0
+              ? s.sched.fallback_modeled_s_total /
+                    s.sched.tuned_modeled_s_total
+              : 1.0);
     families.push_back(std::move(f));
   }
   if (!instance.empty()) {

@@ -30,11 +30,12 @@ PipelineResult simulate_frame_sequence(gpusim::Device& device,
 
   // In resilient mode every frame runs through the recovery ladder;
   // otherwise the plain parallel simulator, exactly as before.
-  ParallelSimulator simulator(device);
+  ParallelSimulator simulator(device, options.parallel);
   std::unique_ptr<ResilientExecutor> executor;
   if (options.resilient) {
     std::vector<std::unique_ptr<Simulator>> chain;
-    chain.push_back(std::make_unique<ParallelSimulator>(device));
+    chain.push_back(
+        std::make_unique<ParallelSimulator>(device, options.parallel));
     chain.push_back(std::make_unique<OpenMpSimulator>());
     chain.push_back(std::make_unique<SequentialSimulator>());
     executor = std::make_unique<ResilientExecutor>(std::move(chain),

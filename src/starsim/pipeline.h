@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gpusim/device.h"
+#include "starsim/parallel_simulator.h"
 #include "starsim/resilient_executor.h"
 #include "starsim/simulator.h"
 
@@ -25,6 +26,11 @@ struct PipelineOptions {
   int streams = 2;
   /// Copy engines on the device (GTX480: 1).
   int copy_engines = 1;
+  /// Launch geometry for the per-frame parallel simulator (ROI tiling).
+  /// Defaults reproduce the paper's untiled star-centric kernel; an
+  /// auto-scheduler schedule maps onto this through
+  /// sched::pipeline_options().
+  ParallelOptions parallel{};
   /// Run each frame through a ResilientExecutor (parallel -> cpu-parallel
   /// -> sequential on this device) so a faulted frame retries or degrades
   /// instead of killing the sequence. Only the successful attempt's stage

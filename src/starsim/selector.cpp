@@ -125,6 +125,12 @@ gpusim::KernelCounters SimulatorSelector::predict_parallel_counters(
 
 gpusim::KernelCounters SimulatorSelector::predict_adaptive_counters(
     const SceneConfig& scene, std::size_t star_count) const {
+  return predict_adaptive_counters(scene, star_count, lut_);
+}
+
+gpusim::KernelCounters SimulatorSelector::predict_adaptive_counters(
+    const SceneConfig& scene, std::size_t star_count,
+    const LookupTableOptions& lut_options) const {
   scene.validate();
   STARSIM_REQUIRE(star_count > 0, "prediction needs at least one star");
   const auto n = static_cast<std::uint64_t>(star_count);
@@ -152,7 +158,7 @@ gpusim::KernelCounters SimulatorSelector::predict_adaptive_counters(
   c.texture_fetches = threads;
   // Hit/miss estimate: the whole table is touched cold once per SM; capacity
   // misses appear only when the table outgrows the per-SM cache.
-  const LutGeometry lut = lut_geometry(scene, lut_);
+  const LutGeometry lut = lut_geometry(scene, lut_options);
   const std::uint64_t table_lines =
       (lut.bytes + static_cast<std::uint64_t>(device_.texture_cache_line_bytes) -
        1) /
@@ -193,6 +199,13 @@ std::uint64_t SimulatorSelector::predict_sequential_flops(
 
 Prediction SimulatorSelector::predict(const SceneConfig& scene,
                                       std::size_t star_count) const {
+  return predict(scene, star_count, lut_);
+}
+
+Prediction SimulatorSelector::predict(const SceneConfig& scene,
+                                      std::size_t star_count,
+                                      const LookupTableOptions& lut_options)
+    const {
   Prediction p;
   const gpusim::LaunchConfig config =
       star_centric_config(star_count, scene.roi_side);
@@ -222,13 +235,14 @@ Prediction SimulatorSelector::predict(const SceneConfig& scene,
   }
 
   // Adaptive: additionally builds, uploads and binds the lookup table.
-  p.adaptive.counters = predict_adaptive_counters(scene, star_count);
+  p.adaptive.counters =
+      predict_adaptive_counters(scene, star_count, lut_options);
   const gpusim::KernelTiming adaptive_timing =
       gpusim::estimate_kernel_time(device_, config, p.adaptive.counters);
   p.adaptive.kernel_s = adaptive_timing.kernel_s;
   p.adaptive.utilization = adaptive_timing.utilization;
   p.adaptive.achieved_gflops = adaptive_timing.achieved_gflops;
-  const LutGeometry lut = lut_geometry(scene, lut_);
+  const LutGeometry lut = lut_geometry(scene, lut_options);
   {
     const std::uint64_t up[] = {star_bytes, image_bytes, lut.bytes};
     p.adaptive.h2d_s = transfer_total(device_, up);

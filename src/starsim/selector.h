@@ -52,6 +52,13 @@ class SimulatorSelector {
   [[nodiscard]] gpusim::KernelCounters predict_adaptive_counters(
       const SceneConfig& scene, std::size_t star_count) const;
 
+  /// Same, for an explicit lookup-table geometry instead of the selector's
+  /// construction-time default (the auto-scheduler scores candidate LUT
+  /// resolutions through this without rebuilding the selector).
+  [[nodiscard]] gpusim::KernelCounters predict_adaptive_counters(
+      const SceneConfig& scene, std::size_t star_count,
+      const LookupTableOptions& lut) const;
+
   /// Flop-equivalents of the sequential simulator.
   [[nodiscard]] std::uint64_t predict_sequential_flops(
       const SceneConfig& scene, std::size_t star_count) const;
@@ -59,6 +66,12 @@ class SimulatorSelector {
   /// Full three-way application-time prediction.
   [[nodiscard]] Prediction predict(const SceneConfig& scene,
                                    std::size_t star_count) const;
+
+  /// Prediction against an explicit lookup-table geometry (only the
+  /// adaptive column depends on it).
+  [[nodiscard]] Prediction predict(const SceneConfig& scene,
+                                   std::size_t star_count,
+                                   const LookupTableOptions& lut) const;
 
   /// The recommended simulator for this workload.
   [[nodiscard]] SimulatorKind choose(const SceneConfig& scene,
@@ -75,6 +88,7 @@ class SimulatorSelector {
 
   [[nodiscard]] const gpusim::DeviceSpec& device() const { return device_; }
   [[nodiscard]] const gpusim::HostSpec& host() const { return host_; }
+  [[nodiscard]] const LookupTableOptions& lut() const { return lut_; }
 
  private:
   gpusim::DeviceSpec device_;

@@ -1,0 +1,235 @@
+// ScheduleCache — LRU behavior and the all-or-nothing persistence contract:
+// a corrupted, truncated, version-skewed or wrong-device warm-start file is
+// rejected whole, leaving the in-memory cache untouched.
+#include "sched/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gpusim/device_spec.h"
+#include "sched/schedule.h"
+
+namespace {
+
+namespace sched = starsim::sched;
+namespace gs = starsim::gpusim;
+using sched::CachedSchedule;
+using sched::ScheduleCache;
+
+constexpr std::uint64_t kDevice = 0xdeadbeefcafef00dull;
+
+CachedSchedule entry_of(starsim::SimulatorKind kind, double modeled_s) {
+  CachedSchedule entry;
+  entry.schedule.simulator = kind;
+  entry.schedule.tile_side = kind == starsim::SimulatorKind::kParallel ? 5 : 0;
+  entry.schedule.launch.grid = {12, 4, 1};
+  entry.schedule.launch.block = {5, 5, 1};
+  entry.schedule.lut.bins_per_magnitude = 2;
+  entry.schedule.lut.subpixel_phases = 3;
+  entry.schedule.cpu_threads = 4;
+  entry.schedule.batch_hint = 8;
+  entry.modeled_s = modeled_s;
+  entry.fallback_s = modeled_s * 1.75;
+  return entry;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const char* name) : path_(temp_path(name)) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(SchedCache, LookupRefreshesLruOrder) {
+  ScheduleCache cache(2);
+  cache.insert(1, entry_of(starsim::SimulatorKind::kParallel, 1e-3));
+  cache.insert(2, entry_of(starsim::SimulatorKind::kAdaptive, 2e-3));
+  ASSERT_TRUE(cache.lookup(1).has_value());  // 1 becomes most recent
+  cache.insert(3, entry_of(starsim::SimulatorKind::kSequential, 3e-3));
+
+  EXPECT_FALSE(cache.lookup(2).has_value());  // 2 was LRU: evicted
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  const sched::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(SchedCache, InsertOverwritesInPlace) {
+  ScheduleCache cache(4);
+  cache.insert(7, entry_of(starsim::SimulatorKind::kParallel, 1e-3));
+  cache.insert(7, entry_of(starsim::SimulatorKind::kAdaptive, 9e-3));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.lookup(7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->schedule.simulator, starsim::SimulatorKind::kAdaptive);
+  EXPECT_EQ(hit->modeled_s, 9e-3);
+}
+
+TEST(SchedCache, SaveLoadRoundTripsEveryField) {
+  TempFile file("starsim_test_sched_cache_roundtrip.txt");
+  ScheduleCache cache(8);
+  // Doubles chosen to be unrepresentable in short decimal: the hexfloat
+  // persistence must round-trip them exactly.
+  const CachedSchedule original =
+      entry_of(starsim::SimulatorKind::kParallel, 1.0 / 3.0);
+  cache.insert(42, original);
+  cache.insert(43, entry_of(starsim::SimulatorKind::kCpuParallel, 7.1e-5));
+  ASSERT_TRUE(cache.save(file.path(), kDevice));
+
+  ScheduleCache loaded(8);
+  ASSERT_TRUE(loaded.load(file.path(), kDevice));
+  EXPECT_EQ(loaded.size(), 2u);
+  const auto hit = loaded.lookup(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->schedule.to_string(), original.schedule.to_string());
+  EXPECT_EQ(hit->schedule.launch.grid.x, original.schedule.launch.grid.x);
+  EXPECT_EQ(hit->schedule.launch.block.y, original.schedule.launch.block.y);
+  EXPECT_EQ(hit->schedule.lut.bins_per_magnitude,
+            original.schedule.lut.bins_per_magnitude);
+  EXPECT_EQ(hit->schedule.lut.subpixel_phases,
+            original.schedule.lut.subpixel_phases);
+  EXPECT_EQ(hit->schedule.batch_hint, original.schedule.batch_hint);
+  EXPECT_EQ(hit->modeled_s, original.modeled_s);    // exact: hexfloat
+  EXPECT_EQ(hit->fallback_s, original.fallback_s);
+}
+
+TEST(SchedCache, LoadRejectsWrongDeviceFingerprint) {
+  // A schedule tuned for one device silently applied to another would be an
+  // invisible performance bug — the load must fail and keep the cache as-is.
+  TempFile file("starsim_test_sched_cache_device.txt");
+  ScheduleCache cache(4);
+  cache.insert(1, entry_of(starsim::SimulatorKind::kParallel, 1e-3));
+  ASSERT_TRUE(cache.save(file.path(), kDevice));
+
+  ScheduleCache other(4);
+  other.insert(9, entry_of(starsim::SimulatorKind::kAdaptive, 5e-3));
+  EXPECT_FALSE(other.load(file.path(), kDevice + 1));
+  EXPECT_EQ(other.size(), 1u);  // untouched
+  EXPECT_TRUE(other.lookup(9).has_value());
+}
+
+TEST(SchedCache, RealDeviceSpecsFingerprintDistinctly) {
+  // The wrong-device rejection only works if real DeviceSpecs actually
+  // disagree: a GTX 480 cache must not load on a GTX 580 or a K20.
+  const std::uint64_t gtx480 = gs::DeviceSpec::gtx480().fingerprint();
+  const std::uint64_t gtx580 = gs::DeviceSpec::gtx580().fingerprint();
+  const std::uint64_t k20 = gs::DeviceSpec::k20().fingerprint();
+  EXPECT_NE(gtx480, gtx580);
+  EXPECT_NE(gtx480, k20);
+  EXPECT_NE(gtx580, k20);
+
+  TempFile file("starsim_test_sched_cache_realdevice.txt");
+  ScheduleCache cache(4);
+  cache.insert(1, entry_of(starsim::SimulatorKind::kParallel, 1e-3));
+  ASSERT_TRUE(cache.save(file.path(), gtx480));
+  ScheduleCache loaded(4);
+  EXPECT_FALSE(loaded.load(file.path(), gtx580));
+  EXPECT_TRUE(loaded.load(file.path(), gtx480));
+}
+
+TEST(SchedCache, LoadRejectsMissingFile) {
+  ScheduleCache cache(4);
+  EXPECT_FALSE(cache.load(temp_path("starsim_test_sched_cache_absent.txt"),
+                          kDevice));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SchedCache, LoadRejectsCorruptedFiles) {
+  TempFile file("starsim_test_sched_cache_corrupt.txt");
+  ScheduleCache reference(4);
+  reference.insert(1, entry_of(starsim::SimulatorKind::kParallel, 1e-3));
+  ASSERT_TRUE(reference.save(file.path(), kDevice));
+  std::string good;
+  {
+    std::ifstream in(file.path());
+    good.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+
+  const auto rejects = [&](const std::string& contents) {
+    std::ofstream out(file.path(), std::ios::trunc);
+    out << contents;
+    out.close();
+    ScheduleCache cache(4);
+    cache.insert(5, entry_of(starsim::SimulatorKind::kAdaptive, 2e-3));
+    const bool ok = cache.load(file.path(), kDevice);
+    EXPECT_EQ(cache.size(), 1u);        // contents untouched on rejection
+    EXPECT_TRUE(cache.lookup(5).has_value());
+    return !ok;
+  };
+
+  // Wrong magic, wrong version, truncation (drop the trailing "end" and
+  // half of the entry line), and a garbage numeric field.
+  EXPECT_TRUE(rejects("not-a-cache-file 1\n"));
+  EXPECT_TRUE(rejects([&] {
+    std::string skewed = good;
+    skewed.replace(skewed.find("cache 1"), 7, "cache 2");
+    return skewed;
+  }()));
+  EXPECT_TRUE(rejects(good.substr(0, good.rfind("end"))));
+  EXPECT_TRUE(rejects(good.substr(0, good.size() / 2)));
+  EXPECT_TRUE(rejects([&] {
+    std::string garbage = good;
+    garbage.replace(garbage.find("0x"), 2, "zz");
+    return garbage;
+  }()));
+
+  // Sanity: the unmodified file still loads.
+  {
+    std::ofstream out(file.path(), std::ios::trunc);
+    out << good;
+  }
+  ScheduleCache cache(4);
+  EXPECT_TRUE(cache.load(file.path(), kDevice));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SchedCache, LoadedEntriesPreserveRecencyOrder) {
+  // save() writes LRU-first so a reloaded cache evicts in the same order
+  // the original would have.
+  TempFile file("starsim_test_sched_cache_order.txt");
+  ScheduleCache cache(3);
+  cache.insert(1, entry_of(starsim::SimulatorKind::kParallel, 1e-3));
+  cache.insert(2, entry_of(starsim::SimulatorKind::kAdaptive, 2e-3));
+  cache.insert(3, entry_of(starsim::SimulatorKind::kSequential, 3e-3));
+  ASSERT_TRUE(cache.lookup(1).has_value());  // order now: 2, 3, 1
+  ASSERT_TRUE(cache.save(file.path(), kDevice));
+
+  ScheduleCache loaded(3);
+  ASSERT_TRUE(loaded.load(file.path(), kDevice));
+  loaded.insert(4, entry_of(starsim::SimulatorKind::kCpuParallel, 4e-3));
+  EXPECT_FALSE(loaded.lookup(2).has_value());  // LRU after reload: evicted
+  EXPECT_TRUE(loaded.lookup(3).has_value());
+  EXPECT_TRUE(loaded.lookup(1).has_value());
+}
+
+TEST(SchedCache, WorkloadFingerprintSeparatesDevices) {
+  // The cache key itself also folds the device in: two specs never collide
+  // even before the file-level stamp check.
+  sched::Workload workload;
+  workload.scene.roi_side = 10;
+  workload.star_count = 4096;
+  const std::uint64_t on480 = sched::fingerprint_workload(
+      workload, {}, gs::DeviceSpec::gtx480());
+  const std::uint64_t on580 = sched::fingerprint_workload(
+      workload, {}, gs::DeviceSpec::gtx580());
+  EXPECT_NE(on480, on580);
+}
+
+}  // namespace

@@ -182,6 +182,14 @@ TEST(ServeObservability, ScrapeExposesRequiredFamilies) {
       "starsim_gpusim_kernel_work_total",
       "starsim_serve_workers",
       "starsim_serve_throughput_rps",
+      // The auto-scheduler families (docs/scheduling.md):
+      "starsim_sched_cache_events_total",
+      "starsim_sched_tuner_invocations_total",
+      "starsim_sched_candidates_evaluated_total",
+      "starsim_sched_overrides_total",
+      "starsim_sched_fallbacks_total",
+      "starsim_sched_modeled_seconds_total",
+      "starsim_sched_modeled_speedup",
   };
   const std::vector<std::string> problems =
       trace::check_prometheus(run.scrape, required);
@@ -193,6 +201,12 @@ TEST(ServeObservability, ScrapeExposesRequiredFamilies) {
       << run.scrape;
   EXPECT_NE(run.scrape.find("starsim_gpusim_kernel_work_total{counter="
                             "\"flops\"}"),
+            std::string::npos);
+  EXPECT_NE(run.scrape.find("starsim_sched_cache_events_total{event=\"hit\"}"),
+            std::string::npos)
+      << run.scrape;
+  EXPECT_NE(run.scrape.find(
+                "starsim_sched_modeled_seconds_total{schedule=\"tuned\"}"),
             std::string::npos);
 }
 

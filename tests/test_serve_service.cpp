@@ -345,17 +345,52 @@ TEST(FrameService, EmptyStarFieldRendersBlankFrame) {
   EXPECT_EQ(total_flux(response.result->image), 0.0);
 }
 
-TEST(FrameService, SelectorDrivesUnpinnedRequests) {
+TEST(FrameService, SchedulerDrivesUnpinnedRequests) {
   FrameServiceOptions options;
   options.workers = 1;
   FrameService service(std::move(options));
+  ASSERT_NE(service.scheduler(), nullptr);
   RenderRequest request;
-  // Paper-scale 1024x1024 scene with a tiny field: Table III says the CPU
-  // sequential simulator wins, and the unpinned path must follow it.
+  // Paper-scale 1024x1024 scene with a tiny field: both the legacy Table
+  // III advisor and the auto-scheduler agree the CPU sequential simulator
+  // wins, and the unpinned path must follow the tuned decision.
   request.scene = SceneConfig{};
   request.stars = random_stars(3, 8);
   const RenderResponse response = service.render(std::move(request));
   EXPECT_EQ(response.simulator, SimulatorKind::kSequential);
+  // The decision went through the scheduler: one tune, cached thereafter.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sched.tuner_invocations, 1u);
+  EXPECT_EQ(stats.sched.cache.misses, 1u);
+}
+
+TEST(FrameService, LegacySelectorPathWhenSchedulerDisabled) {
+  FrameServiceOptions options;
+  options.workers = 1;
+  options.use_scheduler = false;
+  FrameService service(std::move(options));
+  EXPECT_EQ(service.scheduler(), nullptr);
+  RenderRequest request;
+  request.scene = SceneConfig{};
+  request.stars = random_stars(3, 8);
+  const RenderResponse response = service.render(std::move(request));
+  // Same decision as the scheduler path, reached through the legacy
+  // selector — and no sched counters move.
+  EXPECT_EQ(response.simulator, SimulatorKind::kSequential);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sched.tuner_invocations, 0u);
+  EXPECT_EQ(stats.sched.cache.hits + stats.sched.cache.misses, 0u);
+}
+
+TEST(FrameService, PinnedRequestsRecordSchedulerOverrides) {
+  FrameServiceOptions options;
+  options.workers = 1;
+  FrameService service(std::move(options));
+  const RenderResponse response = service.render(
+      pinned_request(random_stars(5, 20), SimulatorKind::kParallel));
+  EXPECT_EQ(response.simulator, SimulatorKind::kParallel);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sched.overrides_recorded, 1u);
 }
 
 TEST(FrameService, ResilientWorkersRenderIdenticalFramesWhenHealthy) {
