@@ -1,0 +1,312 @@
+// Extension — out-of-process fleet: what does the socket boundary cost,
+// and how fast does the supervision ladder bring a killed shard back?
+//
+// The same request stream runs through a 3-shard, 2-replica ShardRouter
+// four ways:
+//   loopback — in-process shards (the stage-1 fleet baseline);
+//   socket   — each shard a real starsim_shardd process behind a
+//              Unix-domain socket (frames must stay bit-identical through
+//              the byte boundary);
+//   kill     — socket shards, one SIGKILLed mid-run with no supervisor:
+//              the stream fails over and every admitted future resolves;
+//   respawn  — socket shards under the ProcessSupervisor: one shard is
+//              SIGKILLed, and the crash -> respawn -> probe -> reinstate
+//              round trip is timed.
+//
+// Three claims are checked: socket frames are bit-identical to direct
+// renders, the kill pass strands no future, and the supervised respawn
+// reinstates the shard within the reporting budget.
+#include <cstdio>
+#include <exception>
+#include <future>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "bench_common.h"
+#include "fleet/router.h"
+#include "imageio/image.h"
+#include "starsim/parallel_simulator.h"
+#include "starsim/workload.h"
+#include "support/error.h"
+#include "support/table.h"
+#include "support/timer.h"
+#include "support/units.h"
+
+namespace {
+
+using namespace starsim;
+namespace sup = starsim::support;
+using serve::RenderRequest;
+using serve::RenderResponse;
+
+constexpr int kClients = 3;
+constexpr int kShards = 3;
+
+struct ProcLevel {
+  const char* name;
+  bool process_shards = false;
+  int kill_shard = -1;  ///< SIGKILL this shard between the two waves
+  bool supervise = false;
+};
+
+struct LevelResult {
+  double wall_s = 0.0;
+  std::uint64_t frames = 0;
+  std::uint64_t typed_errors = 0;
+  std::uint64_t exact = 0;
+  std::uint64_t mismatches = 0;
+  double respawn_s = 0.0;    ///< crash observed -> respawn succeeded
+  double reinstate_s = 0.0;  ///< crash observed -> shard healthy again
+  fleet::FleetStats stats;
+};
+
+std::string socket_dir(const char* tag) {
+  const std::string dir = "/tmp/starsim_bench_" + std::string(tag) + "_" +
+                          std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0700);
+  return dir;
+}
+
+LevelResult run_level(const ProcLevel& level,
+                      const std::vector<SceneConfig>& scenes,
+                      const std::vector<StarField>& fields,
+                      const std::vector<imageio::ImageF>& references,
+                      std::size_t frames_per_client) {
+  fleet::FleetOptions options;
+  options.shards = kShards;
+  options.replicas = 2;
+  options.router_threads = kClients;
+  options.probe_after_ms = 1.0;
+  options.shard.workers = 1;
+  options.shard.cache_capacity = 0;  // every request must exercise a worker
+  if (level.process_shards) {
+    options.process_shards = true;
+    options.shardd_path = STARSIM_SHARDD_PATH;
+    options.socket_dir = socket_dir(level.name);
+    options.transport.heartbeat_period_s = 0.05;
+  }
+  if (level.supervise) {
+    options.supervise = true;
+    options.supervision.poll_ms = 10.0;
+    options.supervision.respawn_backoff_ms = 10.0;
+  }
+  fleet::ShardRouter router(options);
+
+  std::vector<std::vector<std::future<RenderResponse>>> futures(kClients);
+  std::vector<std::vector<std::size_t>> field_of(kClients);
+  const sup::WallTimer timer;
+  const auto run_wave = [&](std::size_t wave) {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c, wave] {
+        const std::size_t half = frames_per_client / 2;
+        const std::size_t begin = wave == 0 ? 0 : half;
+        const std::size_t end = wave == 0 ? half : frames_per_client;
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t field =
+              (static_cast<std::size_t>(c) + i * 3) % fields.size();
+          RenderRequest request;
+          request.scene = scenes[field];
+          request.stars = fields[field];
+          request.simulator = SimulatorKind::kParallel;
+          request.deadline_s = 30.0;
+          futures[static_cast<std::size_t>(c)].push_back(
+              router.submit(std::move(request)));
+          field_of[static_cast<std::size_t>(c)].push_back(field);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  };
+
+  LevelResult result;
+  run_wave(0);
+  if (level.kill_shard >= 0 && !level.supervise) {
+    router.kill_shard(level.kill_shard);  // terminal: pure failover
+  }
+  if (level.kill_shard >= 0 && level.supervise) {
+    const sup::WallTimer ladder;
+    router.crash_shard(level.kill_shard);  // the supervisor must notice
+    while (router.stats().respawns_succeeded < 1 && ladder.seconds() < 30.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    result.respawn_s = ladder.seconds();
+    // Probes need live traffic; the second wave below provides it.
+    std::thread reinstate_watch([&] {
+      while (router.shard_state(level.kill_shard) !=
+                 fleet::ShardState::kHealthy &&
+             ladder.seconds() < 30.0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      result.reinstate_s = ladder.seconds();
+    });
+    run_wave(1);
+    reinstate_watch.join();
+  } else {
+    run_wave(1);
+  }
+
+  for (int c = 0; c < kClients; ++c) {
+    auto& mine = futures[static_cast<std::size_t>(c)];
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      try {
+        const RenderResponse response = mine[i].get();
+        result.frames += 1;
+        if (imageio::max_abs_difference(
+                response.result->image,
+                references[field_of[static_cast<std::size_t>(c)][i]]) == 0.0) {
+          result.exact += 1;
+        } else {
+          result.mismatches += 1;
+        }
+      } catch (const std::exception&) {
+        result.typed_errors += 1;
+      }
+    }
+  }
+  result.wall_s = timer.seconds();
+  router.stop();
+  result.stats = router.stats();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace starsim::bench;
+
+  SweepOptions options;
+  std::string csv_path;
+  if (!parse_bench_cli(argc, argv, "bench_ext_fleet_proc",
+                       "extension: out-of-process shard fleet — socket "
+                       "overhead, SIGKILL failover, and respawn time",
+                       options, csv_path)) {
+    return 0;
+  }
+  const std::size_t frames_per_client = options.quick ? 8 : 24;
+
+  // Imperceptible psf deltas spread routing keys across the ring; the
+  // references render the exact same perturbed scenes.
+  std::vector<SceneConfig> scenes;
+  std::vector<StarField> fields;
+  for (std::size_t i = 0; i < 12; ++i) {
+    SceneConfig scene;
+    scene.image_width = 96;
+    scene.image_height = 96;
+    scene.roi_side = 10;
+    scene.psf_sigma += 1e-9 * static_cast<double>(i);
+    scenes.push_back(scene);
+    WorkloadConfig workload;
+    workload.star_count = 64;
+    workload.image_width = scene.image_width;
+    workload.image_height = scene.image_height;
+    workload.seed = options.seed + i;
+    fields.push_back(generate_stars(workload));
+  }
+  std::vector<imageio::ImageF> references;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    gpusim::Device device(gpusim::DeviceSpec::gtx480());
+    references.push_back(
+        ParallelSimulator(device).simulate(scenes[i], fields[i]).image);
+  }
+
+  const ProcLevel levels[] = {
+      {"loopback", false, -1, false},
+      {"socket", true, -1, false},
+      {"kill", true, 1, false},
+      {"respawn", true, 1, true},
+  };
+
+  std::printf(
+      "Extension — out-of-process fleet (%d shardd processes x 2 replicas, "
+      "%d clients x %zu frames, 64 stars, 96^2, parallel)\n\n",
+      kShards, kClients, frames_per_client);
+  sup::ConsoleTable table({"level", "wall", "frames", "errors", "exact",
+                           "p50", "p99", "failovers", "respawn",
+                           "reinstate"});
+  sup::CsvWriter csv({"level", "wall_s", "frames", "typed_errors",
+                      "exact_frames", "mismatches", "latency_p50_s",
+                      "latency_p99_s", "failovers", "transport_timeouts",
+                      "respawn_s", "reinstate_s", "stuck_futures"});
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kClients) * frames_per_client;
+  std::uint64_t stuck_total = 0;
+  std::uint64_t mismatch_total = 0;
+  double loopback_mean = 0.0;
+  double socket_mean = 0.0;
+  double respawn_s = 0.0;
+  double reinstate_s = 0.0;
+  std::uint64_t kill_frames = 0;
+  for (const ProcLevel& level : levels) {
+    const LevelResult r =
+        run_level(level, scenes, fields, references, frames_per_client);
+    stuck_total += r.stats.in_flight();
+    if (r.frames + r.typed_errors != total) stuck_total += 1;
+    mismatch_total += r.mismatches;
+    const std::string name(level.name);
+    if (name == "loopback") loopback_mean = r.stats.mean_latency_s;
+    if (name == "socket") socket_mean = r.stats.mean_latency_s;
+    if (name == "kill") kill_frames = r.frames;
+    if (name == "respawn") {
+      respawn_s = r.respawn_s;
+      reinstate_s = r.reinstate_s;
+    }
+    table.add_row({level.name, sup::format_time(r.wall_s),
+                   std::to_string(r.frames), std::to_string(r.typed_errors),
+                   std::to_string(r.exact),
+                   sup::format_time(r.stats.latency.p50),
+                   sup::format_time(r.stats.latency.p99),
+                   std::to_string(r.stats.failovers),
+                   r.respawn_s > 0.0 ? sup::format_time(r.respawn_s) : "-",
+                   r.reinstate_s > 0.0 ? sup::format_time(r.reinstate_s)
+                                       : "-"});
+    csv.add_row({level.name, sup::compact(r.wall_s), std::to_string(r.frames),
+                 std::to_string(r.typed_errors), std::to_string(r.exact),
+                 std::to_string(r.mismatches),
+                 sup::compact(r.stats.latency.p50),
+                 sup::compact(r.stats.latency.p99),
+                 std::to_string(r.stats.failovers),
+                 std::to_string(r.stats.transport_timeouts),
+                 sup::compact(r.respawn_s), sup::compact(r.reinstate_s),
+                 std::to_string(r.stats.in_flight())});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const bool recovered = respawn_s > 0.0 && reinstate_s < 30.0;
+  std::printf(
+      "\nsocket frames bit-identical to direct renders: %s (%llu "
+      "mismatches)\n"
+      "socket-vs-loopback mean overhead: %s (%s vs %s)\n"
+      "SIGKILL pass resolved every future: %s (%llu stuck, %llu frames)\n"
+      "supervised respawn + reinstate within budget: %s (respawn %s, "
+      "reinstate %s)\n",
+      mismatch_total == 0 ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(mismatch_total),
+      sup::format_time(socket_mean - loopback_mean).c_str(),
+      sup::format_time(socket_mean).c_str(),
+      sup::format_time(loopback_mean).c_str(),
+      stuck_total == 0 ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(stuck_total),
+      static_cast<unsigned long long>(kill_frames),
+      recovered ? "PASS" : "FAIL", sup::format_time(respawn_s).c_str(),
+      sup::format_time(reinstate_s).c_str());
+  std::puts(
+      "\nreading: the socket boundary costs one frame encode + two copies\n"
+      "per hop, flat per request and invisible next to render time; a\n"
+      "SIGKILLed process resolves to typed errors and failover because the\n"
+      "transport turns EOF into ShardDownError the instant the kernel\n"
+      "closes the socket; and the supervision ladder (waitpid + heartbeat\n"
+      "-> kill/reap -> backoff respawn -> shadow probe) reinstates a\n"
+      "murdered shard in well under a second of wall time.");
+  maybe_write_csv(csv, csv_path);
+  return stuck_total == 0 && mismatch_total == 0 && kill_frames > 0 &&
+                 recovered
+             ? 0
+             : 1;
+}

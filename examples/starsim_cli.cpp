@@ -16,6 +16,10 @@
 // Chrome trace of the run, serve-bench adds --metrics=<file> for one
 // Prometheus scrape, and trace-check validates either artifact
 // (docs/observability.md).
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -473,6 +477,18 @@ int cmd_serve_bench(int argc, char** argv) {
                  "(-1 = none)",
                  "-1");
   cli.add_option("slow-ms", "straggler delay per render, ms", "25");
+  cli.add_option("proc-shards",
+                 "serve through this many out-of-process starsim_shardd "
+                 "hosts behind Unix sockets, supervised (0 = in-process "
+                 "shards; overrides --shards)",
+                 "0");
+  cli.add_option("kill-shard",
+                 "chaos: SIGKILL shard <i> <t> ms into the measured run, "
+                 "written i@t (e.g. 1@50); supervised fleets respawn it",
+                 "");
+  cli.add_option("shardd",
+                 "path to the starsim_shardd binary for --proc-shards",
+                 STARSIM_SHARDD_PATH);
   cli.add_option("schedule-cache",
                  "auto-scheduler warm-start file: load before serving, save "
                  "after ('' = cold cache)",
@@ -608,7 +624,21 @@ int cmd_serve_bench(int argc, char** argv) {
     return true;
   };
 
-  const int shard_count = static_cast<int>(cli.integer("shards"));
+  const int proc_shards = static_cast<int>(cli.integer("proc-shards"));
+  const int shard_count =
+      proc_shards > 0 ? proc_shards : static_cast<int>(cli.integer("shards"));
+  int kill_index = -1;
+  double kill_at_ms = 0.0;
+  {
+    const std::string spec = cli.str("kill-shard");
+    if (!spec.empty() &&
+        (std::sscanf(spec.c_str(), "%d@%lf", &kill_index, &kill_at_ms) != 2 ||
+         kill_index < 0 || kill_index >= shard_count || kill_at_ms < 0.0)) {
+      std::fprintf(stderr, "bad --kill-shard (want i@t_ms): %s\n",
+                   spec.c_str());
+      return 1;
+    }
+  }
   if (shard_count > 0) {
     // Fleet mode: the same traffic through a sharded router instead of one
     // service. Routing keys are scene fingerprints, so each request gets an
@@ -623,6 +653,20 @@ int cmd_serve_bench(int argc, char** argv) {
     fleet_opts.straggler_shard = static_cast<int>(cli.integer("slow-shard"));
     fleet_opts.straggler_ms = cli.real("slow-ms");
     fleet_opts.shard = opts;
+    if (proc_shards > 0) {
+      // Each shard becomes a supervised starsim_shardd process; a kill
+      // exercises the full ladder (detect -> respawn -> probe -> reinstate)
+      // instead of permanent failover. docs/serving.md#process-shards.
+      fleet_opts.process_shards = true;
+      fleet_opts.shardd_path = cli.str("shardd");
+      fleet_opts.socket_dir =
+          "/tmp/starsim_serve_" + std::to_string(::getpid());
+      ::mkdir(fleet_opts.socket_dir.c_str(), 0700);
+      fleet_opts.supervise = true;
+      fleet_opts.transport.heartbeat_period_s = 0.05;
+      fleet_opts.supervision.poll_ms = 10.0;
+      fleet_opts.supervision.respawn_backoff_ms = 10.0;
+    }
     fleet::ShardRouter router(fleet_opts);
 
     const auto request_for = [&](std::size_t index) {
@@ -646,6 +690,14 @@ int cmd_serve_bench(int argc, char** argv) {
     }
 
     sup::WallTimer timer;
+    std::thread assassin;
+    if (kill_index >= 0) {
+      assassin = std::thread([&router, kill_index, kill_at_ms] {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(kill_at_ms));
+        router.crash_shard(kill_index);
+      });
+    }
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(clients));
     for (int c = 0; c < clients; ++c) {
@@ -673,11 +725,11 @@ int cmd_serve_bench(int argc, char** argv) {
       });
     }
     for (auto& thread : threads) thread.join();
+    if (assassin.joinable()) assassin.join();
     const double wall_s = timer.seconds();
-    router.stop();
-    const fleet::FleetStats stats = router.stats();
 
-    if (!trace_path.empty() && finish_trace(trace_path) != 0) return 1;
+    // Scrape before stop: socket shards answer the stats frames live, and
+    // a stopped fleet has no processes left to ask.
     const std::string metrics_path = cli.str("metrics");
     if (!metrics_path.empty()) {
       std::ofstream out(metrics_path, std::ios::binary);
@@ -689,6 +741,10 @@ int cmd_serve_bench(int argc, char** argv) {
       }
       std::printf("wrote metrics to %s\n", metrics_path.c_str());
     }
+    router.stop();
+    const fleet::FleetStats stats = router.stats();
+
+    if (!trace_path.empty() && finish_trace(trace_path) != 0) return 1;
 
     std::printf(
         "fleet: %d shards x %d replicas, hedge %s\n"
@@ -729,21 +785,40 @@ int cmd_serve_bench(int argc, char** argv) {
         static_cast<unsigned long long>(stats.shard_sheds),
         static_cast<unsigned long long>(stats.wire_request_bytes),
         static_cast<unsigned long long>(stats.wire_reply_bytes));
+    if (proc_shards > 0) {
+      std::printf(
+          "proc: %llu crashes, %llu hangs detected; respawns %llu attempted "
+          "%llu succeeded %llu exhausted (last %s); heartbeats %llu sent "
+          "%llu missed; %llu transport timeouts, %llu reconnects\n",
+          static_cast<unsigned long long>(stats.crashes_detected),
+          static_cast<unsigned long long>(stats.hangs_detected),
+          static_cast<unsigned long long>(stats.respawns_attempted),
+          static_cast<unsigned long long>(stats.respawns_succeeded),
+          static_cast<unsigned long long>(stats.respawns_exhausted),
+          sup::format_time(stats.last_respawn_s).c_str(),
+          static_cast<unsigned long long>(stats.heartbeats_sent),
+          static_cast<unsigned long long>(stats.heartbeats_missed),
+          static_cast<unsigned long long>(stats.transport_timeouts),
+          static_cast<unsigned long long>(stats.reconnects));
+    }
     std::uint64_t sanitizer_findings = 0;
     for (const fleet::ShardSnapshot& shard : stats.shards) {
-      const serve::ServiceStats shard_stats =
-          router.shard(shard.index).stats();
-      sanitizer_findings += shard_stats.sanitizer_findings;
+      // Sanitizer findings live in the service; only in-process shards can
+      // be asked directly (socket shards report through their scrapes).
+      if (fleet::Shard* local = router.loopback_shard(shard.index)) {
+        sanitizer_findings += local->stats().sanitizer_findings;
+      }
       std::printf(
           "  shard %d: %s, %llu routed, %llu errors, %llu sheds, "
-          "%llu quarantines, %llu probes, %llu reinstates\n",
+          "%llu quarantines, %llu probes, %llu reinstates, %llu respawns\n",
           shard.index, std::string(fleet::to_string(shard.state)).c_str(),
           static_cast<unsigned long long>(shard.routed),
           static_cast<unsigned long long>(shard.errors),
           static_cast<unsigned long long>(shard.sheds),
           static_cast<unsigned long long>(shard.quarantines),
           static_cast<unsigned long long>(shard.probes),
-          static_cast<unsigned long long>(shard.reinstates));
+          static_cast<unsigned long long>(shard.reinstates),
+          static_cast<unsigned long long>(shard.respawns));
     }
     if (*sanitize != gpusim::SanitizerMode::kOff) {
       std::printf("sanitizer (%s): %llu finding(s) across the fleet\n",
@@ -755,7 +830,8 @@ int cmd_serve_bench(int argc, char** argv) {
     // Stuck futures are the unconditional failure; chaos and deadlines
     // legitimately fail some requests.
     if (stats.in_flight() != 0) return 1;
-    const bool failures_expected = inject || deadline_ms > 0.0;
+    const bool failures_expected =
+        inject || deadline_ms > 0.0 || kill_index >= 0;
     return failures_expected || stats.failed == 0 ? 0 : 1;
   }
 
@@ -958,6 +1034,8 @@ int cmd_trace_check(int argc, char** argv) {
       required.push_back("starsim_fleet_failovers_total");
       required.push_back("starsim_fleet_shard_state");
       required.push_back("starsim_fleet_latency_seconds");
+      required.push_back("starsim_fleet_proc_respawns_total");
+      required.push_back("starsim_fleet_heartbeats_total");
     }
     const std::vector<std::string> problems =
         trace::check_prometheus(*exposition, required);

@@ -1,0 +1,161 @@
+#include "fleet/process.h"
+
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fleet/socket.h"
+#include "support/error.h"
+
+extern char** environ;
+
+namespace starsim::fleet {
+
+namespace {
+
+[[nodiscard]] double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+[[nodiscard]] std::string fmt(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+ShardProcess::ShardProcess(ShardProcessConfig config)
+    : config_(std::move(config)) {
+  STARSIM_REQUIRE(!config_.shardd_path.empty(),
+                  "ShardProcess requires a shardd binary path");
+  STARSIM_REQUIRE(!config_.socket_path.empty(),
+                  "ShardProcess requires a socket path");
+}
+
+ShardProcess::~ShardProcess() {
+  if (running()) stop(/*grace_s=*/2.0);
+}
+
+void ShardProcess::spawn() {
+  STARSIM_REQUIRE(!running(), "spawn() while a child is still running");
+  ++spawn_count_;
+
+  std::vector<std::string> args = {
+      config_.shardd_path,
+      "--socket", config_.socket_path,
+      "--index", std::to_string(config_.index),
+      "--workers", std::to_string(config_.workers),
+      "--queue", std::to_string(config_.queue_capacity),
+      "--batch", std::to_string(config_.max_batch_size),
+      "--cache", std::to_string(config_.cache_capacity),
+      "--fault-rate", fmt(config_.fault_rate),
+      "--lost-rate", fmt(config_.lost_rate),
+      "--fault-seed", std::to_string(config_.fault_seed),
+      "--straggler-ms", fmt(config_.straggler_ms),
+      "--frame-timeout-ms", fmt(config_.frame_timeout_ms),
+  };
+  if (config_.inject_faults) args.emplace_back("--inject-faults");
+
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  pid_t child = -1;
+  const int rc = ::posix_spawn(&child, config_.shardd_path.c_str(),
+                               /*file_actions=*/nullptr, /*attrp=*/nullptr,
+                               argv.data(), environ);
+  if (rc != 0) {
+    STARSIM_THROW(support::ShardDownError,
+                  "posix_spawn(" + config_.shardd_path +
+                      ") failed: " + std::strerror(rc));
+  }
+  pid_ = child;
+  exited_ = false;
+
+  // A spawned process is only useful once its socket answers. Probe with
+  // short connects; a child that dies during startup is caught here, not
+  // left for the first real request to trip over.
+  const double deadline = steady_now_s() + config_.spawn_wait_s;
+  while (steady_now_s() < deadline) {
+    if (!running()) {
+      STARSIM_THROW(support::ShardDownError,
+                    "shardd " + std::to_string(config_.index) +
+                        " exited during startup");
+    }
+    try {
+      FrameSocket probe = FrameSocket::connect(config_.socket_path, 0.1);
+      return;  // connectable — ready for traffic
+    } catch (const support::Error&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  kill_now();
+  STARSIM_THROW(support::ShardDownError,
+                "shardd " + std::to_string(config_.index) +
+                    " socket never came up at " + config_.socket_path);
+}
+
+bool ShardProcess::running() {
+  if (pid_ < 0 || exited_) return false;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == pid_) {
+    exited_ = true;  // reaped
+    return false;
+  }
+  if (r < 0 && errno == ECHILD) {
+    exited_ = true;  // someone else reaped it; treat as gone
+    return false;
+  }
+  return true;
+}
+
+void ShardProcess::kill_now() {
+  if (pid_ < 0 || exited_) return;
+  ::kill(pid_, SIGKILL);
+  reap_blocking();
+}
+
+void ShardProcess::pause() {
+  if (pid_ >= 0 && !exited_) ::kill(pid_, SIGSTOP);
+}
+
+void ShardProcess::resume() {
+  if (pid_ >= 0 && !exited_) ::kill(pid_, SIGCONT);
+}
+
+void ShardProcess::stop(double grace_s) {
+  if (pid_ < 0 || exited_) return;
+  ::kill(pid_, SIGTERM);
+  const double deadline = steady_now_s() + grace_s;
+  while (steady_now_s() < deadline) {
+    if (!running()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  kill_now();
+}
+
+void ShardProcess::reap_blocking() {
+  if (pid_ < 0 || exited_) return;
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid_, &status, 0);
+    if (r == pid_ || (r < 0 && errno != EINTR)) break;
+  }
+  exited_ = true;
+}
+
+}  // namespace starsim::fleet

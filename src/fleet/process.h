@@ -1,0 +1,87 @@
+// ShardProcess — lifecycle of one out-of-process shard: spawn the
+// starsim_shardd binary, watch it via waitpid, signal it for chaos and
+// shutdown.
+//
+// This is deliberately mechanics-only: no health policy lives here. The
+// ProcessSupervisor (fleet/supervisor.h) decides *when* to kill, respawn or
+// give up; ShardProcess only knows *how* — posix_spawn with an argv built
+// from the config, non-blocking waitpid to detect exits without reaping
+// races, SIGKILL+reap for crash(), SIGSTOP/SIGCONT for hang chaos, and a
+// connect-probe loop after spawn so callers only see a process once its
+// socket actually answers.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+
+namespace starsim::fleet {
+
+/// Everything needed to exec one shard host. Mirrors the starsim_shardd
+/// flag surface; extend both together.
+struct ShardProcessConfig {
+  std::string shardd_path;   ///< path to the starsim_shardd binary
+  std::string socket_path;   ///< Unix socket the shard will listen on
+  int index = 0;
+  int workers = 2;
+  std::size_t queue_capacity = 64;
+  std::size_t max_batch_size = 8;
+  std::size_t cache_capacity = 32;
+  bool inject_faults = false;
+  double fault_rate = 0.0;
+  double lost_rate = 0.0;
+  std::uint64_t fault_seed = 0;
+  double straggler_ms = 0.0;    ///< debug straggler injection (hedging tests)
+  double frame_timeout_ms = 30000.0;
+  /// How long spawn() waits for the child's socket to answer a connect
+  /// before declaring the spawn failed.
+  double spawn_wait_s = 10.0;
+};
+
+class ShardProcess {
+ public:
+  explicit ShardProcess(ShardProcessConfig config);
+  ~ShardProcess();
+
+  ShardProcess(const ShardProcess&) = delete;
+  ShardProcess& operator=(const ShardProcess&) = delete;
+
+  /// Spawn the shardd binary and wait until its socket accepts a
+  /// connection. Throws support::ShardDownError when the exec fails, the
+  /// child exits early, or the socket never comes up within spawn_wait_s.
+  void spawn();
+
+  /// True when a child has been spawned and has not been observed to exit.
+  /// Performs a non-blocking waitpid, so a crashed child is detected (and
+  /// reaped) on the first call after its death.
+  [[nodiscard]] bool running();
+
+  /// SIGKILL and reap. The chaos primitive — and the bottom rung of the
+  /// supervision ladder (a hung process gets no graceful window).
+  void kill_now();
+
+  /// SIGSTOP: wedge the process without killing it (hang chaos — the
+  /// process holds its socket open but stops answering).
+  void pause();
+  /// SIGCONT after pause().
+  void resume();
+
+  /// Graceful stop: SIGTERM, wait up to grace_s for exit, then SIGKILL.
+  void stop(double grace_s = 5.0);
+
+  [[nodiscard]] pid_t pid() const { return pid_; }
+  [[nodiscard]] const ShardProcessConfig& config() const { return config_; }
+  /// Spawns attempted over this object's lifetime (respawns increment it).
+  [[nodiscard]] std::uint64_t spawn_count() const { return spawn_count_; }
+
+ private:
+  void reap_blocking();
+
+  ShardProcessConfig config_;
+  pid_t pid_ = -1;
+  bool exited_ = true;
+  std::uint64_t spawn_count_ = 0;
+};
+
+}  // namespace starsim::fleet

@@ -46,8 +46,75 @@ std::string_view to_string(ShardState state) {
       return "probing";
     case ShardState::kDown:
       return "down";
+    case ShardState::kRespawning:
+      return "respawning";
+    case ShardState::kRetired:
+      return "retired";
   }
   return "unknown";
+}
+
+namespace {
+
+/// States a request must never be routed to.
+[[nodiscard]] bool unroutable(ShardState state) {
+  return state == ShardState::kDown || state == ShardState::kRespawning ||
+         state == ShardState::kRetired;
+}
+
+}  // namespace
+
+std::unique_ptr<Transport> ShardRouter::make_transport(int index) {
+  serve::FrameServiceOptions shard_options = options_.shard;
+  if (shard_options.worker.fault_policy.has_value()) {
+    // Decorrelate injected faults across shards the same way WorkerPool
+    // decorrelates them across workers — correlated chaos would fault
+    // every replica of a scene at once and defeat failover.
+    shard_options.worker.fault_policy->seed =
+        mix64(shard_options.worker.fault_policy->seed +
+              static_cast<std::uint64_t>(index));
+  }
+  if (index == options_.straggler_shard) {
+    shard_options.worker.debug_straggler_ms = options_.straggler_ms;
+  }
+  if (!options_.process_shards) {
+    return std::make_unique<LoopbackTransport>(index,
+                                               std::move(shard_options));
+  }
+  STARSIM_REQUIRE(!options_.shardd_path.empty(),
+                  "process shards need a shardd binary path");
+  STARSIM_REQUIRE(!options_.socket_dir.empty(),
+                  "process shards need a socket directory");
+  ShardProcessConfig config;
+  config.shardd_path = options_.shardd_path;
+  config.socket_path =
+      options_.socket_dir + "/shard-" + std::to_string(index) + ".sock";
+  config.index = index;
+  config.workers = shard_options.workers;
+  config.queue_capacity = shard_options.queue_capacity;
+  config.max_batch_size = shard_options.max_batch_size;
+  config.cache_capacity = shard_options.cache_capacity;
+  if (shard_options.worker.fault_policy.has_value()) {
+    // FaultPolicy::chaos shape: one transient rate across sites plus a
+    // device-lost escalation — the same knobs serve-bench drives.
+    const auto& policy = *shard_options.worker.fault_policy;
+    config.inject_faults = true;
+    config.fault_rate = policy.h2d_fault_rate;
+    config.lost_rate = policy.device_lost_rate;
+    config.fault_seed = policy.seed;
+  }
+  config.straggler_ms = shard_options.worker.debug_straggler_ms;
+  return std::make_unique<SocketTransport>(std::move(config),
+                                           options_.transport);
+}
+
+void ShardRouter::append_ring_points(
+    std::vector<std::pair<std::uint64_t, int>>& ring, int index) const {
+  for (int v = 0; v < options_.virtual_nodes; ++v) {
+    const std::uint64_t id = (static_cast<std::uint64_t>(index) << 32) |
+                             static_cast<std::uint64_t>(v);
+    ring.emplace_back(mix64(id), index);
+  }
 }
 
 ShardRouter::ShardRouter(FleetOptions options)
@@ -65,32 +132,13 @@ ShardRouter::ShardRouter(FleetOptions options)
                   "shards need at least one worker");
   options_.replicas = std::min(options_.replicas, options_.shards);
 
-  shards_.reserve(static_cast<std::size_t>(options_.shards));
   for (int s = 0; s < options_.shards; ++s) {
-    serve::FrameServiceOptions shard_options = options_.shard;
-    if (shard_options.worker.fault_policy.has_value()) {
-      // Decorrelate injected faults across shards the same way WorkerPool
-      // decorrelates them across workers — correlated chaos would fault
-      // every replica of a scene at once and defeat failover.
-      shard_options.worker.fault_policy->seed =
-          mix64(shard_options.worker.fault_policy->seed +
-                static_cast<std::uint64_t>(s));
-    }
-    if (s == options_.straggler_shard) {
-      shard_options.worker.debug_straggler_ms = options_.straggler_ms;
-    }
-    shards_.push_back(std::make_unique<Shard>(s, std::move(shard_options)));
+    slots_.push_back(make_transport(s));
   }
 
   ring_.reserve(static_cast<std::size_t>(options_.shards) *
                 static_cast<std::size_t>(options_.virtual_nodes));
-  for (int s = 0; s < options_.shards; ++s) {
-    for (int v = 0; v < options_.virtual_nodes; ++v) {
-      const std::uint64_t id = (static_cast<std::uint64_t>(s) << 32) |
-                               static_cast<std::uint64_t>(v);
-      ring_.emplace_back(mix64(id), s);
-    }
-  }
+  for (int s = 0; s < options_.shards; ++s) append_ring_points(ring_, s);
   std::sort(ring_.begin(), ring_.end());
 
   health_.resize(static_cast<std::size_t>(options_.shards));
@@ -99,6 +147,19 @@ ShardRouter::ShardRouter(FleetOptions options)
                        true);
   }
   hedge_ring_.assign(kHedgeRingSize, 0.0);
+
+  if (options_.supervise) {
+    SupervisorEvents events;
+    events.on_unreachable = [this](int s) { on_shard_unreachable(s); };
+    events.on_respawned = [this](int s) { on_shard_respawned(s); };
+    events.on_exhausted = [this](int s) { on_shard_exhausted(s); };
+    supervisor_ = std::make_unique<ProcessSupervisor>(options_.supervision,
+                                                      std::move(events));
+    for (int s = 0; s < options_.shards; ++s) {
+      supervisor_->watch(s, transport_at(s));
+    }
+    supervisor_->start();
+  }
 
   probe_thread_ = std::thread(&ShardRouter::probe_loop, this);
   threads_.reserve(static_cast<std::size_t>(options_.router_threads));
@@ -109,26 +170,57 @@ ShardRouter::ShardRouter(FleetOptions options)
 
 ShardRouter::~ShardRouter() { stop(); }
 
-std::vector<int> ShardRouter::replicas_for(std::uint64_t scene_key) const {
+Transport* ShardRouter::transport_at(int index) const {
+  const std::lock_guard<std::mutex> lock(slots_mutex_);
+  return slots_.at(static_cast<std::size_t>(index)).get();
+}
+
+int ShardRouter::shard_count() const {
+  const std::lock_guard<std::mutex> lock(slots_mutex_);
+  return static_cast<int>(slots_.size());
+}
+
+Transport& ShardRouter::transport(int index) { return *transport_at(index); }
+
+Shard* ShardRouter::loopback_shard(int index) {
+  return transport_at(index)->loopback_shard();
+}
+
+Shard& ShardRouter::shard(int index) {
+  Shard* shard = loopback_shard(index);
+  STARSIM_REQUIRE(shard != nullptr,
+                  "shard(index) is loopback-only; socket transports have no "
+                  "in-process Shard");
+  return *shard;
+}
+
+std::vector<int> ShardRouter::replicas_in(
+    const std::vector<std::pair<std::uint64_t, int>>& ring,
+    std::uint64_t scene_key) const {
   std::vector<int> replicas;
   replicas.reserve(static_cast<std::size_t>(options_.replicas));
   const std::uint64_t point = mix64(scene_key);
   auto it = std::lower_bound(
-      ring_.begin(), ring_.end(), point,
+      ring.begin(), ring.end(), point,
       [](const std::pair<std::uint64_t, int>& node, std::uint64_t key) {
         return node.first < key;
       });
   for (std::size_t walked = 0;
-       walked < ring_.size() &&
+       walked < ring.size() &&
        replicas.size() < static_cast<std::size_t>(options_.replicas);
        ++walked, ++it) {
-    if (it == ring_.end()) it = ring_.begin();
+    if (it == ring.end()) it = ring.begin();
     if (std::find(replicas.begin(), replicas.end(), it->second) ==
         replicas.end()) {
       replicas.push_back(it->second);
     }
   }
   return replicas;
+}
+
+std::vector<int> ShardRouter::replicas_for(std::uint64_t scene_key) const {
+  const std::lock_guard<std::mutex> lock(ring_mutex_);
+  return replicas_in(ring_, scene_key);
 }
 
 ShardRouter::RouterTask ShardRouter::make_task(serve::RenderRequest&& request) {
@@ -141,8 +233,26 @@ ShardRouter::RouterTask ShardRouter::make_task(serve::RenderRequest&& request) {
   task.promise = std::make_shared<std::promise<serve::RenderResponse>>();
   task.flow_id = trace::TraceRecorder::instance().next_flow_id();
   task.request = std::move(request);
+  note_hot_scene(task);
   trace::flow(trace::Phase::kFlowStart, "fleet", "request", task.flow_id);
   return task;
+}
+
+void ShardRouter::note_hot_scene(const RouterTask& task) {
+  if (options_.hot_scene_capacity == 0) return;
+  const std::lock_guard<std::mutex> lock(hot_mutex_);
+  const auto it = hot_index_.find(task.scene_key);
+  if (it != hot_index_.end()) {
+    // Known scene: refresh recency without copying the star list.
+    hot_scenes_.splice(hot_scenes_.begin(), hot_scenes_, it->second);
+    return;
+  }
+  hot_scenes_.emplace_front(task.scene_key, task.request);
+  hot_index_[task.scene_key] = hot_scenes_.begin();
+  while (hot_scenes_.size() > options_.hot_scene_capacity) {
+    hot_index_.erase(hot_scenes_.back().first);
+    hot_scenes_.pop_back();
+  }
 }
 
 std::future<serve::RenderResponse> ShardRouter::submit(
@@ -243,12 +353,15 @@ bool ShardRouter::replicas_saturated(
     const std::lock_guard<std::mutex> lock(health_mutex_);
     for (const int s : candidates) {
       const HealthSlot& slot = health_[static_cast<std::size_t>(s)];
-      if (slot.state == ShardState::kDown) continue;
+      if (unroutable(slot.state)) continue;
       any_live = true;
-      const Shard& shard = *shards_[static_cast<std::size_t>(s)];
-      const double watermark = options_.backpressure_ratio *
-                               static_cast<double>(shard.queue_capacity());
-      if (static_cast<double>(shard.queue_depth()) < watermark) return false;
+      Transport* transport = transport_at(s);
+      const double watermark =
+          options_.backpressure_ratio *
+          static_cast<double>(transport->queue_capacity());
+      if (static_cast<double>(transport->queue_depth()) < watermark) {
+        return false;
+      }
     }
   }
   // No live replica at all is a routing failure, not backpressure — let
@@ -415,16 +528,17 @@ void ShardRouter::run_due_probes(const serve::RenderRequest& model) {
   }
   for (const int s : due) {
     trace::TraceSpan span("fleet", "probe");
-    span.arg("shard", shards_[static_cast<std::size_t>(s)]->instance());
+    span.arg("shard", transport_at(s)->instance());
     // Shadow duplicate: the result is discarded, so a still-sick shard can
     // only waste its own cycles — client traffic keeps routing around it.
     serve::RenderRequest probe = model;
     probe.deadline_s.reset();
     probe.priority = serve::RequestPriority::kLow;
     ShardState next = ShardState::kQuarantined;
+    bool gone = false;
     try {
       const WireBuffer frame = encode_request(probe);
-      PendingReply reply = shards_[static_cast<std::size_t>(s)]->submit(frame);
+      PendingReply reply = transport_at(s)->submit(frame, std::nullopt);
       const WireBuffer bytes = reply.take();
       {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -434,9 +548,15 @@ void ShardRouter::run_due_probes(const serve::RenderRequest& model) {
       (void)decode_reply(bytes);  // throws the typed error on failure
       next = ShardState::kHealthy;
     } catch (const support::ShardDownError&) {
-      next = ShardState::kDown;
+      gone = true;
     } catch (const std::exception&) {
       next = ShardState::kQuarantined;  // fresh dwell, probe again later
+    }
+    if (gone) {
+      // The probe found a dead shard: hand it to the supervision ladder
+      // (or mark it down for good when unsupervised).
+      note_unreachable(s);
+      continue;
     }
     bool reinstated = false;
     {
@@ -471,6 +591,7 @@ void ShardRouter::execute(RouterTask task) {
   // quarantined owner of the scene beats a stranger's cold cache), then
   // any other live shard as a last resort.
   const std::vector<int> replicas = replicas_for(task.scene_key);
+  const int total = shard_count();
   std::vector<int> plan;
   {
     const std::lock_guard<std::mutex> lock(health_mutex_);
@@ -481,17 +602,17 @@ void ShardRouter::execute(RouterTask task) {
     }
     for (const int s : replicas) {
       const ShardState state = health_[static_cast<std::size_t>(s)].state;
-      if (state != ShardState::kHealthy && state != ShardState::kDown) {
+      if (state != ShardState::kHealthy && !unroutable(state)) {
         plan.push_back(s);
       }
     }
     if (plan.empty()) {
-      for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+      for (int s = 0; s < total; ++s) {
         if (std::find(replicas.begin(), replicas.end(), s) !=
             replicas.end()) {
           continue;
         }
-        if (health_[static_cast<std::size_t>(s)].state != ShardState::kDown) {
+        if (!unroutable(health_[static_cast<std::size_t>(s)].state)) {
           plan.push_back(s);
         }
       }
@@ -523,15 +644,11 @@ void ShardRouter::execute(RouterTask task) {
     try {
       const WireBuffer frame = encode_request(attempt);
       primary.emplace(
-          shards_[static_cast<std::size_t>(primary_shard)]->submit(frame));
+          transport_at(primary_shard)->submit(frame, budget));
       const std::lock_guard<std::mutex> lock(stats_mutex_);
       wire_request_bytes_ += frame.size();
     } catch (const support::ShardDownError&) {
-      {
-        const std::lock_guard<std::mutex> lock(health_mutex_);
-        health_[static_cast<std::size_t>(primary_shard)].state =
-            ShardState::kDown;
-      }
+      note_unreachable(primary_shard);
       last_error = std::current_exception();
       if (next < plan.size()) {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -560,7 +677,7 @@ void ShardRouter::execute(RouterTask task) {
         try {
           const WireBuffer frame = encode_request(backup);
           hedge.emplace(
-              shards_[static_cast<std::size_t>(candidate)]->submit(frame));
+              transport_at(candidate)->submit(frame, hedge_budget));
           hedge_shard = candidate;
           next += 1;
           {
@@ -573,9 +690,7 @@ void ShardRouter::execute(RouterTask task) {
             health_[static_cast<std::size_t>(candidate)].routed += 1;
           }
         } catch (const support::ShardDownError&) {
-          const std::lock_guard<std::mutex> lock(health_mutex_);
-          health_[static_cast<std::size_t>(candidate)].state =
-              ShardState::kDown;
+          note_unreachable(candidate);
           next += 1;
         }
       }
@@ -618,6 +733,15 @@ void ShardRouter::execute(RouterTask task) {
           success = true;
         } catch (const support::OverloadShedError&) {
           shed = true;
+        } catch (const support::ShardDownError&) {
+          // Peer gone, not erring: enter the ladder, spare the breaker.
+          note_unreachable(loser_shard);
+        } catch (const support::TransportTimeoutError&) {
+          {
+            const std::lock_guard<std::mutex> lock(stats_mutex_);
+            transport_timeouts_ += 1;
+          }
+          record_outcome(loser_shard, false);
         } catch (const std::exception&) {
           record_outcome(loser_shard, false);
         }
@@ -662,6 +786,22 @@ void ShardRouter::execute(RouterTask task) {
         // Re-rendering cannot un-expire the request: terminal, no failover.
         last_error = std::current_exception();
         throw;
+      } catch (const support::ShardDownError&) {
+        // The transport lost its peer mid-request (EOF, reset, kill).
+        // Route into the ladder without charging the breaker — the shard
+        // is gone, not misbehaving — and fail over.
+        note_unreachable(reply_shard);
+        last_error = std::current_exception();
+      } catch (const support::TransportTimeoutError&) {
+        // A hung shard burned this request's I/O budget. Charge the
+        // breaker (repeat offenders quarantine) and fail over; the hang
+        // detector handles the process itself.
+        {
+          const std::lock_guard<std::mutex> lock(stats_mutex_);
+          transport_timeouts_ += 1;
+        }
+        record_outcome(reply_shard, false);
+        last_error = std::current_exception();
       } catch (const std::exception&) {
         record_outcome(reply_shard, false);
         last_error = std::current_exception();
@@ -728,7 +868,9 @@ void ShardRouter::stop() {
   // Close admission, let the router threads drain every queued task
   // through still-running shards (every admitted future resolves), then
   // stop the shards themselves. The probe thread joins before the shards
-  // stop: an in-flight probe resolves through a still-running shard.
+  // stop (an in-flight probe resolves through a still-running shard), and
+  // the supervisor stops before the transports so a shutdown is never
+  // mistaken for a crash and respawned.
   queue_.close();
   {
     const std::lock_guard<std::mutex> lock(probe_mutex_);
@@ -739,13 +881,242 @@ void ShardRouter::stop() {
     if (thread.joinable()) thread.join();
   }
   if (probe_thread_.joinable()) probe_thread_.join();
-  for (const std::unique_ptr<Shard>& shard : shards_) shard->stop();
+  if (supervisor_) supervisor_->stop();
+  std::vector<Transport*> transports;
+  {
+    const std::lock_guard<std::mutex> lock(slots_mutex_);
+    transports.reserve(slots_.size());
+    for (const std::unique_ptr<Transport>& slot : slots_) {
+      transports.push_back(slot.get());
+    }
+  }
+  for (Transport* transport : transports) transport->shutdown();
 }
 
 void ShardRouter::kill_shard(int index) {
-  shards_.at(static_cast<std::size_t>(index))->kill();
+  // Terminal before lethal: the supervisor must never respawn a shard the
+  // test (or operator) deliberately killed.
+  if (supervisor_) supervisor_->mark_terminal(index);
+  transport_at(index)->crash();
   const std::lock_guard<std::mutex> lock(health_mutex_);
-  health_[static_cast<std::size_t>(index)].state = ShardState::kDown;
+  health_.at(static_cast<std::size_t>(index)).state = ShardState::kDown;
+}
+
+void ShardRouter::crash_shard(int index) {
+  // No state change here: the point is that the *ladder* notices — via
+  // the supervisor's waitpid poll or a submit's ShardDownError.
+  transport_at(index)->crash();
+}
+
+void ShardRouter::wedge_shard(int index) {
+  transport_at(index)->wedge();
+}
+
+void ShardRouter::note_unreachable(int index) {
+  bool enter_ladder = false;
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    HealthSlot& slot = health_.at(static_cast<std::size_t>(index));
+    if (slot.state == ShardState::kDown ||
+        slot.state == ShardState::kRetired) {
+      return;  // terminal states stay terminal
+    }
+    if (supervisor_ != nullptr) {
+      if (slot.state != ShardState::kRespawning) {
+        slot.state = ShardState::kRespawning;
+        enter_ladder = true;
+      }
+    } else {
+      slot.state = ShardState::kDown;
+    }
+  }
+  if (enter_ladder) {
+    trace::instant("fleet", "shard_unreachable");
+    supervisor_->note_unreachable(index);
+  }
+}
+
+void ShardRouter::on_shard_unreachable(int index) {
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  HealthSlot& slot = health_.at(static_cast<std::size_t>(index));
+  if (slot.state == ShardState::kDown || slot.state == ShardState::kRetired) {
+    return;
+  }
+  slot.state = ShardState::kRespawning;
+}
+
+void ShardRouter::on_shard_respawned(int index) {
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    HealthSlot& slot = health_.at(static_cast<std::size_t>(index));
+    if (slot.state == ShardState::kDown ||
+        slot.state == ShardState::kRetired) {
+      return;
+    }
+    // A respawned shard earns its way back: quarantined until the shadow
+    // probe passes, with a clean breaker window (its past errors died with
+    // the old process).
+    slot.state = ShardState::kQuarantined;
+    slot.quarantined_at = std::chrono::steady_clock::now();
+    slot.quarantines += 1;
+    slot.window_count = 0;
+    slot.window_next = 0;
+  }
+  trace::instant("fleet", "shard_respawned");
+}
+
+void ShardRouter::on_shard_exhausted(int index) {
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    HealthSlot& slot = health_.at(static_cast<std::size_t>(index));
+    if (slot.state == ShardState::kRetired) return;
+    slot.state = ShardState::kDown;
+  }
+  trace::instant("fleet", "shard_exhausted");
+}
+
+void ShardRouter::warm_shard(
+    int target, const std::vector<std::pair<std::uint64_t, int>>& ring) {
+  if (options_.hot_scene_capacity == 0) return;
+  std::vector<serve::RenderRequest> replay;
+  {
+    const std::lock_guard<std::mutex> lock(hot_mutex_);
+    for (const auto& [key, request] : hot_scenes_) {
+      const std::vector<int> owners = replicas_in(ring, key);
+      if (std::find(owners.begin(), owners.end(), target) != owners.end()) {
+        replay.push_back(request);
+      }
+    }
+  }
+  for (serve::RenderRequest& request : replay) {
+    // Warm renders are shadow traffic: no deadline, lowest priority, the
+    // frame is discarded — the point is the target's scene cache.
+    request.deadline_s.reset();
+    request.priority = serve::RequestPriority::kLow;
+    bool ok = false;
+    try {
+      const WireBuffer frame = encode_request(request);
+      PendingReply reply = transport_at(target)->submit(frame, std::nullopt);
+      const WireBuffer bytes = reply.take();
+      (void)decode_reply(bytes);
+      ok = true;
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      wire_request_bytes_ += frame.size();
+      wire_reply_bytes_ += bytes.size();
+    } catch (const std::exception&) {
+      // Best effort: a failed warm costs the new owner a cold first
+      // render, nothing else.
+    }
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    warm_replays_ += 1;
+    if (!ok) warm_failures_ += 1;
+  }
+}
+
+int ShardRouter::add_shard() {
+  // Build (and for process fleets, spawn) the shard before taking any
+  // router lock — a spawn takes milliseconds and must not stall routing.
+  int index = 0;
+  {
+    const std::lock_guard<std::mutex> lock(slots_mutex_);
+    index = static_cast<int>(slots_.size());
+  }
+  std::unique_ptr<Transport> built = make_transport(index);
+  Transport* transport = built.get();
+  {
+    const std::lock_guard<std::mutex> lock(slots_mutex_);
+    STARSIM_REQUIRE(index == static_cast<int>(slots_.size()),
+                    "concurrent add_shard calls are not supported");
+    slots_.push_back(std::move(built));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    health_.emplace_back();
+    HealthSlot& slot = health_.back();
+    slot.window.assign(std::max<std::size_t>(options_.breaker_window, 1),
+                       true);
+    // Unroutable until warmed and on the ring.
+    slot.state = ShardState::kRespawning;
+  }
+  // Plan the post-resize ring, warm the newcomer against it, and only then
+  // cut over. Consistent hashing moves keys only *onto* the new shard, so
+  // requests keep resolving against the old ring throughout the warm.
+  std::vector<std::pair<std::uint64_t, int>> candidate;
+  {
+    const std::lock_guard<std::mutex> lock(ring_mutex_);
+    candidate = ring_;
+  }
+  append_ring_points(candidate, index);
+  std::sort(candidate.begin(), candidate.end());
+  warm_shard(index, candidate);
+  {
+    const std::lock_guard<std::mutex> lock(ring_mutex_);
+    ring_ = std::move(candidate);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    health_.at(static_cast<std::size_t>(index)).state = ShardState::kHealthy;
+  }
+  if (supervisor_) supervisor_->watch(index, transport);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    shards_added_ += 1;
+  }
+  trace::instant("fleet", "shard_added");
+  return index;
+}
+
+void ShardRouter::remove_shard(int index) {
+  // Terminal first: a retirement that races a crash must win — the
+  // supervisor would otherwise respawn a shard we are tearing down.
+  if (supervisor_) supervisor_->mark_terminal(index);
+  std::vector<std::pair<std::uint64_t, int>> current;
+  {
+    const std::lock_guard<std::mutex> lock(ring_mutex_);
+    current = ring_;
+  }
+  std::vector<std::pair<std::uint64_t, int>> candidate;
+  candidate.reserve(current.size());
+  for (const auto& point : current) {
+    if (point.second != index) candidate.push_back(point);
+  }
+  STARSIM_REQUIRE(!candidate.empty(), "cannot retire the last shard");
+  // Hot scenes the retiree owned gain new owners under the candidate
+  // ring; warm those owners before the cutover strands their caches cold.
+  std::vector<int> gainers;
+  {
+    const std::lock_guard<std::mutex> lock(hot_mutex_);
+    for (const auto& [key, request] : hot_scenes_) {
+      const std::vector<int> before = replicas_in(current, key);
+      if (std::find(before.begin(), before.end(), index) == before.end()) {
+        continue;
+      }
+      for (const int owner : replicas_in(candidate, key)) {
+        if (std::find(before.begin(), before.end(), owner) == before.end() &&
+            std::find(gainers.begin(), gainers.end(), owner) ==
+                gainers.end()) {
+          gainers.push_back(owner);
+        }
+      }
+    }
+  }
+  for (const int gainer : gainers) warm_shard(gainer, candidate);
+  {
+    const std::lock_guard<std::mutex> lock(ring_mutex_);
+    ring_ = std::move(candidate);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    health_.at(static_cast<std::size_t>(index)).state = ShardState::kRetired;
+  }
+  // In-flight work routed before the swap drains through the transport;
+  // shutdown() is a graceful stop, not a kill.
+  transport_at(index)->shutdown();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    shards_removed_ += 1;
+  }
+  trace::instant("fleet", "shard_removed");
 }
 
 void ShardRouter::quarantine_shard(int index) {
@@ -781,6 +1152,11 @@ FleetStats ShardRouter::stats() const {
     s.shard_sheds = shard_sheds_;
     s.wire_request_bytes = wire_request_bytes_;
     s.wire_reply_bytes = wire_reply_bytes_;
+    s.transport_timeouts = transport_timeouts_;
+    s.shards_added = shards_added_;
+    s.shards_removed = shards_removed_;
+    s.warm_replays = warm_replays_;
+    s.warm_failures = warm_failures_;
     s.latency = support::tail_quantiles(latency_samples_);
     double sum = 0.0;
     for (const double sample : latency_samples_) sum += sample;
@@ -789,26 +1165,49 @@ FleetStats ShardRouter::stats() const {
             ? 0.0
             : sum / static_cast<double>(latency_samples_.size());
   }
+  std::vector<std::pair<int, SupervisorShardStats>> ladder;
+  if (supervisor_) ladder = supervisor_->all_stats();
   {
     const std::lock_guard<std::mutex> lock(health_mutex_);
     s.shards.reserve(health_.size());
     for (std::size_t i = 0; i < health_.size(); ++i) {
       const HealthSlot& slot = health_[i];
+      Transport* transport = transport_at(static_cast<int>(i));
       ShardSnapshot snapshot;
       snapshot.index = static_cast<int>(i);
       snapshot.state = slot.state;
-      snapshot.queue_depth = shards_[i]->queue_depth();
+      snapshot.queue_depth = transport->queue_depth();
+      snapshot.heartbeat_age_ms = transport->heartbeat_age_ms();
       snapshot.routed = slot.routed;
       snapshot.errors = slot.errors;
       snapshot.sheds = slot.sheds;
       snapshot.quarantines = slot.quarantines;
       snapshot.probes = slot.probes;
       snapshot.reinstates = slot.reinstates;
+      for (const auto& [index, stats] : ladder) {
+        if (index == snapshot.index) {
+          snapshot.respawns = stats.respawns_succeeded;
+          break;
+        }
+      }
       s.shards.push_back(snapshot);
       s.quarantines += slot.quarantines;
       s.probes += slot.probes;
       s.reinstates += slot.reinstates;
+      const TransportStats transport_stats = transport->stats();
+      s.reconnects += transport_stats.reconnects;
+      s.heartbeats_sent += transport_stats.heartbeats_sent;
+      s.heartbeats_missed += transport_stats.heartbeats_missed;
     }
+  }
+  for (const auto& [index, stats] : ladder) {
+    (void)index;
+    s.crashes_detected += stats.crashes_detected;
+    s.hangs_detected += stats.hangs_detected;
+    s.respawns_attempted += stats.respawns_attempted;
+    s.respawns_succeeded += stats.respawns_succeeded;
+    if (stats.exhausted) s.respawns_exhausted += 1;
+    s.last_respawn_s = std::max(s.last_respawn_s, stats.last_respawn_s);
   }
   s.elapsed_s = lifetime_.seconds();
   s.throughput_rps = s.elapsed_s > 0.0
@@ -881,12 +1280,12 @@ std::string ShardRouter::scrape_metrics() const {
   {
     MetricFamily f{"starsim_fleet_shard_state",
                    "Health-ladder position per shard (0 healthy, 1 "
-                   "quarantined, 2 probing, 3 down)",
+                   "quarantined, 2 probing, 3 down, 4 respawning, "
+                   "5 retired)",
                    MetricType::kGauge, {}};
     for (const ShardSnapshot& shard : s.shards) {
       f.add(static_cast<double>(shard.state),
-            {{"instance", shards_[static_cast<std::size_t>(shard.index)]
-                              ->instance()}});
+            {{"instance", transport_at(shard.index)->instance()}});
     }
     families.push_back(std::move(f));
   }
@@ -896,9 +1295,78 @@ std::string ShardRouter::scrape_metrics() const {
                    MetricType::kGauge, {}};
     for (const ShardSnapshot& shard : s.shards) {
       f.add(static_cast<double>(shard.queue_depth),
-            {{"instance", shards_[static_cast<std::size_t>(shard.index)]
-                              ->instance()}});
+            {{"instance", transport_at(shard.index)->instance()}});
     }
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_shard_heartbeat_age_ms",
+                   "Milliseconds since each shard's last liveness signal",
+                   MetricType::kGauge, {}};
+    for (const ShardSnapshot& shard : s.shards) {
+      f.add(shard.heartbeat_age_ms,
+            {{"instance", transport_at(shard.index)->instance()}});
+    }
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_proc_failures_total",
+                   "Shard crashes and hangs detected by the supervisor",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.crashes_detected), {{"kind", "crash"}})
+        .add(static_cast<double>(s.hangs_detected), {{"kind", "hang"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_proc_respawns_total",
+                   "Supervision-ladder respawns by outcome",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.respawns_attempted),
+          {{"result", "attempted"}})
+        .add(static_cast<double>(s.respawns_succeeded),
+             {{"result", "succeeded"}})
+        .add(static_cast<double>(s.respawns_exhausted),
+             {{"result", "exhausted"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_proc_transport_timeouts_total",
+                   "Request I/O budgets burned by unresponsive shards",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.transport_timeouts));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_proc_reconnects_total",
+                   "Fresh shard connections dialed (first contact and "
+                   "post-respawn redials)",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.reconnects));
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_heartbeats_total",
+                   "Shard heartbeat round trips by outcome",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.heartbeats_sent), {{"result", "sent"}})
+        .add(static_cast<double>(s.heartbeats_missed),
+             {{"result", "missed"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_ring_resizes_total",
+                   "Runtime hash-ring membership changes",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.shards_added), {{"op", "add"}})
+        .add(static_cast<double>(s.shards_removed), {{"op", "remove"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_fleet_warm_replays_total",
+                   "Hot-scene replays during ring resizes",
+                   MetricType::kCounter, {}};
+    f.add(static_cast<double>(s.warm_replays), {{"result", "replayed"}})
+        .add(static_cast<double>(s.warm_failures), {{"result", "failed"}});
     families.push_back(std::move(f));
   }
   {
@@ -939,8 +1407,16 @@ std::string ShardRouter::scrape_metrics() const {
   // family once per exposition, so N shards contribute instance-labeled
   // samples to one shared family instead of N duplicate renders.
   std::map<std::string, std::size_t> merged;
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    for (trace::MetricFamily& family : shard->metric_families()) {
+  std::vector<Transport*> transports;
+  {
+    const std::lock_guard<std::mutex> lock(slots_mutex_);
+    transports.reserve(slots_.size());
+    for (const std::unique_ptr<Transport>& slot : slots_) {
+      transports.push_back(slot.get());
+    }
+  }
+  for (Transport* transport : transports) {
+    for (trace::MetricFamily& family : transport->metric_families()) {
       const auto it = merged.find(family.name);
       if (it == merged.end()) {
         merged.emplace(family.name, families.size());

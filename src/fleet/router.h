@@ -35,16 +35,21 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "fleet/shard.h"
+#include "fleet/supervisor.h"
+#include "fleet/transport.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
 #include "support/stats.h"
@@ -90,6 +95,26 @@ struct FleetOptions {
   /// (the slow replica hedging exists to beat). -1 disables.
   int straggler_shard = -1;
   double straggler_ms = 25.0;
+
+  // Process shards (fleet stage 2) ----------------------------------------
+  /// true runs every shard as a starsim_shardd process behind a
+  /// Unix-domain-socket transport; false keeps the in-process loopback.
+  /// Both transports walk the same health + supervision ladder.
+  bool process_shards = false;
+  /// Path to the starsim_shardd binary (required when process_shards).
+  std::string shardd_path;
+  /// Directory for shard socket files (required when process_shards).
+  std::string socket_dir;
+  /// Socket-transport tuning (I/O budgets, heartbeat cadence).
+  SocketTransportOptions transport{};
+  /// Run the crash/hang supervision ladder (respawn + reinstate). Off,
+  /// a dead shard stays kDown — PR 6 behaviour.
+  bool supervise = false;
+  SupervisorOptions supervision{};
+  /// Hot-scene memory for ring-resize cache warming: the router keeps the
+  /// most recent distinct scenes (by fingerprint) and replays them to a
+  /// new replica before cutover. 0 disables warming.
+  std::size_t hot_scene_capacity = 32;
 };
 
 /// Health-ladder position of one shard (docs/resilience.md).
@@ -97,7 +122,9 @@ enum class ShardState : int {
   kHealthy = 0,
   kQuarantined = 1,  ///< breaker tripped; real traffic routes around
   kProbing = 2,      ///< shadow probe in flight
-  kDown = 3,         ///< killed; terminal
+  kDown = 3,         ///< dead with no respawn coming; terminal
+  kRespawning = 4,   ///< crashed/hung; supervisor is rebuilding it
+  kRetired = 5,      ///< removed from the ring deliberately; terminal
 };
 
 [[nodiscard]] std::string_view to_string(ShardState state);
@@ -113,6 +140,8 @@ struct ShardSnapshot {
   std::uint64_t quarantines = 0;
   std::uint64_t probes = 0;
   std::uint64_t reinstates = 0;
+  std::uint64_t respawns = 0;        ///< successful supervisor respawns
+  double heartbeat_age_ms = 0.0;     ///< liveness staleness (socket shards)
 };
 
 /// Fleet-level aggregate counters; the router-tier analogue of
@@ -142,6 +171,26 @@ struct FleetStats {
   std::uint64_t reinstates = 0;
   std::uint64_t wire_request_bytes = 0;
   std::uint64_t wire_reply_bytes = 0;
+  /// Transport I/O deadline misses observed by the router (a hung shard
+  /// burned a request's remaining budget; the request failed over).
+  std::uint64_t transport_timeouts = 0;
+  // Supervision ladder (summed over shards; see ProcessSupervisor) -------
+  std::uint64_t crashes_detected = 0;
+  std::uint64_t hangs_detected = 0;
+  std::uint64_t respawns_attempted = 0;
+  std::uint64_t respawns_succeeded = 0;
+  std::uint64_t respawns_exhausted = 0;  ///< shards that ran out of budget
+  /// Seconds the most recent successful respawn took, detect-to-ready.
+  double last_respawn_s = 0.0;
+  // Socket-transport traffic (zero for loopback fleets) ------------------
+  std::uint64_t reconnects = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_missed = 0;
+  // Dynamic ring ---------------------------------------------------------
+  std::uint64_t shards_added = 0;
+  std::uint64_t shards_removed = 0;
+  std::uint64_t warm_replays = 0;   ///< hot scenes replayed during resizes
+  std::uint64_t warm_failures = 0;  ///< of those, replays that failed
   support::TailQuantiles latency;  ///< submit -> delivery, router-side
   double mean_latency_s = 0.0;
   double elapsed_s = 0.0;
@@ -188,23 +237,45 @@ class ShardRouter {
   [[nodiscard]] std::string scrape_metrics() const;
   [[nodiscard]] const FleetOptions& options() const { return options_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
-  [[nodiscard]] int shard_count() const {
-    return static_cast<int>(shards_.size());
-  }
+  [[nodiscard]] int shard_count() const;
 
   /// The R distinct replica shards for a scene key, in ring order.
   [[nodiscard]] std::vector<int> replicas_for(std::uint64_t scene_key) const;
 
+  // Dynamic ring -----------------------------------------------------------
+  /// Grow the fleet by one shard at runtime. The new shard is built (and,
+  /// for process fleets, spawned), warmed with the router's hot scenes
+  /// that it will co-own, and only then added to the ring — consistent
+  /// hashing guarantees keys move only *onto* the new shard, ~R/(N+1) of
+  /// them. Returns the new shard's index.
+  int add_shard();
+  /// Retire a shard at runtime: hot scenes it owned are replayed to their
+  /// new owners, the ring drops its points (keys move only *off* it), its
+  /// state becomes kRetired and its transport shuts down gracefully.
+  void remove_shard(int index);
+
   // Chaos / test hooks -----------------------------------------------------
-  /// Kill a shard: admission there stops, state becomes kDown, traffic
-  /// fails over. Admitted work drains (no stuck futures).
+  /// Kill a shard permanently: admission there stops, state becomes kDown,
+  /// traffic fails over, the supervisor never respawns it. Admitted work
+  /// drains (no stuck futures).
   void kill_shard(int index);
+  /// Supervised crash (SIGKILL the process / kill the in-process shard):
+  /// the ladder detects it, respawns under budget, and the shadow probe
+  /// reinstates — the primary chaos hook for recovery tests.
+  void crash_shard(int index);
+  /// Wedge a shard without killing it (SIGSTOP / loopback timeout mode):
+  /// heartbeats stop, the hang detector fires, the ladder takes over.
+  void wedge_shard(int index);
   /// Force a shard into quarantine (as if its breaker tripped).
   void quarantine_shard(int index);
   [[nodiscard]] ShardState shard_state(int index) const;
-  [[nodiscard]] Shard& shard(int index) {
-    return *shards_.at(static_cast<std::size_t>(index));
-  }
+  /// The in-process Shard behind a loopback slot; throws for socket
+  /// transports (use transport(index) for transport-level access).
+  [[nodiscard]] Shard& shard(int index);
+  /// nullptr when shard `index` is not loopback (per-shard introspection
+  /// that callers must guard in process fleets).
+  [[nodiscard]] Shard* loopback_shard(int index);
+  [[nodiscard]] Transport& transport(int index);
 
  private:
   struct RouterTask {
@@ -233,6 +304,30 @@ class ShardRouter {
   };
 
   [[nodiscard]] RouterTask make_task(serve::RenderRequest&& request);
+  /// Stable pointer to a slot's transport (slots_ is append-only).
+  [[nodiscard]] Transport* transport_at(int index) const;
+  /// Build one shard's transport (loopback or socket per options).
+  [[nodiscard]] std::unique_ptr<Transport> make_transport(int index);
+  /// The `virtual_nodes` ring points for shard `index`.
+  void append_ring_points(std::vector<std::pair<std::uint64_t, int>>& ring,
+                          int index) const;
+  /// replicas_for against an explicit ring (resize planning).
+  [[nodiscard]] std::vector<int> replicas_in(
+      const std::vector<std::pair<std::uint64_t, int>>& ring,
+      std::uint64_t scene_key) const;
+  /// Remember a scene for ring-resize warming (LRU by fingerprint).
+  void note_hot_scene(const RouterTask& task);
+  /// Replay hot scenes owned (per `ring`) by `target` onto it; best
+  /// effort, counts warm_replays/warm_failures.
+  void warm_shard(int target,
+                  const std::vector<std::pair<std::uint64_t, int>>& ring);
+  /// A submit to `index` just failed with ShardDownError: enter the
+  /// supervision ladder (kRespawning) when supervised, else mark kDown.
+  void note_unreachable(int index);
+  /// Supervisor callbacks (monitor thread).
+  void on_shard_unreachable(int index);
+  void on_shard_respawned(int index);
+  void on_shard_exhausted(int index);
   void run(int worker_index);
   void execute(RouterTask task);
   /// Publish `model` as the probe template and wake the probe thread when
@@ -261,13 +356,30 @@ class ShardRouter {
 
   FleetOptions options_;
   support::WallTimer lifetime_;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  /// Sorted hash ring: (point, shard index).
+  /// Shard transports, append-only (retired slots stay, so indices and
+  /// element pointers are stable for the router's lifetime).
+  mutable std::mutex slots_mutex_;
+  std::deque<std::unique_ptr<Transport>> slots_;
+  /// Sorted hash ring: (point, shard index). Swapped wholesale on
+  /// add_shard/remove_shard under ring_mutex_.
+  mutable std::mutex ring_mutex_;
   std::vector<std::pair<std::uint64_t, int>> ring_;
   serve::BoundedQueue<RouterTask> queue_;
 
   mutable std::mutex health_mutex_;
   std::vector<HealthSlot> health_;
+
+  /// Crash/hang supervision (null when options_.supervise is false).
+  std::unique_ptr<ProcessSupervisor> supervisor_;
+
+  /// Hot-scene LRU for ring-resize cache warming: most recent distinct
+  /// scenes by fingerprint, request copies ready to replay.
+  mutable std::mutex hot_mutex_;
+  std::list<std::pair<std::uint64_t, serve::RenderRequest>> hot_scenes_;
+  std::unordered_map<
+      std::uint64_t,
+      std::list<std::pair<std::uint64_t, serve::RenderRequest>>::iterator>
+      hot_index_;
 
   mutable std::mutex stats_mutex_;
   std::uint64_t submitted_ = 0;
@@ -285,6 +397,11 @@ class ShardRouter {
   std::uint64_t shard_sheds_ = 0;
   std::uint64_t wire_request_bytes_ = 0;
   std::uint64_t wire_reply_bytes_ = 0;
+  std::uint64_t transport_timeouts_ = 0;
+  std::uint64_t shards_added_ = 0;
+  std::uint64_t shards_removed_ = 0;
+  std::uint64_t warm_replays_ = 0;
+  std::uint64_t warm_failures_ = 0;
   std::vector<double> latency_samples_;
   /// Recent latencies in ms feeding the adaptive hedge trigger.
   std::vector<double> hedge_ring_;

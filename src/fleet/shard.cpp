@@ -14,6 +14,16 @@ WireBuffer PendingReply::take() {
       return encode_error(error);
     }
   }
+  if (wire_.valid()) {
+    try {
+      return wire_.get();
+    } catch (const std::exception& error) {
+      // Transport failures (timeout, reset, connect refused) become the
+      // same typed error frames a shard would send — the router's
+      // decode_reply path needs no transport-specific handling.
+      return encode_error(error);
+    }
+  }
   // Fail loudly on a double-take: get() on a consumed handle would throw
   // std::future_error into the catch below and masquerade as a shard error.
   STARSIM_REQUIRE(future_.valid(), "PendingReply was already consumed");

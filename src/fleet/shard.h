@@ -42,11 +42,26 @@ class PendingReply {
     return reply;
   }
 
+  /// A reply whose frame is produced elsewhere — the socket transport's
+  /// I/O thread resolves the future with the shard's raw reply bytes.
+  /// A transport failure (timeout, reset) travels as the future's
+  /// exception and takes as a typed error frame, so the router handles
+  /// remote shards exactly like in-process ones.
+  [[nodiscard]] static PendingReply wire(std::future<WireBuffer> frame) {
+    PendingReply reply;
+    reply.wire_ = std::move(frame);
+    return reply;
+  }
+
   /// True once a frame (response or error) can be taken without blocking.
   /// A consumed reply is never ready again — polling a stale handle is a
   /// harmless no, not UB on an invalid future.
   [[nodiscard]] bool ready() const {
     if (immediate_ != nullptr) return true;
+    if (wire_.valid()) {
+      return wire_.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+    }
     return future_.valid() &&
            future_.wait_for(std::chrono::seconds(0)) ==
                std::future_status::ready;
@@ -57,6 +72,9 @@ class PendingReply {
   /// before launching a backup. False (immediately) once consumed.
   [[nodiscard]] bool wait_for(std::chrono::duration<double> timeout) const {
     if (immediate_ != nullptr) return true;
+    if (wire_.valid()) {
+      return wire_.wait_for(timeout) == std::future_status::ready;
+    }
     return future_.valid() &&
            future_.wait_for(timeout) == std::future_status::ready;
   }
@@ -70,6 +88,7 @@ class PendingReply {
   PendingReply() = default;
 
   std::future<serve::RenderResponse> future_;
+  std::future<WireBuffer> wire_;
   std::exception_ptr immediate_;
 };
 

@@ -1,0 +1,119 @@
+#include "fleet/shardd.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "support/error.h"
+
+namespace starsim::fleet {
+
+namespace {
+
+[[nodiscard]] double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ShardHost::ShardHost(ShardHostOptions options)
+    : options_(std::move(options)),
+      instance_("shard-" + std::to_string(options_.index)),
+      service_(std::make_unique<serve::FrameService>(options_.service)) {
+  STARSIM_REQUIRE(!options_.socket_path.empty(),
+                  "ShardHost requires a socket path");
+}
+
+ShardHost::~ShardHost() {
+  request_stop();
+  for (std::thread& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  if (service_ != nullptr) service_->stop();
+}
+
+std::uint64_t ShardHost::completed() const {
+  return service_->stats().completed;
+}
+
+void ShardHost::run() {
+  FrameListener listener = FrameListener::bind(options_.socket_path);
+  while (!stop_.load()) {
+    std::optional<FrameSocket> client = listener.accept(options_.accept_poll_s);
+    if (!client.has_value()) continue;
+    connections_.emplace_back(
+        [this, sock = std::move(*client)]() mutable {
+          serve_connection(std::move(sock));
+        });
+  }
+  // Stop admission and drain: every request a connection already submitted
+  // resolves (frame or typed error) before the workers join.
+  listener.close();
+  service_->stop();
+  for (std::thread& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  connections_.clear();
+}
+
+void ShardHost::serve_connection(FrameSocket socket) {
+  while (!stop_.load()) {
+    // Idle wait is cheap and interruptible; only once bytes start flowing
+    // does the mid-frame budget apply.
+    if (!socket.readable(options_.idle_poll_s)) continue;
+    WireBuffer reply;
+    try {
+      std::optional<WireBuffer> frame =
+          socket.recv_frame(steady_now_s() + options_.frame_timeout_s);
+      if (!frame.has_value()) return;  // peer closed between frames
+      reply = handle_frame(*frame);
+    } catch (const std::exception&) {
+      // Mid-frame timeout, reset, or an unframeable byte stream: nothing
+      // sensible can be sent back on this connection — drop it. The
+      // transport's reply deadline turns the silence into a typed error.
+      return;
+    }
+    try {
+      socket.send_frame(reply, steady_now_s() + options_.frame_timeout_s);
+    } catch (const std::exception&) {
+      return;  // peer gone or wedged; it will fail over
+    }
+  }
+}
+
+WireBuffer ShardHost::handle_frame(const WireBuffer& frame) {
+  try {
+    switch (frame_kind(frame)) {
+      case MessageKind::kRequest: {
+        serve::RenderRequest request = decode_request(frame);
+        std::future<serve::RenderResponse> future =
+            service_->submit(std::move(request));
+        return encode_response(future.get());
+      }
+      case MessageKind::kHeartbeat: {
+        const Heartbeat beat = decode_heartbeat(frame);
+        heartbeats_.fetch_add(1);
+        HeartbeatAck ack;
+        ack.sequence = beat.sequence;
+        ack.queue_depth = service_->queue_depth();
+        ack.queue_capacity = options_.service.queue_capacity;
+        ack.completed = service_->stats().completed;
+        return encode_heartbeat_ack(ack);
+      }
+      case MessageKind::kStatsRequest:
+        return encode_stats_reply(service_->metric_families(instance_));
+      default:
+        STARSIM_THROW(support::WireFormatError,
+                      "shard host cannot serve this message kind");
+    }
+  } catch (const std::exception& error) {
+    // Everything — malformed frames, admission rejections, render
+    // failures — answers as a typed error frame; the router's decode_reply
+    // rethrows the exact class.
+    return encode_error(error);
+  }
+}
+
+}  // namespace starsim::fleet

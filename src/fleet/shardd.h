@@ -1,0 +1,90 @@
+// ShardHost — one FrameService served over a Unix-domain socket: the
+// in-process core of the `starsim_shardd` binary.
+//
+// The host owns a FrameListener and accepts connections from the router's
+// socket transport. Each connection is one in-flight slot: the transport
+// sends a single request frame and waits for its reply before reusing the
+// connection, so the per-connection loop is strictly serial — recv frame,
+// dispatch by kind, send reply. Requests render through the ordinary
+// FrameService pipeline (admission, batching, cache, resilience), and any
+// failure travels back as the typed error frame wire.h defines — the
+// router-side catch clauses cannot tell this host from the in-process
+// loopback shard.
+//
+// Heartbeat frames answer with a load snapshot (queue depth/capacity,
+// completed count) — the cross-process replacement for the direct
+// queue_depth() calls the loopback transport can make. Stats frames
+// serialize the service's instance-labeled metric families so the fleet
+// exposition merges process shards exactly like in-process ones.
+//
+// The class is embeddable (tests run hosts in-process on threads); the
+// shardd main() adds flag parsing and signal-driven shutdown on top.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/socket.h"
+#include "serve/service.h"
+
+namespace starsim::fleet {
+
+struct ShardHostOptions {
+  /// Unix-domain socket path to listen on.
+  std::string socket_path;
+  /// Shard index, used for the "shard-N" instance label on metrics.
+  int index = 0;
+  /// The wrapped FrameService's configuration.
+  serve::FrameServiceOptions service{};
+  /// Accept-loop poll period: how quickly run() notices request_stop().
+  double accept_poll_s = 0.05;
+  /// Per-connection idle poll period (waiting for the next frame).
+  double idle_poll_s = 0.05;
+  /// Budget for one mid-frame transfer (a frame that started arriving or
+  /// departing must finish within this, or the connection is dropped).
+  double frame_timeout_s = 30.0;
+};
+
+class ShardHost {
+ public:
+  explicit ShardHost(ShardHostOptions options);
+  ~ShardHost();
+
+  ShardHost(const ShardHost&) = delete;
+  ShardHost& operator=(const ShardHost&) = delete;
+
+  /// Bind the socket and serve until request_stop(). Blocking — the shardd
+  /// main calls this on its main thread; tests run it on a worker thread.
+  void run();
+
+  /// Ask run() to return: stop accepting, drain admitted work through the
+  /// service, join connection threads. Safe from any thread (and from a
+  /// signal handler: it only stores an atomic).
+  void request_stop() { stop_.store(true); }
+
+  [[nodiscard]] bool stopping() const { return stop_.load(); }
+  /// Instance label on this host's metric samples ("shard-N").
+  [[nodiscard]] const std::string& instance() const { return instance_; }
+  /// Requests served so far (the heartbeat progress signal).
+  [[nodiscard]] std::uint64_t completed() const;
+
+ private:
+  /// Serial frame loop for one accepted connection.
+  void serve_connection(FrameSocket socket);
+
+  /// Dispatch one received frame to its handler; returns the reply frame.
+  [[nodiscard]] WireBuffer handle_frame(const WireBuffer& frame);
+
+  ShardHostOptions options_;
+  std::string instance_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> heartbeats_{0};
+  std::unique_ptr<serve::FrameService> service_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace starsim::fleet

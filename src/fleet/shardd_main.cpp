@@ -1,0 +1,93 @@
+// starsim_shardd — one fleet shard as a standalone process.
+//
+// Wraps a single FrameService behind a Unix-domain socket (fleet/shardd.h)
+// so the router's SocketTransport can reach it from another process. The
+// flag set mirrors ShardProcessConfig field for field: the router builds
+// this argv in fleet/process.cpp, so the two must stay in lockstep.
+//
+// SIGTERM/SIGINT request an orderly stop: the accept loop closes, admitted
+// work drains through the service, and main returns 0. A SIGKILL (the chaos
+// suites' crash) skips all of that — which is the point: the supervisor's
+// waitpid ladder must notice and respawn.
+
+#include <csignal>
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <optional>
+
+#include "fleet/shardd.h"
+#include "gpusim/fault_injector.h"
+#include "support/cli.h"
+
+namespace {
+
+starsim::fleet::ShardHost* g_host = nullptr;
+
+void handle_signal(int) {
+  // Async-signal-safe: request_stop only stores an atomic.
+  if (g_host != nullptr) g_host->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  starsim::support::Cli cli(
+      "starsim_shardd",
+      "Serve one starsim FrameService over a Unix-domain socket");
+  cli.add_option("socket", "socket path to listen on", "");
+  cli.add_option("index", "shard index (metrics instance label)", "0");
+  cli.add_option("workers", "render worker threads", "2");
+  cli.add_option("queue", "admission queue capacity", "64");
+  cli.add_option("batch", "dynamic batching cap", "8");
+  cli.add_option("cache", "rendered-frame LRU capacity", "32");
+  cli.add_flag("inject-faults", "enable chaos fault injection");
+  cli.add_option("fault-rate", "transient fault rate (with --inject-faults)",
+                 "0");
+  cli.add_option("lost-rate", "device-lost rate (with --inject-faults)", "0");
+  cli.add_option("fault-seed", "fault injection seed", "0");
+  cli.add_option("straggler-ms", "sleep per render (slow-replica chaos)",
+                 "0");
+  cli.add_option("frame-timeout-ms", "mid-frame transfer budget", "30000");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    starsim::fleet::ShardHostOptions options;
+    options.socket_path = cli.str("socket");
+    if (options.socket_path.empty()) {
+      std::cerr << "starsim_shardd: --socket is required\n";
+      return 2;
+    }
+    options.index = static_cast<int>(cli.integer("index"));
+    options.frame_timeout_s = cli.real("frame-timeout-ms") * 1e-3;
+    options.service.workers = static_cast<int>(cli.integer("workers"));
+    options.service.queue_capacity =
+        static_cast<std::size_t>(cli.integer("queue"));
+    options.service.max_batch_size =
+        static_cast<std::size_t>(cli.integer("batch"));
+    options.service.cache_capacity =
+        static_cast<std::size_t>(cli.integer("cache"));
+    options.service.worker.debug_straggler_ms = cli.real("straggler-ms");
+    if (cli.flag("inject-faults")) {
+      options.service.worker.fault_policy = starsim::gpusim::FaultPolicy::chaos(
+          cli.real("fault-rate"), cli.real("lost-rate"),
+          static_cast<std::uint64_t>(cli.integer("fault-seed")));
+    }
+
+    starsim::fleet::ShardHost host(std::move(options));
+    g_host = &host;
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+    // The router drops connections mid-write during failover/timeout chaos;
+    // dying on EPIPE would turn every dropped connection into a "crash".
+    std::signal(SIGPIPE, SIG_IGN);
+
+    host.run();
+    g_host = nullptr;
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "starsim_shardd: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,331 @@
+#include "fleet/socket.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "support/error.h"
+
+namespace starsim::fleet {
+
+namespace {
+
+[[nodiscard]] double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Milliseconds until the absolute deadline, clamped for poll(): at least
+/// 1ms while any time remains (a 0 would busy-spin), -1-free — an expired
+/// deadline returns 0 so callers throw instead of blocking.
+[[nodiscard]] int poll_budget_ms(double deadline_s) {
+  const double remaining = deadline_s - steady_now_s();
+  if (remaining <= 0.0) return 0;
+  const double ms = remaining * 1e3;
+  if (ms < 1.0) return 1;
+  if (ms > 60'000.0) return 60'000;
+  return static_cast<int>(ms);
+}
+
+/// Wait until `fd` is ready for `events` or the deadline passes. Throws
+/// TransportTimeoutError on deadline, ShardDownError on hangup/error.
+void wait_ready(int fd, short events, double deadline_s, const char* verb) {
+  for (;;) {
+    const int budget = poll_budget_ms(deadline_s);
+    if (budget == 0) {
+      STARSIM_THROW(support::TransportTimeoutError,
+                    std::string("socket ") + verb + " deadline expired");
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int ready = ::poll(&pfd, 1, budget);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // re-check the deadline and re-arm
+      STARSIM_THROW(support::ShardDownError,
+                    std::string("socket poll failed: ") +
+                        std::strerror(errno));
+    }
+    if (ready == 0) {
+      STARSIM_THROW(support::TransportTimeoutError,
+                    std::string("socket ") + verb + " deadline expired");
+    }
+    // POLLHUP with readable data still delivers the data; let read()
+    // observe the EOF. POLLERR alone means the connection is gone.
+    if ((pfd.revents & POLLERR) != 0 &&
+        (pfd.revents & (POLLIN | POLLOUT)) == 0) {
+      STARSIM_THROW(support::ShardDownError, "socket peer error");
+    }
+    return;
+  }
+}
+
+void set_nonblocking(int fd) {
+  // All I/O goes through poll() + retry loops, so the descriptor must never
+  // block inside read/write themselves.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+FrameSocket::~FrameSocket() { close(); }
+
+FrameSocket::FrameSocket(FrameSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+FrameSocket& FrameSocket::operator=(FrameSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void FrameSocket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FrameSocket FrameSocket::connect(const std::string& path, double timeout_s) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    STARSIM_THROW(support::IoError,
+                  "socket path too long for sockaddr_un: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    STARSIM_THROW(support::IoError,
+                  std::string("socket() failed: ") + std::strerror(errno));
+  }
+  set_nonblocking(fd);
+
+  const double deadline_s = steady_now_s() + timeout_s;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      const int err = errno;
+      ::close(fd);
+      // ENOENT / ECONNREFUSED: the shard process is not there (yet) — the
+      // same "peer absent" signal as a killed shard, so retryable.
+      STARSIM_THROW(support::ShardDownError,
+                    "connect to " + path + " failed: " + std::strerror(err));
+    }
+    // Async connect: wait for writability, then read the final status.
+    try {
+      wait_ready(fd, POLLOUT, deadline_s, "connect");
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    int status = 0;
+    socklen_t len = sizeof(status);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &status, &len) != 0 ||
+        status != 0) {
+      ::close(fd);
+      STARSIM_THROW(support::ShardDownError,
+                    "connect to " + path +
+                        " failed: " + std::strerror(status != 0 ? status
+                                                                : errno));
+    }
+  }
+  return FrameSocket(fd);
+}
+
+FrameSocket FrameSocket::adopt(int fd) {
+  set_nonblocking(fd);
+  return FrameSocket(fd);
+}
+
+void FrameSocket::send_frame(const WireBuffer& frame, double deadline_s) {
+  STARSIM_REQUIRE(valid(), "send_frame on a closed socket");
+  if (frame.size() > kMaxFrameBytes) {
+    STARSIM_THROW(support::WireFormatError,
+                  "frame exceeds transport ceiling: " +
+                      std::to_string(frame.size()) + " bytes");
+  }
+  // Length prefix + payload as one logical message; loop over partial
+  // writes on each piece.
+  std::uint8_t prefix[4];
+  const auto size = static_cast<std::uint32_t>(frame.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    prefix[shift / 8] = static_cast<std::uint8_t>(size >> shift);
+  }
+  const auto send_all = [&](const std::uint8_t* data, std::size_t count) {
+    std::size_t sent = 0;
+    while (sent < count) {
+      const ssize_t n =
+          ::send(fd_, data + sent, count - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        wait_ready(fd_, POLLOUT, deadline_s, "send");
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      STARSIM_THROW(support::ShardDownError,
+                    std::string("socket send failed: ") +
+                        std::strerror(errno));
+    }
+  };
+  send_all(prefix, sizeof(prefix));
+  send_all(frame.data(), frame.size());
+}
+
+std::optional<WireBuffer> FrameSocket::recv_frame(double deadline_s) {
+  STARSIM_REQUIRE(valid(), "recv_frame on a closed socket");
+  // Receive exactly `count` bytes; at_boundary=true permits a clean EOF
+  // before the first byte (peer closed between frames).
+  const auto recv_all = [&](std::uint8_t* data, std::size_t count,
+                            bool at_boundary) -> bool {
+    std::size_t got = 0;
+    while (got < count) {
+      const ssize_t n = ::recv(fd_, data + got, count - got, 0);
+      if (n > 0) {
+        got += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n == 0) {
+        if (at_boundary && got == 0) return false;  // orderly EOF
+        STARSIM_THROW(support::ShardDownError,
+                      "socket peer closed mid-frame");
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_ready(fd_, POLLIN, deadline_s, "recv");
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET || errno == EPIPE) {
+        STARSIM_THROW(support::ShardDownError,
+                      "socket peer reset mid-frame");
+      }
+      STARSIM_THROW(support::ShardDownError,
+                    std::string("socket recv failed: ") +
+                        std::strerror(errno));
+    }
+    return true;
+  };
+
+  std::uint8_t prefix[4];
+  if (!recv_all(prefix, sizeof(prefix), /*at_boundary=*/true)) {
+    return std::nullopt;
+  }
+  std::uint32_t size = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    size |= static_cast<std::uint32_t>(prefix[shift / 8]) << shift;
+  }
+  if (size > kMaxFrameBytes) {
+    STARSIM_THROW(support::WireFormatError,
+                  "frame length prefix exceeds transport ceiling: " +
+                      std::to_string(size) + " bytes");
+  }
+  WireBuffer frame(size);
+  if (size > 0) {
+    (void)recv_all(frame.data(), frame.size(), /*at_boundary=*/false);
+  }
+  return frame;
+}
+
+bool FrameSocket::readable(double wait_s) const {
+  if (!valid()) return false;
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int budget =
+      wait_s <= 0.0 ? 0 : std::max(1, static_cast<int>(wait_s * 1e3));
+  return ::poll(&pfd, 1, budget) > 0 &&
+         (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+FrameListener::~FrameListener() { close(); }
+
+FrameListener::FrameListener(FrameListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+FrameListener& FrameListener::operator=(FrameListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+void FrameListener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+FrameListener FrameListener::bind(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    STARSIM_THROW(support::IoError,
+                  "socket path too long for sockaddr_un: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    STARSIM_THROW(support::IoError,
+                  std::string("socket() failed: ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // a stale path from a crashed predecessor
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    STARSIM_THROW(support::IoError,
+                  "bind to " + path + " failed: " + std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    STARSIM_THROW(support::IoError,
+                  "listen on " + path + " failed: " + std::strerror(err));
+  }
+  set_nonblocking(fd);
+  return FrameListener(fd, path);
+}
+
+std::optional<FrameSocket> FrameListener::accept(double wait_s) {
+  STARSIM_REQUIRE(valid(), "accept on a closed listener");
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int budget =
+      wait_s <= 0.0 ? 0 : std::max(1, static_cast<int>(wait_s * 1e3));
+  const int ready = ::poll(&pfd, 1, budget);
+  if (ready <= 0) return std::nullopt;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return std::nullopt;
+  return FrameSocket::adopt(client);
+}
+
+}  // namespace starsim::fleet

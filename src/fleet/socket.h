@@ -1,0 +1,117 @@
+// starsim::fleet socket layer — framed message streams over Unix-domain
+// sockets, the byte transport under out-of-process shards.
+//
+// A FrameSocket carries whole wire frames (fleet/wire.h) over a SOCK_STREAM
+// connection: each frame travels as a 4-byte little-endian length prefix
+// followed by the frame bytes. Stream sockets deliver bytes, not messages,
+// so both send and receive loop over partial transfers; every loop iteration
+// re-checks an absolute deadline via poll(), so a peer that stops draining
+// (or stops sending) costs at most the remaining deadline, never a wedged
+// thread. Deadline misses throw support::TransportTimeoutError (retryable —
+// another replica or the respawned process can serve the request); peer
+// disconnects (EOF, ECONNRESET, EPIPE) throw support::ShardDownError, the
+// same signal an in-process killed shard raises, so the router's failover
+// path needs no transport-specific cases.
+//
+// The length prefix is a transport framing concern only — integrity is the
+// wire header's job (magic + version + CRC32), which is why recv_frame
+// returns raw bytes for the caller to decode rather than trusting the
+// prefix. A prefix larger than kMaxFrameBytes fails fast as
+// WireFormatError: no peer, however corrupt, can make us allocate
+// unboundedly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fleet/wire.h"
+
+namespace starsim::fleet {
+
+/// Hard ceiling on a single frame crossing a socket (64 MiB — comfortably
+/// above the largest 4k-image response, far below anything sane a corrupt
+/// length prefix could demand).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024u * 1024u;
+
+/// One connected stream carrying length-prefixed wire frames. Movable, not
+/// copyable; closes its descriptor on destruction. All deadline parameters
+/// are absolute steady-clock seconds (support::WallTimer domain) — callers
+/// derive them once from the request's remaining deadline and every
+/// partial-transfer loop honours the same instant.
+class FrameSocket {
+ public:
+  FrameSocket() = default;
+  ~FrameSocket();
+
+  FrameSocket(FrameSocket&& other) noexcept;
+  FrameSocket& operator=(FrameSocket&& other) noexcept;
+  FrameSocket(const FrameSocket&) = delete;
+  FrameSocket& operator=(const FrameSocket&) = delete;
+
+  /// Connect to a Unix-domain socket path within `timeout_s` seconds.
+  /// Throws ShardDownError when the peer refuses or the path is absent,
+  /// TransportTimeoutError when the connect does not complete in time.
+  [[nodiscard]] static FrameSocket connect(const std::string& path,
+                                           double timeout_s);
+
+  /// Adopt an already-connected descriptor (listener side).
+  [[nodiscard]] static FrameSocket adopt(int fd);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Send one frame (length prefix + bytes), finishing before the absolute
+  /// deadline `deadline_s` (steady-clock seconds).
+  void send_frame(const WireBuffer& frame, double deadline_s);
+
+  /// Receive one frame before the absolute deadline. Returns std::nullopt
+  /// on orderly EOF at a frame boundary (peer closed between frames);
+  /// throws ShardDownError on mid-frame EOF or reset.
+  [[nodiscard]] std::optional<WireBuffer> recv_frame(double deadline_s);
+
+  /// True when the socket has at least one byte readable right now — the
+  /// cheap "is the peer talking" poll used by serial request loops.
+  [[nodiscard]] bool readable(double wait_s) const;
+
+  void close() noexcept;
+
+ private:
+  explicit FrameSocket(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+/// Listening Unix-domain socket. Unlinks a stale path on bind (shardd
+/// restarts reuse their socket path), removes the path on destruction.
+class FrameListener {
+ public:
+  FrameListener() = default;
+  ~FrameListener();
+
+  FrameListener(FrameListener&& other) noexcept;
+  FrameListener& operator=(FrameListener&& other) noexcept;
+  FrameListener(const FrameListener&) = delete;
+  FrameListener& operator=(const FrameListener&) = delete;
+
+  /// Bind + listen on `path`. Throws IoError on failure (bad directory,
+  /// permissions, path too long for sockaddr_un).
+  [[nodiscard]] static FrameListener bind(const std::string& path);
+
+  /// Accept one connection, waiting at most `wait_s` seconds. Returns
+  /// std::nullopt on timeout so accept loops can poll a stop flag.
+  [[nodiscard]] std::optional<FrameSocket> accept(double wait_s);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  void close() noexcept;
+
+ private:
+  FrameListener(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace starsim::fleet

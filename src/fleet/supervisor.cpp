@@ -1,0 +1,205 @@
+#include "fleet/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "support/error.h"
+
+namespace starsim::fleet {
+
+namespace {
+
+[[nodiscard]] double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ProcessSupervisor::ProcessSupervisor(SupervisorOptions options,
+                                     SupervisorEvents events)
+    : options_(std::move(options)), events_(std::move(events)) {}
+
+ProcessSupervisor::~ProcessSupervisor() { stop(); }
+
+void ProcessSupervisor::watch(int index, Transport* transport) {
+  STARSIM_REQUIRE(transport != nullptr, "cannot watch a null transport");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot slot;
+  slot.transport = transport;
+  slot.backoff_ms = options_.respawn_backoff_ms;
+  slots_[index] = std::move(slot);
+}
+
+void ProcessSupervisor::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  stop_requested_ = false;
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void ProcessSupervisor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  if (monitor_.joinable()) monitor_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  started_ = false;
+}
+
+void ProcessSupervisor::mark_terminal(int index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(index);
+  if (it != slots_.end()) it->second.terminal = true;
+}
+
+void ProcessSupervisor::note_unreachable(int index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(index);
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  if (slot.terminal || slot.stats.exhausted || slot.in_ladder) return;
+  slot.in_ladder = true;
+  slot.detected_at_s = steady_now_s();
+  slot.next_attempt_s = slot.detected_at_s + slot.backoff_ms * 1e-3;
+  ++slot.stats.crashes_detected;
+  // on_unreachable intentionally not fired here: the router already knows
+  // (it is the caller) and has marked the shard respawning itself.
+}
+
+SupervisorShardStats ProcessSupervisor::shard_stats(int index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(index);
+  if (it == slots_.end()) return {};
+  return it->second.stats;
+}
+
+std::vector<std::pair<int, SupervisorShardStats>>
+ProcessSupervisor::all_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<int, SupervisorShardStats>> out;
+  out.reserve(slots_.size());
+  for (const auto& [index, slot] : slots_) out.emplace_back(index, slot.stats);
+  return out;
+}
+
+void ProcessSupervisor::monitor_loop() {
+  const auto poll = std::chrono::duration<double, std::milli>(
+      std::max(1.0, options_.poll_ms));
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stop_requested_) return;
+    // Indices snapshot: step() drops the lock, so iterators can invalidate
+    // under a concurrent add_shard.
+    std::vector<int> indices;
+    indices.reserve(slots_.size());
+    for (const auto& [index, slot] : slots_) indices.push_back(index);
+    for (const int index : indices) {
+      if (stop_requested_) return;
+      step(index, lock);
+    }
+    if (stop_requested_) return;
+    lock.unlock();
+    std::this_thread::sleep_for(poll);
+  }
+}
+
+void ProcessSupervisor::step(int index, std::unique_lock<std::mutex>& lock) {
+  auto it = slots_.find(index);
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  if (slot.terminal || slot.stats.exhausted) return;
+  Transport* transport = slot.transport;
+  const double now = steady_now_s();
+
+  if (!slot.in_ladder) {
+    // Detection. dead() is cheap (atomic + WNOHANG waitpid); heartbeat age
+    // is an atomic read.
+    bool crashed = false;
+    bool hung = false;
+    lock.unlock();
+    crashed = transport->dead();
+    if (!crashed && options_.hang_after_ms > 0.0) {
+      hung = transport->heartbeat_age_ms() > options_.hang_after_ms;
+    }
+    lock.lock();
+    it = slots_.find(index);
+    if (it == slots_.end()) return;
+    Slot& re = it->second;
+    if (re.terminal || re.stats.exhausted || re.in_ladder) return;
+    if (!crashed && !hung) return;
+    re.in_ladder = true;
+    re.detected_at_s = now;
+    re.next_attempt_s = now + re.backoff_ms * 1e-3;
+    if (crashed) {
+      ++re.stats.crashes_detected;
+    } else {
+      ++re.stats.hangs_detected;
+    }
+    if (events_.on_unreachable) {
+      lock.unlock();
+      events_.on_unreachable(index);
+      lock.lock();
+    }
+    return;  // the respawn itself waits for the backoff delay
+  }
+
+  if (now < slot.next_attempt_s) return;
+
+  if (slot.respawns_used >= options_.respawn_budget) {
+    slot.stats.exhausted = true;
+    if (events_.on_exhausted) {
+      lock.unlock();
+      events_.on_exhausted(index);
+      lock.lock();
+    }
+    return;
+  }
+
+  ++slot.respawns_used;
+  ++slot.stats.respawns_attempted;
+  const double detected_at = slot.detected_at_s;
+
+  // The slow rungs — kill/reap whatever is left, then respawn — run
+  // without the lock so note_unreachable/mark_terminal never block on a
+  // spawning process.
+  lock.unlock();
+  transport->crash();
+  const bool ok = transport->respawn();
+  lock.lock();
+
+  it = slots_.find(index);
+  if (it == slots_.end()) return;
+  Slot& re = it->second;
+  if (re.terminal) {
+    // kill_shard/remove_shard raced the respawn: honour the terminal
+    // intent — the freshly spawned process must not outlive the decision.
+    if (ok) {
+      lock.unlock();
+      transport->crash();
+      lock.lock();
+    }
+    return;
+  }
+  if (ok) {
+    re.in_ladder = false;
+    re.backoff_ms = options_.respawn_backoff_ms;
+    ++re.stats.respawns_succeeded;
+    re.stats.last_respawn_s = steady_now_s() - detected_at;
+    if (events_.on_respawned) {
+      lock.unlock();
+      events_.on_respawned(index);
+      lock.lock();
+    }
+  } else {
+    re.backoff_ms =
+        std::min(re.backoff_ms * 2.0, options_.respawn_backoff_max_ms);
+    re.next_attempt_s = steady_now_s() + re.backoff_ms * 1e-3;
+  }
+}
+
+}  // namespace starsim::fleet

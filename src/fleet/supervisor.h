@@ -1,0 +1,127 @@
+// ProcessSupervisor — the crash/hang half of the fleet health ladder.
+//
+// PR 6's ladder (breaker -> quarantine -> shadow-probe -> reinstate)
+// handled shards that answer badly; this supervisor extends it to shards
+// that stop answering at all. A monitor thread watches every registered
+// transport for two signals: dead() (the process exited — waitpid — or the
+// in-process shard was killed) and a heartbeat age beyond the hang
+// threshold (the process is alive but wedged: SIGSTOP, a stuck accept
+// loop, a deadlocked worker). Either one walks the extended ladder:
+//
+//   detect -> on_unreachable (router routes around: state kRespawning)
+//     -> kill/reap whatever is left (a hung process gets no grace)
+//     -> respawn under an exponential-backoff budget
+//        -> success: on_respawned (router sets kQuarantined; the existing
+//           shadow-probe path reinstates on live traffic — a respawned
+//           shard earns its way back, it is never trusted blindly)
+//        -> budget exhausted: on_exhausted (router sets kDown, terminal)
+//
+// The supervisor is transport-agnostic on purpose: LoopbackTransport's
+// respawn() rebuilds an in-process FrameService, SocketTransport's
+// re-spawns the shardd process — so the same chaos suite certifies the
+// ladder against both. Policy lives here; process mechanics live in
+// fleet/process.h; routing decisions stay in the router via the callbacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fleet/transport.h"
+
+namespace starsim::fleet {
+
+struct SupervisorOptions {
+  /// Monitor poll period.
+  double poll_ms = 20.0;
+  /// Heartbeat age beyond which a live process counts as hung. <= 0
+  /// disables hang detection (crash detection stays on).
+  double hang_after_ms = 2000.0;
+  /// Respawns allowed per shard over the fleet's lifetime; 0 means a
+  /// crashed shard goes straight to exhausted (kDown), reproducing the
+  /// pre-supervision behaviour.
+  int respawn_budget = 3;
+  /// First respawn delay; doubles per consecutive failure up to the max.
+  double respawn_backoff_ms = 50.0;
+  double respawn_backoff_max_ms = 2000.0;
+};
+
+/// Routing-side reactions to ladder transitions. All callbacks fire on the
+/// monitor thread and must not call back into the supervisor.
+struct SupervisorEvents {
+  std::function<void(int)> on_unreachable;  ///< detected crash/hang
+  std::function<void(int)> on_respawned;    ///< respawn succeeded
+  std::function<void(int)> on_exhausted;    ///< budget spent; shard is gone
+};
+
+/// Per-shard ladder counters (folded into FleetStats by the router).
+struct SupervisorShardStats {
+  std::uint64_t crashes_detected = 0;
+  std::uint64_t hangs_detected = 0;
+  std::uint64_t respawns_attempted = 0;
+  std::uint64_t respawns_succeeded = 0;
+  bool exhausted = false;
+  /// Seconds the most recent successful respawn took, detect-to-ready.
+  double last_respawn_s = 0.0;
+};
+
+class ProcessSupervisor {
+ public:
+  ProcessSupervisor(SupervisorOptions options, SupervisorEvents events);
+  ~ProcessSupervisor();
+
+  ProcessSupervisor(const ProcessSupervisor&) = delete;
+  ProcessSupervisor& operator=(const ProcessSupervisor&) = delete;
+
+  /// Register a shard. The transport must outlive the supervisor (the
+  /// router owns both; transports are never destroyed while watched).
+  void watch(int index, Transport* transport);
+
+  /// Start the monitor thread (after all initial watch() calls).
+  void start();
+
+  /// Stop monitoring and join. Idempotent; never respawns after return.
+  void stop();
+
+  /// Mark a shard terminal: deliberately killed (kill_shard) or retired
+  /// (remove_shard). The ladder never respawns a terminal shard.
+  void mark_terminal(int index);
+
+  /// Router fast path: a submit just threw ShardDownError, so skip the
+  /// next poll's detection latency and enter the ladder now.
+  void note_unreachable(int index);
+
+  [[nodiscard]] SupervisorShardStats shard_stats(int index);
+  [[nodiscard]] std::vector<std::pair<int, SupervisorShardStats>> all_stats();
+
+ private:
+  struct Slot {
+    Transport* transport = nullptr;
+    bool terminal = false;
+    bool in_ladder = false;
+    int respawns_used = 0;
+    double backoff_ms = 0.0;
+    double next_attempt_s = 0.0;
+    double detected_at_s = 0.0;
+    SupervisorShardStats stats;
+  };
+
+  void monitor_loop();
+  /// Detection + ladder step for one shard; called with mutex_ held,
+  /// releases it around the (slow) respawn attempt.
+  void step(int index, std::unique_lock<std::mutex>& lock);
+
+  SupervisorOptions options_;
+  SupervisorEvents events_;
+
+  std::mutex mutex_;
+  std::map<int, Slot> slots_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace starsim::fleet

@@ -1,0 +1,368 @@
+#include "fleet/transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "support/error.h"
+
+namespace starsim::fleet {
+
+namespace {
+
+[[nodiscard]] double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LoopbackTransport
+
+LoopbackTransport::LoopbackTransport(int index,
+                                     serve::FrameServiceOptions options)
+    : index_(index),
+      instance_("shard-" + std::to_string(index)),
+      options_(options),
+      shard_(std::make_shared<Shard>(index, std::move(options))) {}
+
+std::shared_ptr<Shard> LoopbackTransport::shard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shard_;
+}
+
+PendingReply LoopbackTransport::submit(const WireBuffer& frame,
+                                       std::optional<double> /*io_budget_s*/) {
+  std::shared_ptr<Shard> target;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++submits_;
+    if (wedged_) {
+      // A wedged in-process shard cannot literally hang a caller (there is
+      // no socket to stall on), so it models the observable effect: the
+      // request burns its I/O budget and fails with the timeout the socket
+      // transport would have raised.
+      return PendingReply::failed(
+          std::make_exception_ptr(support::TransportTimeoutError(
+              instance_ + " is wedged; request timed out")));
+    }
+    target = shard_;
+  }
+  return target->submit(frame);
+}
+
+bool LoopbackTransport::dead() { return shard()->down(); }
+
+void LoopbackTransport::crash() { shard()->kill(); }
+
+void LoopbackTransport::wedge() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!wedged_) {
+    wedged_ = true;
+    wedged_since_s_ = steady_now_s();
+  }
+}
+
+bool LoopbackTransport::respawn() {
+  // Build the replacement before swapping so a failed construction leaves
+  // the old (dead) shard in place for another attempt.
+  auto fresh = std::make_shared<Shard>(index_, options_);
+  std::shared_ptr<Shard> old;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    old = std::exchange(shard_, std::move(fresh));
+    wedged_ = false;
+  }
+  if (old != nullptr) old->stop();
+  return true;
+}
+
+void LoopbackTransport::shutdown() { shard()->stop(); }
+
+std::size_t LoopbackTransport::queue_depth() { return shard()->queue_depth(); }
+
+std::size_t LoopbackTransport::queue_capacity() {
+  return shard()->queue_capacity();
+}
+
+double LoopbackTransport::heartbeat_age_ms() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!wedged_) return 0.0;
+  return (steady_now_s() - wedged_since_s_) * 1e3;
+}
+
+std::vector<trace::MetricFamily> LoopbackTransport::metric_families() {
+  return shard()->metric_families();
+}
+
+TransportStats LoopbackTransport::stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TransportStats s;
+  s.submits = submits_;
+  return s;
+}
+
+Shard* LoopbackTransport::loopback_shard() { return shard().get(); }
+
+// ---------------------------------------------------------------------------
+// SocketTransport
+
+SocketTransport::SocketTransport(ShardProcessConfig process,
+                                 SocketTransportOptions options)
+    : index_(process.index),
+      instance_("shard-" + std::to_string(process.index)),
+      options_(options),
+      process_(std::move(process)) {
+  process_.spawn();  // throws ShardDownError on failure
+  last_ack_s_.store(steady_now_s());
+  const int threads = std::max(1, options_.io_threads);
+  io_threads_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    io_threads_.emplace_back([this] { io_loop(); });
+  }
+  if (options_.heartbeat_period_s > 0.0) {
+    heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+  }
+}
+
+SocketTransport::~SocketTransport() { shutdown(); }
+
+double SocketTransport::now_s() const { return steady_now_s(); }
+
+PendingReply SocketTransport::submit(const WireBuffer& frame,
+                                     std::optional<double> io_budget_s) {
+  if (marked_dead_.load()) {
+    STARSIM_THROW(support::ShardDownError,
+                  instance_ + " process is down; awaiting respawn");
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submits;
+  }
+  const double budget = io_budget_s.value_or(options_.io_timeout_s);
+  const double deadline_s = now_s() + budget;
+  auto payload = std::make_shared<WireBuffer>(frame);
+  auto promise = std::make_shared<std::promise<WireBuffer>>();
+  std::future<WireBuffer> future = promise->get_future();
+  enqueue([this, payload, promise, deadline_s] {
+    try {
+      promise->set_value(round_trip(*payload, deadline_s));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return PendingReply::wire(std::move(future));
+}
+
+void SocketTransport::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (closed_) {
+      // Refuse rather than queue into a pool that will never run it — an
+      // accepted task must always resolve its promise.
+      STARSIM_THROW(support::ShardDownError,
+                    instance_ + " transport is shut down");
+    }
+    tasks_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+void SocketTransport::io_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return closed_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // closed and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+FrameSocket SocketTransport::checkout_connection(double deadline_s) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (!idle_connections_.empty()) {
+      FrameSocket socket = std::move(idle_connections_.back());
+      idle_connections_.pop_back();
+      return socket;
+    }
+  }
+  const double remaining = deadline_s - now_s();
+  if (remaining <= 0.0) {
+    STARSIM_THROW(support::TransportTimeoutError,
+                  instance_ + " connect budget exhausted");
+  }
+  FrameSocket socket = FrameSocket::connect(
+      process_.config().socket_path,
+      std::min(remaining, options_.connect_timeout_s));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.reconnects;
+  }
+  return socket;
+}
+
+void SocketTransport::checkin_connection(FrameSocket socket,
+                                         std::uint64_t generation) {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  // A connection dialed before a respawn points at a dead peer; drop it.
+  if (generation == generation_ && socket.valid()) {
+    idle_connections_.push_back(std::move(socket));
+  }
+}
+
+WireBuffer SocketTransport::round_trip(const WireBuffer& frame,
+                                       double deadline_s) {
+  std::uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    generation = generation_;
+  }
+  FrameSocket socket = checkout_connection(deadline_s);
+  try {
+    socket.send_frame(frame, deadline_s);
+    std::optional<WireBuffer> reply = socket.recv_frame(deadline_s);
+    if (!reply.has_value()) {
+      STARSIM_THROW(support::ShardDownError,
+                    instance_ + " closed the connection before replying");
+    }
+    checkin_connection(std::move(socket), generation);
+    return std::move(*reply);
+  } catch (const support::TransportTimeoutError&) {
+    // The connection's framing is now ambiguous (a late reply could splice
+    // into the next request) — never reuse it.
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.transport_timeouts;
+    throw;
+  }
+}
+
+bool SocketTransport::dead() {
+  if (marked_dead_.load()) return true;
+  std::lock_guard<std::mutex> lock(process_mutex_);
+  if (!process_.running()) {
+    marked_dead_.store(true);
+    return true;
+  }
+  return false;
+}
+
+void SocketTransport::crash() {
+  std::lock_guard<std::mutex> lock(process_mutex_);
+  process_.kill_now();
+  marked_dead_.store(true);
+}
+
+void SocketTransport::wedge() {
+  std::lock_guard<std::mutex> lock(process_mutex_);
+  process_.pause();
+}
+
+bool SocketTransport::respawn() {
+  std::lock_guard<std::mutex> lock(process_mutex_);
+  if (process_.running()) process_.kill_now();
+  try {
+    process_.spawn();
+  } catch (const support::Error&) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> conn_lock(conn_mutex_);
+    idle_connections_.clear();
+    ++generation_;
+  }
+  last_ack_s_.store(now_s());
+  marked_dead_.store(false);
+  return true;
+}
+
+void SocketTransport::shutdown() {
+  stop_heartbeat_.store(true);
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (closed_ && io_threads_.empty()) return;  // already shut down
+    closed_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : io_threads_) {
+    if (t.joinable()) t.join();
+  }
+  io_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    idle_connections_.clear();
+  }
+  std::lock_guard<std::mutex> lock(process_mutex_);
+  process_.stop();
+}
+
+std::size_t SocketTransport::queue_depth() {
+  return static_cast<std::size_t>(acked_queue_depth_.load());
+}
+
+std::size_t SocketTransport::queue_capacity() {
+  const auto capacity = acked_queue_capacity_.load();
+  if (capacity > 0) return static_cast<std::size_t>(capacity);
+  // No ack yet: answer the configured capacity so backpressure ratios stay
+  // meaningful before the first heartbeat lands.
+  return process_.config().queue_capacity;
+}
+
+double SocketTransport::heartbeat_age_ms() {
+  return std::max(0.0, (now_s() - last_ack_s_.load()) * 1e3);
+}
+
+std::vector<trace::MetricFamily> SocketTransport::metric_families() {
+  if (marked_dead_.load()) return {};
+  try {
+    const WireBuffer reply = round_trip(
+        encode_stats_request(), now_s() + options_.heartbeat_timeout_s);
+    return decode_stats_reply(reply);
+  } catch (const std::exception&) {
+    return {};  // unreachable mid-scrape: contribute nothing this round
+  }
+}
+
+TransportStats SocketTransport::stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void SocketTransport::heartbeat_loop() {
+  const auto slice = std::chrono::milliseconds(20);
+  double next_beat_s = now_s();
+  while (!stop_heartbeat_.load()) {
+    if (now_s() < next_beat_s) {
+      std::this_thread::sleep_for(slice);
+      continue;
+    }
+    next_beat_s = now_s() + options_.heartbeat_period_s;
+    if (marked_dead_.load()) continue;  // nothing to ping until respawn
+    const Heartbeat beat{heartbeat_seq_.fetch_add(1) + 1};
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.heartbeats_sent;
+    }
+    try {
+      const WireBuffer reply = round_trip(
+          encode_heartbeat(beat), now_s() + options_.heartbeat_timeout_s);
+      const HeartbeatAck ack = decode_heartbeat_ack(reply);
+      acked_queue_depth_.store(ack.queue_depth);
+      acked_queue_capacity_.store(ack.queue_capacity);
+      last_ack_s_.store(now_s());
+    } catch (const std::exception&) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.heartbeats_missed;
+    }
+  }
+}
+
+}  // namespace starsim::fleet

@@ -1,0 +1,243 @@
+// Transport — the router's only view of a shard.
+//
+// PR 6 built the fleet on a byte-exact wire protocol so that an in-process
+// shard and a remote one are indistinguishable to the router; this header
+// makes that literal. A Transport accepts an encoded request frame plus a
+// deadline and returns a PendingReply that resolves to the encoded reply —
+// nothing above this interface knows whether the frame crossed a function
+// call or a socket.
+//
+// Two implementations:
+//
+//  - LoopbackTransport: the original in-process Shard behind the
+//    interface. respawn() rebuilds the FrameService, so the supervision
+//    ladder (crash -> respawn -> probe -> reinstate) exercises identically
+//    against both transports — the chaos suites are shared.
+//
+//  - SocketTransport: a shard process reached over a Unix-domain socket
+//    (fleet/socket.h), usually one this transport spawned itself
+//    (fleet/process.h). A pool of I/O threads runs one request round trip
+//    per task; connections are cached and reused (connection = in-flight
+//    slot, matching ShardHost's serial per-connection loop), and a
+//    generation counter discards stale sockets after a respawn. A
+//    heartbeat thread pings the shard and caches its load snapshot, giving
+//    the router cross-process queue depths for backpressure and a
+//    heartbeat age for hang detection.
+//
+// Every submit carries an absolute I/O budget: a hung shard can cost a
+// router worker at most the request's remaining deadline (or the
+// transport's default budget), never a wedged thread. See docs/serving.md.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/process.h"
+#include "fleet/shard.h"
+#include "fleet/socket.h"
+#include "fleet/wire.h"
+#include "serve/service.h"
+
+namespace starsim::fleet {
+
+/// Transport-level counters, folded into FleetStats by the router.
+struct TransportStats {
+  std::uint64_t submits = 0;
+  std::uint64_t transport_timeouts = 0;  ///< I/O deadline misses
+  std::uint64_t reconnects = 0;          ///< fresh connections dialed
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_missed = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Submit an encoded request frame. `io_budget_s` bounds every read and
+  /// write this request performs on the transport (derived from the
+  /// request's remaining deadline); nullopt applies the transport default.
+  /// Throws support::ShardDownError when the shard is known-dead.
+  [[nodiscard]] virtual PendingReply submit(
+      const WireBuffer& frame, std::optional<double> io_budget_s) = 0;
+
+  /// True when the shard behind this transport is gone (process exited,
+  /// in-process shard killed) and a respawn is required before traffic.
+  [[nodiscard]] virtual bool dead() = 0;
+
+  /// Chaos: kill the shard abruptly (SIGKILL / Shard::kill). In-flight
+  /// requests settle with typed errors; dead() turns true.
+  virtual void crash() = 0;
+
+  /// Chaos: wedge the shard without killing it (SIGSTOP / drop replies).
+  /// The process-level hang the heartbeat ladder must detect.
+  virtual void wedge() = 0;
+
+  /// Rebuild the shard after crash(): respawn the process / reconstruct
+  /// the FrameService. Returns false when the rebuild failed (spawn error)
+  /// — the supervisor retries under its backoff budget.
+  [[nodiscard]] virtual bool respawn() = 0;
+
+  /// Orderly shutdown (graceful process stop / service drain). Idempotent.
+  virtual void shutdown() = 0;
+
+  /// Load snapshot for backpressure: queue depth/capacity of the shard's
+  /// service. Socket transports answer from the latest heartbeat ack.
+  [[nodiscard]] virtual std::size_t queue_depth() = 0;
+  [[nodiscard]] virtual std::size_t queue_capacity() = 0;
+
+  /// Milliseconds since the last successful liveness signal. Loopback
+  /// always answers 0 (an in-process shard cannot silently hang); socket
+  /// transports age their last heartbeat ack.
+  [[nodiscard]] virtual double heartbeat_age_ms() = 0;
+
+  /// Instance-labeled metric families for the fleet exposition. Best
+  /// effort for socket transports (empty when the shard is unreachable).
+  [[nodiscard]] virtual std::vector<trace::MetricFamily> metric_families() = 0;
+
+  [[nodiscard]] virtual int index() const = 0;
+  [[nodiscard]] virtual const std::string& instance() const = 0;
+  [[nodiscard]] virtual TransportStats stats() = 0;
+
+  /// The in-process shard behind a loopback transport; nullptr for socket
+  /// transports (used by tests and serve-bench's per-shard reporting).
+  [[nodiscard]] virtual Shard* loopback_shard() { return nullptr; }
+};
+
+/// In-process shard behind the Transport interface.
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(int index, serve::FrameServiceOptions options);
+
+  [[nodiscard]] PendingReply submit(
+      const WireBuffer& frame, std::optional<double> io_budget_s) override;
+  [[nodiscard]] bool dead() override;
+  void crash() override;
+  void wedge() override;
+  [[nodiscard]] bool respawn() override;
+  void shutdown() override;
+  [[nodiscard]] std::size_t queue_depth() override;
+  [[nodiscard]] std::size_t queue_capacity() override;
+  [[nodiscard]] double heartbeat_age_ms() override;
+  [[nodiscard]] std::vector<trace::MetricFamily> metric_families() override;
+  [[nodiscard]] int index() const override { return index_; }
+  [[nodiscard]] const std::string& instance() const override {
+    return instance_;
+  }
+  [[nodiscard]] TransportStats stats() override;
+  [[nodiscard]] Shard* loopback_shard() override;
+
+ private:
+  [[nodiscard]] std::shared_ptr<Shard> shard();
+
+  int index_;
+  std::string instance_;
+  serve::FrameServiceOptions options_;
+  std::mutex mutex_;
+  std::shared_ptr<Shard> shard_;
+  bool wedged_ = false;
+  double wedged_since_s_ = 0.0;
+  std::uint64_t submits_ = 0;
+};
+
+struct SocketTransportOptions {
+  /// Default per-request I/O budget when the request carries no deadline.
+  double io_timeout_s = 30.0;
+  /// Concurrent request round trips this transport can run (its I/O
+  /// thread count). Excess submits queue.
+  int io_threads = 4;
+  /// Heartbeat period; 0 disables the heartbeat thread (tests that drive
+  /// liveness manually).
+  double heartbeat_period_s = 0.25;
+  /// Budget for one heartbeat round trip.
+  double heartbeat_timeout_s = 1.0;
+  /// Budget for a connect() when dialing a fresh connection.
+  double connect_timeout_s = 2.0;
+};
+
+/// A shard process reached over its Unix-domain socket.
+class SocketTransport final : public Transport {
+ public:
+  /// Spawns the shard process described by `process` immediately.
+  SocketTransport(ShardProcessConfig process, SocketTransportOptions options);
+  ~SocketTransport() override;
+
+  [[nodiscard]] PendingReply submit(
+      const WireBuffer& frame, std::optional<double> io_budget_s) override;
+  [[nodiscard]] bool dead() override;
+  void crash() override;
+  void wedge() override;
+  [[nodiscard]] bool respawn() override;
+  void shutdown() override;
+  [[nodiscard]] std::size_t queue_depth() override;
+  [[nodiscard]] std::size_t queue_capacity() override;
+  [[nodiscard]] double heartbeat_age_ms() override;
+  [[nodiscard]] std::vector<trace::MetricFamily> metric_families() override;
+  [[nodiscard]] int index() const override { return index_; }
+  [[nodiscard]] const std::string& instance() const override {
+    return instance_;
+  }
+  [[nodiscard]] TransportStats stats() override;
+
+  /// The wrapped process (chaos hooks beyond crash/wedge: pid, resume).
+  [[nodiscard]] ShardProcess& process() { return process_; }
+
+ private:
+  struct Task {
+    std::function<void()> run;
+  };
+
+  /// Borrow a cached connection of the current generation or dial a new
+  /// one. Throws ShardDownError / TransportTimeoutError.
+  [[nodiscard]] FrameSocket checkout_connection(double deadline_s);
+  /// Return a healthy connection to the cache (same generation only).
+  void checkin_connection(FrameSocket socket, std::uint64_t generation);
+
+  /// One full round trip on the calling (I/O) thread.
+  [[nodiscard]] WireBuffer round_trip(const WireBuffer& frame,
+                                      double deadline_s);
+
+  void io_loop();
+  void heartbeat_loop();
+  void enqueue(std::function<void()> task);
+  [[nodiscard]] double now_s() const;
+
+  int index_;
+  std::string instance_;
+  SocketTransportOptions options_;
+  ShardProcess process_;
+
+  std::mutex process_mutex_;  ///< spawn/kill/waitpid serialization
+
+  std::mutex conn_mutex_;
+  std::vector<FrameSocket> idle_connections_;
+  std::uint64_t generation_ = 0;  ///< bumped on respawn; stale sockets drop
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool closed_ = false;
+  std::vector<std::thread> io_threads_;
+
+  std::thread heartbeat_thread_;
+  std::atomic<bool> stop_heartbeat_{false};
+  std::atomic<std::uint64_t> heartbeat_seq_{0};
+  std::atomic<double> last_ack_s_;
+  std::atomic<std::uint64_t> acked_queue_depth_{0};
+  std::atomic<std::uint64_t> acked_queue_capacity_{0};
+
+  std::atomic<bool> marked_dead_{false};
+
+  std::mutex stats_mutex_;
+  TransportStats stats_;
+};
+
+}  // namespace starsim::fleet

@@ -1,5 +1,6 @@
 #include "fleet/wire.h"
 
+#include <array>
 #include <cstring>
 #include <string>
 
@@ -10,9 +11,35 @@ namespace starsim::fleet {
 
 namespace {
 
+/// IEEE 802.3 CRC32 lookup table (reflected polynomial 0xEDB88320),
+/// generated once on first use.
+const std::uint32_t* crc_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xedb88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+/// The CRC input is the kind byte plus the payload — everything after the
+/// magic/version/crc fields — so a flipped dispatch byte fails integrity
+/// instead of routing a response frame through the error decoder.
+[[nodiscard]] std::uint32_t frame_crc(std::span<const std::uint8_t> frame) {
+  std::uint32_t crc = wire_crc32(frame.subspan(3, 1));
+  return wire_crc32(frame.subspan(kWireHeaderBytes), crc);
+}
+
 /// Append-only frame builder. All integers are written little-endian-style
 /// byte by byte; floats travel as their raw bit patterns, so values
-/// round-trip bit-exactly on any platform with IEEE-754 layout.
+/// round-trip bit-exactly on any platform with IEEE-754 layout. take()
+/// seals the frame: the header CRC is computed over the finished payload.
 class Writer {
  public:
   explicit Writer(MessageKind kind) {
@@ -21,6 +48,7 @@ class Writer {
     u8(kWireMagic1);
     u8(kWireVersion);
     u8(static_cast<std::uint8_t>(kind));
+    u32(0);  // CRC placeholder, patched by take()
   }
 
   void u8(std::uint8_t value) { buffer_.push_back(value); }
@@ -58,11 +86,50 @@ class Writer {
     buffer_.insert(buffer_.end(), value.begin(), value.end());
   }
 
-  [[nodiscard]] WireBuffer take() { return std::move(buffer_); }
+  [[nodiscard]] WireBuffer take() {
+    const std::uint32_t crc = frame_crc(buffer_);
+    for (int shift = 0; shift < 32; shift += 8) {
+      buffer_[4 + static_cast<std::size_t>(shift / 8)] =
+          static_cast<std::uint8_t>(crc >> shift);
+    }
+    return std::move(buffer_);
+  }
 
  private:
   WireBuffer buffer_;
 };
+
+[[nodiscard]] std::uint32_t header_crc(std::span<const std::uint8_t> frame) {
+  std::uint32_t crc = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    crc |= static_cast<std::uint32_t>(frame[4 + static_cast<std::size_t>(
+                                              shift / 8)])
+           << shift;
+  }
+  return crc;
+}
+
+/// Shared header validation for Reader and frame_kind: magic, version,
+/// length, CRC — in that order, so the error message names the first
+/// integrity layer that failed.
+void check_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kWireHeaderBytes) {
+    STARSIM_THROW(support::WireFormatError,
+                  "wire frame shorter than its header");
+  }
+  if (bytes[0] != kWireMagic0 || bytes[1] != kWireMagic1) {
+    STARSIM_THROW(support::WireFormatError, "wire frame has bad magic");
+  }
+  if (bytes[2] != kWireVersion) {
+    STARSIM_THROW(support::WireFormatError,
+                  "wire version mismatch: frame v" + std::to_string(bytes[2]) +
+                      ", decoder v" + std::to_string(kWireVersion));
+  }
+  if (frame_crc(bytes) != header_crc(bytes)) {
+    STARSIM_THROW(support::WireFormatError,
+                  "wire frame failed CRC32 integrity check");
+  }
+}
 
 /// Bounds-checked frame reader; every underrun throws WireFormatError
 /// before any out-of-range access.
@@ -70,25 +137,13 @@ class Reader {
  public:
   Reader(std::span<const std::uint8_t> bytes, MessageKind expected)
       : bytes_(bytes) {
-    if (bytes_.size() < 4) {
-      STARSIM_THROW(support::WireFormatError,
-                    "wire frame shorter than its header");
-    }
-    if (bytes_[0] != kWireMagic0 || bytes_[1] != kWireMagic1) {
-      STARSIM_THROW(support::WireFormatError, "wire frame has bad magic");
-    }
-    if (bytes_[2] != kWireVersion) {
-      STARSIM_THROW(support::WireFormatError,
-                    "wire version mismatch: frame v" +
-                        std::to_string(bytes_[2]) + ", decoder v" +
-                        std::to_string(kWireVersion));
-    }
+    check_header(bytes_);
     if (bytes_[3] != static_cast<std::uint8_t>(expected)) {
       STARSIM_THROW(support::WireFormatError,
                     "unexpected wire message kind " +
                         std::to_string(bytes_[3]));
     }
-    offset_ = 4;
+    offset_ = kWireHeaderBytes;
   }
 
   [[nodiscard]] std::uint8_t u8() {
@@ -241,6 +296,9 @@ gpusim::KernelCounters read_counters(Reader& r) {
 
 [[nodiscard]] WireErrorKind classify(const std::exception& error) {
   // Most-derived first: the decoder reconstructs exactly this class.
+  if (dynamic_cast<const support::TransportTimeoutError*>(&error) != nullptr) {
+    return WireErrorKind::kTransportTimeout;
+  }
   if (dynamic_cast<const support::ShardDownError*>(&error) != nullptr) {
     return WireErrorKind::kShardDown;
   }
@@ -277,6 +335,8 @@ gpusim::KernelCounters read_counters(Reader& r) {
 [[noreturn]] void rethrow(WireErrorKind kind, const std::string& what,
                           bool retryable) {
   switch (kind) {
+    case WireErrorKind::kTransportTimeout:
+      throw support::TransportTimeoutError(what);
     case WireErrorKind::kShardDown:
       throw support::ShardDownError(what);
     case WireErrorKind::kOverloadShed:
@@ -324,6 +384,153 @@ gpusim::KernelCounters read_counters(Reader& r) {
 }
 
 }  // namespace
+
+std::uint32_t wire_crc32(std::span<const std::uint8_t> bytes,
+                         std::uint32_t seed) {
+  const std::uint32_t* table = crc_table();
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t byte : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xffu];
+  }
+  return ~crc;
+}
+
+void reseal_frame(WireBuffer& frame) {
+  if (frame.size() < kWireHeaderBytes) {
+    STARSIM_THROW(support::WireFormatError,
+                  "cannot reseal a frame shorter than its header");
+  }
+  const std::uint32_t crc = frame_crc(frame);
+  for (int shift = 0; shift < 32; shift += 8) {
+    frame[4 + static_cast<std::size_t>(shift / 8)] =
+        static_cast<std::uint8_t>(crc >> shift);
+  }
+}
+
+MessageKind frame_kind(std::span<const std::uint8_t> bytes) {
+  check_header(bytes);
+  const std::uint8_t raw = bytes[3];
+  if (raw < static_cast<std::uint8_t>(MessageKind::kRequest) ||
+      raw > static_cast<std::uint8_t>(MessageKind::kStatsReply)) {
+    STARSIM_THROW(support::WireFormatError,
+                  "wire message kind out of range: " + std::to_string(raw));
+  }
+  return static_cast<MessageKind>(raw);
+}
+
+WireBuffer encode_heartbeat(const Heartbeat& beat) {
+  Writer w(MessageKind::kHeartbeat);
+  w.u64(beat.sequence);
+  return w.take();
+}
+
+Heartbeat decode_heartbeat(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageKind::kHeartbeat);
+  Heartbeat beat;
+  beat.sequence = r.u64();
+  r.expect_exhausted();
+  return beat;
+}
+
+WireBuffer encode_heartbeat_ack(const HeartbeatAck& ack) {
+  Writer w(MessageKind::kHeartbeatAck);
+  w.u64(ack.sequence);
+  w.u64(ack.queue_depth);
+  w.u64(ack.queue_capacity);
+  w.u64(ack.completed);
+  return w.take();
+}
+
+HeartbeatAck decode_heartbeat_ack(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageKind::kHeartbeatAck);
+  HeartbeatAck ack;
+  ack.sequence = r.u64();
+  ack.queue_depth = r.u64();
+  ack.queue_capacity = r.u64();
+  ack.completed = r.u64();
+  r.expect_exhausted();
+  return ack;
+}
+
+WireBuffer encode_stats_request() {
+  Writer w(MessageKind::kStatsRequest);
+  return w.take();
+}
+
+WireBuffer encode_stats_reply(
+    const std::vector<trace::MetricFamily>& families) {
+  Writer w(MessageKind::kStatsReply);
+  w.u32(static_cast<std::uint32_t>(families.size()));
+  for (const trace::MetricFamily& family : families) {
+    w.str(family.name);
+    w.str(family.help);
+    w.u8(static_cast<std::uint8_t>(family.type));
+    w.u32(static_cast<std::uint32_t>(family.samples.size()));
+    for (const trace::MetricSample& sample : family.samples) {
+      w.str(sample.suffix);
+      w.u32(static_cast<std::uint32_t>(sample.labels.size()));
+      for (const trace::MetricLabel& label : sample.labels) {
+        w.str(label.name);
+        w.str(label.value);
+      }
+      w.f64(sample.value);
+    }
+  }
+  return w.take();
+}
+
+std::vector<trace::MetricFamily> decode_stats_reply(
+    std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageKind::kStatsReply);
+  const std::uint32_t family_count = r.u32();
+  // A family needs at least its two length-prefixed strings, a type byte
+  // and a sample count (13 bytes empty) — reject impossible counts before
+  // reserving.
+  if (family_count > bytes.size() / 13) {
+    STARSIM_THROW(support::WireFormatError,
+                  "wire stats family count exceeds frame size");
+  }
+  std::vector<trace::MetricFamily> families;
+  families.reserve(family_count);
+  for (std::uint32_t i = 0; i < family_count; ++i) {
+    trace::MetricFamily family;
+    family.name = r.str();
+    family.help = r.str();
+    const std::uint8_t raw_type = r.u8();
+    if (raw_type > static_cast<std::uint8_t>(trace::MetricType::kHistogram)) {
+      STARSIM_THROW(support::WireFormatError,
+                    "wire metric type out of range");
+    }
+    family.type = static_cast<trace::MetricType>(raw_type);
+    const std::uint32_t sample_count = r.u32();
+    if (sample_count > bytes.size() / 16) {
+      STARSIM_THROW(support::WireFormatError,
+                    "wire stats sample count exceeds frame size");
+    }
+    family.samples.reserve(sample_count);
+    for (std::uint32_t s = 0; s < sample_count; ++s) {
+      trace::MetricSample sample;
+      sample.suffix = r.str();
+      const std::uint32_t label_count = r.u32();
+      if (label_count > bytes.size() / 8) {
+        STARSIM_THROW(support::WireFormatError,
+                      "wire stats label count exceeds frame size");
+      }
+      sample.labels.reserve(label_count);
+      for (std::uint32_t l = 0; l < label_count; ++l) {
+        trace::MetricLabel label;
+        label.name = r.str();
+        label.value = r.str();
+        sample.labels.push_back(std::move(label));
+      }
+      sample.value = r.f64();
+      family.samples.push_back(std::move(sample));
+    }
+    families.push_back(std::move(family));
+  }
+  r.expect_exhausted();
+  return families;
+}
 
 WireBuffer encode_request(const serve::RenderRequest& request) {
   Writer w(MessageKind::kRequest);
@@ -435,7 +642,7 @@ WireBuffer encode_error(const std::exception& error) {
 }
 
 bool reply_is_error(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < 4) {
+  if (bytes.size() < kWireHeaderBytes) {
     STARSIM_THROW(support::WireFormatError,
                   "wire frame shorter than its header");
   }

@@ -10,11 +10,15 @@
 // round trip is bit-identical to the frame the shard rendered — the fleet
 // layer's failover and hedging guarantees stand on that.
 //
-// Frames are versioned (kMagic + kVersion + a message kind byte) and every
-// decoder bounds-checks; malformed input throws support::WireFormatError,
-// never reads past the buffer. The sanitizer report attached to sanitized
-// responses is deliberately *not* serialized — findings stay shard-local,
-// surfaced through the shard's own metrics (docs/observability.md).
+// Frames are versioned and integrity-checked: an 8-byte header carries two
+// magic bytes, the format version, the message kind, and a CRC32 over the
+// kind byte plus the payload, so a frame that was truncated, bit-flipped,
+// or spliced by a real byte stream decodes to support::WireFormatError
+// instead of garbage. Every decoder additionally bounds-checks; malformed
+// input never reads past the buffer. The sanitizer report attached to
+// sanitized responses is deliberately *not* serialized — findings stay
+// shard-local, surfaced through the shard's own metrics
+// (docs/observability.md).
 #pragma once
 
 #include <cstdint>
@@ -22,24 +26,50 @@
 #include <vector>
 
 #include "serve/request.h"
+#include "trace/metrics.h"
 
 namespace starsim::fleet {
 
 /// One encoded frame (request or reply) as it crosses the shard boundary.
 using WireBuffer = std::vector<std::uint8_t>;
 
-/// Frame header constants: two magic bytes, a format version, and the
-/// message kind. Bump kWireVersion on any layout change — decoders reject
-/// mismatches instead of misreading fields.
+/// Frame header constants: two magic bytes, a format version, the message
+/// kind, and a CRC32 (little-endian, IEEE 802.3 polynomial) computed over
+/// the kind byte followed by the payload — so corruption of either the
+/// dispatch byte or the body is caught before any field is trusted. Bump
+/// kWireVersion on any layout change — decoders reject mismatches instead
+/// of misreading fields.
 inline constexpr std::uint8_t kWireMagic0 = 'S';
 inline constexpr std::uint8_t kWireMagic1 = 'F';
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::size_t kWireHeaderBytes = 8;
 
 enum class MessageKind : std::uint8_t {
-  kRequest = 1,   ///< router -> shard: a RenderRequest
-  kResponse = 2,  ///< shard -> router: a rendered RenderResponse
-  kError = 3,     ///< shard -> router: a typed failure
+  kRequest = 1,       ///< router -> shard: a RenderRequest
+  kResponse = 2,      ///< shard -> router: a rendered RenderResponse
+  kError = 3,         ///< shard -> router: a typed failure
+  kHeartbeat = 4,     ///< router -> shard: liveness ping
+  kHeartbeatAck = 5,  ///< shard -> router: pong + load snapshot
+  kStatsRequest = 6,  ///< router -> shard: scrape my metric families
+  kStatsReply = 7,    ///< shard -> router: instance-labeled families
 };
+
+/// CRC32 (IEEE 802.3, reflected 0xEDB88320) over `bytes`, seeded by
+/// `seed` so multi-span inputs chain. Exposed for the socket layer and for
+/// corruption tests that need to re-seal a deliberately patched frame.
+[[nodiscard]] std::uint32_t wire_crc32(std::span<const std::uint8_t> bytes,
+                                       std::uint32_t seed = 0);
+
+/// Recompute and rewrite `frame`'s header CRC after its payload bytes were
+/// patched in place (test tooling; production frames are sealed by their
+/// encoders). Throws WireFormatError when `frame` is too short to carry a
+/// header.
+void reseal_frame(WireBuffer& frame);
+
+/// Validate the full header (magic, version, CRC) and return the message
+/// kind. The cheap classification step both ends of a stream transport run
+/// before dispatching to a typed decoder. Throws support::WireFormatError.
+[[nodiscard]] MessageKind frame_kind(std::span<const std::uint8_t> bytes);
 
 /// Error taxonomy tags carried by kError frames; decode_reply rethrows the
 /// matching support::Error subclass so router-side catch clauses behave
@@ -56,7 +86,39 @@ enum class WireErrorKind : std::uint8_t {
   kDeadlineExceeded = 8,
   kOverloadShed = 9,
   kShardDown = 10,
+  kTransportTimeout = 11,
 };
+
+/// Liveness ping the router (or supervisor) sends a shard host.
+struct Heartbeat {
+  std::uint64_t sequence = 0;
+};
+
+/// Pong: the shard's load snapshot rides back on every heartbeat, giving
+/// the router a cheap cross-process answer to "how full is that queue"
+/// (the backpressure watermark input) and `completed` as a progress signal
+/// that distinguishes a busy shard from a wedged one.
+struct HeartbeatAck {
+  std::uint64_t sequence = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_capacity = 0;
+  std::uint64_t completed = 0;  ///< requests the shard service has finished
+};
+
+[[nodiscard]] WireBuffer encode_heartbeat(const Heartbeat& beat);
+[[nodiscard]] Heartbeat decode_heartbeat(std::span<const std::uint8_t> bytes);
+[[nodiscard]] WireBuffer encode_heartbeat_ack(const HeartbeatAck& ack);
+[[nodiscard]] HeartbeatAck decode_heartbeat_ack(
+    std::span<const std::uint8_t> bytes);
+
+/// Metrics scrape across the process boundary: the shard host serializes
+/// its FrameService's instance-labeled families so the router can merge
+/// them into one fleet exposition exactly as it does for in-process shards.
+[[nodiscard]] WireBuffer encode_stats_request();
+[[nodiscard]] WireBuffer encode_stats_reply(
+    const std::vector<trace::MetricFamily>& families);
+[[nodiscard]] std::vector<trace::MetricFamily> decode_stats_reply(
+    std::span<const std::uint8_t> bytes);
 
 /// Serialize a request for transport to a shard. Field-by-field, so struct
 /// padding never leaks into the frame (the same discipline fingerprint.h

@@ -121,12 +121,24 @@ class ShardDownError : public Error {
 };
 
 /// Raised when a fleet wire frame cannot be decoded (truncation, bad magic,
-/// unknown version or message kind). Never retryable: re-parsing the same
-/// bytes reproduces the defect; the sender's encoder is the bug.
+/// CRC mismatch, unknown version or message kind). Never retryable:
+/// re-parsing the same bytes reproduces the defect; the sender's encoder
+/// (or the transport's integrity story) is the bug.
 class WireFormatError : public Error {
  public:
   explicit WireFormatError(const std::string& what)
       : Error(what, /*retryable=*/false) {}
+};
+
+/// Raised when a fleet transport read or write missed its deadline — a hung
+/// shard process, a wedged socket, a connect that never completed. The
+/// transport closes the connection; the router counts the timeout and fails
+/// over. Retryable: another replica (or the respawned process) can serve
+/// the same request.
+class TransportTimeoutError : public Error {
+ public:
+  explicit TransportTimeoutError(const std::string& what)
+      : Error(what, /*retryable=*/true) {}
 };
 
 }  // namespace starsim::support

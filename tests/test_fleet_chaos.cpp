@@ -387,4 +387,74 @@ TEST(FleetChaos, KilledShardDrainsAdmittedWorkBeforeGoingDark) {
   EXPECT_GE(frames, 1u) << "both shards' work vanished";
 }
 
+// --- The supervision ladder on loopback shards -----------------------------
+//
+// Same ladder the process fleet exercises with real SIGKILLs
+// (tests/test_fleet_proc.cpp), driven here through the in-process
+// transport: crash -> detect -> respawn -> quarantine -> probe ->
+// reinstate, no restart.
+
+TEST(FleetChaos, CrashedLoopbackShardRespawnsAndReinstates) {
+  fleet::FleetOptions options;
+  options.shards = 2;
+  options.replicas = 2;
+  options.router_threads = 2;
+  options.probe_after_ms = 1.0;
+  options.shard.workers = 1;
+  options.shard.cache_capacity = 0;
+  options.supervise = true;
+  options.supervision.poll_ms = 10.0;
+  options.supervision.respawn_backoff_ms = 10.0;
+  fleet::ShardRouter router(options);
+
+  const StarField stars = random_stars(31, 20);
+  (void)router.render(
+      pinned_request(small_scene(), stars, SimulatorKind::kParallel));
+  router.crash_shard(1);
+
+  // First wait for the supervisor to notice the corpse (the state leaves
+  // kHealthy only once detection fires), then drive traffic to carry the
+  // fleet through respawn and the shadow probes that reinstate it.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (router.stats().respawns_succeeded < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::uint64_t nonce = 0;
+  while (router.shard_state(1) != fleet::ShardState::kHealthy &&
+         std::chrono::steady_clock::now() < deadline) {
+    try {
+      RenderRequest request = pinned_request(
+          small_scene(), random_stars(6000 + nonce, 15),
+          SimulatorKind::kParallel);
+      request.scene.psf_sigma = 0.8 + 0.01 * static_cast<double>(nonce % 64);
+      ++nonce;
+      (void)router.render(request);
+    } catch (const starsim::support::Error&) {
+      // Failovers during the window are fine; hangs are not.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(router.shard_state(1), fleet::ShardState::kHealthy)
+      << "the supervisor never reinstated the crashed loopback shard";
+
+  // The respawned shard is a fresh service; frames stay bit-identical.
+  const RenderResponse after = router.render(
+      pinned_request(small_scene(), stars, SimulatorKind::kParallel));
+  ASSERT_NE(after.result, nullptr);
+  gs::Device device(gs::DeviceSpec::gtx480());
+  EXPECT_EQ(max_abs_difference(
+                after.result->image,
+                ParallelSimulator(device).simulate(small_scene(), stars).image),
+            0.0);
+
+  router.stop();
+  const fleet::FleetStats stats = router.stats();
+  EXPECT_EQ(stats.in_flight(), 0u);
+  EXPECT_GE(stats.crashes_detected, 1u);
+  EXPECT_GE(stats.respawns_succeeded, 1u);
+  EXPECT_GE(stats.reinstates, 1u);
+}
+
 }  // namespace

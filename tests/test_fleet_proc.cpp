@@ -1,0 +1,345 @@
+// Out-of-process fleet chaos: real starsim_shardd processes behind Unix
+// sockets, killed and wedged with real signals while the router keeps
+// serving.
+//
+// The contract is the same one the loopback chaos suite holds the router
+// to — every admitted future resolves, completed frames are bit-identical
+// to direct renders, the supervision ladder (detect -> respawn -> probe ->
+// reinstate) recovers without a restart — because the Transport interface
+// makes the two fleets indistinguishable above the byte boundary.
+// STARSIM_SHARDD_PATH is compiled in by tests/CMakeLists.txt.
+#include "fleet/router.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "imageio/image.h"
+#include "starsim/parallel_simulator.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace {
+
+namespace fleet = starsim::fleet;
+namespace support = starsim::support;
+using starsim::SceneConfig;
+using starsim::SimulatorKind;
+using starsim::Star;
+using starsim::StarField;
+using starsim::imageio::ImageF;
+using starsim::imageio::max_abs_difference;
+using starsim::serve::RenderRequest;
+using starsim::serve::RenderResponse;
+
+SceneConfig small_scene(double sigma = 1.0) {
+  SceneConfig scene;
+  scene.image_width = 48;
+  scene.image_height = 48;
+  scene.roi_side = 8;
+  scene.psf_sigma = sigma;
+  return scene;
+}
+
+StarField random_stars(std::uint64_t seed, std::size_t count) {
+  starsim::support::Pcg32 rng(seed);
+  StarField stars;
+  for (std::size_t i = 0; i < count; ++i) {
+    Star star;
+    star.magnitude = 2.0f + 10.0f * static_cast<float>(rng.uniform());
+    star.x = 48.0f * static_cast<float>(rng.uniform());
+    star.y = 48.0f * static_cast<float>(rng.uniform());
+    stars.push_back(star);
+  }
+  return stars;
+}
+
+RenderRequest pinned_request(const SceneConfig& scene,
+                             const StarField& stars) {
+  RenderRequest request;
+  request.scene = scene;
+  request.stars = stars;
+  request.simulator = SimulatorKind::kParallel;
+  return request;
+}
+
+// Routing keys hash the SceneConfig, so chaos traffic varies psf_sigma per
+// seed to spread requests across the ring (stars alone don't move keys).
+SceneConfig spread_scene(std::uint64_t seed) {
+  return small_scene(0.8 + 0.01 * static_cast<double>(seed % 64));
+}
+
+ImageF direct_render(const SceneConfig& scene, const StarField& stars) {
+  starsim::gpusim::Device device(starsim::gpusim::DeviceSpec::gtx480());
+  return starsim::ParallelSimulator(device).simulate(scene, stars).image;
+}
+
+/// Per-test socket directory under /tmp (sockaddr_un paths must be short).
+std::string socket_dir(const char* tag) {
+  const std::string dir =
+      "/tmp/starsim_" + std::string(tag) + "_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0700);
+  return dir;
+}
+
+fleet::FleetOptions proc_options(int shards, const char* tag) {
+  fleet::FleetOptions options;
+  options.shards = shards;
+  options.replicas = 2;
+  options.router_threads = 2;
+  options.probe_after_ms = 1.0;
+  options.shard.workers = 1;
+  options.shard.cache_capacity = 0;
+  options.process_shards = true;
+  options.shardd_path = STARSIM_SHARDD_PATH;
+  options.socket_dir = socket_dir(tag);
+  options.transport.heartbeat_period_s = 0.05;
+  return options;
+}
+
+/// Wait for the ladder to respawn at least `respawns` shards, then drive
+/// traffic until `index` climbs back to kHealthy (probes need live
+/// templates) or the deadline passes. The respawn wait matters: right
+/// after a crash the state is still kHealthy until detection fires, so
+/// polling the state alone would declare victory instantly.
+void drive_until_healthy(fleet::ShardRouter& router, int index,
+                         double timeout_s, std::uint64_t respawns = 1) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (router.stats().respawns_succeeded < respawns &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::uint64_t nonce = 0;
+  while (router.shard_state(index) != fleet::ShardState::kHealthy &&
+         std::chrono::steady_clock::now() < deadline) {
+    const std::uint64_t seed = nonce++;
+    try {
+      (void)router.render(pinned_request(spread_scene(seed),
+                                         random_stars(3000 + seed, 10)));
+    } catch (const support::Error&) {
+      // Failovers and sheds during recovery are fine; hangs are not.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+// --- Steady state: process shards are just shards --------------------------
+
+TEST(FleetProc, ProcessShardsServeBitIdenticalFramesAndHeartbeat) {
+  fleet::FleetOptions options = proc_options(2, "steady");
+  fleet::ShardRouter router(options);
+
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const SceneConfig scene = spread_scene(i);
+    const StarField stars = random_stars(100 + i, 15);
+    const RenderResponse response =
+        router.render(pinned_request(scene, stars));
+    ASSERT_NE(response.result, nullptr);
+    EXPECT_EQ(max_abs_difference(response.result->image,
+                                 direct_render(scene, stars)),
+              0.0)
+        << "frame " << i << " crossed the socket wrong";
+  }
+
+  // Heartbeats flow, and their acks carry real queue capacities.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_GT(router.transport(0).queue_capacity(), 0u);
+  EXPECT_LT(router.transport(0).heartbeat_age_ms(), 5000.0);
+
+  // The fleet exposition merges the process shards' serve families (the
+  // stats frames crossed the socket) and the new proc/heartbeat families.
+  const std::string exposition = router.scrape_metrics();
+  EXPECT_NE(exposition.find("starsim_fleet_heartbeats_total"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("starsim_fleet_proc_respawns_total"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("instance=\"shard-0\""), std::string::npos);
+
+  router.stop();
+  const fleet::FleetStats stats = router.stats();
+  EXPECT_EQ(stats.in_flight(), 0u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_GT(stats.heartbeats_sent, 0u);
+}
+
+// --- SIGKILL mid-batch: the acceptance scenario ----------------------------
+
+TEST(FleetProc, SigkillMidBatchLeavesNoStuckFuturesAndFailsOver) {
+  fleet::FleetOptions options = proc_options(3, "sigkill");
+  fleet::ShardRouter router(options);
+
+  std::vector<SceneConfig> scenes;
+  std::vector<StarField> fields;
+  std::vector<std::future<RenderResponse>> futures;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    scenes.push_back(spread_scene(i));
+    fields.push_back(random_stars(700 + i, 12));
+    futures.push_back(
+        router.submit(pinned_request(scenes.back(), fields.back())));
+    if (i == 3) {
+      // SIGKILL one shard while its batch is in flight. kill_shard is
+      // terminal: no respawn, traffic must fail over to the replicas.
+      router.kill_shard(1);
+    }
+  }
+
+  std::uint64_t frames = 0;
+  std::uint64_t typed_errors = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(60)),
+              std::future_status::ready)
+        << "future " << i << " stuck after SIGKILL";
+    try {
+      const RenderResponse response = futures[i].get();
+      ASSERT_NE(response.result, nullptr);
+      EXPECT_EQ(max_abs_difference(response.result->image,
+                                   direct_render(scenes[i], fields[i])),
+                0.0)
+          << "post-kill frame " << i << " not bit-identical";
+      ++frames;
+    } catch (const support::Error&) {
+      ++typed_errors;  // typed resolution is a clean outcome; a hang is not
+    }
+  }
+
+  router.stop();
+  const fleet::FleetStats stats = router.stats();
+  EXPECT_EQ(stats.in_flight(), 0u) << "stuck futures after quiesce";
+  EXPECT_EQ(frames + typed_errors, 10u);
+  EXPECT_GE(frames, 5u) << "failover did not carry the load";
+  EXPECT_EQ(router.shard_state(1), fleet::ShardState::kDown);
+}
+
+// --- The supervision ladder: crash -> respawn -> probe -> reinstate --------
+
+TEST(FleetProc, SupervisorRespawnsCrashedProcessAndProbeReinstates) {
+  fleet::FleetOptions options = proc_options(2, "respawn");
+  options.supervise = true;
+  options.supervision.poll_ms = 10.0;
+  options.supervision.respawn_backoff_ms = 10.0;
+  fleet::ShardRouter router(options);
+
+  // Warm traffic, then SIGKILL shard 1's process behind the router's back.
+  const StarField stars = random_stars(42, 15);
+  (void)router.render(pinned_request(small_scene(), stars));
+  router.crash_shard(1);
+
+  drive_until_healthy(router, 1, /*timeout_s=*/60.0);
+  EXPECT_EQ(router.shard_state(1), fleet::ShardState::kHealthy)
+      << "ladder never reinstated the respawned shard";
+
+  // The recovered shard serves bit-identical frames.
+  const RenderResponse after =
+      router.render(pinned_request(small_scene(), stars));
+  ASSERT_NE(after.result, nullptr);
+  EXPECT_EQ(max_abs_difference(after.result->image,
+                               direct_render(small_scene(), stars)),
+            0.0);
+
+  router.stop();
+  const fleet::FleetStats stats = router.stats();
+  EXPECT_EQ(stats.in_flight(), 0u);
+  EXPECT_GE(stats.crashes_detected, 1u);
+  EXPECT_GE(stats.respawns_attempted, 1u);
+  EXPECT_GE(stats.respawns_succeeded, 1u);
+  EXPECT_GT(stats.last_respawn_s, 0.0);
+  EXPECT_GE(stats.reinstates, 1u);
+  bool saw_respawned_snapshot = false;
+  for (const fleet::ShardSnapshot& shard : stats.shards) {
+    if (shard.index == 1) saw_respawned_snapshot = shard.respawns >= 1;
+  }
+  EXPECT_TRUE(saw_respawned_snapshot);
+}
+
+TEST(FleetProc, RespawnBudgetExhaustionMarksShardDown) {
+  fleet::FleetOptions options = proc_options(2, "budget");
+  options.supervise = true;
+  options.supervision.poll_ms = 10.0;
+  options.supervision.respawn_budget = 0;  // straight to exhausted
+  fleet::ShardRouter router(options);
+
+  router.crash_shard(0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (router.shard_state(0) != fleet::ShardState::kDown &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(router.shard_state(0), fleet::ShardState::kDown);
+
+  // The fleet keeps serving on the survivor.
+  const StarField stars = random_stars(55, 12);
+  const RenderResponse response =
+      router.render(pinned_request(small_scene(), stars));
+  ASSERT_NE(response.result, nullptr);
+
+  router.stop();
+  const fleet::FleetStats stats = router.stats();
+  EXPECT_EQ(stats.in_flight(), 0u);
+  EXPECT_GE(stats.respawns_exhausted, 1u);
+  EXPECT_EQ(stats.respawns_succeeded, 0u);
+}
+
+// --- SIGSTOP: the hang the heartbeat ladder exists for ---------------------
+
+TEST(FleetProc, SigstopHangIsDetectedTimedOutAndRecovered) {
+  fleet::FleetOptions options = proc_options(2, "hang");
+  options.supervise = true;
+  options.supervision.poll_ms = 10.0;
+  options.supervision.hang_after_ms = 800.0;
+  options.supervision.respawn_backoff_ms = 10.0;
+  options.transport.io_timeout_s = 0.5;  // wedged reads miss this budget
+  fleet::ShardRouter router(options);
+
+  (void)router.render(pinned_request(small_scene(), random_stars(1, 10)));
+  router.wedge_shard(0);  // SIGSTOP: socket open, nobody home
+
+  // Requests racing the hang detector burn their I/O budget on the wedged
+  // shard and fail over; the budget bounds each one to ~io_timeout_s.
+  std::vector<std::future<RenderResponse>> futures;
+  std::vector<StarField> fields;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    fields.push_back(random_stars(900 + i, 10));
+    futures.push_back(
+        router.submit(pinned_request(spread_scene(i), fields.back())));
+  }
+  std::uint64_t frames = 0;
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(60)),
+              std::future_status::ready)
+        << "a wedged shard blocked a router future";
+    try {
+      const RenderResponse response = future.get();
+      ASSERT_NE(response.result, nullptr);
+      ++frames;
+    } catch (const support::Error&) {
+    }
+  }
+  EXPECT_GE(frames, 1u);
+
+  drive_until_healthy(router, 0, /*timeout_s=*/60.0);
+  EXPECT_EQ(router.shard_state(0), fleet::ShardState::kHealthy)
+      << "hang ladder never recovered the shard";
+
+  router.stop();
+  const fleet::FleetStats stats = router.stats();
+  EXPECT_EQ(stats.in_flight(), 0u);
+  // SIGSTOP is detected as a hang (heartbeat age) or, if a kill raced a
+  // waitpid, as a crash — either way the ladder ran and respawned.
+  EXPECT_GE(stats.hangs_detected + stats.crashes_detected, 1u);
+  EXPECT_GE(stats.respawns_succeeded, 1u);
+  EXPECT_GE(stats.transport_timeouts + stats.heartbeats_missed, 1u)
+      << "nothing observed the wedge";
+}
+
+}  // namespace

@@ -1,0 +1,220 @@
+// Dynamic ring membership: add_shard / remove_shard at runtime.
+//
+// Consistent hashing promises bounded key movement — growing the ring
+// moves keys only onto the newcomer (roughly replicas/(N+1) of them),
+// shrinking moves keys only off the retiree — and the router warms the
+// new owners with its hot scenes before cutover so resizes don't turn
+// into cache-miss storms.
+#include "fleet/router.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "imageio/image.h"
+#include "serve/fingerprint.h"
+#include "support/rng.h"
+
+namespace {
+
+namespace fleet = starsim::fleet;
+using starsim::SceneConfig;
+using starsim::SimulatorKind;
+using starsim::Star;
+using starsim::StarField;
+using starsim::serve::RenderRequest;
+using starsim::serve::RenderResponse;
+
+SceneConfig small_scene() {
+  SceneConfig scene;
+  scene.image_width = 48;
+  scene.image_height = 48;
+  scene.roi_side = 8;
+  return scene;
+}
+
+StarField random_stars(std::uint64_t seed, std::size_t count) {
+  starsim::support::Pcg32 rng(seed);
+  StarField stars;
+  for (std::size_t i = 0; i < count; ++i) {
+    Star star;
+    star.magnitude = 3.0f + 9.0f * static_cast<float>(rng.uniform());
+    star.x = 48.0f * static_cast<float>(rng.uniform());
+    star.y = 48.0f * static_cast<float>(rng.uniform());
+    stars.push_back(star);
+  }
+  return stars;
+}
+
+// Routing keys hash the SceneConfig, so each seed must yield a distinct
+// scene (not just distinct stars) to spread requests over the ring.
+RenderRequest scene_request(std::uint64_t seed) {
+  RenderRequest request;
+  request.scene = small_scene();
+  request.scene.psf_sigma = 0.8 + 0.01 * static_cast<double>(seed);
+  request.stars = random_stars(seed, 12);
+  request.simulator = SimulatorKind::kParallel;
+  return request;
+}
+
+fleet::FleetOptions ring_options(int shards) {
+  fleet::FleetOptions options;
+  options.shards = shards;
+  options.replicas = 2;
+  options.router_threads = 2;
+  options.virtual_nodes = 64;  // smooth splits for the movement bound
+  options.shard.workers = 1;
+  options.shard.cache_capacity = 16;
+  return options;
+}
+
+std::vector<std::vector<int>> replica_map(const fleet::ShardRouter& router,
+                                          std::size_t keys) {
+  std::vector<std::vector<int>> map;
+  map.reserve(keys);
+  for (std::uint64_t key = 0; key < keys; ++key) {
+    std::vector<int> replicas =
+        router.replicas_for(0x9e3779b97f4a7c15ull * (key + 1));
+    std::sort(replicas.begin(), replicas.end());
+    map.push_back(std::move(replicas));
+  }
+  return map;
+}
+
+// --- Growth: keys move only onto the newcomer, within the bound ------------
+
+TEST(FleetRing, AddShardMovesKeysOnlyOntoTheNewcomerWithinBound) {
+  fleet::FleetOptions options = ring_options(4);
+  fleet::ShardRouter router(options);
+
+  constexpr std::size_t kKeys = 512;
+  const std::vector<std::vector<int>> before = replica_map(router, kKeys);
+
+  const int newcomer = router.add_shard();
+  EXPECT_EQ(newcomer, 4);
+  EXPECT_EQ(router.shard_count(), 5);
+  EXPECT_EQ(router.shard_state(newcomer), fleet::ShardState::kHealthy);
+
+  const std::vector<std::vector<int>> after = replica_map(router, kKeys);
+  std::size_t moved = 0;
+  for (std::size_t key = 0; key < kKeys; ++key) {
+    if (after[key] == before[key]) continue;
+    ++moved;
+    // Consistent hashing: a changed set may only have gained the newcomer;
+    // every other member was already a replica for this key.
+    for (int shard : after[key]) {
+      if (shard == newcomer) continue;
+      EXPECT_TRUE(std::find(before[key].begin(), before[key].end(), shard) !=
+                  before[key].end())
+          << "key " << key << " moved onto shard " << shard
+          << ", which is not the newcomer";
+    }
+    EXPECT_TRUE(std::find(after[key].begin(), after[key].end(), newcomer) !=
+                after[key].end())
+        << "key " << key << " changed owners without gaining the newcomer";
+  }
+  // Expected movement is ~replicas/(N+1) = 2/5 of keys; allow generous
+  // slack for virtual-node variance but fail on anything near a rehash.
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(static_cast<double>(moved) / kKeys, 0.6)
+      << "ring growth moved " << moved << "/" << kKeys
+      << " keys; bound suggests a full rehash";
+
+  // The grown fleet serves through the newcomer.
+  const RenderResponse response = router.render(scene_request(77));
+  ASSERT_NE(response.result, nullptr);
+  router.stop();
+  const fleet::FleetStats stats = router.stats();
+  EXPECT_EQ(stats.in_flight(), 0u);
+  EXPECT_EQ(stats.shards_added, 1u);
+}
+
+// --- Cache-warming handoff -------------------------------------------------
+
+TEST(FleetRing, AddShardWarmsNewOwnerWithHotScenes) {
+  fleet::FleetOptions options = ring_options(2);
+  fleet::ShardRouter router(options);
+
+  // Make a dozen scenes hot; each lands in the router's hot-scene LRU and
+  // the owning shards' response caches.
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    (void)router.render(scene_request(seed));
+  }
+
+  const int newcomer = router.add_shard();
+  fleet::FleetStats stats = router.stats();
+  // With 12 hot scenes and the newcomer joining 2/3 of replica sets, at
+  // least one hot scene lands on it and is replayed during the handoff.
+  EXPECT_GE(stats.warm_replays, 1u);
+  EXPECT_EQ(stats.warm_failures, 0u);
+
+  // Prove the newcomer itself was warmed: retire the old owners so only
+  // the newcomer can serve, then re-render a hot scene it owns. A cache
+  // hit means the frame crossed during warming, not now.
+  router.kill_shard(0);
+  router.kill_shard(1);
+  bool verified = false;
+  for (std::uint64_t seed = 0; seed < 12 && !verified; ++seed) {
+    const RenderRequest request = scene_request(seed);
+    const std::vector<int> owners =
+        router.replicas_for(starsim::serve::fingerprint_scene(request.scene));
+    if (std::find(owners.begin(), owners.end(), newcomer) == owners.end()) {
+      continue;
+    }
+    const RenderResponse response = router.render(request);
+    ASSERT_NE(response.result, nullptr);
+    EXPECT_TRUE(response.from_cache)
+        << "hot scene " << seed << " missed the newcomer's cache";
+    verified = true;
+  }
+  EXPECT_TRUE(verified) << "no hot scene owned by the newcomer";
+
+  router.stop();
+  stats = router.stats();
+  EXPECT_EQ(stats.in_flight(), 0u);
+}
+
+// --- Shrink: keys move only off the retiree --------------------------------
+
+TEST(FleetRing, RemoveShardRetiresCleanlyAndKeysMoveOffOnly) {
+  fleet::FleetOptions options = ring_options(4);
+  fleet::ShardRouter router(options);
+
+  // Heat a few scenes so the retiree's hot keys get replayed to gainers.
+  for (std::uint64_t seed = 100; seed < 108; ++seed) {
+    (void)router.render(scene_request(seed));
+  }
+
+  constexpr std::size_t kKeys = 512;
+  const std::vector<std::vector<int>> before = replica_map(router, kKeys);
+  constexpr int kRetiree = 2;
+  router.remove_shard(kRetiree);
+  EXPECT_EQ(router.shard_state(kRetiree), fleet::ShardState::kRetired);
+
+  const std::vector<std::vector<int>> after = replica_map(router, kKeys);
+  for (std::size_t key = 0; key < kKeys; ++key) {
+    EXPECT_TRUE(std::find(after[key].begin(), after[key].end(), kRetiree) ==
+                after[key].end())
+        << "key " << key << " still routes to the retired shard";
+    if (std::find(before[key].begin(), before[key].end(), kRetiree) ==
+        before[key].end()) {
+      // Keys the retiree never owned must not move at all.
+      EXPECT_EQ(after[key], before[key])
+          << "key " << key << " moved despite not touching the retiree";
+    }
+  }
+
+  // The shrunk fleet still serves, including previously hot scenes.
+  for (std::uint64_t seed = 100; seed < 108; ++seed) {
+    const RenderResponse response = router.render(scene_request(seed));
+    ASSERT_NE(response.result, nullptr);
+  }
+  router.stop();
+  const fleet::FleetStats stats = router.stats();
+  EXPECT_EQ(stats.in_flight(), 0u);
+  EXPECT_EQ(stats.shards_removed, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,317 @@
+// Transport-layer coverage: framed Unix-socket streams (fleet/socket.h),
+// the ShardHost frame loop (fleet/shardd.h), and the loopback transport's
+// crash/respawn lifecycle (fleet/transport.h).
+//
+// The socket cases run real AF_UNIX sockets inside the test process — the
+// byte-level behaviours (partial frames, deadlines, EOF, bogus length
+// prefixes) need no child process. Process-level chaos (SIGKILL, SIGSTOP,
+// respawn ladders) lives in test_fleet_proc.cpp against the real shardd
+// binary.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/shardd.h"
+#include "fleet/socket.h"
+#include "fleet/transport.h"
+#include "fleet/wire.h"
+#include "gpusim/device.h"
+#include "imageio/image.h"
+#include "starsim/parallel_simulator.h"
+#include "starsim/attitude.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace {
+
+namespace fleet = starsim::fleet;
+namespace support = starsim::support;
+using starsim::Quaternion;
+using starsim::SceneConfig;
+using starsim::SimulatorKind;
+using starsim::Star;
+using starsim::StarField;
+using starsim::imageio::max_abs_difference;
+using starsim::serve::RenderRequest;
+using starsim::serve::RenderResponse;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string unique_socket_path(const char* tag) {
+  return "/tmp/starsim_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+SceneConfig small_scene() {
+  SceneConfig scene;
+  scene.image_width = 48;
+  scene.image_height = 48;
+  scene.roi_side = 8;
+  return scene;
+}
+
+StarField random_stars(std::uint64_t seed, std::size_t count) {
+  starsim::support::Pcg32 rng(seed);
+  StarField stars;
+  for (std::size_t i = 0; i < count; ++i) {
+    Star star;
+    star.magnitude = 2.0f + 10.0f * static_cast<float>(rng.uniform());
+    star.x = 48.0f * static_cast<float>(rng.uniform());
+    star.y = 48.0f * static_cast<float>(rng.uniform());
+    stars.push_back(star);
+  }
+  return stars;
+}
+
+RenderRequest simple_request(std::uint64_t seed) {
+  RenderRequest request;
+  request.scene = small_scene();
+  request.stars = random_stars(seed, 12);
+  request.simulator = SimulatorKind::kParallel;
+  return request;
+}
+
+// --- FrameSocket framing ---------------------------------------------------
+
+TEST(FleetTransport, FramesCrossTheSocketBothWaysAndEofIsOrderly) {
+  const std::string path = unique_socket_path("framing");
+  fleet::FrameListener listener = fleet::FrameListener::bind(path);
+
+  const fleet::WireBuffer ping =
+      fleet::encode_heartbeat(fleet::Heartbeat{41});
+  const fleet::WireBuffer request = fleet::encode_request(simple_request(3));
+
+  std::thread peer([&] {
+    std::optional<fleet::FrameSocket> conn = listener.accept(5.0);
+    ASSERT_TRUE(conn.has_value());
+    // Echo two frames back in receive order, then close.
+    for (int i = 0; i < 2; ++i) {
+      std::optional<fleet::WireBuffer> frame = conn->recv_frame(now_s() + 5.0);
+      ASSERT_TRUE(frame.has_value());
+      conn->send_frame(*frame, now_s() + 5.0);
+    }
+    conn->close();
+  });
+
+  fleet::FrameSocket client = fleet::FrameSocket::connect(path, 2.0);
+  client.send_frame(ping, now_s() + 5.0);
+  client.send_frame(request, now_s() + 5.0);
+
+  std::optional<fleet::WireBuffer> echo1 = client.recv_frame(now_s() + 5.0);
+  std::optional<fleet::WireBuffer> echo2 = client.recv_frame(now_s() + 5.0);
+  ASSERT_TRUE(echo1.has_value());
+  ASSERT_TRUE(echo2.has_value());
+  EXPECT_EQ(*echo1, ping);        // bytes verbatim, order preserved
+  EXPECT_EQ(*echo2, request);
+  EXPECT_EQ(fleet::decode_heartbeat(*echo1).sequence, 41u);
+
+  // Peer closed between frames: orderly EOF, not an error.
+  std::optional<fleet::WireBuffer> eof = client.recv_frame(now_s() + 5.0);
+  EXPECT_FALSE(eof.has_value());
+  peer.join();
+}
+
+TEST(FleetTransport, DeadlinesAndDeadPeersThrowTyped) {
+  const std::string path = unique_socket_path("deadline");
+  fleet::FrameListener listener = fleet::FrameListener::bind(path);
+
+  // A silent peer costs exactly the deadline, then TransportTimeoutError.
+  fleet::FrameSocket client = fleet::FrameSocket::connect(path, 2.0);
+  std::optional<fleet::FrameSocket> server = listener.accept(2.0);
+  ASSERT_TRUE(server.has_value());
+  const double started = now_s();
+  EXPECT_THROW((void)client.recv_frame(now_s() + 0.05),
+               support::TransportTimeoutError);
+  EXPECT_LT(now_s() - started, 2.0) << "timeout did not bound the wait";
+
+  // No listener at all: ShardDownError (retryable — respawn may fix it).
+  listener.close();
+  try {
+    (void)fleet::FrameSocket::connect(path, 0.5);
+    FAIL() << "connect to a closed path succeeded";
+  } catch (const support::ShardDownError& error) {
+    EXPECT_TRUE(error.retryable());
+  }
+}
+
+TEST(FleetTransport, BogusLengthPrefixIsRejectedBeforeAllocation) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  fleet::FrameSocket rx = fleet::FrameSocket::adopt(fds[0]);
+  // A corrupt peer claims a 4 GiB frame; the cap must reject it without
+  // trying to allocate.
+  const std::uint8_t huge_prefix[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(fds[1], huge_prefix, sizeof(huge_prefix), 0), 4);
+  EXPECT_THROW((void)rx.recv_frame(now_s() + 2.0), support::WireFormatError);
+  ::close(fds[1]);
+}
+
+TEST(FleetTransport, MidFrameEofIsAShardDownNotATruncatedDecode) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  fleet::FrameSocket rx = fleet::FrameSocket::adopt(fds[0]);
+  // Prefix promises 100 bytes; peer sends 3 and dies mid-frame.
+  const std::uint8_t partial[7] = {100, 0, 0, 0, 'S', 'F', 2};
+  ASSERT_EQ(::send(fds[1], partial, sizeof(partial), 0), 7);
+  ::close(fds[1]);
+  EXPECT_THROW((void)rx.recv_frame(now_s() + 2.0), support::ShardDownError);
+}
+
+// --- ShardHost: the shardd frame loop, in-process --------------------------
+
+TEST(FleetTransport, ShardHostServesRendersHeartbeatsAndStats) {
+  const std::string socket_path = unique_socket_path("host");
+  fleet::ShardHostOptions options;
+  options.socket_path = socket_path;
+  options.index = 3;
+  options.accept_poll_s = 0.01;
+  options.idle_poll_s = 0.01;
+  options.service.workers = 1;
+  options.service.queue_capacity = 8;
+  fleet::ShardHost host(std::move(options));
+  std::thread server([&] { host.run(); });
+
+  // The listener binds inside run(); wait for the path to accept.
+  std::optional<fleet::FrameSocket> client;
+  const double connect_deadline = now_s() + 10.0;
+  while (!client.has_value() && now_s() < connect_deadline) {
+    try {
+      client = fleet::FrameSocket::connect(socket_path, 0.2);
+    } catch (const support::Error&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  ASSERT_TRUE(client.has_value()) << "shard host never came up";
+
+  // Render round trip: the served frame matches a direct render bit for
+  // bit — the host is just the FrameService behind bytes.
+  const RenderRequest request = simple_request(7);
+  client->send_frame(fleet::encode_request(request), now_s() + 10.0);
+  std::optional<fleet::WireBuffer> reply = client->recv_frame(now_s() + 30.0);
+  ASSERT_TRUE(reply.has_value());
+  const RenderResponse response = fleet::decode_reply(*reply);
+  ASSERT_NE(response.result, nullptr);
+  starsim::gpusim::Device device(starsim::gpusim::DeviceSpec::gtx480());
+  EXPECT_EQ(max_abs_difference(response.result->image,
+                               starsim::ParallelSimulator(device)
+                                   .simulate(request.scene, request.stars)
+                                   .image),
+            0.0);
+
+  // Heartbeat: ack echoes the sequence and reports the load snapshot.
+  client->send_frame(fleet::encode_heartbeat(fleet::Heartbeat{99}),
+                     now_s() + 10.0);
+  std::optional<fleet::WireBuffer> pong = client->recv_frame(now_s() + 10.0);
+  ASSERT_TRUE(pong.has_value());
+  const fleet::HeartbeatAck ack = fleet::decode_heartbeat_ack(*pong);
+  EXPECT_EQ(ack.sequence, 99u);
+  EXPECT_EQ(ack.queue_capacity, 8u);
+  EXPECT_GE(ack.completed, 1u);
+
+  // Stats scrape: instance-labeled serve families cross the boundary.
+  client->send_frame(fleet::encode_stats_request(), now_s() + 10.0);
+  std::optional<fleet::WireBuffer> stats = client->recv_frame(now_s() + 10.0);
+  ASSERT_TRUE(stats.has_value());
+  const auto families = fleet::decode_stats_reply(*stats);
+  EXPECT_FALSE(families.empty());
+  bool saw_instance = false;
+  for (const auto& family : families) {
+    for (const auto& sample : family.samples) {
+      for (const auto& label : sample.labels) {
+        if (label.name == "instance" && label.value == "shard-3") {
+          saw_instance = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_instance) << "families lost their instance label";
+
+  // A failing request answers with the typed error frame, not a dropped
+  // connection: attitude without a catalog is a deterministic
+  // PreconditionError inside the service.
+  RenderRequest bad;
+  bad.scene = small_scene();
+  bad.attitude = Quaternion(1.0, 0.0, 0.0, 0.0);
+  client->send_frame(fleet::encode_request(bad), now_s() + 10.0);
+  std::optional<fleet::WireBuffer> error = client->recv_frame(now_s() + 30.0);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_TRUE(fleet::reply_is_error(*error));
+  EXPECT_THROW((void)fleet::decode_reply(*error), support::PreconditionError);
+
+  client->close();
+  host.request_stop();
+  server.join();
+  EXPECT_GE(host.completed(), 1u);
+}
+
+// --- LoopbackTransport: the chaos lifecycle without a process --------------
+
+TEST(FleetTransport, LoopbackCrashRespawnLifecycle) {
+  starsim::serve::FrameServiceOptions service;
+  service.workers = 1;
+  service.cache_capacity = 0;
+  fleet::LoopbackTransport transport(0, service);
+  EXPECT_EQ(transport.instance(), "shard-0");
+  EXPECT_NE(transport.loopback_shard(), nullptr);
+  EXPECT_FALSE(transport.dead());
+  EXPECT_EQ(transport.heartbeat_age_ms(), 0.0);
+
+  const RenderRequest request = simple_request(11);
+  const fleet::WireBuffer frame = fleet::encode_request(request);
+  {
+    fleet::PendingReply reply = transport.submit(frame, std::nullopt);
+    const RenderResponse response = fleet::decode_reply(reply.take());
+    ASSERT_NE(response.result, nullptr);
+  }
+
+  transport.crash();
+  EXPECT_TRUE(transport.dead());
+  EXPECT_THROW((void)transport.submit(frame, std::nullopt),
+               support::ShardDownError);
+
+  ASSERT_TRUE(transport.respawn());
+  EXPECT_FALSE(transport.dead());
+  {
+    fleet::PendingReply reply = transport.submit(frame, std::nullopt);
+    const RenderResponse response = fleet::decode_reply(reply.take());
+    ASSERT_NE(response.result, nullptr);
+  }
+
+  // Wedge: submits fail as transport timeouts (the loopback model of a
+  // hung peer) and the heartbeat age starts climbing for the hang
+  // detector.
+  transport.wedge();
+  EXPECT_FALSE(transport.dead());
+  {
+    fleet::PendingReply reply = transport.submit(frame, std::nullopt);
+    EXPECT_THROW((void)fleet::decode_reply(reply.take()),
+                 support::TransportTimeoutError);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GT(transport.heartbeat_age_ms(), 0.0);
+
+  // Respawn clears the wedge too.
+  ASSERT_TRUE(transport.respawn());
+  EXPECT_EQ(transport.heartbeat_age_ms(), 0.0);
+  {
+    fleet::PendingReply reply = transport.submit(frame, std::nullopt);
+    const RenderResponse response = fleet::decode_reply(reply.take());
+    ASSERT_NE(response.result, nullptr);
+  }
+  const fleet::TransportStats stats = transport.stats();
+  EXPECT_GE(stats.submits, 3u);
+  transport.shutdown();
+}
+
+}  // namespace

@@ -208,6 +208,7 @@ void expect_error_round_trip(const E& error, bool retryable) {
 }
 
 TEST(FleetWire, TypedErrorsRoundTrip) {
+  expect_error_round_trip(support::TransportTimeoutError("io budget"), true);
   expect_error_round_trip(support::PreconditionError("bad scene"), false);
   expect_error_round_trip(support::DeviceError("vram exhausted", true), true);
   expect_error_round_trip(support::TransferError("pcie fault"), true);
@@ -243,7 +244,8 @@ TEST(FleetWire, MalformedFramesThrowWireFormatError) {
 
   // Truncation at every prefix length, including mid-header.
   for (const std::size_t keep : {std::size_t{0}, std::size_t{3},
-                                 std::size_t{4}, good.size() / 2,
+                                 std::size_t{4}, std::size_t{7},
+                                 fleet::kWireHeaderBytes, good.size() / 2,
                                  good.size() - 1}) {
     fleet::WireBuffer cut(good.begin(),
                           good.begin() + static_cast<std::ptrdiff_t>(keep));
@@ -266,13 +268,18 @@ TEST(FleetWire, MalformedFramesThrowWireFormatError) {
 
   fleet::WireBuffer trailing = good;
   trailing.push_back(0);
+  fleet::reseal_frame(trailing);  // valid CRC: the length check must fire
   EXPECT_THROW((void)fleet::decode_request(trailing),
                support::WireFormatError);
 
   // A star count far beyond the frame must be rejected before allocation.
+  // Reseal after patching so the CRC passes and the count guard itself is
+  // what rejects.
   fleet::WireBuffer huge = good;
-  const std::size_t count_offset = 4 + 3 * 4 + 8 + 1 + 4 * 8;  // scene end
+  const std::size_t count_offset =
+      fleet::kWireHeaderBytes + 3 * 4 + 8 + 1 + 4 * 8;  // scene end
   for (std::size_t i = 0; i < 8; ++i) huge[count_offset + i] = 0xff;
+  fleet::reseal_frame(huge);
   EXPECT_THROW((void)fleet::decode_request(huge), support::WireFormatError);
 }
 
@@ -289,23 +296,168 @@ TEST(FleetWire, OutOfRangeEnumBytesThrowWireFormatError) {
 
   // Pin the offsets first: patching with *valid* values must decode to
   // exactly those values, or the corruption below would hit other fields.
+  // Frames are resealed after patching — the enum range check, not the
+  // CRC, must be what rejects.
   fleet::WireBuffer retagged = good;
   retagged[simulator_at] =
       static_cast<std::uint8_t>(SimulatorKind::kSequential);
   retagged[priority_at] = static_cast<std::uint8_t>(RequestPriority::kLow);
+  fleet::reseal_frame(retagged);
   const RenderRequest decoded = fleet::decode_request(retagged);
   ASSERT_EQ(decoded.simulator, SimulatorKind::kSequential);
   ASSERT_EQ(decoded.priority, RequestPriority::kLow);
 
   fleet::WireBuffer bad_simulator = good;
   bad_simulator[simulator_at] = 0xff;
+  fleet::reseal_frame(bad_simulator);
   EXPECT_THROW((void)fleet::decode_request(bad_simulator),
                support::WireFormatError);
 
   fleet::WireBuffer bad_priority = good;
   bad_priority[priority_at] = 0xff;
+  fleet::reseal_frame(bad_priority);
   EXPECT_THROW((void)fleet::decode_request(bad_priority),
                support::WireFormatError);
+}
+
+// --- CRC integrity: the PR 8 header hardening ------------------------------
+
+TEST(FleetWire, HeaderCarriesMagicVersionAndCrc) {
+  const fleet::WireBuffer frame = fleet::encode_request(full_request());
+  ASSERT_GE(frame.size(), fleet::kWireHeaderBytes);
+  EXPECT_EQ(frame[0], fleet::kWireMagic0);
+  EXPECT_EQ(frame[1], fleet::kWireMagic1);
+  EXPECT_EQ(frame[2], fleet::kWireVersion);
+  EXPECT_EQ(fleet::frame_kind(frame), fleet::MessageKind::kRequest);
+
+  // The stored CRC matches an independent recomputation over kind+payload.
+  const std::uint32_t stored =
+      static_cast<std::uint32_t>(frame[4]) |
+      (static_cast<std::uint32_t>(frame[5]) << 8) |
+      (static_cast<std::uint32_t>(frame[6]) << 16) |
+      (static_cast<std::uint32_t>(frame[7]) << 24);
+  const std::span<const std::uint8_t> bytes(frame);
+  const std::uint32_t expected = fleet::wire_crc32(
+      bytes.subspan(fleet::kWireHeaderBytes),
+      fleet::wire_crc32(bytes.subspan(3, 1)));
+  EXPECT_EQ(stored, expected);
+}
+
+// Fuzz-style corruption corpus: every single-bit flip in a request and an
+// error frame (and a deterministic sample of a response frame — full pixel
+// payloads make exhaustive flips slow) must either decode to
+// WireFormatError or, for flips inside the CRC field itself, fail the CRC
+// check. No flip may decode into a *different* valid message.
+TEST(FleetWire, SingleBitFlipsNeverDecodeSilently) {
+  const auto corrupt_sweep = [](const fleet::WireBuffer& good,
+                                std::size_t stride) {
+    for (std::size_t byte = 0; byte < good.size(); byte += stride) {
+      for (int bit = 0; bit < 8; ++bit) {
+        fleet::WireBuffer evil = good;
+        evil[byte] =
+            static_cast<std::uint8_t>(evil[byte] ^ (1u << bit));
+        EXPECT_THROW((void)fleet::frame_kind(evil), support::WireFormatError)
+            << "byte " << byte << " bit " << bit << " decoded silently";
+      }
+    }
+  };
+
+  RenderRequest request;
+  request.scene = full_scene();
+  request.stars = random_stars(13, 6);
+  corrupt_sweep(fleet::encode_request(request), /*stride=*/1);
+  corrupt_sweep(fleet::encode_error(support::DeviceError("flaky", true)),
+                /*stride=*/1);
+
+  RenderResponse response;
+  namespace gs = starsim::gpusim;
+  gs::Device device(gs::DeviceSpec::gtx480());
+  response.result = std::make_shared<const SimulationResult>(
+      starsim::ParallelSimulator(device).simulate(full_scene(),
+                                                  request.stars));
+  response.simulator = SimulatorKind::kParallel;
+  corrupt_sweep(fleet::encode_response(response), /*stride=*/97);
+}
+
+TEST(FleetWire, ResealRestoresIntegrityAfterPatching) {
+  fleet::WireBuffer frame = fleet::encode_error(support::IoError("x"));
+  frame[fleet::kWireHeaderBytes + 1] ^= 0x01;  // flip a payload byte
+  EXPECT_THROW((void)fleet::frame_kind(frame), support::WireFormatError);
+  fleet::reseal_frame(frame);
+  EXPECT_EQ(fleet::frame_kind(frame), fleet::MessageKind::kError);
+
+  fleet::WireBuffer stub(fleet::kWireHeaderBytes - 1, 0);
+  EXPECT_THROW(fleet::reseal_frame(stub), support::WireFormatError);
+}
+
+// --- Heartbeat + stats frames (the supervision satellites) -----------------
+
+TEST(FleetWire, HeartbeatAndAckRoundTrip) {
+  fleet::Heartbeat beat;
+  beat.sequence = 0x1122334455667788ULL;
+  const fleet::WireBuffer ping = fleet::encode_heartbeat(beat);
+  EXPECT_EQ(fleet::frame_kind(ping), fleet::MessageKind::kHeartbeat);
+  EXPECT_EQ(fleet::decode_heartbeat(ping).sequence, beat.sequence);
+
+  fleet::HeartbeatAck ack;
+  ack.sequence = beat.sequence;
+  ack.queue_depth = 7;
+  ack.queue_capacity = 64;
+  ack.completed = 12345;
+  const fleet::WireBuffer pong = fleet::encode_heartbeat_ack(ack);
+  EXPECT_EQ(fleet::frame_kind(pong), fleet::MessageKind::kHeartbeatAck);
+  const fleet::HeartbeatAck decoded = fleet::decode_heartbeat_ack(pong);
+  EXPECT_EQ(decoded.sequence, ack.sequence);
+  EXPECT_EQ(decoded.queue_depth, 7u);
+  EXPECT_EQ(decoded.queue_capacity, 64u);
+  EXPECT_EQ(decoded.completed, 12345u);
+
+  // Kinds are not interchangeable.
+  EXPECT_THROW((void)fleet::decode_heartbeat_ack(ping),
+               support::WireFormatError);
+  EXPECT_THROW((void)fleet::decode_heartbeat(pong),
+               support::WireFormatError);
+}
+
+TEST(FleetWire, StatsReplyRoundTripsMetricFamilies) {
+  using starsim::trace::MetricFamily;
+  using starsim::trace::MetricType;
+  std::vector<MetricFamily> families;
+  {
+    MetricFamily f{"starsim_serve_requests_total", "requests by outcome",
+                   MetricType::kCounter, {}};
+    f.add(41.0, {{"outcome", "completed"}, {"instance", "shard-3"}})
+        .add(1.0, {{"outcome", "failed"}});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f{"starsim_serve_queue_depth", "waiting requests",
+                   MetricType::kGauge, {}};
+    f.add(3.5);
+    families.push_back(std::move(f));
+  }
+
+  const fleet::WireBuffer request = fleet::encode_stats_request();
+  EXPECT_EQ(fleet::frame_kind(request), fleet::MessageKind::kStatsRequest);
+
+  const fleet::WireBuffer reply = fleet::encode_stats_reply(families);
+  EXPECT_EQ(fleet::frame_kind(reply), fleet::MessageKind::kStatsReply);
+  const std::vector<MetricFamily> decoded = fleet::decode_stats_reply(reply);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].name, "starsim_serve_requests_total");
+  EXPECT_EQ(decoded[0].help, "requests by outcome");
+  EXPECT_EQ(decoded[0].type, MetricType::kCounter);
+  ASSERT_EQ(decoded[0].samples.size(), 2u);
+  EXPECT_EQ(decoded[0].samples[0].value, 41.0);
+  ASSERT_EQ(decoded[0].samples[0].labels.size(), 2u);
+  EXPECT_EQ(decoded[0].samples[0].labels[0].name, "outcome");
+  EXPECT_EQ(decoded[0].samples[0].labels[0].value, "completed");
+  EXPECT_EQ(decoded[0].samples[0].labels[1].value, "shard-3");
+  EXPECT_EQ(decoded[1].name, "starsim_serve_queue_depth");
+  EXPECT_EQ(decoded[1].type, MetricType::kGauge);
+  ASSERT_EQ(decoded[1].samples.size(), 1u);
+  EXPECT_EQ(decoded[1].samples[0].value, 3.5);
+  EXPECT_TRUE(decoded[1].samples[0].labels.empty());
 }
 
 TEST(FleetWire, ReplyClassifierRejectsShortFrames) {
