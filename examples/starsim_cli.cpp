@@ -1036,6 +1036,13 @@ int cmd_trace_check(int argc, char** argv) {
       required.push_back("starsim_fleet_latency_seconds");
       required.push_back("starsim_fleet_proc_respawns_total");
       required.push_back("starsim_fleet_heartbeats_total");
+      // Network families (PR 9): emitted by every fleet — zeros for
+      // loopback — so their absence always means a broken exposition.
+      required.push_back("starsim_fleet_net_rtt_seconds");
+      required.push_back("starsim_fleet_net_handshakes_total");
+      required.push_back("starsim_fleet_net_dial_backoffs_total");
+      required.push_back("starsim_fleet_net_partitions_total");
+      required.push_back("starsim_fleet_net_faults_injected_total");
     }
     const std::vector<std::string> problems =
         trace::check_prometheus(*exposition, required);

@@ -1,0 +1,157 @@
+// ChaosTransport — seeded, deterministic network-fault injection over any
+// Transport.
+//
+// PR 8 proved the fleet survives process failure (SIGKILL, SIGSTOP, crash
+// loops); this decorator makes network failure testable with the same
+// rigor. It wraps an inner Transport and injects the faults a real network
+// produces — drop, delay (fixed plus jittered), duplicate, reorder,
+// bit-corruption, and full or asymmetric partition — from a seeded PRNG,
+// so a chaos run is a pure function of (seed, request order): a failure
+// reproduces from its seed, and CI can assert exact invariants instead of
+// statistical ones.
+//
+// Faults act on whole frames at the transport boundary, which keeps the
+// semantics honest:
+//
+//  - drop / partition-blocked frames surface as TransportTimeoutError,
+//    exactly what a vanished packet costs a dialer — but *immediately*,
+//    not after burning the wall-clock deadline, so chaos suites stay fast
+//    and no request can outlive its budget.
+//  - an asymmetric partition (requests pass, replies blocked) still
+//    delivers the request to the shard — the shard renders, the reply
+//    evaporates. That asymmetry is what distinguishes "partitioned" from
+//    "dead": the process is alive and working, only unreachable, and the
+//    supervisor must route around it rather than respawn it.
+//  - corruption flips exactly one seeded-random bit of the reply frame;
+//    the wire header's CRC must turn every such frame into
+//    WireFormatError (tests/test_fleet_net.cpp sweeps this 10k deep).
+//  - reorder holds a reply until the next one passes, swapping delivery
+//    order without ever crossing reply bytes between requests.
+//
+// dead() delegates to the inner transport untouched: a partitioned shard
+// is NOT dead, and the supervisor's partition rung (route around, keep
+// the process) keys off heartbeat_age_ms() — which, while partitioned,
+// reports the partition's age, modeling the heartbeats the network ate.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "fleet/transport.h"
+
+namespace starsim::fleet {
+
+/// Fault rates and shapes. All rates are per-request probabilities in
+/// [0, 1]; everything draws from one seeded PRNG stream so runs replay.
+struct ChaosNetOptions {
+  std::uint64_t seed = 0;
+  double drop_rate = 0.0;        ///< request vanishes; dialer times out
+  double delay_ms = 0.0;         ///< fixed reply delay (every request)
+  double delay_jitter_ms = 0.0;  ///< uniform extra delay in [0, jitter)
+  double duplicate_rate = 0.0;   ///< request sent twice; one reply wins
+  double reorder_rate = 0.0;     ///< reply held until the next one passes
+  /// Upper bound on a reorder hold: if no other reply passes within this,
+  /// the held reply releases anyway — a hold must never strand a request
+  /// on a quiet link.
+  double reorder_hold_ms = 25.0;
+  double corrupt_rate = 0.0;     ///< one reply bit flipped
+  /// Heartbeat-age threshold (ms) reported to the supervisor when the
+  /// inner transport has no network of its own (loopback): how stale
+  /// liveness must look before the partition rung fires.
+  double partition_after_ms = 100.0;
+};
+
+/// Deterministic network-fault decorator. Owns the inner transport; a
+/// small worker pool applies reply-side faults (delay, corrupt, reorder)
+/// off the caller's thread so submit() never blocks on injected latency.
+class ChaosTransport final : public Transport {
+ public:
+  ChaosTransport(std::unique_ptr<Transport> inner, ChaosNetOptions options);
+  ~ChaosTransport() override;
+
+  [[nodiscard]] PendingReply submit(
+      const WireBuffer& frame, std::optional<double> io_budget_s) override;
+  [[nodiscard]] bool dead() override { return inner_->dead(); }
+  void crash() override { inner_->crash(); }
+  void wedge() override { inner_->wedge(); }
+  [[nodiscard]] bool respawn() override { return inner_->respawn(); }
+  void shutdown() override;
+  [[nodiscard]] std::size_t queue_depth() override {
+    return inner_->queue_depth();
+  }
+  [[nodiscard]] std::size_t queue_capacity() override {
+    return inner_->queue_capacity();
+  }
+  /// While partitioned: the partition's age (the heartbeats the network
+  /// ate). Otherwise the inner transport's heartbeat age.
+  [[nodiscard]] double heartbeat_age_ms() override;
+  [[nodiscard]] std::vector<trace::MetricFamily> metric_families() override;
+  [[nodiscard]] int index() const override { return inner_->index(); }
+  [[nodiscard]] const std::string& instance() const override {
+    return inner_->instance();
+  }
+  [[nodiscard]] TransportStats stats() override { return inner_->stats(); }
+  [[nodiscard]] TransportNetStats net_stats() override;
+  [[nodiscard]] double partition_after_ms() override;
+  [[nodiscard]] Shard* loopback_shard() override {
+    return inner_->loopback_shard();
+  }
+
+  /// Script a partition. `block_requests` stops frames reaching the shard;
+  /// `block_replies` lets requests through but eats the replies
+  /// (asymmetric — the shard renders for nobody). Both true is a full
+  /// partition. Idempotent; the partition clock starts at the first call.
+  void partition(bool block_requests, bool block_replies);
+  /// Heal the partition: traffic flows, the partition clock resets.
+  void heal();
+  [[nodiscard]] bool partitioned() const;
+
+  [[nodiscard]] Transport& inner() { return *inner_; }
+
+ private:
+  struct HeldReply {
+    std::shared_ptr<std::promise<WireBuffer>> promise;
+    WireBuffer bytes;
+  };
+
+  /// One uniform draw in [0, 1) from the seeded stream.
+  [[nodiscard]] double roll();
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+  /// Settle `bytes` into `promise`, honouring a pending reorder hold.
+  void settle(std::shared_ptr<std::promise<WireBuffer>> promise,
+              WireBuffer bytes, bool reorder);
+
+  std::unique_ptr<Transport> inner_;
+  ChaosNetOptions options_;
+
+  mutable std::mutex mutex_;  ///< RNG, partition state, counters, hold slot
+  std::uint64_t rng_state_;
+  bool block_requests_ = false;
+  bool block_replies_ = false;
+  double partition_since_s_ = 0.0;
+  std::optional<HeldReply> held_;
+
+  std::uint64_t faults_dropped_ = 0;
+  std::uint64_t faults_delayed_ = 0;
+  std::uint64_t faults_duplicated_ = 0;
+  std::uint64_t faults_reordered_ = 0;
+  std::uint64_t faults_corrupted_ = 0;
+  std::uint64_t faults_partitioned_ = 0;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool closed_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace starsim::fleet

@@ -1,0 +1,71 @@
+#include "fleet/endpoint.h"
+
+#include <utility>
+
+#include "support/error.h"
+
+namespace starsim::fleet {
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  STARSIM_REQUIRE(!spec.empty(), "endpoint spec is empty");
+  constexpr const char* kUnixScheme = "unix:";
+  constexpr const char* kTcpScheme = "tcp:";
+  if (spec.rfind(kUnixScheme, 0) == 0) {
+    std::string path = spec.substr(5);
+    STARSIM_REQUIRE(!path.empty(), "unix endpoint has an empty path");
+    return unix_path(std::move(path));
+  }
+  if (spec.rfind(kTcpScheme, 0) == 0) {
+    const std::string rest = spec.substr(4);
+    // Split on the LAST colon so a future bracketed-IPv6 host keeps its
+    // internal colons; today's hosts are names or IPv4 literals.
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      STARSIM_THROW(support::PreconditionError,
+                    "tcp endpoint must be tcp:host:port, got \"" + spec +
+                        "\"");
+    }
+    const std::string host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    long port = 0;
+    for (const char c : port_text) {
+      if (c < '0' || c > '9') {
+        STARSIM_THROW(support::PreconditionError,
+                      "tcp endpoint port is not numeric: \"" + spec + "\"");
+      }
+      port = port * 10 + (c - '0');
+      if (port > 65535) {
+        STARSIM_THROW(support::PreconditionError,
+                      "tcp endpoint port exceeds 65535: \"" + spec + "\"");
+      }
+    }
+    return tcp(host, static_cast<std::uint16_t>(port));
+  }
+  // Bare path: every pre-endpoint socket_path string stays valid.
+  return unix_path(spec);
+}
+
+Endpoint Endpoint::unix_path(std::string path) {
+  Endpoint endpoint;
+  endpoint.kind = Kind::kUnix;
+  endpoint.path = std::move(path);
+  return endpoint;
+}
+
+Endpoint Endpoint::tcp(std::string host, std::uint16_t port) {
+  Endpoint endpoint;
+  endpoint.kind = Kind::kTcp;
+  endpoint.host = std::move(host);
+  endpoint.port = port;
+  return endpoint;
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kTcp) {
+    return "tcp:" + host + ":" + std::to_string(port);
+  }
+  return "unix:" + path;
+}
+
+}  // namespace starsim::fleet

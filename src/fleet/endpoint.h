@@ -1,0 +1,47 @@
+// starsim::fleet endpoint addresses — where a shard listens.
+//
+// PR 8's transport hard-coded Unix-domain socket paths; a fleet that spans
+// machines needs a listener address that can also name a TCP host:port.
+// `Endpoint` is that address: a tagged union parsed from the two spec
+// syntaxes every fleet-facing flag and config field accepts,
+//
+//   unix:/path/to/shard.sock    — Unix-domain stream socket
+//   tcp:host:port               — TCP (port 0 = kernel-assigned, tests)
+//
+// plus a bare path (no scheme) which keeps every pre-existing socket-path
+// string meaning what it always meant. The socket layer (socket.h) dials
+// and binds Endpoints; everything above it — transport, process config,
+// shardd flags — passes them through as strings so specs survive the
+// posix_spawn argv boundary unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace starsim::fleet {
+
+/// A parsed shard listener address: Unix-domain path or TCP host:port.
+struct Endpoint {
+  enum class Kind : std::uint8_t { kUnix = 0, kTcp = 1 };
+
+  Kind kind = Kind::kUnix;
+  std::string path;         ///< kUnix: filesystem path of the socket
+  std::string host;         ///< kTcp: hostname or numeric address
+  std::uint16_t port = 0;   ///< kTcp: port (0 = kernel-assigned on bind)
+
+  /// Parse `unix:/path`, `tcp:host:port`, or a bare path (treated as
+  /// unix for compatibility with pre-endpoint socket-path strings).
+  /// Throws support::PreconditionError on a malformed spec (empty path,
+  /// missing or non-numeric port, port > 65535).
+  [[nodiscard]] static Endpoint parse(const std::string& spec);
+
+  [[nodiscard]] static Endpoint unix_path(std::string path);
+  [[nodiscard]] static Endpoint tcp(std::string host, std::uint16_t port);
+
+  /// Canonical spec string (`unix:...` / `tcp:...`), parseable by parse().
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool is_tcp() const { return kind == Kind::kTcp; }
+};
+
+}  // namespace starsim::fleet

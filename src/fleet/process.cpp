@@ -40,8 +40,8 @@ ShardProcess::ShardProcess(ShardProcessConfig config)
     : config_(std::move(config)) {
   STARSIM_REQUIRE(!config_.shardd_path.empty(),
                   "ShardProcess requires a shardd binary path");
-  STARSIM_REQUIRE(!config_.socket_path.empty(),
-                  "ShardProcess requires a socket path");
+  STARSIM_REQUIRE(!config_.socket_path.empty() || !config_.endpoint.empty(),
+                  "ShardProcess requires a socket path or endpoint");
 }
 
 ShardProcess::~ShardProcess() {
@@ -54,7 +54,7 @@ void ShardProcess::spawn() {
 
   std::vector<std::string> args = {
       config_.shardd_path,
-      "--socket", config_.socket_path,
+      "--socket", config_.endpoint_spec(),
       "--index", std::to_string(config_.index),
       "--workers", std::to_string(config_.workers),
       "--queue", std::to_string(config_.queue_capacity),
@@ -66,6 +66,10 @@ void ShardProcess::spawn() {
       "--straggler-ms", fmt(config_.straggler_ms),
       "--frame-timeout-ms", fmt(config_.frame_timeout_ms),
   };
+  // --socket carries a full endpoint spec (unix:/path | tcp:host:port |
+  // bare path); the auth token is deliberately NOT an argv flag — argv is
+  // visible to every user via ps. The child reads STARSIM_FLEET_TOKEN from
+  // the environment it inherits through posix_spawn below.
   if (config_.inject_faults) args.emplace_back("--inject-faults");
 
   std::vector<char*> argv;
@@ -96,7 +100,7 @@ void ShardProcess::spawn() {
                         " exited during startup");
     }
     try {
-      FrameSocket probe = FrameSocket::connect(config_.socket_path, 0.1);
+      FrameSocket probe = FrameSocket::connect(config_.endpoint_spec(), 0.1);
       return;  // connectable — ready for traffic
     } catch (const support::Error&) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -105,7 +109,7 @@ void ShardProcess::spawn() {
   kill_now();
   STARSIM_THROW(support::ShardDownError,
                 "shardd " + std::to_string(config_.index) +
-                    " socket never came up at " + config_.socket_path);
+                    " socket never came up at " + config_.endpoint_spec());
 }
 
 bool ShardProcess::running() {

@@ -23,6 +23,10 @@ namespace starsim::fleet {
 struct ShardProcessConfig {
   std::string shardd_path;   ///< path to the starsim_shardd binary
   std::string socket_path;   ///< Unix socket the shard will listen on
+  /// Endpoint spec ("unix:/path" | "tcp:host:port") the shard listens on.
+  /// When set it wins over socket_path; empty keeps the Unix-socket
+  /// default so every pre-endpoint caller stays valid.
+  std::string endpoint;
   int index = 0;
   int workers = 2;
   std::size_t queue_capacity = 64;
@@ -37,6 +41,12 @@ struct ShardProcessConfig {
   /// How long spawn() waits for the child's socket to answer a connect
   /// before declaring the spawn failed.
   double spawn_wait_s = 10.0;
+
+  /// The spec dialers should connect to: `endpoint` when set, else the
+  /// Unix socket path.
+  [[nodiscard]] const std::string& endpoint_spec() const {
+    return endpoint.empty() ? socket_path : endpoint;
+  }
 };
 
 class ShardProcess {

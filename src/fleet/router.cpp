@@ -1,6 +1,12 @@
 #include "fleet/router.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <span>
 #include <utility>
@@ -50,16 +56,43 @@ std::string_view to_string(ShardState state) {
       return "respawning";
     case ShardState::kRetired:
       return "retired";
+    case ShardState::kPartitioned:
+      return "partitioned";
   }
   return "unknown";
 }
 
 namespace {
 
-/// States a request must never be routed to.
+/// States a request must never be routed to. A partitioned shard is alive
+/// but its frames don't arrive — routing to it only burns deadlines.
 [[nodiscard]] bool unroutable(ShardState state) {
   return state == ShardState::kDown || state == ShardState::kRespawning ||
-         state == ShardState::kRetired;
+         state == ShardState::kRetired || state == ShardState::kPartitioned;
+}
+
+/// Bind port 0 on loopback, read back the kernel's choice, release it.
+/// There is a small window in which another process could grab the port
+/// before the shardd child binds it; spawn() fails cleanly if so, and the
+/// supervisor's respawn picks a fresh port via the same path.
+[[nodiscard]] std::uint16_t pick_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  STARSIM_REQUIRE(fd >= 0, "socket() for port probe failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    STARSIM_THROW(support::IoError, "bind() for port probe failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    STARSIM_THROW(support::IoError, "getsockname() for port probe failed");
+  }
+  ::close(fd);
+  return ntohs(addr.sin_port);
 }
 
 }  // namespace
@@ -77,18 +110,25 @@ std::unique_ptr<Transport> ShardRouter::make_transport(int index) {
   if (index == options_.straggler_shard) {
     shard_options.worker.debug_straggler_ms = options_.straggler_ms;
   }
+  std::unique_ptr<Transport> built;
   if (!options_.process_shards) {
-    return std::make_unique<LoopbackTransport>(index,
-                                               std::move(shard_options));
+    built = std::make_unique<LoopbackTransport>(index,
+                                                std::move(shard_options));
+    return wrap_chaos(index, std::move(built));
   }
   STARSIM_REQUIRE(!options_.shardd_path.empty(),
                   "process shards need a shardd binary path");
-  STARSIM_REQUIRE(!options_.socket_dir.empty(),
+  STARSIM_REQUIRE(options_.tcp_shards || !options_.socket_dir.empty(),
                   "process shards need a socket directory");
   ShardProcessConfig config;
   config.shardd_path = options_.shardd_path;
-  config.socket_path =
-      options_.socket_dir + "/shard-" + std::to_string(index) + ".sock";
+  if (options_.tcp_shards) {
+    config.endpoint =
+        "tcp:127.0.0.1:" + std::to_string(pick_free_port());
+  } else {
+    config.socket_path =
+        options_.socket_dir + "/shard-" + std::to_string(index) + ".sock";
+  }
   config.index = index;
   config.workers = shard_options.workers;
   config.queue_capacity = shard_options.queue_capacity;
@@ -104,8 +144,27 @@ std::unique_ptr<Transport> ShardRouter::make_transport(int index) {
     config.fault_seed = policy.seed;
   }
   config.straggler_ms = shard_options.worker.debug_straggler_ms;
-  return std::make_unique<SocketTransport>(std::move(config),
-                                           options_.transport);
+  SocketTransportOptions transport_options = options_.transport;
+  if (transport_options.token.empty()) {
+    // The token rides the environment into the shardd child (never argv —
+    // `ps` must not leak it); the dial-side handshake presents the same
+    // secret, so router and shard agree by construction.
+    transport_options.token = options_.fleet_token;
+  }
+  built = std::make_unique<SocketTransport>(std::move(config),
+                                            std::move(transport_options));
+  return wrap_chaos(index, std::move(built));
+}
+
+std::unique_ptr<Transport> ShardRouter::wrap_chaos(
+    int index, std::unique_ptr<Transport> built) {
+  if (index != options_.chaos_shard) return built;
+  return std::make_unique<ChaosTransport>(std::move(built),
+                                          options_.net_chaos);
+}
+
+ChaosTransport* ShardRouter::chaos_transport(int index) {
+  return dynamic_cast<ChaosTransport*>(transport_at(index));
 }
 
 void ShardRouter::append_ring_points(
@@ -131,6 +190,14 @@ ShardRouter::ShardRouter(FleetOptions options)
   STARSIM_REQUIRE(options_.shard.workers > 0,
                   "shards need at least one worker");
   options_.replicas = std::min(options_.replicas, options_.shards);
+  STARSIM_REQUIRE(!options_.tcp_shards || options_.process_shards,
+                  "tcp_shards requires process_shards");
+  if (options_.fleet_token.empty()) {
+    if (const char* token = std::getenv("STARSIM_FLEET_TOKEN");
+        token != nullptr) {
+      options_.fleet_token = token;
+    }
+  }
 
   for (int s = 0; s < options_.shards; ++s) {
     slots_.push_back(make_transport(s));
@@ -153,6 +220,10 @@ ShardRouter::ShardRouter(FleetOptions options)
     events.on_unreachable = [this](int s) { on_shard_unreachable(s); };
     events.on_respawned = [this](int s) { on_shard_respawned(s); };
     events.on_exhausted = [this](int s) { on_shard_exhausted(s); };
+    events.on_partitioned = [this](int s) { on_shard_partitioned(s); };
+    events.on_partition_healed = [this](int s) {
+      on_shard_partition_healed(s);
+    };
     supervisor_ = std::make_unique<ProcessSupervisor>(options_.supervision,
                                                       std::move(events));
     for (int s = 0; s < options_.shards; ++s) {
@@ -975,6 +1046,41 @@ void ShardRouter::on_shard_exhausted(int index) {
   trace::instant("fleet", "shard_exhausted");
 }
 
+void ShardRouter::on_shard_partitioned(int index) {
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    HealthSlot& slot = health_.at(static_cast<std::size_t>(index));
+    // Terminal states stay terminal, and a shard already in the respawn
+    // ladder has the harder diagnosis — don't downgrade it to partitioned.
+    if (slot.state == ShardState::kDown ||
+        slot.state == ShardState::kRetired ||
+        slot.state == ShardState::kRespawning) {
+      return;
+    }
+    slot.state = ShardState::kPartitioned;
+  }
+  trace::instant("fleet", "shard_partitioned",
+                 {{"instance", transport_at(index)->instance()}});
+}
+
+void ShardRouter::on_shard_partition_healed(int index) {
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    HealthSlot& slot = health_.at(static_cast<std::size_t>(index));
+    if (slot.state != ShardState::kPartitioned) return;
+    // Healed, not trusted: the shard re-enters through the probe ladder
+    // with a clean breaker window — stale in-flight wreckage from the
+    // partition must not count against the healed link.
+    slot.state = ShardState::kQuarantined;
+    slot.quarantined_at = std::chrono::steady_clock::now();
+    slot.quarantines += 1;
+    slot.window_count = 0;
+    slot.window_next = 0;
+  }
+  trace::instant("fleet", "shard_partition_healed",
+                 {{"instance", transport_at(index)->instance()}});
+}
+
 void ShardRouter::warm_shard(
     int target, const std::vector<std::pair<std::uint64_t, int>>& ring) {
   if (options_.hot_scene_capacity == 0) return;
@@ -1206,6 +1312,8 @@ FleetStats ShardRouter::stats() const {
     s.hangs_detected += stats.hangs_detected;
     s.respawns_attempted += stats.respawns_attempted;
     s.respawns_succeeded += stats.respawns_succeeded;
+    s.partitions_detected += stats.partitions_detected;
+    s.partitions_healed += stats.partitions_healed;
     if (stats.exhausted) s.respawns_exhausted += 1;
     s.last_respawn_s = std::max(s.last_respawn_s, stats.last_respawn_s);
   }
@@ -1281,7 +1389,7 @@ std::string ShardRouter::scrape_metrics() const {
     MetricFamily f{"starsim_fleet_shard_state",
                    "Health-ladder position per shard (0 healthy, 1 "
                    "quarantined, 2 probing, 3 down, 4 respawning, "
-                   "5 retired)",
+                   "5 retired, 6 partitioned)",
                    MetricType::kGauge, {}};
     for (const ShardSnapshot& shard : s.shards) {
       f.add(static_cast<double>(shard.state),
@@ -1401,6 +1509,91 @@ std::string ShardRouter::scrape_metrics() const {
                    MetricType::kGauge, {}};
     f.add(s.throughput_rps);
     families.push_back(std::move(f));
+  }
+
+  // Network liveness families (fleet stage 3). Emitted for every fleet —
+  // loopback transports report zeros — so trace-check --fleet can require
+  // the family names unconditionally.
+  {
+    std::vector<std::pair<std::string, TransportNetStats>> net;
+    {
+      const std::lock_guard<std::mutex> lock(slots_mutex_);
+      net.reserve(slots_.size());
+      for (const std::unique_ptr<Transport>& slot : slots_) {
+        net.emplace_back(slot->instance(), slot->net_stats());
+      }
+    }
+    TransportNetStats total{};
+    {
+      MetricFamily f{"starsim_fleet_net_rtt_seconds",
+                     "Per-shard smoothed round-trip estimate (srtt), "
+                     "variance (rttvar), and retransmission timeout (rto)",
+                     MetricType::kGauge, {}};
+      for (const auto& [instance, stats] : net) {
+        f.add(stats.srtt_ms * 1e-3,
+              {{"instance", instance}, {"stat", "srtt"}})
+            .add(stats.rttvar_ms * 1e-3,
+                 {{"instance", instance}, {"stat", "rttvar"}})
+            .add(stats.rto_ms * 1e-3,
+                 {{"instance", instance}, {"stat", "rto"}});
+        total.handshakes_ok += stats.handshakes_ok;
+        total.handshakes_failed += stats.handshakes_failed;
+        total.dial_backoffs += stats.dial_backoffs;
+        total.faults_dropped += stats.faults_dropped;
+        total.faults_delayed += stats.faults_delayed;
+        total.faults_duplicated += stats.faults_duplicated;
+        total.faults_reordered += stats.faults_reordered;
+        total.faults_corrupted += stats.faults_corrupted;
+        total.faults_partitioned += stats.faults_partitioned;
+      }
+      families.push_back(std::move(f));
+    }
+    {
+      MetricFamily f{"starsim_fleet_net_handshakes_total",
+                     "Connection handshakes (version + shard id + token) "
+                     "by outcome",
+                     MetricType::kCounter, {}};
+      f.add(static_cast<double>(total.handshakes_ok), {{"result", "ok"}})
+          .add(static_cast<double>(total.handshakes_failed),
+               {{"result", "failed"}});
+      families.push_back(std::move(f));
+    }
+    {
+      MetricFamily f{"starsim_fleet_net_dial_backoffs_total",
+                     "Dial attempts refused locally while the reconnect "
+                     "backoff window was open",
+                     MetricType::kCounter, {}};
+      f.add(static_cast<double>(total.dial_backoffs));
+      families.push_back(std::move(f));
+    }
+    {
+      MetricFamily f{"starsim_fleet_net_partitions_total",
+                     "Network partitions walked by the supervision ladder",
+                     MetricType::kCounter, {}};
+      f.add(static_cast<double>(s.partitions_detected),
+            {{"event", "detected"}})
+          .add(static_cast<double>(s.partitions_healed),
+               {{"event", "healed"}});
+      families.push_back(std::move(f));
+    }
+    {
+      MetricFamily f{"starsim_fleet_net_faults_injected_total",
+                     "Deterministic chaos faults injected, by kind",
+                     MetricType::kCounter, {}};
+      f.add(static_cast<double>(total.faults_dropped),
+            {{"kind", "dropped"}})
+          .add(static_cast<double>(total.faults_delayed),
+               {{"kind", "delayed"}})
+          .add(static_cast<double>(total.faults_duplicated),
+               {{"kind", "duplicated"}})
+          .add(static_cast<double>(total.faults_reordered),
+               {{"kind", "reordered"}})
+          .add(static_cast<double>(total.faults_corrupted),
+               {{"kind", "corrupted"}})
+          .add(static_cast<double>(total.faults_partitioned),
+               {{"kind", "partitioned"}});
+      families.push_back(std::move(f));
+    }
   }
 
   // Merge shard-level serve families name-wise: Prometheus allows each

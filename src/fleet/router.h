@@ -47,6 +47,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fleet/chaos.h"
 #include "fleet/shard.h"
 #include "fleet/supervisor.h"
 #include "fleet/transport.h"
@@ -111,6 +112,20 @@ struct FleetOptions {
   /// a dead shard stays kDown — PR 6 behaviour.
   bool supervise = false;
   SupervisorOptions supervision{};
+
+  // Network shards (fleet stage 3) ----------------------------------------
+  /// true spawns process shards listening on TCP loopback (each shard gets
+  /// a kernel-assigned 127.0.0.1 port) instead of Unix sockets. Requires
+  /// process_shards.
+  bool tcp_shards = false;
+  /// Handshake secret for socket shards. Empty defaults from
+  /// STARSIM_FLEET_TOKEN at construction; still empty disables auth.
+  std::string fleet_token;
+  /// Wrap this shard's transport in a deterministic ChaosTransport
+  /// (drop/delay/duplicate/reorder/corrupt/partition injection, scripted
+  /// via chaos_transport()). -1 disables.
+  int chaos_shard = -1;
+  ChaosNetOptions net_chaos{};
   /// Hot-scene memory for ring-resize cache warming: the router keeps the
   /// most recent distinct scenes (by fingerprint) and replays them to a
   /// new replica before cutover. 0 disables warming.
@@ -125,6 +140,7 @@ enum class ShardState : int {
   kDown = 3,         ///< dead with no respawn coming; terminal
   kRespawning = 4,   ///< crashed/hung; supervisor is rebuilding it
   kRetired = 5,      ///< removed from the ring deliberately; terminal
+  kPartitioned = 6,  ///< alive but unreachable; routed around, NOT respawned
 };
 
 [[nodiscard]] std::string_view to_string(ShardState state);
@@ -180,6 +196,10 @@ struct FleetStats {
   std::uint64_t respawns_attempted = 0;
   std::uint64_t respawns_succeeded = 0;
   std::uint64_t respawns_exhausted = 0;  ///< shards that ran out of budget
+  /// Network partitions the supervisor's partition rung saw (route-around,
+  /// no respawn) and how many of those healed.
+  std::uint64_t partitions_detected = 0;
+  std::uint64_t partitions_healed = 0;
   /// Seconds the most recent successful respawn took, detect-to-ready.
   double last_respawn_s = 0.0;
   // Socket-transport traffic (zero for loopback fleets) ------------------
@@ -276,6 +296,9 @@ class ShardRouter {
   /// that callers must guard in process fleets).
   [[nodiscard]] Shard* loopback_shard(int index);
   [[nodiscard]] Transport& transport(int index);
+  /// The chaos decorator on shard `index` (scripted partitions, fault
+  /// counters); nullptr when that shard is not chaos-wrapped.
+  [[nodiscard]] ChaosTransport* chaos_transport(int index);
 
  private:
   struct RouterTask {
@@ -308,6 +331,9 @@ class ShardRouter {
   [[nodiscard]] Transport* transport_at(int index) const;
   /// Build one shard's transport (loopback or socket per options).
   [[nodiscard]] std::unique_ptr<Transport> make_transport(int index);
+  /// Wrap `built` in a ChaosTransport when `index` is the chaos shard.
+  [[nodiscard]] std::unique_ptr<Transport> wrap_chaos(
+      int index, std::unique_ptr<Transport> built);
   /// The `virtual_nodes` ring points for shard `index`.
   void append_ring_points(std::vector<std::pair<std::uint64_t, int>>& ring,
                           int index) const;
@@ -328,6 +354,8 @@ class ShardRouter {
   void on_shard_unreachable(int index);
   void on_shard_respawned(int index);
   void on_shard_exhausted(int index);
+  void on_shard_partitioned(int index);
+  void on_shard_partition_healed(int index);
   void run(int worker_index);
   void execute(RouterTask task);
   /// Publish `model` as the probe template and wake the probe thread when

@@ -1,0 +1,55 @@
+#include "fleet/rtt.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace starsim::fleet {
+
+void RttEstimator::sample(double rtt_s) {
+  if (!(rtt_s > 0.0)) return;  // rejects negatives and NaN in one test
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_ == 0) {
+    srtt_s_ = rtt_s;
+    rttvar_s_ = rtt_s / 2.0;
+  } else {
+    rttvar_s_ = (1.0 - options_.beta) * rttvar_s_ +
+                options_.beta * std::abs(srtt_s_ - rtt_s);
+    srtt_s_ = (1.0 - options_.alpha) * srtt_s_ + options_.alpha * rtt_s;
+  }
+  ++samples_;
+}
+
+void RttEstimator::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  srtt_s_ = 0.0;
+  rttvar_s_ = 0.0;
+  samples_ = 0;
+}
+
+double RttEstimator::srtt_s() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return srtt_s_;
+}
+
+double RttEstimator::rttvar_s() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rttvar_s_;
+}
+
+double RttEstimator::rto_s() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rto_locked();
+}
+
+double RttEstimator::rto_locked() const {
+  if (samples_ == 0) return options_.initial_rto_s;
+  return std::clamp(srtt_s_ + 4.0 * rttvar_s_, options_.rto_floor_s,
+                    options_.rto_ceiling_s);
+}
+
+std::uint64_t RttEstimator::samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+}  // namespace starsim::fleet

@@ -1,0 +1,79 @@
+// starsim::fleet RTT estimation — adaptive deadlines for a fleet whose
+// shards stopped all being one loopback away.
+//
+// PR 8 tuned heartbeat staleness and frame deadlines with fixed constants,
+// which is only coherent when every shard shares one latency regime. A TCP
+// fleet has loopback shards answering in microseconds next to LAN shards
+// answering in milliseconds; one constant either times the fast ones out
+// too slowly (masking partitions) or the slow ones out too eagerly
+// (fabricating them). RttEstimator is the classic Jacobson/Karels
+// smoother TCP itself uses: per connection,
+//
+//   first sample:  srtt = s, rttvar = s / 2
+//   thereafter:    rttvar = (1 - beta) * rttvar + beta * |srtt - s|
+//                  srtt   = (1 - alpha) * srtt  + alpha * s
+//   RTO            = clamp(srtt + 4 * rttvar, floor, ceiling)
+//
+// Heartbeat round trips feed it; the transport derives per-frame socket
+// deadlines and the supervisor derives heartbeat staleness thresholds from
+// rto_s(), so loopback and LAN shards each get deadlines proportionate to
+// the network they actually sit on. The floor keeps a microsecond-loopback
+// RTO from tripping on a single scheduler hiccup; the ceiling keeps a
+// congested path from inflating the RTO into a liveness blind spot.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace starsim::fleet {
+
+/// Smoothing gains and RTO clamps. Defaults are the RFC 6298 constants
+/// with clamps sized for a process fleet (5 ms floor — far above loopback
+/// RTT, far below any real render; 2 s ceiling — a path slower than that
+/// is indistinguishable from a partition at fleet timescales).
+struct RttOptions {
+  double alpha = 0.125;        ///< srtt gain per sample
+  double beta = 0.25;          ///< rttvar gain per sample
+  double rto_floor_s = 0.005;  ///< never trip faster than this
+  double rto_ceiling_s = 2.0;  ///< never wait longer than this
+  double initial_rto_s = 0.25; ///< RTO before the first sample lands
+};
+
+/// EWMA round-trip estimator, thread-safe: the heartbeat thread feeds
+/// samples while I/O workers, the supervisor, and the metrics scrape read
+/// srtt/rttvar/rto concurrently.
+class RttEstimator {
+ public:
+  explicit RttEstimator(RttOptions options = {}) : options_(options) {}
+
+  /// Fold in one measured round trip (seconds). Non-positive samples are
+  /// clock noise and are dropped.
+  void sample(double rtt_s);
+
+  /// Forget everything — called on reconnect/respawn, because a new
+  /// connection (possibly to a respawned process on a different load) is
+  /// a new latency regime and stale smoothing would misclamp it.
+  void reset();
+
+  [[nodiscard]] double srtt_s() const;
+  [[nodiscard]] double rttvar_s() const;
+
+  /// Retransmission-timeout analog: srtt + 4·rttvar clamped to
+  /// [floor, ceiling]; options.initial_rto_s until a sample lands.
+  [[nodiscard]] double rto_s() const;
+
+  [[nodiscard]] std::uint64_t samples() const;
+
+  [[nodiscard]] const RttOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] double rto_locked() const;
+
+  RttOptions options_;
+  mutable std::mutex mutex_;
+  double srtt_s_ = 0.0;
+  double rttvar_s_ = 0.0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace starsim::fleet

@@ -22,8 +22,8 @@ ShardHost::ShardHost(ShardHostOptions options)
     : options_(std::move(options)),
       instance_("shard-" + std::to_string(options_.index)),
       service_(std::make_unique<serve::FrameService>(options_.service)) {
-  STARSIM_REQUIRE(!options_.socket_path.empty(),
-                  "ShardHost requires a socket path");
+  STARSIM_REQUIRE(!options_.socket_path.empty() || !options_.listen.empty(),
+                  "ShardHost requires a socket path or listen endpoint");
 }
 
 ShardHost::~ShardHost() {
@@ -38,8 +38,22 @@ std::uint64_t ShardHost::completed() const {
   return service_->stats().completed;
 }
 
+std::optional<Endpoint> ShardHost::bound_endpoint() const {
+  const std::lock_guard<std::mutex> lock(bound_mutex_);
+  return bound_;
+}
+
 void ShardHost::run() {
-  FrameListener listener = FrameListener::bind(options_.socket_path);
+  const std::string& spec =
+      options_.listen.empty() ? options_.socket_path : options_.listen;
+  FrameListener listener = FrameListener::bind(spec);
+  {
+    // Publish the bound address (with any kernel-assigned TCP port) before
+    // the first accept, so a test that polls bound_endpoint() can dial as
+    // soon as it sees one.
+    const std::lock_guard<std::mutex> lock(bound_mutex_);
+    bound_ = listener.endpoint();
+  }
   while (!stop_.load()) {
     std::optional<FrameSocket> client = listener.accept(options_.accept_poll_s);
     if (!client.has_value()) continue;
@@ -59,6 +73,7 @@ void ShardHost::run() {
 }
 
 void ShardHost::serve_connection(FrameSocket socket) {
+  bool greeted = false;
   while (!stop_.load()) {
     // Idle wait is cheap and interruptible; only once bytes start flowing
     // does the mid-frame budget apply.
@@ -68,7 +83,7 @@ void ShardHost::serve_connection(FrameSocket socket) {
       std::optional<WireBuffer> frame =
           socket.recv_frame(steady_now_s() + options_.frame_timeout_s);
       if (!frame.has_value()) return;  // peer closed between frames
-      reply = handle_frame(*frame);
+      reply = handle_frame(*frame, greeted);
     } catch (const std::exception&) {
       // Mid-frame timeout, reset, or an unframeable byte stream: nothing
       // sensible can be sent back on this connection — drop it. The
@@ -83,9 +98,40 @@ void ShardHost::serve_connection(FrameSocket socket) {
   }
 }
 
-WireBuffer ShardHost::handle_frame(const WireBuffer& frame) {
+WireBuffer ShardHost::handle_frame(const WireBuffer& frame, bool& greeted) {
   try {
-    switch (frame_kind(frame)) {
+    const MessageKind kind = frame_kind(frame);
+    if (kind == MessageKind::kHello) {
+      const Hello hello = decode_hello(frame);
+      if (hello.protocol_version != kWireVersion) {
+        STARSIM_THROW(support::HandshakeError,
+                      instance_ + " speaks wire version " +
+                          std::to_string(kWireVersion) + ", dialer sent " +
+                          std::to_string(hello.protocol_version));
+      }
+      // A negative index means "don't care" (ad-hoc tools); a concrete one
+      // must match — a dialer that expected a different shard has a stale
+      // or corrupt routing table and must not get its frames rendered here.
+      if (hello.shard_index >= 0 && hello.shard_index != options_.index) {
+        STARSIM_THROW(support::HandshakeError,
+                      instance_ + " answered a dialer expecting shard " +
+                          std::to_string(hello.shard_index));
+      }
+      // Never echo tokens into error text — they land in logs and traces.
+      if (!options_.token.empty() && hello.token != options_.token) {
+        STARSIM_THROW(support::HandshakeError,
+                      instance_ + " rejected the handshake token");
+      }
+      greeted = true;
+      HelloAck ack;
+      ack.shard_index = options_.index;
+      return encode_hello_ack(ack);
+    }
+    if (!options_.token.empty() && !greeted) {
+      STARSIM_THROW(support::HandshakeError,
+                    instance_ + " requires a handshake before traffic");
+    }
+    switch (kind) {
       case MessageKind::kRequest: {
         serve::RenderRequest request = decode_request(frame);
         std::future<serve::RenderResponse> future =

@@ -24,6 +24,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,8 +36,20 @@
 namespace starsim::fleet {
 
 struct ShardHostOptions {
-  /// Unix-domain socket path to listen on.
+  /// Unix-domain socket path to listen on. May also carry a full endpoint
+  /// spec ("unix:/path" | "tcp:host:port"); `listen` wins when both are
+  /// set.
   std::string socket_path;
+  /// Endpoint spec to listen on ("unix:/path" | "tcp:host:port"). Takes
+  /// precedence over socket_path; tcp:host:0 asks the kernel for a port,
+  /// reported back through bound_endpoint().
+  std::string listen;
+  /// Shared handshake secret. Empty disables auth (every greeting and
+  /// ungreeted request is accepted — the pre-handshake wire contract, so
+  /// raw FrameSocket tests and old dialers keep working). Non-empty makes
+  /// the kHello greeting mandatory: any other frame on an ungreeted
+  /// connection answers a HandshakeError frame.
+  std::string token;
   /// Shard index, used for the "shard-N" instance label on metrics.
   int index = 0;
   /// The wrapped FrameService's configuration.
@@ -72,12 +86,21 @@ class ShardHost {
   /// Requests served so far (the heartbeat progress signal).
   [[nodiscard]] std::uint64_t completed() const;
 
+  /// The endpoint run() actually bound, once listening — for TCP with a
+  /// requested port of 0 this carries the kernel-assigned port (tests bind
+  /// tcp:127.0.0.1:0 on a thread and poll here for the real address).
+  /// std::nullopt until run() has bound.
+  [[nodiscard]] std::optional<Endpoint> bound_endpoint() const;
+
  private:
   /// Serial frame loop for one accepted connection.
   void serve_connection(FrameSocket socket);
 
   /// Dispatch one received frame to its handler; returns the reply frame.
-  [[nodiscard]] WireBuffer handle_frame(const WireBuffer& frame);
+  /// `greeted` is the connection's handshake state: set by a valid kHello,
+  /// consulted when a token is configured.
+  [[nodiscard]] WireBuffer handle_frame(const WireBuffer& frame,
+                                        bool& greeted);
 
   ShardHostOptions options_;
   std::string instance_;
@@ -85,6 +108,9 @@ class ShardHost {
   std::atomic<std::uint64_t> heartbeats_{0};
   std::unique_ptr<serve::FrameService> service_;
   std::vector<std::thread> connections_;
+
+  mutable std::mutex bound_mutex_;
+  std::optional<Endpoint> bound_;
 };
 
 }  // namespace starsim::fleet

@@ -1,9 +1,13 @@
 // starsim_shardd — one fleet shard as a standalone process.
 //
-// Wraps a single FrameService behind a Unix-domain socket (fleet/shardd.h)
-// so the router's SocketTransport can reach it from another process. The
-// flag set mirrors ShardProcessConfig field for field: the router builds
-// this argv in fleet/process.cpp, so the two must stay in lockstep.
+// Wraps a single FrameService behind a Unix-domain or TCP socket
+// (fleet/shardd.h) so the router's SocketTransport can reach it from
+// another process or another machine. The flag set mirrors
+// ShardProcessConfig field for field: the router builds this argv in
+// fleet/process.cpp, so the two must stay in lockstep.
+//
+// The handshake token comes from STARSIM_FLEET_TOKEN in the environment,
+// never argv — command lines are world-readable via ps.
 //
 // SIGTERM/SIGINT request an orderly stop: the accept loop closes, admitted
 // work drains through the service, and main returns 0. A SIGKILL (the chaos
@@ -35,7 +39,12 @@ int main(int argc, char** argv) {
   starsim::support::Cli cli(
       "starsim_shardd",
       "Serve one starsim FrameService over a Unix-domain socket");
-  cli.add_option("socket", "socket path to listen on", "");
+  cli.add_option("socket",
+                 "endpoint to listen on (unix:/path | tcp:host:port | bare "
+                 "Unix path)",
+                 "");
+  cli.add_option("listen",
+                 "alias for --socket; wins when both are given", "");
   cli.add_option("index", "shard index (metrics instance label)", "0");
   cli.add_option("workers", "render worker threads", "2");
   cli.add_option("queue", "admission queue capacity", "64");
@@ -55,9 +64,14 @@ int main(int argc, char** argv) {
 
     starsim::fleet::ShardHostOptions options;
     options.socket_path = cli.str("socket");
-    if (options.socket_path.empty()) {
-      std::cerr << "starsim_shardd: --socket is required\n";
+    options.listen = cli.str("listen");
+    if (options.socket_path.empty() && options.listen.empty()) {
+      std::cerr << "starsim_shardd: --socket or --listen is required\n";
       return 2;
+    }
+    if (const char* token = std::getenv("STARSIM_FLEET_TOKEN");
+        token != nullptr) {
+      options.token = token;
     }
     options.index = static_cast<int>(cli.integer("index"));
     options.frame_timeout_s = cli.real("frame-timeout-ms") * 1e-3;

@@ -1,6 +1,9 @@
 #include "fleet/socket.h"
 
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -76,6 +79,116 @@ void set_nonblocking(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
+/// Classify a connect-time errno. The distinction matters to the
+/// supervision ladder: "nothing is listening there" (refused, absent path,
+/// backlog overflow, reset during the attempt, unreachable host) is the
+/// same retryable shard-is-down signal a killed process raises and charges
+/// the respawn rung, while only ETIMEDOUT maps to the timeout family that
+/// feeds RTT/RTO accounting. Everything unrecognized defaults to
+/// ShardDownError: for a dial failure, "peer not available" is the honest
+/// summary and retrying against another replica is the right reflex.
+[[noreturn]] void throw_connect_error(const std::string& where, int err) {
+  if (err == ETIMEDOUT) {
+    STARSIM_THROW(support::TransportTimeoutError,
+                  "connect to " + where + " timed out: " +
+                      std::strerror(err));
+  }
+  STARSIM_THROW(support::ShardDownError,
+                "connect to " + where + " failed: " + std::strerror(err));
+}
+
+[[nodiscard]] sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    STARSIM_THROW(support::IoError,
+                  "socket path too long for sockaddr_un: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// Nonblocking dial of one concrete address with the shared errno
+/// classification; returns the connected fd or throws.
+[[nodiscard]] int dial(int domain, const sockaddr* addr, socklen_t addr_len,
+                       double deadline_s, const std::string& where) {
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) {
+    STARSIM_THROW(support::IoError,
+                  std::string("socket() failed: ") + std::strerror(errno));
+  }
+  set_nonblocking(fd);
+  if (::connect(fd, addr, addr_len) != 0) {
+    if (errno != EINPROGRESS) {
+      // Includes EAGAIN: on AF_UNIX that means the listener's backlog is
+      // full — the peer exists but is not accepting, which is refusal, not
+      // a timeout. Waiting here would burn the whole connect budget and
+      // misreport a down shard as a slow network.
+      const int err = errno;
+      ::close(fd);
+      throw_connect_error(where, err);
+    }
+    // Async connect: wait for writability, then read the final status.
+    try {
+      wait_ready(fd, POLLOUT, deadline_s, "connect");
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    int status = 0;
+    socklen_t len = sizeof(status);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &status, &len) != 0 ||
+        status != 0) {
+      const int err = status != 0 ? status : errno;
+      ::close(fd);
+      throw_connect_error(where, err);
+    }
+  }
+  return fd;
+}
+
+/// Small request/response frames dominate fleet traffic; Nagle would add
+/// up to one RTT of batching delay per frame, which the RTT estimator
+/// would then dutifully bake into every RTO.
+void set_tcp_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+[[nodiscard]] int dial_tcp(const Endpoint& endpoint, double deadline_s) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  const std::string port = std::to_string(endpoint.port);
+  addrinfo* results = nullptr;
+  const int rc =
+      ::getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &results);
+  if (rc != 0 || results == nullptr) {
+    // Resolution failure is "that shard is not reachable", same retryable
+    // family as a refused connect — DNS may heal, another replica serves.
+    STARSIM_THROW(support::ShardDownError,
+                  "resolve " + endpoint.to_string() +
+                      " failed: " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  std::exception_ptr last_error;
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    try {
+      fd = dial(ai->ai_family, ai->ai_addr,
+                static_cast<socklen_t>(ai->ai_addrlen), deadline_s,
+                endpoint.to_string());
+      break;
+    } catch (...) {
+      last_error = std::current_exception();
+    }
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0) std::rethrow_exception(last_error);
+  set_tcp_nodelay(fd);
+  return fd;
+}
+
 }  // namespace
 
 FrameSocket::~FrameSocket() { close(); }
@@ -98,52 +211,19 @@ void FrameSocket::close() noexcept {
   }
 }
 
-FrameSocket FrameSocket::connect(const std::string& path, double timeout_s) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    STARSIM_THROW(support::IoError,
-                  "socket path too long for sockaddr_un: " + path);
-  }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    STARSIM_THROW(support::IoError,
-                  std::string("socket() failed: ") + std::strerror(errno));
-  }
-  set_nonblocking(fd);
-
+FrameSocket FrameSocket::connect(const Endpoint& endpoint, double timeout_s) {
   const double deadline_s = steady_now_s() + timeout_s;
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    if (errno != EINPROGRESS && errno != EAGAIN) {
-      const int err = errno;
-      ::close(fd);
-      // ENOENT / ECONNREFUSED: the shard process is not there (yet) — the
-      // same "peer absent" signal as a killed shard, so retryable.
-      STARSIM_THROW(support::ShardDownError,
-                    "connect to " + path + " failed: " + std::strerror(err));
-    }
-    // Async connect: wait for writability, then read the final status.
-    try {
-      wait_ready(fd, POLLOUT, deadline_s, "connect");
-    } catch (...) {
-      ::close(fd);
-      throw;
-    }
-    int status = 0;
-    socklen_t len = sizeof(status);
-    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &status, &len) != 0 ||
-        status != 0) {
-      ::close(fd);
-      STARSIM_THROW(support::ShardDownError,
-                    "connect to " + path +
-                        " failed: " + std::strerror(status != 0 ? status
-                                                                : errno));
-    }
+  if (endpoint.is_tcp()) {
+    return FrameSocket(dial_tcp(endpoint, deadline_s));
   }
-  return FrameSocket(fd);
+  const sockaddr_un addr = unix_address(endpoint.path);
+  return FrameSocket(dial(AF_UNIX,
+                          reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr), deadline_s, endpoint.path));
+}
+
+FrameSocket FrameSocket::connect(const std::string& spec, double timeout_s) {
+  return connect(Endpoint::parse(spec), timeout_s);
 }
 
 FrameSocket FrameSocket::adopt(int fd) {
@@ -256,16 +336,17 @@ bool FrameSocket::readable(double wait_s) const {
 FrameListener::~FrameListener() { close(); }
 
 FrameListener::FrameListener(FrameListener&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {
-  other.path_.clear();
+    : fd_(std::exchange(other.fd_, -1)),
+      endpoint_(std::move(other.endpoint_)) {
+  other.endpoint_ = Endpoint{};
 }
 
 FrameListener& FrameListener::operator=(FrameListener&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
-    path_ = std::move(other.path_);
-    other.path_.clear();
+    endpoint_ = std::move(other.endpoint_);
+    other.endpoint_ = Endpoint{};
   }
   return *this;
 }
@@ -275,43 +356,107 @@ void FrameListener::close() noexcept {
     ::close(fd_);
     fd_ = -1;
   }
-  if (!path_.empty()) {
-    ::unlink(path_.c_str());
-    path_.clear();
+  if (endpoint_.kind == Endpoint::Kind::kUnix && !endpoint_.path.empty()) {
+    ::unlink(endpoint_.path.c_str());
   }
+  endpoint_ = Endpoint{};
 }
 
-FrameListener FrameListener::bind(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    STARSIM_THROW(support::IoError,
-                  "socket path too long for sockaddr_un: " + path);
+FrameListener FrameListener::bind(const Endpoint& endpoint) {
+  if (endpoint.is_tcp()) {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_NUMERICSERV | AI_PASSIVE;
+    const std::string port = std::to_string(endpoint.port);
+    addrinfo* results = nullptr;
+    const int rc = ::getaddrinfo(
+        endpoint.host.empty() ? nullptr : endpoint.host.c_str(),
+        port.c_str(), &hints, &results);
+    if (rc != 0 || results == nullptr) {
+      STARSIM_THROW(support::IoError,
+                    "resolve " + endpoint.to_string() +
+                        " failed: " + ::gai_strerror(rc));
+    }
+    int fd = -1;
+    int last_err = 0;
+    for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+      fd = ::socket(ai->ai_family, SOCK_STREAM, 0);
+      if (fd < 0) {
+        last_err = errno;
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::bind(fd, ai->ai_addr,
+                 static_cast<socklen_t>(ai->ai_addrlen)) == 0) {
+        break;
+      }
+      last_err = errno;
+      ::close(fd);
+      fd = -1;
+    }
+    ::freeaddrinfo(results);
+    if (fd < 0) {
+      STARSIM_THROW(support::IoError,
+                    "bind to " + endpoint.to_string() +
+                        " failed: " + std::strerror(last_err));
+    }
+    if (::listen(fd, 64) != 0) {
+      const int err = errno;
+      ::close(fd);
+      STARSIM_THROW(support::IoError,
+                    "listen on " + endpoint.to_string() +
+                        " failed: " + std::strerror(err));
+    }
+    set_nonblocking(fd);
+    Endpoint bound = endpoint;
+    // Port 0 asked the kernel to pick; read back the real port so tests
+    // (and discovery) can dial the listener.
+    sockaddr_storage local{};
+    socklen_t local_len = sizeof(local);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&local),
+                      &local_len) == 0) {
+      if (local.ss_family == AF_INET) {
+        bound.port = ntohs(
+            reinterpret_cast<const sockaddr_in*>(&local)->sin_port);
+      } else if (local.ss_family == AF_INET6) {
+        bound.port = ntohs(
+            reinterpret_cast<const sockaddr_in6*>(&local)->sin6_port);
+      }
+    }
+    return FrameListener(fd, std::move(bound));
   }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
 
+  const sockaddr_un addr = unix_address(endpoint.path);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     STARSIM_THROW(support::IoError,
                   std::string("socket() failed: ") + std::strerror(errno));
   }
-  ::unlink(path.c_str());  // a stale path from a crashed predecessor
+  ::unlink(endpoint.path.c_str());  // a stale path from a crashed predecessor
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     const int err = errno;
     ::close(fd);
     STARSIM_THROW(support::IoError,
-                  "bind to " + path + " failed: " + std::strerror(err));
+                  "bind to " + endpoint.path +
+                      " failed: " + std::strerror(err));
   }
   if (::listen(fd, 64) != 0) {
     const int err = errno;
     ::close(fd);
-    ::unlink(path.c_str());
+    ::unlink(endpoint.path.c_str());
     STARSIM_THROW(support::IoError,
-                  "listen on " + path + " failed: " + std::strerror(err));
+                  "listen on " + endpoint.path +
+                      " failed: " + std::strerror(err));
   }
   set_nonblocking(fd);
-  return FrameListener(fd, path);
+  return FrameListener(fd, endpoint);
+}
+
+FrameListener FrameListener::bind(const std::string& spec) {
+  return bind(Endpoint::parse(spec));
 }
 
 std::optional<FrameSocket> FrameListener::accept(double wait_s) {
@@ -325,6 +470,7 @@ std::optional<FrameSocket> FrameListener::accept(double wait_s) {
   if (ready <= 0) return std::nullopt;
   const int client = ::accept(fd_, nullptr, nullptr);
   if (client < 0) return std::nullopt;
+  if (endpoint_.is_tcp()) set_tcp_nodelay(client);
   return FrameSocket::adopt(client);
 }
 

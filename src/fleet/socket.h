@@ -1,5 +1,5 @@
-// starsim::fleet socket layer — framed message streams over Unix-domain
-// sockets, the byte transport under out-of-process shards.
+// starsim::fleet socket layer — framed message streams over Unix-domain or
+// TCP stream sockets, the byte transport under out-of-process shards.
 //
 // A FrameSocket carries whole wire frames (fleet/wire.h) over a SOCK_STREAM
 // connection: each frame travels as a 4-byte little-endian length prefix
@@ -13,6 +13,15 @@
 // same signal an in-process killed shard raises, so the router's failover
 // path needs no transport-specific cases.
 //
+// Connect failures are classified by errno, not lumped together: a refused
+// or absent peer (ECONNREFUSED, ENOENT, EAGAIN backlog overflow,
+// ECONNRESET, EHOSTUNREACH, ENETUNREACH) throws retryable ShardDownError —
+// the "shard is not there" signal that charges the supervisor's respawn
+// rung — while only a genuinely expired deadline throws
+// TransportTimeoutError, the signal that feeds the RTT/RTO path. Before
+// this split a refused connection burned the full connect timeout and was
+// misclassified as a timeout.
+//
 // The length prefix is a transport framing concern only — integrity is the
 // wire header's job (magic + version + CRC32), which is why recv_frame
 // returns raw bytes for the caller to decode rather than trusting the
@@ -25,6 +34,7 @@
 #include <optional>
 #include <string>
 
+#include "fleet/endpoint.h"
 #include "fleet/wire.h"
 
 namespace starsim::fleet {
@@ -49,10 +59,15 @@ class FrameSocket {
   FrameSocket(const FrameSocket&) = delete;
   FrameSocket& operator=(const FrameSocket&) = delete;
 
-  /// Connect to a Unix-domain socket path within `timeout_s` seconds.
-  /// Throws ShardDownError when the peer refuses or the path is absent,
-  /// TransportTimeoutError when the connect does not complete in time.
-  [[nodiscard]] static FrameSocket connect(const std::string& path,
+  /// Connect to an endpoint (Unix path or TCP host:port) within
+  /// `timeout_s` seconds. Throws retryable ShardDownError when the peer
+  /// refuses, is absent, or resets during the attempt;
+  /// TransportTimeoutError only when the deadline genuinely expires.
+  [[nodiscard]] static FrameSocket connect(const Endpoint& endpoint,
+                                           double timeout_s);
+
+  /// Spec-string convenience: parses `unix:...` / `tcp:...` / bare path.
+  [[nodiscard]] static FrameSocket connect(const std::string& spec,
                                            double timeout_s);
 
   /// Adopt an already-connected descriptor (listener side).
@@ -81,8 +96,9 @@ class FrameSocket {
   int fd_ = -1;
 };
 
-/// Listening Unix-domain socket. Unlinks a stale path on bind (shardd
-/// restarts reuse their socket path), removes the path on destruction.
+/// Listening stream socket — Unix-domain (unlinks a stale path on bind,
+/// removes the path on destruction) or TCP (SO_REUSEADDR; port 0 asks the
+/// kernel for an ephemeral port, reported by endpoint()).
 class FrameListener {
  public:
   FrameListener() = default;
@@ -93,25 +109,35 @@ class FrameListener {
   FrameListener(const FrameListener&) = delete;
   FrameListener& operator=(const FrameListener&) = delete;
 
-  /// Bind + listen on `path`. Throws IoError on failure (bad directory,
-  /// permissions, path too long for sockaddr_un).
-  [[nodiscard]] static FrameListener bind(const std::string& path);
+  /// Bind + listen on `endpoint`. Throws IoError on failure (bad
+  /// directory, permissions, path too long for sockaddr_un, port in use).
+  [[nodiscard]] static FrameListener bind(const Endpoint& endpoint);
+
+  /// Spec-string convenience: parses `unix:...` / `tcp:...` / bare path.
+  [[nodiscard]] static FrameListener bind(const std::string& spec);
 
   /// Accept one connection, waiting at most `wait_s` seconds. Returns
   /// std::nullopt on timeout so accept loops can poll a stop flag.
   [[nodiscard]] std::optional<FrameSocket> accept(double wait_s);
 
   [[nodiscard]] bool valid() const { return fd_ >= 0; }
-  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// The bound address. For TCP with a requested port of 0 this carries
+  /// the kernel-assigned port (tests bind tcp:127.0.0.1:0 and read it
+  /// back here).
+  [[nodiscard]] const Endpoint& endpoint() const { return endpoint_; }
+
+  /// Unix path ("" for TCP listeners) — kept for pre-endpoint callers.
+  [[nodiscard]] const std::string& path() const { return endpoint_.path; }
 
   void close() noexcept;
 
  private:
-  FrameListener(int fd, std::string path)
-      : fd_(fd), path_(std::move(path)) {}
+  FrameListener(int fd, Endpoint endpoint)
+      : fd_(fd), endpoint_(std::move(endpoint)) {}
 
   int fd_ = -1;
-  std::string path_;
+  Endpoint endpoint_;
 };
 
 }  // namespace starsim::fleet

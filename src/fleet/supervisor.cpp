@@ -118,20 +118,55 @@ void ProcessSupervisor::step(int index, std::unique_lock<std::mutex>& lock) {
 
   if (!slot.in_ladder) {
     // Detection. dead() is cheap (atomic + WNOHANG waitpid); heartbeat age
-    // is an atomic read.
+    // and the partition threshold are atomic/estimator reads.
     bool crashed = false;
     bool hung = false;
+    double age_ms = 0.0;
+    double partition_ms = -1.0;
     lock.unlock();
     crashed = transport->dead();
-    if (!crashed && options_.hang_after_ms > 0.0) {
-      hung = transport->heartbeat_age_ms() > options_.hang_after_ms;
+    if (!crashed) {
+      age_ms = transport->heartbeat_age_ms();
+      partition_ms = transport->partition_after_ms();
+      if (options_.hang_after_ms > 0.0) {
+        hung = age_ms > options_.hang_after_ms;
+      }
     }
     lock.lock();
     it = slots_.find(index);
     if (it == slots_.end()) return;
     Slot& re = it->second;
     if (re.terminal || re.stats.exhausted || re.in_ladder) return;
-    if (!crashed && !hung) return;
+    if (!crashed && !hung) {
+      // Partition rung: liveness dark past the transport's own threshold
+      // but the process is alive and the hang deadline hasn't passed.
+      // "Network partitioned" means route around and wait — killing a
+      // process that is healthily rendering behind a flaky link would
+      // turn every partition into a lost cache and a respawn storm.
+      if (re.partitioned && partition_ms > 0.0 && age_ms <= partition_ms) {
+        re.partitioned = false;
+        ++re.stats.partitions_healed;
+        if (events_.on_partition_healed) {
+          lock.unlock();
+          events_.on_partition_healed(index);
+          lock.lock();
+        }
+        return;
+      }
+      if (!re.partitioned && partition_ms > 0.0 && age_ms > partition_ms) {
+        re.partitioned = true;
+        ++re.stats.partitions_detected;
+        if (events_.on_partitioned) {
+          lock.unlock();
+          events_.on_partitioned(index);
+          lock.lock();
+        }
+      }
+      return;
+    }
+    // Crash or hang while partitioned: the harder diagnosis wins — no
+    // heal event; on_unreachable supersedes the route-around.
+    re.partitioned = false;
     re.in_ladder = true;
     re.detected_at_s = now;
     re.next_attempt_s = now + re.backoff_ms * 1e-3;

@@ -16,6 +16,16 @@
 //           shard earns its way back, it is never trusted blindly)
 //        -> budget exhausted: on_exhausted (router sets kDown, terminal)
 //
+// PR 9 splits "unreachable" in two. A shard whose process is alive
+// (dead() false) but whose liveness has been dark past the transport's
+// partition_after_ms() is *network-partitioned*, not hung: the partition
+// rung fires on_partitioned (the router routes around it) and respawns
+// nothing — the far side may be healthily rendering, and killing it would
+// trade a transient link fault for a lost cache. When liveness returns the
+// rung fires on_partition_healed and the probe ladder reinstates the
+// shard. Only past the (larger) hang_after_ms threshold does the classic
+// kill-and-respawn ladder take over — the harder diagnosis wins.
+//
 // The supervisor is transport-agnostic on purpose: LoopbackTransport's
 // respawn() rebuilds an in-process FrameService, SocketTransport's
 // re-spawns the shardd process — so the same chaos suite certifies the
@@ -55,6 +65,13 @@ struct SupervisorEvents {
   std::function<void(int)> on_unreachable;  ///< detected crash/hang
   std::function<void(int)> on_respawned;    ///< respawn succeeded
   std::function<void(int)> on_exhausted;    ///< budget spent; shard is gone
+  /// Network partition detected: the process is alive (dead() false) but
+  /// liveness has been dark past the transport's partition threshold.
+  /// Route around it; do NOT respawn — the far side may be rendering.
+  std::function<void(int)> on_partitioned;
+  /// Liveness returned while partitioned: the partition healed without
+  /// the process ever dying. Route back in (via the probe ladder).
+  std::function<void(int)> on_partition_healed;
 };
 
 /// Per-shard ladder counters (folded into FleetStats by the router).
@@ -63,6 +80,8 @@ struct SupervisorShardStats {
   std::uint64_t hangs_detected = 0;
   std::uint64_t respawns_attempted = 0;
   std::uint64_t respawns_succeeded = 0;
+  std::uint64_t partitions_detected = 0;
+  std::uint64_t partitions_healed = 0;
   bool exhausted = false;
   /// Seconds the most recent successful respawn took, detect-to-ready.
   double last_respawn_s = 0.0;
@@ -102,6 +121,7 @@ class ProcessSupervisor {
     Transport* transport = nullptr;
     bool terminal = false;
     bool in_ladder = false;
+    bool partitioned = false;  ///< partition rung active (no respawn)
     int respawns_used = 0;
     double backoff_ms = 0.0;
     double next_attempt_s = 0.0;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "support/error.h"
+#include "trace/trace.h"
 
 namespace starsim::fleet {
 
@@ -15,6 +16,15 @@ namespace {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// splitmix64 finalizer — decorrelates per-transport dial jitter streams
+/// seeded from adjacent shard indices.
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
@@ -115,7 +125,10 @@ SocketTransport::SocketTransport(ShardProcessConfig process,
     : index_(process.index),
       instance_("shard-" + std::to_string(process.index)),
       options_(options),
-      process_(std::move(process)) {
+      process_(std::move(process)),
+      rtt_(options_.rtt),
+      dial_jitter_state_(
+          mix_seed(static_cast<std::uint64_t>(process_.config().index))) {
   process_.spawn();  // throws ShardDownError on failure
   last_ack_s_.store(steady_now_s());
   const int threads = std::max(1, options_.io_threads);
@@ -193,20 +206,103 @@ FrameSocket SocketTransport::checkout_connection(double deadline_s) {
       idle_connections_.pop_back();
       return socket;
     }
+    if (now_s() < next_dial_s_) {
+      // Backoff window still open: a peer that just refused is almost
+      // certainly still refusing. Fail fast so a crashed shard costs one
+      // dial per window, not one per queued request.
+      {
+        std::lock_guard<std::mutex> net_lock(net_mutex_);
+        ++dial_backoffs_;
+      }
+      STARSIM_THROW(support::ShardDownError,
+                    instance_ + " dial is backing off after a failed connect");
+    }
   }
   const double remaining = deadline_s - now_s();
   if (remaining <= 0.0) {
     STARSIM_THROW(support::TransportTimeoutError,
                   instance_ + " connect budget exhausted");
   }
-  FrameSocket socket = FrameSocket::connect(
-      process_.config().socket_path,
-      std::min(remaining, options_.connect_timeout_s));
+  FrameSocket socket;
+  try {
+    socket = FrameSocket::connect(
+        process_.config().endpoint_spec(),
+        std::min(remaining, options_.connect_timeout_s));
+  } catch (...) {
+    note_dial_failure();
+    throw;
+  }
+  reset_dial_backoff();
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.reconnects;
   }
+  try {
+    handshake(socket, std::min(deadline_s,
+                               now_s() + options_.connect_timeout_s));
+  } catch (...) {
+    std::lock_guard<std::mutex> net_lock(net_mutex_);
+    ++handshakes_failed_;
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> net_lock(net_mutex_);
+    ++handshakes_ok_;
+  }
   return socket;
+}
+
+void SocketTransport::handshake(FrameSocket& socket, double deadline_s) {
+  Hello hello;
+  hello.shard_index = index_;
+  hello.token = options_.token;
+  const double start = now_s();
+  socket.send_frame(encode_hello(hello), deadline_s);
+  std::optional<WireBuffer> reply = socket.recv_frame(deadline_s);
+  if (!reply.has_value()) {
+    STARSIM_THROW(support::ShardDownError,
+                  instance_ + " closed the connection during handshake");
+  }
+  if (reply_is_error(*reply)) {
+    (void)decode_reply(*reply);  // rethrows the typed error (HandshakeError)
+  }
+  const HelloAck ack = decode_hello_ack(*reply);
+  if (ack.protocol_version != kWireVersion) {
+    STARSIM_THROW(support::HandshakeError,
+                  instance_ + " speaks wire version " +
+                      std::to_string(ack.protocol_version) + ", expected " +
+                      std::to_string(kWireVersion));
+  }
+  if (ack.shard_index != index_) {
+    STARSIM_THROW(support::HandshakeError,
+                  instance_ + " endpoint answered as shard " +
+                      std::to_string(ack.shard_index) +
+                      " — routing table points at the wrong peer");
+  }
+  // The handshake round trip is the first RTT sample of the connection's
+  // life, so RTO-derived budgets are never flying blind on a fresh link.
+  rtt_.sample(now_s() - start);
+}
+
+void SocketTransport::note_dial_failure() {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  const double widened = dial_backoff_ms_ <= 0.0
+                             ? options_.reconnect_backoff_ms
+                             : dial_backoff_ms_ * 2.0;
+  dial_backoff_ms_ = std::min(widened, options_.reconnect_backoff_max_ms);
+  // Deterministic jitter in [0.5, 1.0) of the window: staggers redials
+  // across transports (seeded per shard index) without a global RNG.
+  dial_jitter_state_ =
+      dial_jitter_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  const double unit =
+      static_cast<double>(dial_jitter_state_ >> 11) / 9007199254740992.0;
+  next_dial_s_ = now_s() + dial_backoff_ms_ * (0.5 + 0.5 * unit) / 1e3;
+}
+
+void SocketTransport::reset_dial_backoff() {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  dial_backoff_ms_ = 0.0;
+  next_dial_s_ = 0.0;
 }
 
 void SocketTransport::checkin_connection(FrameSocket socket,
@@ -277,7 +373,13 @@ bool SocketTransport::respawn() {
     std::lock_guard<std::mutex> conn_lock(conn_mutex_);
     idle_connections_.clear();
     ++generation_;
+    // The replacement process is a new latency regime and a fresh peer:
+    // stale smoothing would misclamp its RTO, and a backoff window opened
+    // against the dead process would delay the first redial.
+    dial_backoff_ms_ = 0.0;
+    next_dial_s_ = 0.0;
   }
+  rtt_.reset();
   last_ack_s_.store(now_s());
   marked_dead_.store(false);
   return true;
@@ -351,18 +453,63 @@ void SocketTransport::heartbeat_loop() {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.heartbeats_sent;
     }
+    // RTO-adaptive budget: a loopback-fast link times out in milliseconds
+    // (partitions surface quickly), a slow link earns proportionate slack.
+    // Clamped to [heartbeat_period_s, heartbeat_timeout_s] so one beat can
+    // never overlap the next, and the configured ceiling still binds.
+    const double budget =
+        std::min(options_.heartbeat_timeout_s,
+                 std::max(rtt_.rto_s(), options_.heartbeat_period_s));
+    const double sent_s = now_s();
     try {
-      const WireBuffer reply = round_trip(
-          encode_heartbeat(beat), now_s() + options_.heartbeat_timeout_s);
+      const WireBuffer reply =
+          round_trip(encode_heartbeat(beat), sent_s + budget);
       const HeartbeatAck ack = decode_heartbeat_ack(reply);
+      const double acked_s = now_s();
+      rtt_.sample(acked_s - sent_s);
       acked_queue_depth_.store(ack.queue_depth);
       acked_queue_capacity_.store(ack.queue_capacity);
-      last_ack_s_.store(now_s());
+      last_ack_s_.store(acked_s);
     } catch (const std::exception&) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.heartbeats_missed;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.heartbeats_missed;
+      }
+      // A silent miss is how partitions hide: record the measured gap so
+      // trace timelines show exactly when liveness went dark and against
+      // what RTO it was judged.
+      trace::instant(
+          "fleet", "heartbeats_missed",
+          {{"instance", instance_},
+           {"gap_ms", heartbeat_age_ms()},
+           {"rto_ms", rtt_.rto_s() * 1e3}});
     }
   }
+}
+
+TransportNetStats SocketTransport::net_stats() {
+  TransportNetStats net;
+  net.srtt_ms = rtt_.srtt_s() * 1e3;
+  net.rttvar_ms = rtt_.rttvar_s() * 1e3;
+  net.rto_ms = rtt_.rto_s() * 1e3;
+  net.rtt_samples = rtt_.samples();
+  std::lock_guard<std::mutex> lock(net_mutex_);
+  net.handshakes_ok = handshakes_ok_;
+  net.handshakes_failed = handshakes_failed_;
+  net.dial_backoffs = dial_backoffs_;
+  return net;
+}
+
+double SocketTransport::partition_after_ms() {
+  // Distinct from the hang threshold: several consecutive lost beats plus
+  // the path's own RTO worth of slack reads as "the network ate my
+  // heartbeats", which warrants routing around — not killing a process
+  // that may be healthily rendering on the far side of the partition.
+  const double adaptive =
+      (options_.partition_beats * options_.heartbeat_period_s +
+       4.0 * rtt_.rto_s()) *
+      1e3;
+  return std::max(options_.partition_floor_ms, adaptive);
 }
 
 }  // namespace starsim::fleet

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "fleet/process.h"
+#include "fleet/rtt.h"
 #include "fleet/shard.h"
 #include "fleet/socket.h"
 #include "fleet/wire.h"
@@ -56,6 +57,27 @@ struct TransportStats {
   std::uint64_t reconnects = 0;          ///< fresh connections dialed
   std::uint64_t heartbeats_sent = 0;
   std::uint64_t heartbeats_missed = 0;
+};
+
+/// Network-level view of a transport, scraped into the
+/// starsim_fleet_net_* metric families. Loopback transports report the
+/// all-zero default (there is no network); ChaosTransport adds its
+/// injected-fault counters on top of the inner transport's numbers.
+struct TransportNetStats {
+  double srtt_ms = 0.0;    ///< smoothed round-trip time
+  double rttvar_ms = 0.0;  ///< round-trip variance
+  double rto_ms = 0.0;     ///< derived retransmission-timeout analog
+  std::uint64_t rtt_samples = 0;
+  std::uint64_t handshakes_ok = 0;
+  std::uint64_t handshakes_failed = 0;
+  std::uint64_t dial_backoffs = 0;  ///< dials refused while backing off
+  // Fault-injection counters (ChaosTransport only).
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_delayed = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_reordered = 0;
+  std::uint64_t faults_corrupted = 0;
+  std::uint64_t faults_partitioned = 0;  ///< frames blocked by a partition
 };
 
 class Transport {
@@ -106,6 +128,16 @@ class Transport {
   [[nodiscard]] virtual int index() const = 0;
   [[nodiscard]] virtual const std::string& instance() const = 0;
   [[nodiscard]] virtual TransportStats stats() = 0;
+
+  /// Network counters for the starsim_fleet_net_* exposition. The default
+  /// (all zeros) is correct for transports with no network underneath.
+  [[nodiscard]] virtual TransportNetStats net_stats() { return {}; }
+
+  /// Heartbeat-age threshold (ms) beyond which the supervisor should treat
+  /// this shard as *partitioned* (route around, keep the process) rather
+  /// than hung. Negative means "no network here" — the supervisor skips
+  /// the partition rung and goes straight to the hang ladder.
+  [[nodiscard]] virtual double partition_after_ms() { return -1.0; }
 
   /// The in-process shard behind a loopback transport; nullptr for socket
   /// transports (used by tests and serve-bench's per-shard reporting).
@@ -161,6 +193,23 @@ struct SocketTransportOptions {
   double heartbeat_timeout_s = 1.0;
   /// Budget for a connect() when dialing a fresh connection.
   double connect_timeout_s = 2.0;
+  /// Shared secret for the connection handshake. Empty means "no auth" —
+  /// the shard host accepts any greeting. Routers default this from
+  /// STARSIM_FLEET_TOKEN so the secret never appears on a command line.
+  std::string token;
+  /// Capped exponential backoff between failed dials. While the backoff
+  /// window is open, checkout fails fast with ShardDownError instead of
+  /// re-dialing a peer that just refused — a crashed shard costs one
+  /// failed connect per window, not one per queued request.
+  double reconnect_backoff_ms = 10.0;
+  double reconnect_backoff_max_ms = 500.0;
+  /// RTT smoothing gains and RTO clamps (fleet/rtt.h).
+  RttOptions rtt{};
+  /// Partition threshold in heartbeat periods: a heartbeat age beyond
+  /// `partition_beats * heartbeat_period_s + 4 * rto` (floored at
+  /// partition_floor_ms) reads as a network partition, not a hang.
+  double partition_beats = 3.0;
+  double partition_floor_ms = 250.0;
 };
 
 /// A shard process reached over its Unix-domain socket.
@@ -186,9 +235,14 @@ class SocketTransport final : public Transport {
     return instance_;
   }
   [[nodiscard]] TransportStats stats() override;
+  [[nodiscard]] TransportNetStats net_stats() override;
+  [[nodiscard]] double partition_after_ms() override;
 
   /// The wrapped process (chaos hooks beyond crash/wedge: pid, resume).
   [[nodiscard]] ShardProcess& process() { return process_; }
+
+  /// The connection RTT estimator (read-only access for tests/benches).
+  [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
 
  private:
   struct Task {
@@ -198,6 +252,14 @@ class SocketTransport final : public Transport {
   /// Borrow a cached connection of the current generation or dial a new
   /// one. Throws ShardDownError / TransportTimeoutError.
   [[nodiscard]] FrameSocket checkout_connection(double deadline_s);
+  /// Greet a freshly dialed connection: send Hello{version, index, token},
+  /// validate the HelloAck. Throws HandshakeError (non-retryable) on
+  /// version skew, index mismatch, or token rejection.
+  void handshake(FrameSocket& socket, double deadline_s);
+  /// Open (or widen) the dial-backoff window after a failed connect.
+  void note_dial_failure();
+  /// Close the dial-backoff window after a successful connect or respawn.
+  void reset_dial_backoff();
   /// Return a healthy connection to the cache (same generation only).
   void checkin_connection(FrameSocket socket, std::uint64_t generation);
 
@@ -238,6 +300,19 @@ class SocketTransport final : public Transport {
 
   std::mutex stats_mutex_;
   TransportStats stats_;
+
+  RttEstimator rtt_;
+
+  // Dial backoff state (conn_mutex_): while now < next_dial_s_ a checkout
+  // with no cached connection fails fast instead of re-dialing.
+  double dial_backoff_ms_ = 0.0;
+  double next_dial_s_ = 0.0;
+  std::uint64_t dial_jitter_state_ = 0;  ///< per-transport deterministic LCG
+
+  std::mutex net_mutex_;
+  std::uint64_t handshakes_ok_ = 0;
+  std::uint64_t handshakes_failed_ = 0;
+  std::uint64_t dial_backoffs_ = 0;
 };
 
 }  // namespace starsim::fleet

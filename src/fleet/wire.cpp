@@ -296,6 +296,9 @@ gpusim::KernelCounters read_counters(Reader& r) {
 
 [[nodiscard]] WireErrorKind classify(const std::exception& error) {
   // Most-derived first: the decoder reconstructs exactly this class.
+  if (dynamic_cast<const support::HandshakeError*>(&error) != nullptr) {
+    return WireErrorKind::kHandshake;
+  }
   if (dynamic_cast<const support::TransportTimeoutError*>(&error) != nullptr) {
     return WireErrorKind::kTransportTimeout;
   }
@@ -335,6 +338,8 @@ gpusim::KernelCounters read_counters(Reader& r) {
 [[noreturn]] void rethrow(WireErrorKind kind, const std::string& what,
                           bool retryable) {
   switch (kind) {
+    case WireErrorKind::kHandshake:
+      throw support::HandshakeError(what);
     case WireErrorKind::kTransportTimeout:
       throw support::TransportTimeoutError(what);
     case WireErrorKind::kShardDown:
@@ -411,7 +416,7 @@ MessageKind frame_kind(std::span<const std::uint8_t> bytes) {
   check_header(bytes);
   const std::uint8_t raw = bytes[3];
   if (raw < static_cast<std::uint8_t>(MessageKind::kRequest) ||
-      raw > static_cast<std::uint8_t>(MessageKind::kStatsReply)) {
+      raw > static_cast<std::uint8_t>(MessageKind::kHelloAck)) {
     STARSIM_THROW(support::WireFormatError,
                   "wire message kind out of range: " + std::to_string(raw));
   }
@@ -448,6 +453,40 @@ HeartbeatAck decode_heartbeat_ack(std::span<const std::uint8_t> bytes) {
   ack.queue_depth = r.u64();
   ack.queue_capacity = r.u64();
   ack.completed = r.u64();
+  r.expect_exhausted();
+  return ack;
+}
+
+WireBuffer encode_hello(const Hello& hello) {
+  Writer w(MessageKind::kHello);
+  w.u8(hello.protocol_version);
+  w.i32(hello.shard_index);
+  w.str(hello.token);
+  return w.take();
+}
+
+Hello decode_hello(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageKind::kHello);
+  Hello hello;
+  hello.protocol_version = r.u8();
+  hello.shard_index = r.i32();
+  hello.token = r.str();
+  r.expect_exhausted();
+  return hello;
+}
+
+WireBuffer encode_hello_ack(const HelloAck& ack) {
+  Writer w(MessageKind::kHelloAck);
+  w.u8(ack.protocol_version);
+  w.i32(ack.shard_index);
+  return w.take();
+}
+
+HelloAck decode_hello_ack(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageKind::kHelloAck);
+  HelloAck ack;
+  ack.protocol_version = r.u8();
+  ack.shard_index = r.i32();
   r.expect_exhausted();
   return ack;
 }

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "serve/request.h"
@@ -52,6 +53,8 @@ enum class MessageKind : std::uint8_t {
   kHeartbeatAck = 5,  ///< shard -> router: pong + load snapshot
   kStatsRequest = 6,  ///< router -> shard: scrape my metric families
   kStatsReply = 7,    ///< shard -> router: instance-labeled families
+  kHello = 8,         ///< router -> shard: handshake (version, id, token)
+  kHelloAck = 9,      ///< shard -> router: handshake accepted
 };
 
 /// CRC32 (IEEE 802.3, reflected 0xEDB88320) over `bytes`, seeded by
@@ -87,7 +90,33 @@ enum class WireErrorKind : std::uint8_t {
   kOverloadShed = 9,
   kShardDown = 10,
   kTransportTimeout = 11,
+  kHandshake = 12,
 };
+
+/// Handshake opener a dialer sends on every fresh connection before any
+/// request frame. The shard host verifies all three fields — protocol
+/// version (catches version-skewed deployments beyond the per-frame header
+/// check), the shard index the dialer believes it reached (catches a
+/// routing table pointing at the wrong endpoint), and the shared secret
+/// from STARSIM_FLEET_TOKEN (empty means auth is disabled on both sides) —
+/// and answers kHelloAck or a typed kError carrying HandshakeError.
+struct Hello {
+  std::uint8_t protocol_version = kWireVersion;
+  std::int32_t shard_index = -1;  ///< index the dialer expects to reach
+  std::string token;              ///< shared secret, "" = auth disabled
+};
+
+/// Handshake acceptance: the shard host echoes its identity so the dialer
+/// can double-check it reached the shard it routed to.
+struct HelloAck {
+  std::uint8_t protocol_version = kWireVersion;
+  std::int32_t shard_index = -1;  ///< index the host was launched with
+};
+
+[[nodiscard]] WireBuffer encode_hello(const Hello& hello);
+[[nodiscard]] Hello decode_hello(std::span<const std::uint8_t> bytes);
+[[nodiscard]] WireBuffer encode_hello_ack(const HelloAck& ack);
+[[nodiscard]] HelloAck decode_hello_ack(std::span<const std::uint8_t> bytes);
 
 /// Liveness ping the router (or supervisor) sends a shard host.
 struct Heartbeat {

@@ -141,6 +141,17 @@ class TransportTimeoutError : public Error {
       : Error(what, /*retryable=*/true) {}
 };
 
+/// Raised when a fleet connection handshake fails — protocol version skew,
+/// a shard answering for the wrong index (misrouted endpoint), or an auth
+/// token mismatch. Never retryable on the same endpoint: redialing a shard
+/// that speaks the wrong protocol or rejects our token reproduces the
+/// failure; the deployment (or the routing table) is the bug.
+class HandshakeError : public Error {
+ public:
+  explicit HandshakeError(const std::string& what)
+      : Error(what, /*retryable=*/false) {}
+};
+
 }  // namespace starsim::support
 
 /// Precondition guard: throws PreconditionError with location info when the
